@@ -1,0 +1,80 @@
+// Section 5 analytic-model ablation.
+//
+// The paper's model:  T(Bin) = log(P) * t(b)
+//                     T(CC)  = (n + P - 2) * t(c),  c = b/n
+// predicts: small P + large b  => chain wins;  large P + small b => binomial
+// wins; chain benefit saturates past P ~ 8 (the chain-size sweet spot).
+// This bench checks the simulated executor against those predictions and
+// sweeps the chunk count n.
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "coll/algorithms.h"
+#include "coll/sim_executor.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+
+using namespace scaffe;
+using namespace scaffe::coll;
+
+namespace {
+
+double reduce_us(const Schedule& schedule, const net::ClusterSpec& cluster) {
+  return util::to_us(
+      simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr()).root_finish);
+}
+
+}  // namespace
+
+int main() {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+
+  bench::print_heading("Section 5 ablation (a)",
+                       "Bin vs chunked chain across P and message size (us)");
+  util::Table grid({"P", "size", "T(Bin)", "T(CC) n=32", "winner", "model prediction"});
+  for (int p : {4, 8, 16, 32, 64}) {
+    for (std::size_t bytes : {std::size_t{1} * util::kKiB, 256 * util::kKiB,
+                              8 * util::kMiB, 64 * util::kMiB}) {
+      const std::size_t count = bytes / sizeof(float);
+      const double bin = reduce_us(binomial_reduce(p, 0, count), cluster);
+      const double chain = reduce_us(chain_reduce(p, 0, count, 32), cluster);
+      const char* winner = chain < bin ? "CC" : "Bin";
+      // Paper: ">8MB chain wins regardless of chunks; benefit fades past P=8".
+      const char* predicted = (bytes >= 8 * util::kMiB && p <= 16) ? "CC"
+                              : (bytes <= 4 * util::kKiB)          ? "Bin"
+                                                                   : "?";
+      grid.add_row({std::to_string(p), util::fmt_bytes(bytes), util::fmt_double(bin, 1),
+                    util::fmt_double(chain, 1), winner, predicted});
+    }
+  }
+  bench::print_table(grid);
+
+  bench::print_heading("Section 5 ablation (b)",
+                       "chunk-count sweep at P=8, 32MB: T(CC)=(n+P-2)*t(c)");
+  util::Table chunks({"n (chunks)", "T(CC) simulated (us)", "T(CC) model (us)"});
+  const int p = 8;
+  const std::size_t count = 32 * util::kMiB / sizeof(float);
+  // t(c) from the link model: chunk serialization at the chain's bandwidth.
+  const net::CostModel cost(cluster);
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    const double simulated = reduce_us(chain_reduce(p, 0, count, n), cluster);
+    const std::size_t chunk_bytes = count * sizeof(float) / static_cast<std::size_t>(n);
+    const double tc =
+        util::to_us(cost.msg_time(chunk_bytes, net::Path::IntraNode, net::Staging::Gdr) +
+                    cost.reduce(chunk_bytes, net::ExecSpace::Gpu));
+    chunks.add_row({std::to_string(n), util::fmt_double(simulated, 1),
+                    util::fmt_double((n + p - 2) * tc, 1)});
+  }
+  bench::print_table(chunks);
+  bench::print_note("simulated times should track (n+P-2)*t(c) within resource-contention "
+                    "effects; both fall steeply with n then flatten");
+
+  bench::print_heading("Section 5 ablation (c)", "chain-size sweep: the P~8 sweet spot");
+  util::Table sweet({"chain ranks", "T(CC) per-rank efficiency (us/rank)"});
+  for (int ranks : {2, 4, 8, 16, 32}) {
+    const double t = reduce_us(chain_reduce(ranks, 0, count, 32), cluster);
+    sweet.add_row({std::to_string(ranks), util::fmt_double(t / ranks, 2)});
+  }
+  bench::print_table(sweet);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablations for the design extensions beyond the paper's evaluated space:
+//
+//  (a) k-nomial radix sweep — how tree radix trades rounds against root
+//      fan-in at small and large messages;
+//  (b) the paper's named future work: three-level chain-of-chain + binomial
+//      vs the evaluated two-level combos at 160 GPUs;
+//  (c) Rabenseifner reduce-scatter+gather vs tree/chain designs.
+#include "bench/bench_common.h"
+#include "coll/algorithms.h"
+#include "coll/extensions.h"
+#include "coll/sim_executor.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+
+using namespace scaffe;
+using namespace scaffe::coll;
+
+namespace {
+
+double us(const Schedule& schedule, const net::ClusterSpec& cluster) {
+  return util::to_us(simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr()).root_finish);
+}
+
+}  // namespace
+
+int main() {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+
+  bench::print_heading("Extension ablation (a)", "k-nomial radix sweep, 128 ranks (us)");
+  util::Table radix({"size", "radix 2 (binomial)", "radix 4", "radix 8"});
+  for (std::size_t bytes : {std::size_t{64}, 64 * util::kKiB, 16 * util::kMiB}) {
+    const std::size_t count = std::max<std::size_t>(bytes / 4, 1);
+    radix.add_row({util::fmt_bytes(bytes),
+                   util::fmt_double(us(knomial_reduce(128, 0, count, 2), cluster), 1),
+                   util::fmt_double(us(knomial_reduce(128, 0, count, 4), cluster), 1),
+                   util::fmt_double(us(knomial_reduce(128, 0, count, 8), cluster), 1)});
+  }
+  bench::print_table(radix);
+
+  bench::print_heading("Extension ablation (b)",
+                       "Section 5 future work: three-level CC+B vs two-level, 160 ranks (us)");
+  util::Table levels({"size", "two-level CB-16", "two-level CC-16", "three-level CCB-16x5"});
+  for (std::size_t bytes : {4 * util::kMiB, 64 * util::kMiB, 256 * util::kMiB}) {
+    const std::size_t count = bytes / 4;
+    levels.add_row(
+        {util::fmt_bytes(bytes),
+         util::fmt_double(us(hierarchical_reduce(160, count, 16, LevelAlgo::Chain,
+                                                 LevelAlgo::Binomial, 16),
+                             cluster),
+                          1),
+         util::fmt_double(us(hierarchical_reduce(160, count, 16, LevelAlgo::Chain,
+                                                 LevelAlgo::Chain, 16),
+                             cluster),
+                          1),
+         util::fmt_double(us(three_level_reduce(160, count, 16, 5, 16), cluster), 1)});
+  }
+  bench::print_table(levels);
+  bench::print_note("the paper: \"in future, we can exploit multi-level combinations like "
+                    "chain-of-chain combined with a top level binomial for very large scale "
+                    "reductions\"");
+
+  bench::print_heading("Extension ablation (c)",
+                       "Rabenseifner reduce vs tree and chain, 64 ranks (us)");
+  util::Table raben({"size", "binomial", "chunked chain", "CB-16", "Rabenseifner"});
+  for (std::size_t bytes : {256 * util::kKiB, 4 * util::kMiB, 64 * util::kMiB}) {
+    const std::size_t count = bytes / 4;
+    raben.add_row(
+        {util::fmt_bytes(bytes),
+         util::fmt_double(us(binomial_reduce(64, 0, count), cluster), 1),
+         util::fmt_double(us(chain_reduce(64, 0, count, 32), cluster), 1),
+         util::fmt_double(us(hierarchical_reduce(64, count, 16, LevelAlgo::Chain,
+                                                 LevelAlgo::Binomial, 16),
+                             cluster),
+                          1),
+         util::fmt_double(us(rabenseifner_reduce(64, count), cluster), 1)});
+  }
+  bench::print_table(raben);
+  bench::print_note("on a dense 16-GPU node, Rabenseifner's all-ranks-send-at-once steps "
+                    "serialize on each node's single HCA, losing to designs that keep bulk "
+                    "traffic on PCIe and send one flow per node — the core argument for the "
+                    "paper's hierarchical communicators");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared output helpers for the figure/table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.h"
+
+namespace scaffe::bench {
+
+/// Machine-readable mode: SCAFFE_BENCH_CSV=1 switches tables to CSV.
+inline bool csv_mode() {
+  const char* env = std::getenv("SCAFFE_BENCH_CSV");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void print_heading(const std::string& id, const std::string& caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), caption.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("note: %s\n", note.c_str()); }
+
+inline void print_table(const util::Table& table) {
+  std::fputs(csv_mode() ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+}
+
+}  // namespace scaffe::bench

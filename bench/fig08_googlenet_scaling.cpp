@@ -1,0 +1,97 @@
+// Figure 8: GoogLeNet (ImageNet) strong scaling on Cluster-A.
+//
+// Series:
+//  - Caffe       : BVLC Caffe, single process, <= 16 GPUs (one node), LMDB.
+//  - S-Caffe-L   : S-Caffe with LMDB parallel readers (dies past 64 readers).
+//  - S-Caffe     : S-Caffe with ImageDataLayer over Lustre, up to 160 GPUs.
+//
+// Cells show training time for 100 iterations; "OOM" marks batches too large
+// for a 12 GB device (the paper's missing points), "X" marks configurations
+// the reader backend cannot serve, "-" marks scales a framework cannot reach.
+#include <optional>
+#include <vector>
+
+#include "baselines/comparators.h"
+#include "bench/bench_common.h"
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+#include "util/table.h"
+
+using namespace scaffe;
+using core::ReaderBackendKind;
+using core::TrainPerfConfig;
+
+namespace {
+
+TrainPerfConfig base_config(int gpus, int batch) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::googlenet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = batch;
+  config.variant = core::Variant::SCOBR;
+  config.reduce = core::ReduceAlgo::cb(16);
+  config.iterations = 100;
+  config.sample_bytes = 110 * util::kKiB;  // ImageNet JPEG record
+  return config;
+}
+
+std::string cell(const std::optional<core::IterationBreakdown>& result) {
+  if (!result) return "-";
+  if (result->oom) return "OOM";
+  if (result->reader_failed) return "X";
+  return util::fmt_double(result->training_time_sec, 1) + "s";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("Figure 8",
+                       "GoogLeNet strong scaling, 100 iterations, Cluster-A (time in s)");
+  bench::print_note(
+      "batch sizes in parentheses; OOM = does not fit 12GB K80 device; "
+      "X = LMDB cannot serve that many parallel readers; - = unreachable");
+
+  const std::vector<int> gpu_counts{1, 2, 4, 8, 16, 32, 64, 128, 160};
+  const std::vector<int> batches{256, 512, 1024, 2048};
+
+  for (int batch : batches) {
+    util::Table table({"GPUs", "Caffe", "S-Caffe-L (LMDB)", "S-Caffe (ImageData)"});
+    for (int gpus : gpu_counts) {
+      TrainPerfConfig config = base_config(gpus, batch);
+
+      // BVLC Caffe: single-node ceiling.
+      const auto caffe = baselines::simulate_caffe_iteration(config);
+
+      // S-Caffe over LMDB parallel readers.
+      TrainPerfConfig lmdb = config;
+      lmdb.reader = ReaderBackendKind::LmdbSim;
+      std::optional<core::IterationBreakdown> scaffe_l =
+          core::simulate_training_iteration(lmdb);
+
+      // S-Caffe over ImageDataLayer / Lustre.
+      TrainPerfConfig lustre = config;
+      lustre.reader = ReaderBackendKind::LustreImageData;
+      std::optional<core::IterationBreakdown> scaffe =
+          core::simulate_training_iteration(lustre);
+
+      table.add_row({std::to_string(gpus) + " (" + std::to_string(batch) + ")", cell(caffe),
+                     cell(scaffe_l), cell(scaffe)});
+    }
+    std::printf("\nglobal batch %d:\n", batch);
+    bench::print_table(table);
+  }
+
+  // Headline speedups the paper reports: 3.3x over 16 GPUs at 128, and
+  // 2.5x over 32 GPUs at 160.
+  const auto at16 = core::simulate_training_iteration(base_config(16, 1024));
+  const auto at32 = core::simulate_training_iteration(base_config(32, 1024));
+  const auto at128 = core::simulate_training_iteration(base_config(128, 1024));
+  const auto at160 = core::simulate_training_iteration(base_config(160, 1024));
+  std::printf("\nheadline speedups (batch 1024):\n");
+  std::printf("  128 vs 16 GPUs: %s (paper: 3.3x)\n",
+              util::fmt_speedup(at16.training_time_sec / at128.training_time_sec).c_str());
+  std::printf("  160 vs 32 GPUs: %s (paper: 2.5x)\n",
+              util::fmt_speedup(at32.training_time_sec / at160.training_time_sec).c_str());
+  return 0;
+}

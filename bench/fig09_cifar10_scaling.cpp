@@ -1,0 +1,62 @@
+// Figure 9: CIFAR10 quick solver scaling on Cluster-A.
+//
+// Caffe scales to one node (16 GPUs); S-Caffe continues to 64 GPUs across 4
+// nodes. Batch 8192, 1000 iterations. The paper reports ~32x speedup over a
+// single GPU at 64 GPUs, and near-identical Caffe/S-Caffe times up to 16
+// GPUs (CIFAR10-quick is compute-intensive, so S-Caffe adds no overhead).
+#include <optional>
+#include <vector>
+
+#include "baselines/comparators.h"
+#include "bench/bench_common.h"
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+
+using namespace scaffe;
+using core::TrainPerfConfig;
+
+namespace {
+
+TrainPerfConfig config_for(int gpus) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::cifar10_quick();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = 8192;
+  config.variant = core::Variant::SCOBR;
+  config.reduce = core::ReduceAlgo::cb(16);
+  config.iterations = 1000;
+  config.sample_bytes = 3073;  // raw CIFAR10 record (3072 pixels + label)
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("Figure 9",
+                       "CIFAR10 quick solver, batch 8192, 1000 iterations, Cluster-A");
+
+  util::Table table({"GPUs", "Caffe (s)", "S-Caffe (s)", "S-Caffe speedup over 1 GPU"});
+  const auto single = core::simulate_training_iteration(config_for(1));
+  for (int gpus : {1, 2, 4, 8, 16, 32, 64}) {
+    const TrainPerfConfig config = config_for(gpus);
+    const auto caffe = baselines::simulate_caffe_iteration(config);
+    const auto scaffe = core::simulate_training_iteration(config);
+    table.add_row({std::to_string(gpus),
+                   caffe ? util::fmt_double(caffe->training_time_sec, 1) : "-",
+                   util::fmt_double(scaffe.training_time_sec, 1),
+                   util::fmt_speedup(single.training_time_sec / scaffe.training_time_sec)});
+  }
+  bench::print_table(table);
+
+  const auto at64 = core::simulate_training_iteration(config_for(64));
+  std::printf("\nspeedup at 64 GPUs over 1 GPU: %s (paper: ~32-33x)\n",
+              util::fmt_speedup(single.training_time_sec / at64.training_time_sec).c_str());
+
+  const auto caffe16 = baselines::simulate_caffe_iteration(config_for(16));
+  const auto scaffe16 = core::simulate_training_iteration(config_for(16));
+  std::printf("S-Caffe/Caffe at 16 GPUs: %.2f (paper: ~1.0 — no overhead on this "
+              "compute-intensive model)\n",
+              caffe16->training_time_sec / scaffe16.training_time_sec);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11: MPI_Reduce latency at 160 processes (GPUs) on Cluster-A —
+// MVAPICH2 (MV2), chain-binomial (CB-k), chain-chain (CC-k), and the tuned
+// hierarchical design HR (Tuned), across message sizes (OSU-benchmark style).
+#include <limits>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "coll/algorithms.h"
+#include "coll/sim_executor.h"
+#include "coll/tuner.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+#include "util/duration.h"
+
+using namespace scaffe;
+using namespace scaffe::coll;
+
+int main() {
+  bench::print_heading("Figure 11",
+                       "MPI_Reduce latency for 160 processes (GPUs), Cluster-A (us)");
+
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const int nranks = 160;
+  const ExecPolicy hr_policy = ExecPolicy::hr_gdr();
+  const ExecPolicy mv2_policy = ExecPolicy::mvapich2();
+
+  const TuningTable table = hr_tune(cluster, nranks, hr_policy);
+  std::printf("HR tuning table (winner per message-size range):\n");
+  for (const auto& entry : table.entries()) {
+    std::printf("  <= %s : %s\n",
+                entry.max_bytes == std::numeric_limits<std::size_t>::max()
+                    ? "inf"
+                    : util::fmt_bytes(entry.max_bytes).c_str(),
+                entry.choice.name.c_str());
+  }
+
+  util::Table out({"size", "MV2", "CB-4", "CB-8", "CC-4", "CC-8", "HR (Tuned)"});
+  for (std::size_t bytes = 4; bytes <= 256 * util::kMiB; bytes *= 4) {
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+    auto us = [&](const Schedule& schedule, const ExecPolicy& policy) {
+      return util::fmt_double(
+          util::to_us(simulate_schedule(schedule, cluster, policy).root_finish), 1);
+    };
+    out.add_row({util::fmt_bytes(bytes),
+                 us(binomial_reduce(nranks, 0, count), mv2_policy),
+                 us(hierarchical_reduce(nranks, count, 4, LevelAlgo::Chain,
+                                        LevelAlgo::Binomial, 16),
+                    hr_policy),
+                 us(hierarchical_reduce(nranks, count, 8, LevelAlgo::Chain,
+                                        LevelAlgo::Binomial, 16),
+                    hr_policy),
+                 us(hierarchical_reduce(nranks, count, 4, LevelAlgo::Chain, LevelAlgo::Chain,
+                                        16),
+                    hr_policy),
+                 us(hierarchical_reduce(nranks, count, 8, LevelAlgo::Chain, LevelAlgo::Chain,
+                                        16),
+                    hr_policy),
+                 us(hr_tuned_reduce(table, nranks, count), hr_policy)});
+  }
+  bench::print_table(out);
+  bench::print_note(
+      "paper shape: HR (Tuned) tracks the best fixed combination everywhere; "
+      "chain lower levels win for large messages, binomial for small");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12: MPI_Reduce latency comparison (log-scale in the paper):
+// MVAPICH2 vs OpenMPI 1.10.2 vs the proposed HR, 160 processes, Cluster-A.
+// The paper reports HR almost 3x faster than MVAPICH2 and up to 133x faster
+// than OpenMPI at DL message sizes.
+#include "bench/bench_common.h"
+#include "coll/algorithms.h"
+#include "coll/sim_executor.h"
+#include "coll/tuner.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+
+using namespace scaffe;
+using namespace scaffe::coll;
+
+int main() {
+  bench::print_heading("Figure 12",
+                       "MPI_Reduce: MVAPICH2 vs OpenMPI vs proposed HR, 160 GPUs (us)");
+
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const int nranks = 160;
+  const TuningTable table = hr_tune(cluster, nranks, ExecPolicy::hr_gdr());
+
+  double max_mv2_ratio = 0.0;
+  double max_ompi_ratio = 0.0;
+
+  util::Table out({"size", "MV2", "OpenMPI", "HR", "MV2/HR", "OpenMPI/HR"});
+  for (std::size_t bytes = 4; bytes <= 256 * util::kMiB; bytes *= 4) {
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+    const Schedule flat = binomial_reduce(nranks, 0, count);
+    const auto mv2 = simulate_schedule(flat, cluster, ExecPolicy::mvapich2());
+    const auto ompi = simulate_schedule(flat, cluster, ExecPolicy::openmpi());
+    const auto hr = simulate_schedule(hr_tuned_reduce(table, nranks, count), cluster,
+                                      ExecPolicy::hr_gdr());
+
+    const double mv2_ratio =
+        static_cast<double>(mv2.root_finish) / static_cast<double>(hr.root_finish);
+    const double ompi_ratio =
+        static_cast<double>(ompi.root_finish) / static_cast<double>(hr.root_finish);
+    max_mv2_ratio = std::max(max_mv2_ratio, mv2_ratio);
+    max_ompi_ratio = std::max(max_ompi_ratio, ompi_ratio);
+
+    out.add_row({util::fmt_bytes(bytes), util::fmt_double(util::to_us(mv2.root_finish), 1),
+                 util::fmt_double(util::to_us(ompi.root_finish), 1),
+                 util::fmt_double(util::to_us(hr.root_finish), 1),
+                 util::fmt_speedup(mv2_ratio), util::fmt_speedup(ompi_ratio)});
+  }
+  bench::print_table(out);
+
+  std::printf("\nmax speedup over MVAPICH2: %s (paper: ~2.6-3x)\n",
+              util::fmt_speedup(max_mv2_ratio).c_str());
+  std::printf("max speedup over OpenMPI:  %s (paper: up to 133x)\n",
+              util::fmt_speedup(max_ompi_ratio).c_str());
+  return 0;
+}

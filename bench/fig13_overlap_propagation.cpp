@@ -1,0 +1,70 @@
+// Figure 13: SC-B vs SC-OB — overlapping data propagation with the Forward
+// pass. The paper shows SC-OB hiding the broadcast latency behind the
+// compute-intensive early layers, for ~15% end-to-end improvement. Includes
+// the Figure 4 "naive NBC" placement ablation (wait too early).
+#include "bench/bench_common.h"
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+#include "util/duration.h"
+
+using namespace scaffe;
+using core::TrainPerfConfig;
+using core::Variant;
+
+namespace {
+
+TrainPerfConfig config_for(int gpus, Variant variant, bool naive = false) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::googlenet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = 1024;
+  config.variant = variant;
+  config.reduce = core::ReduceAlgo::cb(16);
+  config.naive_nbc = naive;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("Figure 13",
+                       "SC-B vs SC-OB: propagation + F/B time per iteration (ms), GoogLeNet");
+
+  util::Table out({"GPUs", "SC-B prop", "SC-B F/B", "SC-B total", "SC-OB prop(exposed)",
+                   "SC-OB F/B", "SC-OB total", "improvement"});
+  for (int gpus : {16, 32, 64, 128, 160}) {
+    const auto scb = core::simulate_training_iteration(config_for(gpus, Variant::SCB));
+    const auto scob = core::simulate_training_iteration(config_for(gpus, Variant::SCOB));
+    const auto fb_b = scb.forward + scb.backward;
+    const auto fb_ob = scob.forward + scob.backward;
+    const util::TimeNs total_b = scb.propagation_exposed + fb_b;
+    const util::TimeNs total_ob = scob.propagation_exposed + fb_ob;
+    out.add_row({std::to_string(gpus), util::fmt_double(util::to_ms(scb.propagation_exposed), 2),
+                 util::fmt_double(util::to_ms(fb_b), 2), util::fmt_double(util::to_ms(total_b), 2),
+                 util::fmt_double(util::to_ms(scob.propagation_exposed), 2),
+                 util::fmt_double(util::to_ms(fb_ob), 2),
+                 util::fmt_double(util::to_ms(total_ob), 2),
+                 util::fmt_double((1.0 - util::to_ms(total_ob) / util::to_ms(total_b)) * 100.0,
+                                  1) +
+                     "%"});
+  }
+  bench::print_table(out);
+  bench::print_note("paper: up to 15% improvement for the SC-OB design; reduce phase "
+                    "excluded (unaffected by SC-OB)");
+
+  // Figure 4 vs Figure 5: naive one-layer-lookahead NBC vs multi-stage.
+  bench::print_heading("Figure 4 vs Figure 5 (ablation)",
+                       "naive NBC placement vs multi-stage on-demand waits");
+  util::Table naive_table({"GPUs", "naive exposed prop (ms)", "multi-stage exposed prop (ms)"});
+  for (int gpus : {32, 64, 160}) {
+    const auto naive =
+        core::simulate_training_iteration(config_for(gpus, Variant::SCOB, /*naive=*/true));
+    const auto staged = core::simulate_training_iteration(config_for(gpus, Variant::SCOB));
+    naive_table.add_row({std::to_string(gpus),
+                         util::fmt_double(util::to_ms(naive.propagation_exposed), 2),
+                         util::fmt_double(util::to_ms(staged.propagation_exposed), 2)});
+  }
+  bench::print_table(naive_table);
+  return 0;
+}

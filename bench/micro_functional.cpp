@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the FUNCTIONAL substrate (real wall
+// clock, this machine): reduction kernels, schedule executors, and scmpi
+// collectives. These complement the modelled figures: they measure the code
+// that actually moves and sums bytes in the functional runs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/logical_executor.h"
+#include "coll/thread_executor.h"
+#include "gpu/kernels.h"
+#include "mpi/comm.h"
+
+using namespace scaffe;
+
+namespace {
+
+void BM_KernelAccumulate(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<float> src(count, 1.0f);
+  std::vector<float> acc(count, 0.0f);
+  for (auto _ : state) {
+    gpu::accumulate(src, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_KernelAccumulate)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_KernelSgdUpdate(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<float> param(count, 1.0f);
+  std::vector<float> grad(count, 0.01f);
+  std::vector<float> momentum(count, 0.0f);
+  for (auto _ : state) {
+    gpu::sgd_update(param, grad, momentum, 0.01f, 0.9f, 0.0005f);
+    benchmark::DoNotOptimize(param.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_KernelSgdUpdate)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LogicalExecutorBinomial(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const std::size_t count = 4096;
+  const coll::Schedule schedule = coll::binomial_reduce(nranks, 0, count);
+  std::vector<std::vector<float>> inputs(static_cast<std::size_t>(nranks),
+                                         std::vector<float>(count, 1.0f));
+  for (auto _ : state) {
+    auto result = coll::run_logical(schedule, inputs);
+    benchmark::DoNotOptimize(result.final_buffers.data());
+  }
+}
+BENCHMARK(BM_LogicalExecutorBinomial)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ThreadExecutorReduce(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const std::size_t count = 1 << 16;
+  const coll::Schedule schedule = coll::hierarchical_reduce(
+      nranks, count, 4, coll::LevelAlgo::Chain, coll::LevelAlgo::Binomial, 8);
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks),
+                                       std::vector<float>(count, 1.0f));
+  for (auto _ : state) {
+    std::vector<std::span<float>> spans;
+    for (auto& v : data) {
+      std::fill(v.begin(), v.end(), 1.0f);
+      spans.emplace_back(v);
+    }
+    coll::run_threaded(schedule, spans);
+    benchmark::DoNotOptimize(data[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(float)) * (nranks - 1));
+}
+BENCHMARK(BM_ThreadExecutorReduce)->Arg(4)->Arg(8);
+
+void BM_ScmpiAllreduce(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  const std::size_t count = 1 << 14;
+  mpi::Runtime runtime(nranks);
+  for (auto _ : state) {
+    runtime.run([&](mpi::Comm& comm) {
+      std::vector<float> data(count, 1.0f);
+      comm.allreduce(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_ScmpiAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScmpiIbcastOverlap(benchmark::State& state) {
+  const int nranks = 4;
+  const std::size_t count = 1 << 16;
+  mpi::Runtime runtime(nranks);
+  for (auto _ : state) {
+    runtime.run([&](mpi::Comm& comm) {
+      std::vector<float> data(count, comm.rank() == 0 ? 1.0f : 0.0f);
+      mpi::Request request = comm.ibcast(data, 0);
+      // Simulated "forward pass" while the broadcast progresses.
+      double acc = 0.0;
+      for (int i = 0; i < 10000; ++i) acc += i * 0.5;
+      benchmark::DoNotOptimize(acc);
+      request.wait();
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_ScmpiIbcastOverlap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Table 1: Design and Features Space for Modern Deep Learning Frameworks.
+//
+// The paper's Table 1 is a qualitative capability matrix. This binary prints
+// it — but the S-Caffe row is not transcribed: each claimed capability is
+// DEMONSTRATED live against this repository's implementation (a basic MPI
+// collective, a CUDA-aware device-buffer collective, an overlapped NBC, and
+// the co-designed HR schedule), so the row is backed by running code.
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "coll/algorithms.h"
+#include "core/hr_factory.h"
+#include "gpu/device.h"
+#include "gpu/kernels.h"
+#include "mpi/comm.h"
+
+using namespace scaffe;
+
+namespace {
+
+bool demo_basic_mpi() {
+  bool ok = false;
+  mpi::Runtime runtime(4);
+  runtime.run([&](mpi::Comm& comm) {
+    std::vector<float> v(8, 1.0f);
+    comm.allreduce(v);
+    if (comm.rank() == 0) ok = v[0] == 4.0f;
+  });
+  return ok;
+}
+
+bool demo_cuda_aware() {
+  bool ok = false;
+  gpu::Device d0(0);
+  gpu::Device d1(1);
+  mpi::Runtime runtime(2);
+  runtime.run([&](mpi::Comm& comm) {
+    gpu::Device& device = comm.rank() == 0 ? d0 : d1;
+    gpu::DeviceBuffer<float> buffer(device, 128);
+    gpu::fill(2.0f, buffer.span());
+    comm.allreduce(buffer);  // device buffer straight into the collective
+    if (comm.rank() == 0) ok = buffer[0] == 4.0f;
+  });
+  return ok;
+}
+
+bool demo_nbc_overlap() {
+  bool ok = false;
+  mpi::Runtime runtime(4);
+  runtime.run([&](mpi::Comm& comm) {
+    std::vector<float> v(1024, comm.rank() == 0 ? 1.0f : 0.0f);
+    mpi::Request request = comm.ibcast(v, 0);  // progresses in the background
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) acc += i;  // "forward pass"
+    request.wait();
+    if (comm.rank() == 3) ok = v[512] == 1.0f && acc > 0;
+  });
+  return ok;
+}
+
+bool demo_codesigned_reduce() {
+  bool ok = false;
+  mpi::Runtime runtime(8);
+  runtime.run([&](mpi::Comm& comm) {
+    comm.set_reduce_factory(core::make_reduce_factory(core::ReduceAlgo::cb(4)));
+    std::vector<float> v(256, 1.0f);
+    comm.reduce(v, 0);
+    if (comm.rank() == 0) ok = v[0] == 8.0f;
+  });
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("Table 1", "Design and features space for DL frameworks");
+
+  util::Table table({"Framework", "Basic MPI", "CUDA-Aware MPI", "Overlapped (NBC)",
+                     "Co-Designed w/ MPI", "Multi-GPU", "Strategy"});
+  table.add_row({"Caffe [33]", "x", "x", "x", "x", "yes", "DP / RT"});
+  table.add_row({"FireCaffe [30]", "yes", "unknown", "x", "unknown", "yes", "DP / RT"});
+  table.add_row({"MPI-Caffe [37]", "yes", "x", "x", "x", "yes", "MP"});
+  table.add_row({"CNTK [12]", "yes", "x", "x", "x", "yes", "MP+DP / PS"});
+  table.add_row({"Inspur-Caffe [31]", "yes", "yes", "x", "x", "yes", "DP / PS"});
+
+  // The S-Caffe row, demonstrated live:
+  const bool basic = demo_basic_mpi();
+  const bool cuda_aware = demo_cuda_aware();
+  const bool nbc = demo_nbc_overlap();
+  const bool codesign = demo_codesigned_reduce();
+  table.add_row({"S-Caffe (this repo)", basic ? "yes*" : "FAIL", cuda_aware ? "yes*" : "FAIL",
+                 nbc ? "yes*" : "FAIL", codesign ? "yes*" : "FAIL", "yes*", "DP / RT"});
+  bench::print_table(table);
+  bench::print_note("* verified by executing the capability in this process "
+                    "(allreduce over 4 ranks; device-buffer collective; Ibcast overlapped "
+                    "with compute; hierarchical CB-4 reduce schedule)");
+  return (basic && cuda_aware && nbc && codesign) ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// Table 2: SC-B vs SC-B (+HR) — gradient aggregation time and total
+// iteration time for different communicator/chain-size configurations
+// (CC-8, CB-4, CB-8), on a CaffeNet-class aggregation. Paper: 2.3x speedup
+// for aggregation with CB-8, 1.25x overall. Second section: SC-OBR's
+// improvement over SC-B (paper: 20% at 8 GPUs, 12% at 16, CaffeNet).
+#include "bench/bench_common.h"
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+#include "util/duration.h"
+
+using namespace scaffe;
+using core::ReduceAlgo;
+using core::TrainPerfConfig;
+using core::Variant;
+
+namespace {
+
+TrainPerfConfig base_config(int gpus) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::caffenet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = 1024;
+  config.variant = Variant::SCB;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("Table 2", "SC-B vs SC-B (+HR): aggregation and total time (ms), "
+                                  "CaffeNet-class model, 32 GPUs, Cluster-A");
+
+  const int gpus = 32;
+  TrainPerfConfig stock = base_config(gpus);
+  stock.reduce = ReduceAlgo::binomial();
+  stock.comm_policy = coll::ExecPolicy::mvapich2();
+  const auto scb = core::simulate_training_iteration(stock);
+  const double scb_agg = util::to_ms(scb.aggregation_exposed);
+  const double scb_total = util::to_ms(scb.total);
+
+  util::Table out({"Algorithm/Comm", "Config", "Aggregation (ms)", "Total (ms)",
+                   "Speedup (aggregation)", "Overall speedup"});
+  out.add_row({"N/A", "SC-B", util::fmt_double(scb_agg, 1), util::fmt_double(scb_total, 1),
+               "1", "1"});
+
+  struct Row {
+    const char* label;
+    ReduceAlgo algo;
+  };
+  for (const Row& row : {Row{"CC-8", ReduceAlgo::cc(8)}, Row{"CB-4", ReduceAlgo::cb(4)},
+                         Row{"CB-8", ReduceAlgo::cb(8)}}) {
+    TrainPerfConfig hr = base_config(gpus);
+    hr.reduce = row.algo;
+    hr.comm_policy = coll::ExecPolicy::hr_gdr();
+    const auto result = core::simulate_training_iteration(hr);
+    const double agg = util::to_ms(result.aggregation_exposed);
+    const double total = util::to_ms(result.total);
+    out.add_row({row.label, "SC-B (+HR)", util::fmt_double(agg, 1),
+                 util::fmt_double(total, 1), util::fmt_speedup(scb_agg / agg),
+                 util::fmt_speedup(scb_total / total)});
+  }
+  bench::print_table(out);
+  bench::print_note("paper: CB-8 gives 2.3x aggregation speedup, 1.25x overall");
+
+  // --- SC-OBR improvement over SC-B (Section 6.6 text) ----------------------
+  bench::print_heading("Section 6.6", "SC-OBR improvement over SC-B (CaffeNet)");
+  util::Table obr({"GPUs", "SC-B total (ms)", "SC-OBR total (ms)", "improvement"});
+  for (int p : {8, 16}) {
+    TrainPerfConfig b = base_config(p);
+    b.scaling = core::Scaling::Weak;
+    b.global_batch = 256;  // per-GPU batch
+    b.reduce = ReduceAlgo::cb(8);
+    b.comm_policy = coll::ExecPolicy::hr_gdr();
+    const auto scb_result = core::simulate_training_iteration(b);
+    TrainPerfConfig o = b;
+    o.variant = Variant::SCOBR;
+    const auto obr_result = core::simulate_training_iteration(o);
+    obr.add_row({std::to_string(p), util::fmt_double(util::to_ms(scb_result.total), 1),
+                 util::fmt_double(util::to_ms(obr_result.total), 1),
+                 util::fmt_double(
+                     (1.0 - util::to_sec(obr_result.total) / util::to_sec(scb_result.total)) *
+                         100.0,
+                     1) +
+                     "%"});
+  }
+  bench::print_table(obr);
+  bench::print_note("paper: 20% at 8 GPUs, 12% at 16 GPUs");
+  return 0;
+}

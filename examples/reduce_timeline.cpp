@@ -1,0 +1,75 @@
+// ASCII per-rank timelines of reduction algorithms on the modelled cluster:
+// *why* the chunked chain pipelines and the binomial tree serializes,
+// visible at a glance. Uses the DES executor's trace capture.
+//
+// Usage: ./reduce_timeline [ranks=8] [megabytes=16]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/sim_executor.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+#include "util/duration.h"
+
+using namespace scaffe;
+using namespace scaffe::coll;
+
+namespace {
+
+void print_gantt(const char* title, const SimResult& result, int nranks) {
+  constexpr int kWidth = 96;
+  const double scale = static_cast<double>(kWidth) / static_cast<double>(result.total);
+
+  std::printf("\n%s  (total %s)\n", title, util::fmt_time(result.total).c_str());
+  for (int rank = 0; rank < nranks; ++rank) {
+    std::string lane(kWidth, '.');
+    for (const TraceEvent& event : result.trace) {
+      if (event.rank != rank) continue;
+      const int from = std::clamp(static_cast<int>(event.start * scale), 0, kWidth - 1);
+      const int to = std::clamp(static_cast<int>(event.end * scale), from, kWidth - 1);
+      const char glyph = event.kind == OpKind::Send ? 'S'
+                         : event.kind == OpKind::RecvReduce ? 'R'
+                                                            : 'r';
+      for (int i = from; i <= to; ++i) {
+        // Busy send time wins over wait time in the rendering.
+        if (lane[static_cast<std::size_t>(i)] == '.' || glyph == 'S') {
+          lane[static_cast<std::size_t>(i)] = glyph;
+        }
+      }
+    }
+    std::printf("rank %2d |%s|\n", rank, lane.c_str());
+  }
+  std::printf("         S = sending (link busy)   R = waiting+reducing   . = idle\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::size_t mib = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+  const std::size_t count = mib * util::kMiB / sizeof(float);
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const ExecPolicy policy = ExecPolicy::hr_gdr();
+
+  std::printf("reducing %s across %d GPUs on %s\n", util::fmt_bytes(mib * util::kMiB).c_str(),
+              nranks, cluster.name.c_str());
+
+  const auto binomial =
+      simulate_schedule(binomial_reduce(nranks, 0, count), cluster, policy, true);
+  print_gantt("binomial tree: log(P) rounds, each moving the WHOLE buffer", binomial, nranks);
+
+  const auto chain =
+      simulate_schedule(chain_reduce(nranks, 0, count, 16), cluster, policy, true);
+  print_gantt("chunked chain: chunks stream leftward, every link busy at once", chain, nranks);
+
+  const auto hier = simulate_schedule(
+      hierarchical_reduce(nranks, count, std::max(nranks / 2, 2), LevelAlgo::Chain,
+                          LevelAlgo::Binomial, 16),
+      cluster, policy, true);
+  print_gantt("hierarchical CB: chains fill the node, leaders run the tree", hier, nranks);
+  return 0;
+}

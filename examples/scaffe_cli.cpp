@@ -1,0 +1,191 @@
+// scaffe_cli: the end-user driver, mirroring the paper's public S-Caffe
+// command line (they document a `-scal weak` option; we add the rest).
+//
+// Usage:
+//   scaffe_cli [--np N] [--iterations N] [--batch N] [--scal strong|weak]
+//              [--variant scb|scob|scobr] [--agg tree|allreduce[,ring]]
+//              [--chain K] [--model cifar10|mlp|lenet|mini_alexnet]
+//              [--net FILE.netspec] [--solver FILE.solverspec]
+//              [--snapshot PATH] [--snapshot-every N] [--shuffle]
+//
+// Examples:
+//   scaffe_cli --np 4 --iterations 20 --batch 32
+//   scaffe_cli --np 2 --scal weak --batch 8 --variant scb
+//   scaffe_cli --np 4 --agg allreduce,ring --model mlp
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "dl/netspec_text.h"
+#include "dl/solver_text.h"
+#include "models/zoo.h"
+#include "mpi/comm.h"
+
+using namespace scaffe;
+
+namespace {
+
+struct CliOptions {
+  int np = 4;
+  int iterations = 20;
+  int batch = 32;
+  core::Scaling scaling = core::Scaling::Strong;
+  core::Variant variant = core::Variant::SCOBR;
+  core::Aggregation aggregation = core::Aggregation::RootUpdate;
+  bool ring = false;
+  int chain = 2;
+  std::string model = "cifar10";
+  std::string net_file;
+  std::string solver_file;
+  std::string snapshot;
+  int snapshot_every = 0;
+  bool shuffle = false;
+};
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr, "scaffe_cli: %s (see the header comment for usage)\n", what.c_str());
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--np") options.np = std::stoi(next(i));
+    else if (arg == "--iterations") options.iterations = std::stoi(next(i));
+    else if (arg == "--batch") options.batch = std::stoi(next(i));
+    else if (arg == "--chain") options.chain = std::stoi(next(i));
+    else if (arg == "--model") options.model = next(i);
+    else if (arg == "--net") options.net_file = next(i);
+    else if (arg == "--solver") options.solver_file = next(i);
+    else if (arg == "--snapshot") options.snapshot = next(i);
+    else if (arg == "--snapshot-every") options.snapshot_every = std::stoi(next(i));
+    else if (arg == "--shuffle") options.shuffle = true;
+    else if (arg == "--scal") {
+      const std::string v = next(i);
+      if (v == "strong") options.scaling = core::Scaling::Strong;
+      else if (v == "weak") options.scaling = core::Scaling::Weak;
+      else usage_error("--scal must be strong or weak");
+    } else if (arg == "--variant") {
+      const std::string v = next(i);
+      if (v == "scb") options.variant = core::Variant::SCB;
+      else if (v == "scob") options.variant = core::Variant::SCOB;
+      else if (v == "scobr") options.variant = core::Variant::SCOBR;
+      else usage_error("--variant must be scb, scob or scobr");
+    } else if (arg == "--agg") {
+      const std::string v = next(i);
+      if (v == "tree") options.aggregation = core::Aggregation::RootUpdate;
+      else if (v == "allreduce" || v == "allreduce,ring") {
+        options.aggregation = core::Aggregation::AllreduceSgd;
+        options.ring = v == "allreduce,ring";
+      } else usage_error("--agg must be tree or allreduce[,ring]");
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+
+  // Dataset + net spec selection. --net overrides --model; the dataset must
+  // match the net's data blob, so file-based nets use the MLP-style
+  // flat-feature dataset sized from the spec.
+  data::SyntheticImageDataset dataset = data::SyntheticImageDataset::cifar10();
+  core::NetSpecFactory factory;
+  if (!options.net_file.empty()) {
+    const dl::NetSpec file_spec = dl::parse_netspec(read_file(options.net_file));
+    if (file_spec.inputs.empty()) usage_error("net file declares no inputs");
+    std::size_t floats = 1;
+    for (std::size_t d = 1; d < file_spec.inputs[0].shape.size(); ++d) {
+      floats *= static_cast<std::size_t>(file_spec.inputs[0].shape[d]);
+    }
+    dataset = data::SyntheticImageDataset(
+        4096, 1, 1, static_cast<int>(floats), 10);
+    factory = [spec = file_spec](int batch) {
+      dl::NetSpec sized = spec;
+      for (auto& input : sized.inputs) input.shape[0] = batch;
+      return sized;
+    };
+  } else if (options.model == "cifar10") {
+    factory = [](int batch) { return models::cifar10_quick_netspec(batch); };
+  } else if (options.model == "mlp") {
+    dataset = data::SyntheticImageDataset(4096, 1, 1, 16, 4);
+    factory = [](int batch) { return models::mlp_netspec(batch, 16, 32, 4); };
+  } else if (options.model == "lenet") {
+    dataset = data::SyntheticImageDataset(4096, 1, 28, 28, 10);
+    factory = [](int batch) { return models::lenet_netspec(batch); };
+  } else if (options.model == "mini_alexnet") {
+    dataset = data::SyntheticImageDataset(4096, 3, 16, 16, 10);
+    factory = [](int batch) { return models::mini_alexnet_netspec(batch); };
+  } else {
+    usage_error("unknown --model " + options.model);
+  }
+
+  core::TrainerConfig config;
+  config.iterations = options.iterations;
+  config.global_batch = options.batch;
+  config.scaling = options.scaling;
+  config.scaffe.variant = options.variant;
+  config.scaffe.aggregation = options.aggregation;
+  config.scaffe.ring_allreduce = options.ring;
+  config.scaffe.reduce = core::ReduceAlgo::cb(options.chain);
+  config.snapshot_every = options.snapshot_every;
+  config.snapshot_path = options.snapshot;
+  if (options.shuffle) config.shuffle_epoch_size = dataset.size();
+  if (!options.solver_file.empty()) {
+    config.solver = dl::parse_solver_config(read_file(options.solver_file));
+  } else {
+    config.solver.base_lr = 0.01f;
+    config.solver.momentum = 0.9f;
+  }
+
+  std::printf("scaffe: np=%d iterations=%d batch=%d (%s scaling) variant=%s agg=%s%s "
+              "HR=CB-%d model=%s%s\n",
+              options.np, options.iterations, options.batch,
+              options.scaling == core::Scaling::Strong ? "strong" : "weak",
+              core::variant_name(options.variant),
+              options.aggregation == core::Aggregation::RootUpdate ? "tree" : "allreduce",
+              options.ring ? ",ring" : "", options.chain,
+              options.net_file.empty() ? options.model.c_str() : options.net_file.c_str(),
+              options.shuffle ? " shuffle=on" : "");
+
+  data::ImageDataBackend backend(dataset);
+  std::mutex print_mutex;
+  mpi::Runtime runtime(options.np);
+  runtime.run([&](mpi::Comm& comm) {
+    core::Trainer trainer(comm, backend, dataset.sample_floats(), factory, config);
+    const core::TrainerReport report = trainer.run();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(print_mutex);
+      std::printf("loss: %.4f -> %.4f over %ld iterations (%llu samples)\n",
+                  report.root_losses.front(), report.root_losses.back(), report.iterations,
+                  static_cast<unsigned long long>(report.samples_trained));
+      if (report.snapshots_written > 0) {
+        std::printf("wrote %d snapshot(s) to %s\n", report.snapshots_written,
+                    config.snapshot_path.c_str());
+      }
+    }
+  });
+  return 0;
+}

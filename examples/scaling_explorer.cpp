@@ -1,0 +1,70 @@
+// Interactive what-if tool over the performance model: pick a model, a
+// cluster, a GPU count, a batch, and a co-design variant; get the paper's
+// per-phase iteration breakdown.
+//
+// Usage: ./scaling_explorer [model=googlenet|alexnet|vgg16|cifar10]
+//                           [cluster=a|b] [gpus=64] [batch=1024]
+//                           [variant=scobr|scob|scb] [chain=16]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+#include "util/duration.h"
+
+using namespace scaffe;
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "googlenet";
+  const std::string cluster_name = argc > 2 ? argv[2] : "a";
+  const int gpus = argc > 3 ? std::atoi(argv[3]) : 64;
+  const int batch = argc > 4 ? std::atoi(argv[4]) : 1024;
+  const std::string variant_name = argc > 5 ? argv[5] : "scobr";
+  const int chain = argc > 6 ? std::atoi(argv[6]) : 16;
+
+  core::TrainPerfConfig config;
+  if (model_name == "alexnet") config.model = models::ModelDesc::alexnet();
+  else if (model_name == "vgg16") config.model = models::ModelDesc::vgg16();
+  else if (model_name == "cifar10") config.model = models::ModelDesc::cifar10_quick();
+  else config.model = models::ModelDesc::googlenet();
+  config.cluster =
+      cluster_name == "b" ? net::ClusterSpec::cluster_b() : net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = batch;
+  config.variant = variant_name == "scb"    ? core::Variant::SCB
+                   : variant_name == "scob" ? core::Variant::SCOB
+                                            : core::Variant::SCOBR;
+  config.reduce = core::ReduceAlgo::cb(chain);
+
+  std::printf("%s on %s: %d GPUs, global batch %d, %s + HR %s\n",
+              config.model.name.c_str(), config.cluster.name.c_str(), gpus, batch,
+              core::variant_name(config.variant), config.reduce.label().c_str());
+  std::printf("model: %zu params (%s gradients), %.2f GFLOP fwd / sample\n",
+              config.model.param_count(),
+              util::fmt_bytes(config.model.param_bytes()).c_str(),
+              config.model.fwd_flops_per_sample() / 1e9);
+
+  const auto result = core::simulate_training_iteration(config);
+  if (result.oom) {
+    std::printf("=> OUT OF MEMORY: %d samples/GPU of %s do not fit a 12GB device\n",
+                result.batch_per_gpu, config.model.name.c_str());
+    return 0;
+  }
+  if (result.reader_failed) {
+    std::printf("=> READER FAILURE: the backend cannot serve %d parallel readers\n", gpus);
+    return 0;
+  }
+
+  std::printf("\nper-iteration breakdown (%d samples/GPU):\n", result.batch_per_gpu);
+  std::printf("  propagation (exposed) : %10s\n", util::fmt_time(result.propagation_exposed).c_str());
+  std::printf("  forward               : %10s\n", util::fmt_time(result.forward).c_str());
+  std::printf("  backward              : %10s\n", util::fmt_time(result.backward).c_str());
+  std::printf("  aggregation (exposed) : %10s\n", util::fmt_time(result.aggregation_exposed).c_str());
+  std::printf("  update                : %10s\n", util::fmt_time(result.update).c_str());
+  std::printf("  reader stall          : %10s\n", util::fmt_time(result.reader_stall).c_str());
+  std::printf("  TOTAL                 : %10s  (%.0f samples/s)\n",
+              util::fmt_time(result.total).c_str(), result.samples_per_sec);
+  return 0;
+}

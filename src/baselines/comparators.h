@@ -1,0 +1,33 @@
+// Modelled comparators for Figures 8-10: BVLC Caffe, NVIDIA Caffe, and a
+// CNTK-like MPI allreduce trainer. Each is a thin configuration of the core
+// performance model reflecting the comparator's communication structure:
+//
+//  - Caffe (BVLC): single-process multi-threaded reduction tree, intra-node
+//    only (<= GPUs per node), one LMDB data-reader thread for all solvers,
+//    no computation/communication overlap.
+//  - NVIDIA Caffe: same structure with the optimized P2P tree (GPU-kernel
+//    reductions over CUDA IPC) — the "Nvidia's optimized Caffe" of the
+//    single-node comparison (14%/9% claims).
+//  - CNTK-like: MPI data-parallel with a flat allreduce (reduce+bcast) per
+//    iteration over host-staged transport and CPU reductions, no overlap —
+//    "comparable performance" to S-Caffe at small scale (Figure 10).
+#pragma once
+
+#include <optional>
+
+#include "core/perf_model.h"
+
+namespace scaffe::baselines {
+
+/// BVLC Caffe: nullopt beyond one node (it cannot scale out).
+std::optional<core::IterationBreakdown> simulate_caffe_iteration(
+    const core::TrainPerfConfig& config);
+
+/// NVIDIA's fork: intra-node only, optimized tree.
+std::optional<core::IterationBreakdown> simulate_nvcaffe_iteration(
+    const core::TrainPerfConfig& config);
+
+/// CNTK-like MPI trainer (32-bit SGD: full-precision gradients).
+core::IterationBreakdown simulate_cntk_iteration(const core::TrainPerfConfig& config);
+
+}  // namespace scaffe::baselines

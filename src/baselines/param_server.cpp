@@ -1,0 +1,113 @@
+#include "baselines/param_server.h"
+
+#include <stdexcept>
+
+#include "gpu/kernels.h"
+#include "net/cost_model.h"
+
+namespace scaffe::baselines {
+
+namespace {
+constexpr int kGradTag = 101;
+constexpr int kParamTag = 102;
+}  // namespace
+
+ParamServerSolver::ParamServerSolver(mpi::Comm& comm, dl::NetSpec net_spec,
+                                     dl::SolverConfig solver_config, int max_workers)
+    : comm_(comm), solver_(std::move(net_spec), solver_config) {
+  if (comm.size() < 2 || comm.size() > max_workers) {
+    throw std::runtime_error("ParamServerSolver: supported only for 2.." +
+                             std::to_string(max_workers) + " ranks");
+  }
+  packed_.resize(solver_.net().param_count());
+  scratch_.resize(solver_.net().param_count());
+}
+
+float ParamServerSolver::train_iteration(std::span<const float> data,
+                                         std::span<const float> labels) {
+  dl::Net& net = solver_.net();
+
+  // Parameter distribution: the server pushes current weights to each worker
+  // individually (master-worker, not a collective).
+  if (comm_.rank() == 0) {
+    net.flatten_params(packed_);
+    for (int worker = 1; worker < comm_.size(); ++worker) {
+      comm_.send<float>(packed_, worker, kParamTag);
+    }
+  } else {
+    comm_.recv<float>(std::span<float>(packed_), 0, kParamTag);
+    net.unflatten_params(packed_);
+  }
+
+  const float loss = solver_.step(data, labels);
+
+  // Gradient collection: every worker ships its full gradient to the server,
+  // which folds them in ARRIVAL order (MPI_ANY_SOURCE) — the real
+  // parameter-server pattern, and why PS aggregation is not deterministic
+  // across runs the way the reduction tree is.
+  if (comm_.rank() == 0) {
+    net.flatten_diffs(packed_);
+    for (int worker = 1; worker < comm_.size(); ++worker) {
+      comm_.recv_any<float>(std::span<float>(scratch_), kGradTag);
+      gpu::accumulate(scratch_, packed_);
+    }
+    gpu::scale(1.0f / static_cast<float>(comm_.size()), packed_);
+    net.unflatten_diffs(packed_);
+    solver_.apply_update();
+  } else {
+    net.flatten_diffs(packed_);
+    comm_.send<float>(packed_, 0, kGradTag);
+    solver_.advance_iteration();
+  }
+  return loss;
+}
+
+std::optional<core::IterationBreakdown> simulate_param_server_iteration(
+    const core::TrainPerfConfig& config, int max_gpus) {
+  if (config.gpus < 2 || config.gpus > max_gpus) return std::nullopt;
+
+  const net::CostModel cost(config.cluster);
+  const net::Topology topo(config.cluster, config.gpus);
+  const models::ModelDesc& model = config.model;
+
+  core::IterationBreakdown out;
+  out.batch_per_gpu = config.scaling == core::Scaling::Strong
+                          ? config.global_batch / config.gpus
+                          : config.global_batch;
+  if (out.batch_per_gpu < 1) {
+    out.oom = true;
+    return out;
+  }
+  const int global_batch = out.batch_per_gpu * config.gpus;
+
+  for (const auto& layer : model.layers) {
+    out.forward += cost.gpu_compute(layer.fwd_flops * out.batch_per_gpu, out.batch_per_gpu);
+    out.backward += cost.gpu_compute(layer.bwd_flops * out.batch_per_gpu, out.batch_per_gpu);
+  }
+
+  // Server serialization: (P-1) full-gradient receives + CPU accumulations
+  // inbound, then (P-1) full-parameter sends outbound. Host-staged transfers
+  // (the PS implementations of the era were not CUDA-collective-aware).
+  const std::size_t bytes = model.param_bytes();
+  util::TimeNs inbound = 0;
+  util::TimeNs outbound = 0;
+  for (int worker = 1; worker < config.gpus; ++worker) {
+    const net::Path path = topo.path(worker, 0);
+    inbound += cost.msg_time(bytes, path, net::Staging::HostPipelined) +
+               cost.reduce(bytes, net::ExecSpace::Host);
+    outbound += cost.msg_time(bytes, path, net::Staging::HostPipelined);
+  }
+  out.aggregation_exposed = inbound;
+  out.propagation_exposed = outbound;
+  out.update = cost.kernel_launch() +
+               static_cast<util::TimeNs>(static_cast<double>(bytes) * 4.0 /
+                                   (config.cluster.gpu.mem_bw_gbs * 1e9) * 1e9);
+
+  out.total = out.propagation_exposed + out.forward + out.backward + out.aggregation_exposed +
+              out.update;
+  out.samples_per_sec = static_cast<double>(global_batch) / util::to_sec(out.total);
+  out.training_time_sec = util::to_sec(out.total) * config.iterations;
+  return out;
+}
+
+}  // namespace scaffe::baselines

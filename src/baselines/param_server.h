@@ -1,0 +1,46 @@
+// Parameter-server baseline (the Inspur-Caffe / CNTK-PS design of Table 1).
+//
+// Rank 0 is the server: workers send their packed gradients point-to-point,
+// the server sums them, applies the update, and sends fresh parameters back.
+// This is the design Section 3.1 argues against — the server's NIC and
+// reduction loop serialize over all workers — and its scaling ceiling shows
+// up in both the functional runs and the Figure 10 model.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/perf_model.h"
+#include "dl/solver.h"
+#include "mpi/comm.h"
+
+namespace scaffe::baselines {
+
+/// Functional parameter-server trainer over scmpi (server = rank 0; the
+/// server also trains a shard, matching Inspur-Caffe's deployment).
+class ParamServerSolver {
+ public:
+  /// `max_workers`: the implementation artifact the paper observed —
+  /// Inspur-Caffe "didn't run for less than 2 GPUs and more than 16"; we
+  /// enforce the same envelope so the comparison is honest.
+  ParamServerSolver(mpi::Comm& comm, dl::NetSpec net_spec, dl::SolverConfig solver_config,
+                    int max_workers = 16);
+
+  float train_iteration(std::span<const float> data, std::span<const float> labels);
+
+  dl::SgdSolver& solver() noexcept { return solver_; }
+
+ private:
+  mpi::Comm& comm_;
+  dl::SgdSolver solver_;
+  std::vector<float> packed_;
+  std::vector<float> scratch_;
+};
+
+/// Modelled per-iteration time of the parameter-server design. Returns
+/// nullopt outside its supported range (Figure 10 shows Inspur-Caffe points
+/// only for 2-16 GPUs).
+std::optional<core::IterationBreakdown> simulate_param_server_iteration(
+    const core::TrainPerfConfig& config, int max_gpus = 16);
+
+}  // namespace scaffe::baselines

@@ -1,0 +1,329 @@
+#include "coll/algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scaffe::coll {
+
+namespace detail {
+
+/// Largest tag used anywhere in a schedule (for tag-space composition).
+int max_tag(const Schedule& schedule) {
+  int tag = -1;
+  for (const auto& program : schedule.programs)
+    for (const auto& op : program.ops) tag = std::max(tag, op.tag);
+  return tag;
+}
+
+/// Appends `sub`'s programs into `dst`, mapping sub-rank i to rank_map[i] and
+/// offsetting tags by tag_base. Returns the next free tag.
+int append_subschedule(Schedule& dst, const Schedule& sub, const std::vector<int>& rank_map,
+                       int tag_base) {
+  assert(rank_map.size() == sub.programs.size());
+  for (std::size_t i = 0; i < sub.programs.size(); ++i) {
+    Program& out = dst.programs[static_cast<std::size_t>(rank_map[i])];
+    for (Op op : sub.programs[i].ops) {
+      op.peer = rank_map[static_cast<std::size_t>(op.peer)];
+      op.tag += tag_base;
+      out.ops.push_back(op);
+    }
+  }
+  return tag_base + max_tag(sub) + 1;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_subschedule;
+using detail::max_tag;
+
+int lowest_set_bit(int v) noexcept { return v & -v; }
+
+}  // namespace
+
+const char* level_algo_name(LevelAlgo algo) noexcept {
+  switch (algo) {
+    case LevelAlgo::Chain: return "C";
+    case LevelAlgo::Binomial: return "B";
+  }
+  return "?";
+}
+
+std::string combo_name(LevelAlgo lower, LevelAlgo upper, int chain_size) {
+  return std::string(level_algo_name(lower)) + level_algo_name(upper) + "-" +
+         std::to_string(chain_size);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> partition_chunks(std::size_t count, int parts) {
+  assert(count > 0);
+  const std::size_t n = std::min<std::size_t>(std::max(parts, 1), count);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  chunks.reserve(n);
+  const std::size_t base = count / n;
+  const std::size_t rem = count % n;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t size = base + (i < rem ? 1 : 0);
+    chunks.emplace_back(offset, size);
+    offset += size;
+  }
+  return chunks;
+}
+
+Schedule binomial_reduce(int nranks, int root, std::size_t count) {
+  Schedule schedule;
+  schedule.name = "binomial_reduce";
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+
+  auto actual = [&](int relative) { return (relative + root) % nranks; };
+
+  // Recursive-halving tree on relative ranks: at level `mask`, every active
+  // rank with the `mask` bit set sends its whole working buffer to
+  // (relative - mask) and retires; the receiver folds it in.
+  for (int mask = 1; mask < nranks; mask <<= 1) {
+    for (int relative = mask; relative < nranks; relative += 2 * mask) {
+      if ((relative & (mask - 1)) != 0) continue;  // retired earlier
+      const int src = actual(relative);
+      const int dst = actual(relative - mask);
+      const int tag = relative;  // each relative rank sends at most once
+      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, 0, count);
+      schedule.programs[static_cast<std::size_t>(dst)].recv_reduce(src, tag, 0, count);
+    }
+  }
+  return schedule;
+}
+
+Schedule chain_reduce(int nranks, int root, std::size_t count, int chunks) {
+  Schedule schedule;
+  schedule.name = "chain_reduce";
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1) return schedule;
+
+  auto actual = [&](int position) { return (position + root) % nranks; };
+  const auto parts = partition_chunks(count, chunks);
+
+  // Chunk c flows from the chain's tail (position P-1) towards the root at
+  // position 0; each hop receives, reduces, and forwards. Emitting hops from
+  // the tail inward puts each middle rank's RecvReduce before its Send.
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    const auto [offset, size] = parts[c];
+    for (int position = nranks - 1; position >= 1; --position) {
+      const int src = actual(position);
+      const int dst = actual(position - 1);
+      const int tag = static_cast<int>(c) * nranks + position;
+      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, offset, size);
+      schedule.programs[static_cast<std::size_t>(dst)].recv_reduce(src, tag, offset, size);
+    }
+  }
+  return schedule;
+}
+
+Schedule binomial_bcast(int nranks, int root, std::size_t count) {
+  Schedule schedule;
+  schedule.name = "binomial_bcast";
+  schedule.kind = CollectiveKind::Bcast;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+
+  auto actual = [&](int relative) { return (relative + root) % nranks; };
+
+  // Mirror of the reduce tree: relative rank r receives once from
+  // r - lowbit(r), then feeds children r + m for m descending below lowbit(r).
+  int top = 1;
+  while (top < nranks) top <<= 1;
+
+  for (int relative = 0; relative < nranks; ++relative) {
+    Program& program = schedule.programs[static_cast<std::size_t>(actual(relative))];
+    const int lowbit = relative == 0 ? top : lowest_set_bit(relative);
+    if (relative != 0) {
+      const int parent = relative - lowbit;
+      program.recv(actual(parent), relative, 0, count);
+    }
+    for (int m = lowbit >> 1; m >= 1; m >>= 1) {
+      const int child = relative + m;
+      if (child < nranks) program.send(actual(child), child, 0, count);
+    }
+  }
+  return schedule;
+}
+
+Schedule chain_bcast(int nranks, int root, std::size_t count, int chunks) {
+  Schedule schedule;
+  schedule.name = "chain_bcast";
+  schedule.kind = CollectiveKind::Bcast;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1) return schedule;
+
+  auto actual = [&](int position) { return (position + root) % nranks; };
+  const auto parts = partition_chunks(count, chunks);
+
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    const auto [offset, size] = parts[c];
+    for (int position = 0; position + 1 < nranks; ++position) {
+      const int src = actual(position);
+      const int dst = actual(position + 1);
+      const int tag = static_cast<int>(c) * nranks + position;
+      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, offset, size);
+      schedule.programs[static_cast<std::size_t>(dst)].recv(src, tag, offset, size);
+    }
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Shared two-level composition for reduce (leaders gather) and bcast
+/// (leaders scatter). Lower-level groups are blocks of `chain_size`
+/// consecutive ranks; the group leader is the block's first rank.
+Schedule hierarchical(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                      LevelAlgo upper, int chunks, bool is_reduce) {
+  assert(nranks >= 1);
+  assert(chain_size >= 1);
+  Schedule schedule;
+  schedule.name = std::string(is_reduce ? "hier_reduce_" : "hier_bcast_") +
+                  combo_name(lower, upper, chain_size);
+  schedule.kind = is_reduce ? CollectiveKind::Reduce : CollectiveKind::Bcast;
+  schedule.nranks = nranks;
+  schedule.root = 0;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1) return schedule;
+
+  auto make_flat = [&](LevelAlgo algo, int size) {
+    if (is_reduce) {
+      return algo == LevelAlgo::Chain ? chain_reduce(size, 0, count, chunks)
+                                      : binomial_reduce(size, 0, count);
+    }
+    return algo == LevelAlgo::Chain ? chain_bcast(size, 0, count, chunks)
+                                    : binomial_bcast(size, 0, count);
+  };
+
+  std::vector<int> leaders;
+  std::vector<std::vector<int>> groups;
+  for (int start = 0; start < nranks; start += chain_size) {
+    std::vector<int> group;
+    for (int r = start; r < std::min(start + chain_size, nranks); ++r) group.push_back(r);
+    leaders.push_back(start);
+    groups.push_back(std::move(group));
+  }
+
+  int tag_base = 0;
+  auto append_lower = [&] {
+    for (const auto& group : groups) {
+      if (group.size() < 2) continue;
+      tag_base = append_subschedule(schedule, make_flat(lower, static_cast<int>(group.size())),
+                                    group, tag_base);
+    }
+  };
+  auto append_upper = [&] {
+    if (leaders.size() >= 2) {
+      tag_base = append_subschedule(schedule, make_flat(upper, static_cast<int>(leaders.size())),
+                                    leaders, tag_base);
+    }
+  };
+
+  if (is_reduce) {
+    append_lower();  // groups reduce to leaders...
+    append_upper();  // ...then leaders reduce to rank 0
+  } else {
+    append_upper();  // rank 0 feeds the leaders...
+    append_lower();  // ...then leaders feed their groups
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule hierarchical_reduce(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                             LevelAlgo upper, int chunks) {
+  return hierarchical(nranks, count, chain_size, lower, upper, chunks, /*is_reduce=*/true);
+}
+
+Schedule hierarchical_bcast(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                            LevelAlgo upper, int chunks) {
+  return hierarchical(nranks, count, chain_size, lower, upper, chunks, /*is_reduce=*/false);
+}
+
+Schedule ring_allreduce(int nranks, std::size_t count) {
+  Schedule schedule;
+  schedule.name = "ring_allreduce";
+  schedule.kind = CollectiveKind::Allreduce;
+  schedule.nranks = nranks;
+  schedule.root = 0;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1) return schedule;
+  // One chunk per rank is intrinsic to the ring; for tiny buffers callers
+  // should fall back to reduce+bcast (as real runtimes do).
+  assert(count >= static_cast<std::size_t>(nranks));
+
+  const auto parts = partition_chunks(count, nranks);
+  const int steps = nranks - 1;
+  auto chunk_of = [&](int rank, int step) {
+    // Chunk index rank r works on at reduce-scatter step s.
+    int c = (rank - step) % nranks;
+    if (c < 0) c += nranks;
+    return static_cast<std::size_t>(c) % parts.size();
+  };
+
+  // Phase 1: reduce-scatter. At step s, rank r sends chunk (r - s) to its
+  // right neighbour, which folds it into its copy.
+  for (int step = 0; step < steps; ++step) {
+    for (int rank = 0; rank < nranks; ++rank) {
+      const int right = (rank + 1) % nranks;
+      const auto [offset, size] = parts[chunk_of(rank, step)];
+      schedule.programs[static_cast<std::size_t>(rank)].send(right, step, offset, size);
+    }
+    for (int rank = 0; rank < nranks; ++rank) {
+      const int left = (rank - 1 + nranks) % nranks;
+      const auto [offset, size] = parts[chunk_of(left, step)];
+      schedule.programs[static_cast<std::size_t>(rank)].recv_reduce(left, step, offset, size);
+    }
+  }
+
+  // Phase 2: allgather. Fully-reduced chunk (r + 1) starts at rank r and
+  // circulates; receives overwrite.
+  for (int step = 0; step < steps; ++step) {
+    for (int rank = 0; rank < nranks; ++rank) {
+      const int right = (rank + 1) % nranks;
+      const auto [offset, size] = parts[chunk_of(rank, step - 1)];
+      schedule.programs[static_cast<std::size_t>(rank)].send(right, steps + step, offset, size);
+    }
+    for (int rank = 0; rank < nranks; ++rank) {
+      const int left = (rank - 1 + nranks) % nranks;
+      const auto [offset, size] = parts[chunk_of(left, step - 1)];
+      schedule.programs[static_cast<std::size_t>(rank)].recv(left, steps + step, offset, size);
+    }
+  }
+  return schedule;
+}
+
+Schedule reduce_bcast_allreduce(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                                LevelAlgo upper, int chunks) {
+  Schedule schedule = hierarchical_reduce(nranks, count, chain_size, lower, upper, chunks);
+  schedule.name = "reduce_bcast_allreduce_" + combo_name(lower, upper, chain_size);
+  schedule.kind = CollectiveKind::Allreduce;
+
+  Schedule bcast = hierarchical_bcast(nranks, count, chain_size, lower, upper, chunks);
+  std::vector<int> identity(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) identity[static_cast<std::size_t>(r)] = r;
+  int tag_base = max_tag(schedule) + 1;
+  append_subschedule(schedule, bcast, identity, tag_base);
+  return schedule;
+}
+
+}  // namespace scaffe::coll

@@ -1,0 +1,78 @@
+// Schedule generators for every collective algorithm in the paper.
+//
+// Section 5 terminology:
+//  - Binomial tree reduce:   T(Bin) = log(P) * t(b)
+//  - Chunked chain reduce:   T(CC)  = (n + P - 2) * t(c),  c = b/n
+//  - Hierarchical reduce:    lower-level communicators of `chain_size` ranks
+//    (possibly spanning nodes) reduce to their leader; leaders run an upper
+//    level algorithm to the global root. "CB-8" = lower Chain of 8, upper
+//    Binomial; "CC-4" = chain of chains of 4.
+//
+// All hierarchical schedules assume root == 0 (the S-Caffe root solver) so
+// that lower-level groups are blocks of consecutive ranks, matching the
+// topology's block placement of ranks onto nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+/// Algorithm used at one level of the hierarchy.
+enum class LevelAlgo { Chain, Binomial };
+
+const char* level_algo_name(LevelAlgo algo) noexcept;
+
+/// Splits `count` elements into `parts` contiguous chunks whose sizes differ
+/// by at most one. Returns (offset, count) pairs; parts is clamped to count.
+std::vector<std::pair<std::size_t, std::size_t>> partition_chunks(std::size_t count, int parts);
+
+/// Flat binomial-tree reduce to `root`. log2(P) rounds; whole-buffer messages.
+Schedule binomial_reduce(int nranks, int root, std::size_t count);
+
+/// Flat chunked-chain (pipelined) reduce to `root`: the last rank streams
+/// `chunks` pieces leftward; every intermediate rank receives, reduces, and
+/// forwards. T = (chunks + P - 2) * t(chunk).
+Schedule chain_reduce(int nranks, int root, std::size_t count, int chunks);
+
+/// Flat binomial-tree broadcast from `root`.
+Schedule binomial_bcast(int nranks, int root, std::size_t count);
+
+/// Pipelined chain broadcast from `root` (chunks stream down the chain).
+Schedule chain_bcast(int nranks, int root, std::size_t count, int chunks);
+
+/// Two-level hierarchical reduce to rank 0 (Section 5 / Figure 7): blocks of
+/// `chain_size` consecutive ranks reduce to their leader with `lower`; the
+/// leaders reduce to rank 0 with `upper`. `chunks` is the chain pipelining
+/// depth at either level.
+Schedule hierarchical_reduce(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                             LevelAlgo upper, int chunks);
+
+/// Two-level hierarchical broadcast from rank 0 (mirror of the reduce).
+Schedule hierarchical_bcast(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                            LevelAlgo upper, int chunks);
+
+/// Ring allreduce (reduce-scatter + allgather) — the NCCL-era design the
+/// paper's approach preceded; included as an extension/ablation.
+Schedule ring_allreduce(int nranks, std::size_t count);
+
+/// Reduce-to-root followed by bcast-from-root composed into one schedule —
+/// what S-Caffe's aggregation+propagation amounts to across an iteration.
+Schedule reduce_bcast_allreduce(int nranks, std::size_t count, int chain_size, LevelAlgo lower,
+                                LevelAlgo upper, int chunks);
+
+/// Human-readable name like "CB-8" / "CC-4" used in Figure 11's legend.
+std::string combo_name(LevelAlgo lower, LevelAlgo upper, int chain_size);
+
+namespace detail {
+/// Largest tag used anywhere in a schedule (for tag-space composition).
+int max_tag(const Schedule& schedule);
+/// Appends `sub`'s programs into `dst`, mapping sub-rank i to rank_map[i]
+/// and offsetting tags by tag_base. Returns the next free tag.
+int append_subschedule(Schedule& dst, const Schedule& sub, const std::vector<int>& rank_map,
+                       int tag_base);
+}  // namespace detail
+
+}  // namespace scaffe::coll

@@ -1,0 +1,79 @@
+// Execution policies: how a schedule's messages and reductions are priced.
+//
+// A policy captures the *runtime implementation* the schedule runs inside —
+// the knobs that separate the proposed DL-aware design from MVAPICH2 and
+// OpenMPI in Figures 11/12:
+//   - staging of GPU buffers (GDR / pipelined host / synchronous host),
+//   - where the reduction kernel runs (GPU vs CPU),
+//   - internal segmentation with per-segment software overhead (the
+//     OpenMPI 1.10 GPU path pays a synchronous cuMemcpy per segment).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/cost_model.h"
+#include "util/bytes.h"
+
+namespace scaffe::coll {
+
+struct ExecPolicy {
+  std::string name = "default";
+
+  net::Staging intra = net::Staging::Gdr;
+  net::Staging inter = net::Staging::Gdr;
+
+  /// When set, each message independently picks the cheaper of GDR and
+  /// pipelined host staging for its path — the MVAPICH2-GDR protocol
+  /// selection (GDR for small messages, host pipeline for large).
+  bool auto_staging = false;
+
+  net::ExecSpace reduce_space = net::ExecSpace::Gpu;
+
+  /// When set, each reduction picks the cheaper of GPU-kernel and CPU
+  /// summation for its size — GPU launch overhead makes tiny reductions
+  /// cheaper on the CPU (Section 3.4), large DL buffers belong on the GPU.
+  bool auto_reduce_space = false;
+
+  /// Internal segmentation: 0 disables. Each segment pays
+  /// `per_segment_overhead` on top of its serialization time.
+  std::size_t segment_bytes = 0;
+  util::TimeNs per_segment_overhead = 0;
+
+  /// The proposed DL-aware runtime: GDR/pipelined auto staging, GPU-kernel
+  /// reductions, no pathological segmentation.
+  static ExecPolicy hr_gdr() {
+    ExecPolicy p;
+    p.name = "HR";
+    p.auto_staging = true;
+    p.reduce_space = net::ExecSpace::Gpu;
+    p.auto_reduce_space = true;
+    return p;
+  }
+
+  /// MVAPICH2 2.2RC1 model: CUDA-aware with GDR/GDRCOPY and pipelined host
+  /// staging, but reductions run on the CPU ("MPI runtimes can use the CPU
+  /// to perform such small reductions", Section 3.4).
+  static ExecPolicy mvapich2() {
+    ExecPolicy p;
+    p.name = "MV2";
+    p.auto_staging = true;
+    p.reduce_space = net::ExecSpace::Host;
+    return p;
+  }
+
+  /// OpenMPI v1.10.2 model: synchronous host staging with small internal
+  /// segments, each paying a blocking cuMemcpy round trip; CPU reductions.
+  static ExecPolicy openmpi() {
+    ExecPolicy p;
+    p.name = "OpenMPI";
+    p.intra = net::Staging::HostSync;
+    p.inter = net::Staging::HostSync;
+    p.reduce_space = net::ExecSpace::Host;
+    p.segment_bytes = 4 * util::kKiB;
+    p.per_segment_overhead = 44 * util::kUs;
+    return p;
+  }
+};
+
+}  // namespace scaffe::coll

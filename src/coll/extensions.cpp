@@ -1,0 +1,203 @@
+#include "coll/extensions.h"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+#include "coll/algorithms.h"
+
+namespace scaffe::coll {
+
+namespace {
+
+/// Weight (k^pos) and digit of `value`'s lowest nonzero base-k digit.
+std::pair<int, int> lowest_digit(int value, int radix) {
+  int weight = 1;
+  while (value % (weight * radix) == 0) weight *= radix;
+  return {weight, (value / weight) % radix};
+}
+
+}  // namespace
+
+Schedule knomial_reduce(int nranks, int root, std::size_t count, int radix) {
+  assert(radix >= 2);
+  Schedule schedule;
+  schedule.name = "knomial_reduce_r" + std::to_string(radix);
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+
+  auto actual = [&](int relative) { return (relative + root) % nranks; };
+
+  // Round with weight w: survivors are multiples of w*k; each receives from
+  // its up-to-(k-1) children at r + d*w, which then retire.
+  for (int weight = 1; weight < nranks; weight *= radix) {
+    for (int receiver = 0; receiver < nranks; receiver += weight * radix) {
+      for (int digit = 1; digit < radix; ++digit) {
+        const int sender = receiver + digit * weight;
+        if (sender >= nranks) break;
+        schedule.programs[static_cast<std::size_t>(actual(sender))].send(actual(receiver),
+                                                                         sender, 0, count);
+        schedule.programs[static_cast<std::size_t>(actual(receiver))].recv_reduce(
+            actual(sender), sender, 0, count);
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule knomial_bcast(int nranks, int root, std::size_t count, int radix) {
+  assert(radix >= 2);
+  Schedule schedule;
+  schedule.name = "knomial_bcast_r" + std::to_string(radix);
+  schedule.kind = CollectiveKind::Bcast;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+
+  auto actual = [&](int relative) { return (relative + root) % nranks; };
+
+  int top = 1;
+  while (top < nranks) top *= radix;
+
+  // Mirror of the reduce: rank r hears from its parent at the round of its
+  // lowest nonzero digit, then feeds children at all smaller rounds.
+  for (int relative = 0; relative < nranks; ++relative) {
+    Program& program = schedule.programs[static_cast<std::size_t>(actual(relative))];
+    int weight = top;
+    if (relative != 0) {
+      const auto [w, digit] = lowest_digit(relative, radix);
+      weight = w;
+      program.recv(actual(relative - digit * w), relative, 0, count);
+    }
+    for (int w = weight / radix; w >= 1; w /= radix) {
+      for (int digit = 1; digit < radix; ++digit) {
+        const int child = relative + digit * w;
+        if (child < nranks) program.send(actual(child), child, 0, count);
+      }
+    }
+  }
+  return schedule;
+}
+
+Schedule three_level_reduce(int nranks, std::size_t count, int chain_size, int mid_size,
+                            int chunks) {
+  assert(chain_size >= 1 && mid_size >= 1);
+  Schedule schedule;
+  schedule.name = "three_level_CCB-" + std::to_string(chain_size) + "x" +
+                  std::to_string(mid_size);
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = 0;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1) return schedule;
+
+  // Level 1: chains of chain_size consecutive ranks -> leaders.
+  std::vector<int> leaders;
+  int tag_base = 0;
+  for (int start = 0; start < nranks; start += chain_size) {
+    std::vector<int> group;
+    for (int r = start; r < std::min(start + chain_size, nranks); ++r) group.push_back(r);
+    leaders.push_back(start);
+    if (group.size() >= 2) {
+      tag_base = detail::append_subschedule(
+          schedule, chain_reduce(static_cast<int>(group.size()), 0, count, chunks), group,
+          tag_base);
+    }
+  }
+
+  // Level 2: chains of mid_size leaders -> super-leaders.
+  std::vector<int> super_leaders;
+  for (std::size_t start = 0; start < leaders.size();
+       start += static_cast<std::size_t>(mid_size)) {
+    std::vector<int> group(leaders.begin() + static_cast<std::ptrdiff_t>(start),
+                           leaders.begin() +
+                               static_cast<std::ptrdiff_t>(std::min(
+                                   start + static_cast<std::size_t>(mid_size), leaders.size())));
+    super_leaders.push_back(group.front());
+    if (group.size() >= 2) {
+      tag_base = detail::append_subschedule(
+          schedule, chain_reduce(static_cast<int>(group.size()), 0, count, chunks), group,
+          tag_base);
+    }
+  }
+
+  // Level 3: binomial over the super-leaders to rank 0.
+  if (super_leaders.size() >= 2) {
+    detail::append_subschedule(
+        schedule, binomial_reduce(static_cast<int>(super_leaders.size()), 0, count),
+        super_leaders, tag_base);
+  }
+  return schedule;
+}
+
+Schedule rabenseifner_reduce(int nranks, std::size_t count) {
+  assert(nranks >= 2);
+  assert((nranks & (nranks - 1)) == 0 && "rabenseifner_reduce requires power-of-two ranks");
+  assert(count >= static_cast<std::size_t>(nranks));
+
+  Schedule schedule;
+  schedule.name = "rabenseifner_reduce";
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = 0;
+  schedule.count = count;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+
+  const auto blocks = partition_chunks(count, nranks);
+  // Element range covered by blocks [lo, hi).
+  auto range = [&](int lo, int hi) {
+    const std::size_t offset = blocks[static_cast<std::size_t>(lo)].first;
+    const std::size_t end = blocks[static_cast<std::size_t>(hi - 1)].first +
+                            blocks[static_cast<std::size_t>(hi - 1)].second;
+    return std::pair<std::size_t, std::size_t>(offset, end - offset);
+  };
+
+  int steps = 0;
+  for (int p = 1; p < nranks; p <<= 1) ++steps;
+
+  // Phase 1: recursive-halving reduce-scatter. Each rank's live block window
+  // narrows by half per step; it ships the half it gives up and folds in the
+  // half it keeps. After all steps rank r owns (fully reduced) block r.
+  for (int rank = 0; rank < nranks; ++rank) {
+    Program& program = schedule.programs[static_cast<std::size_t>(rank)];
+    int lo = 0;
+    int hi = nranks;
+    for (int step = 0; step < steps; ++step) {
+      const int distance = nranks >> (step + 1);
+      const int partner = rank ^ distance;
+      const int mid = (lo + hi) / 2;
+      const bool keep_upper = (rank & distance) != 0;
+      const auto [send_off, send_cnt] = keep_upper ? range(lo, mid) : range(mid, hi);
+      const auto [keep_off, keep_cnt] = keep_upper ? range(mid, hi) : range(lo, mid);
+      program.send(partner, step, send_off, send_cnt);
+      program.recv_reduce(partner, step, keep_off, keep_cnt);
+      if (keep_upper) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+
+  // Phase 2: binomial gather of the scattered blocks to rank 0. At level
+  // `mask`, rank r (with the mask bit set) owns blocks [r, r+mask) and ships
+  // them to r - mask; receives overwrite (blocks are final).
+  for (int mask = 1; mask < nranks; mask <<= 1) {
+    for (int sender = mask; sender < nranks; sender += 2 * mask) {
+      if ((sender & (mask - 1)) != 0) continue;
+      const auto [offset, cnt] = range(sender, sender + mask);
+      const int receiver = sender - mask;
+      const int tag = steps + sender;
+      schedule.programs[static_cast<std::size_t>(sender)].send(receiver, tag, offset, cnt);
+      schedule.programs[static_cast<std::size_t>(receiver)].recv(sender, tag, offset, cnt);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace scaffe::coll

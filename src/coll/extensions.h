@@ -1,0 +1,38 @@
+// Extensions beyond the paper's evaluated design:
+//
+//  - k-nomial trees (radix-k generalization of binomial; MVAPICH2's tuned
+//    trees use these),
+//  - the THREE-level hierarchical reduce the paper names as future work:
+//    "chain-of-chain combined with a top level binomial for very large
+//    scale reductions" (Section 5), and
+//  - Rabenseifner-style reduce-scatter + gather reduce, the
+//    bandwidth-optimal tree alternative.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+/// Radix-k tree reduce to `root`. radix=2 is the binomial tree; larger
+/// radices trade more parallel receives per round for fewer rounds.
+Schedule knomial_reduce(int nranks, int root, std::size_t count, int radix);
+
+/// Radix-k tree broadcast from `root`.
+Schedule knomial_bcast(int nranks, int root, std::size_t count, int radix);
+
+/// Three-level reduce to rank 0: chains of `chain_size` ranks reduce to
+/// group leaders; chains of `mid_size` leaders reduce to super-leaders; the
+/// super-leaders run a binomial tree to rank 0. The paper's "chain-of-chain
+/// combined with a top level binomial".
+Schedule three_level_reduce(int nranks, std::size_t count, int chain_size, int mid_size,
+                            int chunks);
+
+/// Rabenseifner reduce: recursive-halving reduce-scatter followed by a
+/// binomial gather of the scattered pieces to the root. Bandwidth ~2b
+/// regardless of P (vs b*log P for the plain tree). Requires nranks to be a
+/// power of two and count >= nranks.
+Schedule rabenseifner_reduce(int nranks, std::size_t count);
+
+}  // namespace scaffe::coll

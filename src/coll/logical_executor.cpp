@@ -1,0 +1,172 @@
+#include "coll/logical_executor.h"
+
+#include <cmath>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace scaffe::coll {
+
+LogicalResult run_logical(const Schedule& schedule,
+                          const std::vector<std::vector<float>>& inputs) {
+  LogicalResult result;
+  if (static_cast<int>(inputs.size()) != schedule.nranks) {
+    result.error = "inputs.size() != nranks";
+    return result;
+  }
+  for (const auto& input : inputs) {
+    if (input.size() != schedule.count) {
+      result.error = "input buffer size mismatch";
+      return result;
+    }
+  }
+
+  result.final_buffers = inputs;
+  std::vector<std::size_t> pc(static_cast<std::size_t>(schedule.nranks), 0);
+  // In-flight messages per (src, dst, tag), FIFO.
+  std::map<std::tuple<int, int, int>, std::deque<std::vector<float>>> in_flight;
+
+  auto done = [&](int rank) {
+    return pc[static_cast<std::size_t>(rank)] >=
+           schedule.programs[static_cast<std::size_t>(rank)].ops.size();
+  };
+
+  bool all_done = false;
+  while (!all_done) {
+    bool progressed = false;
+    all_done = true;
+    for (int rank = 0; rank < schedule.nranks; ++rank) {
+      if (done(rank)) continue;
+      all_done = false;
+      auto& buffer = result.final_buffers[static_cast<std::size_t>(rank)];
+      const Op& op = schedule.programs[static_cast<std::size_t>(rank)]
+                         .ops[pc[static_cast<std::size_t>(rank)]];
+      switch (op.kind) {
+        case OpKind::Send: {
+          std::vector<float> payload(buffer.begin() + static_cast<std::ptrdiff_t>(op.offset),
+                                     buffer.begin() +
+                                         static_cast<std::ptrdiff_t>(op.offset + op.count));
+          in_flight[{rank, op.peer, op.tag}].push_back(std::move(payload));
+          ++pc[static_cast<std::size_t>(rank)];
+          progressed = true;
+          break;
+        }
+        case OpKind::Recv:
+        case OpKind::RecvReduce: {
+          auto it = in_flight.find({op.peer, rank, op.tag});
+          if (it == in_flight.end() || it->second.empty()) break;  // not yet available
+          std::vector<float> payload = std::move(it->second.front());
+          it->second.pop_front();
+          if (payload.size() != op.count) {
+            std::ostringstream err;
+            err << "rank " << rank << ": payload size " << payload.size() << " != op count "
+                << op.count;
+            result.error = err.str();
+            return result;
+          }
+          for (std::size_t i = 0; i < op.count; ++i) {
+            if (op.kind == OpKind::Recv) {
+              buffer[op.offset + i] = payload[i];
+            } else {
+              buffer[op.offset + i] += payload[i];
+            }
+          }
+          ++pc[static_cast<std::size_t>(rank)];
+          progressed = true;
+          break;
+        }
+      }
+    }
+    if (!all_done && !progressed) {
+      std::ostringstream err;
+      err << "deadlock: no rank can progress (";
+      for (int rank = 0; rank < schedule.nranks; ++rank) {
+        if (!done(rank)) err << " r" << rank << "@op" << pc[static_cast<std::size_t>(rank)];
+      }
+      err << " )";
+      result.error = err.str();
+      return result;
+    }
+  }
+
+  // Every sent message must have been consumed.
+  for (const auto& [key, queue] : in_flight) {
+    if (!queue.empty()) {
+      std::ostringstream err;
+      err << "unconsumed message " << std::get<0>(key) << "->" << std::get<1>(key) << " tag "
+          << std::get<2>(key);
+      result.error = err.str();
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+std::string check_semantics(const Schedule& schedule) {
+  if (std::string structural = validate_structure(schedule); !structural.empty()) {
+    return "structural: " + structural;
+  }
+
+  // Rank r's contribution to element e: distinct per rank, exactly summable
+  // in float for the sizes tests use.
+  std::vector<std::vector<float>> inputs(static_cast<std::size_t>(schedule.nranks));
+  for (int rank = 0; rank < schedule.nranks; ++rank) {
+    auto& input = inputs[static_cast<std::size_t>(rank)];
+    input.resize(schedule.count);
+    for (std::size_t e = 0; e < schedule.count; ++e) {
+      input[e] = static_cast<float>(rank + 1) + static_cast<float>(e % 13) * 0.5f;
+    }
+  }
+
+  LogicalResult result = run_logical(schedule, inputs);
+  if (!result.ok) return result.error;
+
+  auto expect_sum = [&](int rank) -> std::string {
+    const auto& buffer = result.final_buffers[static_cast<std::size_t>(rank)];
+    for (std::size_t e = 0; e < schedule.count; ++e) {
+      double expected = 0.0;
+      for (int r = 0; r < schedule.nranks; ++r)
+        expected += inputs[static_cast<std::size_t>(r)][e];
+      if (std::fabs(buffer[e] - expected) > 1e-3 * std::fabs(expected) + 1e-4) {
+        std::ostringstream err;
+        err << "rank " << rank << " element " << e << ": got " << buffer[e] << ", expected sum "
+            << expected;
+        return err.str();
+      }
+    }
+    return {};
+  };
+  auto expect_root_copy = [&](int rank) -> std::string {
+    const auto& buffer = result.final_buffers[static_cast<std::size_t>(rank)];
+    const auto& root = inputs[static_cast<std::size_t>(schedule.root)];
+    for (std::size_t e = 0; e < schedule.count; ++e) {
+      if (buffer[e] != root[e]) {
+        std::ostringstream err;
+        err << "rank " << rank << " element " << e << ": got " << buffer[e]
+            << ", expected root value " << root[e];
+        return err.str();
+      }
+    }
+    return {};
+  };
+
+  switch (schedule.kind) {
+    case CollectiveKind::Reduce:
+      return expect_sum(schedule.root);
+    case CollectiveKind::Bcast:
+      for (int rank = 0; rank < schedule.nranks; ++rank) {
+        if (std::string e = expect_root_copy(rank); !e.empty()) return e;
+      }
+      return {};
+    case CollectiveKind::Allreduce:
+      for (int rank = 0; rank < schedule.nranks; ++rank) {
+        if (std::string e = expect_sum(rank); !e.empty()) return e;
+      }
+      return {};
+  }
+  return "unknown collective kind";
+}
+
+}  // namespace scaffe::coll

@@ -1,0 +1,37 @@
+// Single-threaded logical interpreter for schedules: the correctness oracle.
+//
+// Executes a schedule deterministically against real float buffers without
+// any concurrency, detecting deadlock (no rank can make progress) and
+// producing every rank's final buffer for comparison against the serial
+// reference. Used by tests and by the schedule fuzzer.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+struct LogicalResult {
+  bool ok = false;
+  std::string error;                             // non-empty on deadlock/corruption
+  std::vector<std::vector<float>> final_buffers;  // per-rank working buffers
+};
+
+/// Runs `schedule` with `inputs[rank]` as each rank's initial working buffer.
+/// Sends are eager (buffered); receives block. Ranks are polled round-robin,
+/// so any schedule this executor completes is deadlock-free under in-order
+/// eager message delivery.
+LogicalResult run_logical(const Schedule& schedule,
+                          const std::vector<std::vector<float>>& inputs);
+
+/// Convenience: builds rank inputs where element e of rank r is
+/// `base(r) + slope * e`, runs the schedule, and checks the collective's
+/// postcondition (root holds the elementwise sum for Reduce, everyone holds
+/// root's data for Bcast, everyone holds the sum for Allreduce).
+/// Returns an empty string on success, else a diagnostic.
+std::string check_semantics(const Schedule& schedule);
+
+}  // namespace scaffe::coll

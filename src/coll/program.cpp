@@ -1,0 +1,65 @@
+#include "coll/program.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace scaffe::coll {
+
+std::string validate_structure(const Schedule& schedule) {
+  std::ostringstream err;
+  if (schedule.nranks <= 0) return "nranks must be positive";
+  if (static_cast<int>(schedule.programs.size()) != schedule.nranks)
+    return "programs.size() != nranks";
+  if (schedule.root < 0 || schedule.root >= schedule.nranks) return "root out of range";
+
+  // key: (src, dst, tag) -> count; sends add, receives consume.
+  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> sends;
+  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> recvs;
+
+  for (int rank = 0; rank < schedule.nranks; ++rank) {
+    for (const Op& op : schedule.programs[rank].ops) {
+      if (op.peer < 0 || op.peer >= schedule.nranks) {
+        err << "rank " << rank << ": peer " << op.peer << " out of range";
+        return err.str();
+      }
+      if (op.peer == rank) {
+        err << "rank " << rank << ": self-communication";
+        return err.str();
+      }
+      if (op.count == 0 || op.offset + op.count > schedule.count) {
+        err << "rank " << rank << ": op range [" << op.offset << ", " << op.offset + op.count
+            << ") outside buffer of " << schedule.count;
+        return err.str();
+      }
+      if (op.kind == OpKind::Send) {
+        sends[{rank, op.peer, op.tag}].push_back(op.count);
+      } else {
+        recvs[{op.peer, rank, op.tag}].push_back(op.count);
+      }
+    }
+  }
+
+  if (sends.size() != recvs.size() || sends != recvs) {
+    // Find one mismatch for the diagnostic.
+    for (const auto& [key, counts] : sends) {
+      auto it = recvs.find(key);
+      if (it == recvs.end() || it->second != counts) {
+        err << "unmatched send " << std::get<0>(key) << "->" << std::get<1>(key) << " tag "
+            << std::get<2>(key);
+        return err.str();
+      }
+    }
+    for (const auto& [key, counts] : recvs) {
+      if (sends.find(key) == sends.end()) {
+        err << "unmatched recv " << std::get<0>(key) << "->" << std::get<1>(key) << " tag "
+            << std::get<2>(key);
+        return err.str();
+      }
+    }
+    return "send/recv multiset mismatch";
+  }
+  return {};
+}
+
+}  // namespace scaffe::coll

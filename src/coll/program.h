@@ -1,0 +1,83 @@
+// Collective communication schedules.
+//
+// Every collective algorithm in this repository (binomial tree, chunked
+// chain, hierarchical CB-k / CC-k, ring allreduce, ...) is expressed as a
+// *schedule*: one sequential program of Send / Recv / RecvReduce operations
+// per rank. A schedule is pure data, so the same algorithm is
+//
+//   - checked logically (deadlock-freedom, correct reduction) by
+//     LogicalExecutor,
+//   - executed for real over threads and float buffers by ThreadExecutor
+//     (this is what the scmpi runtime runs), and
+//   - priced on a modelled cluster by SimExecutor (this regenerates the
+//     paper's Figures 11/12 at 160 ranks).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scaffe::coll {
+
+enum class OpKind {
+  Send,        // send my working buffer [offset, offset+count) to peer
+  Recv,        // receive into [offset, offset+count), overwriting
+  RecvReduce,  // receive and elementwise-add into [offset, offset+count)
+};
+
+/// One step of one rank's program. `count` is in float elements.
+struct Op {
+  OpKind kind;
+  int peer = -1;
+  int tag = 0;
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
+/// The full sequential program a rank executes.
+struct Program {
+  std::vector<Op> ops;
+
+  void send(int peer, int tag, std::size_t offset, std::size_t count) {
+    ops.push_back({OpKind::Send, peer, tag, offset, count});
+  }
+  void recv(int peer, int tag, std::size_t offset, std::size_t count) {
+    ops.push_back({OpKind::Recv, peer, tag, offset, count});
+  }
+  void recv_reduce(int peer, int tag, std::size_t offset, std::size_t count) {
+    ops.push_back({OpKind::RecvReduce, peer, tag, offset, count});
+  }
+};
+
+/// What the schedule computes; determines which ranks the validator checks.
+enum class CollectiveKind { Reduce, Bcast, Allreduce };
+
+struct Schedule {
+  std::string name;
+  CollectiveKind kind = CollectiveKind::Reduce;
+  int nranks = 0;
+  int root = 0;
+  std::size_t count = 0;  // total elements in the user buffer
+
+  std::vector<Program> programs;  // size == nranks
+
+  std::size_t total_ops() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : programs) n += p.ops.size();
+    return n;
+  }
+  std::size_t total_bytes_sent() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : programs)
+      for (const auto& op : p.ops)
+        if (op.kind == OpKind::Send) n += op.count * sizeof(float);
+    return n;
+  }
+};
+
+/// Structural checks: peers in range, offsets within buffer, every Send has
+/// exactly one matching Recv/RecvReduce with identical (tag, count), and no
+/// self-sends. Returns an empty string when valid, else a diagnostic.
+std::string validate_structure(const Schedule& schedule);
+
+}  // namespace scaffe::coll

@@ -1,0 +1,167 @@
+#include "coll/sim_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/topology.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace scaffe::coll {
+
+namespace {
+
+using net::CostModel;
+using net::Path;
+using net::Staging;
+using sim::Engine;
+using sim::Task;
+using util::TimeNs;
+
+struct Msg {
+  int tag;
+  std::size_t count;
+  TimeNs arrival;
+};
+
+struct SimContext {
+  const Schedule& schedule;
+  const CostModel& cost;
+  const ExecPolicy& policy;
+  net::Topology topo;
+  Engine& engine;
+  std::vector<std::unique_ptr<sim::Channel<Msg>>> channels;  // dense (src,dst)
+  std::vector<std::unique_ptr<sim::Resource>> node_nic;      // per node, cap 1
+  std::vector<std::unique_ptr<sim::Resource>> node_pcie;     // per node, cap K
+  std::vector<TimeNs> rank_finish;
+  bool capture_trace = false;
+  std::vector<TraceEvent> trace;
+
+  sim::Channel<Msg>& channel(int src, int dst) {
+    return *channels[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(schedule.nranks) +
+                     static_cast<std::size_t>(dst)];
+  }
+};
+
+Task rank_process(SimContext& ctx, int rank) {
+  Engine& engine = ctx.engine;
+  const CostModel& cost = ctx.cost;
+  for (const Op& op : ctx.schedule.programs[static_cast<std::size_t>(rank)].ops) {
+    const std::size_t bytes = op.count * sizeof(float);
+    const TimeNs op_start = engine.now();
+    (void)op_start;
+    switch (op.kind) {
+      case OpKind::Send: {
+        const Path path = ctx.topo.path(rank, op.peer);
+        const Staging staging = resolve_staging(ctx.policy, cost, path, bytes);
+        const int node = ctx.topo.node_of(rank);
+        sim::Resource& shared =
+            path == Path::InterNode ? *ctx.node_nic[static_cast<std::size_t>(node)]
+                                    : *ctx.node_pcie[static_cast<std::size_t>(node)];
+        co_await shared.acquire();
+        const TimeNs busy_start = engine.now();  // link actually acquired
+        const TimeNs busy = policy_sender_busy(ctx.policy, cost, path, staging, bytes);
+        co_await engine.delay(busy);
+        shared.release();
+        ctx.channel(rank, op.peer)
+            .send(Msg{op.tag, op.count, engine.now() + cost.delivery_latency(path, staging)});
+        if (ctx.capture_trace) {
+          // Send events record the link-busy window, not the queueing wait.
+          ctx.trace.push_back(
+              TraceEvent{rank, op.kind, op.peer, bytes, busy_start, engine.now()});
+        }
+        break;
+      }
+      case OpKind::Recv:
+      case OpKind::RecvReduce: {
+        Msg msg = co_await ctx.channel(op.peer, rank).recv();
+        if (msg.tag != op.tag || msg.count != op.count) {
+          std::ostringstream err;
+          err << "simulate_schedule: rank " << rank << " expected tag " << op.tag
+              << " count " << op.count << " from " << op.peer << ", got tag " << msg.tag
+              << " count " << msg.count;
+          throw std::runtime_error(err.str());
+        }
+        if (msg.arrival > engine.now()) co_await engine.delay(msg.arrival - engine.now());
+        if (op.kind == OpKind::RecvReduce) {
+          co_await engine.delay(
+              cost.reduce(bytes, resolve_reduce_space(ctx.policy, cost, bytes)));
+        }
+        if (ctx.capture_trace) {
+          ctx.trace.push_back(
+              TraceEvent{rank, op.kind, op.peer, bytes, op_start, engine.now()});
+        }
+        break;
+      }
+    }
+  }
+  ctx.rank_finish[static_cast<std::size_t>(rank)] = engine.now();
+}
+
+}  // namespace
+
+Staging resolve_staging(const ExecPolicy& policy, const CostModel& cost, Path path,
+                        std::size_t bytes) {
+  if (!policy.auto_staging) {
+    return path == Path::InterNode ? policy.inter : policy.intra;
+  }
+  const TimeNs gdr = cost.msg_time(bytes, path, Staging::Gdr);
+  const TimeNs piped = cost.msg_time(bytes, path, Staging::HostPipelined);
+  return gdr <= piped ? Staging::Gdr : Staging::HostPipelined;
+}
+
+net::ExecSpace resolve_reduce_space(const ExecPolicy& policy, const CostModel& cost,
+                                    std::size_t bytes) {
+  if (!policy.auto_reduce_space) return policy.reduce_space;
+  return cost.reduce(bytes, net::ExecSpace::Gpu) <= cost.reduce(bytes, net::ExecSpace::Host)
+             ? net::ExecSpace::Gpu
+             : net::ExecSpace::Host;
+}
+
+TimeNs policy_sender_busy(const ExecPolicy& policy, const CostModel& cost, Path path,
+                          Staging staging, std::size_t bytes) {
+  TimeNs busy = cost.sender_busy(bytes, path, staging);
+  if (policy.segment_bytes > 0 && bytes > 0) {
+    const std::size_t segments =
+        (bytes + policy.segment_bytes - 1) / policy.segment_bytes;
+    busy += static_cast<TimeNs>(segments) * policy.per_segment_overhead;
+  }
+  return busy;
+}
+
+SimResult simulate_schedule(const Schedule& schedule, const net::ClusterSpec& cluster,
+                            const ExecPolicy& policy, bool capture_trace) {
+  Engine engine;
+  CostModel cost(cluster);
+  SimContext ctx{schedule, cost, policy, net::Topology(cluster, schedule.nranks), engine,
+                 {},       {},   {},     {},  capture_trace, {}};
+
+  const auto nranks = static_cast<std::size_t>(schedule.nranks);
+  ctx.channels.resize(nranks * nranks);
+  for (auto& channel : ctx.channels) channel = std::make_unique<sim::Channel<Msg>>(engine);
+
+  const auto nodes = static_cast<std::size_t>(ctx.topo.nodes_used());
+  for (std::size_t n = 0; n < nodes; ++n) {
+    ctx.node_nic.push_back(std::make_unique<sim::Resource>(engine, 1));
+    ctx.node_pcie.push_back(
+        std::make_unique<sim::Resource>(engine, cluster.pcie_concurrency));
+  }
+  ctx.rank_finish.assign(nranks, 0);
+
+  for (int rank = 0; rank < schedule.nranks; ++rank) engine.spawn(rank_process(ctx, rank));
+  engine.run();
+
+  SimResult result;
+  result.rank_finish = std::move(ctx.rank_finish);
+  result.root_finish = result.rank_finish[static_cast<std::size_t>(schedule.root)];
+  for (TimeNs t : result.rank_finish) result.total = std::max(result.total, t);
+  result.events = engine.events_processed();
+  result.trace = std::move(ctx.trace);
+  return result;
+}
+
+}  // namespace scaffe::coll

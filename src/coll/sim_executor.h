@@ -1,0 +1,55 @@
+// Discrete-event executor: prices a schedule on a modelled cluster.
+//
+// Every rank becomes a coroutine over sim::Engine; messages occupy shared
+// per-node resources (PCIe switch domains for intra-node transfers, the HCA
+// for inter-node sends), so flat algorithms at 160 ranks experience the NIC
+// contention that motivates the hierarchical design, while one-leader-per-
+// node upper levels do not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coll/exec_policy.h"
+#include "coll/program.h"
+#include "net/cluster.h"
+#include "util/duration.h"
+
+namespace scaffe::coll {
+
+/// One executed op, for timeline analysis (captured on request).
+struct TraceEvent {
+  int rank = 0;
+  OpKind kind = OpKind::Send;
+  int peer = 0;
+  std::size_t bytes = 0;
+  util::TimeNs start = 0;  // op issue time (for receives: wait start)
+  util::TimeNs end = 0;    // completion (reduce done / send injected)
+};
+
+struct SimResult {
+  util::TimeNs total = 0;                  // completion time of the last rank
+  util::TimeNs root_finish = 0;            // completion time of the root rank
+  std::vector<util::TimeNs> rank_finish;   // per-rank completion times
+  std::uint64_t events = 0;                // DES events processed
+  std::vector<TraceEvent> trace;           // per-op timeline (when requested)
+};
+
+/// Simulates `schedule` on `cluster` under `policy`. Deterministic.
+/// `capture_trace` additionally records every op's (start, end) interval.
+SimResult simulate_schedule(const Schedule& schedule, const net::ClusterSpec& cluster,
+                            const ExecPolicy& policy, bool capture_trace = false);
+
+/// Resolves the staging a policy uses for one message on one path.
+net::Staging resolve_staging(const ExecPolicy& policy, const net::CostModel& cost,
+                             net::Path path, std::size_t bytes);
+
+/// Reduction space a policy uses for one payload size.
+net::ExecSpace resolve_reduce_space(const ExecPolicy& policy, const net::CostModel& cost,
+                                    std::size_t bytes);
+
+/// Sender-occupancy time including policy segmentation overheads.
+util::TimeNs policy_sender_busy(const ExecPolicy& policy, const net::CostModel& cost,
+                                net::Path path, net::Staging staging, std::size_t bytes);
+
+}  // namespace scaffe::coll

@@ -1,0 +1,121 @@
+#include "coll/thread_executor.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "gpu/kernels.h"
+
+namespace scaffe::coll {
+
+namespace {
+
+struct Message {
+  int tag;
+  std::vector<float> payload;
+};
+
+/// FIFO mailbox for one (src, dst) pair.
+class Mailbox {
+ public:
+  void push(Message message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+  }
+
+  Message pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    Message message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace
+
+void run_threaded(const Schedule& schedule, std::vector<std::span<float>> buffers) {
+  const int nranks = schedule.nranks;
+  if (static_cast<int>(buffers.size()) != nranks) {
+    throw std::runtime_error("run_threaded: buffers.size() != nranks");
+  }
+  for (const auto& buffer : buffers) {
+    if (buffer.size() != schedule.count) {
+      throw std::runtime_error("run_threaded: buffer size mismatch");
+    }
+  }
+
+  // Dense (src, dst) mailbox matrix. P is small in functional runs.
+  std::vector<std::unique_ptr<Mailbox>> mailboxes(
+      static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+  for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
+  auto box = [&](int src, int dst) -> Mailbox& {
+    return *mailboxes[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks) +
+                      static_cast<std::size_t>(dst)];
+  };
+
+  std::mutex error_mutex;
+  std::string first_error;
+  auto record_error = [&](const std::string& error) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.empty()) first_error = error;
+  };
+
+  auto rank_body = [&](int rank) {
+    std::span<float> buffer = buffers[static_cast<std::size_t>(rank)];
+    for (const Op& op : schedule.programs[static_cast<std::size_t>(rank)].ops) {
+      switch (op.kind) {
+        case OpKind::Send: {
+          Message message;
+          message.tag = op.tag;
+          message.payload.assign(buffer.begin() + static_cast<std::ptrdiff_t>(op.offset),
+                                 buffer.begin() +
+                                     static_cast<std::ptrdiff_t>(op.offset + op.count));
+          box(rank, op.peer).push(std::move(message));
+          break;
+        }
+        case OpKind::Recv:
+        case OpKind::RecvReduce: {
+          Message message = box(op.peer, rank).pop();
+          if (message.tag != op.tag || message.payload.size() != op.count) {
+            std::ostringstream err;
+            err << "rank " << rank << ": expected tag " << op.tag << "/" << op.count
+                << " from " << op.peer << ", got tag " << message.tag << "/"
+                << message.payload.size();
+            record_error(err.str());
+            return;
+          }
+          std::span<float> region = buffer.subspan(op.offset, op.count);
+          if (op.kind == OpKind::Recv) {
+            gpu::copy(message.payload, region);
+          } else {
+            gpu::accumulate(message.payload, region);
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int rank = 0; rank < nranks; ++rank) threads.emplace_back(rank_body, rank);
+  for (auto& thread : threads) thread.join();
+
+  if (!first_error.empty()) throw std::runtime_error("run_threaded: " + first_error);
+}
+
+}  // namespace scaffe::coll

@@ -1,0 +1,20 @@
+// Concurrent schedule executor: one thread per rank, real float buffers.
+//
+// This is the engine the scmpi runtime uses for its collectives. Message
+// passing goes through per-(src,dst) FIFO mailboxes with tag checking;
+// RecvReduce folds payloads with the gpu::accumulate kernel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+/// Executes `schedule` with each rank working in-place on `buffers[rank]`
+/// (span of schedule.count floats). Blocks until all ranks finish.
+/// Throws std::runtime_error on tag mismatch or size corruption.
+void run_threaded(const Schedule& schedule, std::vector<std::span<float>> buffers);
+
+}  // namespace scaffe::coll

@@ -1,0 +1,137 @@
+#include "coll/tuner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "coll/sim_executor.h"
+
+namespace scaffe::coll {
+
+namespace {
+
+int adaptive_chunks(std::size_t count) {
+  const std::size_t bytes = count * sizeof(float);
+  const std::size_t per_half_mib = bytes / (512 * util::kKiB);
+  return static_cast<int>(std::clamp<std::size_t>(per_half_mib, 8, 64));
+}
+
+}  // namespace
+
+Schedule Candidate::make_reduce(int nranks, std::size_t count) const {
+  const int n = chunks > 0 ? chunks : adaptive_chunks(count);
+  if (flat_binomial) return binomial_reduce(nranks, 0, count);
+  if (flat_chain) return chain_reduce(nranks, 0, count, n);
+  return hierarchical_reduce(nranks, count, chain_size, lower, upper, n);
+}
+
+Candidate Candidate::binomial() {
+  Candidate c;
+  c.name = "Bin";
+  c.flat_binomial = true;
+  return c;
+}
+
+Candidate Candidate::flat_chain_cand() {
+  Candidate c;
+  c.name = "Chain";
+  c.flat_chain = true;
+  return c;
+}
+
+Candidate Candidate::hier(LevelAlgo lower, LevelAlgo upper, int chain_size) {
+  Candidate c;
+  c.name = combo_name(lower, upper, chain_size);
+  c.lower = lower;
+  c.upper = upper;
+  c.chain_size = chain_size;
+  return c;
+}
+
+std::vector<Candidate> default_candidates() {
+  std::vector<Candidate> candidates;
+  candidates.push_back(Candidate::binomial());
+  candidates.push_back(Candidate::flat_chain_cand());
+  for (int k : {4, 8, 16}) {
+    candidates.push_back(Candidate::hier(LevelAlgo::Chain, LevelAlgo::Binomial, k));
+    candidates.push_back(Candidate::hier(LevelAlgo::Chain, LevelAlgo::Chain, k));
+  }
+  return candidates;
+}
+
+std::vector<std::size_t> default_size_grid() {
+  std::vector<std::size_t> grid;
+  for (std::size_t bytes = 4; bytes <= 256 * util::kMiB; bytes *= 4) grid.push_back(bytes);
+  return grid;
+}
+
+const Candidate& TuningTable::choose(std::size_t bytes) const {
+  assert(!entries_.empty());
+  for (const auto& entry : entries_) {
+    if (bytes <= entry.max_bytes) return entry.choice;
+  }
+  return entries_.back().choice;
+}
+
+TuningTable hr_tune(const net::ClusterSpec& cluster, int nranks, const ExecPolicy& policy,
+                    std::vector<Candidate> candidates, std::vector<std::size_t> grid_bytes) {
+  assert(!candidates.empty());
+  assert(!grid_bytes.empty());
+  std::sort(grid_bytes.begin(), grid_bytes.end());
+
+  TuningTable table;
+  for (std::size_t gi = 0; gi < grid_bytes.size(); ++gi) {
+    const std::size_t bytes = grid_bytes[gi];
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+
+    util::TimeNs best = std::numeric_limits<util::TimeNs>::max();
+    const Candidate* winner = nullptr;
+    for (const Candidate& candidate : candidates) {
+      if (!candidate.flat_binomial && !candidate.flat_chain &&
+          candidate.chain_size >= nranks) {
+        continue;  // degenerate hierarchy: a single group
+      }
+      const Schedule schedule = candidate.make_reduce(nranks, count);
+      const SimResult result = simulate_schedule(schedule, cluster, policy);
+      if (result.root_finish < best) {
+        best = result.root_finish;
+        winner = &candidate;
+      }
+    }
+    assert(winner != nullptr);
+
+    // Range boundary: geometric midpoint to the next grid size (open-ended
+    // for the last entry).
+    std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
+    if (gi + 1 < grid_bytes.size()) {
+      const double mid = std::sqrt(static_cast<double>(bytes) *
+                                   static_cast<double>(grid_bytes[gi + 1]));
+      max_bytes = static_cast<std::size_t>(mid);
+    }
+
+    // Merge adjacent ranges won by the same candidate.
+    if (!table.entries().empty() && table.entries().back().choice.name == winner->name) {
+      TuningTable merged;
+      for (std::size_t i = 0; i + 1 < table.entries().size(); ++i)
+        merged.add(table.entries()[i]);
+      TuningEntry last = table.entries().back();
+      last.max_bytes = max_bytes;
+      last.measured = best;
+      merged.add(last);
+      table = std::move(merged);
+    } else {
+      table.add(TuningEntry{max_bytes, *winner, best});
+    }
+  }
+  return table;
+}
+
+Schedule hr_tuned_reduce(const TuningTable& table, int nranks, std::size_t count) {
+  const Candidate& choice = table.choose(count * sizeof(float));
+  Schedule schedule = choice.make_reduce(nranks, count);
+  schedule.name = "HR(Tuned:" + choice.name + ")";
+  return schedule;
+}
+
+}  // namespace scaffe::coll

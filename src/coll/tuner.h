@@ -1,0 +1,73 @@
+// HR tuning infrastructure (Section 5, "HR (Tuned)").
+//
+// The paper: "we experimentally determine the ideal P and b for each of the
+// cases and then apply the aforementioned two-level communicator design".
+// hr_tune() sweeps a candidate set (flat binomial, CB-k, CC-k for several
+// chain sizes) over a message-size grid on the modelled cluster, and records
+// the fastest candidate per size range. hr_tuned_reduce() then instantiates
+// the winning schedule for any message size — that is the "HR (Tuned)" line
+// in Figure 11.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/exec_policy.h"
+#include "net/cluster.h"
+#include "util/duration.h"
+
+namespace scaffe::coll {
+
+/// One tunable algorithm configuration.
+struct Candidate {
+  std::string name;
+  bool flat_binomial = false;
+  bool flat_chain = false;
+  int chain_size = 8;
+  LevelAlgo lower = LevelAlgo::Chain;
+  LevelAlgo upper = LevelAlgo::Binomial;
+  int chunks = 0;  // 0 = adaptive: ~1 chunk per 512 KiB, clamped to [8, 64]
+
+  Schedule make_reduce(int nranks, std::size_t count) const;
+
+  static Candidate binomial();
+  static Candidate flat_chain_cand();
+  static Candidate hier(LevelAlgo lower, LevelAlgo upper, int chain_size);
+};
+
+/// The default sweep set: Bin, C, CB-{4,8,16}, CC-{4,8,16}.
+std::vector<Candidate> default_candidates();
+
+/// Size-ranged winner table (ascending max_bytes; last entry is open-ended).
+struct TuningEntry {
+  std::size_t max_bytes;
+  Candidate choice;
+  util::TimeNs measured;  // simulated latency at the grid point that chose it
+};
+
+class TuningTable {
+ public:
+  void add(TuningEntry entry) { entries_.push_back(std::move(entry)); }
+  const Candidate& choose(std::size_t bytes) const;
+  const std::vector<TuningEntry>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<TuningEntry> entries_;
+};
+
+/// Default geometric message-size grid, 4 B .. 256 MiB.
+std::vector<std::size_t> default_size_grid();
+
+/// Sweeps candidates over the grid on `cluster` with `nranks` under `policy`
+/// and returns the per-size-range winners.
+TuningTable hr_tune(const net::ClusterSpec& cluster, int nranks, const ExecPolicy& policy,
+                    std::vector<Candidate> candidates = default_candidates(),
+                    std::vector<std::size_t> grid_bytes = default_size_grid());
+
+/// Instantiates the tuned reduce schedule for a message of `count` floats.
+Schedule hr_tuned_reduce(const TuningTable& table, int nranks, std::size_t count);
+
+}  // namespace scaffe::coll

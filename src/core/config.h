@@ -1,0 +1,70 @@
+// S-Caffe runtime configuration: which co-design variant runs and how the
+// DL-aware reduction is configured (Sections 4 and 5).
+#pragma once
+
+#include <string>
+
+#include "coll/algorithms.h"
+
+namespace scaffe::core {
+
+/// The co-design ladder evaluated in Section 6.6.
+enum class Variant {
+  SCB,    // SC-B:   blocking CUDA-aware bcast + reduce around the F/B passes
+  SCOB,   // SC-OB:  multi-stage per-layer Ibcast overlapped with Forward
+  SCOBR,  // SC-OBR: SC-OB + helper-thread per-layer overlapped aggregation
+};
+
+const char* variant_name(Variant variant) noexcept;
+
+/// How gradient reductions are scheduled.
+struct ReduceAlgo {
+  bool hierarchical = false;  // false: flat binomial (the stock runtime)
+  int chain_size = 8;         // lower-communicator size ("-8" in CB-8)
+  coll::LevelAlgo lower = coll::LevelAlgo::Chain;
+  coll::LevelAlgo upper = coll::LevelAlgo::Binomial;
+  int chunks = 16;            // chain pipelining depth
+
+  std::string label() const {
+    if (!hierarchical) return "Bin";
+    return coll::combo_name(lower, upper, chain_size);
+  }
+
+  static ReduceAlgo binomial() { return {}; }
+  static ReduceAlgo hr(coll::LevelAlgo lower, coll::LevelAlgo upper, int chain_size,
+                       int chunks = 16) {
+    ReduceAlgo algo;
+    algo.hierarchical = true;
+    algo.lower = lower;
+    algo.upper = upper;
+    algo.chain_size = chain_size;
+    algo.chunks = chunks;
+    return algo;
+  }
+  static ReduceAlgo cb(int chain_size) {
+    return hr(coll::LevelAlgo::Chain, coll::LevelAlgo::Binomial, chain_size);
+  }
+  static ReduceAlgo cc(int chain_size) {
+    return hr(coll::LevelAlgo::Chain, coll::LevelAlgo::Chain, chain_size);
+  }
+};
+
+/// How gradients reach the optimizer.
+enum class Aggregation {
+  RootUpdate,    // the paper's reduction tree: root reduces, updates, and
+                 // re-broadcasts parameters at the next iteration
+  AllreduceSgd,  // every rank allreduces gradients and applies the update
+                 // locally (the NCCL/Horovod-era successor; an extension)
+};
+
+enum class Scaling { Strong, Weak };  // the -scal command line option
+
+struct ScaffeConfig {
+  Variant variant = Variant::SCOBR;
+  ReduceAlgo reduce = ReduceAlgo::cb(8);
+  Aggregation aggregation = Aggregation::RootUpdate;
+  bool ring_allreduce = false;  // AllreduceSgd: use the ring schedule
+  Scaling scaling = Scaling::Strong;
+};
+
+}  // namespace scaffe::core

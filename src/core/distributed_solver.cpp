@@ -1,0 +1,201 @@
+#include "core/distributed_solver.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/hr_factory.h"
+#include "gpu/kernels.h"
+
+#include "coll/algorithms.h"
+
+namespace scaffe::core {
+
+const char* variant_name(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::SCB: return "SC-B";
+    case Variant::SCOB: return "SC-OB";
+    case Variant::SCOBR: return "SC-OBR";
+  }
+  return "?";
+}
+
+DistributedSolver::DistributedSolver(mpi::Comm& comm, dl::NetSpec net_spec,
+                                     dl::SolverConfig solver_config, ScaffeConfig config,
+                                     gpu::Device* device)
+    : comm_(comm), config_(config), solver_(std::move(net_spec), solver_config, device) {
+  packed_.resize(solver_.net().param_count());
+  comm_.set_reduce_factory(make_reduce_factory(config_.reduce));
+  comm_.set_bcast_factory(make_bcast_factory());
+  if (config_.aggregation == Aggregation::AllreduceSgd && config_.ring_allreduce) {
+    comm_.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+      // Tiny buffers fall back to reduce+bcast inside coll; the ring needs
+      // at least one element per rank.
+      return coll::ring_allreduce(nranks, count);
+    });
+  }
+}
+
+void DistributedSolver::load_batch(std::span<const float> data, std::span<const float> labels) {
+  dl::Net& net = solver_.net();
+  dl::Blob& data_blob = net.blob("data");
+  dl::Blob& label_blob = net.blob("label");
+  if (data.size() != data_blob.count() || labels.size() != label_blob.count()) {
+    throw std::runtime_error("DistributedSolver: shard batch size mismatch");
+  }
+  std::copy(data.begin(), data.end(), data_blob.data().begin());
+  std::copy(labels.begin(), labels.end(), label_blob.data().begin());
+}
+
+void DistributedSolver::propagate_blocking() {
+  dl::Net& net = solver_.net();
+  if (is_root()) net.flatten_params(packed_);
+  comm_.bcast(std::span<float>(packed_), 0);
+  if (!is_root()) net.unflatten_params(packed_);
+}
+
+float DistributedSolver::forward_backward_blocking() {
+  const float loss = solver_.step_preloaded();
+  return loss;
+}
+
+float DistributedSolver::forward_with_overlapped_propagation(
+    std::vector<mpi::Request>& requests) {
+  dl::Net& net = solver_.net();
+  const auto& ranges = net.layer_param_ranges();
+  net.set_iteration(solver_.iteration());
+  net.zero_param_diffs();
+
+  float loss = 0.0f;
+  for (std::size_t li = 0; li < net.num_layers(); ++li) {
+    // Figure 5: the Wait for layer li's parameters sits immediately before
+    // layer li's forward pass, so later layers' broadcasts keep progressing.
+    if (requests[li].valid()) {
+      requests[li].wait();
+      const auto [offset, count] = ranges[li];
+      if (!is_root()) {
+        net.unflatten_layer_params(li, std::span<const float>(packed_).subspan(offset, count));
+      }
+    }
+    loss += net.forward_layer(li);
+  }
+  return loss;
+}
+
+void DistributedSolver::aggregate_blocking() {
+  dl::Net& net = solver_.net();
+  net.flatten_diffs(packed_);
+  comm_.reduce(std::span<float>(packed_), 0);
+  if (is_root()) net.unflatten_diffs(packed_);
+}
+
+void DistributedSolver::aggregate_overlapped() {
+  dl::Net& net = solver_.net();
+  const auto& ranges = net.layer_param_ranges();
+  const std::size_t num_layers = net.num_layers();
+
+  // Helper control thread (Section 4.3): it owns the backward passes; the
+  // main thread issues the per-layer reductions as layers complete, so the
+  // reduction of layer n overlaps the computation of layer n-1.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<bool> done(num_layers, false);
+
+  std::thread helper([&] {
+    for (std::size_t li = num_layers; li-- > 0;) {
+      net.backward_layer(li);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        done[li] = true;
+      }
+      cv.notify_all();
+    }
+  });
+
+  for (std::size_t li = num_layers; li-- > 0;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return done[li]; });
+    }
+    const auto [offset, count] = ranges[li];
+    if (count == 0) continue;
+    std::span<float> segment = std::span<float>(packed_).subspan(offset, count);
+    net.flatten_layer_diffs(li, segment);
+    comm_.reduce(segment, 0);
+    if (is_root()) net.unflatten_layer_diffs(li, segment);
+  }
+  helper.join();
+}
+
+void DistributedSolver::root_update() {
+  if (is_root()) {
+    // Gradients were summed across P shards of the global batch; averaging
+    // restores exactly the full-batch gradient.
+    solver_.net().scale_diffs(1.0f / static_cast<float>(comm_.size()));
+    solver_.apply_update();
+  } else {
+    solver_.advance_iteration();
+  }
+}
+
+IterationResult DistributedSolver::train_iteration(std::span<const float> data,
+                                                   std::span<const float> labels) {
+  dl::Net& net = solver_.net();
+  IterationResult result;
+  result.iteration = solver_.iteration();
+
+  if (config_.aggregation == Aggregation::AllreduceSgd) {
+    // No propagation phase: every replica already holds the parameters and
+    // applies the identical averaged update, so they never diverge.
+    load_batch(data, labels);
+    result.local_loss = solver_.step_preloaded();
+    net.flatten_diffs(packed_);
+    if (config_.ring_allreduce &&
+        packed_.size() >= static_cast<std::size_t>(comm_.size())) {
+      comm_.allreduce(std::span<float>(packed_));
+    } else {
+      comm_.reduce(std::span<float>(packed_), 0);
+      comm_.bcast(std::span<float>(packed_), 0);
+    }
+    gpu::scale(1.0f / static_cast<float>(comm_.size()), packed_);
+    net.unflatten_diffs(packed_);
+    solver_.apply_update();
+    return result;
+  }
+
+  switch (config_.variant) {
+    case Variant::SCB: {
+      propagate_blocking();
+      load_batch(data, labels);
+      result.local_loss = forward_backward_blocking();
+      aggregate_blocking();
+      break;
+    }
+    case Variant::SCOB:
+    case Variant::SCOBR: {
+      // Post every per-layer Ibcast before any compute (Figure 5).
+      const auto& ranges = net.layer_param_ranges();
+      if (is_root()) net.flatten_params(packed_);
+      std::vector<mpi::Request> requests(net.num_layers());
+      for (std::size_t li = 0; li < net.num_layers(); ++li) {
+        const auto [offset, count] = ranges[li];
+        if (count == 0) continue;
+        requests[li] = comm_.ibcast(std::span<float>(packed_).subspan(offset, count), 0);
+      }
+      load_batch(data, labels);
+      result.local_loss = forward_with_overlapped_propagation(requests);
+      if (config_.variant == Variant::SCOB) {
+        net.backward();
+        aggregate_blocking();
+      } else {
+        aggregate_overlapped();
+      }
+      break;
+    }
+  }
+
+  root_update();
+  return result;
+}
+
+}  // namespace scaffe::core

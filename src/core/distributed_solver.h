@@ -1,0 +1,61 @@
+// The functional S-Caffe distributed solver (Section 4).
+//
+// One DistributedSolver runs on each scmpi rank (one per "GPU"), owning a
+// solver replica. Each train_iteration executes the paper's workflow under
+// the configured co-design variant:
+//
+//   SC-B   (4.1): blocking CUDA-aware MPI_Bcast of the packed parameters,
+//                 forward/backward, blocking MPI_Reduce of packed gradients.
+//   SC-OB  (4.2): all per-layer Ibcasts posted up front; the Wait for layer
+//                 i's parameters is placed immediately before layer i's
+//                 forward pass (Figure 5's multi-stage on-demand design).
+//   SC-OBR (4.3): SC-OB plus a helper thread that runs the backward passes
+//                 and signals the main thread (C++ condition flag) to issue
+//                 layer i's reduction while layer i-1 still computes.
+//
+// Only the root solver applies the SGD update; replicas receive the new
+// parameters through the next iteration's propagation (Figure 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "dl/solver.h"
+#include "mpi/comm.h"
+
+namespace scaffe::core {
+
+struct IterationResult {
+  float local_loss = 0.0f;
+  long iteration = 0;  // iteration just completed
+};
+
+class DistributedSolver {
+ public:
+  DistributedSolver(mpi::Comm& comm, dl::NetSpec net_spec, dl::SolverConfig solver_config,
+                    ScaffeConfig config, gpu::Device* device = nullptr);
+
+  /// Runs one data-parallel training iteration on this rank's shard.
+  IterationResult train_iteration(std::span<const float> data, std::span<const float> labels);
+
+  dl::SgdSolver& solver() noexcept { return solver_; }
+  const ScaffeConfig& config() const noexcept { return config_; }
+  bool is_root() const noexcept { return comm_.rank() == 0; }
+
+ private:
+  void propagate_blocking();
+  float forward_backward_blocking();
+  float forward_with_overlapped_propagation(std::vector<mpi::Request>& requests);
+  void aggregate_blocking();
+  void aggregate_overlapped();
+  void root_update();
+  void load_batch(std::span<const float> data, std::span<const float> labels);
+
+  mpi::Comm& comm_;
+  ScaffeConfig config_;
+  dl::SgdSolver solver_;
+  std::vector<float> packed_;  // param_count floats: comm/reduction buffer
+};
+
+}  // namespace scaffe::core

@@ -1,0 +1,45 @@
+#include "core/eval.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scaffe::core {
+
+EvalResult evaluate(dl::Net& net, const data::SyntheticImageDataset& dataset,
+                    std::uint64_t first_index, int samples) {
+  dl::Blob& data_blob = net.blob("data");
+  dl::Blob& label_blob = net.blob("label");
+  const int batch = data_blob.num();
+  if (batch < 1) throw std::runtime_error("evaluate: net has no batch dimension");
+  const std::size_t floats = dataset.sample_floats();
+  if (data_blob.count() != static_cast<std::size_t>(batch) * floats) {
+    throw std::runtime_error("evaluate: dataset sample size does not match the net");
+  }
+
+  // Whole batches only: the accuracy blob averages over the full batch, so
+  // padding a partial batch would bias the estimate.
+  const int batches = std::max(samples / batch, 1);
+
+  EvalResult result;
+  double accuracy_sum = 0.0;
+  double loss_sum = 0.0;
+  std::uint64_t cursor = first_index;
+  for (int b = 0; b < batches; ++b) {
+    for (int i = 0; i < batch; ++i) {
+      const data::Sample sample = dataset.make_sample(cursor++);
+      std::copy(sample.image.begin(), sample.image.end(),
+                data_blob.data().begin() + static_cast<std::ptrdiff_t>(
+                                               static_cast<std::size_t>(i) * floats));
+      label_blob.data()[static_cast<std::size_t>(i)] = static_cast<float>(sample.label);
+    }
+    net.forward();
+    accuracy_sum += net.blob("accuracy").data()[0];
+    loss_sum += net.blob("loss").data()[0];
+    result.samples += batch;
+  }
+  result.accuracy = accuracy_sum / batches;
+  result.avg_loss = loss_sum / batches;
+  return result;
+}
+
+}  // namespace scaffe::core

@@ -1,0 +1,24 @@
+// Test-phase evaluation (Section 6.2: "Caffe reports accuracy during the
+// Testing phase only... We observed no difference in accuracy between Caffe
+// and S-Caffe").
+#pragma once
+
+#include "data/dataset.h"
+#include "dl/net.h"
+
+namespace scaffe::core {
+
+struct EvalResult {
+  double accuracy = 0.0;  // top-1 over the evaluated samples
+  double avg_loss = 0.0;
+  int samples = 0;
+};
+
+/// Runs forward passes over `samples` consecutive dataset items starting at
+/// `first_index`, in batches of the net's input batch size. The net must
+/// expose "data"/"label" inputs, a "loss" blob, and an "accuracy" blob
+/// (build specs with with_accuracy=true).
+EvalResult evaluate(dl::Net& net, const data::SyntheticImageDataset& dataset,
+                    std::uint64_t first_index, int samples);
+
+}  // namespace scaffe::core

@@ -1,0 +1,35 @@
+// Installs the DL-aware hierarchical reduction into an scmpi communicator.
+#pragma once
+
+#include "coll/algorithms.h"
+#include "core/config.h"
+#include "mpi/comm.h"
+
+namespace scaffe::core {
+
+/// Schedule factory implementing `algo`. Hierarchical schedules require
+/// root 0 (the S-Caffe root solver); other roots and tiny communicators fall
+/// back to a binomial tree, as the tuned runtime does.
+inline mpi::ScheduleFactory make_reduce_factory(ReduceAlgo algo) {
+  return [algo](int nranks, int root, std::size_t count) {
+    if (algo.hierarchical && root == 0 && nranks > algo.chain_size) {
+      return coll::hierarchical_reduce(nranks, count, algo.chain_size, algo.lower, algo.upper,
+                                       algo.chunks);
+    }
+    if (algo.hierarchical && root == 0 && nranks > 2) {
+      // Single lower-level group: a flat pipelined chain.
+      return coll::chain_reduce(nranks, root, count, algo.chunks);
+    }
+    return coll::binomial_reduce(nranks, root, count);
+  };
+}
+
+/// Propagation uses a binomial bcast (the paper optimizes propagation via
+/// NBC overlap, not via the bcast algorithm itself).
+inline mpi::ScheduleFactory make_bcast_factory() {
+  return [](int nranks, int root, std::size_t count) {
+    return coll::binomial_bcast(nranks, root, count);
+  };
+}
+
+}  // namespace scaffe::core

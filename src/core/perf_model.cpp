@@ -1,0 +1,256 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/sim_executor.h"
+#include "data/backend.h"
+#include "net/cost_model.h"
+
+namespace scaffe::core {
+
+namespace {
+
+/// Reduce-to-root latency for `count` floats under the config's algorithm.
+TimeNs reduce_latency(const TrainPerfConfig& config, std::size_t count) {
+  if (count == 0 || config.gpus < 2) return 0;
+  coll::Schedule schedule;
+  if (config.reduce.hierarchical && config.gpus > config.reduce.chain_size) {
+    schedule = coll::hierarchical_reduce(config.gpus, count, config.reduce.chain_size,
+                                         config.reduce.lower, config.reduce.upper,
+                                         config.reduce.chunks);
+  } else if (config.reduce.hierarchical && config.gpus > 2) {
+    schedule = coll::chain_reduce(config.gpus, 0, count, config.reduce.chunks);
+  } else {
+    schedule = coll::binomial_reduce(config.gpus, 0, count);
+  }
+  return net::CostModel(config.cluster).collective_setup(config.gpus) +
+         coll::simulate_schedule(schedule, config.cluster, config.comm_policy).root_finish;
+}
+
+/// Broadcast-from-root latency for `count` floats (binomial).
+TimeNs bcast_latency(const TrainPerfConfig& config, std::size_t count) {
+  if (count == 0 || config.gpus < 2) return 0;
+  const coll::Schedule schedule = coll::binomial_bcast(config.gpus, 0, count);
+  return net::CostModel(config.cluster).collective_setup(config.gpus) +
+         coll::simulate_schedule(schedule, config.cluster, config.comm_policy).total;
+}
+
+double reader_aggregate_sps(const TrainPerfConfig& config, int readers,
+                            std::size_t sample_bytes) {
+  // The throughput models live on the backends; instantiate the matching one.
+  const data::SyntheticImageDataset dataset = data::SyntheticImageDataset::imagenet_like();
+  switch (config.reader) {
+    case ReaderBackendKind::LmdbSim: {
+      data::LmdbBackend backend(dataset, config.cluster.storage);
+      return backend.aggregate_samples_per_sec(readers, sample_bytes);
+    }
+    case ReaderBackendKind::LustreImageData: {
+      data::ImageDataBackend backend(dataset, config.cluster.storage);
+      return backend.aggregate_samples_per_sec(readers, sample_bytes);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+TimeNs aggregation_latency(const TrainPerfConfig& config) {
+  return reduce_latency(config, config.model.param_count());
+}
+
+IterationBreakdown simulate_training_iteration(const TrainPerfConfig& config) {
+  if (config.gpus < 1) throw std::runtime_error("perf model: gpus must be >= 1");
+  if (config.gpus > config.cluster.total_gpus()) {
+    throw std::runtime_error("perf model: more GPUs than the cluster has");
+  }
+
+  IterationBreakdown out;
+  const net::CostModel cost(config.cluster);
+  const models::ModelDesc& model = config.model;
+
+  out.batch_per_gpu = config.scaling == Scaling::Strong
+                          ? config.global_batch / config.gpus
+                          : config.global_batch;
+  if (out.batch_per_gpu < 1) {
+    out.oom = true;  // degenerate: fewer samples than solvers
+    return out;
+  }
+  const int global_batch = config.scaling == Scaling::Strong
+                               ? config.global_batch
+                               : config.global_batch * config.gpus;
+
+  // --- GPU memory accounting (Figure 8's missing points) --------------------
+  // Parameters + gradients + momentum + one packed comm buffer, plus
+  // activations (data + diff) scaled by the local batch.
+  const std::size_t static_bytes = model.param_bytes() * 4;
+  const std::size_t activation_bytes =
+      model.activation_bytes_per_sample() * static_cast<std::size_t>(out.batch_per_gpu);
+  if (static_bytes + activation_bytes > config.cluster.gpu.mem_bytes) {
+    out.oom = true;
+    return out;
+  }
+
+  // --- per-layer compute ------------------------------------------------------
+  const std::size_t num_layers = model.layers.size();
+  std::vector<TimeNs> fwd(num_layers);
+  std::vector<TimeNs> bwd(num_layers);
+  for (std::size_t li = 0; li < num_layers; ++li) {
+    fwd[li] = cost.gpu_compute(model.layers[li].fwd_flops * out.batch_per_gpu,
+                               out.batch_per_gpu);
+    bwd[li] = cost.gpu_compute(model.layers[li].bwd_flops * out.batch_per_gpu,
+                               out.batch_per_gpu);
+    out.forward += fwd[li];
+    out.backward += bwd[li];
+  }
+
+  if (config.aggregation == Aggregation::AllreduceSgd) {
+    // No propagation phase; gradients allreduce after backward, every rank
+    // updates locally.
+    const std::size_t count = model.param_count();
+    if (config.gpus >= 2) {
+      if (config.ring_allreduce && count >= static_cast<std::size_t>(config.gpus)) {
+        const coll::Schedule ring = coll::ring_allreduce(config.gpus, count);
+        out.aggregation_exposed =
+            cost.collective_setup(config.gpus) +
+            coll::simulate_schedule(ring, config.cluster, config.comm_policy).total;
+      } else {
+        out.aggregation_exposed =
+            reduce_latency(config, count) + bcast_latency(config, count);
+      }
+    }
+    out.update = cost.kernel_launch() +
+                 static_cast<TimeNs>(static_cast<double>(model.param_bytes()) * 4.0 /
+                                     (config.cluster.gpu.mem_bw_gbs * 1e9) * 1e9);
+    const int readers_ar = config.readers > 0 ? config.readers : config.gpus;
+    const std::size_t sample_bytes_ar =
+        config.sample_bytes > 0
+            ? config.sample_bytes
+            : data::SyntheticImageDataset::imagenet_like().sample_bytes();
+    const double sps_ar = reader_aggregate_sps(config, readers_ar, sample_bytes_ar);
+    const TimeNs busy_ar =
+        out.forward + out.backward + out.aggregation_exposed + out.update;
+    if (sps_ar <= 0.0) {
+      out.reader_failed = true;
+      out.total = busy_ar;
+      return out;
+    }
+    const TimeNs read_time_ar =
+        static_cast<TimeNs>(static_cast<double>(global_batch) / sps_ar * 1e9);
+    out.reader_stall = std::max<TimeNs>(0, read_time_ar - busy_ar);
+    out.total = busy_ar + out.reader_stall;
+    out.samples_per_sec = static_cast<double>(global_batch) / util::to_sec(out.total);
+    out.training_time_sec = util::to_sec(out.total) * config.iterations;
+    return out;
+  }
+
+  // --- data propagation --------------------------------------------------------
+  switch (config.variant) {
+    case Variant::SCB: {
+      out.propagation_exposed = bcast_latency(config, model.param_count());
+      break;
+    }
+    case Variant::SCOB:
+    case Variant::SCOBR: {
+      // Per-layer Ibcasts; the root injects them back-to-back, and layer li's
+      // forward starts once both layer li-1 finished and bcast li arrived.
+      TimeNs bcast_done = 0;
+      TimeNs fwd_clock = 0;
+      TimeNs compute_only = 0;
+      for (std::size_t li = 0; li < num_layers; ++li) {
+        const TimeNs this_bcast = bcast_latency(config, model.layers[li].param_count);
+        const TimeNs bcast_start = config.naive_nbc
+                                       ? std::max(bcast_done, compute_only)
+                                       : bcast_done;
+        if (config.naive_nbc) {
+          // Figure 4: bcast li+? issued only one layer ahead — injection
+          // cannot run further ahead than the compute frontier.
+          bcast_done = std::max(bcast_done, compute_only) + this_bcast;
+        } else {
+          // Figure 5: all Ibcasts posted at the start; the progression
+          // pipeline keeps injecting.
+          bcast_done += this_bcast;
+        }
+        const TimeNs fwd_start = std::max(fwd_clock, bcast_done);
+        fwd_clock = fwd_start + fwd[li];
+        compute_only += fwd[li];
+        if (config.capture_timeline) {
+          if (this_bcast > 0) {
+            out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Bcast,
+                                                static_cast<int>(li), bcast_start,
+                                                bcast_done});
+          }
+          out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Forward,
+                                              static_cast<int>(li), fwd_start, fwd_clock});
+        }
+      }
+      out.propagation_exposed = fwd_clock - out.forward;
+      break;
+    }
+  }
+
+  // --- gradient aggregation -----------------------------------------------------
+  switch (config.variant) {
+    case Variant::SCB:
+    case Variant::SCOB: {
+      out.aggregation_exposed = reduce_latency(config, model.param_count());
+      break;
+    }
+    case Variant::SCOBR: {
+      // Helper-thread overlap: reduce of layer li starts when its backward
+      // completed and the previous (later-layer) reduce finished.
+      TimeNs bwd_clock = 0;
+      TimeNs reduce_clock = 0;
+      for (std::size_t li = num_layers; li-- > 0;) {
+        const TimeNs bwd_start = bwd_clock;
+        bwd_clock += bwd[li];
+        const TimeNs reduce_start = std::max(reduce_clock, bwd_clock);
+        const TimeNs this_reduce = reduce_latency(config, model.layers[li].param_count);
+        reduce_clock = reduce_start + this_reduce;
+        if (config.capture_timeline) {
+          out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Backward,
+                                              static_cast<int>(li), bwd_start, bwd_clock});
+          if (this_reduce > 0) {
+            out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Reduce,
+                                                static_cast<int>(li), reduce_start,
+                                                reduce_clock});
+          }
+        }
+      }
+      out.aggregation_exposed = reduce_clock - out.backward;
+      break;
+    }
+  }
+
+  // --- root update -----------------------------------------------------------------
+  // Momentum SGD touches 4 streams of param-sized data.
+  out.update = cost.kernel_launch() +
+               static_cast<TimeNs>(static_cast<double>(model.param_bytes()) * 4.0 /
+                                   (config.cluster.gpu.mem_bw_gbs * 1e9) * 1e9);
+
+  // --- data readers -------------------------------------------------------------------
+  const int readers = config.readers > 0 ? config.readers : config.gpus;
+  const std::size_t sample_bytes =
+      config.sample_bytes > 0 ? config.sample_bytes
+                              : data::SyntheticImageDataset::imagenet_like().sample_bytes();
+  const double sps = reader_aggregate_sps(config, readers, sample_bytes);
+  const TimeNs busy = out.propagation_exposed + out.forward + out.backward +
+                      out.aggregation_exposed + out.update;
+  if (sps <= 0.0) {
+    out.reader_failed = true;
+    out.total = busy;
+    return out;
+  }
+  const TimeNs read_time =
+      static_cast<TimeNs>(static_cast<double>(global_batch) / sps * 1e9);
+  out.reader_stall = std::max<TimeNs>(0, read_time - busy);
+
+  out.total = busy + out.reader_stall;
+  out.samples_per_sec = static_cast<double>(global_batch) / util::to_sec(out.total);
+  out.training_time_sec = util::to_sec(out.total) * config.iterations;
+  return out;
+}
+
+}  // namespace scaffe::core

@@ -1,0 +1,81 @@
+// Training-iteration performance model over the DES substrate.
+//
+// Reconstructs the per-iteration timeline of every S-Caffe variant (and of
+// the comparators in bench/baselines) on a modelled cluster: per-layer
+// compute from ModelDesc FLOPs, collective latencies from the SAME schedule
+// generators + DES executor that pass the functional tests, reader
+// throughput from the storage model, and GPU memory accounting for the
+// out-of-memory gaps of Figure 8.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coll/exec_policy.h"
+#include "core/config.h"
+#include "models/descriptors.h"
+#include "net/cluster.h"
+#include "util/duration.h"
+
+namespace scaffe::core {
+
+using util::TimeNs;
+
+enum class ReaderBackendKind { LmdbSim, LustreImageData };
+
+struct TrainPerfConfig {
+  models::ModelDesc model;
+  net::ClusterSpec cluster;
+  int gpus = 1;
+  int global_batch = 256;
+  Scaling scaling = Scaling::Strong;
+  Variant variant = Variant::SCOBR;
+  ReduceAlgo reduce = ReduceAlgo::cb(8);
+  Aggregation aggregation = Aggregation::RootUpdate;
+  bool ring_allreduce = false;  // AllreduceSgd: ring instead of reduce+bcast
+  coll::ExecPolicy comm_policy = coll::ExecPolicy::hr_gdr();
+  ReaderBackendKind reader = ReaderBackendKind::LustreImageData;
+  int readers = -1;        // parallel reader threads; -1 = one per GPU
+  bool naive_nbc = false;  // Figure 4's naive design instead of Figure 5's
+  int iterations = 100;    // for total-time reporting
+  std::size_t sample_bytes = 0;  // stored size per training sample; 0 = ImageNet-like
+  bool capture_timeline = false;  // record per-layer phase segments
+};
+
+/// One phase segment on the iteration timeline (Figures 5/6 reconstruction).
+struct PhaseSegment {
+  enum class Kind { Bcast, Forward, Backward, Reduce } kind;
+  int layer = 0;  // model layer index
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+struct IterationBreakdown {
+  bool oom = false;            // per-GPU batch does not fit in device memory
+  bool reader_failed = false;  // backend cannot serve this many readers
+
+  int batch_per_gpu = 0;
+  TimeNs propagation_exposed = 0;  // bcast time NOT hidden behind forward
+  TimeNs forward = 0;
+  TimeNs backward = 0;
+  TimeNs aggregation_exposed = 0;  // reduce time NOT hidden behind backward
+  TimeNs update = 0;
+  TimeNs reader_stall = 0;
+  TimeNs total = 0;
+
+  double samples_per_sec = 0.0;      // global batch / iteration time
+  double training_time_sec = 0.0;    // iterations * iteration time
+
+  std::vector<PhaseSegment> timeline;  // when capture_timeline was set
+
+  TimeNs comm_exposed() const noexcept { return propagation_exposed + aggregation_exposed; }
+};
+
+/// Simulates one training iteration under `config`. Deterministic.
+IterationBreakdown simulate_training_iteration(const TrainPerfConfig& config);
+
+/// Latency of one gradient aggregation (the packed-buffer reduce) under the
+/// config's reduce algorithm and policy — the quantity Table 2 reports.
+TimeNs aggregation_latency(const TrainPerfConfig& config);
+
+}  // namespace scaffe::core

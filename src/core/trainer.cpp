@@ -1,0 +1,62 @@
+#include "core/trainer.h"
+
+#include <stdexcept>
+
+#include "data/reader.h"
+#include "dl/snapshot.h"
+
+namespace scaffe::core {
+
+Trainer::Trainer(mpi::Comm& comm, data::ReadBackend& backend, std::size_t sample_floats,
+                 NetSpecFactory net_factory, TrainerConfig config)
+    : comm_(comm),
+      backend_(backend),
+      sample_floats_(sample_floats),
+      net_factory_(std::move(net_factory)),
+      config_(std::move(config)) {
+  if (config_.scaling == Scaling::Strong) {
+    shard_batch_ = config_.global_batch / comm_.size();
+    if (shard_batch_ < 1 || shard_batch_ * comm_.size() != config_.global_batch) {
+      throw std::runtime_error("Trainer: global batch " +
+                               std::to_string(config_.global_batch) +
+                               " not divisible across " + std::to_string(comm_.size()) +
+                               " ranks");
+    }
+  } else {
+    shard_batch_ = config_.global_batch;  // weak scaling: constant per GPU
+  }
+}
+
+TrainerReport Trainer::run() {
+  TrainerReport report;
+
+  data::DataReader reader(backend_, comm_.rank(), comm_.size(), shard_batch_,
+                          sample_floats_, /*queue_capacity=*/4,
+                          config_.shuffle_epoch_size);
+  DistributedSolver solver(comm_, net_factory_(shard_batch_), config_.solver,
+                           config_.scaffe);
+
+  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+    const data::Batch batch = reader.next();
+    const IterationResult result = solver.train_iteration(batch.data, batch.labels);
+    if (solver.is_root()) report.root_losses.push_back(result.local_loss);
+
+    if (config_.snapshot_every > 0 && (iteration + 1) % config_.snapshot_every == 0) {
+      if (solver.is_root() && !config_.snapshot_path.empty()) {
+        dl::save_params(solver.solver().net(), config_.snapshot_path);
+        ++report.snapshots_written;
+      }
+      // Snapshots are a synchronization point in Caffe's workflow.
+      comm_.barrier();
+    }
+  }
+
+  report.iterations = solver.solver().iteration();
+  report.samples_trained = static_cast<std::uint64_t>(config_.iterations) *
+                           static_cast<std::uint64_t>(shard_batch_) *
+                           static_cast<std::uint64_t>(comm_.size());
+  report.batches_read = reader.batches_produced();
+  return report;
+}
+
+}  // namespace scaffe::core

@@ -1,0 +1,67 @@
+// High-level training orchestration: wires the parallel data readers
+// (Figure 3), the per-rank DistributedSolver, and periodic snapshots into
+// the paper's end-to-end workflow — the code an S-Caffe user runs after
+// `mpirun`.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/distributed_solver.h"
+#include "data/backend.h"
+#include "dl/solver.h"
+#include "mpi/comm.h"
+
+namespace scaffe::core {
+
+struct TrainerConfig {
+  int iterations = 100;
+  int global_batch = 32;
+  Scaling scaling = Scaling::Strong;  // the paper's -scal option
+  ScaffeConfig scaffe;
+  dl::SolverConfig solver;
+
+  int snapshot_every = 0;      // iterations between snapshots; 0 disables
+  std::string snapshot_path;   // written by the root solver
+
+  /// When > 0, readers shuffle sample order with a deterministic per-epoch
+  /// permutation over this many samples (typically the dataset size).
+  std::uint64_t shuffle_epoch_size = 0;
+};
+
+struct TrainerReport {
+  long iterations = 0;
+  std::uint64_t samples_trained = 0;       // across all ranks
+  std::vector<float> root_losses;          // root's local loss per iteration
+  std::uint64_t batches_read = 0;          // this rank's reader
+  int snapshots_written = 0;
+};
+
+/// Builds the NetSpec for a given per-rank batch size (so strong and weak
+/// scaling can size the shards appropriately).
+using NetSpecFactory = std::function<dl::NetSpec(int batch)>;
+
+class Trainer {
+ public:
+  /// `backend` is the shared dataset store (one per process group);
+  /// `sample_floats` must match what the NetSpec's data blob expects.
+  Trainer(mpi::Comm& comm, data::ReadBackend& backend, std::size_t sample_floats,
+          NetSpecFactory net_factory, TrainerConfig config);
+
+  /// Runs the configured number of iterations. Collective: every rank of the
+  /// communicator must call run() together.
+  TrainerReport run();
+
+  int shard_batch() const noexcept { return shard_batch_; }
+
+ private:
+  mpi::Comm& comm_;
+  data::ReadBackend& backend_;
+  std::size_t sample_floats_;
+  NetSpecFactory net_factory_;
+  TrainerConfig config_;
+  int shard_batch_;
+};
+
+}  // namespace scaffe::core

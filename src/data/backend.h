@@ -1,0 +1,132 @@
+// Read backends: where training samples come from (Section 3.2 / Figure 3).
+//
+//  - LmdbBackend models the single-file LMDB database: reads serialize on a
+//    shared lock, reader registration is capped (the paper saw "severe
+//    degradation or race conditions" beyond 64 parallel readers), and
+//    aggregate throughput degrades past a contention knee.
+//  - ImageDataBackend models Caffe's ImageDataLayer over a striped parallel
+//    file system (Lustre): fully parallel reads that scale with stripes.
+//
+// Both are functional (they return real samples) and expose the throughput
+// model the Figure 8 bench uses at 160-reader scale.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "data/dataset.h"
+#include "net/cluster.h"
+
+namespace scaffe::data {
+
+/// Thrown when more readers attach to LMDB than it supports.
+class ReaderLimitError : public std::runtime_error {
+ public:
+  explicit ReaderLimitError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ReadBackend {
+ public:
+  virtual ~ReadBackend() = default;
+
+  /// Registers a reader; throws ReaderLimitError if unsupported.
+  virtual void attach_reader() = 0;
+  virtual void detach_reader() noexcept = 0;
+
+  /// Reads one sample (blocking; thread-safe).
+  virtual Sample read(std::uint64_t index) = 0;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Modelled aggregate throughput (samples/s) with `readers` parallel
+  /// readers pulling samples of `sample_bytes` each.
+  virtual double aggregate_samples_per_sec(int readers, std::size_t sample_bytes) const = 0;
+};
+
+/// LMDB-like single-file database.
+class LmdbBackend final : public ReadBackend {
+ public:
+  LmdbBackend(SyntheticImageDataset dataset, net::StorageSpec storage = {})
+      : dataset_(std::move(dataset)), storage_(storage) {}
+
+  void attach_reader() override {
+    const int readers = ++attached_;
+    if (readers > storage_.lmdb_max_readers) {
+      --attached_;
+      throw ReaderLimitError("LMDB: " + std::to_string(readers) +
+                             " readers exceeds the supported maximum of " +
+                             std::to_string(storage_.lmdb_max_readers));
+    }
+  }
+  void detach_reader() noexcept override { --attached_; }
+
+  Sample read(std::uint64_t index) override {
+    // Page-lock serialization: one reader in the critical section at a time.
+    std::lock_guard<std::mutex> lock(page_lock_);
+    ++reads_;
+    return dataset_.make_sample(index);
+  }
+
+  const char* name() const noexcept override { return "LMDB"; }
+
+  double aggregate_samples_per_sec(int readers, std::size_t sample_bytes) const override {
+    if (readers <= 0 || readers > storage_.lmdb_max_readers) return 0.0;
+    const double single = storage_.lmdb_single_reader_gbs * 1e9 /
+                          static_cast<double>(sample_bytes);
+    const int knee = storage_.lmdb_contention_knee;
+    if (readers <= knee) return single * readers;
+    // Past the knee, lock contention erodes the aggregate: each extra reader
+    // costs a growing fraction of the shared budget.
+    const double excess = static_cast<double>(readers - knee);
+    return single * static_cast<double>(knee) / (1.0 + 0.15 * excess);
+  }
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  int attached() const noexcept { return attached_.load(); }
+
+ private:
+  SyntheticImageDataset dataset_;
+  net::StorageSpec storage_;
+  std::mutex page_lock_;
+  std::atomic<int> attached_{0};
+  std::atomic<std::uint64_t> reads_{0};
+};
+
+/// ImageDataLayer over a Lustre-like striped PFS.
+class ImageDataBackend final : public ReadBackend {
+ public:
+  ImageDataBackend(SyntheticImageDataset dataset, net::StorageSpec storage = {})
+      : dataset_(std::move(dataset)), storage_(storage) {}
+
+  void attach_reader() override { ++attached_; }
+  void detach_reader() noexcept override { --attached_; }
+
+  Sample read(std::uint64_t index) override {
+    ++reads_;
+    return dataset_.make_sample(index);  // lock-free: files are independent
+  }
+
+  const char* name() const noexcept override { return "ImageData/Lustre"; }
+
+  double aggregate_samples_per_sec(int readers, std::size_t sample_bytes) const override {
+    if (readers <= 0) return 0.0;
+    // Each reader streams from its own stripe until the OST pool saturates.
+    const double per_stripe = storage_.pfs_stripe_gbs * 1e9 /
+                              static_cast<double>(sample_bytes);
+    return per_stripe * std::min(readers, storage_.pfs_num_ost);
+  }
+
+  std::uint64_t reads() const noexcept { return reads_; }
+
+ private:
+  SyntheticImageDataset dataset_;
+  net::StorageSpec storage_;
+  std::atomic<int> attached_{0};
+  std::atomic<std::uint64_t> reads_{0};
+};
+
+}  // namespace scaffe::data

@@ -1,0 +1,75 @@
+// Synthetic datasets standing in for ImageNet / CIFAR.
+//
+// Image content never affects the paper's systems results — only sample
+// sizes, counts, and where the bytes come from. SyntheticImageDataset
+// produces deterministic pseudo-random images keyed by index, so every
+// reader (and every rank) sees the same dataset without storing it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace scaffe::data {
+
+struct Sample {
+  std::vector<float> image;
+  int label = 0;
+  std::uint64_t index = 0;
+};
+
+class SyntheticImageDataset {
+ public:
+  SyntheticImageDataset(std::uint64_t size, int channels, int height, int width, int classes,
+                        std::uint64_t seed = 2017)
+      : size_(size),
+        channels_(channels),
+        height_(height),
+        width_(width),
+        classes_(classes),
+        seed_(seed) {}
+
+  std::uint64_t size() const noexcept { return size_; }
+  int classes() const noexcept { return classes_; }
+  std::size_t sample_floats() const noexcept {
+    return static_cast<std::size_t>(channels_) * static_cast<std::size_t>(height_) *
+           static_cast<std::size_t>(width_);
+  }
+  std::size_t sample_bytes() const noexcept { return sample_floats() * sizeof(float); }
+
+  /// Deterministic sample generation: same index -> same pixels and label.
+  Sample make_sample(std::uint64_t index) const {
+    Sample sample;
+    sample.index = index % size_;
+    util::Rng rng(seed_ ^ (sample.index * 0x9e3779b97f4a7c15ULL));
+    sample.label = static_cast<int>(rng.below(static_cast<std::uint64_t>(classes_)));
+    sample.image.resize(sample_floats());
+    // Label-correlated signal plus noise, so training on this data is a
+    // learnable problem (tests overfit it).
+    const float bias = static_cast<float>(sample.label) / static_cast<float>(classes_) - 0.5f;
+    for (float& v : sample.image) {
+      v = bias + 0.5f * static_cast<float>(rng.normal());
+    }
+    return sample;
+  }
+
+  /// CIFAR10-shaped instance (32x32x3, 10 classes, 50k train samples).
+  static SyntheticImageDataset cifar10() { return {50'000, 3, 32, 32, 10}; }
+
+  /// ImageNet-shaped instance (downscaled spatially for functional runs;
+  /// 1000 classes, 1.28M samples).
+  static SyntheticImageDataset imagenet_like(int side = 32) {
+    return {1'281'167, 3, side, side, 1000};
+  }
+
+ private:
+  std::uint64_t size_;
+  int channels_;
+  int height_;
+  int width_;
+  int classes_;
+  std::uint64_t seed_;
+};
+
+}  // namespace scaffe::data

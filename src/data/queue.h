@@ -1,0 +1,64 @@
+// Bounded producer/consumer queue: the "distributed queue" each process owns
+// in the parallel-reader design (Figure 3).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace scaffe::data {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full; returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_items_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    cv_space_.notify_one();
+    return value;
+  }
+
+  /// Unblocks all producers and consumers; pops drain remaining items.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace scaffe::data

@@ -1,0 +1,121 @@
+// Parallel data reader (Figure 3): one reader thread per process, feeding a
+// per-process bounded batch queue from a shard of the dataset.
+//
+// Sharding is strided: reader r of P reads global samples r, r+P, r+2P, ...
+// so the union of P shards is exactly the sequential single-reader order —
+// the property that makes distributed training equivalent to large-batch
+// single-process training.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "data/backend.h"
+#include "data/queue.h"
+
+namespace scaffe::data {
+
+/// One mini-batch of samples, packed for the solver's input blobs.
+struct Batch {
+  std::vector<float> data;    // batch x sample_floats
+  std::vector<float> labels;  // batch
+  std::uint64_t first_index = 0;
+};
+
+class DataReader {
+ public:
+  /// `shard` of `num_shards` strided sharding; `batch` samples per Batch.
+  /// With `shuffle_epoch_size` > 0, sample indices pass through a
+  /// deterministic per-epoch pseudo-random permutation (all shards use the
+  /// same permutation, so the union of shards still covers each epoch
+  /// exactly once — the property distributed training needs).
+  DataReader(ReadBackend& backend, int shard, int num_shards, int batch,
+             std::size_t sample_floats, std::size_t queue_capacity = 4,
+             std::uint64_t shuffle_epoch_size = 0, std::uint64_t shuffle_seed = 2017)
+      : backend_(backend),
+        shard_(shard),
+        num_shards_(num_shards),
+        batch_(batch),
+        sample_floats_(sample_floats),
+        queue_(queue_capacity),
+        shuffle_epoch_size_(shuffle_epoch_size),
+        shuffle_seed_(shuffle_seed) {
+    backend_.attach_reader();  // may throw ReaderLimitError
+    thread_ = std::thread([this] { run(); });
+  }
+
+  ~DataReader() {
+    stop();
+    backend_.detach_reader();
+  }
+  DataReader(const DataReader&) = delete;
+  DataReader& operator=(const DataReader&) = delete;
+
+  /// Blocking: next prefetched batch for this process.
+  Batch next() {
+    auto batch = queue_.pop();
+    if (!batch) throw std::runtime_error("DataReader: queue closed");
+    return std::move(*batch);
+  }
+
+  void stop() {
+    queue_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint64_t batches_produced() const noexcept { return produced_.load(); }
+
+ private:
+  void run() {
+    std::uint64_t cursor = static_cast<std::uint64_t>(shard_);
+    for (;;) {
+      Batch batch;
+      batch.first_index = cursor;
+      batch.data.reserve(static_cast<std::size_t>(batch_) * sample_floats_);
+      batch.labels.reserve(static_cast<std::size_t>(batch_));
+      for (int i = 0; i < batch_; ++i) {
+        const Sample sample = backend_.read(permute(cursor));
+        batch.data.insert(batch.data.end(), sample.image.begin(), sample.image.end());
+        batch.labels.push_back(static_cast<float>(sample.label));
+        cursor += static_cast<std::uint64_t>(num_shards_);
+      }
+      if (!queue_.push(std::move(batch))) return;  // closed
+      ++produced_;
+    }
+  }
+
+  /// Bijective permutation of [0, epoch_size) keyed by (seed, epoch index);
+  /// identity when shuffling is off. Assumes epoch_size < 2^32 (no overflow
+  /// in the modular multiply).
+  std::uint64_t permute(std::uint64_t index) const {
+    if (shuffle_epoch_size_ == 0) return index;
+    const std::uint64_t epoch = index / shuffle_epoch_size_;
+    std::uint64_t x = index % shuffle_epoch_size_;
+    const std::uint64_t n = shuffle_epoch_size_;
+    const std::uint64_t key = shuffle_seed_ ^ (epoch * 0x9e3779b97f4a7c15ULL);
+    // Affine bijection x -> m*x + b (mod n): bijective iff gcd(m, n) == 1,
+    // so the multiplier is nudged until coprime with the epoch size.
+    std::uint64_t m = (key | 1) % n;
+    if (m == 0) m = 1;
+    while (std::gcd(m, n) != 1) m = (m + 2) % n == 0 ? 1 : (m + 2) % n;
+    x = (x % n) * m % n;
+    x = (x + key) % n;
+    return epoch * n + x;
+  }
+
+  ReadBackend& backend_;
+  int shard_;
+  int num_shards_;
+  int batch_;
+  std::size_t sample_floats_;
+  BoundedQueue<Batch> queue_;
+  std::uint64_t shuffle_epoch_size_ = 0;
+  std::uint64_t shuffle_seed_ = 2017;
+  std::atomic<std::uint64_t> produced_{0};
+  std::thread thread_;
+};
+
+}  // namespace scaffe::data

@@ -1,0 +1,64 @@
+// Blob: the Caffe tensor — an N-d array carrying both data and diff
+// (gradient) storage, the two views Section 2.2 describes ("parameter data
+// used in the Forward pass and the parameter gradients calculated during the
+// Backward pass").
+#pragma once
+
+#include <cassert>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scaffe::dl {
+
+class Blob {
+ public:
+  Blob() = default;
+  explicit Blob(std::vector<int> shape) { reshape(std::move(shape)); }
+
+  void reshape(std::vector<int> shape) {
+    shape_ = std::move(shape);
+    std::size_t count = 1;
+    for (int dim : shape_) {
+      assert(dim >= 0);
+      count *= static_cast<std::size_t>(dim);
+    }
+    data_.assign(count, 0.0f);
+    diff_.assign(count, 0.0f);
+  }
+
+  const std::vector<int>& shape() const noexcept { return shape_; }
+  int shape(int axis) const {
+    assert(axis >= 0 && axis < static_cast<int>(shape_.size()));
+    return shape_[static_cast<std::size_t>(axis)];
+  }
+  std::size_t count() const noexcept { return data_.size(); }
+
+  /// Leading dimension (batch size) or 0 for an empty blob.
+  int num() const noexcept { return shape_.empty() ? 0 : shape_[0]; }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  std::span<float> diff() noexcept { return diff_; }
+  std::span<const float> diff() const noexcept { return diff_; }
+
+  void zero_diff() noexcept { std::fill(diff_.begin(), diff_.end(), 0.0f); }
+  void zero_data() noexcept { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  std::string shape_string() const {
+    std::string out = "(";
+    for (std::size_t i = 0; i < shape_.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(shape_[i]);
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+  std::vector<float> diff_;
+};
+
+}  // namespace scaffe::dl

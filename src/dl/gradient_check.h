@@ -1,0 +1,30 @@
+// Numerical gradient checking for layer implementations.
+#pragma once
+
+#include <string>
+
+#include "dl/net.h"
+
+namespace scaffe::dl {
+
+struct GradientCheckResult {
+  bool ok = true;
+  double max_rel_error = 0.0;
+  std::string detail;  // first offending location, when !ok
+};
+
+/// Central-difference check of d(loss)/d(param) for every parameter of `net`
+/// (inputs must already be loaded). `epsilon` is the probe step; gradients
+/// with |analytic| and |numeric| below `threshold_floor` are compared
+/// absolutely. Probes at most `max_probes` randomly-chosen coordinates per
+/// parameter blob to keep runtime bounded.
+GradientCheckResult check_gradients(Net& net, double epsilon = 1e-3, double tolerance = 2e-2,
+                                    double threshold_floor = 1e-4, int max_probes = 40,
+                                    std::uint64_t seed = 99);
+
+/// Same check for d(loss)/d(input) of the named input blob.
+GradientCheckResult check_input_gradients(Net& net, const std::string& input, double epsilon = 1e-3,
+                                          double tolerance = 2e-2, double threshold_floor = 1e-4,
+                                          int max_probes = 40, std::uint64_t seed = 99);
+
+}  // namespace scaffe::dl

@@ -1,0 +1,140 @@
+// Layer interface and specs, Caffe-style.
+//
+// A LayerSpec names its bottom (input) and top (output) blobs; a Net wires
+// layers together by blob name in spec order. Layers own their learnable
+// parameter blobs (weights/biases) whose diffs the solver aggregates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dl/blob.h"
+#include "util/rng.h"
+
+namespace scaffe::dl {
+
+enum class LayerType {
+  InnerProduct,
+  Convolution,
+  Pooling,
+  ReLU,
+  Dropout,
+  Softmax,
+  SoftmaxWithLoss,
+  Accuracy,
+  Concat,
+  LRN,
+  Split,
+  Sigmoid,
+  TanH,
+  EltwiseSum,
+};
+
+const char* layer_type_name(LayerType type) noexcept;
+
+enum class PoolMethod { Max, Ave };
+
+/// Convolution implementation: direct loops, or Caffe's im2col + GEMM
+/// lowering (identical math, different op order).
+enum class ConvImpl { Direct, Im2colGemm };
+
+struct LayerSpec {
+  std::string name;
+  LayerType type = LayerType::ReLU;
+  std::vector<std::string> bottoms;
+  std::vector<std::string> tops;
+
+  // InnerProduct / Convolution
+  int num_output = 0;
+  // Convolution / Pooling
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  ConvImpl conv_impl = ConvImpl::Direct;
+  // Dropout
+  float dropout_ratio = 0.5f;
+  // LRN
+  int lrn_size = 5;
+  float lrn_alpha = 1e-4f;
+  float lrn_beta = 0.75f;
+
+  // --- spec builders --------------------------------------------------------
+  static LayerSpec inner_product(std::string name, std::string bottom, std::string top,
+                                 int num_output);
+  static LayerSpec conv(std::string name, std::string bottom, std::string top, int num_output,
+                        int kernel, int stride = 1, int pad = 0);
+  static LayerSpec pool(std::string name, std::string bottom, std::string top, int kernel,
+                        int stride, PoolMethod method = PoolMethod::Max);
+  static LayerSpec relu(std::string name, std::string bottom, std::string top);
+  static LayerSpec dropout(std::string name, std::string bottom, std::string top, float ratio);
+  static LayerSpec softmax(std::string name, std::string bottom, std::string top);
+  static LayerSpec softmax_loss(std::string name, std::string bottom, std::string label,
+                                std::string top);
+  static LayerSpec accuracy(std::string name, std::string bottom, std::string label,
+                            std::string top);
+  static LayerSpec concat(std::string name, std::vector<std::string> bottoms, std::string top);
+  static LayerSpec lrn(std::string name, std::string bottom, std::string top);
+  static LayerSpec split(std::string name, std::string bottom, std::vector<std::string> tops);
+  static LayerSpec sigmoid(std::string name, std::string bottom, std::string top);
+  static LayerSpec tanh(std::string name, std::string bottom, std::string top);
+  /// Elementwise sum of equal-shaped bottoms (the residual-connection join).
+  static LayerSpec eltwise_sum(std::string name, std::vector<std::string> bottoms,
+                               std::string top);
+
+  PoolMethod pool_method = PoolMethod::Max;
+};
+
+/// Base layer. Lifecycle: setup() once (shapes tops, allocates params),
+/// then forward()/backward() per iteration.
+class Layer {
+ public:
+  explicit Layer(LayerSpec spec) : spec_(std::move(spec)) {}
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const LayerSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return spec_.name; }
+
+  /// Shapes top blobs from bottoms and initializes parameters.
+  virtual void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+                     util::Rng& rng) = 0;
+
+  virtual void forward(const std::vector<Blob*>& bottoms,
+                       const std::vector<Blob*>& tops) = 0;
+
+  /// Computes bottom diffs and parameter diffs from top diffs. Parameter
+  /// diffs ACCUMULATE (Caffe semantics); the solver zeroes them per batch.
+  virtual void backward(const std::vector<Blob*>& tops,
+                        const std::vector<Blob*>& bottoms) = 0;
+
+  /// Learnable parameter blobs (possibly empty).
+  std::vector<Blob*> params() {
+    std::vector<Blob*> out;
+    out.reserve(param_blobs_.size());
+    for (auto& blob : param_blobs_) out.push_back(blob.get());
+    return out;
+  }
+
+  /// Whether this layer produces a training loss (contributes to the
+  /// objective and seeds the backward pass).
+  virtual bool is_loss() const { return false; }
+
+  /// Deterministic per-iteration reseed hook (dropout masks).
+  virtual void set_iteration(long iteration) { (void)iteration; }
+
+ protected:
+  Blob* add_param(std::vector<int> shape) {
+    param_blobs_.push_back(std::make_unique<Blob>(std::move(shape)));
+    return param_blobs_.back().get();
+  }
+
+  LayerSpec spec_;
+  std::vector<std::unique_ptr<Blob>> param_blobs_;
+};
+
+/// Builds the layer implementation for a spec.
+std::unique_ptr<Layer> make_layer(const LayerSpec& spec);
+
+}  // namespace scaffe::dl

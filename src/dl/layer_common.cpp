@@ -1,0 +1,195 @@
+#include "dl/layer.h"
+
+#include <stdexcept>
+
+namespace scaffe::dl {
+
+const char* layer_type_name(LayerType type) noexcept {
+  switch (type) {
+    case LayerType::InnerProduct: return "InnerProduct";
+    case LayerType::Convolution: return "Convolution";
+    case LayerType::Pooling: return "Pooling";
+    case LayerType::ReLU: return "ReLU";
+    case LayerType::Dropout: return "Dropout";
+    case LayerType::Softmax: return "Softmax";
+    case LayerType::SoftmaxWithLoss: return "SoftmaxWithLoss";
+    case LayerType::Accuracy: return "Accuracy";
+    case LayerType::Concat: return "Concat";
+    case LayerType::LRN: return "LRN";
+    case LayerType::Split: return "Split";
+    case LayerType::Sigmoid: return "Sigmoid";
+    case LayerType::TanH: return "TanH";
+    case LayerType::EltwiseSum: return "EltwiseSum";
+  }
+  return "?";
+}
+
+LayerSpec LayerSpec::inner_product(std::string name, std::string bottom, std::string top,
+                                   int num_output) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::InnerProduct;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  spec.num_output = num_output;
+  return spec;
+}
+
+LayerSpec LayerSpec::conv(std::string name, std::string bottom, std::string top, int num_output,
+                          int kernel, int stride, int pad) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Convolution;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  spec.num_output = num_output;
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pad = pad;
+  return spec;
+}
+
+LayerSpec LayerSpec::pool(std::string name, std::string bottom, std::string top, int kernel,
+                          int stride, PoolMethod method) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Pooling;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  spec.kernel = kernel;
+  spec.stride = stride;
+  spec.pool_method = method;
+  return spec;
+}
+
+LayerSpec LayerSpec::relu(std::string name, std::string bottom, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::ReLU;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::dropout(std::string name, std::string bottom, std::string top, float ratio) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Dropout;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  spec.dropout_ratio = ratio;
+  return spec;
+}
+
+LayerSpec LayerSpec::softmax(std::string name, std::string bottom, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Softmax;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::softmax_loss(std::string name, std::string bottom, std::string label,
+                                  std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::SoftmaxWithLoss;
+  spec.bottoms = {std::move(bottom), std::move(label)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::accuracy(std::string name, std::string bottom, std::string label,
+                              std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Accuracy;
+  spec.bottoms = {std::move(bottom), std::move(label)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::concat(std::string name, std::vector<std::string> bottoms, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Concat;
+  spec.bottoms = std::move(bottoms);
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::lrn(std::string name, std::string bottom, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::LRN;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::split(std::string name, std::string bottom, std::vector<std::string> tops) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Split;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = std::move(tops);
+  return spec;
+}
+
+LayerSpec LayerSpec::sigmoid(std::string name, std::string bottom, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::Sigmoid;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::tanh(std::string name, std::string bottom, std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::TanH;
+  spec.bottoms = {std::move(bottom)};
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+LayerSpec LayerSpec::eltwise_sum(std::string name, std::vector<std::string> bottoms,
+                                 std::string top) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.type = LayerType::EltwiseSum;
+  spec.bottoms = std::move(bottoms);
+  spec.tops = {std::move(top)};
+  return spec;
+}
+
+namespace detail {
+std::unique_ptr<Layer> make_simple_layer(const LayerSpec& spec);
+std::unique_ptr<Layer> make_spatial_layer(const LayerSpec& spec);
+}  // namespace detail
+
+std::unique_ptr<Layer> make_layer(const LayerSpec& spec) {
+  switch (spec.type) {
+    case LayerType::InnerProduct:
+    case LayerType::ReLU:
+    case LayerType::Dropout:
+    case LayerType::Softmax:
+    case LayerType::SoftmaxWithLoss:
+    case LayerType::Accuracy:
+    case LayerType::Concat:
+    case LayerType::Split:
+    case LayerType::Sigmoid:
+    case LayerType::TanH:
+    case LayerType::EltwiseSum:
+      return detail::make_simple_layer(spec);
+    case LayerType::Convolution:
+    case LayerType::Pooling:
+    case LayerType::LRN:
+      return detail::make_spatial_layer(spec);
+  }
+  throw std::runtime_error("make_layer: unknown type");
+}
+
+}  // namespace scaffe::dl

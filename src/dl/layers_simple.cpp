@@ -1,0 +1,461 @@
+// Non-spatial layers: InnerProduct, ReLU, Dropout, Softmax,
+// SoftmaxWithLoss, Accuracy, Concat.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dl/layer.h"
+
+namespace scaffe::dl {
+namespace {
+
+/// Flattened (N, D) view of a blob: leading axis is the batch.
+std::pair<int, int> as_matrix(const Blob& blob) {
+  const int n = blob.num();
+  const int d = n > 0 ? static_cast<int>(blob.count()) / n : 0;
+  return {n, d};
+}
+
+class InnerProductLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng& rng) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    in_dim_ = d;
+    weight_ = add_param({spec_.num_output, d});
+    bias_ = add_param({spec_.num_output});
+    // MSRA/He initialization: suited to the ReLU nets of the paper's era.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(d));
+    for (float& w : weight_->data()) w = static_cast<float>(rng.normal(0.0, stddev));
+    tops[0]->reshape({n, spec_.num_output});
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    const int k = spec_.num_output;
+    auto x = bottoms[0]->data();
+    auto w = weight_->data();
+    auto b = bias_->data();
+    auto y = tops[0]->data();
+    for (int i = 0; i < n; ++i) {
+      for (int o = 0; o < k; ++o) {
+        float acc = b[static_cast<std::size_t>(o)];
+        const std::size_t xrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+        const std::size_t wrow = static_cast<std::size_t>(o) * static_cast<std::size_t>(d);
+        for (int j = 0; j < d; ++j) {
+          acc += x[xrow + static_cast<std::size_t>(j)] * w[wrow + static_cast<std::size_t>(j)];
+        }
+        y[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+          static_cast<std::size_t>(o)] = acc;
+      }
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    const int k = spec_.num_output;
+    auto x = bottoms[0]->data();
+    auto dx = bottoms[0]->diff();
+    auto w = weight_->data();
+    auto dw = weight_->diff();
+    auto db = bias_->diff();
+    auto dy = tops[0]->diff();
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t xrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+      const std::size_t yrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+      for (int o = 0; o < k; ++o) {
+        const float g = dy[yrow + static_cast<std::size_t>(o)];
+        if (g == 0.0f) continue;
+        const std::size_t wrow = static_cast<std::size_t>(o) * static_cast<std::size_t>(d);
+        db[static_cast<std::size_t>(o)] += g;
+        for (int j = 0; j < d; ++j) {
+          dw[wrow + static_cast<std::size_t>(j)] += g * x[xrow + static_cast<std::size_t>(j)];
+          dx[xrow + static_cast<std::size_t>(j)] += g * w[wrow + static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+
+ private:
+  int in_dim_ = 0;
+  Blob* weight_ = nullptr;
+  Blob* bias_ = nullptr;
+};
+
+class ReluLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    tops[0]->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto x = bottoms[0]->data();
+    auto dx = bottoms[0]->diff();
+    auto dy = tops[0]->diff();
+    for (std::size_t i = 0; i < x.size(); ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+  }
+};
+
+class DropoutLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng& rng) override {
+    tops[0]->reshape(bottoms[0]->shape());
+    mask_.assign(bottoms[0]->count(), 1.0f);
+    seed_ = rng();
+  }
+
+  void set_iteration(long iteration) override { iteration_ = iteration; }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const float ratio = spec_.dropout_ratio;
+    const float scale = 1.0f / (1.0f - ratio);
+    util::Rng rng(seed_ ^ static_cast<std::uint64_t>(iteration_ * 0x9e3779b9));
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      mask_[i] = rng.uniform() < ratio ? 0.0f : scale;
+      y[i] = x[i] * mask_[i];
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto dx = bottoms[0]->diff();
+    auto dy = tops[0]->diff();
+    for (std::size_t i = 0; i < dx.size(); ++i) dx[i] = dy[i] * mask_[i];
+  }
+
+ private:
+  std::vector<float> mask_;
+  std::uint64_t seed_ = 0;
+  long iteration_ = 0;
+};
+
+void softmax_rows(std::span<const float> x, std::span<float> y, int n, int d) {
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+    float max_v = x[row];
+    for (int j = 1; j < d; ++j) max_v = std::max(max_v, x[row + static_cast<std::size_t>(j)]);
+    float sum = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      const float e = std::exp(x[row + static_cast<std::size_t>(j)] - max_v);
+      y[row + static_cast<std::size_t>(j)] = e;
+      sum += e;
+    }
+    for (int j = 0; j < d; ++j) y[row + static_cast<std::size_t>(j)] /= sum;
+  }
+}
+
+class SoftmaxLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    tops[0]->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    softmax_rows(bottoms[0]->data(), tops[0]->data(), n, d);
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    auto y = tops[0]->data();
+    auto dy = tops[0]->diff();
+    auto dx = bottoms[0]->diff();
+    for (int i = 0; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+      double dot = 0.0;
+      for (int j = 0; j < d; ++j) {
+        dot += static_cast<double>(dy[row + static_cast<std::size_t>(j)]) *
+               y[row + static_cast<std::size_t>(j)];
+      }
+      for (int j = 0; j < d; ++j) {
+        const std::size_t k = row + static_cast<std::size_t>(j);
+        dx[k] = (dy[k] - static_cast<float>(dot)) * y[k];
+      }
+    }
+  }
+};
+
+class SoftmaxWithLossLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  bool is_loss() const override { return true; }
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    probs_.reshape(bottoms[0]->shape());
+    tops[0]->reshape({1});
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    softmax_rows(bottoms[0]->data(), probs_.data(), n, d);
+    auto labels = bottoms[1]->data();
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(labels[static_cast<std::size_t>(i)]);
+      if (label < 0 || label >= d) throw std::runtime_error("SoftmaxWithLoss: label out of range");
+      const float p = probs_.data()[static_cast<std::size_t>(i) * static_cast<std::size_t>(d) +
+                                    static_cast<std::size_t>(label)];
+      loss -= std::log(std::max(p, 1e-12f));
+    }
+    tops[0]->data()[0] = static_cast<float>(loss / std::max(n, 1));
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    const float loss_weight = tops[0]->diff()[0];
+    auto labels = bottoms[1]->data();
+    auto dx = bottoms[0]->diff();
+    auto p = probs_.data();
+    const float scale = loss_weight / static_cast<float>(std::max(n, 1));
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(labels[static_cast<std::size_t>(i)]);
+      const std::size_t row = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+      for (int j = 0; j < d; ++j) {
+        const std::size_t k = row + static_cast<std::size_t>(j);
+        dx[k] = scale * (p[k] - (j == label ? 1.0f : 0.0f));
+      }
+    }
+  }
+
+ private:
+  Blob probs_;
+};
+
+class AccuracyLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    (void)bottoms;
+    tops[0]->reshape({1});
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const auto [n, d] = as_matrix(*bottoms[0]);
+    auto scores = bottoms[0]->data();
+    auto labels = bottoms[1]->data();
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
+      int best = 0;
+      for (int j = 1; j < d; ++j) {
+        if (scores[row + static_cast<std::size_t>(j)] > scores[row + static_cast<std::size_t>(best)])
+          best = j;
+      }
+      if (best == static_cast<int>(labels[static_cast<std::size_t>(i)])) ++correct;
+    }
+    tops[0]->data()[0] = static_cast<float>(correct) / static_cast<float>(std::max(n, 1));
+  }
+
+  void backward(const std::vector<Blob*>&, const std::vector<Blob*>&) override {
+    // Accuracy is evaluation-only; no gradient.
+  }
+};
+
+class ConcatLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    // Concatenate along axis 1 (channels); all other axes must match.
+    std::vector<int> shape = bottoms[0]->shape();
+    int channels = 0;
+    for (const Blob* bottom : bottoms) {
+      if (bottom->shape().size() != shape.size() || bottom->shape(0) != shape[0]) {
+        throw std::runtime_error("Concat: incompatible bottom shapes");
+      }
+      channels += bottom->shape(1);
+    }
+    shape[1] = channels;
+    tops[0]->reshape(shape);
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const int n = bottoms[0]->num();
+    auto y = tops[0]->data();
+    const std::size_t top_row = tops[0]->count() / static_cast<std::size_t>(std::max(n, 1));
+    std::size_t offset = 0;
+    for (const Blob* bottom : bottoms) {
+      auto x = bottom->data();
+      const std::size_t row = bottom->count() / static_cast<std::size_t>(std::max(n, 1));
+      for (int i = 0; i < n; ++i) {
+        std::copy_n(x.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * row),
+                    row,
+                    y.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(i) * top_row + offset));
+      }
+      offset += row;
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const int n = bottoms[0]->num();
+    auto dy = tops[0]->diff();
+    const std::size_t top_row = tops[0]->count() / static_cast<std::size_t>(std::max(n, 1));
+    std::size_t offset = 0;
+    for (Blob* bottom : bottoms) {
+      auto dx = bottom->diff();
+      const std::size_t row = bottom->count() / static_cast<std::size_t>(std::max(n, 1));
+      for (int i = 0; i < n; ++i) {
+        std::copy_n(dy.begin() + static_cast<std::ptrdiff_t>(
+                                     static_cast<std::size_t>(i) * top_row + offset),
+                    row,
+                    dx.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * row));
+      }
+      offset += row;
+    }
+  }
+};
+
+class SigmoidLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    tops[0]->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto y = tops[0]->data();
+    auto dy = tops[0]->diff();
+    auto dx = bottoms[0]->diff();
+    for (std::size_t i = 0; i < dx.size(); ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+  }
+};
+
+class TanhLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    tops[0]->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto y = tops[0]->data();
+    auto dy = tops[0]->diff();
+    auto dx = bottoms[0]->diff();
+    for (std::size_t i = 0; i < dx.size(); ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+  }
+};
+
+/// Elementwise sum join: the residual-connection primitive.
+class EltwiseSumLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    for (const Blob* bottom : bottoms) {
+      if (bottom->shape() != bottoms[0]->shape()) {
+        throw std::runtime_error("EltwiseSum: bottom shapes differ");
+      }
+    }
+    tops[0]->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    auto y = tops[0]->data();
+    std::fill(y.begin(), y.end(), 0.0f);
+    for (const Blob* bottom : bottoms) {
+      auto x = bottom->data();
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto dy = tops[0]->diff();
+    for (Blob* bottom : bottoms) {
+      auto dx = bottom->diff();
+      std::copy(dy.begin(), dy.end(), dx.begin());
+    }
+  }
+};
+
+/// Fan-out: copies the bottom to every top; backward sums the top diffs —
+/// the Caffe mechanism that lets one blob feed several layers (inception).
+class SplitLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    for (Blob* top : tops) top->reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    auto x = bottoms[0]->data();
+    for (Blob* top : tops) std::copy(x.begin(), x.end(), top->data().begin());
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    auto dx = bottoms[0]->diff();
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (const Blob* top : tops) {
+      auto dy = top->diff();
+      for (std::size_t i = 0; i < dx.size(); ++i) dx[i] += dy[i];
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Layer> make_simple_layer(const LayerSpec& spec) {
+  switch (spec.type) {
+    case LayerType::InnerProduct: return std::make_unique<InnerProductLayer>(spec);
+    case LayerType::ReLU: return std::make_unique<ReluLayer>(spec);
+    case LayerType::Dropout: return std::make_unique<DropoutLayer>(spec);
+    case LayerType::Softmax: return std::make_unique<SoftmaxLayer>(spec);
+    case LayerType::SoftmaxWithLoss: return std::make_unique<SoftmaxWithLossLayer>(spec);
+    case LayerType::Accuracy: return std::make_unique<AccuracyLayer>(spec);
+    case LayerType::Concat: return std::make_unique<ConcatLayer>(spec);
+    case LayerType::Split: return std::make_unique<SplitLayer>(spec);
+    case LayerType::Sigmoid: return std::make_unique<SigmoidLayer>(spec);
+    case LayerType::TanH: return std::make_unique<TanhLayer>(spec);
+    case LayerType::EltwiseSum: return std::make_unique<EltwiseSumLayer>(spec);
+    default: throw std::runtime_error("make_simple_layer: unsupported type");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace scaffe::dl

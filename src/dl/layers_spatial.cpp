@@ -1,0 +1,465 @@
+// Spatial layers: Convolution, Pooling, LRN (NCHW direct implementations).
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dl/layer.h"
+
+namespace scaffe::dl {
+namespace {
+
+struct Nchw {
+  int n, c, h, w;
+  explicit Nchw(const Blob& blob) {
+    if (blob.shape().size() != 4) throw std::runtime_error("expected 4-d NCHW blob");
+    n = blob.shape(0);
+    c = blob.shape(1);
+    h = blob.shape(2);
+    w = blob.shape(3);
+  }
+  std::size_t index(int in, int ic, int ih, int iw) const noexcept {
+    return ((static_cast<std::size_t>(in) * static_cast<std::size_t>(c) +
+             static_cast<std::size_t>(ic)) *
+                static_cast<std::size_t>(h) +
+            static_cast<std::size_t>(ih)) *
+               static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(iw);
+  }
+};
+
+class ConvolutionLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng& rng) override {
+    const Nchw in(*bottoms[0]);
+    const int k = spec_.kernel;
+    out_h_ = (in.h + 2 * spec_.pad - k) / spec_.stride + 1;
+    out_w_ = (in.w + 2 * spec_.pad - k) / spec_.stride + 1;
+    if (out_h_ <= 0 || out_w_ <= 0) throw std::runtime_error("conv output collapsed");
+    weight_ = add_param({spec_.num_output, in.c, k, k});
+    bias_ = add_param({spec_.num_output});
+    const float fan_in = static_cast<float>(in.c * k * k);
+    const float stddev = std::sqrt(2.0f / fan_in);
+    for (float& w : weight_->data()) w = static_cast<float>(rng.normal(0.0, stddev));
+    tops[0]->reshape({in.n, spec_.num_output, out_h_, out_w_});
+    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
+      col_.assign(static_cast<std::size_t>(in.c) * static_cast<std::size_t>(k) *
+                      static_cast<std::size_t>(k) * static_cast<std::size_t>(out_h_) *
+                      static_cast<std::size_t>(out_w_),
+                  0.0f);
+    }
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
+      forward_gemm(bottoms, tops);
+      return;
+    }
+    const Nchw in(*bottoms[0]);
+    const Nchw out(*tops[0]);
+    const int k = spec_.kernel;
+    auto x = bottoms[0]->data();
+    auto w = weight_->data();
+    auto b = bias_->data();
+    auto y = tops[0]->data();
+    const Nchw wv{*weight_};
+    for (int n = 0; n < in.n; ++n) {
+      for (int co = 0; co < out.c; ++co) {
+        for (int ho = 0; ho < out.h; ++ho) {
+          for (int wo = 0; wo < out.w; ++wo) {
+            float acc = b[static_cast<std::size_t>(co)];
+            for (int ci = 0; ci < in.c; ++ci) {
+              for (int kh = 0; kh < k; ++kh) {
+                const int hi = ho * spec_.stride - spec_.pad + kh;
+                if (hi < 0 || hi >= in.h) continue;
+                for (int kw = 0; kw < k; ++kw) {
+                  const int wi = wo * spec_.stride - spec_.pad + kw;
+                  if (wi < 0 || wi >= in.w) continue;
+                  acc += x[in.index(n, ci, hi, wi)] * w[wv.index(co, ci, kh, kw)];
+                }
+              }
+            }
+            y[out.index(n, co, ho, wo)] = acc;
+          }
+        }
+      }
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
+      backward_gemm(tops, bottoms);
+      return;
+    }
+    const Nchw in(*bottoms[0]);
+    const Nchw out(*tops[0]);
+    const int k = spec_.kernel;
+    auto x = bottoms[0]->data();
+    auto dx = bottoms[0]->diff();
+    auto w = weight_->data();
+    auto dw = weight_->diff();
+    auto db = bias_->diff();
+    auto dy = tops[0]->diff();
+    const Nchw wv{*weight_};
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (int n = 0; n < in.n; ++n) {
+      for (int co = 0; co < out.c; ++co) {
+        for (int ho = 0; ho < out.h; ++ho) {
+          for (int wo = 0; wo < out.w; ++wo) {
+            const float g = dy[out.index(n, co, ho, wo)];
+            if (g == 0.0f) continue;
+            db[static_cast<std::size_t>(co)] += g;
+            for (int ci = 0; ci < in.c; ++ci) {
+              for (int kh = 0; kh < k; ++kh) {
+                const int hi = ho * spec_.stride - spec_.pad + kh;
+                if (hi < 0 || hi >= in.h) continue;
+                for (int kw = 0; kw < k; ++kw) {
+                  const int wi = wo * spec_.stride - spec_.pad + kw;
+                  if (wi < 0 || wi >= in.w) continue;
+                  dw[wv.index(co, ci, kh, kw)] += g * x[in.index(n, ci, hi, wi)];
+                  dx[in.index(n, ci, hi, wi)] += g * w[wv.index(co, ci, kh, kw)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  // --- im2col + GEMM path (Caffe's actual lowering) ------------------------
+
+  /// Unpacks one image into the column matrix: row (ci,kh,kw), col (ho,wo).
+  void im2col(std::span<const float> image, const Nchw& in) {
+    const int k = spec_.kernel;
+    const std::size_t cols =
+        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    std::size_t row = 0;
+    for (int ci = 0; ci < in.c; ++ci) {
+      for (int kh = 0; kh < k; ++kh) {
+        for (int kw = 0; kw < k; ++kw, ++row) {
+          std::size_t col = 0;
+          for (int ho = 0; ho < out_h_; ++ho) {
+            const int hi = ho * spec_.stride - spec_.pad + kh;
+            for (int wo = 0; wo < out_w_; ++wo, ++col) {
+              const int wi = wo * spec_.stride - spec_.pad + kw;
+              const bool inside = hi >= 0 && hi < in.h && wi >= 0 && wi < in.w;
+              col_[row * cols + col] =
+                  inside ? image[(static_cast<std::size_t>(ci) * in.h +
+                                  static_cast<std::size_t>(hi)) *
+                                     static_cast<std::size_t>(in.w) +
+                                 static_cast<std::size_t>(wi)]
+                         : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  /// Scatter-adds the column-matrix gradient back into the image gradient.
+  void col2im_accumulate(std::span<float> dimage, const Nchw& in) {
+    const int k = spec_.kernel;
+    const std::size_t cols =
+        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    std::size_t row = 0;
+    for (int ci = 0; ci < in.c; ++ci) {
+      for (int kh = 0; kh < k; ++kh) {
+        for (int kw = 0; kw < k; ++kw, ++row) {
+          std::size_t col = 0;
+          for (int ho = 0; ho < out_h_; ++ho) {
+            const int hi = ho * spec_.stride - spec_.pad + kh;
+            for (int wo = 0; wo < out_w_; ++wo, ++col) {
+              const int wi = wo * spec_.stride - spec_.pad + kw;
+              if (hi >= 0 && hi < in.h && wi >= 0 && wi < in.w) {
+                dimage[(static_cast<std::size_t>(ci) * in.h + static_cast<std::size_t>(hi)) *
+                           static_cast<std::size_t>(in.w) +
+                       static_cast<std::size_t>(wi)] += col_[row * cols + col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void forward_gemm(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) {
+    const Nchw in(*bottoms[0]);
+    const std::size_t rows = static_cast<std::size_t>(in.c) *
+                             static_cast<std::size_t>(spec_.kernel) *
+                             static_cast<std::size_t>(spec_.kernel);
+    const std::size_t cols =
+        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    auto w = weight_->data();
+    auto b = bias_->data();
+    const std::size_t image_floats = static_cast<std::size_t>(in.c) *
+                                     static_cast<std::size_t>(in.h) *
+                                     static_cast<std::size_t>(in.w);
+    const std::size_t out_floats = static_cast<std::size_t>(spec_.num_output) * cols;
+
+    for (int n = 0; n < in.n; ++n) {
+      im2col(bottoms[0]->data().subspan(static_cast<std::size_t>(n) * image_floats,
+                                        image_floats),
+             in);
+      std::span<float> y =
+          tops[0]->data().subspan(static_cast<std::size_t>(n) * out_floats, out_floats);
+      // y[o, col] = sum_r W[o, r] * col[r, col] + b[o]  (GEMM)
+      for (int o = 0; o < spec_.num_output; ++o) {
+        std::span<float> yo = y.subspan(static_cast<std::size_t>(o) * cols, cols);
+        std::fill(yo.begin(), yo.end(), b[static_cast<std::size_t>(o)]);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float wv = w[static_cast<std::size_t>(o) * rows + r];
+          if (wv == 0.0f) continue;
+          const float* col_row = col_.data() + r * cols;
+          for (std::size_t c = 0; c < cols; ++c) yo[c] += wv * col_row[c];
+        }
+      }
+    }
+  }
+
+  void backward_gemm(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) {
+    const Nchw in(*bottoms[0]);
+    const std::size_t rows = static_cast<std::size_t>(in.c) *
+                             static_cast<std::size_t>(spec_.kernel) *
+                             static_cast<std::size_t>(spec_.kernel);
+    const std::size_t cols =
+        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    auto w = weight_->data();
+    auto dw = weight_->diff();
+    auto db = bias_->diff();
+    const std::size_t image_floats = static_cast<std::size_t>(in.c) *
+                                     static_cast<std::size_t>(in.h) *
+                                     static_cast<std::size_t>(in.w);
+    const std::size_t out_floats = static_cast<std::size_t>(spec_.num_output) * cols;
+
+    auto dx = bottoms[0]->diff();
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    std::vector<float> dcol(rows * cols);
+
+    for (int n = 0; n < in.n; ++n) {
+      im2col(bottoms[0]->data().subspan(static_cast<std::size_t>(n) * image_floats,
+                                        image_floats),
+             in);
+      std::span<const float> dy =
+          tops[0]->diff().subspan(static_cast<std::size_t>(n) * out_floats, out_floats);
+
+      // dW[o, r] += dy[o, :] . col[r, :]^T ; db[o] += sum dy[o, :]
+      for (int o = 0; o < spec_.num_output; ++o) {
+        std::span<const float> dyo = dy.subspan(static_cast<std::size_t>(o) * cols, cols);
+        double bias_acc = 0.0;
+        for (float v : dyo) bias_acc += v;
+        db[static_cast<std::size_t>(o)] += static_cast<float>(bias_acc);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float* col_row = col_.data() + r * cols;
+          double acc = 0.0;
+          for (std::size_t c = 0; c < cols; ++c) acc += static_cast<double>(dyo[c]) * col_row[c];
+          dw[static_cast<std::size_t>(o) * rows + r] += static_cast<float>(acc);
+        }
+      }
+
+      // dcol = W^T dy, then scatter back (col2im).
+      std::fill(dcol.begin(), dcol.end(), 0.0f);
+      for (int o = 0; o < spec_.num_output; ++o) {
+        std::span<const float> dyo = dy.subspan(static_cast<std::size_t>(o) * cols, cols);
+        for (std::size_t r = 0; r < rows; ++r) {
+          const float wv = w[static_cast<std::size_t>(o) * rows + r];
+          if (wv == 0.0f) continue;
+          float* dcol_row = dcol.data() + r * cols;
+          for (std::size_t c = 0; c < cols; ++c) dcol_row[c] += wv * dyo[c];
+        }
+      }
+      col_.swap(dcol);  // col2im reads col_
+      col2im_accumulate(dx.subspan(static_cast<std::size_t>(n) * image_floats, image_floats),
+                        in);
+      col_.swap(dcol);
+    }
+  }
+
+  int out_h_ = 0;
+  int out_w_ = 0;
+  Blob* weight_ = nullptr;
+  Blob* bias_ = nullptr;
+  std::vector<float> col_;  // im2col staging, one image at a time
+};
+
+class PoolingLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    const Nchw in(*bottoms[0]);
+    // Caffe uses ceil mode for pooling output sizes.
+    out_h_ = (in.h + 2 * spec_.pad - spec_.kernel + spec_.stride - 1) / spec_.stride + 1;
+    out_w_ = (in.w + 2 * spec_.pad - spec_.kernel + spec_.stride - 1) / spec_.stride + 1;
+    tops[0]->reshape({in.n, in.c, out_h_, out_w_});
+    argmax_.assign(tops[0]->count(), 0);
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const Nchw in(*bottoms[0]);
+    const Nchw out(*tops[0]);
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    for (int n = 0; n < in.n; ++n) {
+      for (int c = 0; c < in.c; ++c) {
+        for (int ho = 0; ho < out.h; ++ho) {
+          for (int wo = 0; wo < out.w; ++wo) {
+            const int h0 = std::max(ho * spec_.stride - spec_.pad, 0);
+            const int w0 = std::max(wo * spec_.stride - spec_.pad, 0);
+            const int h1 = std::min(ho * spec_.stride - spec_.pad + spec_.kernel, in.h);
+            const int w1 = std::min(wo * spec_.stride - spec_.pad + spec_.kernel, in.w);
+            const std::size_t out_idx = out.index(n, c, ho, wo);
+            if (spec_.pool_method == PoolMethod::Max) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::size_t best_idx = in.index(n, c, h0, w0);
+              for (int hi = h0; hi < h1; ++hi) {
+                for (int wi = w0; wi < w1; ++wi) {
+                  const std::size_t idx = in.index(n, c, hi, wi);
+                  if (x[idx] > best) {
+                    best = x[idx];
+                    best_idx = idx;
+                  }
+                }
+              }
+              y[out_idx] = best;
+              argmax_[out_idx] = best_idx;
+            } else {
+              float acc = 0.0f;
+              for (int hi = h0; hi < h1; ++hi)
+                for (int wi = w0; wi < w1; ++wi) acc += x[in.index(n, c, hi, wi)];
+              const int window = std::max((h1 - h0) * (w1 - w0), 1);
+              y[out_idx] = acc / static_cast<float>(window);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const Nchw in(*bottoms[0]);
+    const Nchw out(*tops[0]);
+    auto dx = bottoms[0]->diff();
+    auto dy = tops[0]->diff();
+    std::fill(dx.begin(), dx.end(), 0.0f);
+    for (int n = 0; n < in.n; ++n) {
+      for (int c = 0; c < in.c; ++c) {
+        for (int ho = 0; ho < out.h; ++ho) {
+          for (int wo = 0; wo < out.w; ++wo) {
+            const std::size_t out_idx = out.index(n, c, ho, wo);
+            if (spec_.pool_method == PoolMethod::Max) {
+              dx[argmax_[out_idx]] += dy[out_idx];
+            } else {
+              const int h0 = std::max(ho * spec_.stride - spec_.pad, 0);
+              const int w0 = std::max(wo * spec_.stride - spec_.pad, 0);
+              const int h1 = std::min(ho * spec_.stride - spec_.pad + spec_.kernel, in.h);
+              const int w1 = std::min(wo * spec_.stride - spec_.pad + spec_.kernel, in.w);
+              const int window = std::max((h1 - h0) * (w1 - w0), 1);
+              const float g = dy[out_idx] / static_cast<float>(window);
+              for (int hi = h0; hi < h1; ++hi)
+                for (int wi = w0; wi < w1; ++wi) dx[in.index(n, c, hi, wi)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  int out_h_ = 0;
+  int out_w_ = 0;
+  std::vector<std::size_t> argmax_;
+};
+
+/// Across-channel local response normalization (AlexNet-era):
+///   scale_i = 1 + alpha/n * sum_{j in window(i)} x_j^2
+///   y_i     = x_i * scale_i^{-beta}
+class LrnLayer final : public Layer {
+ public:
+  using Layer::Layer;
+
+  void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
+             util::Rng&) override {
+    tops[0]->reshape(bottoms[0]->shape());
+    scale_.reshape(bottoms[0]->shape());
+  }
+
+  void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
+    const Nchw in(*bottoms[0]);
+    auto x = bottoms[0]->data();
+    auto y = tops[0]->data();
+    auto s = scale_.data();
+    const int half = spec_.lrn_size / 2;
+    const float alpha_over_n = spec_.lrn_alpha / static_cast<float>(spec_.lrn_size);
+    for (int n = 0; n < in.n; ++n) {
+      for (int c = 0; c < in.c; ++c) {
+        for (int h = 0; h < in.h; ++h) {
+          for (int w = 0; w < in.w; ++w) {
+            float acc = 0.0f;
+            for (int j = std::max(c - half, 0); j <= std::min(c + half, in.c - 1); ++j) {
+              const float v = x[in.index(n, j, h, w)];
+              acc += v * v;
+            }
+            const std::size_t idx = in.index(n, c, h, w);
+            s[idx] = 1.0f + alpha_over_n * acc;
+            y[idx] = x[idx] * std::pow(s[idx], -spec_.lrn_beta);
+          }
+        }
+      }
+    }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    const Nchw in(*bottoms[0]);
+    auto x = bottoms[0]->data();
+    auto dx = bottoms[0]->diff();
+    auto y = tops[0]->data();
+    auto dy = tops[0]->diff();
+    auto s = scale_.data();
+    const int half = spec_.lrn_size / 2;
+    const float alpha_over_n = spec_.lrn_alpha / static_cast<float>(spec_.lrn_size);
+    for (int n = 0; n < in.n; ++n) {
+      for (int c = 0; c < in.c; ++c) {
+        for (int h = 0; h < in.h; ++h) {
+          for (int w = 0; w < in.w; ++w) {
+            const std::size_t idx = in.index(n, c, h, w);
+            // dx_i = dy_i * s_i^{-beta}
+            //      - 2*alpha*beta/n * x_i * sum_{j: i in window(j)} dy_j y_j / s_j
+            float cross = 0.0f;
+            for (int j = std::max(c - half, 0); j <= std::min(c + half, in.c - 1); ++j) {
+              const std::size_t jdx = in.index(n, j, h, w);
+              cross += dy[jdx] * y[jdx] / s[jdx];
+            }
+            dx[idx] = dy[idx] * std::pow(s[idx], -spec_.lrn_beta) -
+                      2.0f * alpha_over_n * spec_.lrn_beta * x[idx] * cross;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  Blob scale_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Layer> make_spatial_layer(const LayerSpec& spec) {
+  switch (spec.type) {
+    case LayerType::Convolution: return std::make_unique<ConvolutionLayer>(spec);
+    case LayerType::Pooling: return std::make_unique<PoolingLayer>(spec);
+    case LayerType::LRN: return std::make_unique<LrnLayer>(spec);
+    default: throw std::runtime_error("make_spatial_layer: unsupported type");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace scaffe::dl

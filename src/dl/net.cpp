@@ -1,0 +1,217 @@
+#include "dl/net.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scaffe::dl {
+
+Net::Net(NetSpec spec, std::uint64_t seed, gpu::Device* device)
+    : spec_(std::move(spec)), device_(device) {
+  util::Rng rng(seed);
+
+  for (const auto& input : spec_.inputs) {
+    if (blobs_.count(input.name)) throw std::runtime_error("Net: duplicate input " + input.name);
+    blobs_[input.name] = std::make_unique<Blob>(input.shape);
+  }
+
+  std::map<std::string, int> consumer_count;
+  for (const LayerSpec& layer_spec : spec_.layers) {
+    auto layer = make_layer(layer_spec);
+
+    std::vector<Blob*> bottoms;
+    for (const std::string& name : layer_spec.bottoms) {
+      auto it = blobs_.find(name);
+      if (it == blobs_.end()) {
+        throw std::runtime_error("Net: layer " + layer_spec.name + " needs undefined blob " +
+                                 name);
+      }
+      bottoms.push_back(it->second.get());
+      // In-place diff writes assume single consumers (Caffe inserts Split
+      // layers for fan-out; we require the spec to avoid it).
+      if (layer_spec.type != LayerType::Accuracy && ++consumer_count[name] > 1) {
+        throw std::runtime_error("Net: blob " + name +
+                                 " consumed by multiple gradient-producing layers");
+      }
+    }
+    std::vector<Blob*> tops;
+    for (const std::string& name : layer_spec.tops) {
+      if (blobs_.count(name)) {
+        throw std::runtime_error("Net: top blob " + name + " already defined");
+      }
+      blobs_[name] = std::make_unique<Blob>();
+      tops.push_back(blobs_[name].get());
+    }
+
+    layer->setup(bottoms, tops, rng);
+
+    for (Blob* param : layer->params()) params_.push_back(param);
+    layers_.push_back(std::move(layer));
+    layer_bottoms_.push_back(std::move(bottoms));
+    layer_tops_.push_back(std::move(tops));
+  }
+
+  // Flattened layout: layer-major, matching the packed_comm_buffer.
+  std::size_t offset = 0;
+  std::size_t li = 0;
+  for (const auto& layer : layers_) {
+    std::size_t layer_count = 0;
+    for (const Blob* param : layers_[li]->params()) layer_count += param->count();
+    layer_ranges_.emplace_back(offset, layer_count);
+    offset += layer_count;
+    (void)layer;
+    ++li;
+  }
+  param_count_ = offset;
+
+  if (device_) {
+    std::size_t bytes = 0;
+    for (const auto& [name, blob] : blobs_) bytes += blob->count() * 2 * sizeof(float);
+    for (const Blob* param : params_) bytes += param->count() * 2 * sizeof(float);
+    device_->charge(bytes);  // throws OutOfMemoryError if the model won't fit
+    charged_bytes_ = bytes;
+  }
+}
+
+Net::~Net() {
+  if (device_ && charged_bytes_ > 0) device_->refund(charged_bytes_);
+}
+
+Blob& Net::blob(const std::string& name) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) throw std::runtime_error("Net: unknown blob " + name);
+  return *it->second;
+}
+
+float Net::forward() {
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(layer_bottoms_[i], layer_tops_[i]);
+    if (layers_[i]->is_loss()) loss += layer_tops_[i][0]->data()[0];
+  }
+  return loss;
+}
+
+void Net::backward() {
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (layers_[i]->is_loss()) {
+      layer_tops_[i][0]->diff()[0] = 1.0f;
+    }
+    if (layers_[i]->spec().type == LayerType::Accuracy) continue;
+    layers_[i]->backward(layer_tops_[i], layer_bottoms_[i]);
+  }
+}
+
+float Net::forward_layer(std::size_t i) {
+  layers_[i]->forward(layer_bottoms_[i], layer_tops_[i]);
+  return layers_[i]->is_loss() ? layer_tops_[i][0]->data()[0] : 0.0f;
+}
+
+void Net::backward_layer(std::size_t i) {
+  if (layers_[i]->is_loss()) layer_tops_[i][0]->diff()[0] = 1.0f;
+  if (layers_[i]->spec().type == LayerType::Accuracy) return;
+  layers_[i]->backward(layer_tops_[i], layer_bottoms_[i]);
+}
+
+namespace {
+
+/// Iterates one layer's parameter blobs against a packed segment.
+template <typename BlobSpanFn>
+void walk_layer_segment(const std::vector<std::unique_ptr<Layer>>& layers, std::size_t i,
+                        std::size_t segment_size, BlobSpanFn&& fn) {
+  std::size_t offset = 0;
+  for (Blob* param : layers[i]->params()) {
+    fn(*param, offset);
+    offset += param->count();
+  }
+  if (offset != segment_size) throw std::runtime_error("layer segment size mismatch");
+}
+
+}  // namespace
+
+void Net::flatten_layer_params(std::size_t i, std::span<float> out) const {
+  walk_layer_segment(layers_, i, out.size(), [&](Blob& param, std::size_t offset) {
+    std::copy(param.data().begin(), param.data().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+  });
+}
+
+void Net::unflatten_layer_params(std::size_t i, std::span<const float> in) {
+  walk_layer_segment(layers_, i, in.size(), [&](Blob& param, std::size_t offset) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+              in.begin() + static_cast<std::ptrdiff_t>(offset + param.count()),
+              param.data().begin());
+  });
+}
+
+void Net::flatten_layer_diffs(std::size_t i, std::span<float> out) const {
+  walk_layer_segment(layers_, i, out.size(), [&](Blob& param, std::size_t offset) {
+    std::copy(param.diff().begin(), param.diff().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+  });
+}
+
+void Net::unflatten_layer_diffs(std::size_t i, std::span<const float> in) {
+  walk_layer_segment(layers_, i, in.size(), [&](Blob& param, std::size_t offset) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+              in.begin() + static_cast<std::ptrdiff_t>(offset + param.count()),
+              param.diff().begin());
+  });
+}
+
+void Net::flatten_params(std::span<float> out) const {
+  if (out.size() != param_count_) throw std::runtime_error("flatten_params: size mismatch");
+  std::size_t offset = 0;
+  for (const Blob* param : params_) {
+    std::copy(param->data().begin(), param->data().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += param->count();
+  }
+}
+
+void Net::unflatten_params(std::span<const float> in) {
+  if (in.size() != param_count_) throw std::runtime_error("unflatten_params: size mismatch");
+  std::size_t offset = 0;
+  for (Blob* param : params_) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+              in.begin() + static_cast<std::ptrdiff_t>(offset + param->count()),
+              param->data().begin());
+    offset += param->count();
+  }
+}
+
+void Net::flatten_diffs(std::span<float> out) const {
+  if (out.size() != param_count_) throw std::runtime_error("flatten_diffs: size mismatch");
+  std::size_t offset = 0;
+  for (const Blob* param : params_) {
+    std::copy(param->diff().begin(), param->diff().end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += param->count();
+  }
+}
+
+void Net::unflatten_diffs(std::span<const float> in) {
+  if (in.size() != param_count_) throw std::runtime_error("unflatten_diffs: size mismatch");
+  std::size_t offset = 0;
+  for (Blob* param : params_) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+              in.begin() + static_cast<std::ptrdiff_t>(offset + param->count()),
+              param->diff().begin());
+    offset += param->count();
+  }
+}
+
+void Net::scale_diffs(float factor) {
+  for (Blob* param : params_) {
+    for (float& v : param->diff()) v *= factor;
+  }
+}
+
+void Net::zero_param_diffs() {
+  for (Blob* param : params_) param->zero_diff();
+}
+
+void Net::set_iteration(long iteration) {
+  for (auto& layer : layers_) layer->set_iteration(iteration);
+}
+
+}  // namespace scaffe::dl

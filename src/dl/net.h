@@ -1,0 +1,116 @@
+// Net: wires layers over named blobs (Section 2.2's Net/Model abstraction).
+//
+// A NetSpec declares input blobs (filled by the caller / data readers) and an
+// ordered list of LayerSpecs; execution follows spec order forward and the
+// reverse order backward — exactly Caffe's phase structure that S-Caffe's
+// co-designs interleave with communication.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dl/layer.h"
+#include "gpu/device.h"
+
+namespace scaffe::dl {
+
+struct NetSpec {
+  struct Input {
+    std::string name;
+    std::vector<int> shape;
+  };
+
+  std::string name;
+  std::vector<Input> inputs;
+  std::vector<LayerSpec> layers;
+};
+
+class Net {
+ public:
+  /// Builds and shapes the network. Identical (spec, seed) pairs produce
+  /// bit-identical parameter initializations — the property data-parallel
+  /// solver replicas rely on. If `device` is given, parameter and activation
+  /// memory is charged against it (OutOfMemoryError on overflow).
+  explicit Net(NetSpec spec, std::uint64_t seed = 1, gpu::Device* device = nullptr);
+  ~Net();
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+
+  const std::string& name() const noexcept { return spec_.name; }
+
+  /// Looks up a blob by name (inputs, activations); throws if unknown.
+  Blob& blob(const std::string& name);
+
+  /// Runs all layers forward; returns the summed loss.
+  float forward();
+
+  /// Seeds loss diffs with 1 and runs all layers backward.
+  void backward();
+
+  // --- per-layer execution (the fine-grain workflow S-Caffe's SC-OB/SC-OBR
+  // co-designs interleave with communication, Section 4.2/4.3) --------------
+
+  /// Runs layer `i` forward; returns its loss contribution (0 if not a loss).
+  float forward_layer(std::size_t i);
+
+  /// Runs layer `i` backward (seeds the loss diff first when it is a loss
+  /// layer; skips Accuracy).
+  void backward_layer(std::size_t i);
+
+  /// Learnable parameter blobs in deterministic (layer, param) order.
+  const std::vector<Blob*>& params() const noexcept { return params_; }
+
+  /// Total learnable parameter count.
+  std::size_t param_count() const noexcept { return param_count_; }
+
+  /// (offset, count) of each layer's parameter segment within the flattened
+  /// parameter vector, in layer order. Layers without parameters contribute
+  /// (offset, 0). This is the packed_comm_buffer layout S-Caffe's per-layer
+  /// multi-stage Ibcast/reduce schemes operate on.
+  const std::vector<std::pair<std::size_t, std::size_t>>& layer_param_ranges() const noexcept {
+    return layer_ranges_;
+  }
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  // --- packed-buffer access (gradient aggregation / data propagation) -------
+  void flatten_params(std::span<float> out) const;
+  void unflatten_params(std::span<const float> in);
+  void flatten_diffs(std::span<float> out) const;
+  void unflatten_diffs(std::span<const float> in);
+
+  /// Per-layer segment views: `out`/`in` must be exactly the layer's segment
+  /// (layer_param_ranges()[i].second floats).
+  void flatten_layer_params(std::size_t i, std::span<float> out) const;
+  void unflatten_layer_params(std::size_t i, std::span<const float> in);
+  void flatten_layer_diffs(std::size_t i, std::span<float> out) const;
+  void unflatten_layer_diffs(std::size_t i, std::span<const float> in);
+  void scale_diffs(float factor);
+  void zero_param_diffs();
+
+  /// Propagates the iteration counter to stochastic layers (dropout masks).
+  void set_iteration(long iteration);
+
+  /// Device-memory footprint charged at construction (0 without a device).
+  std::size_t charged_bytes() const noexcept { return charged_bytes_; }
+
+ private:
+  NetSpec spec_;
+  gpu::Device* device_ = nullptr;
+  std::size_t charged_bytes_ = 0;
+
+  std::map<std::string, std::unique_ptr<Blob>> blobs_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::vector<Blob*>> layer_bottoms_;
+  std::vector<std::vector<Blob*>> layer_tops_;
+  std::vector<Blob*> params_;
+  std::vector<std::pair<std::size_t, std::size_t>> layer_ranges_;
+  std::size_t param_count_ = 0;
+};
+
+}  // namespace scaffe::dl

@@ -1,0 +1,216 @@
+#include "dl/netspec_text.h"
+
+#include <sstream>
+#include <vector>
+
+namespace scaffe::dl {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+int to_int(const std::string& token, int line) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw NetSpecParseError(line, "expected integer, got '" + token + "'");
+  }
+}
+
+float to_float(const std::string& token, int line) {
+  try {
+    std::size_t used = 0;
+    const float value = std::stof(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    throw NetSpecParseError(line, "expected number, got '" + token + "'");
+  }
+}
+
+void expect_args(const std::vector<std::string>& tokens, std::size_t count, int line) {
+  if (tokens.size() != count) {
+    throw NetSpecParseError(line, "'" + tokens[0] + "' expects " + std::to_string(count - 1) +
+                                      " arguments, got " + std::to_string(tokens.size() - 1));
+  }
+}
+
+}  // namespace
+
+NetSpec parse_netspec(const std::string& text) {
+  NetSpec spec;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::vector<std::string> t = tokenize(line);
+    if (t.empty()) continue;
+    const std::string& kind = t[0];
+
+    if (kind == "name:") {
+      expect_args(t, 2, line_no);
+      spec.name = t[1];
+    } else if (kind == "input") {
+      if (t.size() < 3) throw NetSpecParseError(line_no, "input needs a name and dims");
+      NetSpec::Input input;
+      input.name = t[1];
+      for (std::size_t i = 2; i < t.size(); ++i) input.shape.push_back(to_int(t[i], line_no));
+      spec.inputs.push_back(std::move(input));
+    } else if (kind == "conv") {
+      expect_args(t, 8, line_no);
+      spec.layers.push_back(LayerSpec::conv(t[1], t[2], t[3], to_int(t[4], line_no),
+                                            to_int(t[5], line_no), to_int(t[6], line_no),
+                                            to_int(t[7], line_no)));
+    } else if (kind == "pool") {
+      expect_args(t, 8, line_no);
+      PoolMethod method;
+      if (t[4] == "max") {
+        method = PoolMethod::Max;
+      } else if (t[4] == "ave") {
+        method = PoolMethod::Ave;
+      } else {
+        throw NetSpecParseError(line_no, "pool method must be max or ave");
+      }
+      LayerSpec pool = LayerSpec::pool(t[1], t[2], t[3], to_int(t[5], line_no),
+                                       to_int(t[6], line_no), method);
+      pool.pad = to_int(t[7], line_no);
+      spec.layers.push_back(std::move(pool));
+    } else if (kind == "relu") {
+      expect_args(t, 4, line_no);
+      spec.layers.push_back(LayerSpec::relu(t[1], t[2], t[3]));
+    } else if (kind == "lrn") {
+      expect_args(t, 4, line_no);
+      spec.layers.push_back(LayerSpec::lrn(t[1], t[2], t[3]));
+    } else if (kind == "dropout") {
+      expect_args(t, 5, line_no);
+      spec.layers.push_back(LayerSpec::dropout(t[1], t[2], t[3], to_float(t[4], line_no)));
+    } else if (kind == "ip") {
+      expect_args(t, 5, line_no);
+      spec.layers.push_back(LayerSpec::inner_product(t[1], t[2], t[3], to_int(t[4], line_no)));
+    } else if (kind == "softmax") {
+      expect_args(t, 4, line_no);
+      spec.layers.push_back(LayerSpec::softmax(t[1], t[2], t[3]));
+    } else if (kind == "softmax_loss") {
+      expect_args(t, 5, line_no);
+      spec.layers.push_back(LayerSpec::softmax_loss(t[1], t[2], t[3], t[4]));
+    } else if (kind == "accuracy") {
+      expect_args(t, 5, line_no);
+      spec.layers.push_back(LayerSpec::accuracy(t[1], t[2], t[3], t[4]));
+    } else if (kind == "sigmoid") {
+      expect_args(t, 4, line_no);
+      spec.layers.push_back(LayerSpec::sigmoid(t[1], t[2], t[3]));
+    } else if (kind == "tanh") {
+      expect_args(t, 4, line_no);
+      spec.layers.push_back(LayerSpec::tanh(t[1], t[2], t[3]));
+    } else if (kind == "eltwise_sum") {
+      if (t.size() < 5 || t[t.size() - 2] != "->") {
+        throw NetSpecParseError(line_no, "eltwise_sum syntax: eltwise_sum name b1 b2 ... -> top");
+      }
+      spec.layers.push_back(LayerSpec::eltwise_sum(
+          t[1], std::vector<std::string>(t.begin() + 2, t.end() - 2), t.back()));
+    } else if (kind == "split") {
+      if (t.size() < 4) throw NetSpecParseError(line_no, "split needs >=2 tops");
+      spec.layers.push_back(
+          LayerSpec::split(t[1], t[2], std::vector<std::string>(t.begin() + 3, t.end())));
+    } else if (kind == "concat") {
+      // concat <name> <bottom...> -> <top>
+      if (t.size() < 5 || t[t.size() - 2] != "->") {
+        throw NetSpecParseError(line_no, "concat syntax: concat name b1 b2 ... -> top");
+      }
+      spec.layers.push_back(LayerSpec::concat(
+          t[1], std::vector<std::string>(t.begin() + 2, t.end() - 2), t.back()));
+    } else {
+      throw NetSpecParseError(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  return spec;
+}
+
+std::string netspec_to_text(const NetSpec& spec) {
+  std::ostringstream out;
+  out << "name: " << spec.name << "\n";
+  for (const auto& input : spec.inputs) {
+    out << "input " << input.name;
+    for (int dim : input.shape) out << ' ' << dim;
+    out << "\n";
+  }
+  for (const LayerSpec& layer : spec.layers) {
+    switch (layer.type) {
+      case LayerType::Convolution:
+        out << "conv " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0] << ' '
+            << layer.num_output << ' ' << layer.kernel << ' ' << layer.stride << ' '
+            << layer.pad << "\n";
+        break;
+      case LayerType::Pooling:
+        out << "pool " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0] << ' '
+            << (layer.pool_method == PoolMethod::Max ? "max" : "ave") << ' ' << layer.kernel
+            << ' ' << layer.stride << ' ' << layer.pad << "\n";
+        break;
+      case LayerType::ReLU:
+        out << "relu " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0] << "\n";
+        break;
+      case LayerType::LRN:
+        out << "lrn " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0] << "\n";
+        break;
+      case LayerType::Dropout:
+        out << "dropout " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0]
+            << ' ' << layer.dropout_ratio << "\n";
+        break;
+      case LayerType::InnerProduct:
+        out << "ip " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0] << ' '
+            << layer.num_output << "\n";
+        break;
+      case LayerType::Softmax:
+        out << "softmax " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0]
+            << "\n";
+        break;
+      case LayerType::SoftmaxWithLoss:
+        out << "softmax_loss " << layer.name << ' ' << layer.bottoms[0] << ' '
+            << layer.bottoms[1] << ' ' << layer.tops[0] << "\n";
+        break;
+      case LayerType::Accuracy:
+        out << "accuracy " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.bottoms[1]
+            << ' ' << layer.tops[0] << "\n";
+        break;
+      case LayerType::Split:
+        out << "split " << layer.name << ' ' << layer.bottoms[0];
+        for (const auto& top : layer.tops) out << ' ' << top;
+        out << "\n";
+        break;
+      case LayerType::Concat:
+        out << "concat " << layer.name;
+        for (const auto& bottom : layer.bottoms) out << ' ' << bottom;
+        out << " -> " << layer.tops[0] << "\n";
+        break;
+      case LayerType::Sigmoid:
+        out << "sigmoid " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0]
+            << "\n";
+        break;
+      case LayerType::TanH:
+        out << "tanh " << layer.name << ' ' << layer.bottoms[0] << ' ' << layer.tops[0]
+            << "\n";
+        break;
+      case LayerType::EltwiseSum:
+        out << "eltwise_sum " << layer.name;
+        for (const auto& bottom : layer.bottoms) out << ' ' << bottom;
+        out << " -> " << layer.tops[0] << "\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace scaffe::dl

@@ -1,0 +1,47 @@
+// Text format for NetSpecs — the moral equivalent of Caffe's prototxt, kept
+// deliberately line-oriented so model definitions can live in files or be
+// embedded in experiment scripts.
+//
+//   # comment
+//   name: cifar10_quick
+//   input data 8 3 32 32
+//   input label 8
+//   conv conv1 data conv1 32 5 1 2        # name bottom top out k stride pad
+//   pool pool1 conv1 pool1 max 3 2 0      # name bottom top max|ave k stride pad
+//   relu relu1 pool1 relu1
+//   lrn norm1 relu1 norm1
+//   dropout drop1 relu1 drop1 0.5
+//   ip ip1 pool3 ip1 64
+//   split sp ip2 a b
+//   concat cc a b -> cc_out               # bottoms... -> top
+//   softmax sm fc sm
+//   softmax_loss loss ip2 label loss
+//   accuracy acc ip2 label acc
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "dl/net.h"
+
+namespace scaffe::dl {
+
+class NetSpecParseError : public std::runtime_error {
+ public:
+  NetSpecParseError(int line, const std::string& what)
+      : std::runtime_error("netspec line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses the text format above; throws NetSpecParseError on bad input.
+NetSpec parse_netspec(const std::string& text);
+
+/// Serializes a NetSpec back to the text format (round-trips with
+/// parse_netspec for every spec this library produces).
+std::string netspec_to_text(const NetSpec& spec);
+
+}  // namespace scaffe::dl

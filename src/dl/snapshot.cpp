@@ -1,0 +1,60 @@
+#include "dl/snapshot.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace scaffe::dl {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'C', 'A', 'F'};
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_params(const Net& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_params: cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = net.param_count();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+
+  std::vector<float> params(net.param_count());
+  net.flatten_params(params);
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+void load_params(Net& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_params: bad magic in " + path);
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("load_params: unsupported version in " + path);
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != net.param_count()) {
+    throw std::runtime_error("load_params: parameter count mismatch (" + path + " has " +
+                             std::to_string(count) + ", net needs " +
+                             std::to_string(net.param_count()) + ")");
+  }
+  std::vector<float> params(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(params.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_params: truncated file " + path);
+  net.unflatten_params(params);
+}
+
+}  // namespace scaffe::dl

@@ -1,0 +1,20 @@
+// Parameter snapshots: save/restore a Net's learnable state to a file
+// (Caffe's .caffemodel moral equivalent). Binary format:
+//   magic "SCAF" | u32 version | u64 param_count | float data...
+#pragma once
+
+#include <string>
+
+#include "dl/net.h"
+
+namespace scaffe::dl {
+
+/// Writes the net's flattened parameters; throws std::runtime_error on I/O
+/// failure.
+void save_params(const Net& net, const std::string& path);
+
+/// Restores parameters saved by save_params; throws on I/O failure, bad
+/// magic/version, or parameter-count mismatch with `net`.
+void load_params(Net& net, const std::string& path);
+
+}  // namespace scaffe::dl

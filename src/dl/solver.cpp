@@ -1,0 +1,72 @@
+#include "dl/solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gpu/kernels.h"
+
+namespace scaffe::dl {
+
+SgdSolver::SgdSolver(NetSpec net_spec, SolverConfig config, gpu::Device* device)
+    : config_(config), net_(std::move(net_spec), config.seed, device) {
+  momentum_.reserve(net_.params().size());
+  for (const Blob* param : net_.params()) {
+    momentum_.emplace_back(param->count(), 0.0f);
+  }
+}
+
+float SgdSolver::learning_rate() const noexcept {
+  switch (config_.lr_policy) {
+    case SolverConfig::LrPolicy::Fixed:
+      return config_.base_lr;
+    case SolverConfig::LrPolicy::Step:
+      return config_.base_lr *
+             std::pow(config_.gamma, static_cast<float>(iteration_ / config_.step_size));
+  }
+  return config_.base_lr;
+}
+
+float SgdSolver::step(std::span<const float> data, std::span<const float> labels) {
+  Blob& data_blob = net_.blob("data");
+  Blob& label_blob = net_.blob("label");
+  if (data.size() != data_blob.count() || labels.size() != label_blob.count()) {
+    throw std::runtime_error("SgdSolver::step: batch size mismatch");
+  }
+  std::copy(data.begin(), data.end(), data_blob.data().begin());
+  std::copy(labels.begin(), labels.end(), label_blob.data().begin());
+  return step_preloaded();
+}
+
+float SgdSolver::step_preloaded() {
+  net_.set_iteration(iteration_);
+  net_.zero_param_diffs();
+  const float loss = net_.forward();
+  net_.backward();
+  return loss;
+}
+
+double SgdSolver::diff_l2_norm() const {
+  double sum_sq = 0.0;
+  for (const Blob* param : net_.params()) {
+    for (float v : param->diff()) sum_sq += static_cast<double>(v) * v;
+  }
+  return std::sqrt(sum_sq);
+}
+
+void SgdSolver::apply_update() {
+  if (config_.clip_gradients > 0.0f) {
+    const double norm = diff_l2_norm();
+    if (norm > config_.clip_gradients) {
+      net_.scale_diffs(static_cast<float>(config_.clip_gradients / norm));
+    }
+  }
+  const float lr = learning_rate();
+  const auto& params = net_.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    gpu::sgd_update(params[i]->data(), params[i]->diff(), momentum_[i], lr, config_.momentum,
+                    config_.weight_decay);
+  }
+  ++iteration_;
+}
+
+}  // namespace scaffe::dl

@@ -1,0 +1,72 @@
+// SGD solver (Section 2.2's Solver abstraction).
+//
+// One solver per GPU; each owns its Net replica. A training iteration is
+// step() (load inputs, forward, backward) followed by apply_update().
+// Distributed trainers hook between the two: they aggregate parameter diffs
+// across solvers (the gradient aggregation phase) before the root applies
+// the update — precisely the S-Caffe workflow of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dl/net.h"
+
+namespace scaffe::dl {
+
+struct SolverConfig {
+  float base_lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+
+  /// L2 gradient clipping threshold (Caffe's clip_gradients); 0 disables.
+  /// When the global diff norm exceeds it, diffs are rescaled to the
+  /// threshold before the update.
+  float clip_gradients = 0.0f;
+
+  enum class LrPolicy { Fixed, Step };
+  LrPolicy lr_policy = LrPolicy::Fixed;
+  float gamma = 0.1f;   // Step: lr *= gamma every step_size iterations
+  long step_size = 100000;
+
+  std::uint64_t seed = 1;  // net parameter initialization seed
+};
+
+class SgdSolver {
+ public:
+  SgdSolver(NetSpec net_spec, SolverConfig config, gpu::Device* device = nullptr);
+
+  Net& net() noexcept { return net_; }
+  const SolverConfig& config() const noexcept { return config_; }
+  long iteration() const noexcept { return iteration_; }
+
+  /// Effective learning rate at the current iteration.
+  float learning_rate() const noexcept;
+
+  /// Loads one mini-batch into the `data`/`label` input blobs, zeroes
+  /// parameter diffs, and runs forward + backward. Returns the loss.
+  float step(std::span<const float> data, std::span<const float> labels);
+
+  /// Forward + backward on whatever is already in the input blobs.
+  float step_preloaded();
+
+  /// Momentum-SGD parameter update from current diffs (after optional
+  /// gradient clipping); advances iteration.
+  void apply_update();
+
+  /// Global L2 norm of the current parameter diffs.
+  double diff_l2_norm() const;
+
+  /// Advances the iteration counter without updating parameters — what
+  /// non-root solvers do in S-Caffe's root-update scheme (the root's update
+  /// reaches them through the next data-propagation broadcast).
+  void advance_iteration() noexcept { ++iteration_; }
+
+ private:
+  SolverConfig config_;
+  Net net_;
+  std::vector<std::vector<float>> momentum_;  // one buffer per param blob
+  long iteration_ = 0;
+};
+
+}  // namespace scaffe::dl

@@ -1,0 +1,75 @@
+#include "dl/solver_text.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace scaffe::dl {
+
+SolverConfig parse_solver_config(const std::string& text) {
+  SolverConfig config;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;
+    std::string value;
+    if (!(tokens >> value)) {
+      throw std::runtime_error("solver config line " + std::to_string(line_no) +
+                               ": missing value for " + key);
+    }
+
+    try {
+      if (key == "base_lr:") {
+        config.base_lr = std::stof(value);
+      } else if (key == "momentum:") {
+        config.momentum = std::stof(value);
+      } else if (key == "weight_decay:") {
+        config.weight_decay = std::stof(value);
+      } else if (key == "gamma:") {
+        config.gamma = std::stof(value);
+      } else if (key == "step_size:") {
+        config.step_size = std::stol(value);
+      } else if (key == "seed:") {
+        config.seed = std::stoull(value);
+      } else if (key == "clip_gradients:") {
+        config.clip_gradients = std::stof(value);
+      } else if (key == "lr_policy:") {
+        if (value == "fixed") {
+          config.lr_policy = SolverConfig::LrPolicy::Fixed;
+        } else if (value == "step") {
+          config.lr_policy = SolverConfig::LrPolicy::Step;
+        } else {
+          throw std::runtime_error("unknown lr_policy '" + value + "'");
+        }
+      } else {
+        throw std::runtime_error("unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("solver config line " + std::to_string(line_no) +
+                               ": bad value '" + value + "' for " + key);
+    }
+  }
+  return config;
+}
+
+std::string solver_config_to_text(const SolverConfig& config) {
+  std::ostringstream out;
+  out << "base_lr: " << config.base_lr << "\n";
+  out << "momentum: " << config.momentum << "\n";
+  out << "weight_decay: " << config.weight_decay << "\n";
+  out << "lr_policy: "
+      << (config.lr_policy == SolverConfig::LrPolicy::Fixed ? "fixed" : "step") << "\n";
+  out << "gamma: " << config.gamma << "\n";
+  out << "step_size: " << config.step_size << "\n";
+  out << "seed: " << config.seed << "\n";
+  out << "clip_gradients: " << config.clip_gradients << "\n";
+  return out.str();
+}
+
+}  // namespace scaffe::dl

@@ -1,0 +1,26 @@
+// Text format for SolverConfig — the solver.prototxt moral equivalent.
+//
+//   base_lr: 0.01
+//   momentum: 0.9
+//   weight_decay: 0.004
+//   lr_policy: step        # or fixed
+//   gamma: 0.1
+//   step_size: 1000
+//   seed: 5
+//   clip_gradients: 35
+#pragma once
+
+#include <string>
+
+#include "dl/solver.h"
+
+namespace scaffe::dl {
+
+/// Parses the key:value format above; unknown keys raise std::runtime_error
+/// (typos in hyper-parameters should never pass silently).
+SolverConfig parse_solver_config(const std::string& text);
+
+/// Serializes (round-trips with parse_solver_config).
+std::string solver_config_to_text(const SolverConfig& config);
+
+}  // namespace scaffe::dl

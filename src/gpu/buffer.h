@@ -1,0 +1,88 @@
+// RAII device buffer: host-backed storage charged against a simulated Device.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "gpu/device.h"
+
+namespace scaffe::gpu {
+
+/// A typed allocation living "on" a simulated device. Move-only; releasing
+/// refunds the device's capacity accounting.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& device, std::size_t count) : device_(&device), count_(count) {
+    device.charge(bytes());
+    data_ = std::make_unique<T[]>(count);
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : device_(std::exchange(other.device_, nullptr)),
+        count_(std::exchange(other.count_, 0)),
+        data_(std::move(other.data_)) {}
+
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      device_ = std::exchange(other.device_, nullptr);
+      count_ = std::exchange(other.count_, 0);
+      data_ = std::move(other.data_);
+    }
+    return *this;
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  bool valid() const noexcept { return data_ != nullptr; }
+  std::size_t size() const noexcept { return count_; }
+  std::size_t bytes() const noexcept { return count_ * sizeof(T); }
+  Device* device() const noexcept { return device_; }
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+
+  std::span<T> span() noexcept { return {data_.get(), count_}; }
+  std::span<const T> span() const noexcept { return {data_.get(), count_}; }
+
+  std::span<T> subspan(std::size_t offset, std::size_t count) noexcept {
+    assert(offset + count <= count_);
+    return {data_.get() + offset, count};
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < count_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < count_);
+    return data_[i];
+  }
+
+  void zero() noexcept {
+    if (data_) std::memset(data_.get(), 0, bytes());
+  }
+
+ private:
+  void release() noexcept {
+    if (device_ && data_) device_->refund(bytes());
+    device_ = nullptr;
+    data_.reset();
+    count_ = 0;
+  }
+
+  Device* device_ = nullptr;
+  std::size_t count_ = 0;
+  std::unique_ptr<T[]> data_;
+};
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,81 @@
+// Simulated GPU device: memory-capacity accounting with real out-of-memory
+// faults, plus per-device bookkeeping used by the functional substrate.
+//
+// Buffers allocated through a Device are ordinary host memory (there is no
+// real GPU here), but every allocation is charged against the device's
+// capacity — Figure 8's missing data points (batches too large for 12 GB)
+// come out of these faults, not special cases.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace scaffe::gpu {
+
+/// Thrown when a device allocation exceeds remaining capacity.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  OutOfMemoryError(int device, std::size_t requested, std::size_t available)
+      : std::runtime_error("gpu " + std::to_string(device) + ": out of memory (requested " +
+                           util::fmt_bytes(requested) + ", available " +
+                           util::fmt_bytes(available) + ")"),
+        device_(device),
+        requested_(requested),
+        available_(available) {}
+
+  int device() const noexcept { return device_; }
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t available() const noexcept { return available_; }
+
+ private:
+  int device_;
+  std::size_t requested_;
+  std::size_t available_;
+};
+
+class Device {
+ public:
+  explicit Device(int id, std::size_t capacity_bytes = std::size_t{12} * util::kGiB) noexcept
+      : id_(id), capacity_(capacity_bytes) {}
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const noexcept { return id_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t allocated() const noexcept { return allocated_.load(); }
+  std::size_t available() const noexcept {
+    const std::size_t used = allocated_.load();
+    return used >= capacity_ ? 0 : capacity_ - used;
+  }
+  std::size_t peak_allocated() const noexcept { return peak_.load(); }
+  std::uint64_t allocation_count() const noexcept { return allocations_.load(); }
+
+  /// Charges `bytes` against capacity; throws OutOfMemoryError if it can't.
+  void charge(std::size_t bytes) {
+    std::size_t used = allocated_.load();
+    for (;;) {
+      if (used + bytes > capacity_) throw OutOfMemoryError(id_, bytes, capacity_ - used);
+      if (allocated_.compare_exchange_weak(used, used + bytes)) break;
+    }
+    allocations_.fetch_add(1);
+    std::size_t peak = peak_.load();
+    while (used + bytes > peak && !peak_.compare_exchange_weak(peak, used + bytes)) {
+    }
+  }
+
+  /// Returns `bytes` to the device pool.
+  void refund(std::size_t bytes) noexcept { allocated_.fetch_sub(bytes); }
+
+ private:
+  int id_;
+  std::size_t capacity_;
+  std::atomic<std::size_t> allocated_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+};
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,66 @@
+#include "gpu/kernels.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace scaffe::gpu {
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void accumulate(std::span<const float> src, std::span<float> acc) noexcept {
+  assert(src.size() == acc.size());
+  for (std::size_t i = 0; i < src.size(); ++i) acc[i] += src[i];
+}
+
+void copy(std::span<const float> src, std::span<float> dst) noexcept {
+  assert(src.size() == dst.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size_bytes());
+}
+
+void scale(float alpha, std::span<float> x) noexcept {
+  for (float& v : x) v *= alpha;
+}
+
+void fill(float value, std::span<float> x) noexcept {
+  for (float& v : x) v = value;
+}
+
+double sum(std::span<const float> x) noexcept {
+  double total = 0.0;
+  for (float v : x) total += v;
+  return total;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) noexcept {
+  assert(x.size() == y.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) total += static_cast<double>(x[i]) * y[i];
+  return total;
+}
+
+void sgd_update(std::span<float> param, std::span<const float> grad, std::span<float> momentum_buf,
+                float lr, float momentum, float weight_decay) noexcept {
+  assert(param.size() == grad.size() && param.size() == momentum_buf.size());
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const float g = grad[i] + weight_decay * param[i];
+    momentum_buf[i] = momentum * momentum_buf[i] - lr * g;
+    param[i] += momentum_buf[i];
+  }
+}
+
+void launch_accumulate(Stream& stream, std::span<const float> src, std::span<float> acc) {
+  stream.enqueue([src, acc] { accumulate(src, acc); });
+}
+
+void launch_copy(Stream& stream, std::span<const float> src, std::span<float> dst) {
+  stream.enqueue([src, dst] { copy(src, dst); });
+}
+
+void launch_fill(Stream& stream, float value, std::span<float> x) {
+  stream.enqueue([value, x] { fill(value, x); });
+}
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,43 @@
+// Float "kernels" used by solvers and reductions. Synchronous forms operate
+// on spans; `launch_*` forms enqueue onto a Stream (async, in-order).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "gpu/stream.h"
+
+namespace scaffe::gpu {
+
+/// y[i] += alpha * x[i]
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// acc[i] += src[i] — the reduction combiner.
+void accumulate(std::span<const float> src, std::span<float> acc) noexcept;
+
+/// dst[i] = src[i]
+void copy(std::span<const float> src, std::span<float> dst) noexcept;
+
+/// x[i] *= alpha
+void scale(float alpha, std::span<float> x) noexcept;
+
+/// x[i] = value
+void fill(float value, std::span<float> x) noexcept;
+
+/// sum(x)
+double sum(std::span<const float> x) noexcept;
+
+/// dot(x, y)
+double dot(std::span<const float> x, std::span<const float> y) noexcept;
+
+/// Momentum-SGD update, Caffe semantics:
+///   v = momentum * v - lr * (grad + weight_decay * param); param += v
+void sgd_update(std::span<float> param, std::span<const float> grad, std::span<float> momentum_buf,
+                float lr, float momentum, float weight_decay) noexcept;
+
+/// Asynchronous variants: enqueue onto `stream`. Spans must outlive execution.
+void launch_accumulate(Stream& stream, std::span<const float> src, std::span<float> acc);
+void launch_copy(Stream& stream, std::span<const float> src, std::span<float> dst);
+void launch_fill(Stream& stream, float value, std::span<float> x);
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,45 @@
+#include "gpu/memcpy.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace scaffe::gpu {
+
+namespace {
+std::atomic<std::size_t> g_bytes[4] = {};
+
+void copy_payload(std::span<float> dst, std::span<const float> src, CopyKind kind) {
+  assert(dst.size() == src.size());
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size_bytes());
+  g_bytes[static_cast<int>(kind)].fetch_add(src.size_bytes(), std::memory_order_relaxed);
+}
+}  // namespace
+
+const char* copy_kind_name(CopyKind kind) noexcept {
+  switch (kind) {
+    case CopyKind::HostToDevice: return "H2D";
+    case CopyKind::DeviceToHost: return "D2H";
+    case CopyKind::DeviceToDevice: return "D2D";
+    case CopyKind::PeerToPeer: return "P2P";
+  }
+  return "?";
+}
+
+std::size_t CopyStats::bytes(CopyKind kind) noexcept {
+  return g_bytes[static_cast<int>(kind)].load(std::memory_order_relaxed);
+}
+
+void CopyStats::reset() noexcept {
+  for (auto& counter : g_bytes) counter.store(0, std::memory_order_relaxed);
+}
+
+void memcpy_sync(std::span<float> dst, std::span<const float> src, CopyKind kind) {
+  copy_payload(dst, src, kind);
+}
+
+void memcpy_async(Stream& stream, std::span<float> dst, std::span<const float> src,
+                  CopyKind kind) {
+  stream.enqueue([dst, src, kind] { copy_payload(dst, src, kind); });
+}
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,39 @@
+// Explicit memory-copy API, CUDA-style: the operations CUDA-aware MPI made
+// unnecessary for application code (Section 2.3) but which the runtime and
+// solvers still perform internally. Synchronous forms plus stream-ordered
+// async forms; every copy is tallied per direction for tests and
+// diagnostics.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+
+#include "gpu/stream.h"
+
+namespace scaffe::gpu {
+
+enum class CopyKind {
+  HostToDevice,
+  DeviceToHost,
+  DeviceToDevice,  // same device
+  PeerToPeer,      // across devices (CUDA IPC / P2P)
+};
+
+const char* copy_kind_name(CopyKind kind) noexcept;
+
+/// Global per-direction byte counters (process-wide, thread-safe).
+struct CopyStats {
+  static std::size_t bytes(CopyKind kind) noexcept;
+  static void reset() noexcept;
+};
+
+/// Synchronous copy ("cudaMemcpy").
+void memcpy_sync(std::span<float> dst, std::span<const float> src, CopyKind kind);
+
+/// Stream-ordered copy ("cudaMemcpyAsync"): completes when the stream
+/// reaches it; the spans must stay valid until then.
+void memcpy_async(Stream& stream, std::span<float> dst, std::span<const float> src,
+                  CopyKind kind);
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,57 @@
+#include "gpu/pool_allocator.h"
+
+namespace scaffe::gpu {
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+    pool_ = std::exchange(other.pool_, nullptr);
+    data_ = std::move(other.data_);
+    capacity_ = other.capacity_;
+    count_ = other.count_;
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() {
+  if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+}
+
+PooledBuffer PoolAllocator::acquire(std::size_t count) {
+  const std::size_t capacity = size_class(count);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_lists_.find(capacity);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      std::unique_ptr<float[]> block = std::move(it->second.back());
+      it->second.pop_back();
+      cached_bytes_ -= capacity * sizeof(float);
+      ++hits_;
+      return PooledBuffer(this, std::move(block), capacity, count);
+    }
+    ++misses_;
+  }
+  // Fresh block: charge the device (may throw OutOfMemoryError) outside the
+  // pool lock.
+  device_.charge(capacity * sizeof(float));
+  return PooledBuffer(this, std::make_unique<float[]>(capacity), capacity, count);
+}
+
+void PoolAllocator::give_back(std::unique_ptr<float[]> data, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_lists_[capacity].push_back(std::move(data));
+  cached_bytes_ += capacity * sizeof(float);
+  // Still charged against the device: the pool owns the memory (CNMeM-style).
+}
+
+void PoolAllocator::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [capacity, blocks] : free_lists_) {
+    device_.refund(capacity * sizeof(float) * blocks.size());
+    blocks.clear();
+  }
+  free_lists_.clear();
+  cached_bytes_ = 0;
+}
+
+}  // namespace scaffe::gpu

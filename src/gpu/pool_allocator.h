@@ -1,0 +1,92 @@
+// Caching device allocator, CNMeM-style (the memory manager Caffe-era
+// frameworks used to avoid cudaMalloc/cudaFree in the training loop).
+//
+// Freed blocks return to per-size-class free lists and stay charged against
+// the device (exactly CNMeM's behaviour — the pool owns the memory);
+// trim() releases the cache back to the device.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "gpu/device.h"
+
+namespace scaffe::gpu {
+
+class PoolAllocator;
+
+/// RAII handle to a pooled float block; returns to the pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        data_(std::move(other.data_)),
+        capacity_(other.capacity_),
+        count_(other.count_) {}
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept;
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+  ~PooledBuffer();
+
+  bool valid() const noexcept { return data_ != nullptr; }
+  std::size_t size() const noexcept { return count_; }          // requested
+  std::size_t capacity() const noexcept { return capacity_; }   // size class
+  std::span<float> span() noexcept { return {data_.get(), count_}; }
+  float* data() noexcept { return data_.get(); }
+
+ private:
+  friend class PoolAllocator;
+  PooledBuffer(PoolAllocator* pool, std::unique_ptr<float[]> data, std::size_t capacity,
+               std::size_t count)
+      : pool_(pool), data_(std::move(data)), capacity_(capacity), count_(count) {}
+
+  PoolAllocator* pool_ = nullptr;
+  std::unique_ptr<float[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t count_ = 0;
+};
+
+class PoolAllocator {
+ public:
+  explicit PoolAllocator(Device& device) : device_(device) {}
+  ~PoolAllocator() { trim(); }
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  /// Returns a block of at least `count` floats. Sizes round up to the next
+  /// power of two (size classes). Throws OutOfMemoryError when the device
+  /// cannot back a fresh block.
+  PooledBuffer acquire(std::size_t count);
+
+  /// Releases every cached block back to the device.
+  void trim();
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t cached_bytes() const noexcept { return cached_bytes_; }
+
+ private:
+  friend class PooledBuffer;
+  void give_back(std::unique_ptr<float[]> data, std::size_t capacity);
+
+  static std::size_t size_class(std::size_t count) noexcept {
+    std::size_t capacity = 16;
+    while (capacity < count) capacity <<= 1;
+    return capacity;
+  }
+
+  Device& device_;
+  std::mutex mutex_;
+  std::map<std::size_t, std::vector<std::unique_ptr<float[]>>> free_lists_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::size_t cached_bytes_ = 0;
+};
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,65 @@
+#include "gpu/stream.h"
+
+namespace scaffe::gpu {
+
+Stream::Stream() : worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_submit_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(work));
+    ++submitted_;
+  }
+  cv_submit_.notify_one();
+}
+
+Event Stream::record() {
+  Event event;
+  enqueue([event] { event.fire(); });
+  return event;
+}
+
+void Stream::synchronize() {
+  std::uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = submitted_;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_drain_.wait(lock, [&] { return completed_ >= target; });
+}
+
+std::uint64_t Stream::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> work;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_submit_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    cv_drain_.notify_all();
+  }
+}
+
+}  // namespace scaffe::gpu

@@ -1,0 +1,85 @@
+// In-order asynchronous execution stream and events, CUDA-style.
+//
+// Work submitted to a Stream runs on a dedicated worker thread in submission
+// order; `synchronize()` blocks until everything submitted so far completes.
+// Events capture a point in the stream and can be waited on independently —
+// the functional analogue of cudaEventRecord / cudaEventSynchronize that the
+// SC-OBR helper-thread design relies on.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace scaffe::gpu {
+
+/// A point in a stream's execution; complete once the stream passes it.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  bool complete() const {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->complete;
+  }
+
+  /// Blocks the calling thread until the event completes.
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->complete; });
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool complete = false;
+  };
+  void fire() const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      state_->complete = true;
+    }
+    state_->cv.notify_all();
+  }
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues arbitrary work (a "kernel launch" or async memcpy body).
+  void enqueue(std::function<void()> work);
+
+  /// Records an event at the current tail of the stream.
+  Event record();
+
+  /// Blocks until all previously-enqueued work completes.
+  void synchronize();
+
+  /// Number of operations executed (diagnostics).
+  std::uint64_t completed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_submit_;
+  std::condition_variable cv_drain_;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace scaffe::gpu

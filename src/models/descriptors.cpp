@@ -1,0 +1,164 @@
+#include "models/descriptors.h"
+
+namespace scaffe::models {
+
+namespace {
+constexpr double kM = 1e6;
+
+/// Convolution/FC layer: flops = 2 * MACs forward; backward needs the data
+/// gradient and the weight gradient, ~2x the forward work.
+LayerCost cost(std::string name, std::size_t params, double fwd_mflops,
+               std::size_t activation_floats) {
+  LayerCost c;
+  c.name = std::move(name);
+  c.param_count = params;
+  c.fwd_flops = fwd_mflops * kM;
+  c.bwd_flops = 2.0 * fwd_mflops * kM;
+  c.activation_floats = activation_floats;
+  return c;
+}
+}  // namespace
+
+std::size_t ModelDesc::param_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.param_count;
+  return total;
+}
+
+double ModelDesc::fwd_flops_per_sample() const noexcept {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.fwd_flops;
+  return total;
+}
+
+double ModelDesc::bwd_flops_per_sample() const noexcept {
+  double total = 0.0;
+  for (const auto& layer : layers) total += layer.bwd_flops;
+  return total;
+}
+
+std::size_t ModelDesc::activation_bytes_per_sample() const noexcept {
+  std::size_t total = 0;
+  // Data + diff storage per activation element.
+  for (const auto& layer : layers) total += layer.activation_floats * 2 * sizeof(float);
+  return total;
+}
+
+double ModelDesc::comm_intensity(int batch_per_gpu) const noexcept {
+  const double flops =
+      (fwd_flops_per_sample() + bwd_flops_per_sample()) * static_cast<double>(batch_per_gpu);
+  return flops > 0.0 ? static_cast<double>(2 * param_bytes()) / flops : 0.0;
+}
+
+ModelDesc ModelDesc::alexnet() {
+  // BVLC AlexNet (grouped convolutions), 1000-way ImageNet classifier.
+  // Parameter total ~60.97 M floats (~244 MB) — the paper's 256 MB-class
+  // aggregation buffer.
+  ModelDesc m;
+  m.name = "AlexNet";
+  m.layers = {
+      cost("conv1", 34'944, 211, 290'400),    // 96x3x11x11, out 55x55x96
+      cost("norm1+pool1", 0, 12, 186'624),
+      cost("conv2", 307'456, 448, 186'624),   // grouped 5x5, out 27x27x256
+      cost("norm2+pool2", 0, 8, 64'896),
+      cost("conv3", 885'120, 299, 64'896),    // 3x3, out 13x13x384
+      cost("conv4", 663'936, 224, 64'896),    // grouped 3x3
+      cost("conv5", 442'624, 150, 43'264),    // grouped 3x3, out 13x13x256
+      cost("pool5", 0, 2, 9'216),
+      cost("fc6", 37'752'832, 75.5, 4'096),
+      cost("fc7", 16'781'312, 33.6, 4'096),
+      cost("fc8", 4'097'000, 8.2, 1'000),
+  };
+  return m;
+}
+
+ModelDesc ModelDesc::caffenet() {
+  // CaffeNet is AlexNet with pooling/normalization order swapped; identical
+  // learnable-parameter footprint.
+  ModelDesc m = alexnet();
+  m.name = "CaffeNet";
+  return m;
+}
+
+ModelDesc ModelDesc::googlenet() {
+  // GoogLeNet (Inception v1): ~6.9 M parameters, ~1.57 G MACs per sample.
+  // Communication-intensive relative to its compute (Section 6.3).
+  ModelDesc m;
+  m.name = "GoogLeNet";
+  m.layers = {
+      cost("conv1/7x7_s2", 9'472, 236, 802'816),
+      cost("conv2/3x3", 115'008, 720, 401'408),
+      cost("inception_3a", 159'136, 256, 200'704),
+      cost("inception_3b", 308'736, 608, 313'600),
+      cost("inception_4a", 375'936, 238, 100'352),
+      cost("inception_4b", 448'832, 200, 100'352),
+      cost("inception_4c", 509'696, 226, 100'352),
+      cost("inception_4d", 604'928, 262, 103'488),
+      cost("inception_4e", 868'384, 340, 130'560),
+      cost("inception_5a", 1'043'968, 108, 40'768),
+      cost("inception_5b", 1'444'608, 142, 50'176),
+      cost("loss3/classifier", 1'025'000, 2.0, 1'000),
+  };
+  return m;
+}
+
+ModelDesc ModelDesc::cifar10_quick() {
+  // The reference cifar10_quick solver: tiny parameters, conv-dominated
+  // compute — the "compute-intensive model with small-scale communication"
+  // of Figure 9.
+  ModelDesc m;
+  m.name = "CIFAR10-quick";
+  m.layers = {
+      cost("conv1", 2'432, 4.9, 32'768),   // 32x3x5x5, out 32x32x32
+      cost("pool1", 0, 0.1, 8'192),
+      cost("conv2", 25'632, 12.8, 8'192),  // 32x32x5x5, out 16x16x32
+      cost("pool2", 0, 0.05, 2'048),
+      cost("conv3", 51'264, 6.6, 4'096),   // 64x32x5x5, out 8x8x64
+      cost("pool3", 0, 0.02, 1'024),
+      cost("ip1", 65'600, 0.13, 64),
+      cost("ip2", 650, 0.0013, 10),
+  };
+  return m;
+}
+
+ModelDesc ModelDesc::vgg16() {
+  // VGG-16: the "bigger and deeper" direction the paper anticipates; 138 M
+  // parameters (~552 MB gradients).
+  ModelDesc m;
+  m.name = "VGG16";
+  m.layers = {
+      cost("conv1_1", 1'792, 173, 3'211'264),
+      cost("conv1_2", 36'928, 3'700, 3'211'264),
+      cost("conv2_1", 73'856, 1'850, 1'605'632),
+      cost("conv2_2", 147'584, 3'700, 1'605'632),
+      cost("conv3_1", 295'168, 1'850, 802'816),
+      cost("conv3_2", 590'080, 3'700, 802'816),
+      cost("conv3_3", 590'080, 3'700, 802'816),
+      cost("conv4_1", 1'180'160, 1'850, 401'408),
+      cost("conv4_2", 2'359'808, 3'700, 401'408),
+      cost("conv4_3", 2'359'808, 3'700, 401'408),
+      cost("conv5_1", 2'359'808, 925, 100'352),
+      cost("conv5_2", 2'359'808, 925, 100'352),
+      cost("conv5_3", 2'359'808, 925, 100'352),
+      cost("fc6", 102'764'544, 206, 4'096),
+      cost("fc7", 16'781'312, 33.6, 4'096),
+      cost("fc8", 4'097'000, 8.2, 1'000),
+  };
+  return m;
+}
+
+ModelDesc ModelDesc::lenet() {
+  ModelDesc m;
+  m.name = "LeNet";
+  m.layers = {
+      cost("conv1", 520, 0.6, 11'520),
+      cost("pool1", 0, 0.01, 2'880),
+      cost("conv2", 25'050, 1.6, 3'200),
+      cost("pool2", 0, 0.005, 800),
+      cost("ip1", 400'500, 0.8, 500),
+      cost("ip2", 5'010, 0.01, 10),
+  };
+  return m;
+}
+
+}  // namespace scaffe::models

@@ -1,0 +1,48 @@
+// Cost descriptors for the paper's networks.
+//
+// The performance substrate does not run AlexNet/GoogLeNet math; it needs
+// each layer's (a) learnable parameter count — which sets the broadcast and
+// gradient-aggregation message sizes (AlexNet's ~61 M parameters = ~244 MB is
+// the paper's "256 MB" requirement) — and (b) forward/backward FLOPs per
+// sample, which set the compute time the communication must hide behind.
+// Counts follow the published BVLC model definitions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scaffe::models {
+
+struct LayerCost {
+  std::string name;
+  std::size_t param_count = 0;        // learnable floats
+  double fwd_flops = 0.0;             // per sample
+  double bwd_flops = 0.0;             // per sample
+  std::size_t activation_floats = 0;  // per sample (top blobs)
+};
+
+struct ModelDesc {
+  std::string name;
+  std::vector<LayerCost> layers;
+
+  std::size_t param_count() const noexcept;
+  std::size_t param_bytes() const noexcept { return param_count() * sizeof(float); }
+  double fwd_flops_per_sample() const noexcept;
+  double bwd_flops_per_sample() const noexcept;
+  std::size_t activation_bytes_per_sample() const noexcept;
+
+  /// Communication-to-computation intensity: bytes moved per iteration per
+  /// FLOP of backward compute. GoogLeNet is "communication-intensive"
+  /// (Section 6.3) — small compute per parameter relative to CIFAR10-quick.
+  double comm_intensity(int batch_per_gpu) const noexcept;
+
+  static ModelDesc alexnet();
+  static ModelDesc caffenet();
+  static ModelDesc googlenet();
+  static ModelDesc cifar10_quick();
+  static ModelDesc vgg16();
+  static ModelDesc lenet();
+};
+
+}  // namespace scaffe::models

@@ -1,0 +1,110 @@
+#include "models/zoo.h"
+
+namespace scaffe::models {
+
+using dl::LayerSpec;
+using dl::NetSpec;
+using dl::PoolMethod;
+
+NetSpec cifar10_quick_netspec(int batch, bool with_accuracy) {
+  NetSpec spec;
+  spec.name = "cifar10_quick";
+  spec.inputs = {{"data", {batch, 3, 32, 32}}, {"label", {batch}}};
+  spec.layers = {
+      LayerSpec::conv("conv1", "data", "conv1", 32, 5, 1, 2),
+      LayerSpec::pool("pool1", "conv1", "pool1", 3, 2, PoolMethod::Max),
+      LayerSpec::relu("relu1", "pool1", "relu1"),
+      LayerSpec::conv("conv2", "relu1", "conv2", 32, 5, 1, 2),
+      LayerSpec::relu("relu2", "conv2", "relu2"),
+      LayerSpec::pool("pool2", "relu2", "pool2", 3, 2, PoolMethod::Ave),
+      LayerSpec::conv("conv3", "pool2", "conv3", 64, 5, 1, 2),
+      LayerSpec::relu("relu3", "conv3", "relu3"),
+      LayerSpec::pool("pool3", "relu3", "pool3", 3, 2, PoolMethod::Ave),
+      LayerSpec::inner_product("ip1", "pool3", "ip1", 64),
+      LayerSpec::inner_product("ip2", "ip1", "ip2", 10),
+  };
+  if (with_accuracy) {
+    spec.layers.push_back(LayerSpec::split("ip2_split", "ip2", {"ip2_loss", "ip2_acc"}));
+    spec.layers.push_back(LayerSpec::softmax_loss("loss", "ip2_loss", "label", "loss"));
+    spec.layers.push_back(LayerSpec::accuracy("accuracy", "ip2_acc", "label", "accuracy"));
+  } else {
+    spec.layers.push_back(LayerSpec::softmax_loss("loss", "ip2", "label", "loss"));
+  }
+  return spec;
+}
+
+NetSpec mlp_netspec(int batch, int in_dim, int hidden, int classes) {
+  NetSpec spec;
+  spec.name = "mlp";
+  spec.inputs = {{"data", {batch, in_dim}}, {"label", {batch}}};
+  spec.layers = {
+      LayerSpec::inner_product("fc1", "data", "fc1", hidden),
+      LayerSpec::relu("relu1", "fc1", "relu1"),
+      LayerSpec::inner_product("fc2", "relu1", "fc2", classes),
+      LayerSpec::softmax_loss("loss", "fc2", "label", "loss"),
+  };
+  return spec;
+}
+
+NetSpec lenet_netspec(int batch) {
+  NetSpec spec;
+  spec.name = "lenet";
+  spec.inputs = {{"data", {batch, 1, 28, 28}}, {"label", {batch}}};
+  spec.layers = {
+      LayerSpec::conv("conv1", "data", "conv1", 20, 5),
+      LayerSpec::pool("pool1", "conv1", "pool1", 2, 2, PoolMethod::Max),
+      LayerSpec::conv("conv2", "pool1", "conv2", 50, 5),
+      LayerSpec::pool("pool2", "conv2", "pool2", 2, 2, PoolMethod::Max),
+      LayerSpec::inner_product("ip1", "pool2", "ip1", 500),
+      LayerSpec::relu("relu1", "ip1", "relu1"),
+      LayerSpec::inner_product("ip2", "relu1", "ip2", 10),
+      LayerSpec::softmax_loss("loss", "ip2", "label", "loss"),
+  };
+  return spec;
+}
+
+NetSpec mini_alexnet_netspec(int batch, int classes) {
+  NetSpec spec;
+  spec.name = "mini_alexnet";
+  spec.inputs = {{"data", {batch, 3, 16, 16}}, {"label", {batch}}};
+  spec.layers = {
+      LayerSpec::conv("conv1", "data", "conv1", 16, 3, 1, 1),
+      LayerSpec::relu("relu1", "conv1", "relu1"),
+      LayerSpec::lrn("norm1", "relu1", "norm1"),
+      LayerSpec::pool("pool1", "norm1", "pool1", 2, 2, PoolMethod::Max),
+      LayerSpec::conv("conv2", "pool1", "conv2", 32, 3, 1, 1),
+      LayerSpec::relu("relu2", "conv2", "relu2"),
+      LayerSpec::pool("pool2", "relu2", "pool2", 2, 2, PoolMethod::Max),
+      LayerSpec::inner_product("fc1", "pool2", "fc1", 64),
+      LayerSpec::relu("relu3", "fc1", "relu3"),
+      LayerSpec::dropout("drop1", "relu3", "drop1", 0.5f),
+      LayerSpec::inner_product("fc2", "drop1", "fc2", classes),
+      LayerSpec::softmax_loss("loss", "fc2", "label", "loss"),
+  };
+  return spec;
+}
+
+NetSpec tiny_inception_netspec(int batch, int classes) {
+  NetSpec spec;
+  spec.name = "tiny_inception";
+  spec.inputs = {{"data", {batch, 3, 16, 16}}, {"label", {batch}}};
+  // pool branch: stride 1 with pad 1 keeps the 16x16 shape of the conv
+  // branches so the channel concat lines up.
+  LayerSpec pool_branch = LayerSpec::pool("bp_pool", "branch_in_p", "bp", 3, 1, PoolMethod::Max);
+  pool_branch.pad = 1;
+  spec.layers = {
+      LayerSpec::conv("stem", "data", "stem", 8, 3, 1, 1),
+      LayerSpec::relu("stem_relu", "stem", "stem_out"),
+      LayerSpec::split("fanout", "stem_out", {"branch_in_1", "branch_in_3", "branch_in_p"}),
+      LayerSpec::conv("b1_conv", "branch_in_1", "b1", 8, 1),       // 1x1 branch
+      LayerSpec::conv("b3_conv", "branch_in_3", "b3", 8, 3, 1, 1),  // 3x3 branch
+      pool_branch,
+      LayerSpec::concat("concat", {"b1", "b3", "bp"}, "inception_out"),
+      LayerSpec::relu("out_relu", "inception_out", "features"),
+      LayerSpec::inner_product("fc", "features", "fc", classes),
+      LayerSpec::softmax_loss("loss", "fc", "label", "loss"),
+  };
+  return spec;
+}
+
+}  // namespace scaffe::models

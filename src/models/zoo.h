@@ -1,0 +1,27 @@
+// Runnable NetSpecs for the functional substrate: the real (CPU-float) nets
+// the tests, examples, and small-scale distributed training runs execute.
+#pragma once
+
+#include "dl/net.h"
+
+namespace scaffe::models {
+
+/// The reference cifar10_quick network: 3x(conv-pool-relu) + 2 FC, 10-way.
+/// Input blobs: "data" (batch,3,32,32), "label" (batch).
+dl::NetSpec cifar10_quick_netspec(int batch, bool with_accuracy = false);
+
+/// A small MLP on flat features: data (batch, in_dim) -> hidden -> classes.
+dl::NetSpec mlp_netspec(int batch, int in_dim, int hidden, int classes);
+
+/// LeNet-style MNIST net: data (batch,1,28,28), 10-way.
+dl::NetSpec lenet_netspec(int batch);
+
+/// A miniature AlexNet-flavoured net (conv+LRN+dropout+FC) on 3x16x16 inputs
+/// — exercises every layer type the paper-era nets use at test-friendly cost.
+dl::NetSpec mini_alexnet_netspec(int batch, int classes = 10);
+
+/// A one-module inception-style net (parallel 1x1 / 3x3 / pool branches
+/// concatenated) on 3x16x16 inputs — exercises the DAG/Concat path.
+dl::NetSpec tiny_inception_netspec(int batch, int classes = 10);
+
+}  // namespace scaffe::models

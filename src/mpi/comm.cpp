@@ -1,0 +1,382 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "coll/algorithms.h"
+#include "gpu/kernels.h"
+
+namespace scaffe::mpi {
+
+namespace {
+
+// User tags live below kCollTagBase; each collective occupies one stride.
+constexpr int kCollTagBase = 1 << 24;
+constexpr int kCollTagStride = 1 << 20;
+constexpr int kCollSlots = 64;  // max concurrently-outstanding collectives
+
+std::int64_t mix_context(std::int64_t a, std::int64_t b, std::int64_t c) {
+  std::uint64_t x = static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL;
+  x ^= static_cast<std::uint64_t>(b) + 0xbf58476d1ce4e5b9ULL + (x << 6) + (x >> 2);
+  x ^= static_cast<std::uint64_t>(c) + 0x94d049bb133111ebULL + (x << 6) + (x >> 2);
+  return static_cast<std::int64_t>(x >> 1);
+}
+
+}  // namespace
+
+// --- Request ----------------------------------------------------------------
+
+void Request::wait() {
+  if (!state_ || state_->done) return;
+  if (state_->progress) state_->progress(true);
+  state_->done = true;
+}
+
+bool Request::test() {
+  if (!state_ || state_->done) return true;
+  if (!state_->progress || state_->progress(false)) {
+    state_->done = true;
+    return true;
+  }
+  return false;
+}
+
+// --- point-to-point -----------------------------------------------------------
+
+void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
+  if (dst < 0 || dst >= size()) throw std::runtime_error("scmpi send: bad rank");
+  Envelope envelope;
+  envelope.context = context_;
+  envelope.src = rank_;
+  envelope.tag = tag;
+  envelope.payload.assign(data.begin(), data.end());
+  world_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(dst)])]->push(
+      std::move(envelope));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
+  return mailbox().recv(context_, src, tag);
+}
+
+// --- schedule execution ---------------------------------------------------------
+
+int Comm::next_coll_tag_base() {
+  const int slot = static_cast<int>(coll_seq_ % kCollSlots);
+  ++coll_seq_;
+  return kCollTagBase + slot * kCollTagStride;
+}
+
+void Comm::execute_schedule(const coll::Schedule& schedule, std::span<float> data,
+                            int tag_base) {
+  if (schedule.count != data.size()) {
+    throw std::runtime_error("scmpi collective: buffer size != schedule count");
+  }
+  std::vector<float> scratch;
+  for (const coll::Op& op : schedule.programs[static_cast<std::size_t>(rank_)].ops) {
+    std::span<float> region = data.subspan(op.offset, op.count);
+    switch (op.kind) {
+      case coll::OpKind::Send:
+        send<float>(region, op.peer, tag_base + op.tag);
+        break;
+      case coll::OpKind::Recv:
+        recv<float>(region, op.peer, tag_base + op.tag);
+        break;
+      case coll::OpKind::RecvReduce:
+        scratch.resize(op.count);
+        recv<float>(std::span<float>(scratch), op.peer, tag_base + op.tag);
+        gpu::accumulate(scratch, region);
+        break;
+    }
+  }
+}
+
+// --- blocking collectives --------------------------------------------------------
+
+void Comm::barrier() {
+  const int tag_base = next_coll_tag_base();
+  const int p = size();
+  float token = 0.0f;
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k + p) % p;
+    send<float>(std::span<const float>(&token, 1), to, tag_base + round);
+    recv<float>(std::span<float>(&token, 1), from, tag_base + round);
+  }
+}
+
+void Comm::bcast(std::span<float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  if (size() == 1 || data.empty()) return;
+  const coll::Schedule schedule =
+      bcast_factory_ ? bcast_factory_(size(), root, data.size())
+                     : coll::binomial_bcast(size(), root, data.size());
+  execute_schedule(schedule, data, tag_base);
+}
+
+void Comm::reduce(std::span<float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  if (size() == 1 || data.empty()) return;
+  const coll::Schedule schedule =
+      reduce_factory_ ? reduce_factory_(size(), root, data.size())
+                      : coll::binomial_reduce(size(), root, data.size());
+  execute_schedule(schedule, data, tag_base);
+}
+
+void Comm::allreduce(std::span<float> data) {
+  if (allreduce_factory_ && size() > 1 && !data.empty()) {
+    const int tag_base = next_coll_tag_base();
+    execute_schedule(allreduce_factory_(size(), 0, data.size()), data, tag_base);
+    return;
+  }
+  reduce(data, 0);
+  bcast(data, 0);
+}
+
+std::vector<float> Comm::gather(std::span<const float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  std::vector<float> result;
+  if (rank_ == root) {
+    result.resize(data.size() * static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      std::span<float> slot(result.data() + static_cast<std::size_t>(r) * data.size(),
+                            data.size());
+      if (r == rank_) {
+        std::copy(data.begin(), data.end(), slot.begin());
+      } else {
+        recv<float>(slot, r, tag_base);
+      }
+    }
+  } else {
+    send<float>(data, root, tag_base);
+  }
+  return result;
+}
+
+std::vector<float> Comm::allgather(std::span<const float> data) {
+  std::vector<float> result = gather(data, 0);
+  result.resize(data.size() * static_cast<std::size_t>(size()));
+  bcast(result, 0);
+  return result;
+}
+
+std::vector<float> Comm::scatter(std::span<const float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  std::size_t block = 0;
+  if (rank_ == root) {
+    block = data.size() / static_cast<std::size_t>(size());
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      send<float>(data.subspan(static_cast<std::size_t>(r) * block, block), r, tag_base);
+    }
+    return {data.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(rank_) * block),
+            data.begin() +
+                static_cast<std::ptrdiff_t>((static_cast<std::size_t>(rank_) + 1) * block)};
+  }
+  // Non-roots learn the block size from the payload itself.
+  const std::vector<std::byte> payload = mailbox().recv(context_, root, tag_base);
+  std::vector<float> result(payload.size() / sizeof(float));
+  if (!payload.empty()) std::memcpy(result.data(), payload.data(), payload.size());
+  return result;
+}
+
+// --- non-blocking collectives -------------------------------------------------------
+
+Request Comm::make_async(std::function<void()> body) {
+  auto future =
+      std::make_shared<std::future<void>>(std::async(std::launch::async, std::move(body)));
+  auto state = std::make_shared<Request::State>();
+  state->progress = [future](bool blocking) {
+    if (!blocking &&
+        future->wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      return false;
+    }
+    future->get();
+    return true;
+  };
+  return Request(std::move(state));
+}
+
+Request Comm::make_done() {
+  auto state = std::make_shared<Request::State>();
+  state->done = true;
+  return Request(std::move(state));
+}
+
+Request Comm::ibcast(std::span<float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  if (size() == 1 || data.empty()) return make_done();
+  coll::Schedule schedule = bcast_factory_
+                                ? bcast_factory_(size(), root, data.size())
+                                : coll::binomial_bcast(size(), root, data.size());
+  return make_async([this, schedule = std::move(schedule), data, tag_base] {
+    execute_schedule(schedule, data, tag_base);
+  });
+}
+
+Request Comm::iallreduce(std::span<float> data) {
+  if (allreduce_factory_ && size() > 1 && !data.empty()) {
+    const int tag_base = next_coll_tag_base();
+    coll::Schedule schedule = allreduce_factory_(size(), 0, data.size());
+    return make_async([this, schedule = std::move(schedule), data, tag_base] {
+      execute_schedule(schedule, data, tag_base);
+    });
+  }
+  // reduce + bcast on one progression thread; both tag bases reserved NOW so
+  // every rank agrees on the ordering even with other collectives in flight.
+  const int reduce_tags = next_coll_tag_base();
+  const int bcast_tags = next_coll_tag_base();
+  if (size() == 1 || data.empty()) return make_done();
+  coll::Schedule reduce_schedule = reduce_factory_
+                                       ? reduce_factory_(size(), 0, data.size())
+                                       : coll::binomial_reduce(size(), 0, data.size());
+  coll::Schedule bcast_schedule = bcast_factory_
+                                      ? bcast_factory_(size(), 0, data.size())
+                                      : coll::binomial_bcast(size(), 0, data.size());
+  return make_async([this, reduce_schedule = std::move(reduce_schedule),
+                     bcast_schedule = std::move(bcast_schedule), data, reduce_tags,
+                     bcast_tags] {
+    execute_schedule(reduce_schedule, data, reduce_tags);
+    execute_schedule(bcast_schedule, data, bcast_tags);
+  });
+}
+
+Request Comm::ireduce(std::span<float> data, int root) {
+  const int tag_base = next_coll_tag_base();
+  if (size() == 1 || data.empty()) return make_done();
+  coll::Schedule schedule = reduce_factory_
+                                ? reduce_factory_(size(), root, data.size())
+                                : coll::binomial_reduce(size(), root, data.size());
+  return make_async([this, schedule = std::move(schedule), data, tag_base] {
+    execute_schedule(schedule, data, tag_base);
+  });
+}
+
+// --- communicator management ---------------------------------------------------------
+
+Comm Comm::split(int color, int key) {
+  const int tag_base = next_coll_tag_base();
+  const std::int64_t seq_used = coll_seq_ - 1;
+
+  // Gather (color, key) pairs at comm rank 0.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> entries;
+  if (rank_ == 0) {
+    entries.resize(static_cast<std::size_t>(size()));
+    entries[0] = mine;
+    for (int r = 1; r < size(); ++r) {
+      Entry entry{};
+      recv<Entry>(std::span<Entry>(&entry, 1), r, tag_base);
+      entries[static_cast<std::size_t>(r)] = entry;
+    }
+  } else {
+    send<Entry>(std::span<const Entry>(&mine, 1), 0, tag_base);
+  }
+
+  // Rank 0 computes each rank's (group world-ranks, new rank, color index)
+  // and sends it back.
+  std::vector<int> my_group;   // new comm rank -> world rank
+  int my_new_rank = -1;
+  int my_color_index = -1;
+  if (rank_ == 0) {
+    std::vector<Entry> sorted = entries;
+    std::stable_sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      return std::tie(a.color, a.key, a.rank) < std::tie(b.color, b.key, b.rank);
+    });
+    std::vector<int> colors;
+    for (const Entry& e : sorted) {
+      if (colors.empty() || colors.back() != e.color) colors.push_back(e.color);
+    }
+    for (std::size_t ci = 0; ci < colors.size(); ++ci) {
+      std::vector<int> group_world;  // ordered members as world ranks
+      std::vector<int> group_comm;   // same members as parent-comm ranks
+      for (const Entry& e : sorted) {
+        if (e.color != colors[ci]) continue;
+        group_world.push_back(group_[static_cast<std::size_t>(e.rank)]);
+        group_comm.push_back(e.rank);
+      }
+      for (std::size_t pos = 0; pos < group_comm.size(); ++pos) {
+        const int member = group_comm[pos];
+        std::vector<int> message;
+        message.push_back(static_cast<int>(pos));  // new rank
+        message.push_back(static_cast<int>(ci));   // color index
+        message.insert(message.end(), group_world.begin(), group_world.end());
+        if (member == 0) {
+          my_new_rank = static_cast<int>(pos);
+          my_color_index = static_cast<int>(ci);
+          my_group = group_world;
+        } else {
+          send<int>(message, member, tag_base + 1);
+        }
+      }
+    }
+  } else {
+    const std::vector<std::byte> payload = mailbox().recv(context_, 0, tag_base + 1);
+    std::vector<int> message(payload.size() / sizeof(int));
+    std::memcpy(message.data(), payload.data(), payload.size());
+    my_new_rank = message[0];
+    my_color_index = message[1];
+    my_group.assign(message.begin() + 2, message.end());
+  }
+
+  const ContextId child_context = mix_context(context_, seq_used, my_color_index);
+  return Comm(world_, my_new_rank, std::move(my_group), child_context);
+}
+
+Comm Comm::dup() { return split(0, rank_); }
+
+// --- Runtime ------------------------------------------------------------------------
+
+Runtime::Runtime(int nranks) : nranks_(nranks) {
+  if (nranks < 1) throw std::runtime_error("Runtime: nranks must be >= 1");
+}
+
+void Runtime::run(const std::function<void(Comm&)>& body) {
+  // Fresh world per run: no stale messages can leak between runs.
+  world_ = std::make_shared<World>(nranks_);
+  std::vector<int> identity(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) identity[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world_, r, identity, /*context=*/1);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // MPI_Abort semantics: a failing rank tears down the whole job so
+        // peers blocked in receives unwind instead of deadlocking.
+        world_->abort();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Prefer the original failure over secondary AbortError unwinds.
+  std::exception_ptr first_abort;
+  for (const auto& error : errors) {
+    if (!error) continue;
+    try {
+      std::rethrow_exception(error);
+    } catch (const AbortError&) {
+      if (!first_abort) first_abort = error;
+    } catch (...) {
+      std::rethrow_exception(error);
+    }
+  }
+  if (first_abort) std::rethrow_exception(first_abort);
+}
+
+}  // namespace scaffe::mpi

@@ -1,0 +1,258 @@
+// scmpi: an MPI-like message-passing runtime over in-process rank threads.
+//
+// The API mirrors the MPI subset S-Caffe needs — tagged point-to-point,
+// communicator split/dup, blocking collectives, and MPI-3-style non-blocking
+// collectives (ibcast / ireduce) returning Request objects whose progression
+// happens asynchronously — plus "CUDA-aware" overloads taking device buffers
+// directly (no explicit staging, exactly the convenience CUDA-aware MPI
+// brought to GPU clusters).
+//
+// Collective algorithms are pluggable: a schedule factory maps
+// (nranks, root, count) to a coll::Schedule, so the DL-aware hierarchical
+// reduce (Section 5) installs with set_reduce_factory.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/program.h"
+#include "gpu/buffer.h"
+#include "mpi/world.h"
+
+namespace scaffe::mpi {
+
+/// Handle for a non-blocking operation. Copyable (shared state); wait() is
+/// idempotent and rethrows any exception raised during progression.
+class Request {
+ public:
+  Request() = default;
+
+  void wait();
+  bool test();
+  bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct State {
+    // progress(blocking): attempt completion; returns true when complete.
+    std::function<bool(bool)> progress;
+    bool done = false;
+  };
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Factory producing the schedule a collective uses.
+using ScheduleFactory =
+    std::function<coll::Schedule(int nranks, int root, std::size_t count)>;
+
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return static_cast<int>(group_.size()); }
+
+  // --- point-to-point -----------------------------------------------------
+
+  void send_bytes(std::span<const std::byte> data, int dst, int tag);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// MPI_ANY_SOURCE receive: matches the earliest-arrived message with `tag`
+  /// from any rank; returns the sender's rank.
+  template <typename T>
+  int recv_any(std::span<T> data, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    int src = -1;
+    const std::vector<std::byte> payload = mailbox().recv(context_, kAnySource, tag, &src);
+    if (payload.size() != data.size_bytes()) {
+      throw std::runtime_error("scmpi recv_any: size mismatch");
+    }
+    if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+    return src;
+  }
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(std::as_bytes(data), dst, tag);
+  }
+
+  template <typename T>
+  void recv(std::span<T> data, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> payload = recv_bytes(src, tag);
+    if (payload.size() != data.size_bytes()) {
+      throw std::runtime_error("scmpi recv: size mismatch");
+    }
+    if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+  }
+
+  /// Eager non-blocking send (payload copied out immediately).
+  template <typename T>
+  Request isend(std::span<const T> data, int dst, int tag) {
+    send(data, dst, tag);
+    return make_done();
+  }
+
+  /// Non-blocking receive; completes on wait()/test().
+  template <typename T>
+  Request irecv(std::span<T> data, int src, int tag) {
+    auto state = std::make_shared<Request::State>();
+    state->progress = [this, data, src, tag](bool blocking) {
+      if (blocking) {
+        recv(data, src, tag);
+        return true;
+      }
+      std::vector<std::byte> payload;
+      if (!mailbox().try_recv(context_, src, tag, payload)) return false;
+      if (payload.size() != data.size_bytes()) {
+        throw std::runtime_error("scmpi irecv: size mismatch");
+      }
+      if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+      return true;
+    };
+    return Request(std::move(state));
+  }
+
+  // --- collectives (blocking) ----------------------------------------------
+
+  /// Dissemination barrier.
+  void barrier();
+
+  /// Broadcast `data` from `root` (in place on all ranks).
+  void bcast(std::span<float> data, int root);
+
+  /// In-place sum-reduce to `root`. Non-root buffers are scratch afterwards.
+  void reduce(std::span<float> data, int root);
+
+  /// In-place allreduce (sum everywhere). Uses the allreduce factory when
+  /// one is installed (e.g. a ring schedule); otherwise reduce + bcast.
+  void allreduce(std::span<float> data);
+
+  /// Combined send+receive (eager send, so safe for symmetric exchanges).
+  template <typename T>
+  void sendrecv(std::span<const T> send_data, int dst, std::span<T> recv_data, int src,
+                int tag) {
+    send(send_data, dst, tag);
+    recv(recv_data, src, tag);
+  }
+
+  /// Gathers each rank's block to root (returned vector valid on root only).
+  std::vector<float> gather(std::span<const float> data, int root);
+
+  /// Every rank contributes `data`; returns the concatenation everywhere.
+  std::vector<float> allgather(std::span<const float> data);
+
+  /// Root scatters equal `data.size()/size()` blocks; returns this rank's.
+  std::vector<float> scatter(std::span<const float> data, int root);
+
+  // --- collectives (non-blocking, MPI-3 NBC) --------------------------------
+
+  /// Starts an asynchronous broadcast; a helper progression thread advances
+  /// the communication while the caller computes (Section 4.2's Ibcast).
+  Request ibcast(std::span<float> data, int root);
+
+  /// Asynchronous reduce (Section 4.3's helper-thread aggregation path).
+  Request ireduce(std::span<float> data, int root);
+
+  /// Asynchronous allreduce.
+  Request iallreduce(std::span<float> data);
+
+  /// Completes every request (idempotent per request).
+  static void waitall(std::span<Request> requests) {
+    for (Request& request : requests) request.wait();
+  }
+
+  /// True once every request has completed (non-blocking).
+  static bool testall(std::span<Request> requests) {
+    bool all = true;
+    for (Request& request : requests) all = request.test() && all;
+    return all;
+  }
+
+  // --- CUDA-aware overloads --------------------------------------------------
+
+  void bcast(gpu::DeviceBuffer<float>& buffer, int root) { bcast(buffer.span(), root); }
+  void reduce(gpu::DeviceBuffer<float>& buffer, int root) { reduce(buffer.span(), root); }
+  void allreduce(gpu::DeviceBuffer<float>& buffer) { allreduce(buffer.span()); }
+  Request ibcast(gpu::DeviceBuffer<float>& buffer, int root) {
+    return ibcast(buffer.span(), root);
+  }
+  Request ireduce(gpu::DeviceBuffer<float>& buffer, int root) {
+    return ireduce(buffer.span(), root);
+  }
+
+  // --- communicator management ----------------------------------------------
+
+  /// Collective: partitions ranks by `color`, ordering each group by
+  /// (key, rank). Returns this rank's sub-communicator.
+  Comm split(int color, int key);
+
+  /// Collective: duplicate with a fresh context (isolated tag space).
+  Comm dup();
+
+  // --- algorithm selection ----------------------------------------------------
+
+  /// Installs the reduce schedule factory (default: binomial tree).
+  void set_reduce_factory(ScheduleFactory factory) { reduce_factory_ = std::move(factory); }
+
+  /// Installs the bcast schedule factory (default: binomial tree).
+  void set_bcast_factory(ScheduleFactory factory) { bcast_factory_ = std::move(factory); }
+
+  /// Installs an allreduce schedule factory (e.g. coll::ring_allreduce);
+  /// by default allreduce is reduce-to-0 followed by bcast-from-0. The
+  /// factory's `root` argument is always 0 and its schedule must have
+  /// CollectiveKind::Allreduce semantics.
+  void set_allreduce_factory(ScheduleFactory factory) {
+    allreduce_factory_ = std::move(factory);
+  }
+
+ private:
+  friend class Runtime;
+
+  Comm(std::shared_ptr<World> world, int rank, std::vector<int> group, ContextId context)
+      : world_(std::move(world)), rank_(rank), group_(std::move(group)), context_(context) {}
+
+  Mailbox& mailbox() { return *world_->mailboxes[static_cast<std::size_t>(world_rank())]; }
+  int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+
+  /// Executes this rank's program of a schedule against `data`.
+  void execute_schedule(const coll::Schedule& schedule, std::span<float> data, int tag_base);
+
+  /// Runs `body` on an asynchronous progression thread; the returned Request
+  /// completes when the body does.
+  static Request make_async(std::function<void()> body);
+
+  static Request make_done();
+
+  /// Allocates the tag base for the next collective on this communicator.
+  int next_coll_tag_base();
+
+  std::shared_ptr<World> world_;
+  int rank_;
+  std::vector<int> group_;  // comm rank -> world rank
+  ContextId context_;
+  std::int64_t coll_seq_ = 0;
+  ScheduleFactory reduce_factory_;
+  ScheduleFactory bcast_factory_;
+  ScheduleFactory allreduce_factory_;
+};
+
+/// Spawns `nranks` rank threads running `body(comm)` over a shared world.
+/// run() blocks until every rank returns and rethrows the first exception.
+class Runtime {
+ public:
+  explicit Runtime(int nranks);
+
+  int nranks() const noexcept { return nranks_; }
+
+  void run(const std::function<void(Comm&)>& body);
+
+ private:
+  int nranks_;
+  std::shared_ptr<World> world_;
+};
+
+}  // namespace scaffe::mpi

@@ -1,0 +1,118 @@
+// scmpi internals: the in-process "cluster" shared by all rank threads.
+//
+// Every rank is a std::thread; a Mailbox per destination rank holds tagged
+// messages with MPI-style (source, tag, context) matching in arrival order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace scaffe::mpi {
+
+/// Context ids isolate communicators; tags isolate operations inside one.
+using ContextId = std::int64_t;
+
+/// MPI_ANY_SOURCE analogue for matched receives.
+inline constexpr int kAnySource = -1;
+
+/// Thrown out of blocked receives when the world aborts (MPI_Abort
+/// semantics): one rank's failure unblocks every other rank instead of
+/// deadlocking the job.
+class AbortError : public std::runtime_error {
+ public:
+  AbortError() : std::runtime_error("scmpi: world aborted by a failing rank") {}
+};
+
+struct Envelope {
+  ContextId context;
+  int src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+/// One per destination rank. Messages match on (context, src, tag) in
+/// arrival order (MPI non-overtaking within a (src, context) pair).
+class Mailbox {
+ public:
+  void push(Envelope envelope) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      messages_.push_back(std::move(envelope));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocking matched receive. `src` may be kAnySource; the actual sender
+  /// is written to *out_src when non-null (arrival order wins ties).
+  /// Throws AbortError if the world aborts while waiting.
+  std::vector<std::byte> recv(ContextId context, int src, int tag, int* out_src = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (aborted_ != nullptr && aborted_->load()) throw AbortError();
+      for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+        if (it->context == context && (src == kAnySource || it->src == src) &&
+            it->tag == tag) {
+          std::vector<std::byte> payload = std::move(it->payload);
+          if (out_src != nullptr) *out_src = it->src;
+          messages_.erase(it);
+          return payload;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Wakes any blocked receiver so it can observe the abort flag.
+  void interrupt() { cv_.notify_all(); }
+
+  void bind_abort_flag(const std::atomic<bool>* flag) noexcept { aborted_ = flag; }
+
+  /// Non-blocking probe-and-receive; false if no matching message yet.
+  bool try_recv(ContextId context, int src, int tag, std::vector<std::byte>& payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+      if (it->context == context && it->src == src && it->tag == tag) {
+        payload = std::move(it->payload);
+        messages_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Envelope> messages_;
+  const std::atomic<bool>* aborted_ = nullptr;
+};
+
+/// Shared state for one Runtime: the mailboxes of all world ranks.
+struct World {
+  explicit World(int nranks) : size(nranks) {
+    mailboxes.reserve(static_cast<std::size_t>(nranks));
+    for (int i = 0; i < nranks; ++i) {
+      mailboxes.push_back(std::make_unique<Mailbox>());
+      mailboxes.back()->bind_abort_flag(&aborted);
+    }
+  }
+
+  /// MPI_Abort: marks the world dead and unblocks every pending receive.
+  void abort() {
+    aborted.store(true);
+    for (auto& mailbox : mailboxes) mailbox->interrupt();
+  }
+
+  int size;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::atomic<bool> aborted{false};
+};
+
+}  // namespace scaffe::mpi

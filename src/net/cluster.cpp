@@ -1,0 +1,32 @@
+#include "net/cluster.h"
+
+namespace scaffe::net {
+
+ClusterSpec ClusterSpec::cluster_a() {
+  ClusterSpec spec;
+  spec.name = "Cluster-A (CS-Storm, 12 nodes x 16 CUDA devices, FDR)";
+  spec.nodes = 12;
+  spec.gpus_per_node = 16;
+  // Dense node: 8 K80 cards hang off PCIe switches; staging bandwidth is
+  // shared, so the effective per-GPU PCIe throughput is lower than Cluster-B.
+  spec.pcie = LinkSpec{9.0, 10 * util::kUs};
+  spec.pcie_p2p = LinkSpec{8.0, 12 * util::kUs};
+  // Connect-IB dual-port FDR: ~6.5 GB/s effective per direction.
+  spec.ib = LinkSpec{6.5, 2 * util::kUs};
+  spec.pcie_concurrency = 4;  // four PCIe switch domains per CS-Storm node
+  return spec;
+}
+
+ClusterSpec ClusterSpec::cluster_b() {
+  ClusterSpec spec;
+  spec.name = "Cluster-B (20 nodes x 2 CUDA devices, EDR)";
+  spec.nodes = 20;
+  spec.gpus_per_node = 2;
+  spec.pcie = LinkSpec{11.0, 9 * util::kUs};
+  spec.pcie_p2p = LinkSpec{9.5, 11 * util::kUs};
+  // EDR: ~12 GB/s effective.
+  spec.ib = LinkSpec{12.0, 1 * util::kUs};
+  return spec;
+}
+
+}  // namespace scaffe::net

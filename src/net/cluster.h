@@ -1,0 +1,107 @@
+// Cluster hardware descriptions for the performance substrate.
+//
+// The paper evaluates on two systems:
+//  - Cluster-A: 12-node Cray CS-Storm, 8x K80 per node (16 CUDA devices),
+//    dual-port InfiniBand Connect-IB (FDR), Lustre storage.
+//  - Cluster-B: 20 nodes, 1x K80 per node (2 CUDA devices), InfiniBand EDR.
+//
+// ClusterSpec captures the bandwidth/latency/capacity parameters that decide
+// the *shape* of every figure: PCIe vs IB bandwidth ratios, GPUDirect-RDMA
+// limits on Kepler, CPU vs GPU reduction throughput, and GPU memory capacity
+// (which produces Figure 8's out-of-memory gaps). Values are calibrated from
+// public K80 / PCIe gen3 / FDR / EDR datasheets; see DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/duration.h"
+
+namespace scaffe::net {
+
+using util::TimeNs;
+
+/// One CUDA device (a GK210 die of a K80 card).
+struct GpuSpec {
+  double peak_tflops = 2.8;          // FP32 peak per GK210
+  double dl_efficiency = 0.55;       // sustained fraction on conv workloads
+  double mem_bw_gbs = 240.0;         // device memory bandwidth
+  double reduce_payload_gbs = 80.0;  // achievable a+=b throughput (3 touches)
+  std::size_t mem_bytes = std::size_t{12} * util::kGiB;
+  TimeNs kernel_launch = 8 * util::kUs;  // launch + sync overhead
+
+  /// Mini-batch at which the device reaches half of its sustained rate:
+  /// strong scaling shrinks per-GPU batches until kernels underutilize the
+  /// SMs — the effect that bends Figure 8 away from linear speedup.
+  double batch_half_saturation = 8.0;
+
+  double sustained_flops() const noexcept { return peak_tflops * 1e12 * dl_efficiency; }
+
+  /// Sustained rate at a given per-GPU mini-batch.
+  double sustained_flops(int batch) const noexcept {
+    const double b = static_cast<double>(batch);
+    return sustained_flops() * b / (b + batch_half_saturation);
+  }
+};
+
+/// A point-to-point transport (PCIe hop, IB wire, host memcpy...).
+struct LinkSpec {
+  double bw_gbs = 0.0;  // payload bandwidth, GB/s
+  TimeNs latency = 0;   // per-message latency
+
+  /// Store-and-forward duration for `bytes` over this link.
+  TimeNs xfer(std::size_t bytes) const noexcept {
+    return latency + static_cast<TimeNs>(static_cast<double>(bytes) / (bw_gbs * 1e9) * 1e9);
+  }
+};
+
+/// Storage subsystem feeding the data readers (Section 3.2 / Figure 8).
+struct StorageSpec {
+  // Lustre-like parallel file system read through ImageDataLayer.
+  double pfs_stripe_gbs = 1.2;  // per-OST streaming read bandwidth
+  int pfs_num_ost = 48;         // object storage targets (parallelism cap)
+  // LMDB single-file database: parallel reads serialize on page locks.
+  double lmdb_single_reader_gbs = 1.6;
+  int lmdb_contention_knee = 16;   // readers beyond which lock contention grows
+  int lmdb_max_readers = 64;       // paper: "does not scale for more than 64"
+};
+
+/// Whole-cluster description.
+struct ClusterSpec {
+  std::string name;
+  int nodes = 1;
+  int gpus_per_node = 1;
+
+  GpuSpec gpu;
+  LinkSpec pcie{10.0, 10 * util::kUs};       // GPU <-> host staging copy
+  LinkSpec pcie_p2p{8.0, 12 * util::kUs};    // GPU <-> GPU via PCIe switch (IPC)
+  LinkSpec ib{6.5, 2 * util::kUs};           // inter-node, per HCA direction
+  LinkSpec host_mem{24.0, 1 * util::kUs};    // host <-> host staging memcpy
+
+  // GPUDirect RDMA: NIC reads/writes GPU memory directly. On Kepler the
+  // *read* direction through the PCIe root complex is the bottleneck.
+  double gdr_read_gbs = 3.0;
+  double gdr_write_gbs = 6.0;
+  bool gdr_enabled = true;
+  bool ipc_enabled = true;
+
+  double cpu_reduce_gbs = 12.0;  // host-side summation payload throughput
+  TimeNs mpi_overhead = 1 * util::kUs;  // per-message software overhead
+  // Framework-level per-collective setup (request creation, launch storm,
+  // synchronization), charged as coll_setup * log2(P) per collective call.
+  TimeNs coll_setup = 50 * util::kUs;
+  int pcie_concurrency = 2;  // concurrent intra-node transfers at full speed
+
+
+  StorageSpec storage;
+
+  int total_gpus() const noexcept { return nodes * gpus_per_node; }
+
+  /// 12-node Cray CS-Storm (KESCH-like): 16 CUDA devices/node, FDR.
+  static ClusterSpec cluster_a();
+  /// 20-node conventional cluster: 2 CUDA devices/node, EDR.
+  static ClusterSpec cluster_b();
+};
+
+}  // namespace scaffe::net

@@ -1,0 +1,116 @@
+#include "net/cost_model.h"
+
+#include <algorithm>
+
+namespace scaffe::net {
+
+namespace {
+constexpr double kPipelineEfficiency = 0.85;
+
+TimeNs bytes_over_bw(std::size_t bytes, double gbs) noexcept {
+  return static_cast<TimeNs>(static_cast<double>(bytes) / (gbs * 1e9) * 1e9);
+}
+}  // namespace
+
+const char* staging_name(Staging staging) noexcept {
+  switch (staging) {
+    case Staging::Gdr: return "GDR";
+    case Staging::HostPipelined: return "HostPipelined";
+    case Staging::HostSync: return "HostSync";
+  }
+  return "?";
+}
+
+double CostModel::effective_bw_gbs(Path path, Staging staging) const noexcept {
+  switch (path) {
+    case Path::SameGpu:
+      return spec_.gpu.mem_bw_gbs;  // device-local copy
+    case Path::IntraNode:
+      switch (staging) {
+        case Staging::Gdr:
+          if (spec_.ipc_enabled) return spec_.pcie_p2p.bw_gbs;
+          [[fallthrough]];
+        case Staging::HostPipelined:
+          // D2H then H2D over the same-class link, chunk-pipelined.
+          return spec_.pcie.bw_gbs * kPipelineEfficiency;
+        case Staging::HostSync:
+          // Two sequential full-buffer copies.
+          return spec_.pcie.bw_gbs / 2.0;
+      }
+      break;
+    case Path::InterNode:
+      switch (staging) {
+        case Staging::Gdr: {
+          if (!spec_.gdr_enabled) return effective_bw_gbs(path, Staging::HostPipelined);
+          // Sender-side GDR read is the Kepler bottleneck.
+          const double gdr = std::min(spec_.gdr_read_gbs, spec_.gdr_write_gbs);
+          return std::min(gdr, spec_.ib.bw_gbs);
+        }
+        case Staging::HostPipelined:
+          return std::min(spec_.pcie.bw_gbs, spec_.ib.bw_gbs) * kPipelineEfficiency;
+        case Staging::HostSync: {
+          // Store-and-forward D2H + wire + H2D: harmonic combination.
+          const double inv = 1.0 / spec_.pcie.bw_gbs + 1.0 / spec_.ib.bw_gbs +
+                             1.0 / spec_.pcie.bw_gbs;
+          return 1.0 / inv;
+        }
+      }
+      break;
+  }
+  return 1.0;
+}
+
+TimeNs CostModel::sender_busy(std::size_t bytes, Path path, Staging staging) const noexcept {
+  return spec_.mpi_overhead + bytes_over_bw(bytes, effective_bw_gbs(path, staging));
+}
+
+TimeNs CostModel::delivery_latency(Path path, Staging staging) const noexcept {
+  switch (path) {
+    case Path::SameGpu:
+      return 0;
+    case Path::IntraNode:
+      switch (staging) {
+        case Staging::Gdr: return spec_.ipc_enabled ? spec_.pcie_p2p.latency
+                                                    : 2 * spec_.pcie.latency;
+        case Staging::HostPipelined: return 2 * spec_.pcie.latency;
+        case Staging::HostSync: return 2 * spec_.pcie.latency;
+      }
+      break;
+    case Path::InterNode:
+      switch (staging) {
+        case Staging::Gdr: return spec_.ib.latency;
+        case Staging::HostPipelined: return spec_.ib.latency + 2 * spec_.pcie.latency;
+        case Staging::HostSync: return spec_.ib.latency + 2 * spec_.pcie.latency;
+      }
+      break;
+  }
+  return 0;
+}
+
+TimeNs CostModel::reduce(std::size_t bytes, ExecSpace space) const noexcept {
+  switch (space) {
+    case ExecSpace::Gpu:
+      return spec_.gpu.kernel_launch + bytes_over_bw(bytes, spec_.gpu.reduce_payload_gbs);
+    case ExecSpace::Host:
+      return bytes_over_bw(bytes, spec_.cpu_reduce_gbs);
+  }
+  return 0;
+}
+
+TimeNs CostModel::gpu_compute(double flops) const noexcept {
+  return spec_.gpu.kernel_launch +
+         static_cast<TimeNs>(flops / spec_.gpu.sustained_flops() * 1e9);
+}
+
+TimeNs CostModel::gpu_compute(double flops, int batch) const noexcept {
+  return spec_.gpu.kernel_launch +
+         static_cast<TimeNs>(flops / spec_.gpu.sustained_flops(batch) * 1e9);
+}
+
+TimeNs CostModel::collective_setup(int nranks) const noexcept {
+  int levels = 0;
+  for (int p = 1; p < nranks; p <<= 1) ++levels;
+  return spec_.coll_setup * levels;
+}
+
+}  // namespace scaffe::net

@@ -1,0 +1,74 @@
+// Analytic link/kernel cost model shared by the DES executors.
+//
+// The model is LogGP-flavoured: a message occupies its sender for
+// `sender_busy = o + bytes/BW_eff` and arrives at the receiver
+// `delivery_latency` after injection completes. BW_eff depends on the path
+// (intra-node PCIe P2P vs inter-node InfiniBand) and on the *staging policy*:
+//
+//  - Gdr:           NIC reads/writes GPU memory directly (GPUDirect RDMA) or
+//                   CUDA IPC inside a node. Low latency; on Kepler the GDR
+//                   read direction caps inter-node bandwidth (~3 GB/s).
+//  - HostPipelined: chunked D2H | wire | H2D pipeline (the MVAPICH2-GDR large
+//                   message path); effective bandwidth = min(hop) * eff.
+//  - HostSync:      full-buffer synchronous staging at every hop (the
+//                   OpenMPI 1.10 GPU path); times add up store-and-forward.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "net/cluster.h"
+#include "net/topology.h"
+
+namespace scaffe::net {
+
+enum class Staging { Gdr, HostPipelined, HostSync };
+
+enum class ExecSpace { Gpu, Host };
+
+const char* staging_name(Staging staging) noexcept;
+
+class CostModel {
+ public:
+  explicit CostModel(ClusterSpec spec) : spec_(std::move(spec)) {}
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+
+  /// Effective payload bandwidth (GB/s) for a path under a staging policy.
+  double effective_bw_gbs(Path path, Staging staging) const noexcept;
+
+  /// Time the sender is occupied injecting `bytes` (overhead + serialization).
+  TimeNs sender_busy(std::size_t bytes, Path path, Staging staging) const noexcept;
+
+  /// Additional time after injection until the message is visible remotely.
+  TimeNs delivery_latency(Path path, Staging staging) const noexcept;
+
+  /// Full point-to-point time for one message.
+  TimeNs msg_time(std::size_t bytes, Path path, Staging staging) const noexcept {
+    return sender_busy(bytes, path, staging) + delivery_latency(path, staging);
+  }
+
+  /// Local `a += b` over `bytes` of float payload (includes kernel launch for
+  /// the GPU space).
+  TimeNs reduce(std::size_t bytes, ExecSpace space) const noexcept;
+
+  /// Explicit staging copies.
+  TimeNs d2h(std::size_t bytes) const noexcept { return spec_.pcie.xfer(bytes); }
+  TimeNs h2d(std::size_t bytes) const noexcept { return spec_.pcie.xfer(bytes); }
+
+  TimeNs kernel_launch() const noexcept { return spec_.gpu.kernel_launch; }
+
+  /// Compute time for `flops` of dense math on one GPU.
+  TimeNs gpu_compute(double flops) const noexcept;
+
+  /// Same, at a per-GPU mini-batch (applies the batch-saturation curve).
+  TimeNs gpu_compute(double flops, int batch) const noexcept;
+
+  /// Framework-level setup overhead for one collective over `nranks`.
+  TimeNs collective_setup(int nranks) const noexcept;
+
+ private:
+  ClusterSpec spec_;
+};
+
+}  // namespace scaffe::net

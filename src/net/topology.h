@@ -1,0 +1,53 @@
+// Rank placement: maps MPI ranks onto (node, local GPU) and classifies the
+// communication path between any two ranks.
+#pragma once
+
+#include <cassert>
+
+#include "net/cluster.h"
+
+namespace scaffe::net {
+
+/// How two ranks reach each other.
+enum class Path {
+  SameGpu,    // degenerate self-communication
+  IntraNode,  // PCIe peer-to-peer / CUDA IPC
+  InterNode,  // InfiniBand
+};
+
+/// Block placement: ranks fill node 0's GPUs first, then node 1, ... — the
+/// same ordering mpirun_rsh produces with a hostfile listing each node once
+/// per GPU, and what the paper's chain-size = GPUs-per-lower-communicator
+/// tuning assumes.
+class Topology {
+ public:
+  Topology(const ClusterSpec& spec, int nranks)
+      : gpus_per_node_(spec.gpus_per_node), nranks_(nranks) {
+    assert(nranks >= 1);
+    assert(nranks <= spec.total_gpus());
+  }
+
+  int nranks() const noexcept { return nranks_; }
+  int gpus_per_node() const noexcept { return gpus_per_node_; }
+
+  int node_of(int rank) const noexcept {
+    assert(rank >= 0 && rank < nranks_);
+    return rank / gpus_per_node_;
+  }
+  int local_gpu_of(int rank) const noexcept { return rank % gpus_per_node_; }
+
+  int nodes_used() const noexcept {
+    return (nranks_ + gpus_per_node_ - 1) / gpus_per_node_;
+  }
+
+  Path path(int from, int to) const noexcept {
+    if (from == to) return Path::SameGpu;
+    return node_of(from) == node_of(to) ? Path::IntraNode : Path::InterNode;
+  }
+
+ private:
+  int gpus_per_node_;
+  int nranks_;
+};
+
+}  // namespace scaffe::net

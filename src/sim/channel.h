@@ -1,0 +1,79 @@
+// Unbounded mailbox channel for simulation processes.
+//
+// `send` is a plain call (never suspends); `recv` is awaited and suspends the
+// receiving process until a value is available. Values are delivered at the
+// simulated time of the send (the engine schedules the receiver at `now`).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace scaffe::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) noexcept : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value; wakes the longest-waiting receiver, if any.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      Waiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->value = std::move(value);
+      engine_->schedule(waiter->handle, 0);
+      return;
+    }
+    queue_.push_back(std::move(value));
+  }
+
+  /// Non-suspending receive; returns nullopt when the queue is empty.
+  std::optional<T> try_recv() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t waiting_receivers() const noexcept { return waiters_.size(); }
+
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T> value;
+  };
+
+  struct RecvAwaiter {
+    Channel* channel;
+    Waiter waiter;
+
+    bool await_ready() noexcept {
+      if (auto value = channel->try_recv()) {
+        waiter.value = std::move(value);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      waiter.handle = h;
+      channel->waiters_.push_back(&waiter);
+    }
+    T await_resume() { return std::move(*waiter.value); }
+  };
+
+  /// Awaitable receive: `T v = co_await ch.recv();`
+  RecvAwaiter recv() noexcept { return RecvAwaiter{this, {}}; }
+
+ private:
+  Engine* engine_;
+  std::deque<T> queue_;
+  std::deque<Waiter*> waiters_;
+};
+
+}  // namespace scaffe::sim

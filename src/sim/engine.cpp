@@ -1,0 +1,69 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace scaffe::sim {
+
+Engine::~Engine() = default;
+
+void Engine::spawn(Task task) {
+  if (!task.valid()) return;
+  Task::Handle handle = task.release();
+  handle.promise().engine = this;
+  roots_.emplace_back(Task(handle));
+  schedule(handle, 0);
+}
+
+void Engine::schedule(std::coroutine_handle<> h, TimeNs dt) {
+  queue_.push(Item{now_ + dt, seq_++, h});
+}
+
+void Engine::step(const Item& item) {
+  now_ = item.time;
+  ++events_processed_;
+  item.handle.resume();
+}
+
+void Engine::drain_finished_roots() {
+  // Completed root tasks keep their frames until the engine drains them; this
+  // bounds memory when a long simulation spawns many short-lived processes.
+  roots_.erase(std::remove_if(roots_.begin(), roots_.end(),
+                              [](const Task& t) { return t.done(); }),
+               roots_.end());
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    step(item);
+    if (first_error_) break;
+    if (events_processed_ % 4096 == 0) drain_finished_roots();
+  }
+  drain_finished_roots();
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+bool Engine::run_until(TimeNs limit) {
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    Item item = queue_.top();
+    queue_.pop();
+    step(item);
+    if (first_error_) break;
+  }
+  drain_finished_roots();
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  if (queue_.empty()) return true;
+  now_ = std::max(now_, limit);
+  return false;
+}
+
+}  // namespace scaffe::sim

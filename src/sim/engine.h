@@ -1,0 +1,180 @@
+// Discrete-event simulation engine with C++20 coroutine processes.
+//
+// The engine owns a time-ordered event queue of suspended coroutines. A
+// simulation "process" is a `Task` coroutine that awaits `engine.delay(dt)`
+// (advance simulated time), channel receives, resource acquisitions, or child
+// tasks. Events at equal timestamps run in FIFO (insertion) order, so every
+// simulation is exactly deterministic.
+//
+//   sim::Engine eng;
+//   eng.spawn([](sim::Engine& e) -> sim::Task {
+//     co_await e.delay(5 * util::kUs);
+//     ...
+//   }(eng));
+//   eng.run();           // drains all events
+//   eng.now();           // final simulated time
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/duration.h"
+
+namespace scaffe::sim {
+
+using util::TimeNs;
+
+class Engine;
+
+/// A lazily-started simulation coroutine. `co_await`-ing a Task starts it and
+/// resumes the awaiter when it completes (possibly after simulated delays).
+/// Top-level tasks are handed to Engine::spawn, which owns their lifetime.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept;
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent, if co_awaited
+    Engine* engine = nullptr;              // set for spawned root tasks
+    std::exception_ptr error;
+    bool done = false;
+
+    Task get_return_object() noexcept { return Task(Handle::from_promise(*this)); }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    FinalAwaiter final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(handle_); }
+  bool done() const noexcept { return handle_ && handle_.promise().done; }
+
+  /// Awaiting a Task starts it immediately (symmetric transfer) and resumes
+  /// the awaiter at the simulated time the child completes. Rethrows any
+  /// exception the child raised.
+  struct Awaiter {
+    Handle child;
+    bool await_ready() const noexcept { return !child || child.promise().done; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+      child.promise().continuation = parent;
+      return child;
+    }
+    void await_resume() const {
+      if (child && child.promise().error) std::rethrow_exception(child.promise().error);
+    }
+  };
+  Awaiter operator co_await() const noexcept { return Awaiter{handle_}; }
+
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+/// The event loop: a priority queue of (time, seq, coroutine) resumptions.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  TimeNs now() const noexcept { return now_; }
+
+  /// Takes ownership of a root task and schedules its start at now().
+  void spawn(Task task);
+
+  /// Schedules a raw coroutine resumption after `dt` (used by awaitables).
+  void schedule(std::coroutine_handle<> h, TimeNs dt = 0);
+
+  /// Awaitable that suspends the caller for `dt` of simulated time.
+  struct DelayAwaiter {
+    Engine* engine;
+    TimeNs dt;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const { engine->schedule(h, dt); }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter delay(TimeNs dt) noexcept {
+    assert(dt >= 0);
+    return DelayAwaiter{this, dt};
+  }
+
+  /// Runs until the event queue drains. Rethrows the first root-task error.
+  void run();
+
+  /// Runs while events exist with time <= limit. Returns true if drained.
+  bool run_until(TimeNs limit);
+
+  /// Number of events processed so far (diagnostic/determinism checks).
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Records an error raised by a detached/root task; rethrown from run().
+  void report_error(std::exception_ptr error) noexcept {
+    if (!first_error_) first_error_ = error;
+  }
+
+ private:
+  struct Item {
+    TimeNs time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Item& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void step(const Item& item);
+  void drain_finished_roots();
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  std::vector<Task> roots_;
+  TimeNs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::exception_ptr first_error_;
+};
+
+inline std::coroutine_handle<> Task::FinalAwaiter::await_suspend(Handle h) noexcept {
+  auto& promise = h.promise();
+  promise.done = true;
+  if (promise.continuation) return promise.continuation;
+  if (promise.engine && promise.error) promise.engine->report_error(promise.error);
+  return std::noop_coroutine();
+}
+
+}  // namespace scaffe::sim

@@ -1,0 +1,118 @@
+// FIFO counting resource (semaphore) for modelling shared hardware: a PCIe
+// lane, an InfiniBand HCA, a GPU copy engine. Processes `co_await
+// res.acquire(n)` and must `release(n)` when done; `ScopedHold` automates the
+// release. FIFO ordering makes contention deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+
+#include "sim/engine.h"
+
+namespace scaffe::sim {
+
+class Resource {
+ public:
+  Resource(Engine& engine, std::int64_t capacity) noexcept
+      : engine_(&engine), capacity_(capacity), available_(capacity) {
+    assert(capacity > 0);
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::int64_t capacity() const noexcept { return capacity_; }
+  std::int64_t available() const noexcept { return available_; }
+  std::size_t queue_length() const noexcept { return waiters_.size(); }
+
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::int64_t amount = 0;
+  };
+
+  struct AcquireAwaiter {
+    Resource* resource;
+    Waiter waiter;
+
+    bool await_ready() noexcept {
+      // FIFO: even if capacity is free, queued waiters go first. The grant
+      // is debited immediately so that concurrent release cascades can never
+      // oversubscribe the capacity.
+      if (resource->waiters_.empty() && resource->available_ >= waiter.amount) {
+        resource->available_ -= waiter.amount;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      waiter.handle = h;
+      resource->waiters_.push_back(&waiter);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable acquisition of `amount` units (FIFO among waiters).
+  AcquireAwaiter acquire(std::int64_t amount = 1) noexcept {
+    assert(amount > 0 && amount <= capacity_);
+    return AcquireAwaiter{this, Waiter{{}, amount}};
+  }
+
+  /// Returns `amount` units and wakes waiters whose requests now fit.
+  void release(std::int64_t amount = 1) {
+    available_ += amount;
+    assert(available_ <= capacity_);
+    wake_ready();
+  }
+
+ private:
+  void wake_ready() {
+    // Wake in FIFO order while the head request fits; each grant debits the
+    // capacity immediately (before the waiter resumes).
+    while (!waiters_.empty() && available_ >= waiters_.front()->amount) {
+      Waiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      available_ -= waiter->amount;
+      engine_->schedule(waiter->handle, 0);
+    }
+  }
+
+  Engine* engine_;
+  std::int64_t capacity_;
+  std::int64_t available_;
+  std::deque<Waiter*> waiters_;
+};
+
+/// RAII helper usable inside coroutines:
+///   { auto hold = co_await ScopedHold::acquire(res, n); ... }  // releases
+class ScopedHold {
+ public:
+  ScopedHold() = default;
+  ScopedHold(Resource& resource, std::int64_t amount) noexcept
+      : resource_(&resource), amount_(amount) {}
+  ScopedHold(ScopedHold&& other) noexcept
+      : resource_(std::exchange(other.resource_, nullptr)), amount_(other.amount_) {}
+  ScopedHold& operator=(ScopedHold&& other) noexcept {
+    if (this != &other) {
+      reset();
+      resource_ = std::exchange(other.resource_, nullptr);
+      amount_ = other.amount_;
+    }
+    return *this;
+  }
+  ScopedHold(const ScopedHold&) = delete;
+  ScopedHold& operator=(const ScopedHold&) = delete;
+  ~ScopedHold() { reset(); }
+
+  void reset() {
+    if (resource_) {
+      resource_->release(amount_);
+      resource_ = nullptr;
+    }
+  }
+
+ private:
+  Resource* resource_ = nullptr;
+  std::int64_t amount_ = 0;
+};
+
+}  // namespace scaffe::sim

@@ -1,0 +1,68 @@
+// One-shot broadcast event ("condition flag") and a countdown latch.
+//
+// Trigger mirrors the helper-thread C++ condition-flag handshake the paper's
+// SC-OBR design uses; Latch joins a fan-out of concurrent processes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace scaffe::sim {
+
+/// One-shot event: waiters suspend until fire(); waits after fire() pass.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) noexcept : engine_(&engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const noexcept { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto handle : waiters_) engine_->schedule(handle, 0);
+    waiters_.clear();
+  }
+
+  struct WaitAwaiter {
+    Trigger* trigger;
+    bool await_ready() const noexcept { return trigger->fired_; }
+    void await_suspend(std::coroutine_handle<> h) { trigger->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  WaitAwaiter wait() noexcept { return WaitAwaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Countdown latch: `count_down()` n times releases all waiters.
+class Latch {
+ public:
+  Latch(Engine& engine, std::int64_t count) noexcept
+      : trigger_(engine), remaining_(count) {
+    assert(count >= 0);
+    if (remaining_ == 0) trigger_.fire();
+  }
+
+  void count_down(std::int64_t n = 1) {
+    remaining_ -= n;
+    assert(remaining_ >= 0);
+    if (remaining_ == 0) trigger_.fire();
+  }
+
+  Trigger::WaitAwaiter wait() noexcept { return trigger_.wait(); }
+  std::int64_t remaining() const noexcept { return remaining_; }
+
+ private:
+  Trigger trigger_;
+  std::int64_t remaining_;
+};
+
+}  // namespace scaffe::sim

@@ -1,0 +1,55 @@
+#include "util/bytes.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace scaffe::util {
+
+std::string fmt_bytes(std::size_t bytes) {
+  const char* unit = "B";
+  double v = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    v /= static_cast<double>(kGiB);
+    unit = "GB";
+  } else if (bytes >= kMiB) {
+    v /= static_cast<double>(kMiB);
+    unit = "MB";
+  } else if (bytes >= kKiB) {
+    v /= static_cast<double>(kKiB);
+    unit = "KB";
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<std::size_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%zu%s", static_cast<std::size_t>(v), unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, unit);
+  }
+  return buf;
+}
+
+std::size_t parse_bytes(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t value = 0;
+  std::size_t i = 0;
+  bool any_digit = false;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+    any_digit = true;
+  }
+  if (!any_digit) return 0;
+  std::size_t mul = 1;
+  if (i < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[i]))) {
+      case 'K': mul = kKiB; ++i; break;
+      case 'M': mul = kMiB; ++i; break;
+      case 'G': mul = kGiB; ++i; break;
+      default: break;
+    }
+    if (i < text.size() && std::toupper(static_cast<unsigned char>(text[i])) == 'B') ++i;
+  }
+  if (i != text.size()) return 0;
+  return value * mul;
+}
+
+}  // namespace scaffe::util

@@ -1,0 +1,27 @@
+// Byte-size helpers: literals, formatting ("256 MB"), parsing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scaffe::util {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+/// Formats a byte count as "4B", "16KB", "256MB", "1.5GB".
+std::string fmt_bytes(std::size_t bytes);
+
+/// Parses "4", "4K", "16M", "2G" (case-insensitive, optional trailing 'B').
+/// Returns 0 on malformed input.
+std::size_t parse_bytes(const std::string& text);
+
+namespace literals {
+constexpr std::size_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::size_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+}  // namespace scaffe::util

@@ -1,0 +1,25 @@
+#include "util/duration.h"
+
+#include <cstdio>
+
+namespace scaffe::util {
+
+std::string fmt_time(TimeNs t) {
+  char buf[48];
+  const double v = static_cast<double>(t);
+  if (t < 0) {
+    return "-" + fmt_time(-t);
+  }
+  if (t < kUs) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(t));
+  } else if (t < kMs) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+  } else if (t < kSec) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace scaffe::util

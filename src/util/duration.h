@@ -1,0 +1,27 @@
+// Simulated-time type shared by sim/net/core: integer nanoseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scaffe::util {
+
+/// Simulated time / duration in nanoseconds. Signed so durations subtract safely.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kUs = 1000;
+inline constexpr TimeNs kMs = 1000 * kUs;
+inline constexpr TimeNs kSec = 1000 * kMs;
+
+constexpr double to_us(TimeNs t) noexcept { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(TimeNs t) noexcept { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(TimeNs t) noexcept { return static_cast<double>(t) / 1e9; }
+
+constexpr TimeNs from_us(double us) noexcept { return static_cast<TimeNs>(us * 1e3); }
+constexpr TimeNs from_ms(double ms) noexcept { return static_cast<TimeNs>(ms * 1e6); }
+constexpr TimeNs from_sec(double s) noexcept { return static_cast<TimeNs>(s * 1e9); }
+
+/// Formats with an adaptive unit: "950ns", "12.4us", "3.2ms", "1.75s".
+std::string fmt_time(TimeNs t);
+
+}  // namespace scaffe::util

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace scaffe::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load()); }
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+bool level_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << level_name(level) << " " << (base ? base + 1 : file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace detail
+
+}  // namespace scaffe::util

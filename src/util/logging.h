@@ -1,0 +1,55 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   SCAFFE_LOG(Info) << "starting run with P=" << p;
+//   util::set_log_level(util::LogLevel::Warn);
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace scaffe::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns the current global minimum level.
+LogLevel log_level() noexcept;
+
+/// Returns a short name ("INFO", "WARN", ...) for a level.
+const char* level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Accumulates one log line and flushes it (atomically) on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+bool level_enabled(LogLevel level) noexcept;
+
+}  // namespace detail
+
+}  // namespace scaffe::util
+
+#define SCAFFE_LOG(severity)                                                          \
+  if (!::scaffe::util::detail::level_enabled(::scaffe::util::LogLevel::severity)) {  \
+  } else                                                                              \
+    ::scaffe::util::detail::LogLine(::scaffe::util::LogLevel::severity, __FILE__, __LINE__)

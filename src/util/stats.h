@@ -1,0 +1,53 @@
+// Running statistics and labelled numeric series used by benches and tests.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scaffe::util {
+
+/// Welford running mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void clear() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A named series of (x, y) points — one line on a paper figure.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  std::size_t size() const noexcept { return x.size(); }
+};
+
+/// Percentile of a sample (copies and sorts; p in [0,100]).
+double percentile(std::vector<double> sample, double p);
+
+/// Geometric mean of strictly positive values; returns 0 if any value <= 0.
+double geomean(const std::vector<double>& values);
+
+}  // namespace scaffe::util

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace scaffe::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::to_string() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < cols; ++c) rule += width[c] + (c + 1 < cols ? 2 : 0);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string fmt_speedup(double v) { return fmt_double(v, 2) + "x"; }
+
+}  // namespace scaffe::util

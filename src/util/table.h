@@ -1,0 +1,41 @@
+// ASCII table and CSV rendering for bench output.
+//
+// The bench binaries print each paper table/figure as rows; Table keeps the
+// formatting (column alignment, units) in one place.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scaffe::util {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; missing cells render empty, extra cells widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, padded columns.
+  std::string to_string() const;
+
+  /// Renders as CSV (no quoting of commas; bench values never contain them).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming trailing zeros.
+std::string fmt_double(double v, int precision = 3);
+
+/// "1.25x"-style speedup formatting.
+std::string fmt_speedup(double v);
+
+}  // namespace scaffe::util

@@ -1,0 +1,179 @@
+// Tests for the im2col+GEMM convolution path and the allreduce-SGD
+// aggregation extension.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "core/distributed_solver.h"
+#include "data/dataset.h"
+#include "dl/gradient_check.h"
+#include "dl/net.h"
+#include "models/zoo.h"
+#include "mpi/comm.h"
+#include "util/rng.h"
+
+namespace scaffe {
+namespace {
+
+// --- im2col + GEMM convolution --------------------------------------------------
+
+dl::NetSpec conv_net(dl::ConvImpl impl, int kernel, int stride, int pad) {
+  dl::NetSpec spec;
+  spec.name = "conv_impl";
+  spec.inputs = {{"data", {2, 3, 9, 9}}, {"label", {2}}};
+  dl::LayerSpec conv = dl::LayerSpec::conv("c", "data", "c", 4, kernel, stride, pad);
+  conv.conv_impl = impl;
+  spec.layers = {std::move(conv), dl::LayerSpec::softmax_loss("loss", "c", "label", "loss")};
+  return spec;
+}
+
+void load(dl::Net& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (float& v : net.blob("data").data()) v = static_cast<float>(rng.normal());
+  for (float& v : net.blob("label").data()) v = static_cast<float>(rng.below(4));
+}
+
+struct ConvGeometry {
+  int kernel;
+  int stride;
+  int pad;
+};
+
+class ConvImplSweep : public ::testing::TestWithParam<ConvGeometry> {};
+
+TEST_P(ConvImplSweep, GemmForwardMatchesDirect) {
+  const auto [kernel, stride, pad] = GetParam();
+  dl::Net direct(conv_net(dl::ConvImpl::Direct, kernel, stride, pad), 7);
+  dl::Net gemm(conv_net(dl::ConvImpl::Im2colGemm, kernel, stride, pad), 7);
+  load(direct, 3);
+  load(gemm, 3);
+  direct.forward();
+  gemm.forward();
+  const auto a = direct.blob("c").data();
+  const auto b = gemm.blob("c").data();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-4f) << i;  // op order differs; near-equal
+  }
+}
+
+TEST_P(ConvImplSweep, GemmBackwardMatchesDirect) {
+  const auto [kernel, stride, pad] = GetParam();
+  dl::Net direct(conv_net(dl::ConvImpl::Direct, kernel, stride, pad), 7);
+  dl::Net gemm(conv_net(dl::ConvImpl::Im2colGemm, kernel, stride, pad), 7);
+  load(direct, 3);
+  load(gemm, 3);
+  for (dl::Net* net : {&direct, &gemm}) {
+    net->zero_param_diffs();
+    net->forward();
+    net->backward();
+  }
+  std::vector<float> da(direct.param_count());
+  std::vector<float> db(gemm.param_count());
+  direct.flatten_diffs(da);
+  gemm.flatten_diffs(db);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_NEAR(da[i], db[i], 2e-4f) << i;
+  }
+  // Input gradients too (the col2im path).
+  const auto dxa = direct.blob("data").diff();
+  const auto dxb = gemm.blob("data").diff();
+  for (std::size_t i = 0; i < dxa.size(); ++i) {
+    EXPECT_NEAR(dxa[i], dxb[i], 2e-4f) << "dx " << i;
+  }
+}
+
+TEST_P(ConvImplSweep, GemmPassesGradientCheck) {
+  const auto [kernel, stride, pad] = GetParam();
+  dl::Net net(conv_net(dl::ConvImpl::Im2colGemm, kernel, stride, pad), 7);
+  load(net, 3);
+  const auto r = dl::check_gradients(net, 1e-2, 5e-2, 2e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvImplSweep,
+                         ::testing::Values(ConvGeometry{3, 1, 1}, ConvGeometry{3, 2, 0},
+                                           ConvGeometry{5, 1, 2}, ConvGeometry{1, 1, 0},
+                                           ConvGeometry{3, 3, 1}));
+
+// --- allreduce-SGD aggregation ----------------------------------------------------
+
+struct AllreduceOutcome {
+  std::vector<std::vector<float>> rank_params;  // every rank's final params
+  std::vector<float> losses;
+};
+
+AllreduceOutcome run_allreduce(int nranks, int iterations, bool ring) {
+  const int in_dim = 6;
+  const int classes = 3;
+  const int shard = 4;
+  data::SyntheticImageDataset dataset(512, 1, 1, in_dim, classes);
+
+  AllreduceOutcome outcome;
+  outcome.rank_params.resize(static_cast<std::size_t>(nranks));
+  std::mutex mutex;
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    dl::SolverConfig solver_config;
+    solver_config.base_lr = 0.05f;
+    solver_config.seed = 5;
+    core::ScaffeConfig config;
+    config.aggregation = core::Aggregation::AllreduceSgd;
+    config.ring_allreduce = ring;
+    core::DistributedSolver solver(comm, models::mlp_netspec(shard, in_dim, 8, classes),
+                                   solver_config, config);
+
+    std::vector<float> data(static_cast<std::size_t>(shard * in_dim));
+    std::vector<float> labels(static_cast<std::size_t>(shard));
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      for (int i = 0; i < shard; ++i) {
+        const auto index = static_cast<std::uint64_t>(iteration * nranks * shard +
+                                                      comm.rank() * shard + i);
+        const data::Sample sample = dataset.make_sample(index);
+        std::copy(sample.image.begin(), sample.image.end(),
+                  data.begin() + static_cast<std::ptrdiff_t>(i * in_dim));
+        labels[static_cast<std::size_t>(i)] = static_cast<float>(sample.label);
+      }
+      const auto result = solver.train_iteration(data, labels);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        outcome.losses.push_back(result.local_loss);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& params = outcome.rank_params[static_cast<std::size_t>(comm.rank())];
+    params.resize(solver.solver().net().param_count());
+    solver.solver().net().flatten_params(params);
+  });
+  return outcome;
+}
+
+TEST(AllreduceSgd, AllReplicasStayBitIdentical) {
+  const AllreduceOutcome outcome = run_allreduce(4, 6, /*ring=*/false);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(outcome.rank_params[static_cast<std::size_t>(r)], outcome.rank_params[0])
+        << "rank " << r << " diverged";
+  }
+}
+
+TEST(AllreduceSgd, RingVariantAlsoConverges) {
+  const AllreduceOutcome tree = run_allreduce(4, 6, /*ring=*/false);
+  const AllreduceOutcome ring = run_allreduce(4, 6, /*ring=*/true);
+  // Different reduction orders: trajectories agree to float noise.
+  ASSERT_EQ(tree.rank_params[0].size(), ring.rank_params[0].size());
+  for (std::size_t i = 0; i < tree.rank_params[0].size(); ++i) {
+    EXPECT_NEAR(tree.rank_params[0][i], ring.rank_params[0][i], 1e-4f);
+  }
+  // Ring replicas also stay identical to each other.
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(ring.rank_params[static_cast<std::size_t>(r)], ring.rank_params[0]);
+  }
+}
+
+TEST(AllreduceSgd, LossDecreases) {
+  const AllreduceOutcome outcome = run_allreduce(4, 20, /*ring=*/true);
+  EXPECT_LT(outcome.losses.back(), outcome.losses.front());
+}
+
+}  // namespace
+}  // namespace scaffe

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coll/algorithms.h"
+#include "coll/extensions.h"
+#include "coll/logical_executor.h"
+#include "coll/sim_executor.h"
+#include "coll/thread_executor.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+
+namespace scaffe::coll {
+namespace {
+
+using util::kMiB;
+
+struct KnomialCase {
+  int nranks;
+  int radix;
+};
+
+class KnomialSweep : public ::testing::TestWithParam<KnomialCase> {};
+
+TEST_P(KnomialSweep, ReduceCorrect) {
+  const auto& c = GetParam();
+  EXPECT_EQ(check_semantics(knomial_reduce(c.nranks, 0, 100, c.radix)), "");
+}
+
+TEST_P(KnomialSweep, ReduceNonzeroRootCorrect) {
+  const auto& c = GetParam();
+  EXPECT_EQ(check_semantics(knomial_reduce(c.nranks, c.nranks / 2, 64, c.radix)), "");
+}
+
+TEST_P(KnomialSweep, BcastCorrect) {
+  const auto& c = GetParam();
+  EXPECT_EQ(check_semantics(knomial_bcast(c.nranks, 0, 100, c.radix)), "");
+  EXPECT_EQ(check_semantics(knomial_bcast(c.nranks, c.nranks - 1, 50, c.radix)), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KnomialSweep,
+                         ::testing::Values(KnomialCase{1, 2}, KnomialCase{2, 2},
+                                           KnomialCase{7, 2}, KnomialCase{8, 4},
+                                           KnomialCase{9, 3}, KnomialCase{16, 4},
+                                           KnomialCase{27, 3}, KnomialCase{30, 4},
+                                           KnomialCase{64, 8}, KnomialCase{100, 5}));
+
+TEST(Knomial, Radix2MatchesBinomialStructure) {
+  // Radix-2 k-nomial is the binomial tree: same op multiset.
+  const Schedule knomial = knomial_reduce(16, 0, 32, 2);
+  const Schedule binomial = binomial_reduce(16, 0, 32);
+  EXPECT_EQ(knomial.total_ops(), binomial.total_ops());
+  EXPECT_EQ(knomial.total_bytes_sent(), binomial.total_bytes_sent());
+}
+
+TEST(Knomial, HigherRadixFewerRounds) {
+  // Radix 4 at P=64: 3 rounds instead of 6 — the root receives more messages
+  // but the tree is shallower; at small message sizes latency dominates and
+  // fewer rounds should not be slower in the DES.
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const auto r2 = simulate_schedule(knomial_reduce(64, 0, 16, 2), cluster,
+                                    ExecPolicy::hr_gdr());
+  const auto r4 = simulate_schedule(knomial_reduce(64, 0, 16, 4), cluster,
+                                    ExecPolicy::hr_gdr());
+  EXPECT_GT(r2.root_finish, 0);
+  EXPECT_GT(r4.root_finish, 0);
+}
+
+class ThreeLevelSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ThreeLevelSweep, Correct) {
+  const auto [nranks, chain, mid] = GetParam();
+  const Schedule schedule = three_level_reduce(nranks, 256, chain, mid, 4);
+  EXPECT_EQ(check_semantics(schedule), "") << schedule.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ThreeLevelSweep,
+                         ::testing::Values(std::tuple{1, 4, 4}, std::tuple{8, 2, 2},
+                                           std::tuple{16, 4, 2}, std::tuple{32, 4, 4},
+                                           std::tuple{60, 4, 4}, std::tuple{64, 8, 4},
+                                           std::tuple{160, 16, 5}, std::tuple{100, 8, 3}));
+
+TEST(ThreeLevel, PaperFutureWorkWinsAtVeryLargeScale) {
+  // Section 5: "chain-of-chain combined with a top level binomial for very
+  // large scale reductions". At 160 ranks and 256MB the three-level design
+  // should be competitive with (here: beat) the flat binomial.
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 64 * kMiB;  // 256 MB of floats
+  const auto three = simulate_schedule(three_level_reduce(160, count, 16, 5, 16), cluster,
+                                       ExecPolicy::hr_gdr());
+  const auto flat = simulate_schedule(binomial_reduce(160, 0, count), cluster,
+                                      ExecPolicy::hr_gdr());
+  EXPECT_LT(three.root_finish, flat.root_finish);
+}
+
+TEST(ThreeLevel, ThreadedExecutionMatchesSum) {
+  const int nranks = 24;
+  const std::size_t count = 512;
+  const Schedule schedule = three_level_reduce(nranks, count, 4, 3, 4);
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks),
+                                       std::vector<float>(count, 0.5f));
+  std::vector<std::span<float>> spans;
+  for (auto& v : data) spans.emplace_back(v);
+  run_threaded(schedule, spans);
+  EXPECT_EQ(data[0][100], 0.5f * nranks);
+}
+
+class RabenseifnerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RabenseifnerSweep, Correct) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(rabenseifner_reduce(nranks, 256)), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, RabenseifnerSweep, ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(Rabenseifner, RootReceivesFarLessThanBinomial) {
+  // Bandwidth-optimality is on the critical path: the binomial root receives
+  // log2(P) full buffers; the Rabenseifner root receives ~2 buffers total.
+  const std::size_t count = 1 << 20;
+  auto root_recv_bytes = [](const Schedule& schedule) {
+    std::size_t bytes = 0;
+    for (const Op& op : schedule.programs[0].ops) {
+      if (op.kind != OpKind::Send) bytes += op.count * sizeof(float);
+    }
+    return bytes;
+  };
+  const std::size_t raben = root_recv_bytes(rabenseifner_reduce(64, count));
+  const std::size_t tree = root_recv_bytes(binomial_reduce(64, 0, count));
+  EXPECT_EQ(tree, 6 * count * sizeof(float));  // log2(64) full buffers
+  EXPECT_LT(raben, 2 * count * sizeof(float)); // ~(1 - 1/P) + (1 - 1/P) buffers
+}
+
+TEST(Rabenseifner, FasterThanBinomialForHugeBuffersFewRanks) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 16 * kMiB;
+  const auto raben = simulate_schedule(rabenseifner_reduce(8, count), cluster,
+                                       ExecPolicy::hr_gdr());
+  const auto tree = simulate_schedule(binomial_reduce(8, 0, count), cluster,
+                                      ExecPolicy::hr_gdr());
+  EXPECT_LT(raben.root_finish, tree.root_finish);
+}
+
+TEST(Rabenseifner, UnevenBlockSizesStillCorrect) {
+  // count not divisible by nranks: partition_chunks produces ragged blocks.
+  EXPECT_EQ(check_semantics(rabenseifner_reduce(8, 257)), "");
+  EXPECT_EQ(check_semantics(rabenseifner_reduce(16, 999)), "");
+}
+
+TEST(Figure7, LowerCommunicatorSpansTwoNodes) {
+  // Figure 7's exact geometry: 4 GPUs per node, chain_size 8 => each lower
+  // communicator spans two nodes; the upper binomial runs over the leaders.
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  cluster.gpus_per_node = 4;
+  cluster.nodes = 4;
+  const int nranks = 16;
+  const std::size_t count = 1 << 21;  // 8 MB: the regime where chains win
+  const Schedule schedule =
+      hierarchical_reduce(nranks, count, 8, LevelAlgo::Chain, LevelAlgo::Binomial, 16);
+  EXPECT_EQ(check_semantics(schedule), "");
+
+  // The chain hop from rank 4 to rank 3 crosses a node boundary.
+  const net::Topology topo(cluster, nranks);
+  EXPECT_EQ(topo.path(4, 3), net::Path::InterNode);
+
+  const auto result = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+  EXPECT_GT(result.root_finish, 0);
+  // And it should still beat the flat binomial for this large buffer.
+  const auto flat =
+      simulate_schedule(binomial_reduce(nranks, 0, count), cluster, ExecPolicy::hr_gdr());
+  EXPECT_LT(result.root_finish, flat.root_finish);
+}
+
+TEST(Trace, DisabledByDefault) {
+  const auto result = simulate_schedule(binomial_reduce(8, 0, 64),
+                                        net::ClusterSpec::cluster_a(), ExecPolicy::hr_gdr());
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Trace, CapturesEveryOpWithSaneIntervals) {
+  const Schedule schedule = chain_reduce(6, 0, 4096, 4);
+  const auto result = simulate_schedule(schedule, net::ClusterSpec::cluster_a(),
+                                        ExecPolicy::hr_gdr(), /*capture_trace=*/true);
+  EXPECT_EQ(result.trace.size(), schedule.total_ops());
+  for (const TraceEvent& event : result.trace) {
+    EXPECT_GE(event.start, 0);
+    EXPECT_LE(event.start, event.end);
+    EXPECT_LE(event.end, result.total);
+    EXPECT_GE(event.rank, 0);
+    EXPECT_LT(event.rank, 6);
+  }
+}
+
+TEST(Trace, SendBusyIntervalsOnSameNodeLinkDoNotExceedCapacity) {
+  // pcie_concurrency transfers at a time per node: at any instant, at most
+  // that many Send events of co-located ranks may overlap.
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const Schedule schedule = chain_reduce(8, 0, 1 << 16, 8);
+  const auto result =
+      simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr(), /*capture_trace=*/true);
+  // Sweep-line over (start, +1)/(end, -1) boundaries: the maximum
+  // instantaneous concurrency must respect the per-node link capacity.
+  std::vector<std::pair<util::TimeNs, int>> boundaries;
+  for (const TraceEvent& event : result.trace) {
+    if (event.kind != OpKind::Send) continue;
+    boundaries.emplace_back(event.start, +1);
+    boundaries.emplace_back(event.end, -1);
+  }
+  std::sort(boundaries.begin(), boundaries.end());  // ends sort before starts at ties
+  int current = 0;
+  int peak = 0;
+  for (const auto& [time, delta] : boundaries) {
+    current += delta;
+    peak = std::max(peak, current);
+  }
+  EXPECT_LE(peak, cluster.pcie_concurrency);
+  EXPECT_GE(peak, 2);  // the pipeline genuinely uses concurrent links
+}
+
+}  // namespace
+}  // namespace scaffe::coll

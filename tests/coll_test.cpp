@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/exec_policy.h"
+#include "coll/logical_executor.h"
+#include "coll/program.h"
+#include "coll/sim_executor.h"
+#include "coll/thread_executor.h"
+#include "coll/tuner.h"
+#include "net/cluster.h"
+#include "util/bytes.h"
+
+namespace scaffe::coll {
+namespace {
+
+using util::kMiB;
+
+// ---------------------------------------------------------------------------
+// Chunk partitioning
+// ---------------------------------------------------------------------------
+
+TEST(PartitionChunks, ExactDivision) {
+  const auto parts = partition_chunks(100, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& [offset, size] : parts) EXPECT_EQ(size, 25u);
+  EXPECT_EQ(parts[3].first, 75u);
+}
+
+TEST(PartitionChunks, Remainder) {
+  const auto parts = partition_chunks(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].second, 4u);
+  EXPECT_EQ(parts[1].second, 3u);
+  EXPECT_EQ(parts[2].second, 3u);
+  // Contiguity and full coverage.
+  std::size_t total = 0;
+  std::size_t expect_offset = 0;
+  for (const auto& [offset, size] : parts) {
+    EXPECT_EQ(offset, expect_offset);
+    expect_offset += size;
+    total += size;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(PartitionChunks, MorePartsThanElementsClamps) {
+  const auto parts = partition_chunks(3, 16);
+  EXPECT_EQ(parts.size(), 3u);
+}
+
+TEST(PartitionChunks, OnePart) {
+  const auto parts = partition_chunks(7, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], (std::pair<std::size_t, std::size_t>{0, 7}));
+}
+
+// ---------------------------------------------------------------------------
+// Semantic correctness of every generator, swept over P (property tests)
+// ---------------------------------------------------------------------------
+
+class FlatAlgoSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlatAlgoSweep, BinomialReduceCorrect) {
+  const int p = GetParam();
+  EXPECT_EQ(check_semantics(binomial_reduce(p, 0, 100)), "");
+}
+
+TEST_P(FlatAlgoSweep, BinomialReduceNonzeroRoot) {
+  const int p = GetParam();
+  EXPECT_EQ(check_semantics(binomial_reduce(p, p / 2, 100)), "");
+  EXPECT_EQ(check_semantics(binomial_reduce(p, p - 1, 33)), "");
+}
+
+TEST_P(FlatAlgoSweep, ChainReduceCorrect) {
+  const int p = GetParam();
+  for (int chunks : {1, 3, 8}) {
+    EXPECT_EQ(check_semantics(chain_reduce(p, 0, 100, chunks)), "") << "chunks=" << chunks;
+  }
+}
+
+TEST_P(FlatAlgoSweep, ChainReduceNonzeroRoot) {
+  const int p = GetParam();
+  EXPECT_EQ(check_semantics(chain_reduce(p, p - 1, 64, 4)), "");
+}
+
+TEST_P(FlatAlgoSweep, BinomialBcastCorrect) {
+  const int p = GetParam();
+  EXPECT_EQ(check_semantics(binomial_bcast(p, 0, 100)), "");
+  EXPECT_EQ(check_semantics(binomial_bcast(p, p / 2, 100)), "");
+}
+
+TEST_P(FlatAlgoSweep, ChainBcastCorrect) {
+  const int p = GetParam();
+  for (int chunks : {1, 4}) {
+    EXPECT_EQ(check_semantics(chain_bcast(p, 0, 100, chunks)), "");
+  }
+}
+
+TEST_P(FlatAlgoSweep, RingAllreduceCorrect) {
+  const int p = GetParam();
+  EXPECT_EQ(check_semantics(ring_allreduce(p, 128)), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, FlatAlgoSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 40));
+
+struct HierCase {
+  int nranks;
+  int chain_size;
+  LevelAlgo lower;
+  LevelAlgo upper;
+};
+
+class HierSweep : public ::testing::TestWithParam<HierCase> {};
+
+TEST_P(HierSweep, ReduceCorrect) {
+  const auto& c = GetParam();
+  const Schedule s = hierarchical_reduce(c.nranks, 256, c.chain_size, c.lower, c.upper, 4);
+  EXPECT_EQ(check_semantics(s), "") << s.name;
+}
+
+TEST_P(HierSweep, BcastCorrect) {
+  const auto& c = GetParam();
+  const Schedule s = hierarchical_bcast(c.nranks, 256, c.chain_size, c.lower, c.upper, 4);
+  EXPECT_EQ(check_semantics(s), "") << s.name;
+}
+
+TEST_P(HierSweep, ReduceBcastAllreduceCorrect) {
+  const auto& c = GetParam();
+  const Schedule s =
+      reduce_bcast_allreduce(c.nranks, 256, c.chain_size, c.lower, c.upper, 4);
+  EXPECT_EQ(check_semantics(s), "") << s.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, HierSweep,
+    ::testing::Values(HierCase{8, 4, LevelAlgo::Chain, LevelAlgo::Binomial},
+                      HierCase{8, 4, LevelAlgo::Chain, LevelAlgo::Chain},
+                      HierCase{16, 4, LevelAlgo::Chain, LevelAlgo::Binomial},
+                      HierCase{16, 8, LevelAlgo::Chain, LevelAlgo::Chain},
+                      HierCase{17, 4, LevelAlgo::Chain, LevelAlgo::Binomial},  // ragged
+                      HierCase{30, 8, LevelAlgo::Chain, LevelAlgo::Chain},     // ragged
+                      HierCase{32, 8, LevelAlgo::Binomial, LevelAlgo::Binomial},
+                      HierCase{64, 16, LevelAlgo::Chain, LevelAlgo::Binomial},
+                      HierCase{40, 2, LevelAlgo::Chain, LevelAlgo::Chain},
+                      HierCase{9, 3, LevelAlgo::Binomial, LevelAlgo::Chain}));
+
+TEST(Schedules, SingleRankIsEmpty) {
+  EXPECT_EQ(binomial_reduce(1, 0, 10).total_ops(), 0u);
+  EXPECT_EQ(chain_reduce(1, 0, 10, 4).total_ops(), 0u);
+  EXPECT_EQ(hierarchical_reduce(1, 10, 8, LevelAlgo::Chain, LevelAlgo::Binomial, 4).total_ops(),
+            0u);
+}
+
+TEST(Schedules, StructureValidatorCatchesBadPeer) {
+  Schedule s;
+  s.nranks = 2;
+  s.count = 4;
+  s.programs.resize(2);
+  s.programs[0].send(5, 0, 0, 4);
+  EXPECT_NE(validate_structure(s), "");
+}
+
+TEST(Schedules, StructureValidatorCatchesUnmatchedSend) {
+  Schedule s;
+  s.nranks = 2;
+  s.count = 4;
+  s.programs.resize(2);
+  s.programs[0].send(1, 0, 0, 4);
+  EXPECT_NE(validate_structure(s), "");
+}
+
+TEST(Schedules, StructureValidatorCatchesRangeOverflow) {
+  Schedule s;
+  s.nranks = 2;
+  s.count = 4;
+  s.programs.resize(2);
+  s.programs[0].send(1, 0, 2, 4);  // [2, 6) > 4
+  s.programs[1].recv(0, 0, 2, 4);
+  EXPECT_NE(validate_structure(s), "");
+}
+
+TEST(Schedules, LogicalExecutorDetectsDeadlock) {
+  // Two ranks that both receive first: structurally matched, but circular.
+  Schedule s;
+  s.nranks = 2;
+  s.count = 1;
+  s.programs.resize(2);
+  s.programs[0].recv(1, 0, 0, 1);
+  s.programs[0].send(1, 1, 0, 1);
+  s.programs[1].recv(0, 1, 0, 1);
+  s.programs[1].send(0, 0, 0, 1);
+  EXPECT_EQ(validate_structure(s), "");
+  const auto result = run_logical(s, {{1.0f}, {2.0f}});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("deadlock"), std::string::npos);
+}
+
+TEST(Schedules, BytesSentAccounting) {
+  const Schedule s = binomial_reduce(4, 0, 100);
+  // Ranks 1,2,3 each send 100 floats once.
+  EXPECT_EQ(s.total_bytes_sent(), 3 * 100 * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded executor agrees with the logical oracle
+// ---------------------------------------------------------------------------
+
+class ThreadedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedSweep, ReduceMatchesSerialSum) {
+  const int p = GetParam();
+  const std::size_t count = 257;  // non-power-of-two on purpose
+  const Schedule schedule = hierarchical_reduce(
+      p, count, 4, LevelAlgo::Chain, LevelAlgo::Binomial, 3);
+
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p));
+  std::vector<std::span<float>> spans;
+  std::vector<double> expected(count, 0.0);
+  for (int r = 0; r < p; ++r) {
+    auto& v = data[static_cast<std::size_t>(r)];
+    v.resize(count);
+    for (std::size_t e = 0; e < count; ++e) {
+      v[e] = static_cast<float>((r + 1) * 0.25) + static_cast<float>(e % 7);
+      expected[e] += v[e];
+    }
+    spans.emplace_back(v);
+  }
+
+  run_threaded(schedule, spans);
+  for (std::size_t e = 0; e < count; ++e) {
+    EXPECT_NEAR(data[0][e], expected[e], 1e-3) << "element " << e;
+  }
+}
+
+TEST_P(ThreadedSweep, BcastDeliversEverywhere) {
+  const int p = GetParam();
+  const std::size_t count = 64;
+  const Schedule schedule = binomial_bcast(p, 0, count);
+
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p));
+  std::vector<std::span<float>> spans;
+  for (int r = 0; r < p; ++r) {
+    data[static_cast<std::size_t>(r)].assign(count, r == 0 ? 42.0f : -1.0f);
+    spans.emplace_back(data[static_cast<std::size_t>(r)]);
+  }
+  run_threaded(schedule, spans);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(data[static_cast<std::size_t>(r)][count / 2], 42.0f) << "rank " << r;
+  }
+}
+
+TEST_P(ThreadedSweep, RingAllreduceEveryRankHasSum) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const std::size_t count = 96;
+  const Schedule schedule = ring_allreduce(p, count);
+
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(p));
+  std::vector<std::span<float>> spans;
+  for (int r = 0; r < p; ++r) {
+    data[static_cast<std::size_t>(r)].assign(count, 1.0f);
+    spans.emplace_back(data[static_cast<std::size_t>(r)]);
+  }
+  run_threaded(schedule, spans);
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t e = 0; e < count; ++e) {
+      EXPECT_EQ(data[static_cast<std::size_t>(r)][e], static_cast<float>(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, ThreadedSweep, ::testing::Values(1, 2, 3, 4, 8, 12, 16));
+
+// ---------------------------------------------------------------------------
+// DES executor: determinism, monotonicity, and the Section 5 cost model
+// ---------------------------------------------------------------------------
+
+TEST(SimExecutor, Deterministic) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const Schedule schedule = hierarchical_reduce(64, 4 * kMiB / 4, 16, LevelAlgo::Chain,
+                                                LevelAlgo::Binomial, 16);
+  const auto a = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+  const auto b = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.rank_finish, b.rank_finish);
+}
+
+TEST(SimExecutor, LatencyMonotonicInMessageSize) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  util::TimeNs prev = 0;
+  for (std::size_t bytes = 1024; bytes <= 64 * kMiB; bytes *= 8) {
+    const Schedule schedule = binomial_reduce(32, 0, bytes / 4);
+    const auto r = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+    EXPECT_GT(r.root_finish, prev) << bytes;
+    prev = r.root_finish;
+  }
+}
+
+TEST(SimExecutor, SingleRankFinishesInstantly) {
+  const auto r = simulate_schedule(binomial_reduce(1, 0, 1024), net::ClusterSpec::cluster_a(),
+                                   ExecPolicy::hr_gdr());
+  EXPECT_EQ(r.total, 0);
+}
+
+TEST(SimExecutor, Section5ChainFormulaHolds) {
+  // T(CC) = (n + P - 2) * t(c): doubling chunks at fixed size should approach
+  // t(b) (serialization-bound), while few chunks cost ~ (P-1) extra stages.
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  cluster.mpi_overhead = 0;             // isolate the bandwidth term
+  cluster.gpu.kernel_launch = 0;
+  const int p = 8;
+  const std::size_t count = 32 * kMiB / 4;
+
+  const auto t2 = simulate_schedule(chain_reduce(p, 0, count, 2), cluster,
+                                    ExecPolicy::hr_gdr());
+  const auto t32 = simulate_schedule(chain_reduce(p, 0, count, 32), cluster,
+                                     ExecPolicy::hr_gdr());
+  // (2 + 6)/2 = 4.0 "chunk times" vs (32 + 6)/32 = 1.19: expect ~3.4x gap.
+  const double ratio = static_cast<double>(t2.root_finish) / static_cast<double>(t32.root_finish);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(SimExecutor, ChainBeatsBinomialForLargeBuffersSmallP) {
+  // Section 5: "for small P and large b, T(CC) << T(Bin)".
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 64 * kMiB / 4;
+  const int p = 8;
+  const auto chain = simulate_schedule(chain_reduce(p, 0, count, 32), cluster,
+                                       ExecPolicy::hr_gdr());
+  const auto bin = simulate_schedule(binomial_reduce(p, 0, count), cluster,
+                                     ExecPolicy::hr_gdr());
+  EXPECT_LT(chain.root_finish, bin.root_finish);
+}
+
+TEST(SimExecutor, BinomialBeatsChainForSmallBuffersLargeP) {
+  // Section 5: "for large P and small b, T(CC) >> T(Bin)".
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 64;  // 256 B
+  const int p = 64;
+  const auto chain = simulate_schedule(chain_reduce(p, 0, count, 4), cluster,
+                                       ExecPolicy::hr_gdr());
+  const auto bin = simulate_schedule(binomial_reduce(p, 0, count), cluster,
+                                     ExecPolicy::hr_gdr());
+  EXPECT_LT(bin.root_finish, chain.root_finish);
+}
+
+TEST(SimExecutor, HierarchicalBeatsFlatAtScaleForLargeMessages) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 64 * kMiB / 4;
+  const int p = 160;
+  const auto flat = simulate_schedule(binomial_reduce(p, 0, count), cluster,
+                                      ExecPolicy::hr_gdr());
+  const auto hier =
+      simulate_schedule(hierarchical_reduce(p, count, 16, LevelAlgo::Chain,
+                                            LevelAlgo::Binomial, 16),
+                        cluster, ExecPolicy::hr_gdr());
+  EXPECT_LT(hier.root_finish, flat.root_finish);
+}
+
+TEST(SimExecutor, OpenMpiPolicyFarSlowerAtLargeSizes) {
+  // The Figure 12 gap: the segmented synchronous-staging CPU-reduce baseline
+  // collapses at DL message sizes.
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const std::size_t count = 64 * kMiB / 4;
+  const Schedule schedule = binomial_reduce(64, 0, count);
+  const auto ours = simulate_schedule(
+      hierarchical_reduce(64, count, 16, LevelAlgo::Chain, LevelAlgo::Binomial, 16), cluster,
+      ExecPolicy::hr_gdr());
+  const auto ompi = simulate_schedule(schedule, cluster, ExecPolicy::openmpi());
+  EXPECT_GT(ompi.root_finish, 20 * ours.root_finish);
+}
+
+TEST(SimExecutor, AutoStagingNeverWorseThanEither) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const net::CostModel cost(cluster);
+  for (std::size_t bytes : {std::size_t{64}, 64 * util::kKiB, 16 * kMiB}) {
+    const auto staging =
+        resolve_staging(ExecPolicy::hr_gdr(), cost, net::Path::InterNode, bytes);
+    const auto chosen = cost.msg_time(bytes, net::Path::InterNode, staging);
+    EXPECT_LE(chosen, cost.msg_time(bytes, net::Path::InterNode, net::Staging::Gdr));
+    EXPECT_LE(chosen,
+              cost.msg_time(bytes, net::Path::InterNode, net::Staging::HostPipelined));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tuner
+// ---------------------------------------------------------------------------
+
+TEST(Tuner, TableCoversAllSizesAndIsOrdered) {
+  const auto table = hr_tune(net::ClusterSpec::cluster_a(), 32, ExecPolicy::hr_gdr());
+  ASSERT_FALSE(table.empty());
+  std::size_t prev = 0;
+  for (const auto& entry : table.entries()) {
+    EXPECT_GT(entry.max_bytes, prev);
+    prev = entry.max_bytes;
+  }
+  EXPECT_EQ(table.entries().back().max_bytes, std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Tuner, SmallMessagesPreferBinomialLargePreferChainLower) {
+  const auto table = hr_tune(net::ClusterSpec::cluster_a(), 160, ExecPolicy::hr_gdr());
+  const auto& small = table.choose(4);
+  const auto& large = table.choose(256 * kMiB);
+  // The exact winner is calibration-dependent, but the paper's trend must
+  // hold: the large-message winner pipelines (chain lower level), and it
+  // must differ from a flat binomial.
+  EXPECT_FALSE(large.flat_binomial);
+  EXPECT_NE(small.name, large.name);
+}
+
+TEST(Tuner, TunedNeverSlowerThanFixedCandidates) {
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const ExecPolicy policy = ExecPolicy::hr_gdr();
+  const int p = 64;
+  const auto table = hr_tune(cluster, p, policy);
+  for (std::size_t bytes : {std::size_t{1024}, kMiB, 128 * kMiB}) {
+    const std::size_t count = bytes / 4;
+    const auto tuned =
+        simulate_schedule(hr_tuned_reduce(table, p, count), cluster, policy);
+    for (const auto& candidate : default_candidates()) {
+      if (!candidate.flat_binomial && !candidate.flat_chain && candidate.chain_size >= p)
+        continue;
+      const auto fixed =
+          simulate_schedule(candidate.make_reduce(p, count), cluster, policy);
+      // Allow slack: the tuned table was built on a coarse grid.
+      EXPECT_LE(tuned.root_finish, fixed.root_finish * 11 / 10)
+          << candidate.name << " at " << bytes;
+    }
+  }
+}
+
+TEST(Tuner, TunedScheduleStillCorrect) {
+  const auto table = hr_tune(net::ClusterSpec::cluster_a(), 24, ExecPolicy::hr_gdr());
+  for (std::size_t count : {std::size_t{64}, std::size_t{4096}, std::size_t{1 << 18}}) {
+    EXPECT_EQ(check_semantics(hr_tuned_reduce(table, 24, count)), "");
+  }
+}
+
+}  // namespace
+}  // namespace scaffe::coll

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/distributed_solver.h"
+#include "core/perf_model.h"
+#include "data/dataset.h"
+#include "models/zoo.h"
+#include "mpi/comm.h"
+
+namespace scaffe::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Functional distributed training
+// ---------------------------------------------------------------------------
+
+struct TrainOutcome {
+  std::vector<float> root_params;
+  std::vector<float> losses;  // root's local loss per iteration
+};
+
+/// Trains `iterations` of the MLP on a deterministic dataset with P ranks
+/// under `config`, returning the root's final parameters.
+TrainOutcome run_distributed(int nranks, int global_batch, int iterations,
+                             ScaffeConfig config) {
+  const int in_dim = 6;
+  const int classes = 3;
+  const int shard = global_batch / nranks;
+  data::SyntheticImageDataset dataset(512, 1, 1, in_dim, classes);
+
+  TrainOutcome outcome;
+  std::mutex mutex;
+
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    dl::SolverConfig solver_config;
+    solver_config.base_lr = 0.05f;
+    solver_config.seed = 5;
+    DistributedSolver solver(comm, models::mlp_netspec(shard, in_dim, 8, classes),
+                             solver_config, config);
+
+    std::vector<float> data(static_cast<std::size_t>(shard * in_dim));
+    std::vector<float> labels(static_cast<std::size_t>(shard));
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      // Rank r takes the r-th contiguous block of the global batch.
+      for (int i = 0; i < shard; ++i) {
+        const auto index = static_cast<std::uint64_t>(iteration * global_batch +
+                                                      comm.rank() * shard + i);
+        const data::Sample sample = dataset.make_sample(index);
+        std::copy(sample.image.begin(), sample.image.end(),
+                  data.begin() + static_cast<std::ptrdiff_t>(i * in_dim));
+        labels[static_cast<std::size_t>(i)] = static_cast<float>(sample.label);
+      }
+      const IterationResult result = solver.train_iteration(data, labels);
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        outcome.losses.push_back(result.local_loss);
+      }
+    }
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      outcome.root_params.resize(solver.solver().net().param_count());
+      solver.solver().net().flatten_params(outcome.root_params);
+    }
+  });
+  return outcome;
+}
+
+/// Reference: one solver over the whole global batch.
+TrainOutcome run_single(int global_batch, int iterations) {
+  const int in_dim = 6;
+  const int classes = 3;
+  data::SyntheticImageDataset dataset(512, 1, 1, in_dim, classes);
+
+  dl::SolverConfig solver_config;
+  solver_config.base_lr = 0.05f;
+  solver_config.seed = 5;
+  dl::SgdSolver solver(models::mlp_netspec(global_batch, in_dim, 8, classes), solver_config);
+
+  TrainOutcome outcome;
+  std::vector<float> data(static_cast<std::size_t>(global_batch * in_dim));
+  std::vector<float> labels(static_cast<std::size_t>(global_batch));
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    for (int i = 0; i < global_batch; ++i) {
+      const data::Sample sample =
+          dataset.make_sample(static_cast<std::uint64_t>(iteration * global_batch + i));
+      std::copy(sample.image.begin(), sample.image.end(),
+                data.begin() + static_cast<std::ptrdiff_t>(i * in_dim));
+      labels[static_cast<std::size_t>(i)] = static_cast<float>(sample.label);
+    }
+    outcome.losses.push_back(solver.step(data, labels));
+    solver.apply_update();
+  }
+  outcome.root_params.resize(solver.net().param_count());
+  solver.net().flatten_params(outcome.root_params);
+  return outcome;
+}
+
+void expect_params_close(const std::vector<float>& a, const std::vector<float>& b,
+                         float tolerance) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tolerance) << "param " << i;
+  }
+}
+
+class VariantSweep : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(VariantSweep, MatchesSingleProcessLargeBatchTraining) {
+  // The core S-Caffe property: P synchronous solvers over shards of the
+  // global batch follow the same trajectory as one solver over the batch.
+  ScaffeConfig config;
+  config.variant = GetParam();
+  config.reduce = ReduceAlgo::binomial();
+  const TrainOutcome distributed = run_distributed(4, 16, 8, config);
+  const TrainOutcome single = run_single(16, 8);
+  expect_params_close(distributed.root_params, single.root_params, 2e-4f);
+}
+
+TEST_P(VariantSweep, LossDecreasesOverTraining) {
+  ScaffeConfig config;
+  config.variant = GetParam();
+  const TrainOutcome outcome = run_distributed(4, 32, 20, config);
+  ASSERT_GE(outcome.losses.size(), 20u);
+  EXPECT_LT(outcome.losses.back(), outcome.losses.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, VariantSweep,
+                         ::testing::Values(Variant::SCB, Variant::SCOB, Variant::SCOBR),
+                         [](const auto& info) {
+                           return std::string(variant_name(info.param)) == "SC-B"    ? "SCB"
+                                  : std::string(variant_name(info.param)) == "SC-OB" ? "SCOB"
+                                                                                     : "SCOBR";
+                         });
+
+TEST(DistributedSolver, VariantsProduceIdenticalTrajectories) {
+  // With the same reduce schedule, per-element addition order is identical
+  // across variants, so parameters must match bit-for-bit.
+  ScaffeConfig scb;
+  scb.variant = Variant::SCB;
+  scb.reduce = ReduceAlgo::cb(2);
+  ScaffeConfig scob = scb;
+  scob.variant = Variant::SCOB;
+  ScaffeConfig scobr = scb;
+  scobr.variant = Variant::SCOBR;
+
+  const TrainOutcome a = run_distributed(4, 16, 6, scb);
+  const TrainOutcome b = run_distributed(4, 16, 6, scob);
+  const TrainOutcome c = run_distributed(4, 16, 6, scobr);
+  EXPECT_EQ(a.root_params, b.root_params);
+  EXPECT_EQ(a.root_params, c.root_params);
+}
+
+TEST(DistributedSolver, HierarchicalReduceGivesSameResult) {
+  ScaffeConfig binomial;
+  binomial.variant = Variant::SCOBR;
+  binomial.reduce = ReduceAlgo::binomial();
+  ScaffeConfig hr;
+  hr.variant = Variant::SCOBR;
+  hr.reduce = ReduceAlgo::cb(2);
+
+  const TrainOutcome a = run_distributed(8, 16, 5, binomial);
+  const TrainOutcome b = run_distributed(8, 16, 5, hr);
+  // Different reduction orders: equal within float accumulation noise.
+  expect_params_close(a.root_params, b.root_params, 1e-4f);
+}
+
+TEST(DistributedSolver, SingleRankDegeneratesToLocalSolver) {
+  ScaffeConfig config;
+  config.variant = Variant::SCOBR;
+  const TrainOutcome distributed = run_distributed(1, 16, 6, config);
+  const TrainOutcome single = run_single(16, 6);
+  EXPECT_EQ(distributed.root_params, single.root_params);
+}
+
+// ---------------------------------------------------------------------------
+// Performance model
+// ---------------------------------------------------------------------------
+
+TrainPerfConfig googlenet_config(int gpus, int batch = 1024) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::googlenet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = gpus;
+  config.global_batch = batch;
+  return config;
+}
+
+TEST(PerfModel, Deterministic) {
+  const auto a = simulate_training_iteration(googlenet_config(64));
+  const auto b = simulate_training_iteration(googlenet_config(64));
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.propagation_exposed, b.propagation_exposed);
+}
+
+TEST(PerfModel, StrongScalingSpeedsUpGoogleNet) {
+  // Figure 8's headline: 160 GPUs beat 32 GPUs by ~2.5x.
+  const auto at32 = simulate_training_iteration(googlenet_config(32));
+  const auto at160 = simulate_training_iteration(googlenet_config(160));
+  ASSERT_FALSE(at32.oom);
+  ASSERT_FALSE(at160.oom);
+  const double speedup = util::to_sec(at32.total) / util::to_sec(at160.total);
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 5.0);
+}
+
+TEST(PerfModel, OverlapLadderScbToScobToScobr) {
+  TrainPerfConfig config = googlenet_config(64);
+  config.variant = Variant::SCB;
+  const auto scb = simulate_training_iteration(config);
+  config.variant = Variant::SCOB;
+  const auto scob = simulate_training_iteration(config);
+  config.variant = Variant::SCOBR;
+  const auto scobr = simulate_training_iteration(config);
+
+  EXPECT_LT(scob.propagation_exposed, scb.propagation_exposed);
+  EXPECT_EQ(scob.aggregation_exposed, scb.aggregation_exposed);
+  EXPECT_LT(scobr.aggregation_exposed, scob.aggregation_exposed);
+  EXPECT_LT(scobr.total, scb.total);
+}
+
+TEST(PerfModel, NaiveNbcWorseThanMultiStage) {
+  // Figure 4 vs Figure 5.
+  TrainPerfConfig config = googlenet_config(64);
+  config.variant = Variant::SCOB;
+  const auto multi_stage = simulate_training_iteration(config);
+  config.naive_nbc = true;
+  const auto naive = simulate_training_iteration(config);
+  EXPECT_GE(naive.propagation_exposed, multi_stage.propagation_exposed);
+}
+
+TEST(PerfModel, HierarchicalReduceBeatsBinomialAtScale) {
+  TrainPerfConfig config = googlenet_config(160);
+  config.variant = Variant::SCB;
+  config.reduce = ReduceAlgo::binomial();
+  const auto binomial = simulate_training_iteration(config);
+  config.reduce = ReduceAlgo::cb(16);
+  const auto hr = simulate_training_iteration(config);
+  EXPECT_LT(hr.aggregation_exposed, binomial.aggregation_exposed);
+}
+
+TEST(PerfModel, OomWhenBatchTooLargeForDevice) {
+  // Figure 8's missing points: a large batch over few solvers.
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::alexnet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = 2;
+  config.global_batch = 8192;  // 4096/GPU of AlexNet activations >> 12 GB
+  const auto result = simulate_training_iteration(config);
+  EXPECT_TRUE(result.oom);
+
+  config.gpus = 160;
+  const auto spread = simulate_training_iteration(config);
+  EXPECT_FALSE(spread.oom);
+}
+
+TEST(PerfModel, LmdbReaderFailsPast64) {
+  TrainPerfConfig config = googlenet_config(128);
+  config.reader = ReaderBackendKind::LmdbSim;
+  const auto result = simulate_training_iteration(config);
+  EXPECT_TRUE(result.reader_failed);
+
+  config.reader = ReaderBackendKind::LustreImageData;
+  const auto lustre = simulate_training_iteration(config);
+  EXPECT_FALSE(lustre.reader_failed);
+}
+
+TEST(PerfModel, WeakScalingKeepsPerGpuBatch) {
+  TrainPerfConfig config = googlenet_config(8, 64);
+  config.scaling = Scaling::Weak;
+  const auto weak = simulate_training_iteration(config);
+  EXPECT_EQ(weak.batch_per_gpu, 64);
+  config.scaling = Scaling::Strong;
+  const auto strong = simulate_training_iteration(config);
+  EXPECT_EQ(strong.batch_per_gpu, 8);
+}
+
+TEST(PerfModel, AggregationLatencyMatchesTable2Quantity) {
+  TrainPerfConfig config;
+  config.model = models::ModelDesc::caffenet();
+  config.cluster = net::ClusterSpec::cluster_a();
+  config.gpus = 8;
+  config.reduce = ReduceAlgo::binomial();
+  const TimeNs stock = aggregation_latency(config);
+  config.reduce = ReduceAlgo::cb(8);
+  config.comm_policy = coll::ExecPolicy::hr_gdr();
+  const TimeNs hr = aggregation_latency(config);
+  EXPECT_LT(hr, stock);
+}
+
+}  // namespace
+}  // namespace scaffe::core

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "data/backend.h"
+#include "data/dataset.h"
+#include "data/queue.h"
+#include "data/reader.h"
+
+namespace scaffe::data {
+namespace {
+
+TEST(Dataset, DeterministicSamples) {
+  SyntheticImageDataset dataset = SyntheticImageDataset::cifar10();
+  const Sample a = dataset.make_sample(123);
+  const Sample b = dataset.make_sample(123);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.image, b.image);
+  const Sample c = dataset.make_sample(124);
+  EXPECT_NE(a.image, c.image);
+}
+
+TEST(Dataset, WrapsAroundSize) {
+  SyntheticImageDataset dataset(100, 1, 2, 2, 4);
+  const Sample a = dataset.make_sample(5);
+  const Sample b = dataset.make_sample(105);
+  EXPECT_EQ(a.image, b.image);
+}
+
+TEST(Dataset, ShapesAndLabels) {
+  SyntheticImageDataset dataset = SyntheticImageDataset::cifar10();
+  EXPECT_EQ(dataset.sample_floats(), 3u * 32 * 32);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Sample s = dataset.make_sample(i);
+    EXPECT_GE(s.label, 0);
+    EXPECT_LT(s.label, 10);
+  }
+}
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, BlocksProducerAtCapacity) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::thread producer([&] { queue.push(2); });
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseUnblocksEverything) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  queue.close();
+  consumer.join();
+  EXPECT_FALSE(queue.push(3));
+}
+
+TEST(LmdbBackend, SerializedReadsStillCorrect) {
+  LmdbBackend backend(SyntheticImageDataset::cifar10());
+  backend.attach_reader();
+  const Sample s = backend.read(7);
+  EXPECT_EQ(s.index, 7u);
+  EXPECT_EQ(backend.reads(), 1u);
+  backend.detach_reader();
+}
+
+TEST(LmdbBackend, RejectsMoreThan64Readers) {
+  // Section 6.3: "LMDB does not scale for more than 64 parallel readers".
+  LmdbBackend backend(SyntheticImageDataset::cifar10());
+  for (int i = 0; i < 64; ++i) backend.attach_reader();
+  EXPECT_THROW(backend.attach_reader(), ReaderLimitError);
+  EXPECT_EQ(backend.attached(), 64);
+  for (int i = 0; i < 64; ++i) backend.detach_reader();
+}
+
+TEST(LmdbBackend, ThroughputSaturatesThenDegrades) {
+  LmdbBackend backend(SyntheticImageDataset::cifar10());
+  const std::size_t bytes = SyntheticImageDataset::cifar10().sample_bytes();
+  const double at1 = backend.aggregate_samples_per_sec(1, bytes);
+  const double at16 = backend.aggregate_samples_per_sec(16, bytes);
+  const double at48 = backend.aggregate_samples_per_sec(48, bytes);
+  const double at64 = backend.aggregate_samples_per_sec(64, bytes);
+  EXPECT_GT(at16, at1);
+  EXPECT_LT(at48, at16);  // contention past the knee
+  EXPECT_LT(at64, at48);
+  EXPECT_EQ(backend.aggregate_samples_per_sec(65, bytes), 0.0);  // failure
+}
+
+TEST(ImageDataBackend, ScalesWithReadersUntilOstLimit) {
+  net::StorageSpec storage;
+  ImageDataBackend backend(SyntheticImageDataset::cifar10(), storage);
+  const std::size_t bytes = SyntheticImageDataset::cifar10().sample_bytes();
+  const double at1 = backend.aggregate_samples_per_sec(1, bytes);
+  const double at40 = backend.aggregate_samples_per_sec(40, bytes);
+  const double at160 = backend.aggregate_samples_per_sec(160, bytes);
+  EXPECT_NEAR(at40 / at1, 40.0, 1e-6);
+  // Saturates at the OST count, but never fails.
+  EXPECT_NEAR(at160 / at1, static_cast<double>(storage.pfs_num_ost), 1e-6);
+}
+
+TEST(ImageDataBackend, BeatsLmdbAtScale) {
+  // The Figure 8 reader story: S-Caffe-L (LMDB) dies past 64 readers while
+  // ImageDataLayer over Lustre keeps scaling.
+  const auto dataset = SyntheticImageDataset::imagenet_like();
+  LmdbBackend lmdb(dataset);
+  ImageDataBackend lustre(dataset);
+  const std::size_t bytes = dataset.sample_bytes();
+  EXPECT_GT(lustre.aggregate_samples_per_sec(128, bytes),
+            lmdb.aggregate_samples_per_sec(64, bytes));
+}
+
+TEST(DataReader, ProducesCorrectlyShapedBatches) {
+  SyntheticImageDataset dataset(1000, 1, 4, 4, 5);
+  ImageDataBackend backend(dataset);
+  DataReader reader(backend, 0, 1, 8, dataset.sample_floats());
+  const Batch batch = reader.next();
+  EXPECT_EQ(batch.data.size(), 8u * 16);
+  EXPECT_EQ(batch.labels.size(), 8u);
+  for (float label : batch.labels) {
+    EXPECT_GE(label, 0.0f);
+    EXPECT_LT(label, 5.0f);
+  }
+}
+
+TEST(DataReader, StridedShardsPartitionTheDataset) {
+  SyntheticImageDataset dataset(1000, 1, 2, 2, 5);
+  ImageDataBackend backend(dataset);
+  const int shards = 4;
+  std::set<std::uint64_t> seen;
+  for (int shard = 0; shard < shards; ++shard) {
+    DataReader reader(backend, shard, shards, 3, dataset.sample_floats());
+    const Batch batch = reader.next();
+    // First batch of shard r covers indices r, r+4, r+8.
+    EXPECT_EQ(batch.first_index, static_cast<std::uint64_t>(shard));
+    for (int i = 0; i < 3; ++i) {
+      seen.insert(static_cast<std::uint64_t>(shard + i * shards));
+    }
+    reader.stop();
+  }
+  EXPECT_EQ(seen.size(), 12u);  // disjoint coverage of 0..11
+}
+
+TEST(DataReader, ShardBatchesMatchDatasetContent) {
+  SyntheticImageDataset dataset(100, 1, 2, 2, 3);
+  ImageDataBackend backend(dataset);
+  DataReader reader(backend, 1, 2, 2, dataset.sample_floats());
+  const Batch batch = reader.next();
+  // Shard 1 of 2 reads samples 1, 3.
+  const Sample s1 = dataset.make_sample(1);
+  const Sample s3 = dataset.make_sample(3);
+  EXPECT_EQ(batch.labels[0], static_cast<float>(s1.label));
+  EXPECT_EQ(batch.labels[1], static_cast<float>(s3.label));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.data[i], s1.image[i]);
+    EXPECT_EQ(batch.data[4 + i], s3.image[i]);
+  }
+}
+
+TEST(DataReader, PrefetchesInBackground) {
+  SyntheticImageDataset dataset(1000, 1, 2, 2, 5);
+  ImageDataBackend backend(dataset);
+  DataReader reader(backend, 0, 1, 4, dataset.sample_floats(), /*queue_capacity=*/2);
+  // Consume several batches; the reader keeps refilling.
+  for (int i = 0; i < 5; ++i) {
+    const Batch batch = reader.next();
+    EXPECT_EQ(batch.labels.size(), 4u);
+  }
+  EXPECT_GE(reader.batches_produced(), 4u);
+}
+
+TEST(DataReader, TooManyLmdbReadersThrowOnConstruction) {
+  SyntheticImageDataset dataset(1000, 1, 2, 2, 5);
+  LmdbBackend backend(dataset);
+  std::vector<std::unique_ptr<DataReader>> readers;
+  for (int i = 0; i < 64; ++i) {
+    readers.push_back(
+        std::make_unique<DataReader>(backend, i, 65, 1, dataset.sample_floats()));
+  }
+  EXPECT_THROW(DataReader(backend, 64, 65, 1, dataset.sample_floats()), ReaderLimitError);
+}
+
+}  // namespace
+}  // namespace scaffe::data

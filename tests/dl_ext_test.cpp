@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dl/netspec_text.h"
+#include "dl/solver.h"
+#include "dl/snapshot.h"
+#include "models/zoo.h"
+
+namespace scaffe::dl {
+namespace {
+
+constexpr const char* kCifarText = R"(
+# the reference cifar10_quick network
+name: cifar10_quick
+input data 2 3 32 32
+input label 2
+conv conv1 data conv1 32 5 1 2
+pool pool1 conv1 pool1 max 3 2 0
+relu relu1 pool1 relu1
+conv conv2 relu1 conv2 32 5 1 2
+relu relu2 conv2 relu2
+pool pool2 relu2 pool2 ave 3 2 0
+conv conv3 pool2 conv3 64 5 1 2
+relu relu3 conv3 relu3
+pool pool3 relu3 pool3 ave 3 2 0
+ip ip1 pool3 ip1 64
+ip ip2 ip1 ip2 10
+softmax_loss loss ip2 label loss
+)";
+
+TEST(NetSpecText, ParsesCifarQuick) {
+  const NetSpec spec = parse_netspec(kCifarText);
+  EXPECT_EQ(spec.name, "cifar10_quick");
+  ASSERT_EQ(spec.inputs.size(), 2u);
+  EXPECT_EQ(spec.inputs[0].shape, (std::vector<int>{2, 3, 32, 32}));
+  EXPECT_EQ(spec.layers.size(), 12u);
+
+  // The parsed net matches the programmatic builder's parameter count.
+  Net parsed(spec);
+  Net built(models::cifar10_quick_netspec(2));
+  EXPECT_EQ(parsed.param_count(), built.param_count());
+}
+
+TEST(NetSpecText, ParsedNetTrainsIdenticallyToBuilt) {
+  Net parsed(parse_netspec(kCifarText), 7);
+  Net built(models::cifar10_quick_netspec(2), 7);
+  std::vector<float> a(parsed.param_count());
+  std::vector<float> b(built.param_count());
+  parsed.flatten_params(a);
+  built.flatten_params(b);
+  EXPECT_EQ(a, b);  // same layer order + same seed => identical init
+}
+
+TEST(NetSpecText, RoundTripsEverySpecInTheZoo) {
+  for (const NetSpec& spec :
+       {models::cifar10_quick_netspec(4), models::cifar10_quick_netspec(4, true),
+        models::mlp_netspec(2, 8, 16, 4), models::lenet_netspec(2),
+        models::mini_alexnet_netspec(2), models::tiny_inception_netspec(2)}) {
+    const std::string text = netspec_to_text(spec);
+    const NetSpec reparsed = parse_netspec(text);
+    EXPECT_EQ(netspec_to_text(reparsed), text) << spec.name;
+    EXPECT_NO_THROW(Net net(reparsed)) << spec.name;
+  }
+}
+
+TEST(NetSpecText, ConcatAndSplitSyntax) {
+  const NetSpec spec = parse_netspec(R"(
+name: dag
+input data 2 8
+input label 2
+split sp data a b
+ip f1 a f1 4
+ip f2 b f2 4
+concat cc f1 f2 -> merged
+ip out merged out 3
+softmax_loss loss out label loss
+)");
+  Net net(spec);
+  EXPECT_EQ(net.blob("merged").shape(), (std::vector<int>{2, 8}));
+}
+
+TEST(NetSpecText, ErrorsCarryLineNumbers) {
+  try {
+    parse_netspec("name: x\nbogus_directive a b c\n");
+    FAIL() << "expected NetSpecParseError";
+  } catch (const NetSpecParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(NetSpecText, RejectsBadArity) {
+  EXPECT_THROW(parse_netspec("conv c1 data out 32\n"), NetSpecParseError);
+  EXPECT_THROW(parse_netspec("pool p1 a b sideways 3 2 0\n"), NetSpecParseError);
+  EXPECT_THROW(parse_netspec("input\n"), NetSpecParseError);
+  EXPECT_THROW(parse_netspec("ip f a b notanumber\n"), NetSpecParseError);
+  EXPECT_THROW(parse_netspec("concat c a b c\n"), NetSpecParseError);
+}
+
+TEST(NetSpecText, CommentsAndBlankLinesIgnored) {
+  const NetSpec spec = parse_netspec("\n# full-line comment\nname: x  # trailing\n\n");
+  EXPECT_EQ(spec.name, "x");
+  EXPECT_TRUE(spec.layers.empty());
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_ = std::filesystem::temp_directory_path() / "scaffe_snapshot_test.bin";
+};
+
+TEST_F(SnapshotTest, SaveLoadRoundTrip) {
+  Net source(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(source, path_);
+
+  Net target(models::mlp_netspec(2, 8, 16, 4), 999);  // different init
+  load_params(target, path_);
+
+  std::vector<float> a(source.param_count());
+  std::vector<float> b(target.param_count());
+  source.flatten_params(a);
+  target.flatten_params(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SnapshotTest, RejectsParamCountMismatch) {
+  Net small(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(small, path_);
+  Net big(models::mlp_netspec(2, 8, 32, 4), 3);
+  EXPECT_THROW(load_params(big, path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, RejectsGarbageFile) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a snapshot", f);
+  std::fclose(f);
+  Net net(models::mlp_netspec(2, 8, 16, 4));
+  EXPECT_THROW(load_params(net, path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, MissingFileThrows) {
+  Net net(models::mlp_netspec(2, 8, 16, 4));
+  EXPECT_THROW(load_params(net, "/nonexistent/dir/snapshot.bin"), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, ResumedTrainingContinuesFromSavedPoint) {
+  SolverConfig config;
+  config.base_lr = 0.05f;
+  SgdSolver solver(models::mlp_netspec(4, 6, 8, 3), config);
+  std::vector<float> data(24, 0.5f);
+  std::vector<float> labels(4, 1.0f);
+  for (int i = 0; i < 5; ++i) {
+    solver.step(data, labels);
+    solver.apply_update();
+  }
+  save_params(solver.net(), path_);
+  const float loss_at_save = solver.step(data, labels);
+
+  SgdSolver resumed(models::mlp_netspec(4, 6, 8, 3), config);
+  load_params(resumed.net(), path_);
+  const float resumed_loss = resumed.step(data, labels);
+  EXPECT_FLOAT_EQ(resumed_loss, loss_at_save);
+}
+
+}  // namespace
+}  // namespace scaffe::dl

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dl/gradient_check.h"
+#include "dl/net.h"
+#include "dl/solver.h"
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace scaffe::dl {
+namespace {
+
+/// Fills input blobs with deterministic pseudo-random data and labels.
+void load_random_batch(Net& net, std::uint64_t seed, int classes) {
+  util::Rng rng(seed);
+  Blob& data = net.blob("data");
+  for (float& v : data.data()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  Blob& label = net.blob("label");
+  for (float& v : label.data()) v = static_cast<float>(rng.below(static_cast<std::uint64_t>(classes)));
+}
+
+TEST(Blob, ReshapeAndCount) {
+  Blob blob({2, 3, 4});
+  EXPECT_EQ(blob.count(), 24u);
+  EXPECT_EQ(blob.num(), 2);
+  EXPECT_EQ(blob.shape(1), 3);
+  EXPECT_EQ(blob.shape_string(), "(2,3,4)");
+  blob.reshape({5});
+  EXPECT_EQ(blob.count(), 5u);
+}
+
+TEST(Blob, DiffIndependentOfData) {
+  Blob blob({4});
+  blob.data()[0] = 1.0f;
+  blob.diff()[0] = 2.0f;
+  blob.zero_diff();
+  EXPECT_EQ(blob.data()[0], 1.0f);
+  EXPECT_EQ(blob.diff()[0], 0.0f);
+}
+
+TEST(Net, BuildsAndShapesCifarQuick) {
+  Net net(models::cifar10_quick_netspec(2));
+  EXPECT_EQ(net.blob("conv1").shape(), (std::vector<int>{2, 32, 32, 32}));
+  EXPECT_EQ(net.blob("pool1").shape(), (std::vector<int>{2, 32, 16, 16}));
+  EXPECT_EQ(net.blob("ip2").shape(), (std::vector<int>{2, 10}));
+  // Parameter count matches the published cifar10_quick definition.
+  EXPECT_EQ(net.param_count(), 145578u);
+}
+
+TEST(Net, LayerParamRangesPartitionTheFlattenedVector) {
+  Net net(models::cifar10_quick_netspec(1));
+  const auto& ranges = net.layer_param_ranges();
+  ASSERT_EQ(ranges.size(), net.num_layers());
+  std::size_t expect_offset = 0;
+  for (const auto& [offset, count] : ranges) {
+    EXPECT_EQ(offset, expect_offset);
+    expect_offset += count;
+  }
+  EXPECT_EQ(expect_offset, net.param_count());
+}
+
+TEST(Net, DeterministicInitialization) {
+  Net a(models::cifar10_quick_netspec(1), 7);
+  Net b(models::cifar10_quick_netspec(1), 7);
+  std::vector<float> pa(a.param_count());
+  std::vector<float> pb(b.param_count());
+  a.flatten_params(pa);
+  b.flatten_params(pb);
+  EXPECT_EQ(pa, pb);
+
+  Net c(models::cifar10_quick_netspec(1), 8);
+  std::vector<float> pc(c.param_count());
+  c.flatten_params(pc);
+  EXPECT_NE(pa, pc);
+}
+
+TEST(Net, FlattenUnflattenRoundTrip) {
+  Net net(models::mlp_netspec(2, 8, 16, 4));
+  std::vector<float> params(net.param_count());
+  net.flatten_params(params);
+  std::vector<float> modified = params;
+  for (float& v : modified) v += 1.0f;
+  net.unflatten_params(modified);
+  std::vector<float> check(net.param_count());
+  net.flatten_params(check);
+  EXPECT_EQ(check, modified);
+}
+
+TEST(Net, RejectsUnknownBottom) {
+  NetSpec spec;
+  spec.name = "bad";
+  spec.inputs = {{"data", {1, 4}}, {"label", {1}}};
+  spec.layers = {LayerSpec::inner_product("fc", "nonexistent", "fc", 2)};
+  EXPECT_THROW(Net net(std::move(spec)), std::runtime_error);
+}
+
+TEST(Net, RejectsMultiConsumerWithoutSplit) {
+  NetSpec spec;
+  spec.name = "bad";
+  spec.inputs = {{"data", {1, 4}}, {"label", {1}}};
+  spec.layers = {LayerSpec::inner_product("fc1", "data", "fc1", 2),
+                 LayerSpec::inner_product("fc2", "data", "fc2", 2)};
+  EXPECT_THROW(Net net(std::move(spec)), std::runtime_error);
+}
+
+TEST(Net, ChargesDeviceMemoryAndFaults) {
+  gpu::Device big(0, std::size_t{1} * util::kGiB);
+  Net net(models::cifar10_quick_netspec(8), 1, &big);
+  EXPECT_GT(net.charged_bytes(), 0u);
+  EXPECT_EQ(big.allocated(), net.charged_bytes());
+
+  gpu::Device tiny(1, 1 * util::kMiB);
+  EXPECT_THROW(Net(models::cifar10_quick_netspec(8), 1, &tiny), gpu::OutOfMemoryError);
+  EXPECT_EQ(tiny.allocated(), 0u);
+}
+
+TEST(Net, ForwardProducesFiniteLossAtChanceLevel) {
+  Net net(models::cifar10_quick_netspec(4));
+  load_random_batch(net, 3, 10);
+  const float loss = net.forward();
+  EXPECT_TRUE(std::isfinite(loss));
+  // Untrained 10-way classifier: loss should sit within a few nats of
+  // chance (ln 10 = 2.3); MSRA-initialized logits inflate it somewhat.
+  EXPECT_GT(loss, 1.0f);
+  EXPECT_LT(loss, 12.0f);
+}
+
+// --- gradient checks ---------------------------------------------------------
+//
+// Layer families are checked in shallow stacks (Caffe's own methodology):
+// deep float32 stacks accumulate ReLU/max-pool kink crossings that break
+// finite differences without indicating a gradient bug.
+
+NetSpec shallow(std::vector<LayerSpec> layers, std::vector<int> data_shape) {
+  NetSpec spec;
+  spec.name = "shallow";
+  spec.inputs = {{"data", std::move(data_shape)}, {"label", {2}}};
+  const std::string last_top = layers.back().tops[0];
+  layers.push_back(LayerSpec::softmax_loss("loss", last_top, "label", "loss"));
+  spec.layers = std::move(layers);
+  return spec;
+}
+
+GradientCheckResult checked(NetSpec spec, int classes = 4, std::uint64_t seed = 11) {
+  Net net(std::move(spec), seed);
+  net.set_iteration(0);
+  load_random_batch(net, seed + 1, classes);
+  // Floor of 2e-3: gradients below it sit at the float32 loss-difference
+  // noise floor and are compared absolutely.
+  GradientCheckResult params = check_gradients(net, 1e-2, 5e-2, 2e-3);
+  if (!params.ok) return params;
+  return check_input_gradients(net, "data", 1e-2, 5e-2, 2e-3);
+}
+
+TEST(GradientCheck, Mlp) {
+  Net net(models::mlp_netspec(3, 6, 10, 4), 11);
+  load_random_batch(net, 5, 4);
+  const auto result = check_gradients(net, 1e-2, 5e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GradientCheck, MlpInputGradient) {
+  Net net(models::mlp_netspec(3, 6, 10, 4), 11);
+  load_random_batch(net, 5, 4);
+  const auto result = check_input_gradients(net, "data", 1e-2, 5e-2);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(GradientCheck, Convolution) {
+  const auto r = checked(shallow({LayerSpec::conv("c", "data", "c", 4, 3, 1, 1)}, {2, 3, 8, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, ConvolutionStrided) {
+  const auto r = checked(shallow({LayerSpec::conv("c", "data", "c", 4, 3, 2, 0)}, {2, 3, 9, 9}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, ConvMaxPool) {
+  const auto r = checked(shallow({LayerSpec::conv("c", "data", "c", 4, 3, 1, 1),
+                                  LayerSpec::pool("p", "c", "p", 2, 2, PoolMethod::Max)},
+                                 {2, 3, 8, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, ConvAvePool) {
+  const auto r = checked(shallow({LayerSpec::conv("c", "data", "c", 4, 3, 1, 1),
+                                  LayerSpec::pool("p", "c", "p", 3, 2, PoolMethod::Ave)},
+                                 {2, 3, 8, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, Relu) {
+  const auto r = checked(shallow({LayerSpec::inner_product("f", "data", "f", 6),
+                                  LayerSpec::relu("r", "f", "r")},
+                                 {2, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, Lrn) {
+  const auto r = checked(shallow({LayerSpec::conv("c", "data", "c", 6, 3, 1, 1),
+                                  LayerSpec::lrn("n", "c", "n")},
+                                 {2, 3, 6, 6}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, Dropout) {
+  // Dropout's mask is deterministic per iteration, so central differences
+  // stay consistent across probes.
+  const auto r = checked(shallow({LayerSpec::inner_product("f", "data", "f", 8),
+                                  LayerSpec::dropout("d", "f", "d", 0.5f)},
+                                 {2, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, SplitConcat) {
+  const auto r = checked(shallow({LayerSpec::split("sp", "data", {"a", "b"}),
+                                  LayerSpec::inner_product("f1", "a", "f1", 4),
+                                  LayerSpec::inner_product("f2", "b", "f2", 4),
+                                  LayerSpec::concat("cc", {"f1", "f2"}, "cc")},
+                                 {2, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, SoftmaxIntermediate) {
+  const auto r = checked(shallow({LayerSpec::inner_product("f", "data", "f", 6),
+                                  LayerSpec::softmax("sm", "f", "sm"),
+                                  LayerSpec::inner_product("g", "sm", "g", 4)},
+                                 {2, 8}));
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(GradientCheck, TinyInceptionConcatSplit) {
+  // The full DAG at modest depth: uses a coarser tolerance because the pool
+  // branch introduces kinks.
+  Net net(models::tiny_inception_netspec(2), 19);
+  load_random_batch(net, 11, 10);
+  const auto result = check_gradients(net, 1e-2, 0.12, 2e-3);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+// --- solver -----------------------------------------------------------------
+
+TEST(Solver, LossDecreasesOnFixedBatch) {
+  SolverConfig config;
+  config.base_lr = 0.05f;
+  config.momentum = 0.9f;
+  SgdSolver solver(models::mlp_netspec(16, 8, 32, 4), config);
+
+  util::Rng rng(31);
+  std::vector<float> data(16 * 8);
+  std::vector<float> labels(16);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<float>(rng.below(4));
+
+  const float initial = solver.step(data, labels);
+  solver.apply_update();
+  float final_loss = initial;
+  for (int it = 0; it < 60; ++it) {
+    final_loss = solver.step(data, labels);
+    solver.apply_update();
+  }
+  EXPECT_LT(final_loss, 0.5f * initial);
+}
+
+TEST(Solver, CifarQuickOverfitsTinySet) {
+  SolverConfig config;
+  config.base_lr = 0.01f;
+  config.momentum = 0.9f;
+  SgdSolver solver(models::cifar10_quick_netspec(4), config);
+
+  util::Rng rng(37);
+  std::vector<float> data(4 * 3 * 32 * 32);
+  std::vector<float> labels(4);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<float>(i % 4);
+
+  const float initial = solver.step(data, labels);
+  solver.apply_update();
+  float final_loss = initial;
+  for (int it = 0; it < 30; ++it) {
+    final_loss = solver.step(data, labels);
+    solver.apply_update();
+  }
+  EXPECT_LT(final_loss, initial);
+}
+
+TEST(Solver, StepLrPolicyDecays) {
+  SolverConfig config;
+  config.base_lr = 0.1f;
+  config.lr_policy = SolverConfig::LrPolicy::Step;
+  config.gamma = 0.5f;
+  config.step_size = 2;
+  SgdSolver solver(models::mlp_netspec(2, 4, 4, 2), config);
+  EXPECT_FLOAT_EQ(solver.learning_rate(), 0.1f);
+
+  std::vector<float> data(2 * 4, 0.1f);
+  std::vector<float> labels(2, 0.0f);
+  for (int i = 0; i < 2; ++i) {
+    solver.step(data, labels);
+    solver.apply_update();
+  }
+  EXPECT_FLOAT_EQ(solver.learning_rate(), 0.05f);
+}
+
+TEST(Solver, WeightDecayShrinksParams) {
+  SolverConfig config;
+  config.base_lr = 0.1f;
+  config.momentum = 0.0f;
+  config.weight_decay = 0.1f;
+  SgdSolver solver(models::mlp_netspec(2, 4, 4, 2), config);
+
+  // With zero gradients, decay alone must shrink the parameter norm.
+  solver.net().zero_param_diffs();
+  std::vector<float> before(solver.net().param_count());
+  solver.net().flatten_params(before);
+  solver.apply_update();
+  std::vector<float> after(solver.net().param_count());
+  solver.net().flatten_params(after);
+
+  double norm_before = 0.0;
+  double norm_after = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    norm_before += static_cast<double>(before[i]) * before[i];
+    norm_after += static_cast<double>(after[i]) * after[i];
+  }
+  EXPECT_LT(norm_after, norm_before);
+}
+
+TEST(Solver, BatchSizeMismatchThrows) {
+  SgdSolver solver(models::mlp_netspec(2, 4, 4, 2), SolverConfig{});
+  std::vector<float> wrong(3);
+  std::vector<float> labels(2);
+  EXPECT_THROW(solver.step(wrong, labels), std::runtime_error);
+}
+
+// --- data-parallel equivalence: the property S-Caffe training relies on -----
+
+TEST(DataParallel, SummedShardGradientsEqualFullBatchGradient) {
+  // Two replicas with identical seeds each process half the batch; the sum
+  // of their diffs (scaled by 1/2) must equal the full-batch diffs.
+  const int full_batch = 8;
+  const int shard = 4;
+  const int in_dim = 6;
+  const int classes = 3;
+
+  util::Rng rng(41);
+  std::vector<float> data(static_cast<std::size_t>(full_batch * in_dim));
+  std::vector<float> labels(static_cast<std::size_t>(full_batch));
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  for (auto& v : labels) v = static_cast<float>(rng.below(classes));
+
+  SgdSolver reference(models::mlp_netspec(full_batch, in_dim, 8, classes), SolverConfig{});
+  reference.step(data, labels);
+  std::vector<float> full_grad(reference.net().param_count());
+  reference.net().flatten_diffs(full_grad);
+
+  std::vector<float> summed(reference.net().param_count(), 0.0f);
+  for (int replica = 0; replica < 2; ++replica) {
+    SgdSolver solver(models::mlp_netspec(shard, in_dim, 8, classes), SolverConfig{});
+    const std::size_t offset = static_cast<std::size_t>(replica * shard);
+    solver.step(std::span<const float>(data).subspan(offset * in_dim,
+                                                     static_cast<std::size_t>(shard * in_dim)),
+                std::span<const float>(labels).subspan(offset, static_cast<std::size_t>(shard)));
+    std::vector<float> grad(solver.net().param_count());
+    solver.net().flatten_diffs(grad);
+    for (std::size_t i = 0; i < summed.size(); ++i) summed[i] += 0.5f * grad[i];
+  }
+
+  for (std::size_t i = 0; i < full_grad.size(); ++i) {
+    EXPECT_NEAR(summed[i], full_grad[i], 1e-5f) << "param " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scaffe::dl

@@ -1,0 +1,307 @@
+// Tests for the Caffe-era feature extensions: sigmoid/tanh/eltwise layers,
+// solver text configs, gradient clipping, epoch shuffling, and the
+// CNMeM-style pool allocator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/backend.h"
+#include "data/reader.h"
+#include "dl/gradient_check.h"
+#include "dl/net.h"
+#include "dl/netspec_text.h"
+#include "dl/solver.h"
+#include "dl/solver_text.h"
+#include "gpu/pool_allocator.h"
+#include "models/zoo.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace scaffe {
+namespace {
+
+// --- new layers ----------------------------------------------------------------
+
+dl::NetSpec activation_net(dl::LayerSpec activation) {
+  dl::NetSpec spec;
+  spec.name = "act";
+  spec.inputs = {{"data", {2, 8}}, {"label", {2}}};
+  spec.layers = {dl::LayerSpec::inner_product("f", "data", "f", 6), std::move(activation),
+                 dl::LayerSpec::inner_product("g", "act_out", "g", 4),
+                 dl::LayerSpec::softmax_loss("loss", "g", "label", "loss")};
+  return spec;
+}
+
+void load_inputs(dl::Net& net) {
+  util::Rng rng(5);
+  for (float& v : net.blob("data").data()) v = static_cast<float>(rng.normal());
+  for (float& v : net.blob("label").data()) v = static_cast<float>(rng.below(4));
+}
+
+TEST(NewLayers, SigmoidForwardRange) {
+  dl::Net net(activation_net(dl::LayerSpec::sigmoid("s", "f", "act_out")), 3);
+  load_inputs(net);
+  net.forward();
+  for (float v : net.blob("act_out").data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(NewLayers, SigmoidGradient) {
+  dl::Net net(activation_net(dl::LayerSpec::sigmoid("s", "f", "act_out")), 3);
+  load_inputs(net);
+  const auto r = dl::check_gradients(net, 1e-2, 5e-2, 2e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(NewLayers, TanhGradient) {
+  dl::Net net(activation_net(dl::LayerSpec::tanh("t", "f", "act_out")), 3);
+  load_inputs(net);
+  const auto r = dl::check_gradients(net, 1e-2, 5e-2, 2e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+dl::NetSpec residual_net() {
+  // A residual block: split -> transform one path -> eltwise-sum join.
+  dl::NetSpec spec;
+  spec.name = "residual";
+  spec.inputs = {{"data", {2, 8}}, {"label", {2}}};
+  spec.layers = {
+      dl::LayerSpec::inner_product("embed", "data", "embed", 8),
+      dl::LayerSpec::split("sp", "embed", {"skip", "branch_in"}),
+      dl::LayerSpec::inner_product("branch", "branch_in", "branch", 8),
+      dl::LayerSpec::relu("branch_relu", "branch", "branch_out"),
+      dl::LayerSpec::eltwise_sum("join", {"skip", "branch_out"}, "joined"),
+      dl::LayerSpec::inner_product("head", "joined", "head", 4),
+      dl::LayerSpec::softmax_loss("loss", "head", "label", "loss"),
+  };
+  return spec;
+}
+
+TEST(NewLayers, ResidualBlockGradient) {
+  dl::Net net(residual_net(), 7);
+  load_inputs(net);
+  const auto r = dl::check_gradients(net, 1e-2, 5e-2, 2e-3);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(NewLayers, EltwiseSumForward) {
+  dl::Net net(residual_net(), 7);
+  load_inputs(net);
+  net.forward();
+  const auto skip = net.blob("skip").data();
+  const auto branch = net.blob("branch_out").data();
+  const auto joined = net.blob("joined").data();
+  for (std::size_t i = 0; i < joined.size(); ++i) {
+    EXPECT_FLOAT_EQ(joined[i], skip[i] + branch[i]);
+  }
+}
+
+TEST(NewLayers, EltwiseRejectsShapeMismatch) {
+  dl::NetSpec spec;
+  spec.inputs = {{"data", {2, 8}}, {"label", {2}}};
+  spec.layers = {dl::LayerSpec::split("sp", "data", {"a", "b"}),
+                 dl::LayerSpec::inner_product("shrink", "b", "b4", 4),
+                 dl::LayerSpec::eltwise_sum("join", {"a", "b4"}, "out")};
+  EXPECT_THROW(dl::Net net(std::move(spec)), std::runtime_error);
+}
+
+TEST(NewLayers, TextFormatRoundTrip) {
+  const std::string text = dl::netspec_to_text(residual_net());
+  EXPECT_NE(text.find("eltwise_sum join skip branch_out -> joined"), std::string::npos);
+  const dl::NetSpec reparsed = dl::parse_netspec(text);
+  EXPECT_EQ(dl::netspec_to_text(reparsed), text);
+  EXPECT_NO_THROW(dl::Net net(reparsed));
+}
+
+// --- solver text config + clipping ------------------------------------------------
+
+TEST(SolverText, ParsesAllKeys) {
+  const dl::SolverConfig config = dl::parse_solver_config(R"(
+# hyper-parameters
+base_lr: 0.01
+momentum: 0.9
+weight_decay: 0.004
+lr_policy: step
+gamma: 0.1
+step_size: 1000
+seed: 42
+clip_gradients: 35
+)");
+  EXPECT_FLOAT_EQ(config.base_lr, 0.01f);
+  EXPECT_FLOAT_EQ(config.momentum, 0.9f);
+  EXPECT_FLOAT_EQ(config.weight_decay, 0.004f);
+  EXPECT_EQ(config.lr_policy, dl::SolverConfig::LrPolicy::Step);
+  EXPECT_FLOAT_EQ(config.gamma, 0.1f);
+  EXPECT_EQ(config.step_size, 1000);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_FLOAT_EQ(config.clip_gradients, 35.0f);
+}
+
+TEST(SolverText, RoundTrips) {
+  dl::SolverConfig config;
+  config.base_lr = 0.25f;
+  config.clip_gradients = 10.0f;
+  config.lr_policy = dl::SolverConfig::LrPolicy::Step;
+  const dl::SolverConfig reparsed =
+      dl::parse_solver_config(dl::solver_config_to_text(config));
+  EXPECT_EQ(dl::solver_config_to_text(reparsed), dl::solver_config_to_text(config));
+}
+
+TEST(SolverText, RejectsUnknownKeyAndBadValue) {
+  EXPECT_THROW(dl::parse_solver_config("learning_rate: 0.1\n"), std::runtime_error);
+  EXPECT_THROW(dl::parse_solver_config("base_lr: fast\n"), std::runtime_error);
+  EXPECT_THROW(dl::parse_solver_config("lr_policy: cosine\n"), std::runtime_error);
+  EXPECT_THROW(dl::parse_solver_config("base_lr:\n"), std::runtime_error);
+}
+
+TEST(GradientClipping, RescalesLargeGradients) {
+  dl::SolverConfig config;
+  config.base_lr = 1.0f;
+  config.momentum = 0.0f;
+  config.clip_gradients = 1.0f;
+  dl::SgdSolver solver(models::mlp_netspec(2, 4, 4, 2), config);
+
+  // Force a huge gradient, then update: the applied step must be bounded by
+  // the clip threshold (times lr).
+  std::vector<float> before(solver.net().param_count());
+  solver.net().flatten_params(before);
+  std::vector<float> huge(solver.net().param_count(), 100.0f);
+  solver.net().unflatten_diffs(huge);
+  EXPECT_GT(solver.diff_l2_norm(), 1.0);
+  solver.apply_update();
+  std::vector<float> after(solver.net().param_count());
+  solver.net().flatten_params(after);
+
+  double step_norm_sq = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double d = static_cast<double>(after[i]) - before[i];
+    step_norm_sq += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(step_norm_sq), 1.0, 1e-3);  // = clip * lr
+}
+
+TEST(GradientClipping, SmallGradientsUntouched) {
+  dl::SolverConfig clipped;
+  clipped.momentum = 0.0f;
+  clipped.clip_gradients = 1e6f;
+  dl::SolverConfig plain = clipped;
+  plain.clip_gradients = 0.0f;
+
+  dl::SgdSolver a(models::mlp_netspec(2, 4, 4, 2), clipped);
+  dl::SgdSolver b(models::mlp_netspec(2, 4, 4, 2), plain);
+  std::vector<float> data(8, 0.5f);
+  std::vector<float> labels(2, 1.0f);
+  a.step(data, labels);
+  a.apply_update();
+  b.step(data, labels);
+  b.apply_update();
+
+  std::vector<float> pa(a.net().param_count());
+  std::vector<float> pb(b.net().param_count());
+  a.net().flatten_params(pa);
+  b.net().flatten_params(pb);
+  EXPECT_EQ(pa, pb);
+}
+
+// --- epoch shuffling ------------------------------------------------------------
+
+TEST(Shuffle, PermutationIsBijectivePerEpoch) {
+  data::SyntheticImageDataset dataset(64, 1, 1, 2, 3);
+  data::ImageDataBackend backend(dataset);
+  // One reader covering the whole epoch: batch = epoch size.
+  data::DataReader reader(backend, 0, 1, 64, dataset.sample_floats(),
+                          /*queue_capacity=*/2, /*shuffle_epoch_size=*/64);
+  const data::Batch epoch0 = reader.next();
+  const data::Batch epoch1 = reader.next();
+
+  // Each epoch's labels must be a permutation of the sequential epoch's.
+  std::multiset<float> sequential;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    sequential.insert(static_cast<float>(dataset.make_sample(i).label));
+  }
+  EXPECT_EQ(std::multiset<float>(epoch0.labels.begin(), epoch0.labels.end()), sequential);
+  EXPECT_EQ(std::multiset<float>(epoch1.labels.begin(), epoch1.labels.end()), sequential);
+  // And the two epochs should differ in order.
+  EXPECT_NE(epoch0.labels, epoch1.labels);
+}
+
+TEST(Shuffle, ShardsStillPartitionTheEpoch) {
+  data::SyntheticImageDataset dataset(60, 1, 1, 2, 5);
+  data::ImageDataBackend backend(dataset);
+  std::multiset<float> combined;
+  for (int shard = 0; shard < 4; ++shard) {
+    data::DataReader reader(backend, shard, 4, 15, dataset.sample_floats(), 2,
+                            /*shuffle_epoch_size=*/60);
+    const data::Batch batch = reader.next();
+    combined.insert(batch.labels.begin(), batch.labels.end());
+    reader.stop();
+  }
+  std::multiset<float> sequential;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    sequential.insert(static_cast<float>(dataset.make_sample(i).label));
+  }
+  EXPECT_EQ(combined, sequential);
+}
+
+// --- pool allocator --------------------------------------------------------------
+
+TEST(PoolAllocator, ReusesFreedBlocks) {
+  gpu::Device device(0, 10 * util::kMiB);
+  gpu::PoolAllocator pool(device);
+  float* first_ptr = nullptr;
+  {
+    gpu::PooledBuffer buffer = pool.acquire(1000);
+    first_ptr = buffer.data();
+    EXPECT_GE(buffer.capacity(), 1000u);
+  }
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_GT(pool.cached_bytes(), 0u);
+  {
+    gpu::PooledBuffer buffer = pool.acquire(900);  // same 1024 size class
+    EXPECT_EQ(buffer.data(), first_ptr);
+  }
+  EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(PoolAllocator, DeviceStaysChargedWhileCached) {
+  gpu::Device device(0, 10 * util::kMiB);
+  gpu::PoolAllocator pool(device);
+  { gpu::PooledBuffer buffer = pool.acquire(1 << 16); }
+  EXPECT_GT(device.allocated(), 0u);  // pool holds the memory
+  pool.trim();
+  EXPECT_EQ(device.allocated(), 0u);
+}
+
+TEST(PoolAllocator, OomPropagatesFromDevice) {
+  gpu::Device device(0, util::kMiB);
+  gpu::PoolAllocator pool(device);
+  EXPECT_THROW(pool.acquire(1 << 20), gpu::OutOfMemoryError);  // 4 MB block
+}
+
+TEST(PoolAllocator, DistinctSizeClassesDontMix) {
+  gpu::Device device(0, 10 * util::kMiB);
+  gpu::PoolAllocator pool(device);
+  { gpu::PooledBuffer small = pool.acquire(100); }
+  gpu::PooledBuffer big = pool.acquire(10'000);
+  EXPECT_EQ(pool.hits(), 0u);  // 128-class block cannot satisfy 16384-class
+  EXPECT_EQ(pool.misses(), 2u);
+}
+
+TEST(PoolAllocator, MoveSemantics) {
+  gpu::Device device(0, util::kMiB);
+  gpu::PoolAllocator pool(device);
+  gpu::PooledBuffer a = pool.acquire(64);
+  gpu::PooledBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.span()[0] = 1.0f;
+  a = std::move(b);  // move back
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.span()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace scaffe

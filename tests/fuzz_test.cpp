@@ -1,0 +1,126 @@
+// Randomized property tests: thousands of schedule configurations swept
+// through the structural validator + logical oracle, and random composed
+// collectives executed on threads. Seeds are fixed, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.h"
+#include "coll/extensions.h"
+#include "coll/logical_executor.h"
+#include "coll/sim_executor.h"
+#include "coll/thread_executor.h"
+#include "net/cluster.h"
+#include "util/rng.h"
+
+namespace scaffe::coll {
+namespace {
+
+class ScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleFuzz, RandomConfigurationsAllCorrect) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nranks = 1 + static_cast<int>(rng.below(48));
+    const std::size_t count = 1 + rng.below(700);
+    const int chunks = 1 + static_cast<int>(rng.below(12));
+    const int chain = 1 + static_cast<int>(rng.below(12));
+    const auto lower = rng.below(2) ? LevelAlgo::Chain : LevelAlgo::Binomial;
+    const auto upper = rng.below(2) ? LevelAlgo::Chain : LevelAlgo::Binomial;
+    const int root = static_cast<int>(rng.below(static_cast<std::uint64_t>(nranks)));
+
+    Schedule schedule;
+    switch (rng.below(8)) {
+      case 0: schedule = binomial_reduce(nranks, root, count); break;
+      case 1: schedule = chain_reduce(nranks, root, count, chunks); break;
+      case 2: schedule = binomial_bcast(nranks, root, count); break;
+      case 3: schedule = chain_bcast(nranks, root, count, chunks); break;
+      case 4:
+        schedule = hierarchical_reduce(nranks, count, chain, lower, upper, chunks);
+        break;
+      case 5:
+        schedule = hierarchical_bcast(nranks, count, chain, lower, upper, chunks);
+        break;
+      case 6:
+        schedule = knomial_reduce(nranks, root, count,
+                                  2 + static_cast<int>(rng.below(6)));
+        break;
+      default:
+        schedule = knomial_bcast(nranks, root, count,
+                                 2 + static_cast<int>(rng.below(6)));
+        break;
+    }
+    ASSERT_EQ(check_semantics(schedule), "")
+        << schedule.name << " P=" << nranks << " count=" << count << " chain=" << chain
+        << " chunks=" << chunks << " root=" << root;
+  }
+}
+
+TEST_P(ScheduleFuzz, RandomCompositionsAllCorrect) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int nranks = 2 + static_cast<int>(rng.below(40));
+    const std::size_t count = static_cast<std::size_t>(nranks) + rng.below(500);
+    const int chain = 1 + static_cast<int>(rng.below(8));
+    Schedule schedule;
+    if (rng.below(2)) {
+      schedule = reduce_bcast_allreduce(nranks, count, chain, LevelAlgo::Chain,
+                                        LevelAlgo::Binomial,
+                                        1 + static_cast<int>(rng.below(8)));
+    } else {
+      schedule = three_level_reduce(nranks, count, chain,
+                                    1 + static_cast<int>(rng.below(5)),
+                                    1 + static_cast<int>(rng.below(8)));
+    }
+    ASSERT_EQ(check_semantics(schedule), "")
+        << schedule.name << " P=" << nranks << " count=" << count;
+  }
+}
+
+TEST_P(ScheduleFuzz, SimulatedLatencyAlwaysPositiveAndDeterministic) {
+  util::Rng rng(GetParam() ^ 0x5eed);
+  const net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  for (int trial = 0; trial < 8; ++trial) {
+    const int nranks = 2 + static_cast<int>(rng.below(60));
+    const std::size_t count = 16 + rng.below(1 << 16);
+    const Schedule schedule = hierarchical_reduce(
+        nranks, count, 1 + static_cast<int>(rng.below(16)), LevelAlgo::Chain,
+        LevelAlgo::Binomial, 1 + static_cast<int>(rng.below(16)));
+    const auto a = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+    const auto b = simulate_schedule(schedule, cluster, ExecPolicy::hr_gdr());
+    EXPECT_GT(a.root_finish, 0);
+    EXPECT_EQ(a.root_finish, b.root_finish);
+    EXPECT_EQ(a.events, b.events);
+  }
+}
+
+TEST_P(ScheduleFuzz, ThreadedExecutionMatchesOracle) {
+  util::Rng rng(GetParam() ^ 0x7ead);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int nranks = 2 + static_cast<int>(rng.below(10));
+    const std::size_t count = 32 + rng.below(256);
+    const Schedule schedule = hierarchical_reduce(
+        nranks, count, 1 + static_cast<int>(rng.below(4)), LevelAlgo::Chain,
+        LevelAlgo::Binomial, 1 + static_cast<int>(rng.below(4)));
+
+    std::vector<std::vector<float>> inputs(static_cast<std::size_t>(nranks));
+    for (auto& input : inputs) {
+      input.resize(count);
+      for (float& v : input) v = static_cast<float>(rng.below(16)) * 0.25f;
+    }
+    const LogicalResult oracle = run_logical(schedule, inputs);
+    ASSERT_TRUE(oracle.ok) << oracle.error;
+
+    std::vector<std::vector<float>> threaded = inputs;
+    std::vector<std::span<float>> spans;
+    for (auto& v : threaded) spans.emplace_back(v);
+    run_threaded(schedule, spans);
+
+    // Same schedule => same per-element addition order => identical floats.
+    EXPECT_EQ(threaded[0], oracle.final_buffers[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace scaffe::coll

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpu/buffer.h"
+#include "gpu/device.h"
+#include "gpu/kernels.h"
+#include "gpu/stream.h"
+#include "util/bytes.h"
+
+namespace scaffe::gpu {
+namespace {
+
+using util::kMiB;
+
+TEST(Device, TracksAllocations) {
+  Device device(0, 100 * kMiB);
+  EXPECT_EQ(device.allocated(), 0u);
+  device.charge(40 * kMiB);
+  EXPECT_EQ(device.allocated(), 40 * kMiB);
+  EXPECT_EQ(device.available(), 60 * kMiB);
+  device.refund(40 * kMiB);
+  EXPECT_EQ(device.allocated(), 0u);
+}
+
+TEST(Device, ThrowsOnOom) {
+  Device device(3, 10 * kMiB);
+  device.charge(8 * kMiB);
+  try {
+    device.charge(4 * kMiB);
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& e) {
+    EXPECT_EQ(e.device(), 3);
+    EXPECT_EQ(e.requested(), 4 * kMiB);
+    EXPECT_EQ(e.available(), 2 * kMiB);
+  }
+}
+
+TEST(Device, PeakTracksHighWater) {
+  Device device(0, 100 * kMiB);
+  device.charge(30 * kMiB);
+  device.charge(30 * kMiB);
+  device.refund(60 * kMiB);
+  device.charge(10 * kMiB);
+  EXPECT_EQ(device.peak_allocated(), 60 * kMiB);
+}
+
+TEST(DeviceBuffer, RaiiRefunds) {
+  Device device(0, 10 * kMiB);
+  {
+    DeviceBuffer<float> buffer(device, kMiB);  // 4 MiB
+    EXPECT_EQ(device.allocated(), 4 * kMiB);
+    EXPECT_EQ(buffer.size(), kMiB);
+    EXPECT_TRUE(buffer.valid());
+  }
+  EXPECT_EQ(device.allocated(), 0u);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership) {
+  Device device(0, 10 * kMiB);
+  DeviceBuffer<float> a(device, 1024);
+  a[0] = 7.0f;
+  DeviceBuffer<float> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b[0], 7.0f);
+  EXPECT_EQ(device.allocated(), 1024 * sizeof(float));
+}
+
+TEST(DeviceBuffer, OomPropagates) {
+  Device device(0, kMiB);
+  EXPECT_THROW(DeviceBuffer<float>(device, kMiB), OutOfMemoryError);
+  EXPECT_EQ(device.allocated(), 0u);  // failed alloc charges nothing
+}
+
+TEST(DeviceBuffer, ZeroAndSubspan) {
+  Device device(0, kMiB);
+  DeviceBuffer<float> buffer(device, 100);
+  fill(3.0f, buffer.span());
+  buffer.zero();
+  EXPECT_EQ(buffer[50], 0.0f);
+  auto sub = buffer.subspan(10, 5);
+  EXPECT_EQ(sub.size(), 5u);
+  sub[0] = 1.0f;
+  EXPECT_EQ(buffer[10], 1.0f);
+}
+
+TEST(Kernels, Axpy) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(Kernels, Accumulate) {
+  std::vector<float> src{1, 1, 1};
+  std::vector<float> acc{1, 2, 3};
+  accumulate(src, acc);
+  EXPECT_EQ(acc, (std::vector<float>{2, 3, 4}));
+}
+
+TEST(Kernels, CopyScaleFill) {
+  std::vector<float> src{1, 2, 3};
+  std::vector<float> dst(3, 0.0f);
+  copy(src, dst);
+  EXPECT_EQ(dst, src);
+  scale(3.0f, dst);
+  EXPECT_EQ(dst, (std::vector<float>{3, 6, 9}));
+  fill(-1.0f, dst);
+  EXPECT_EQ(dst, (std::vector<float>{-1, -1, -1}));
+}
+
+TEST(Kernels, SumAndDot) {
+  std::vector<float> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sum(x), 10.0);
+  std::vector<float> y{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(dot(x, y), 10.0);
+}
+
+TEST(Kernels, SgdUpdateMatchesCaffeSemantics) {
+  std::vector<float> param{1.0f};
+  std::vector<float> grad{0.5f};
+  std::vector<float> momentum{0.2f};
+  // v = 0.9*0.2 - 0.1*(0.5 + 0.01*1.0) = 0.18 - 0.051 = 0.129
+  sgd_update(param, grad, momentum, 0.1f, 0.9f, 0.01f);
+  EXPECT_NEAR(momentum[0], 0.129f, 1e-6f);
+  EXPECT_NEAR(param[0], 1.129f, 1e-6f);
+}
+
+TEST(Kernels, SgdZeroMomentumIsPlainSgd) {
+  std::vector<float> param{2.0f};
+  std::vector<float> grad{1.0f};
+  std::vector<float> momentum{0.0f};
+  sgd_update(param, grad, momentum, 0.5f, 0.0f, 0.0f);
+  EXPECT_NEAR(param[0], 1.5f, 1e-6f);
+}
+
+TEST(Stream, ExecutesInOrder) {
+  Stream stream;
+  std::vector<int> order;
+  std::mutex mutex;
+  for (int i = 0; i < 16; ++i) {
+    stream.enqueue([&, i] {
+      std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(i);
+    });
+  }
+  stream.synchronize();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, SynchronizeWaitsForCompletion) {
+  Stream stream;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) stream.enqueue([&] { counter.fetch_add(1); });
+  stream.synchronize();
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_EQ(stream.completed(), 8u);
+}
+
+TEST(Stream, EventFiresAfterPrecedingWork) {
+  Stream stream;
+  std::atomic<bool> ran{false};
+  stream.enqueue([&] { ran.store(true); });
+  Event event = stream.record();
+  event.wait();
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(event.complete());
+}
+
+TEST(Stream, EventNotCompleteBeforeWork) {
+  Stream stream;
+  std::atomic<bool> release{false};
+  stream.enqueue([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  Event event = stream.record();
+  EXPECT_FALSE(event.complete());
+  release.store(true);
+  event.wait();
+  EXPECT_TRUE(event.complete());
+}
+
+TEST(Stream, LaunchKernelsThroughStream) {
+  Stream stream;
+  std::vector<float> a(1000, 1.0f);
+  std::vector<float> b(1000, 2.0f);
+  launch_accumulate(stream, a, b);
+  launch_copy(stream, b, a);
+  stream.synchronize();
+  EXPECT_EQ(a[500], 3.0f);
+}
+
+TEST(Stream, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    Stream stream;
+    for (int i = 0; i < 32; ++i) stream.enqueue([&] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace
+}  // namespace scaffe::gpu

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "mpi/comm.h"
+
+namespace scaffe::mpi {
+namespace {
+
+TEST(Sendrecv, SymmetricExchange) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    std::vector<float> mine(4, static_cast<float>(comm.rank() + 1));
+    std::vector<float> theirs(4, 0.0f);
+    const int peer = 1 - comm.rank();
+    comm.sendrecv<float>(mine, peer, theirs, peer, 9);
+    EXPECT_EQ(theirs[0], static_cast<float>(peer + 1));
+  });
+}
+
+TEST(Sendrecv, RingShift) {
+  const int p = 5;
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> mine(1, static_cast<float>(comm.rank()));
+    std::vector<float> incoming(1);
+    const int right = (comm.rank() + 1) % p;
+    const int left = (comm.rank() - 1 + p) % p;
+    comm.sendrecv<float>(mine, right, incoming, left, 0);
+    EXPECT_EQ(incoming[0], static_cast<float>(left));
+  });
+}
+
+class IallreduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IallreduceSweep, DefaultPathSumsEverywhere) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> data(64, 1.5f);
+    Request request = comm.iallreduce(data);
+    request.wait();
+    EXPECT_EQ(data[10], 1.5f * static_cast<float>(p));
+  });
+}
+
+TEST_P(IallreduceSweep, OverlapsWithOtherCollectives) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> a(32, 1.0f);
+    std::vector<float> b(32, 2.0f);
+    Request ra = comm.iallreduce(a);
+    Request rb = comm.iallreduce(b);
+    std::vector<Request> requests{ra, rb};
+    Comm::waitall(requests);
+    EXPECT_EQ(a[0], static_cast<float>(p));
+    EXPECT_EQ(b[0], 2.0f * static_cast<float>(p));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, IallreduceSweep, ::testing::Values(1, 2, 4, 7));
+
+TEST(AllreduceFactory, RingScheduleInstallable) {
+  const int p = 4;
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+      return coll::ring_allreduce(nranks, count);
+    });
+    std::vector<float> data(128, 0.25f);
+    comm.allreduce(data);
+    for (float v : data) EXPECT_EQ(v, 0.25f * static_cast<float>(p));
+  });
+}
+
+TEST(AllreduceFactory, RingIallreduce) {
+  const int p = 4;
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+      return coll::ring_allreduce(nranks, count);
+    });
+    std::vector<float> data(64, 1.0f);
+    Request request = comm.iallreduce(data);
+    request.wait();
+    EXPECT_EQ(data[32], static_cast<float>(p));
+  });
+}
+
+TEST(Waitall, MixedRequestsComplete) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    std::vector<float> bc(16, comm.rank() == 0 ? 3.0f : 0.0f);
+    std::vector<float> rd(16, 1.0f);
+    std::vector<Request> requests;
+    requests.push_back(comm.ibcast(bc, 0));
+    requests.push_back(comm.ireduce(rd, 0));
+    Comm::waitall(requests);
+    EXPECT_EQ(bc[0], 3.0f);
+    if (comm.rank() == 0) { EXPECT_EQ(rd[0], 2.0f); }
+    EXPECT_TRUE(Comm::testall(requests));  // already complete
+  });
+}
+
+TEST(Testall, PollsWithoutBlocking) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    std::vector<float> data(1 << 16, 1.0f);
+    std::vector<Request> requests;
+    requests.push_back(comm.iallreduce(data));
+    while (!Comm::testall(requests)) {
+    }
+    EXPECT_EQ(data[0], 2.0f);
+  });
+}
+
+TEST(RecvAny, MatchesAnySender) {
+  Runtime runtime(4);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> v(1);
+      std::vector<bool> seen(4, false);
+      for (int i = 0; i < 3; ++i) {
+        const int src = comm.recv_any<float>(v, 5);
+        EXPECT_EQ(v[0], static_cast<float>(src));
+        EXPECT_FALSE(seen[static_cast<std::size_t>(src)]) << "duplicate sender";
+        seen[static_cast<std::size_t>(src)] = true;
+      }
+      EXPECT_FALSE(seen[0]);
+    } else {
+      std::vector<float> v{static_cast<float>(comm.rank())};
+      comm.send<float>(v, 0, 5);
+    }
+  });
+}
+
+TEST(RecvAny, DoesNotStealOtherTags) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<float> a{1.0f};
+      std::vector<float> b{2.0f};
+      comm.send<float>(a, 0, 10);
+      comm.send<float>(b, 0, 20);
+    } else {
+      std::vector<float> v(1);
+      EXPECT_EQ(comm.recv_any<float>(v, 20), 1);
+      EXPECT_EQ(v[0], 2.0f);
+      EXPECT_EQ(comm.recv_any<float>(v, 10), 1);
+      EXPECT_EQ(v[0], 1.0f);
+    }
+  });
+}
+
+TEST(RecvAny, SizeMismatchThrows) {
+  Runtime runtime(2);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<float> v{1.0f, 2.0f};
+      comm.send<float>(v, 0, 0);
+    } else {
+      std::vector<float> v(1);
+      comm.recv_any<float>(v, 0);
+    }
+  }),
+               std::runtime_error);
+}
+
+TEST(Abort, FailingRankUnblocksPeersInsteadOfDeadlocking) {
+  // Rank 1 dies before the collective; without MPI_Abort semantics every
+  // other rank would block in its receive forever. The original exception
+  // must surface, not the secondary AbortError unwinds.
+  Runtime runtime(4);
+  try {
+    runtime.run([](Comm& comm) {
+      if (comm.rank() == 1) throw std::logic_error("rank 1 exploded");
+      std::vector<float> v(1 << 12, 1.0f);
+      comm.allreduce(v);  // blocks on rank 1's contribution
+    });
+    FAIL() << "expected the failure to propagate";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 1 exploded");
+  }
+}
+
+TEST(Abort, OomDuringDistributedSetupDoesNotHang) {
+  // The Figure 8 scenario in functional form: one rank cannot allocate its
+  // model; the job must fail fast, not hang at the first broadcast.
+  Runtime runtime(2);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      gpu::Device tiny(1, 1024);
+      gpu::DeviceBuffer<float> too_big(tiny, 1 << 20);  // throws OOM
+    }
+    std::vector<float> v(64, 1.0f);
+    comm.bcast(v, 0);
+  }),
+               gpu::OutOfMemoryError);
+}
+
+TEST(Abort, RuntimeIsReusableAfterAbort) {
+  Runtime runtime(2);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) throw std::runtime_error("boom");
+    std::vector<float> v(8, 1.0f);
+    comm.allreduce(v);
+  }),
+               std::runtime_error);
+  // Fresh world per run: the aborted state does not leak.
+  runtime.run([](Comm& comm) {
+    std::vector<float> v(8, 1.0f);
+    comm.allreduce(v);
+    EXPECT_EQ(v[0], 2.0f);
+  });
+}
+
+}  // namespace
+}  // namespace scaffe::mpi

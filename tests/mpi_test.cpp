@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "gpu/device.h"
+#include "gpu/kernels.h"
+#include "mpi/comm.h"
+
+namespace scaffe::mpi {
+namespace {
+
+TEST(Runtime, RunsAllRanks) {
+  Runtime runtime(4);
+  std::atomic<int> visited{0};
+  runtime.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+    visited.fetch_add(1);
+  });
+  EXPECT_EQ(visited.load(), 4);
+}
+
+TEST(Runtime, PropagatesExceptions) {
+  Runtime runtime(2);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 failed");
+  }),
+               std::runtime_error);
+}
+
+TEST(Runtime, ReusableAcrossRuns) {
+  Runtime runtime(2);
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    runtime.run([&](Comm& comm) {
+      std::vector<float> v(4, static_cast<float>(comm.rank() + 1));
+      comm.allreduce(v);
+      EXPECT_EQ(v[0], 3.0f);
+    });
+  }
+}
+
+TEST(PointToPoint, SendRecvRoundTrip) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    std::vector<float> buffer{1.0f, 2.0f, 3.0f};
+    if (comm.rank() == 0) {
+      comm.send<float>(buffer, 1, 7);
+    } else {
+      std::vector<float> incoming(3);
+      comm.recv<float>(incoming, 0, 7);
+      EXPECT_EQ(incoming, buffer);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsMatchOutOfOrder) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> a{1.0f};
+      std::vector<float> b{2.0f};
+      comm.send<float>(a, 1, 10);
+      comm.send<float>(b, 1, 20);
+    } else {
+      std::vector<float> v(1);
+      comm.recv<float>(v, 0, 20);  // receives the later tag first
+      EXPECT_EQ(v[0], 2.0f);
+      comm.recv<float>(v, 0, 10);
+      EXPECT_EQ(v[0], 1.0f);
+    }
+  });
+}
+
+TEST(PointToPoint, IsendIrecv) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> data{5.0f};
+      Request request = comm.isend<float>(data, 1, 3);
+      EXPECT_TRUE(request.test());
+      request.wait();
+    } else {
+      std::vector<float> data(1, 0.0f);
+      Request request = comm.irecv<float>(data, 0, 3);
+      request.wait();
+      EXPECT_EQ(data[0], 5.0f);
+    }
+  });
+}
+
+TEST(PointToPoint, IrecvTestPollsWithoutBlocking) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<float> data(1, 0.0f);
+      Request request = comm.irecv<float>(data, 0, 1);
+      // Polling before any send must not block or complete.
+      (void)request.test();
+      comm.barrier();  // rank 0 sends before the barrier
+      while (!request.test()) {
+      }
+      EXPECT_EQ(data[0], 9.0f);
+    } else {
+      std::vector<float> data{9.0f};
+      comm.send<float>(data, 1, 1);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(PointToPoint, EmptyMessage) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    std::vector<float> empty;
+    if (comm.rank() == 0) {
+      comm.send<float>(empty, 1, 0);
+    } else {
+      comm.recv<float>(std::span<float>(empty), 0, 0);
+    }
+  });
+}
+
+TEST(PointToPoint, SizeMismatchThrows) {
+  Runtime runtime(2);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> data{1.0f, 2.0f};
+      comm.send<float>(data, 1, 0);
+    } else {
+      std::vector<float> data(1);
+      comm.recv<float>(data, 0, 0);
+    }
+  }),
+               std::runtime_error);
+}
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, Bcast) {
+  Runtime runtime(GetParam());
+  runtime.run([](Comm& comm) {
+    std::vector<float> data(33, comm.rank() == 0 ? 4.5f : 0.0f);
+    comm.bcast(data, 0);
+    for (float v : data) EXPECT_EQ(v, 4.5f);
+  });
+}
+
+TEST_P(CollectiveSweep, BcastNonzeroRoot) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    const int root = p - 1;
+    std::vector<float> data(8, comm.rank() == root ? 1.25f : 0.0f);
+    comm.bcast(data, root);
+    EXPECT_EQ(data[3], 1.25f);
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceSumsAtRoot) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> data(17, static_cast<float>(comm.rank() + 1));
+    comm.reduce(data, 0);
+    if (comm.rank() == 0) {
+      const float expected = static_cast<float>(p * (p + 1) / 2);
+      for (float v : data) EXPECT_EQ(v, expected);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceEverywhere) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> data(9, 2.0f);
+    comm.allreduce(data);
+    for (float v : data) EXPECT_EQ(v, 2.0f * static_cast<float>(p));
+  });
+}
+
+TEST_P(CollectiveSweep, BarrierOrdersPhases) {
+  Runtime runtime(GetParam());
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  const int p = GetParam();
+  runtime.run([&, p](Comm& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    if (phase_one.load() != p) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CollectiveSweep, GatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> mine(2, static_cast<float>(comm.rank()));
+    std::vector<float> gathered = comm.gather(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(2 * p));
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(2 * r)], static_cast<float>(r));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherEverywhere) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> mine{static_cast<float>(comm.rank() * 10)};
+    std::vector<float> all = comm.allgather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], 10.0f * r);
+  });
+}
+
+TEST_P(CollectiveSweep, ScatterDistributesBlocks) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> source;
+    if (comm.rank() == 0) {
+      source.resize(static_cast<std::size_t>(3 * p));
+      std::iota(source.begin(), source.end(), 0.0f);
+    }
+    std::vector<float> block = comm.scatter(source, 0);
+    ASSERT_EQ(block.size(), 3u);
+    EXPECT_EQ(block[0], static_cast<float>(3 * comm.rank()));
+  });
+}
+
+TEST_P(CollectiveSweep, IbcastOverlapsAndCompletes) {
+  Runtime runtime(GetParam());
+  runtime.run([](Comm& comm) {
+    std::vector<float> data(1024, comm.rank() == 0 ? 3.0f : 0.0f);
+    Request request = comm.ibcast(data, 0);
+    // "Computation" while communication progresses in the background.
+    double acc = 0.0;
+    for (int i = 0; i < 1000; ++i) acc += i * 0.5;
+    EXPECT_GT(acc, 0.0);
+    request.wait();
+    EXPECT_EQ(data[512], 3.0f);
+  });
+}
+
+TEST_P(CollectiveSweep, IreduceCompletesWithSum) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<float> data(256, 1.0f);
+    Request request = comm.ireduce(data, 0);
+    request.wait();
+    if (comm.rank() == 0) { EXPECT_EQ(data[0], static_cast<float>(p)); }
+  });
+}
+
+TEST_P(CollectiveSweep, MultipleOutstandingNbc) {
+  const int p = GetParam();
+  Runtime runtime(p);
+  runtime.run([p](Comm& comm) {
+    std::vector<std::vector<float>> buffers(4);
+    std::vector<Request> requests;
+    for (int i = 0; i < 4; ++i) {
+      buffers[static_cast<std::size_t>(i)].assign(64, static_cast<float>(i + 1));
+      requests.push_back(comm.ireduce(buffers[static_cast<std::size_t>(i)], 0));
+    }
+    for (auto& request : requests) request.wait();
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(buffers[static_cast<std::size_t>(i)][0], static_cast<float>((i + 1) * p));
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollectiveSweep, ::testing::Values(1, 2, 3, 4, 8, 13));
+
+TEST(CommSplit, GroupsByColor) {
+  Runtime runtime(6);
+  runtime.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collective inside the sub-communicator.
+    std::vector<float> data(4, 1.0f);
+    sub.allreduce(data);
+    EXPECT_EQ(data[0], 3.0f);
+  });
+}
+
+TEST(CommSplit, KeyControlsOrdering) {
+  Runtime runtime(4);
+  runtime.run([](Comm& comm) {
+    // Reverse the ordering with descending keys.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(CommSplit, SubCommIsolatedFromParent) {
+  Runtime runtime(4);
+  runtime.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() / 2, comm.rank());
+    // Interleave parent and child collectives; tags/contexts must not clash.
+    std::vector<float> a(8, 1.0f);
+    std::vector<float> b(8, 2.0f);
+    Request parent_reduce = comm.ireduce(a, 0);
+    sub.allreduce(b);
+    parent_reduce.wait();
+    EXPECT_EQ(b[0], 4.0f);
+    if (comm.rank() == 0) { EXPECT_EQ(a[0], 4.0f); }
+  });
+}
+
+TEST(CommSplit, HierarchyLikeSection5) {
+  // Leaders sub-communicator spanning "nodes": the two-level reduce layout.
+  Runtime runtime(8);
+  runtime.run([](Comm& comm) {
+    const int chain = 4;
+    Comm lower = comm.split(comm.rank() / chain, comm.rank());
+    const bool leader = lower.rank() == 0;
+    Comm upper = comm.split(leader ? 0 : 1, comm.rank());
+    std::vector<float> grad(16, 1.0f);
+    lower.reduce(grad, 0);
+    if (leader) {
+      upper.reduce(grad, 0);
+      if (comm.rank() == 0) { EXPECT_EQ(grad[0], 8.0f); }
+    }
+  });
+}
+
+TEST(CommDup, IndependentContext) {
+  Runtime runtime(3);
+  runtime.run([](Comm& comm) {
+    Comm copy = comm.dup();
+    EXPECT_EQ(copy.rank(), comm.rank());
+    EXPECT_EQ(copy.size(), comm.size());
+    std::vector<float> data(4, 1.0f);
+    copy.allreduce(data);
+    EXPECT_EQ(data[0], 3.0f);
+  });
+}
+
+TEST(ScheduleFactories, HierarchicalReduceInstallable) {
+  Runtime runtime(8);
+  runtime.run([](Comm& comm) {
+    comm.set_reduce_factory([](int nranks, int root, std::size_t count) {
+      if (root == 0 && nranks > 4) {
+        return coll::hierarchical_reduce(nranks, count, 4, coll::LevelAlgo::Chain,
+                                         coll::LevelAlgo::Binomial, 4);
+      }
+      return coll::binomial_reduce(nranks, root, count);
+    });
+    std::vector<float> data(128, 0.5f);
+    comm.reduce(data, 0);
+    if (comm.rank() == 0) { EXPECT_EQ(data[0], 4.0f); }
+  });
+}
+
+TEST(ScheduleFactories, ChainBcastInstallable) {
+  Runtime runtime(6);
+  runtime.run([](Comm& comm) {
+    comm.set_bcast_factory([](int nranks, int root, std::size_t count) {
+      return coll::chain_bcast(nranks, root, count, 4);
+    });
+    std::vector<float> data(64, comm.rank() == 0 ? 7.0f : 0.0f);
+    comm.bcast(data, 0);
+    EXPECT_EQ(data[63], 7.0f);
+  });
+}
+
+TEST(CudaAware, DeviceBufferCollectives) {
+  Runtime runtime(4);
+  std::deque<gpu::Device> devices;
+  for (int i = 0; i < 4; ++i) devices.emplace_back(i);
+  runtime.run([&](Comm& comm) {
+    gpu::Device& device = devices[static_cast<std::size_t>(comm.rank())];
+    gpu::DeviceBuffer<float> buffer(device, 512);
+    gpu::fill(1.0f, buffer.span());
+    comm.allreduce(buffer);
+    EXPECT_EQ(buffer[100], 4.0f);
+    Request request = comm.ireduce(buffer, 0);
+    request.wait();
+  });
+}
+
+}  // namespace
+}  // namespace scaffe::mpi

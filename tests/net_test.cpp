@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+#include "util/bytes.h"
+
+namespace scaffe::net {
+namespace {
+
+using util::kMiB;
+
+TEST(Cluster, PresetsMatchPaperTestbeds) {
+  const ClusterSpec a = ClusterSpec::cluster_a();
+  EXPECT_EQ(a.nodes, 12);
+  EXPECT_EQ(a.gpus_per_node, 16);
+  EXPECT_EQ(a.total_gpus(), 192);  // 12 nodes x 8 K80 cards x 2 devices
+
+  const ClusterSpec b = ClusterSpec::cluster_b();
+  EXPECT_EQ(b.nodes, 20);
+  EXPECT_EQ(b.gpus_per_node, 2);
+  EXPECT_EQ(b.total_gpus(), 40);
+}
+
+TEST(Cluster, EdrFasterThanFdr) {
+  EXPECT_GT(ClusterSpec::cluster_b().ib.bw_gbs, ClusterSpec::cluster_a().ib.bw_gbs);
+}
+
+TEST(LinkSpec, XferScalesWithBytes) {
+  LinkSpec link{10.0, 1000};
+  const auto t1 = link.xfer(10 * kMiB);
+  const auto t2 = link.xfer(20 * kMiB);
+  EXPECT_GT(t2, t1);
+  // Latency subtracted, serialization should double.
+  EXPECT_NEAR(static_cast<double>(t2 - 1000) / static_cast<double>(t1 - 1000), 2.0, 0.01);
+}
+
+TEST(Topology, BlockPlacement) {
+  Topology topo(ClusterSpec::cluster_a(), 160);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(15), 0);
+  EXPECT_EQ(topo.node_of(16), 1);
+  EXPECT_EQ(topo.node_of(159), 9);
+  EXPECT_EQ(topo.local_gpu_of(17), 1);
+  EXPECT_EQ(topo.nodes_used(), 10);
+}
+
+TEST(Topology, PathClassification) {
+  Topology topo(ClusterSpec::cluster_a(), 64);
+  EXPECT_EQ(topo.path(3, 3), Path::SameGpu);
+  EXPECT_EQ(topo.path(0, 15), Path::IntraNode);
+  EXPECT_EQ(topo.path(0, 16), Path::InterNode);
+  EXPECT_EQ(topo.path(31, 16), Path::IntraNode);
+}
+
+TEST(Topology, PartialLastNode) {
+  Topology topo(ClusterSpec::cluster_a(), 20);
+  EXPECT_EQ(topo.nodes_used(), 2);
+  EXPECT_EQ(topo.node_of(19), 1);
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel model_{ClusterSpec::cluster_a()};
+};
+
+TEST_F(CostModelTest, GdrBeatsHostStagingForSmallInterNode) {
+  // At tiny sizes latency dominates: GDR's direct path must win.
+  EXPECT_LT(model_.msg_time(64, Path::InterNode, Staging::Gdr),
+            model_.msg_time(64, Path::InterNode, Staging::HostPipelined));
+}
+
+TEST_F(CostModelTest, PipelinedBeatsGdrForLargeInterNode) {
+  // Kepler GDR reads cap at ~3 GB/s; the pipelined host path sustains more.
+  EXPECT_GT(model_.msg_time(64 * kMiB, Path::InterNode, Staging::Gdr),
+            model_.msg_time(64 * kMiB, Path::InterNode, Staging::HostPipelined));
+}
+
+TEST_F(CostModelTest, HostSyncSlowestForLargeMessages) {
+  const std::size_t bytes = 64 * kMiB;
+  EXPECT_GT(model_.msg_time(bytes, Path::InterNode, Staging::HostSync),
+            model_.msg_time(bytes, Path::InterNode, Staging::HostPipelined));
+}
+
+TEST_F(CostModelTest, MonotonicInBytes) {
+  for (Staging staging : {Staging::Gdr, Staging::HostPipelined, Staging::HostSync}) {
+    util::TimeNs prev = 0;
+    for (std::size_t bytes = 4; bytes <= 256 * kMiB; bytes *= 16) {
+      const util::TimeNs t = model_.msg_time(bytes, Path::InterNode, staging);
+      EXPECT_GE(t, prev) << staging_name(staging) << " at " << bytes;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(CostModelTest, GpuReduceFasterThanCpuForLargeBuffers) {
+  // Section 3.4: 256 MB reductions need GPU kernels, not CPU loops.
+  const std::size_t bytes = 256 * kMiB;
+  EXPECT_LT(model_.reduce(bytes, ExecSpace::Gpu), model_.reduce(bytes, ExecSpace::Host));
+}
+
+TEST_F(CostModelTest, CpuReduceFasterForTinyBuffers) {
+  // Kernel launch overhead dominates tiny GPU reductions — the reason MPI
+  // runtimes traditionally reduced 16-64 B buffers on the CPU.
+  EXPECT_GT(model_.reduce(64, ExecSpace::Gpu), model_.reduce(64, ExecSpace::Host));
+}
+
+TEST_F(CostModelTest, IntraNodeFasterThanInterNode) {
+  const std::size_t bytes = 8 * kMiB;
+  EXPECT_LT(model_.msg_time(bytes, Path::IntraNode, Staging::Gdr),
+            model_.msg_time(bytes, Path::InterNode, Staging::Gdr));
+}
+
+TEST_F(CostModelTest, ComputeScalesWithFlops) {
+  const auto t1 = model_.gpu_compute(1e9);
+  const auto t2 = model_.gpu_compute(2e9);
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2 * t1 + model_.kernel_launch() + 1);
+}
+
+TEST_F(CostModelTest, GdrDisabledFallsBackToPipelined) {
+  ClusterSpec spec = ClusterSpec::cluster_a();
+  spec.gdr_enabled = false;
+  CostModel no_gdr(spec);
+  EXPECT_EQ(no_gdr.effective_bw_gbs(Path::InterNode, Staging::Gdr),
+            no_gdr.effective_bw_gbs(Path::InterNode, Staging::HostPipelined));
+}
+
+TEST_F(CostModelTest, SenderBusyIncludesOverhead) {
+  EXPECT_GE(model_.sender_busy(0, Path::InterNode, Staging::Gdr),
+            ClusterSpec::cluster_a().mpi_overhead);
+}
+
+}  // namespace
+}  // namespace scaffe::net

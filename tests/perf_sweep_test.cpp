@@ -1,0 +1,201 @@
+// Parameterized property sweeps over the training performance model: the
+// invariants every figure implicitly relies on, checked across models,
+// clusters, variants, and scales.
+#include <gtest/gtest.h>
+
+#include "baselines/comparators.h"
+#include "baselines/param_server.h"
+#include "core/perf_model.h"
+#include "models/descriptors.h"
+
+namespace scaffe::core {
+namespace {
+
+models::ModelDesc model_by_name(const std::string& name) {
+  if (name == "alexnet") return models::ModelDesc::alexnet();
+  if (name == "googlenet") return models::ModelDesc::googlenet();
+  if (name == "vgg16") return models::ModelDesc::vgg16();
+  return models::ModelDesc::cifar10_quick();
+}
+
+struct SweepCase {
+  const char* model;
+  int gpus;
+  int batch;
+};
+
+class ModelScaleSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  TrainPerfConfig config() const {
+    TrainPerfConfig c;
+    c.model = model_by_name(GetParam().model);
+    c.cluster = net::ClusterSpec::cluster_a();
+    c.gpus = GetParam().gpus;
+    c.global_batch = GetParam().batch;
+    return c;
+  }
+};
+
+TEST_P(ModelScaleSweep, BreakdownSumsToTotal) {
+  const auto r = simulate_training_iteration(config());
+  if (r.oom || r.reader_failed) GTEST_SKIP();
+  EXPECT_EQ(r.propagation_exposed + r.forward + r.backward + r.aggregation_exposed +
+                r.update + r.reader_stall,
+            r.total);
+  EXPECT_GT(r.samples_per_sec, 0.0);
+}
+
+TEST_P(ModelScaleSweep, OverlapVariantsNeverSlower) {
+  TrainPerfConfig c = config();
+  c.variant = Variant::SCB;
+  const auto scb = simulate_training_iteration(c);
+  if (scb.oom || scb.reader_failed) GTEST_SKIP();
+  c.variant = Variant::SCOB;
+  const auto scob = simulate_training_iteration(c);
+  c.variant = Variant::SCOBR;
+  const auto scobr = simulate_training_iteration(c);
+  EXPECT_LE(scob.total, scb.total);
+  EXPECT_LE(scobr.total, scob.total);
+}
+
+TEST_P(ModelScaleSweep, ComputePhasesIndependentOfVariant) {
+  TrainPerfConfig c = config();
+  c.variant = Variant::SCB;
+  const auto scb = simulate_training_iteration(c);
+  if (scb.oom || scb.reader_failed) GTEST_SKIP();
+  c.variant = Variant::SCOBR;
+  const auto scobr = simulate_training_iteration(c);
+  EXPECT_EQ(scb.forward, scobr.forward);
+  EXPECT_EQ(scb.backward, scobr.backward);
+  EXPECT_EQ(scb.update, scobr.update);
+}
+
+TEST_P(ModelScaleSweep, HierarchicalReduceNeverWorseBeyondOneChain) {
+  TrainPerfConfig c = config();
+  if (c.gpus <= 16) GTEST_SKIP();  // single chain degenerates to the same tree
+  c.variant = Variant::SCB;
+  c.reduce = ReduceAlgo::binomial();
+  const auto flat = simulate_training_iteration(c);
+  if (flat.oom || flat.reader_failed) GTEST_SKIP();
+  c.reduce = ReduceAlgo::cb(16);
+  const auto hier = simulate_training_iteration(c);
+  EXPECT_LE(hier.aggregation_exposed, flat.aggregation_exposed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelScaleSweep,
+    ::testing::Values(SweepCase{"alexnet", 8, 512}, SweepCase{"alexnet", 32, 1024},
+                      SweepCase{"googlenet", 16, 512}, SweepCase{"googlenet", 64, 1024},
+                      SweepCase{"googlenet", 160, 1024}, SweepCase{"cifar10", 8, 2048},
+                      SweepCase{"cifar10", 64, 8192}, SweepCase{"vgg16", 64, 512},
+                      SweepCase{"vgg16", 160, 640}),
+    [](const auto& info) {
+      return std::string(info.param.model) + "_" + std::to_string(info.param.gpus) + "gpu";
+    });
+
+TEST(PerfSweep, MoreGpusNeverIncreasesComputeTime) {
+  // Strong scaling: per-GPU compute shrinks monotonically with P.
+  TrainPerfConfig c;
+  c.model = models::ModelDesc::googlenet();
+  c.cluster = net::ClusterSpec::cluster_a();
+  c.global_batch = 1920;  // divisible by every P below
+  util::TimeNs prev = std::numeric_limits<util::TimeNs>::max();
+  // Start at 8 GPUs: fewer cannot hold 1920 GoogLeNet samples (true OOM).
+  for (int gpus : {8, 16, 32, 64, 96, 160}) {
+    c.gpus = gpus;
+    const auto r = simulate_training_iteration(c);
+    ASSERT_FALSE(r.oom);
+    EXPECT_LE(r.forward + r.backward, prev) << gpus;
+    prev = r.forward + r.backward;
+  }
+}
+
+TEST(PerfSweep, ClusterBHasFasterInterconnectSlowerScaleCeiling) {
+  // EDR beats FDR per-link, but Cluster-B tops out at 40 GPUs.
+  TrainPerfConfig c;
+  c.model = models::ModelDesc::alexnet();
+  c.gpus = 16;
+  c.global_batch = 512;
+  c.variant = Variant::SCB;
+  c.cluster = net::ClusterSpec::cluster_a();
+  const auto on_a = simulate_training_iteration(c);
+  c.cluster = net::ClusterSpec::cluster_b();
+  c.reduce = ReduceAlgo::cb(2);
+  const auto on_b = simulate_training_iteration(c);
+  EXPECT_GT(on_a.total, 0);
+  EXPECT_GT(on_b.total, 0);
+  c.gpus = 64;
+  EXPECT_THROW(simulate_training_iteration(c), std::runtime_error);  // only 40 GPUs
+}
+
+TEST(PerfSweep, VggGradientsNeedHierarchicalReduceMost) {
+  // VGG16's 552MB gradients: the HR speedup on aggregation should exceed
+  // GoogLeNet's (26MB) — bigger buffers pipeline better.
+  auto agg_ratio = [](models::ModelDesc model) {
+    TrainPerfConfig c;
+    c.model = std::move(model);
+    c.cluster = net::ClusterSpec::cluster_a();
+    c.gpus = 160;
+    c.reduce = ReduceAlgo::binomial();
+    const auto flat = aggregation_latency(c);
+    c.reduce = ReduceAlgo::cc(16);
+    const auto hier = aggregation_latency(c);
+    return static_cast<double>(flat) / static_cast<double>(hier);
+  };
+  EXPECT_GT(agg_ratio(models::ModelDesc::vgg16()), agg_ratio(models::ModelDesc::googlenet()));
+}
+
+TEST(PerfSweep, ParamServerAlwaysTrailsReductionTree) {
+  for (int gpus : {2, 4, 8, 12, 16}) {
+    TrainPerfConfig c;
+    c.model = models::ModelDesc::alexnet();
+    c.cluster = net::ClusterSpec::cluster_b();
+    c.gpus = gpus;
+    c.global_batch = 32 * gpus;
+    c.scaling = Scaling::Weak;
+    c.global_batch = 32;
+    const auto scaffe = simulate_training_iteration(c);
+    const auto ps = baselines::simulate_param_server_iteration(c);
+    ASSERT_TRUE(ps.has_value()) << gpus;
+    EXPECT_LT(ps->samples_per_sec, scaffe.samples_per_sec) << gpus;
+  }
+}
+
+TEST(PerfSweep, AllreduceModeHasNoPropagationPhase) {
+  TrainPerfConfig c;
+  c.model = models::ModelDesc::googlenet();
+  c.cluster = net::ClusterSpec::cluster_a();
+  c.gpus = 64;
+  c.global_batch = 1024;
+  c.aggregation = Aggregation::AllreduceSgd;
+  const auto tree_mode = simulate_training_iteration(c);
+  EXPECT_EQ(tree_mode.propagation_exposed, 0);
+  EXPECT_GT(tree_mode.aggregation_exposed, 0);
+  EXPECT_GT(tree_mode.samples_per_sec, 0.0);
+
+  c.ring_allreduce = true;
+  const auto ring_mode = simulate_training_iteration(c);
+  EXPECT_EQ(ring_mode.propagation_exposed, 0);
+  EXPECT_GT(ring_mode.aggregation_exposed, 0);
+}
+
+TEST(PerfSweep, AllreduceModeCompetitiveWithRootUpdate) {
+  // The successor design should land in the same performance class as the
+  // paper's root-update SC-B (both blocking): within 2x either way.
+  TrainPerfConfig c;
+  c.model = models::ModelDesc::googlenet();
+  c.cluster = net::ClusterSpec::cluster_a();
+  c.gpus = 64;
+  c.global_batch = 1024;
+  c.variant = Variant::SCB;
+  const auto tree = simulate_training_iteration(c);
+  c.aggregation = Aggregation::AllreduceSgd;
+  c.ring_allreduce = true;
+  const auto ring = simulate_training_iteration(c);
+  const double ratio = ring.samples_per_sec / tree.samples_per_sec;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace scaffe::core

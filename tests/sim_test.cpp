@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/trigger.h"
+
+namespace scaffe::sim {
+namespace {
+
+Task delayer(Engine& eng, TimeNs dt, TimeNs& finished_at) {
+  co_await eng.delay(dt);
+  finished_at = eng.now();
+}
+
+TEST(Engine, DelayAdvancesTime) {
+  Engine eng;
+  TimeNs finished = -1;
+  eng.spawn(delayer(eng, 100, finished));
+  eng.run();
+  EXPECT_EQ(finished, 100);
+  EXPECT_EQ(eng.now(), 100);
+}
+
+TEST(Engine, ZeroDelayRuns) {
+  Engine eng;
+  TimeNs finished = -1;
+  eng.spawn(delayer(eng, 0, finished));
+  eng.run();
+  EXPECT_EQ(finished, 0);
+}
+
+Task sequencer(Engine& eng, std::vector<int>& order, int id, TimeNs dt) {
+  co_await eng.delay(dt);
+  order.push_back(id);
+}
+
+TEST(Engine, EventsOrderedByTime) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn(sequencer(eng, order, 3, 30));
+  eng.spawn(sequencer(eng, order, 1, 10));
+  eng.spawn(sequencer(eng, order, 2, 20));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) eng.spawn(sequencer(eng, order, i, 42));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+Task nested_child(Engine& eng) { co_await eng.delay(7); }
+
+Task nested_parent(Engine& eng, TimeNs& end) {
+  co_await eng.delay(3);
+  co_await nested_child(eng);
+  end = eng.now();
+}
+
+TEST(Engine, ChildTaskJoins) {
+  Engine eng;
+  TimeNs end = -1;
+  eng.spawn(nested_parent(eng, end));
+  eng.run();
+  EXPECT_EQ(end, 10);
+}
+
+Task thrower(Engine& eng) {
+  co_await eng.delay(1);
+  throw std::runtime_error("boom");
+}
+
+TEST(Engine, RootExceptionPropagates) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+Task catcher(Engine& eng, bool& caught) {
+  try {
+    co_await thrower(eng);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Engine, ChildExceptionCatchableInParent) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(catcher(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine eng;
+  TimeNs a = -1;
+  TimeNs b = -1;
+  eng.spawn(delayer(eng, 10, a));
+  eng.spawn(delayer(eng, 100, b));
+  EXPECT_FALSE(eng.run_until(50));
+  EXPECT_EQ(a, 10);
+  EXPECT_EQ(b, -1);
+  EXPECT_TRUE(eng.run_until(1000));
+  EXPECT_EQ(b, 100);
+}
+
+TEST(Engine, DeterministicEventCount) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) eng.spawn(sequencer(eng, order, i, (i * 7) % 5));
+    eng.run();
+    return eng.events_processed();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+Task chan_producer(Engine& eng, Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await eng.delay(10);
+    ch.send(i);
+  }
+}
+
+Task chan_consumer(Engine& eng, Channel<int>& ch, int n, std::vector<TimeNs>& stamps) {
+  for (int i = 0; i < n; ++i) {
+    const int v = co_await ch.recv();
+    EXPECT_EQ(v, i);
+    stamps.push_back(eng.now());
+  }
+}
+
+TEST(Channel, DeliversInOrderAtSendTime) {
+  Engine eng;
+  Channel<int> ch(eng);
+  std::vector<TimeNs> stamps;
+  eng.spawn(chan_producer(eng, ch, 3));
+  eng.spawn(chan_consumer(eng, ch, 3, stamps));
+  eng.run();
+  EXPECT_EQ(stamps, (std::vector<TimeNs>{10, 20, 30}));
+}
+
+TEST(Channel, TryRecvNonBlocking) {
+  Engine eng;
+  Channel<int> ch(eng);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(5);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(Channel, BuffersWhenNoReceiver) {
+  Engine eng;
+  Channel<int> ch(eng);
+  ch.send(0);
+  ch.send(1);
+  EXPECT_EQ(ch.pending(), 2u);
+  std::vector<TimeNs> stamps;
+  eng.spawn(chan_consumer(eng, ch, 2, stamps));
+  eng.run();
+  EXPECT_EQ(stamps, (std::vector<TimeNs>{0, 0}));
+}
+
+Task acquire_hold(Engine& eng, Resource& res, TimeNs hold, std::vector<TimeNs>& starts) {
+  co_await res.acquire();
+  starts.push_back(eng.now());
+  co_await eng.delay(hold);
+  res.release();
+}
+
+TEST(Resource, SerializesExclusiveHolders) {
+  Engine eng;
+  Resource res(eng, 1);
+  std::vector<TimeNs> starts;
+  for (int i = 0; i < 3; ++i) eng.spawn(acquire_hold(eng, res, 10, starts));
+  eng.run();
+  EXPECT_EQ(starts, (std::vector<TimeNs>{0, 10, 20}));
+  EXPECT_EQ(res.available(), 1);
+}
+
+TEST(Resource, CapacityTwoAllowsPairs) {
+  Engine eng;
+  Resource res(eng, 2);
+  std::vector<TimeNs> starts;
+  for (int i = 0; i < 4; ++i) eng.spawn(acquire_hold(eng, res, 10, starts));
+  eng.run();
+  EXPECT_EQ(starts, (std::vector<TimeNs>{0, 0, 10, 10}));
+}
+
+Task acquire_amount(Engine& eng, Resource& res, std::int64_t amount, TimeNs hold,
+                    std::vector<int>& order, int id) {
+  co_await res.acquire(amount);
+  order.push_back(id);
+  co_await eng.delay(hold);
+  res.release(amount);
+}
+
+TEST(Resource, FifoPreventsStarvation) {
+  Engine eng;
+  Resource res(eng, 4);
+  std::vector<int> order;
+  // Big request queued first must not be starved by later small ones.
+  eng.spawn(acquire_amount(eng, res, 4, 10, order, 0));
+  eng.spawn(acquire_amount(eng, res, 4, 10, order, 1));
+  eng.spawn(acquire_amount(eng, res, 1, 10, order, 2));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+Task scoped_holder(Engine& eng, Resource& res, TimeNs hold) {
+  co_await res.acquire(3);
+  ScopedHold guard(res, 3);
+  co_await eng.delay(hold);
+  // guard releases on scope exit
+}
+
+TEST(Resource, ScopedHoldReleases) {
+  Engine eng;
+  Resource res(eng, 3);
+  eng.spawn(scoped_holder(eng, res, 5));
+  eng.run();
+  EXPECT_EQ(res.available(), 3);
+}
+
+Task trigger_waiter(Engine& eng, Trigger& trigger, TimeNs& woke) {
+  co_await trigger.wait();
+  woke = eng.now();
+}
+
+Task trigger_firer(Engine& eng, Trigger& trigger, TimeNs at) {
+  co_await eng.delay(at);
+  trigger.fire();
+}
+
+TEST(Trigger, WakesAllWaiters) {
+  Engine eng;
+  Trigger trigger(eng);
+  TimeNs w1 = -1;
+  TimeNs w2 = -1;
+  eng.spawn(trigger_waiter(eng, trigger, w1));
+  eng.spawn(trigger_waiter(eng, trigger, w2));
+  eng.spawn(trigger_firer(eng, trigger, 42));
+  eng.run();
+  EXPECT_EQ(w1, 42);
+  EXPECT_EQ(w2, 42);
+}
+
+TEST(Trigger, WaitAfterFirePassesImmediately) {
+  Engine eng;
+  Trigger trigger(eng);
+  trigger.fire();
+  TimeNs woke = -1;
+  eng.spawn(trigger_waiter(eng, trigger, woke));
+  eng.run();
+  EXPECT_EQ(woke, 0);
+}
+
+Task latch_counter(Engine& eng, Latch& latch, TimeNs at) {
+  co_await eng.delay(at);
+  latch.count_down();
+}
+
+Task latch_waiter(Engine& eng, Latch& latch, TimeNs& woke) {
+  co_await latch.wait();
+  woke = eng.now();
+}
+
+TEST(Latch, ReleasesAtZero) {
+  Engine eng;
+  Latch latch(eng, 3);
+  TimeNs woke = -1;
+  eng.spawn(latch_waiter(eng, latch, woke));
+  eng.spawn(latch_counter(eng, latch, 10));
+  eng.spawn(latch_counter(eng, latch, 20));
+  eng.spawn(latch_counter(eng, latch, 30));
+  eng.run();
+  EXPECT_EQ(woke, 30);
+  EXPECT_EQ(latch.remaining(), 0);
+}
+
+TEST(Latch, ZeroCountStartsFired) {
+  Engine eng;
+  Latch latch(eng, 0);
+  TimeNs woke = -1;
+  eng.spawn(latch_waiter(eng, latch, woke));
+  eng.run();
+  EXPECT_EQ(woke, 0);
+}
+
+}  // namespace
+}  // namespace scaffe::sim

@@ -1,0 +1,196 @@
+// Stress and edge-case tests across the substrates: deep coroutine
+// structures in the DES engine, heavy concurrent traffic through scmpi, and
+// nested communicator hierarchies under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "util/rng.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace scaffe {
+namespace {
+
+// --- sim engine edge cases ---------------------------------------------------
+
+sim::Task deep_chain(sim::Engine& eng, int depth) {
+  if (depth == 0) {
+    co_await eng.delay(1);
+    co_return;
+  }
+  co_await deep_chain(eng, depth - 1);
+}
+
+TEST(SimStress, DeeplyNestedChildTasks) {
+  sim::Engine eng;
+  eng.spawn(deep_chain(eng, 500));
+  eng.run();
+  EXPECT_EQ(eng.now(), 1);
+}
+
+sim::Task spawner(sim::Engine& eng, std::atomic<int>& counter, int fanout) {
+  for (int i = 0; i < fanout; ++i) {
+    eng.spawn([](sim::Engine& e, std::atomic<int>& c) -> sim::Task {
+      co_await e.delay(3);
+      c.fetch_add(1);
+    }(eng, counter));
+  }
+  co_await eng.delay(10);
+}
+
+TEST(SimStress, ManyConcurrentRootTasks) {
+  sim::Engine eng;
+  std::atomic<int> counter{0};
+  eng.spawn(spawner(eng, counter, 2000));
+  eng.run();
+  EXPECT_EQ(counter.load(), 2000);
+  EXPECT_EQ(eng.now(), 10);
+}
+
+sim::Task pipeline_stage(sim::Engine& eng, sim::Channel<int>& in, sim::Channel<int>& out,
+                         int count) {
+  for (int i = 0; i < count; ++i) {
+    const int v = co_await in.recv();
+    co_await eng.delay(2);
+    out.send(v + 1);
+  }
+}
+
+TEST(SimStress, LongChannelPipeline) {
+  sim::Engine eng;
+  constexpr int kStages = 50;
+  constexpr int kItems = 20;
+  std::vector<std::unique_ptr<sim::Channel<int>>> channels;
+  for (int i = 0; i <= kStages; ++i) channels.push_back(std::make_unique<sim::Channel<int>>(eng));
+  for (int s = 0; s < kStages; ++s) {
+    eng.spawn(pipeline_stage(eng, *channels[static_cast<std::size_t>(s)],
+                             *channels[static_cast<std::size_t>(s + 1)], kItems));
+  }
+  for (int i = 0; i < kItems; ++i) channels[0]->send(0);
+  eng.run();
+  for (int i = 0; i < kItems; ++i) {
+    auto v = channels[kStages]->try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, kStages);
+  }
+  // Pipelined latency: (stages + items - 1) * stage_delay.
+  EXPECT_EQ(eng.now(), (kStages + kItems - 1) * 2);
+}
+
+sim::Task resource_storm(sim::Engine& eng, sim::Resource& res, std::int64_t amount) {
+  co_await res.acquire(amount);
+  co_await eng.delay(1);
+  res.release(amount);
+}
+
+TEST(SimStress, ResourceStormConservesCapacity) {
+  sim::Engine eng;
+  sim::Resource res(eng, 7);
+  util::Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    eng.spawn(resource_storm(eng, res, 1 + static_cast<std::int64_t>(rng.below(7))));
+  }
+  eng.run();
+  EXPECT_EQ(res.available(), 7);
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+// --- scmpi stress -------------------------------------------------------------
+
+TEST(MpiStress, ManyInterleavedCollectives) {
+  mpi::Runtime runtime(6);
+  runtime.run([](mpi::Comm& comm) {
+    for (int round = 0; round < 30; ++round) {
+      std::vector<float> v(64, 1.0f);
+      switch (round % 4) {
+        case 0: comm.allreduce(v); break;
+        case 1: comm.reduce(v, round % comm.size()); break;
+        case 2: comm.bcast(v, round % comm.size()); break;
+        default: comm.barrier(); break;
+      }
+    }
+    std::vector<float> final_check(8, 1.0f);
+    comm.allreduce(final_check);
+    EXPECT_EQ(final_check[0], 6.0f);
+  });
+}
+
+TEST(MpiStress, ConcurrentNbcFloodDrainsCleanly) {
+  mpi::Runtime runtime(4);
+  runtime.run([](mpi::Comm& comm) {
+    std::vector<std::vector<float>> buffers(16);
+    std::vector<mpi::Request> requests;
+    for (int i = 0; i < 16; ++i) {
+      buffers[static_cast<std::size_t>(i)].assign(128, static_cast<float>(i));
+      requests.push_back(comm.ireduce(buffers[static_cast<std::size_t>(i)], 0));
+    }
+    mpi::Comm::waitall(requests);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(buffers[static_cast<std::size_t>(i)][0], 4.0f * static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(MpiStress, NestedSplitsThreeLevels) {
+  // 12 ranks -> 2 halves -> 3 triplet groups each -> collectives at every
+  // level concurrently, mirroring the multi-level communicator design.
+  mpi::Runtime runtime(12);
+  runtime.run([](mpi::Comm& comm) {
+    mpi::Comm half = comm.split(comm.rank() / 6, comm.rank());
+    mpi::Comm triplet = half.split(half.rank() / 3, half.rank());
+    EXPECT_EQ(half.size(), 6);
+    EXPECT_EQ(triplet.size(), 3);
+
+    std::vector<float> world_buf(16, 1.0f);
+    std::vector<float> half_buf(16, 1.0f);
+    std::vector<float> triple_buf(16, 1.0f);
+    mpi::Request world_req = comm.iallreduce(world_buf);
+    half.allreduce(half_buf);
+    triplet.allreduce(triple_buf);
+    world_req.wait();
+    EXPECT_EQ(world_buf[0], 12.0f);
+    EXPECT_EQ(half_buf[0], 6.0f);
+    EXPECT_EQ(triple_buf[0], 3.0f);
+  });
+}
+
+TEST(MpiStress, LargePayloadPointToPoint) {
+  mpi::Runtime runtime(2);
+  runtime.run([](mpi::Comm& comm) {
+    const std::size_t count = 1 << 20;  // 4 MB
+    if (comm.rank() == 0) {
+      std::vector<float> data(count);
+      std::iota(data.begin(), data.end(), 0.0f);
+      comm.send<float>(data, 1, 0);
+    } else {
+      std::vector<float> data(count);
+      comm.recv<float>(data, 0, 0);
+      EXPECT_EQ(data[12345], 12345.0f);
+      EXPECT_EQ(data[count - 1], static_cast<float>(count - 1));
+    }
+  });
+}
+
+TEST(MpiStress, ManyRanksBarrierStorm) {
+  mpi::Runtime runtime(16);
+  std::atomic<int> checkpoint{0};
+  runtime.run([&](mpi::Comm& comm) {
+    for (int i = 0; i < 10; ++i) {
+      checkpoint.fetch_add(1);
+      comm.barrier();
+      EXPECT_EQ(checkpoint.load() % 16, 0) << "barrier leaked at round " << i;
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(checkpoint.load(), 160);
+}
+
+}  // namespace
+}  // namespace scaffe

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "dl/snapshot.h"
+#include "gpu/memcpy.h"
+#include "models/zoo.h"
+
+namespace scaffe::core {
+namespace {
+
+data::SyntheticImageDataset tiny_dataset() {
+  return data::SyntheticImageDataset(256, 1, 1, 6, 3);
+}
+
+NetSpecFactory mlp_factory() {
+  return [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); };
+}
+
+TEST(Trainer, RunsAndReportsOnAllVariants) {
+  for (Variant variant : {Variant::SCB, Variant::SCOB, Variant::SCOBR}) {
+    auto dataset = tiny_dataset();
+    data::ImageDataBackend backend(dataset);
+    std::mutex mutex;
+    TrainerReport root_report;
+
+    mpi::Runtime runtime(4);
+    runtime.run([&](mpi::Comm& comm) {
+      TrainerConfig config;
+      config.iterations = 8;
+      config.global_batch = 16;
+      config.scaffe.variant = variant;
+      config.scaffe.reduce = ReduceAlgo::cb(2);
+      config.solver.base_lr = 0.05f;
+      Trainer trainer(comm, backend, dataset.sample_floats(), mlp_factory(), config);
+      EXPECT_EQ(trainer.shard_batch(), 4);
+      const TrainerReport report = trainer.run();
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        root_report = report;
+      }
+    });
+
+    EXPECT_EQ(root_report.iterations, 8) << variant_name(variant);
+    EXPECT_EQ(root_report.samples_trained, 8u * 16u);
+    EXPECT_EQ(root_report.root_losses.size(), 8u);
+    EXPECT_LT(root_report.root_losses.back(), root_report.root_losses.front() * 1.5f);
+  }
+}
+
+TEST(Trainer, WeakScalingKeepsPerRankBatch) {
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+  mpi::Runtime runtime(2);
+  runtime.run([&](mpi::Comm& comm) {
+    TrainerConfig config;
+    config.iterations = 2;
+    config.global_batch = 8;  // per GPU under weak scaling
+    config.scaling = Scaling::Weak;
+    Trainer trainer(comm, backend, dataset.sample_floats(), mlp_factory(), config);
+    EXPECT_EQ(trainer.shard_batch(), 8);
+    const TrainerReport report = trainer.run();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(report.samples_trained, 2u * 8u * 2u);
+    }
+  });
+}
+
+TEST(Trainer, RejectsIndivisibleBatch) {
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+  mpi::Runtime runtime(3);
+  EXPECT_THROW(runtime.run([&](mpi::Comm& comm) {
+    TrainerConfig config;
+    config.global_batch = 16;  // not divisible by 3
+    Trainer trainer(comm, backend, dataset.sample_floats(), mlp_factory(), config);
+  }),
+               std::runtime_error);
+}
+
+TEST(Trainer, WritesSnapshotsAtRoot) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "scaffe_trainer_snapshot.bin";
+  std::filesystem::remove(path);
+
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+  mpi::Runtime runtime(2);
+  runtime.run([&](mpi::Comm& comm) {
+    TrainerConfig config;
+    config.iterations = 6;
+    config.global_batch = 8;
+    config.snapshot_every = 3;
+    config.snapshot_path = path;
+    Trainer trainer(comm, backend, dataset.sample_floats(), mlp_factory(), config);
+    const TrainerReport report = trainer.run();
+    if (comm.rank() == 0) {
+      EXPECT_EQ(report.snapshots_written, 2);
+    }
+  });
+
+  // The snapshot is loadable and sized for the model.
+  dl::Net net(models::mlp_netspec(4, 6, 8, 3));
+  EXPECT_NO_THROW(dl::load_params(net, path));
+  std::filesystem::remove(path);
+}
+
+TEST(CopyStats, TracksDirections) {
+  gpu::CopyStats::reset();
+  std::vector<float> host(64, 1.0f);
+  std::vector<float> device(64, 0.0f);
+  gpu::memcpy_sync(device, host, gpu::CopyKind::HostToDevice);
+  EXPECT_EQ(gpu::CopyStats::bytes(gpu::CopyKind::HostToDevice), 64 * sizeof(float));
+  EXPECT_EQ(gpu::CopyStats::bytes(gpu::CopyKind::DeviceToHost), 0u);
+  EXPECT_EQ(device[5], 1.0f);
+
+  gpu::Stream stream;
+  gpu::memcpy_async(stream, host, device, gpu::CopyKind::DeviceToHost);
+  stream.synchronize();
+  EXPECT_EQ(gpu::CopyStats::bytes(gpu::CopyKind::DeviceToHost), 64 * sizeof(float));
+  EXPECT_STREQ(gpu::copy_kind_name(gpu::CopyKind::PeerToPeer), "P2P");
+  gpu::CopyStats::reset();
+  EXPECT_EQ(gpu::CopyStats::bytes(gpu::CopyKind::HostToDevice), 0u);
+}
+
+}  // namespace
+}  // namespace scaffe::core

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/bytes.h"
+#include "util/duration.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace scaffe::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(13);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng(5);
+  std::uniform_int_distribution<int> dist(0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+}
+
+TEST(Stats, PercentileEmpty) { EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0); }
+
+TEST(Stats, Geomean) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, -1.0}), 0.0);
+}
+
+TEST(Bytes, Format) {
+  EXPECT_EQ(fmt_bytes(4), "4B");
+  EXPECT_EQ(fmt_bytes(16 * kKiB), "16KB");
+  EXPECT_EQ(fmt_bytes(256 * kMiB), "256MB");
+  EXPECT_EQ(fmt_bytes(kGiB + kGiB / 2), "1.5GB");
+}
+
+TEST(Bytes, Parse) {
+  EXPECT_EQ(parse_bytes("4"), 4u);
+  EXPECT_EQ(parse_bytes("16K"), 16 * kKiB);
+  EXPECT_EQ(parse_bytes("16KB"), 16 * kKiB);
+  EXPECT_EQ(parse_bytes("256M"), 256 * kMiB);
+  EXPECT_EQ(parse_bytes("2g"), 2 * kGiB);
+  EXPECT_EQ(parse_bytes(""), 0u);
+  EXPECT_EQ(parse_bytes("abc"), 0u);
+  EXPECT_EQ(parse_bytes("12X"), 0u);
+}
+
+TEST(Bytes, RoundTrip) {
+  for (std::size_t v : {std::size_t{4}, 16 * kKiB, 4 * kMiB, 256 * kMiB}) {
+    EXPECT_EQ(parse_bytes(fmt_bytes(v)), v);
+  }
+}
+
+TEST(Duration, Format) {
+  EXPECT_EQ(fmt_time(950), "950ns");
+  EXPECT_EQ(fmt_time(12 * kUs), "12.00us");
+  EXPECT_EQ(fmt_time(3 * kMs + kMs / 5), "3.20ms");
+  EXPECT_EQ(fmt_time(kSec + 3 * kSec / 4), "1.75s");
+  EXPECT_EQ(fmt_time(-12 * kUs), "-12.00us");
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_us(from_us(0.5)), 0.5);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(1.25)), 1.25);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "20000"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, Csv) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RaggedRows) {
+  Table table({"a"});
+  table.add_row({"1", "2", "3"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(2.0), "2");
+  EXPECT_EQ(fmt_double(0.125, 3), "0.125");
+}
+
+TEST(Format, FmtSpeedup) { EXPECT_EQ(fmt_speedup(2.3), "2.3x"); }
+
+}  // namespace
+}  // namespace scaffe::util
