@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allreduce_ring.dir/ablation_allreduce_ring.cpp.o"
+  "CMakeFiles/ablation_allreduce_ring.dir/ablation_allreduce_ring.cpp.o.d"
+  "ablation_allreduce_ring"
+  "ablation_allreduce_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allreduce_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_chain_model.cpp" "bench/CMakeFiles/ablation_chain_model.dir/ablation_chain_model.cpp.o" "gcc" "bench/CMakeFiles/ablation_chain_model.dir/ablation_chain_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coll/CMakeFiles/scaffe_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scaffe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scaffe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/scaffe_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scaffe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_model.dir/ablation_chain_model.cpp.o"
+  "CMakeFiles/ablation_chain_model.dir/ablation_chain_model.cpp.o.d"
+  "ablation_chain_model"
+  "ablation_chain_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weak_scaling.dir/ablation_weak_scaling.cpp.o"
+  "CMakeFiles/ablation_weak_scaling.dir/ablation_weak_scaling.cpp.o.d"
+  "ablation_weak_scaling"
+  "ablation_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

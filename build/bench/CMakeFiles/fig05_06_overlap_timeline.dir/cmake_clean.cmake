@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_06_overlap_timeline.dir/fig05_06_overlap_timeline.cpp.o"
+  "CMakeFiles/fig05_06_overlap_timeline.dir/fig05_06_overlap_timeline.cpp.o.d"
+  "fig05_06_overlap_timeline"
+  "fig05_06_overlap_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_06_overlap_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_cifar10_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_alexnet_frameworks.dir/fig10_alexnet_frameworks.cpp.o"
+  "CMakeFiles/fig10_alexnet_frameworks.dir/fig10_alexnet_frameworks.cpp.o.d"
+  "fig10_alexnet_frameworks"
+  "fig10_alexnet_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_alexnet_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

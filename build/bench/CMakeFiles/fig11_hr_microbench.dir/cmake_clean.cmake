@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hr_microbench.dir/fig11_hr_microbench.cpp.o"
+  "CMakeFiles/fig11_hr_microbench.dir/fig11_hr_microbench.cpp.o.d"
+  "fig11_hr_microbench"
+  "fig11_hr_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hr_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_reduce_comparison.dir/fig12_reduce_comparison.cpp.o"
+  "CMakeFiles/fig12_reduce_comparison.dir/fig12_reduce_comparison.cpp.o.d"
+  "fig12_reduce_comparison"
+  "fig12_reduce_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_reduce_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

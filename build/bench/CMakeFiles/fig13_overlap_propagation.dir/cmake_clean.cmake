@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overlap_propagation.dir/fig13_overlap_propagation.cpp.o"
+  "CMakeFiles/fig13_overlap_propagation.dir/fig13_overlap_propagation.cpp.o.d"
+  "fig13_overlap_propagation"
+  "fig13_overlap_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overlap_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_functional.dir/micro_functional.cpp.o"
+  "CMakeFiles/micro_functional.dir/micro_functional.cpp.o.d"
+  "micro_functional"
+  "micro_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

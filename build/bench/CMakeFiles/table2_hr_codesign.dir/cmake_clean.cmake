@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hr_codesign.dir/table2_hr_codesign.cpp.o"
+  "CMakeFiles/table2_hr_codesign.dir/table2_hr_codesign.cpp.o.d"
+  "table2_hr_codesign"
+  "table2_hr_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hr_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

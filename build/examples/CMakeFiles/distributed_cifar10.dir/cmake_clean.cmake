@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cifar10.dir/distributed_cifar10.cpp.o"
+  "CMakeFiles/distributed_cifar10.dir/distributed_cifar10.cpp.o.d"
+  "distributed_cifar10"
+  "distributed_cifar10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cifar10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_reduce.dir/hierarchical_reduce.cpp.o"
+  "CMakeFiles/hierarchical_reduce.dir/hierarchical_reduce.cpp.o.d"
+  "hierarchical_reduce"
+  "hierarchical_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_timeline.dir/reduce_timeline.cpp.o"
+  "CMakeFiles/reduce_timeline.dir/reduce_timeline.cpp.o.d"
+  "reduce_timeline"
+  "reduce_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

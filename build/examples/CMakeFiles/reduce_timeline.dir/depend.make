@@ -1,0 +1,2 @@
+# Empty dependencies file for reduce_timeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_cli.dir/scaffe_cli.cpp.o"
+  "CMakeFiles/scaffe_cli.dir/scaffe_cli.cpp.o.d"
+  "scaffe_cli"
+  "scaffe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_from_spec.dir/train_from_spec.cpp.o"
+  "CMakeFiles/train_from_spec.dir/train_from_spec.cpp.o.d"
+  "train_from_spec"
+  "train_from_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_from_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

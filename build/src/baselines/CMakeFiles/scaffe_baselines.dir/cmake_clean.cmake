@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_baselines.dir/comparators.cpp.o"
+  "CMakeFiles/scaffe_baselines.dir/comparators.cpp.o.d"
+  "CMakeFiles/scaffe_baselines.dir/param_server.cpp.o"
+  "CMakeFiles/scaffe_baselines.dir/param_server.cpp.o.d"
+  "libscaffe_baselines.a"
+  "libscaffe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

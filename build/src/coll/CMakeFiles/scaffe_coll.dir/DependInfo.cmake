@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/algorithms.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/algorithms.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/algorithms.cpp.o.d"
+  "/root/repo/src/coll/extensions.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/extensions.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/extensions.cpp.o.d"
+  "/root/repo/src/coll/logical_executor.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/logical_executor.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/logical_executor.cpp.o.d"
+  "/root/repo/src/coll/program.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/program.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/program.cpp.o.d"
+  "/root/repo/src/coll/sim_executor.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/sim_executor.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/sim_executor.cpp.o.d"
+  "/root/repo/src/coll/thread_executor.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/thread_executor.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/thread_executor.cpp.o.d"
+  "/root/repo/src/coll/tuner.cpp" "src/coll/CMakeFiles/scaffe_coll.dir/tuner.cpp.o" "gcc" "src/coll/CMakeFiles/scaffe_coll.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scaffe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scaffe_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scaffe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/scaffe_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

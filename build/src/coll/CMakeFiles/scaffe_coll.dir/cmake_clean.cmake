@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_coll.dir/algorithms.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/algorithms.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/extensions.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/extensions.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/logical_executor.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/logical_executor.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/program.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/program.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/sim_executor.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/sim_executor.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/thread_executor.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/thread_executor.cpp.o.d"
+  "CMakeFiles/scaffe_coll.dir/tuner.cpp.o"
+  "CMakeFiles/scaffe_coll.dir/tuner.cpp.o.d"
+  "libscaffe_coll.a"
+  "libscaffe_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

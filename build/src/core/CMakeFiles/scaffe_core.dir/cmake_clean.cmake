@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_core.dir/distributed_solver.cpp.o"
+  "CMakeFiles/scaffe_core.dir/distributed_solver.cpp.o.d"
+  "CMakeFiles/scaffe_core.dir/eval.cpp.o"
+  "CMakeFiles/scaffe_core.dir/eval.cpp.o.d"
+  "CMakeFiles/scaffe_core.dir/perf_model.cpp.o"
+  "CMakeFiles/scaffe_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/scaffe_core.dir/trainer.cpp.o"
+  "CMakeFiles/scaffe_core.dir/trainer.cpp.o.d"
+  "libscaffe_core.a"
+  "libscaffe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

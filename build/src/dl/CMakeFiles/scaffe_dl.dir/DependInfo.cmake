@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/gradient_check.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/gradient_check.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/gradient_check.cpp.o.d"
+  "/root/repo/src/dl/layer_common.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/layer_common.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/layer_common.cpp.o.d"
+  "/root/repo/src/dl/layers_simple.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/layers_simple.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/layers_simple.cpp.o.d"
+  "/root/repo/src/dl/layers_spatial.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/layers_spatial.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/layers_spatial.cpp.o.d"
+  "/root/repo/src/dl/net.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/net.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/net.cpp.o.d"
+  "/root/repo/src/dl/netspec_text.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/netspec_text.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/netspec_text.cpp.o.d"
+  "/root/repo/src/dl/snapshot.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/snapshot.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/snapshot.cpp.o.d"
+  "/root/repo/src/dl/solver.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/solver.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/solver.cpp.o.d"
+  "/root/repo/src/dl/solver_text.cpp" "src/dl/CMakeFiles/scaffe_dl.dir/solver_text.cpp.o" "gcc" "src/dl/CMakeFiles/scaffe_dl.dir/solver_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scaffe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/scaffe_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_dl.dir/gradient_check.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/gradient_check.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/layer_common.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/layer_common.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/layers_simple.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/layers_simple.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/layers_spatial.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/layers_spatial.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/net.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/net.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/netspec_text.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/netspec_text.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/snapshot.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/snapshot.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/solver.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/solver.cpp.o.d"
+  "CMakeFiles/scaffe_dl.dir/solver_text.cpp.o"
+  "CMakeFiles/scaffe_dl.dir/solver_text.cpp.o.d"
+  "libscaffe_dl.a"
+  "libscaffe_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

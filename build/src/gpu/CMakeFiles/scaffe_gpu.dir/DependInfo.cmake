@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/kernels.cpp" "src/gpu/CMakeFiles/scaffe_gpu.dir/kernels.cpp.o" "gcc" "src/gpu/CMakeFiles/scaffe_gpu.dir/kernels.cpp.o.d"
+  "/root/repo/src/gpu/memcpy.cpp" "src/gpu/CMakeFiles/scaffe_gpu.dir/memcpy.cpp.o" "gcc" "src/gpu/CMakeFiles/scaffe_gpu.dir/memcpy.cpp.o.d"
+  "/root/repo/src/gpu/pool_allocator.cpp" "src/gpu/CMakeFiles/scaffe_gpu.dir/pool_allocator.cpp.o" "gcc" "src/gpu/CMakeFiles/scaffe_gpu.dir/pool_allocator.cpp.o.d"
+  "/root/repo/src/gpu/stream.cpp" "src/gpu/CMakeFiles/scaffe_gpu.dir/stream.cpp.o" "gcc" "src/gpu/CMakeFiles/scaffe_gpu.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/scaffe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_gpu.dir/kernels.cpp.o"
+  "CMakeFiles/scaffe_gpu.dir/kernels.cpp.o.d"
+  "CMakeFiles/scaffe_gpu.dir/memcpy.cpp.o"
+  "CMakeFiles/scaffe_gpu.dir/memcpy.cpp.o.d"
+  "CMakeFiles/scaffe_gpu.dir/pool_allocator.cpp.o"
+  "CMakeFiles/scaffe_gpu.dir/pool_allocator.cpp.o.d"
+  "CMakeFiles/scaffe_gpu.dir/stream.cpp.o"
+  "CMakeFiles/scaffe_gpu.dir/stream.cpp.o.d"
+  "libscaffe_gpu.a"
+  "libscaffe_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_models.dir/descriptors.cpp.o"
+  "CMakeFiles/scaffe_models.dir/descriptors.cpp.o.d"
+  "CMakeFiles/scaffe_models.dir/zoo.cpp.o"
+  "CMakeFiles/scaffe_models.dir/zoo.cpp.o.d"
+  "libscaffe_models.a"
+  "libscaffe_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

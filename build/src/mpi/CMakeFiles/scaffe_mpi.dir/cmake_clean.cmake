@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_mpi.dir/comm.cpp.o"
+  "CMakeFiles/scaffe_mpi.dir/comm.cpp.o.d"
+  "libscaffe_mpi.a"
+  "libscaffe_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

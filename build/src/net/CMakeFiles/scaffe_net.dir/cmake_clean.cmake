@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_net.dir/cluster.cpp.o"
+  "CMakeFiles/scaffe_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/scaffe_net.dir/cost_model.cpp.o"
+  "CMakeFiles/scaffe_net.dir/cost_model.cpp.o.d"
+  "libscaffe_net.a"
+  "libscaffe_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

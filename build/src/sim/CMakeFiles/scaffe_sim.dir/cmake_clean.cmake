@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_sim.dir/engine.cpp.o"
+  "CMakeFiles/scaffe_sim.dir/engine.cpp.o.d"
+  "libscaffe_sim.a"
+  "libscaffe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

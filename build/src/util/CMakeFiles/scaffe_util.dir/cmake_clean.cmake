@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffe_util.dir/bytes.cpp.o"
+  "CMakeFiles/scaffe_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/scaffe_util.dir/duration.cpp.o"
+  "CMakeFiles/scaffe_util.dir/duration.cpp.o.d"
+  "CMakeFiles/scaffe_util.dir/logging.cpp.o"
+  "CMakeFiles/scaffe_util.dir/logging.cpp.o.d"
+  "CMakeFiles/scaffe_util.dir/stats.cpp.o"
+  "CMakeFiles/scaffe_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scaffe_util.dir/table.cpp.o"
+  "CMakeFiles/scaffe_util.dir/table.cpp.o.d"
+  "libscaffe_util.a"
+  "libscaffe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

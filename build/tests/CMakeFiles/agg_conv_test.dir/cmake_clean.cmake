@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agg_conv_test.dir/agg_conv_test.cpp.o"
+  "CMakeFiles/agg_conv_test.dir/agg_conv_test.cpp.o.d"
+  "agg_conv_test"
+  "agg_conv_test.pdb"
+  "agg_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agg_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coll_ext_test.dir/coll_ext_test.cpp.o"
+  "CMakeFiles/coll_ext_test.dir/coll_ext_test.cpp.o.d"
+  "coll_ext_test"
+  "coll_ext_test.pdb"
+  "coll_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coll_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
