@@ -1,16 +1,29 @@
-// google-benchmark microbenchmarks of the FUNCTIONAL substrate (real wall
-// clock, this machine): reduction kernels, schedule executors, and scmpi
-// collectives. These complement the modelled figures: they measure the code
-// that actually moves and sums bytes in the functional runs.
+// Microbenchmarks of the FUNCTIONAL substrate (real wall clock, this
+// machine): reduction kernels, schedule executors, scmpi collectives, and —
+// since the multithreaded math core landed — a thread-count sweep of the DL
+// hot paths (conv fwd/bwd, FC, sgd_update) that writes a machine-readable
+// BENCH_micro_functional.json so the perf trajectory is tracked PR over PR.
+//
+// Usage: micro_functional [--sweep-only] [google-benchmark flags]
+//   The sweep always runs first and writes the JSON; --sweep-only skips the
+//   google-benchmark suite afterwards.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "coll/algorithms.h"
 #include "coll/logical_executor.h"
 #include "coll/thread_executor.h"
+#include "dl/layer.h"
+#include "dl/math.h"
 #include "gpu/kernels.h"
 #include "mpi/comm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 using namespace scaffe;
 
@@ -110,6 +123,168 @@ void BM_ScmpiIbcastOverlap(benchmark::State& state) {
 }
 BENCHMARK(BM_ScmpiIbcastOverlap);
 
+void BM_SgemmNN(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<std::size_t>(dim) * dim, 1.0f);
+  std::vector<float> b(static_cast<std::size_t>(dim) * dim, 0.5f);
+  std::vector<float> c(static_cast<std::size_t>(dim) * dim, 0.0f);
+  for (auto _ : state) {
+    dl::math::sgemm(false, false, dim, dim, dim, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(dim) * dim * dim);
+}
+BENCHMARK(BM_SgemmNN)->Arg(128)->Arg(256)->Arg(512);
+
+// --- DL hot-path thread sweep -> BENCH_micro_functional.json ----------------
+
+using Clock = std::chrono::steady_clock;
+
+double time_best_ms(int reps, const std::function<void()>& fn) {
+  fn();  // warm up (first-touch, buffer growth)
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+struct ConvBench {
+  dl::LayerSpec spec;
+  std::unique_ptr<dl::Layer> layer;
+  dl::Blob bottom, top;
+  std::vector<dl::Blob*> bottoms, tops;
+
+  ConvBench(dl::ConvImpl impl, int batch, int channels, int hw, int num_output, int kernel,
+            int pad) {
+    spec = dl::LayerSpec::conv("conv", "x", "y", num_output, kernel, 1, pad);
+    spec.conv_impl = impl;
+    layer = dl::make_layer(spec);
+    bottom.reshape({batch, channels, hw, hw});
+    util::Rng rng(7);
+    for (float& v : bottom.data()) v = static_cast<float>(rng.normal());
+    bottoms = {&bottom};
+    tops = {&top};
+    layer->setup(bottoms, tops, rng);
+    for (float& v : top.diff()) v = static_cast<float>(rng.normal(0.0, 0.01));
+  }
+  void forward() { layer->forward(bottoms, tops); }
+  void backward() { layer->backward(tops, bottoms); }
+};
+
+/// AlexNet conv3-shaped layer at batch 8 plus an fc6-shaped inner product and
+/// a CaffeNet-sized sgd_update, each timed at 1/2/4/8 pool threads against
+/// the seed's single-threaded direct-conv path.
+void run_functional_sweep(const char* json_path) {
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  // AlexNet conv3: 256 -> 384 channels, 13x13, 3x3 kernel, pad 1, batch 8.
+  const int batch = 8, channels = 256, hw = 13, num_output = 384, kernel = 3, pad = 1;
+
+  std::printf("functional sweep (conv3-shaped, batch %d)...\n", batch);
+
+  // Seed baseline: the direct triple-loop path, single-threaded.
+  util::ThreadPool::set_global_threads(1);
+  ConvBench direct(dl::ConvImpl::Direct, batch, channels, hw, num_output, kernel, pad);
+  const double direct_fwd_ms = time_best_ms(2, [&] { direct.forward(); });
+  const double direct_bwd_ms = time_best_ms(2, [&] { direct.backward(); });
+  std::printf("  direct (seed path, 1 thread): fwd %.1f ms, bwd %.1f ms\n", direct_fwd_ms,
+              direct_bwd_ms);
+
+  struct Row {
+    int threads;
+    double conv_fwd_ms, conv_bwd_ms, fc_fwd_ms, fc_bwd_ms, sgd_ms;
+  };
+  std::vector<Row> rows;
+
+  // FC: fc6-shaped inner product, batch 8, 4096 -> 4096.
+  const int fc_batch = 8, fc_in = 4096, fc_out = 4096;
+  // sgd_update: CaffeNet-order parameter vector (16M floats = 64 MB).
+  const std::size_t sgd_count = std::size_t{1} << 24;
+
+  for (const int threads : kThreadCounts) {
+    util::ThreadPool::set_global_threads(threads);
+    Row row{threads, 0, 0, 0, 0, 0};
+
+    ConvBench gemm(dl::ConvImpl::Im2colGemm, batch, channels, hw, num_output, kernel, pad);
+    row.conv_fwd_ms = time_best_ms(3, [&] { gemm.forward(); });
+    row.conv_bwd_ms = time_best_ms(3, [&] { gemm.backward(); });
+
+    {
+      dl::LayerSpec fc_spec = dl::LayerSpec::inner_product("fc", "x", "y", fc_out);
+      auto fc = dl::make_layer(fc_spec);
+      dl::Blob fx({fc_batch, fc_in}), fy;
+      util::Rng rng(11);
+      for (float& v : fx.data()) v = static_cast<float>(rng.normal());
+      std::vector<dl::Blob*> fb{&fx}, ft{&fy};
+      fc->setup(fb, ft, rng);
+      for (float& v : fy.diff()) v = static_cast<float>(rng.normal(0.0, 0.01));
+      row.fc_fwd_ms = time_best_ms(3, [&] { fc->forward(fb, ft); });
+      row.fc_bwd_ms = time_best_ms(3, [&] { fc->backward(ft, fb); });
+    }
+
+    {
+      std::vector<float> param(sgd_count, 1.0f), grad(sgd_count, 0.01f), mom(sgd_count, 0.0f);
+      row.sgd_ms = time_best_ms(3, [&] { gpu::sgd_update(param, grad, mom, 0.01f, 0.9f, 5e-4f); });
+    }
+
+    std::printf("  threads=%d: conv fwd %.1f ms (%.1fx vs seed), bwd %.1f ms, "
+                "fc fwd %.2f ms, sgd %.1f ms\n",
+                threads, row.conv_fwd_ms, direct_fwd_ms / row.conv_fwd_ms, row.conv_bwd_ms,
+                row.fc_fwd_ms, row.sgd_ms);
+    rows.push_back(row);
+  }
+  util::ThreadPool::set_global_threads(1);
+
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"conv\": {\"shape\": \"batch %d, %dx%dx%d -> %d, k%d p%d\", "
+               "\"seed_direct_fwd_ms\": %.3f, \"seed_direct_bwd_ms\": %.3f},\n",
+               batch, channels, hw, hw, num_output, kernel, pad, direct_fwd_ms, direct_bwd_ms);
+  std::fprintf(out, "  \"fc\": {\"shape\": \"batch %d, %d -> %d\"},\n", fc_batch, fc_in, fc_out);
+  std::fprintf(out, "  \"sgd_update\": {\"count\": %zu},\n", sgd_count);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"conv_fwd_ms\": %.3f, \"conv_bwd_ms\": %.3f, "
+                 "\"fc_fwd_ms\": %.3f, \"fc_bwd_ms\": %.3f, \"sgd_update_ms\": %.3f, "
+                 "\"conv_fwd_speedup_vs_seed\": %.2f}%s\n",
+                 row.threads, row.conv_fwd_ms, row.conv_bwd_ms, row.fc_fwd_ms, row.fc_bwd_ms,
+                 row.sgd_ms, direct_fwd_ms / row.conv_fwd_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  run_functional_sweep("BENCH_micro_functional.json");
+  if (sweep_only) return 0;
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

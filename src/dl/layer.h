@@ -35,8 +35,9 @@ const char* layer_type_name(LayerType type) noexcept;
 
 enum class PoolMethod { Max, Ave };
 
-/// Convolution implementation: direct loops, or Caffe's im2col + GEMM
-/// lowering (identical math, different op order).
+/// Convolution implementation: Caffe's im2col + GEMM lowering (the default —
+/// blocked SGEMM over the shared thread pool), or the direct triple-loop
+/// reference (identical math, different op order).
 enum class ConvImpl { Direct, Im2colGemm };
 
 struct LayerSpec {
@@ -51,7 +52,7 @@ struct LayerSpec {
   int kernel = 0;
   int stride = 1;
   int pad = 0;
-  ConvImpl conv_impl = ConvImpl::Direct;
+  ConvImpl conv_impl = ConvImpl::Im2colGemm;
   // Dropout
   float dropout_ratio = 0.5f;
   // LRN

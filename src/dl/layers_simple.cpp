@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dl/layer.h"
+#include "dl/math.h"
 
 namespace scaffe::dl {
 namespace {
@@ -35,48 +36,38 @@ class InnerProductLayer final : public Layer {
   void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
     const auto [n, d] = as_matrix(*bottoms[0]);
     const int k = spec_.num_output;
-    auto x = bottoms[0]->data();
-    auto w = weight_->data();
+    const float* x = bottoms[0]->data().data();
+    const float* w = weight_->data().data();
     auto b = bias_->data();
-    auto y = tops[0]->data();
+    float* y = tops[0]->data().data();
+    // Seed each output row with the bias, then y += x * W^T.
     for (int i = 0; i < n; ++i) {
-      for (int o = 0; o < k; ++o) {
-        float acc = b[static_cast<std::size_t>(o)];
-        const std::size_t xrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
-        const std::size_t wrow = static_cast<std::size_t>(o) * static_cast<std::size_t>(d);
-        for (int j = 0; j < d; ++j) {
-          acc += x[xrow + static_cast<std::size_t>(j)] * w[wrow + static_cast<std::size_t>(j)];
-        }
-        y[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
-          static_cast<std::size_t>(o)] = acc;
-      }
+      std::copy(b.begin(), b.end(), y + static_cast<std::size_t>(i) * static_cast<std::size_t>(k));
+    }
+    if (n == 1) {
+      math::gemv(false, k, d, 1.0f, w, x, 1.0f, y);
+    } else {
+      math::sgemm(false, true, n, k, d, 1.0f, x, w, 1.0f, y);
     }
   }
 
   void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
     const auto [n, d] = as_matrix(*bottoms[0]);
     const int k = spec_.num_output;
-    auto x = bottoms[0]->data();
-    auto dx = bottoms[0]->diff();
-    auto w = weight_->data();
-    auto dw = weight_->diff();
+    const float* x = bottoms[0]->data().data();
+    float* dx = bottoms[0]->diff().data();
+    const float* w = weight_->data().data();
+    float* dw = weight_->diff().data();
     auto db = bias_->diff();
-    auto dy = tops[0]->diff();
-    std::fill(dx.begin(), dx.end(), 0.0f);
+    const float* dy = tops[0]->diff().data();
+    // db[o] += sum_i dy[i, o]
     for (int i = 0; i < n; ++i) {
-      const std::size_t xrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
-      const std::size_t yrow = static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
-      for (int o = 0; o < k; ++o) {
-        const float g = dy[yrow + static_cast<std::size_t>(o)];
-        if (g == 0.0f) continue;
-        const std::size_t wrow = static_cast<std::size_t>(o) * static_cast<std::size_t>(d);
-        db[static_cast<std::size_t>(o)] += g;
-        for (int j = 0; j < d; ++j) {
-          dw[wrow + static_cast<std::size_t>(j)] += g * x[xrow + static_cast<std::size_t>(j)];
-          dx[xrow + static_cast<std::size_t>(j)] += g * w[wrow + static_cast<std::size_t>(j)];
-        }
-      }
+      const float* dyrow = dy + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+      for (int o = 0; o < k; ++o) db[static_cast<std::size_t>(o)] += dyrow[o];
     }
+    // dW += dy^T * x ; dx = dy * W
+    math::sgemm(true, false, k, d, n, 1.0f, dy, x, 1.0f, dw);
+    math::sgemm(false, false, n, d, k, 1.0f, dy, w, 0.0f, dx);
   }
 
  private:

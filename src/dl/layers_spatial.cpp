@@ -1,10 +1,16 @@
-// Spatial layers: Convolution, Pooling, LRN (NCHW direct implementations).
+// Spatial layers: Convolution, Pooling, LRN (NCHW implementations).
+//
+// Convolution defaults to Caffe's im2col + GEMM lowering, batch-parallelized
+// over the shared thread pool with per-chunk column buffers; the direct
+// triple-loop form is kept as a reference implementation.
 #include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "dl/layer.h"
+#include "dl/math.h"
+#include "util/thread_pool.h"
 
 namespace scaffe::dl {
 namespace {
@@ -28,9 +34,33 @@ struct Nchw {
   }
 };
 
+/// Visits every in-bounds tap of one output element's receptive field as
+/// (input index, weight index) via the shared Nchw::index helper — the single
+/// source of the direct path's forward/backward index arithmetic.
+template <typename Fn>
+void for_each_conv_tap(const Nchw& in, const Nchw& wv, int kernel, int stride, int pad, int n,
+                       int co, int ho, int wo, Fn&& fn) {
+  for (int ci = 0; ci < in.c; ++ci) {
+    for (int kh = 0; kh < kernel; ++kh) {
+      const int hi = ho * stride - pad + kh;
+      if (hi < 0 || hi >= in.h) continue;
+      for (int kw = 0; kw < kernel; ++kw) {
+        const int wi = wo * stride - pad + kw;
+        if (wi < 0 || wi >= in.w) continue;
+        fn(in.index(n, ci, hi, wi), wv.index(co, ci, kh, kw));
+      }
+    }
+  }
+}
+
 class ConvolutionLayer final : public Layer {
  public:
   using Layer::Layer;
+
+  // Batch chunking for the GEMM path. The chunk count is a fixed constant —
+  // NOT the pool's thread count — so chunk boundaries, per-chunk buffers, and
+  // the chunk-ordered dW/db reduction are identical at any SCAFFE_THREADS.
+  static constexpr int kMaxBatchChunks = 8;
 
   void setup(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops,
              util::Rng& rng) override {
@@ -45,22 +75,34 @@ class ConvolutionLayer final : public Layer {
     const float stddev = std::sqrt(2.0f / fan_in);
     for (float& w : weight_->data()) w = static_cast<float>(rng.normal(0.0, stddev));
     tops[0]->reshape({in.n, spec_.num_output, out_h_, out_w_});
-    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
-      col_.assign(static_cast<std::size_t>(in.c) * static_cast<std::size_t>(k) *
-                      static_cast<std::size_t>(k) * static_cast<std::size_t>(out_h_) *
-                      static_cast<std::size_t>(out_w_),
-                  0.0f);
-    }
+    col_bufs_.clear();
+    dcol_bufs_.clear();
+    dw_parts_.clear();
+    db_parts_.clear();
   }
 
   void forward(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) override {
     if (spec_.conv_impl == ConvImpl::Im2colGemm) {
       forward_gemm(bottoms, tops);
-      return;
+    } else {
+      forward_direct(bottoms, tops);
     }
+  }
+
+  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
+    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
+      backward_gemm(tops, bottoms);
+    } else {
+      backward_direct(tops, bottoms);
+    }
+  }
+
+ private:
+  // --- direct path (reference implementation) -------------------------------
+
+  void forward_direct(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) {
     const Nchw in(*bottoms[0]);
     const Nchw out(*tops[0]);
-    const int k = spec_.kernel;
     auto x = bottoms[0]->data();
     auto w = weight_->data();
     auto b = bias_->data();
@@ -71,17 +113,8 @@ class ConvolutionLayer final : public Layer {
         for (int ho = 0; ho < out.h; ++ho) {
           for (int wo = 0; wo < out.w; ++wo) {
             float acc = b[static_cast<std::size_t>(co)];
-            for (int ci = 0; ci < in.c; ++ci) {
-              for (int kh = 0; kh < k; ++kh) {
-                const int hi = ho * spec_.stride - spec_.pad + kh;
-                if (hi < 0 || hi >= in.h) continue;
-                for (int kw = 0; kw < k; ++kw) {
-                  const int wi = wo * spec_.stride - spec_.pad + kw;
-                  if (wi < 0 || wi >= in.w) continue;
-                  acc += x[in.index(n, ci, hi, wi)] * w[wv.index(co, ci, kh, kw)];
-                }
-              }
-            }
+            for_each_conv_tap(in, wv, spec_.kernel, spec_.stride, spec_.pad, n, co, ho, wo,
+                              [&](std::size_t xi, std::size_t wi) { acc += x[xi] * w[wi]; });
             y[out.index(n, co, ho, wo)] = acc;
           }
         }
@@ -89,14 +122,9 @@ class ConvolutionLayer final : public Layer {
     }
   }
 
-  void backward(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) override {
-    if (spec_.conv_impl == ConvImpl::Im2colGemm) {
-      backward_gemm(tops, bottoms);
-      return;
-    }
+  void backward_direct(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) {
     const Nchw in(*bottoms[0]);
     const Nchw out(*tops[0]);
-    const int k = spec_.kernel;
     auto x = bottoms[0]->data();
     auto dx = bottoms[0]->diff();
     auto w = weight_->data();
@@ -112,43 +140,42 @@ class ConvolutionLayer final : public Layer {
             const float g = dy[out.index(n, co, ho, wo)];
             if (g == 0.0f) continue;
             db[static_cast<std::size_t>(co)] += g;
-            for (int ci = 0; ci < in.c; ++ci) {
-              for (int kh = 0; kh < k; ++kh) {
-                const int hi = ho * spec_.stride - spec_.pad + kh;
-                if (hi < 0 || hi >= in.h) continue;
-                for (int kw = 0; kw < k; ++kw) {
-                  const int wi = wo * spec_.stride - spec_.pad + kw;
-                  if (wi < 0 || wi >= in.w) continue;
-                  dw[wv.index(co, ci, kh, kw)] += g * x[in.index(n, ci, hi, wi)];
-                  dx[in.index(n, ci, hi, wi)] += g * w[wv.index(co, ci, kh, kw)];
-                }
-              }
-            }
+            for_each_conv_tap(in, wv, spec_.kernel, spec_.stride, spec_.pad, n, co, ho, wo,
+                              [&](std::size_t xi, std::size_t wi) {
+                                dw[wi] += g * x[xi];
+                                dx[xi] += g * w[wi];
+                              });
           }
         }
       }
     }
   }
 
- private:
-  // --- im2col + GEMM path (Caffe's actual lowering) ------------------------
+  // --- im2col + GEMM path (Caffe's actual lowering, the default) ------------
 
-  /// Unpacks one image into the column matrix: row (ci,kh,kw), col (ho,wo).
-  void im2col(std::span<const float> image, const Nchw& in) {
+  std::size_t col_rows(const Nchw& in) const noexcept {
+    return static_cast<std::size_t>(in.c) * static_cast<std::size_t>(spec_.kernel) *
+           static_cast<std::size_t>(spec_.kernel);
+  }
+  std::size_t col_cols() const noexcept {
+    return static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+  }
+
+  /// Unpacks one image into a column matrix: row (ci,kh,kw), col (ho,wo).
+  void im2col(const float* image, const Nchw& in, float* col) const {
     const int k = spec_.kernel;
-    const std::size_t cols =
-        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    const std::size_t cols = col_cols();
     std::size_t row = 0;
     for (int ci = 0; ci < in.c; ++ci) {
       for (int kh = 0; kh < k; ++kh) {
         for (int kw = 0; kw < k; ++kw, ++row) {
-          std::size_t col = 0;
+          std::size_t col_idx = 0;
           for (int ho = 0; ho < out_h_; ++ho) {
             const int hi = ho * spec_.stride - spec_.pad + kh;
-            for (int wo = 0; wo < out_w_; ++wo, ++col) {
+            for (int wo = 0; wo < out_w_; ++wo, ++col_idx) {
               const int wi = wo * spec_.stride - spec_.pad + kw;
               const bool inside = hi >= 0 && hi < in.h && wi >= 0 && wi < in.w;
-              col_[row * cols + col] =
+              col[row * cols + col_idx] =
                   inside ? image[(static_cast<std::size_t>(ci) * in.h +
                                   static_cast<std::size_t>(hi)) *
                                      static_cast<std::size_t>(in.w) +
@@ -161,24 +188,23 @@ class ConvolutionLayer final : public Layer {
     }
   }
 
-  /// Scatter-adds the column-matrix gradient back into the image gradient.
-  void col2im_accumulate(std::span<float> dimage, const Nchw& in) {
+  /// Scatter-adds a column-matrix gradient back into one image gradient.
+  void col2im_accumulate(const float* col, const Nchw& in, float* dimage) const {
     const int k = spec_.kernel;
-    const std::size_t cols =
-        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
+    const std::size_t cols = col_cols();
     std::size_t row = 0;
     for (int ci = 0; ci < in.c; ++ci) {
       for (int kh = 0; kh < k; ++kh) {
         for (int kw = 0; kw < k; ++kw, ++row) {
-          std::size_t col = 0;
+          std::size_t col_idx = 0;
           for (int ho = 0; ho < out_h_; ++ho) {
             const int hi = ho * spec_.stride - spec_.pad + kh;
-            for (int wo = 0; wo < out_w_; ++wo, ++col) {
+            for (int wo = 0; wo < out_w_; ++wo, ++col_idx) {
               const int wi = wo * spec_.stride - spec_.pad + kw;
               if (hi >= 0 && hi < in.h && wi >= 0 && wi < in.w) {
                 dimage[(static_cast<std::size_t>(ci) * in.h + static_cast<std::size_t>(hi)) *
                            static_cast<std::size_t>(in.w) +
-                       static_cast<std::size_t>(wi)] += col_[row * cols + col];
+                       static_cast<std::size_t>(wi)] += col[row * cols + col_idx];
               }
             }
           }
@@ -187,95 +213,115 @@ class ConvolutionLayer final : public Layer {
     }
   }
 
+  static std::size_t batch_grain(int n) noexcept {
+    return static_cast<std::size_t>(std::max((n + kMaxBatchChunks - 1) / kMaxBatchChunks, 1));
+  }
+
+  static void ensure_buffers(std::vector<std::vector<float>>& bufs, std::size_t count,
+                             std::size_t size) {
+    if (bufs.size() < count) bufs.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (bufs[i].size() < size) bufs[i].resize(size);
+    }
+  }
+
   void forward_gemm(const std::vector<Blob*>& bottoms, const std::vector<Blob*>& tops) {
     const Nchw in(*bottoms[0]);
-    const std::size_t rows = static_cast<std::size_t>(in.c) *
-                             static_cast<std::size_t>(spec_.kernel) *
-                             static_cast<std::size_t>(spec_.kernel);
-    const std::size_t cols =
-        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
-    auto w = weight_->data();
+    const std::size_t rows = col_rows(in);
+    const std::size_t cols = col_cols();
+    const float* w = weight_->data().data();
     auto b = bias_->data();
+    const float* x = bottoms[0]->data().data();
+    float* y = tops[0]->data().data();
     const std::size_t image_floats = static_cast<std::size_t>(in.c) *
                                      static_cast<std::size_t>(in.h) *
                                      static_cast<std::size_t>(in.w);
     const std::size_t out_floats = static_cast<std::size_t>(spec_.num_output) * cols;
 
-    for (int n = 0; n < in.n; ++n) {
-      im2col(bottoms[0]->data().subspan(static_cast<std::size_t>(n) * image_floats,
-                                        image_floats),
-             in);
-      std::span<float> y =
-          tops[0]->data().subspan(static_cast<std::size_t>(n) * out_floats, out_floats);
-      // y[o, col] = sum_r W[o, r] * col[r, col] + b[o]  (GEMM)
-      for (int o = 0; o < spec_.num_output; ++o) {
-        std::span<float> yo = y.subspan(static_cast<std::size_t>(o) * cols, cols);
-        std::fill(yo.begin(), yo.end(), b[static_cast<std::size_t>(o)]);
-        for (std::size_t r = 0; r < rows; ++r) {
-          const float wv = w[static_cast<std::size_t>(o) * rows + r];
-          if (wv == 0.0f) continue;
-          const float* col_row = col_.data() + r * cols;
-          for (std::size_t c = 0; c < cols; ++c) yo[c] += wv * col_row[c];
-        }
-      }
-    }
+    const std::size_t grain = batch_grain(in.n);
+    const std::size_t chunks = (static_cast<std::size_t>(in.n) + grain - 1) / grain;
+    ensure_buffers(col_bufs_, chunks, rows * cols);
+
+    util::parallel_for(0, static_cast<std::size_t>(in.n), grain,
+                       [&](std::size_t begin, std::size_t end) {
+                         float* col = col_bufs_[begin / grain].data();
+                         for (std::size_t img = begin; img < end; ++img) {
+                           im2col(x + img * image_floats, in, col);
+                           float* yi = y + img * out_floats;
+                           // y[o, col] = b[o] + sum_r W[o, r] * col[r, col]
+                           for (int o = 0; o < spec_.num_output; ++o) {
+                             std::fill(yi + static_cast<std::size_t>(o) * cols,
+                                       yi + static_cast<std::size_t>(o + 1) * cols,
+                                       b[static_cast<std::size_t>(o)]);
+                           }
+                           math::sgemm(false, false, spec_.num_output, static_cast<int>(cols),
+                                       static_cast<int>(rows), 1.0f, w, col, 1.0f, yi);
+                         }
+                       });
   }
 
   void backward_gemm(const std::vector<Blob*>& tops, const std::vector<Blob*>& bottoms) {
     const Nchw in(*bottoms[0]);
-    const std::size_t rows = static_cast<std::size_t>(in.c) *
-                             static_cast<std::size_t>(spec_.kernel) *
-                             static_cast<std::size_t>(spec_.kernel);
-    const std::size_t cols =
-        static_cast<std::size_t>(out_h_) * static_cast<std::size_t>(out_w_);
-    auto w = weight_->data();
+    const std::size_t rows = col_rows(in);
+    const std::size_t cols = col_cols();
+    const float* w = weight_->data().data();
     auto dw = weight_->diff();
     auto db = bias_->diff();
+    const float* x = bottoms[0]->data().data();
+    auto dx = bottoms[0]->diff();
+    const float* dy = tops[0]->diff().data();
     const std::size_t image_floats = static_cast<std::size_t>(in.c) *
                                      static_cast<std::size_t>(in.h) *
                                      static_cast<std::size_t>(in.w);
     const std::size_t out_floats = static_cast<std::size_t>(spec_.num_output) * cols;
 
-    auto dx = bottoms[0]->diff();
+    const std::size_t grain = batch_grain(in.n);
+    const std::size_t chunks = (static_cast<std::size_t>(in.n) + grain - 1) / grain;
+    ensure_buffers(col_bufs_, chunks, rows * cols);
+    ensure_buffers(dcol_bufs_, chunks, rows * cols);
+    ensure_buffers(dw_parts_, chunks, static_cast<std::size_t>(spec_.num_output) * rows);
+    ensure_buffers(db_parts_, chunks, static_cast<std::size_t>(spec_.num_output));
+
     std::fill(dx.begin(), dx.end(), 0.0f);
-    std::vector<float> dcol(rows * cols);
 
-    for (int n = 0; n < in.n; ++n) {
-      im2col(bottoms[0]->data().subspan(static_cast<std::size_t>(n) * image_floats,
-                                        image_floats),
-             in);
-      std::span<const float> dy =
-          tops[0]->diff().subspan(static_cast<std::size_t>(n) * out_floats, out_floats);
+    // Phase 1 — per-image work, parallel over batch chunks. dx slices are
+    // disjoint; dW/db accumulate into per-chunk partial buffers.
+    util::parallel_for(
+        0, static_cast<std::size_t>(in.n), grain, [&](std::size_t begin, std::size_t end) {
+          const std::size_t chunk = begin / grain;
+          float* col = col_bufs_[chunk].data();
+          float* dcol = dcol_bufs_[chunk].data();
+          auto& dw_part = dw_parts_[chunk];
+          auto& db_part = db_parts_[chunk];
+          std::fill(dw_part.begin(), dw_part.end(), 0.0f);
+          std::fill(db_part.begin(), db_part.end(), 0.0f);
+          for (std::size_t img = begin; img < end; ++img) {
+            im2col(x + img * image_floats, in, col);
+            const float* dyi = dy + img * out_floats;
+            // db[o] += sum dy[o, :]
+            for (int o = 0; o < spec_.num_output; ++o) {
+              const float* dyo = dyi + static_cast<std::size_t>(o) * cols;
+              double bias_acc = 0.0;
+              for (std::size_t c = 0; c < cols; ++c) bias_acc += dyo[c];
+              db_part[static_cast<std::size_t>(o)] += static_cast<float>(bias_acc);
+            }
+            // dW[o, r] += dy[o, :] . col[r, :]  (A * B^T)
+            math::sgemm(false, true, spec_.num_output, static_cast<int>(rows),
+                        static_cast<int>(cols), 1.0f, dyi, col, 1.0f, dw_part.data());
+            // dcol = W^T dy, then scatter back (col2im).
+            math::sgemm(true, false, static_cast<int>(rows), static_cast<int>(cols),
+                        spec_.num_output, 1.0f, w, dyi, 0.0f, dcol);
+            col2im_accumulate(dcol, in, dx.data() + img * image_floats);
+          }
+        });
 
-      // dW[o, r] += dy[o, :] . col[r, :]^T ; db[o] += sum dy[o, :]
-      for (int o = 0; o < spec_.num_output; ++o) {
-        std::span<const float> dyo = dy.subspan(static_cast<std::size_t>(o) * cols, cols);
-        double bias_acc = 0.0;
-        for (float v : dyo) bias_acc += v;
-        db[static_cast<std::size_t>(o)] += static_cast<float>(bias_acc);
-        for (std::size_t r = 0; r < rows; ++r) {
-          const float* col_row = col_.data() + r * cols;
-          double acc = 0.0;
-          for (std::size_t c = 0; c < cols; ++c) acc += static_cast<double>(dyo[c]) * col_row[c];
-          dw[static_cast<std::size_t>(o) * rows + r] += static_cast<float>(acc);
-        }
-      }
-
-      // dcol = W^T dy, then scatter back (col2im).
-      std::fill(dcol.begin(), dcol.end(), 0.0f);
-      for (int o = 0; o < spec_.num_output; ++o) {
-        std::span<const float> dyo = dy.subspan(static_cast<std::size_t>(o) * cols, cols);
-        for (std::size_t r = 0; r < rows; ++r) {
-          const float wv = w[static_cast<std::size_t>(o) * rows + r];
-          if (wv == 0.0f) continue;
-          float* dcol_row = dcol.data() + r * cols;
-          for (std::size_t c = 0; c < cols; ++c) dcol_row[c] += wv * dyo[c];
-        }
-      }
-      col_.swap(dcol);  // col2im reads col_
-      col2im_accumulate(dx.subspan(static_cast<std::size_t>(n) * image_floats, image_floats),
-                        in);
-      col_.swap(dcol);
+    // Phase 2 — fold partials in chunk order: deterministic at any thread
+    // count because the chunking above never depends on the pool size.
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const auto& dw_part = dw_parts_[chunk];
+      for (std::size_t i = 0; i < dw.size(); ++i) dw[i] += dw_part[i];
+      const auto& db_part = db_parts_[chunk];
+      for (std::size_t i = 0; i < db.size(); ++i) db[i] += db_part[i];
     }
   }
 
@@ -283,7 +329,12 @@ class ConvolutionLayer final : public Layer {
   int out_w_ = 0;
   Blob* weight_ = nullptr;
   Blob* bias_ = nullptr;
-  std::vector<float> col_;  // im2col staging, one image at a time
+  // Per-chunk staging for the batch-parallel GEMM path (chunk-indexed, so a
+  // fixed image->buffer mapping regardless of which worker runs the chunk).
+  std::vector<std::vector<float>> col_bufs_;
+  std::vector<std::vector<float>> dcol_bufs_;
+  std::vector<std::vector<float>> dw_parts_;
+  std::vector<std::vector<float>> db_parts_;
 };
 
 class PoolingLayer final : public Layer {

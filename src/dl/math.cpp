@@ -1,0 +1,194 @@
+#include "dl/math.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/thread_pool.h"
+
+namespace scaffe::dl::math {
+namespace {
+
+// Panel sizes: a KxJ panel of B (128*128 floats = 64 KB) stays L2-resident
+// while each k-step touches one 512-byte B row slice and one C row slice.
+constexpr int kJBlock = 128;
+constexpr int kKBlock = 128;
+
+// Multiply-accumulates per parallel chunk; rows-per-chunk is derived from the
+// problem shape only, keeping chunk boundaries thread-count-invariant.
+constexpr std::size_t kMacsPerChunk = std::size_t{1} << 21;
+
+std::size_t rows_per_chunk(int n, int k) {
+  const std::size_t row_macs =
+      std::max<std::size_t>(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 1);
+  return std::max<std::size_t>(kMacsPerChunk / row_macs, 1);
+}
+
+/// beta prologue for C rows [i0, i1): scale in place (beta == 0 overwrites).
+void scale_rows(float* c, int ldc, int i0, int i1, float beta) {
+  if (beta == 1.0f) return;
+  float* row = c + static_cast<std::size_t>(i0) * static_cast<std::size_t>(ldc);
+  float* end = c + static_cast<std::size_t>(i1) * static_cast<std::size_t>(ldc);
+  if (beta == 0.0f) {
+    std::fill(row, end, 0.0f);
+  } else {
+    for (; row != end; ++row) *row *= beta;
+  }
+}
+
+/// C rows [i0,i1) += alpha * op(A) * B with B stored K×N. The i-k-j order
+/// streams B rows (vectorizable over j); k is register-blocked by 4, which
+/// fixes each C element's accumulation order independent of threading.
+template <bool TransA>
+void accumulate_rows_bn(int i0, int i1, int m, int n, int k, float alpha, const float* a,
+                        const float* b, float* c) {
+  const auto a_at = [&](int i, int p) -> float {
+    if constexpr (TransA) {
+      return a[static_cast<std::size_t>(p) * static_cast<std::size_t>(m) +
+               static_cast<std::size_t>(i)];
+    } else {
+      return a[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+               static_cast<std::size_t>(p)];
+    }
+  };
+  for (int jj = 0; jj < n; jj += kJBlock) {
+    const int jend = std::min(jj + kJBlock, n);
+    for (int kk = 0; kk < k; kk += kKBlock) {
+      const int kend = std::min(kk + kKBlock, k);
+      for (int i = i0; i < i1; ++i) {
+        float* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+        int p = kk;
+        for (; p + 4 <= kend; p += 4) {
+          const float a0 = alpha * a_at(i, p);
+          const float a1 = alpha * a_at(i, p + 1);
+          const float a2 = alpha * a_at(i, p + 2);
+          const float a3 = alpha * a_at(i, p + 3);
+          const float* b0 = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
+          const float* b1 = b0 + n;
+          const float* b2 = b1 + n;
+          const float* b3 = b2 + n;
+          for (int j = jj; j < jend; ++j) {
+            crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+        }
+        for (; p < kend; ++p) {
+          const float a0 = alpha * a_at(i, p);
+          const float* b0 = b + static_cast<std::size_t>(p) * static_cast<std::size_t>(n);
+          for (int j = jj; j < jend; ++j) crow[j] += a0 * b0[j];
+        }
+      }
+    }
+  }
+}
+
+/// C rows [i0,i1) += alpha * A * B^T with A stored M×K, B stored N×K: both
+/// operands are contiguous rows, so each C element is a dot product. Four
+/// partial sums combine in a fixed order before the tail.
+void accumulate_rows_nt(int i0, int i1, int n, int k, float alpha, const float* a,
+                        const float* b, float* c) {
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    float* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * static_cast<std::size_t>(k);
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        s0 += arow[p] * brow[p];
+        s1 += arow[p + 1] * brow[p + 1];
+        s2 += arow[p + 2] * brow[p + 2];
+        s3 += arow[p + 3] * brow[p + 3];
+      }
+      float s = (s0 + s1) + (s2 + s3);
+      for (; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+/// C rows [i0,i1) += alpha * A^T * B^T (both strided; rare, kept simple).
+void accumulate_rows_tt(int i0, int i1, int m, int n, int k, float alpha, const float* a,
+                        const float* b, float* c) {
+  for (int i = i0; i < i1; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * static_cast<std::size_t>(k);
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<std::size_t>(p) * static_cast<std::size_t>(m) +
+               static_cast<std::size_t>(i)] *
+             brow[p];
+      }
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha, const float* a,
+           const float* b, float beta, float* c) {
+  if (m <= 0 || n <= 0) return;
+  const std::size_t grain = rows_per_chunk(n, k);
+  util::parallel_for(
+      0, static_cast<std::size_t>(m), grain, [&](std::size_t block_begin, std::size_t block_end) {
+        const int i0 = static_cast<int>(block_begin);
+        const int i1 = static_cast<int>(block_end);
+        scale_rows(c, n, i0, i1, beta);
+        if (k <= 0 || alpha == 0.0f) return;
+        if (!trans_b) {
+          if (trans_a) {
+            accumulate_rows_bn<true>(i0, i1, m, n, k, alpha, a, b, c);
+          } else {
+            accumulate_rows_bn<false>(i0, i1, m, n, k, alpha, a, b, c);
+          }
+        } else if (!trans_a) {
+          accumulate_rows_nt(i0, i1, n, k, alpha, a, b, c);
+        } else {
+          accumulate_rows_tt(i0, i1, m, n, k, alpha, a, b, c);
+        }
+      });
+}
+
+void gemv(bool trans, int m, int n, float alpha, const float* a, const float* x, float beta,
+          float* y) {
+  if (!trans) {
+    // y_i = alpha * dot(A row i, x) + beta * y_i
+    if (m <= 0) return;
+    const std::size_t grain = rows_per_chunk(n, 1);
+    util::parallel_for(0, static_cast<std::size_t>(m), grain,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const float* arow = a + i * static_cast<std::size_t>(n);
+                           float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+                           int p = 0;
+                           for (; p + 4 <= n; p += 4) {
+                             s0 += arow[p] * x[p];
+                             s1 += arow[p + 1] * x[p + 1];
+                             s2 += arow[p + 2] * x[p + 2];
+                             s3 += arow[p + 3] * x[p + 3];
+                           }
+                           float s = (s0 + s1) + (s2 + s3);
+                           for (; p < n; ++p) s += arow[p] * x[p];
+                           y[i] = (beta == 0.0f ? 0.0f : beta * y[i]) + alpha * s;
+                         }
+                       });
+    return;
+  }
+  // y_j = alpha * sum_i A[i][j] * x_i + beta * y_j; parallel over j ranges,
+  // each accumulating i in ascending order.
+  if (n <= 0) return;
+  const std::size_t grain = rows_per_chunk(m, 1);
+  util::parallel_for(0, static_cast<std::size_t>(n), grain,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t j = begin; j < end; ++j) {
+                         y[j] = beta == 0.0f ? 0.0f : beta * y[j];
+                       }
+                       for (int i = 0; i < m; ++i) {
+                         const float xi = alpha * x[i];
+                         const float* arow = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+                         for (std::size_t j = begin; j < end; ++j) y[j] += xi * arow[j];
+                       }
+                     });
+}
+
+}  // namespace scaffe::dl::math

@@ -1,0 +1,24 @@
+// Blocked CPU SGEMM/GEMV for the functional substrate (row-major floats).
+//
+// Caffe lowers its hot layers (convolution via im2col, inner product) onto a
+// multithreaded BLAS; this is that substrate's equivalent. All matrices are
+// row-major with tight leading dimensions. Work is split over row blocks of C
+// whose boundaries depend only on the problem shape — never on the thread
+// count — and each C element accumulates its K products in a fixed order, so
+// results are bitwise identical at any SCAFFE_THREADS setting.
+#pragma once
+
+namespace scaffe::dl::math {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// op(A) is M×K (A stored K×M when trans_a), op(B) is K×N (B stored N×K when
+/// trans_b), C is M×N. beta == 0 overwrites C without reading it.
+void sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha, const float* a,
+           const float* b, float beta, float* c);
+
+/// y = alpha * op(A) * x + beta * y, with A stored m×n row-major.
+/// op(A) is A (y has m elements) or A^T when `trans` (y has n elements).
+void gemv(bool trans, int m, int n, float alpha, const float* a, const float* x, float beta,
+          float* y);
+
+}  // namespace scaffe::dl::math

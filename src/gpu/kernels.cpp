@@ -3,29 +3,73 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/thread_pool.h"
+
 namespace scaffe::gpu {
+
+namespace {
+
+// Spans at or above the threshold go through the shared pool in fixed-size
+// chunks; below it the serial loop wins. The element-wise kernels partition
+// disjoint index ranges, so parallel results are bitwise identical to the
+// serial ones at any thread count.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 16;
+constexpr std::size_t kParallelGrain = std::size_t{1} << 15;
+
+}  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  if (x.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+    return;
+  }
+  util::parallel_for(0, x.size(), kParallelGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+  });
 }
 
 void accumulate(std::span<const float> src, std::span<float> acc) noexcept {
   assert(src.size() == acc.size());
-  for (std::size_t i = 0; i < src.size(); ++i) acc[i] += src[i];
+  if (src.size() < kParallelThreshold) {
+    for (std::size_t i = 0; i < src.size(); ++i) acc[i] += src[i];
+    return;
+  }
+  util::parallel_for(0, src.size(), kParallelGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) acc[i] += src[i];
+  });
 }
 
 void copy(std::span<const float> src, std::span<float> dst) noexcept {
   assert(src.size() == dst.size());
-  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size_bytes());
+  if (src.empty()) return;
+  if (src.size() < kParallelThreshold) {
+    std::memcpy(dst.data(), src.data(), src.size_bytes());
+    return;
+  }
+  util::parallel_for(0, src.size(), kParallelGrain, [&](std::size_t begin, std::size_t end) {
+    std::memcpy(dst.data() + begin, src.data() + begin, (end - begin) * sizeof(float));
+  });
 }
 
 void scale(float alpha, std::span<float> x) noexcept {
-  for (float& v : x) v *= alpha;
+  if (x.size() < kParallelThreshold) {
+    for (float& v : x) v *= alpha;
+    return;
+  }
+  util::parallel_for(0, x.size(), kParallelGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) x[i] *= alpha;
+  });
 }
 
 void fill(float value, std::span<float> x) noexcept {
-  for (float& v : x) v = value;
+  if (x.size() < kParallelThreshold) {
+    for (float& v : x) v = value;
+    return;
+  }
+  util::parallel_for(0, x.size(), kParallelGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) x[i] = value;
+  });
 }
 
 double sum(std::span<const float> x) noexcept {
@@ -44,11 +88,18 @@ double dot(std::span<const float> x, std::span<const float> y) noexcept {
 void sgd_update(std::span<float> param, std::span<const float> grad, std::span<float> momentum_buf,
                 float lr, float momentum, float weight_decay) noexcept {
   assert(param.size() == grad.size() && param.size() == momentum_buf.size());
-  for (std::size_t i = 0; i < param.size(); ++i) {
-    const float g = grad[i] + weight_decay * param[i];
-    momentum_buf[i] = momentum * momentum_buf[i] - lr * g;
-    param[i] += momentum_buf[i];
+  auto update_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float g = grad[i] + weight_decay * param[i];
+      momentum_buf[i] = momentum * momentum_buf[i] - lr * g;
+      param[i] += momentum_buf[i];
+    }
+  };
+  if (param.size() < kParallelThreshold) {
+    update_range(0, param.size());
+    return;
   }
+  util::parallel_for(0, param.size(), kParallelGrain, update_range);
 }
 
 void launch_accumulate(Stream& stream, std::span<const float> src, std::span<float> acc) {

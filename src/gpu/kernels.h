@@ -1,5 +1,10 @@
 // Float "kernels" used by solvers and reductions. Synchronous forms operate
 // on spans; `launch_*` forms enqueue onto a Stream (async, in-order).
+//
+// Element-wise kernels (axpy/accumulate/copy/scale/fill/sgd_update) run over
+// the shared util::ThreadPool above a size threshold; disjoint index ranges
+// keep parallel results bitwise identical to serial at any SCAFFE_THREADS.
+// Reductions (sum/dot) stay serial for a fixed accumulation order.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,167 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace scaffe::util {
+
+namespace {
+
+thread_local bool t_in_chunk = false;
+
+int clamp_threads(int threads) { return std::max(threads, 1); }
+
+int default_threads() {
+  if (const char* env = std::getenv("SCAFFE_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<int>(hw) : 1;
+}
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;  // NOLINT: joined via unique_ptr reset/exit
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(clamp_threads(threads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return t_in_chunk; }
+
+void ThreadPool::start_workers_locked() {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  started_ = true;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t generation;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || (job_active_ && generation_ != seen); });
+      if (stop_) return;
+      generation = generation_;
+    }
+    seen = generation;
+    run_chunks(generation);
+  }
+}
+
+bool ThreadPool::claim_chunk(std::uint64_t generation, std::size_t& chunk_begin,
+                             std::size_t& chunk_end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (generation != generation_ || !job_active_ || next_chunk_ >= job_chunks_) return false;
+  const std::size_t chunk = next_chunk_++;
+  chunk_begin = job_begin_ + chunk * job_grain_;
+  chunk_end = std::min(chunk_begin + job_grain_, job_end_);
+  return true;
+}
+
+void ThreadPool::complete_chunk(std::uint64_t generation, std::exception_ptr error) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (generation != generation_) return;
+    if (error && !job_error_) job_error_ = error;
+    last = ++done_chunks_ == job_chunks_;
+    if (last) job_active_ = false;
+  }
+  if (last) done_cv_.notify_all();
+}
+
+void ThreadPool::run_chunks(std::uint64_t generation) {
+  const bool was_in_chunk = t_in_chunk;
+  t_in_chunk = true;
+  std::size_t chunk_begin = 0;
+  std::size_t chunk_end = 0;
+  while (claim_chunk(generation, chunk_begin, chunk_end)) {
+    std::exception_ptr error;
+    try {
+      (*job_fn_)(chunk_begin, chunk_end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    complete_chunk(generation, error);
+  }
+  t_in_chunk = was_in_chunk;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+
+  auto run_inline = [&] {
+    for (std::size_t b = begin; b < end; b += grain) fn(b, std::min(b + grain, end));
+  };
+
+  if (threads_ <= 1 || chunks <= 1 || t_in_chunk) {
+    run_inline();
+    return;
+  }
+  std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+  if (!submit.owns_lock()) {
+    // Another thread owns the pool; degrade to inline rather than queue, so
+    // concurrent rank/stream threads never serialize behind each other.
+    run_inline();
+    return;
+  }
+
+  std::uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) start_workers_locked();
+    generation = ++generation_;
+    job_fn_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_chunks_ = chunks;
+    next_chunk_ = 0;
+    done_chunks_ = 0;
+    job_error_ = nullptr;
+    job_active_ = true;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(generation);  // the submitting thread participates
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return done_chunks_ == job_chunks_; });
+    error = job_error_;
+    job_error_ = nullptr;
+    job_fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(clamp_threads(threads));
+}
+
+}  // namespace scaffe::util

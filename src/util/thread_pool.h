@@ -1,0 +1,92 @@
+// Shared worker pool behind every parallel loop in the functional substrate.
+//
+// parallel_for splits [begin, end) into fixed `grain`-sized chunks whose
+// boundaries depend only on the range and the grain — never on the thread
+// count — so any computation whose per-chunk work is self-contained (or that
+// reduces chunk partials in chunk order afterwards) produces bitwise-identical
+// results under SCAFFE_THREADS=1 and SCAFFE_THREADS=64.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scaffe::util {
+
+class ThreadPool {
+ public:
+  /// A pool that runs jobs on up to `threads` threads including the caller
+  /// (clamped to >= 1). Worker threads start lazily on the first job that
+  /// actually goes parallel; a 1-thread pool never spawns anything.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const noexcept { return threads_; }
+
+  /// Runs fn(chunk_begin, chunk_end) over every grain-sized chunk of
+  /// [begin, end). Falls back to inline execution (with identical chunk
+  /// boundaries) when the range is a single chunk, the pool has one thread,
+  /// the call is nested inside a running chunk, or another caller currently
+  /// owns the pool — so concurrent callers (scmpi rank threads, streams)
+  /// never block on each other. The first exception thrown by fn is
+  /// rethrown on the calling thread after the job drains.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True on a thread currently executing a parallel_for chunk.
+  static bool in_parallel_region() noexcept;
+
+  /// Process-wide pool. Thread count comes from the SCAFFE_THREADS
+  /// environment variable, else hardware_concurrency(), clamped to >= 1.
+  static ThreadPool& global();
+
+  /// Replaces the global pool (bench/test hook). Only safe while no
+  /// parallel_for is in flight; references from global() are invalidated.
+  static void set_global_threads(int threads);
+
+ private:
+  void start_workers_locked();
+  void worker_loop();
+  void run_chunks(std::uint64_t generation);
+  bool claim_chunk(std::uint64_t generation, std::size_t& chunk_begin, std::size_t& chunk_end);
+  void complete_chunk(std::uint64_t generation, std::exception_ptr error);
+
+  const int threads_;
+
+  std::mutex submit_mutex_;  // held by the thread that owns the current job
+
+  std::mutex mutex_;  // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stop_ = false;
+
+  // Current job; chunk claims are mutex-protected (chunks are coarse by
+  // construction, so the lock is off the hot path).
+  std::uint64_t generation_ = 0;
+  bool job_active_ = false;
+  const std::function<void(std::size_t, std::size_t)>* job_fn_ = nullptr;
+  std::size_t job_begin_ = 0;
+  std::size_t job_end_ = 0;
+  std::size_t job_grain_ = 1;
+  std::size_t job_chunks_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t done_chunks_ = 0;
+  std::exception_ptr job_error_;
+};
+
+/// Convenience wrapper over the global pool.
+inline void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace scaffe::util

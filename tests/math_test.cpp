@@ -1,0 +1,254 @@
+// Tests for the blocked SGEMM/GEMV math core and the thread-count
+// determinism guarantees of the parallel functional substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dl/math.h"
+#include "dl/net.h"
+#include "gpu/kernels.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace scaffe {
+namespace {
+
+std::vector<float> random_vec(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> out(count);
+  for (float& v : out) v = static_cast<float>(rng.normal());
+  return out;
+}
+
+/// Naive triple-loop reference, double accumulation.
+void naive_gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+                const std::vector<float>& a, const std::vector<float>& b, float beta,
+                std::vector<float>& c) {
+  auto a_at = [&](int i, int p) { return trans_a ? a[static_cast<std::size_t>(p) * m + i]
+                                                 : a[static_cast<std::size_t>(i) * k + p]; };
+  auto b_at = [&](int p, int j) { return trans_b ? b[static_cast<std::size_t>(j) * k + p]
+                                                 : b[static_cast<std::size_t>(p) * n + j]; };
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += static_cast<double>(a_at(i, p)) * b_at(p, j);
+      const std::size_t idx = static_cast<std::size_t>(i) * n + j;
+      const double base = beta == 0.0f ? 0.0 : static_cast<double>(beta) * c[idx];
+      c[idx] = static_cast<float>(base + static_cast<double>(alpha) * acc);
+    }
+  }
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+// Odd shapes straddling the tile sizes (128-column/row panels, 4-wide
+// register blocking), including non-multiples on every axis.
+const GemmShape kShapes[] = {{1, 1, 1},   {3, 5, 7},    {17, 9, 33},  {32, 32, 32},
+                             {33, 65, 129}, {64, 48, 257}, {5, 130, 131}, {129, 7, 4}};
+
+TEST(SgemmTest, MatchesNaiveAcrossShapesAndTransposes) {
+  util::ThreadPool::set_global_threads(4);
+  for (const GemmShape& shape : kShapes) {
+    const auto [m, n, k] = shape;
+    for (const bool trans_a : {false, true}) {
+      for (const bool trans_b : {false, true}) {
+        const auto a = random_vec(static_cast<std::size_t>(m) * k, 11);
+        const auto b = random_vec(static_cast<std::size_t>(k) * n, 23);
+        std::vector<float> c = random_vec(static_cast<std::size_t>(m) * n, 37);
+        std::vector<float> expect = c;
+        dl::math::sgemm(trans_a, trans_b, m, n, k, 1.25f, a.data(), b.data(), 0.5f, c.data());
+        naive_gemm(trans_a, trans_b, m, n, k, 1.25f, a, b, 0.5f, expect);
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          ASSERT_NEAR(c[i], expect[i], 1e-3f)
+              << "m=" << m << " n=" << n << " k=" << k << " ta=" << trans_a
+              << " tb=" << trans_b << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SgemmTest, BetaZeroOverwritesWithoutReading) {
+  const int m = 9, n = 13, k = 5;
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, 3);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, 5);
+  // Garbage (NaN) in C must not leak through beta == 0.
+  std::vector<float> c(static_cast<std::size_t>(m) * n, std::nanf(""));
+  std::vector<float> expect(c.size(), 0.0f);
+  dl::math::sgemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  naive_gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, expect);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_NEAR(c[i], expect[i], 1e-3f) << i;
+}
+
+TEST(GemvTest, MatchesNaiveBothOrientations) {
+  const int m = 37, n = 129;
+  const auto a = random_vec(static_cast<std::size_t>(m) * n, 7);
+  const auto x = random_vec(static_cast<std::size_t>(n), 9);
+  const auto xt = random_vec(static_cast<std::size_t>(m), 13);
+
+  std::vector<float> y = random_vec(static_cast<std::size_t>(m), 17);
+  std::vector<float> y_ref = y;
+  dl::math::gemv(false, m, n, 2.0f, a.data(), x.data(), 0.5f, y.data());
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += static_cast<double>(a[static_cast<std::size_t>(i) * n + j]) * x[static_cast<std::size_t>(j)];
+    y_ref[static_cast<std::size_t>(i)] =
+        static_cast<float>(0.5 * y_ref[static_cast<std::size_t>(i)] + 2.0 * acc);
+  }
+  for (int i = 0; i < m; ++i) ASSERT_NEAR(y[static_cast<std::size_t>(i)], y_ref[static_cast<std::size_t>(i)], 1e-3f) << i;
+
+  std::vector<float> z(static_cast<std::size_t>(n), 1.0f);
+  std::vector<float> z_ref = z;
+  dl::math::gemv(true, m, n, 1.0f, a.data(), xt.data(), 1.0f, z.data());
+  for (int j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (int i = 0; i < m; ++i) acc += static_cast<double>(a[static_cast<std::size_t>(i) * n + j]) * xt[static_cast<std::size_t>(i)];
+    z_ref[static_cast<std::size_t>(j)] += static_cast<float>(acc);
+  }
+  for (int j = 0; j < n; ++j) ASSERT_NEAR(z[static_cast<std::size_t>(j)], z_ref[static_cast<std::size_t>(j)], 1e-3f) << j;
+}
+
+// --- direct vs im2col-GEMM conv parity (multithreaded pool active) ----------
+
+dl::NetSpec conv_net(dl::ConvImpl impl) {
+  dl::NetSpec spec;
+  spec.name = "math_conv";
+  spec.inputs = {{"data", {6, 3, 11, 11}}, {"label", {6}}};
+  dl::LayerSpec conv = dl::LayerSpec::conv("c", "data", "c", 5, 3, 1, 1);
+  conv.conv_impl = impl;
+  spec.layers = {std::move(conv), dl::LayerSpec::softmax_loss("loss", "c", "label", "loss")};
+  return spec;
+}
+
+void load_inputs(dl::Net& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (float& v : net.blob("data").data()) v = static_cast<float>(rng.normal());
+  for (float& v : net.blob("label").data()) v = static_cast<float>(rng.below(5));
+}
+
+TEST(ConvParityTest, DirectAndGemmAgreeForwardBackward) {
+  util::ThreadPool::set_global_threads(4);
+  dl::Net direct(conv_net(dl::ConvImpl::Direct), 21);
+  dl::Net gemm(conv_net(dl::ConvImpl::Im2colGemm), 21);
+  load_inputs(direct, 5);
+  load_inputs(gemm, 5);
+  for (dl::Net* net : {&direct, &gemm}) {
+    net->zero_param_diffs();
+    net->forward();
+    net->backward();
+  }
+  const auto ya = direct.blob("c").data();
+  const auto yb = gemm.blob("c").data();
+  ASSERT_EQ(ya.size(), yb.size());
+  for (std::size_t i = 0; i < ya.size(); ++i) ASSERT_NEAR(ya[i], yb[i], 1e-4f) << "y " << i;
+
+  std::vector<float> ga(direct.param_count());
+  std::vector<float> gb(gemm.param_count());
+  direct.flatten_diffs(ga);
+  gemm.flatten_diffs(gb);
+  for (std::size_t i = 0; i < ga.size(); ++i) ASSERT_NEAR(ga[i], gb[i], 1e-4f) << "dp " << i;
+
+  const auto dxa = direct.blob("data").diff();
+  const auto dxb = gemm.blob("data").diff();
+  for (std::size_t i = 0; i < dxa.size(); ++i) ASSERT_NEAR(dxa[i], dxb[i], 1e-4f) << "dx " << i;
+}
+
+// --- thread-count determinism ----------------------------------------------
+
+dl::NetSpec deterministic_net() {
+  dl::NetSpec spec;
+  spec.name = "det";
+  spec.inputs = {{"data", {8, 3, 13, 13}}, {"label", {8}}};
+  spec.layers = {
+      dl::LayerSpec::conv("conv1", "data", "conv1", 8, 3, 1, 1),
+      dl::LayerSpec::relu("relu1", "conv1", "conv1r"),
+      dl::LayerSpec::pool("pool1", "conv1r", "pool1", 2, 2),
+      dl::LayerSpec::inner_product("ip1", "pool1", "ip1", 10),
+      dl::LayerSpec::softmax_loss("loss", "ip1", "label", "loss"),
+  };
+  return spec;
+}
+
+struct NetRun {
+  float loss;
+  std::vector<float> output;
+  std::vector<float> param_diffs;
+  std::vector<float> input_diff;
+};
+
+NetRun run_net_at(int threads) {
+  util::ThreadPool::set_global_threads(threads);
+  dl::Net net(deterministic_net(), 42);
+  load_inputs(net, 9);
+  for (float& v : net.blob("label").data()) v = std::min(v, 9.0f);
+  net.zero_param_diffs();
+  NetRun run;
+  run.loss = net.forward();
+  net.backward();
+  const auto y = net.blob("ip1").data();
+  run.output.assign(y.begin(), y.end());
+  run.param_diffs.resize(net.param_count());
+  net.flatten_diffs(run.param_diffs);
+  const auto dx = net.blob("data").diff();
+  run.input_diff.assign(dx.begin(), dx.end());
+  return run;
+}
+
+TEST(DeterminismTest, NetForwardBackwardBitwiseIdenticalAcrossThreadCounts) {
+  const NetRun one = run_net_at(1);
+  const NetRun eight = run_net_at(8);
+  util::ThreadPool::set_global_threads(1);
+  EXPECT_EQ(one.loss, eight.loss);
+  EXPECT_EQ(one.output, eight.output);          // bitwise: no tolerance
+  EXPECT_EQ(one.param_diffs, eight.param_diffs);
+  EXPECT_EQ(one.input_diff, eight.input_diff);
+}
+
+TEST(DeterminismTest, ParallelKernelsBitwiseIdenticalAcrossThreadCounts) {
+  const std::size_t count = (std::size_t{1} << 18) + 353;  // above threshold, odd tail
+  const auto grad = random_vec(count, 31);
+
+  auto run = [&](int threads) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<float> param = random_vec(count, 41);
+    std::vector<float> momentum = random_vec(count, 43);
+    gpu::sgd_update(param, grad, momentum, 0.01f, 0.9f, 0.0005f);
+    gpu::axpy(0.5f, grad, param);
+    gpu::scale(0.999f, param);
+    return param;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  util::ThreadPool::set_global_threads(1);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnceAndPropagatesExceptions) {
+  util::ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];  // chunks are disjoint
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1) << i;
+
+  EXPECT_THROW(pool.parallel_for(0, 100, 10,
+                                 [](std::size_t begin, std::size_t) {
+                                   if (begin == 50) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+
+  // Nested calls run inline instead of deadlocking on the pool.
+  std::vector<int> nested(64, 0);
+  pool.parallel_for(0, 8, 1, [&](std::size_t outer_begin, std::size_t) {
+    pool.parallel_for(0, 8, 1, [&](std::size_t inner_begin, std::size_t) {
+      ++nested[outer_begin * 8 + inner_begin];
+    });
+  });
+  for (std::size_t i = 0; i < nested.size(); ++i) ASSERT_EQ(nested[i], 1) << i;
+}
+
+}  // namespace
+}  // namespace scaffe
