@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full verification: build + test twice — once plain, once under TSan.
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # plain pass only
+#
+# The TSan pass exists because the interesting subsystems here are threaded
+# (scmpi rank threads, the SC-OBR helper thread, the math pool, fault-injected
+# delays); a green plain run is not evidence of race-freedom.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run_pass() {
+  local dir="$1"; shift
+  echo "==> configure ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> build ${dir}"
+  cmake --build "${dir}" -j "${jobs}"
+  echo "==> ctest ${dir}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_pass build
+
+if [[ "${fast}" -eq 0 ]]; then
+  # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
+  # pool serial under TSan so runtimes stay sane. Determinism is unaffected.
+  SCAFFE_THREADS=1 run_pass build-tsan -DSCAFFE_SANITIZE=thread
+fi
+
+echo "==> all checks passed"

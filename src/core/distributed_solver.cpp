@@ -101,7 +101,16 @@ void DistributedSolver::aggregate_overlapped() {
   std::condition_variable cv;
   std::vector<bool> done(num_layers, false);
 
-  std::thread helper([&] {
+  // Joining guard: if a reduce below unwinds (world abort, timeout), the
+  // helper — which only computes, so it always finishes — must still be
+  // joined before destruction or the whole process would std::terminate.
+  struct JoiningThread {
+    std::thread thread;
+    ~JoiningThread() {
+      if (thread.joinable()) thread.join();
+    }
+  };
+  JoiningThread helper{std::thread([&] {
     for (std::size_t li = num_layers; li-- > 0;) {
       net.backward_layer(li);
       {
@@ -110,7 +119,7 @@ void DistributedSolver::aggregate_overlapped() {
       }
       cv.notify_all();
     }
-  });
+  })};
 
   for (std::size_t li = num_layers; li-- > 0;) {
     {
@@ -124,7 +133,6 @@ void DistributedSolver::aggregate_overlapped() {
     comm_.reduce(segment, 0);
     if (is_root()) net.unflatten_layer_diffs(li, segment);
   }
-  helper.join();
 }
 
 void DistributedSolver::root_update() {

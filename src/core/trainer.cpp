@@ -1,9 +1,11 @@
 #include "core/trainer.h"
 
+#include <mutex>
 #include <stdexcept>
 
 #include "data/reader.h"
 #include "dl/snapshot.h"
+#include "util/fault.h"
 
 namespace scaffe::core {
 
@@ -25,25 +27,53 @@ Trainer::Trainer(mpi::Comm& comm, data::ReadBackend& backend, std::size_t sample
   } else {
     shard_batch_ = config_.global_batch;  // weak scaling: constant per GPU
   }
+  if (config_.start_iteration < 0 || config_.start_iteration > config_.iterations) {
+    throw std::runtime_error("Trainer: start_iteration out of range");
+  }
+  if (config_.start_iteration > 0 && config_.snapshot_path.empty()) {
+    throw std::runtime_error("Trainer: resume requires a snapshot_path");
+  }
 }
 
 TrainerReport Trainer::run() {
   TrainerReport report;
+  auto& faults = util::FaultInjector::instance();
 
   data::DataReader reader(backend_, comm_.rank(), comm_.size(), shard_batch_,
-                          sample_floats_, /*queue_capacity=*/4,
-                          config_.shuffle_epoch_size);
+                          sample_floats_, /*queue_capacity=*/4, config_.shuffle_epoch_size,
+                          /*shuffle_seed=*/2017,
+                          static_cast<std::uint64_t>(config_.start_iteration));
   DistributedSolver solver(comm_, net_factory_(shard_batch_), config_.solver,
                            config_.scaffe);
 
-  for (int iteration = 0; iteration < config_.iterations; ++iteration) {
+  if (config_.start_iteration > 0) {
+    // Recovery path: every rank restores the full solver checkpoint (params
+    // + momentum + iteration), so the resumed trajectory is bitwise the one
+    // the uninterrupted run would have followed.
+    dl::load_solver(solver.solver(), config_.snapshot_path);
+    if (solver.solver().iteration() != config_.start_iteration) {
+      throw std::runtime_error("Trainer: snapshot iteration " +
+                               std::to_string(solver.solver().iteration()) +
+                               " does not match resume point " +
+                               std::to_string(config_.start_iteration));
+    }
+    report.recovery.resumed_iteration = config_.start_iteration;
+  }
+
+  for (int iteration = config_.start_iteration; iteration < config_.iterations;
+       ++iteration) {
+    // Rank-crash-at-iteration hook: in a real cluster this is the process
+    // dying; here it throws, the world aborts, and recovery takes over.
+    faults.check_crash(comm_.rank(), iteration);
+
     const data::Batch batch = reader.next();
     const IterationResult result = solver.train_iteration(batch.data, batch.labels);
     if (solver.is_root()) report.root_losses.push_back(result.local_loss);
 
     if (config_.snapshot_every > 0 && (iteration + 1) % config_.snapshot_every == 0) {
       if (solver.is_root() && !config_.snapshot_path.empty()) {
-        dl::save_params(solver.solver().net(), config_.snapshot_path);
+        const int attempts = dl::save_solver(solver.solver(), config_.snapshot_path);
+        report.recovery.snapshot_write_retries += attempts - 1;
         ++report.snapshots_written;
       }
       // Snapshots are a synchronization point in Caffe's workflow.
@@ -52,11 +82,84 @@ TrainerReport Trainer::run() {
   }
 
   report.iterations = solver.solver().iteration();
-  report.samples_trained = static_cast<std::uint64_t>(config_.iterations) *
-                           static_cast<std::uint64_t>(shard_batch_) *
-                           static_cast<std::uint64_t>(comm_.size());
+  report.samples_trained =
+      static_cast<std::uint64_t>(config_.iterations - config_.start_iteration) *
+      static_cast<std::uint64_t>(shard_batch_) * static_cast<std::uint64_t>(comm_.size());
   report.batches_read = reader.batches_produced();
+  if (solver.is_root()) {
+    report.final_params.resize(solver.solver().net().param_count());
+    solver.solver().net().flatten_params(report.final_params);
+  }
   return report;
+}
+
+TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
+                                  std::size_t sample_floats, NetSpecFactory net_factory,
+                                  TrainerConfig config, int max_restarts) {
+  RecoveryEvents recovery;
+  int start_iteration = config.start_iteration;
+
+  mpi::Runtime runtime(nranks);
+  if (config.recv_timeout_ms > 0) {
+    runtime.set_recv_timeout(std::chrono::milliseconds(config.recv_timeout_ms));
+  }
+
+  for (;;) {
+    std::mutex mutex;
+    TrainerReport root_report;
+    bool have_root_report = false;
+
+    bool restartable_failure = false;
+    try {
+      runtime.run([&](mpi::Comm& comm) {
+        TrainerConfig attempt_config = config;
+        attempt_config.start_iteration = start_iteration;
+        Trainer trainer(comm, backend, sample_floats, net_factory, attempt_config);
+        TrainerReport report = trainer.run();
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(mutex);
+          root_report = std::move(report);
+          have_root_report = true;
+        }
+      });
+    } catch (const mpi::TimeoutError&) {
+      ++recovery.timeouts;
+      restartable_failure = true;
+    } catch (const util::InjectedCrash&) {
+      restartable_failure = true;
+    } catch (const mpi::AbortError&) {
+      restartable_failure = true;
+    }
+    // Anything else (config errors, corrupt-beyond-recovery checkpoints,
+    // logic bugs) propagates: restarting would not help.
+
+    if (!restartable_failure) {
+      if (!have_root_report) {
+        throw std::runtime_error("train_with_recovery: no report from rank 0");
+      }
+      root_report.recovery.restarts = recovery.restarts;
+      root_report.recovery.timeouts = recovery.timeouts;
+      root_report.recovery.snapshot_write_retries += recovery.snapshot_write_retries;
+      if (recovery.restarts > 0) {
+        root_report.recovery.resumed_iteration = recovery.resumed_iteration;
+      }
+      root_report.recovery.faults_fired = util::FaultInjector::instance().stats().total();
+      return root_report;
+    }
+
+    ++recovery.restarts;
+    if (recovery.restarts > max_restarts) {
+      throw std::runtime_error("train_with_recovery: restart budget (" +
+                               std::to_string(max_restarts) + ") exhausted");
+    }
+
+    // Resume from the last good checkpoint, or from scratch when none (or a
+    // corrupted one) exists — probe_snapshot validates CRC and structure.
+    const auto info = dl::probe_snapshot(config.snapshot_path);
+    start_iteration =
+        (info && info->iteration > 0) ? static_cast<int>(info->iteration) : 0;
+    recovery.resumed_iteration = start_iteration;
+  }
 }
 
 }  // namespace scaffe::core

@@ -1,7 +1,7 @@
 // High-level training orchestration: wires the parallel data readers
 // (Figure 3), the per-rank DistributedSolver, and periodic snapshots into
 // the paper's end-to-end workflow — the code an S-Caffe user runs after
-// `mpirun`.
+// `mpirun` — plus checkpoint-based fault recovery (train_with_recovery).
 #pragma once
 
 #include <functional>
@@ -25,9 +25,28 @@ struct TrainerConfig {
   int snapshot_every = 0;      // iterations between snapshots; 0 disables
   std::string snapshot_path;   // written by the root solver
 
+  /// Resume point: skip to this iteration, restoring every rank's solver
+  /// from `snapshot_path` when > 0. Set by train_with_recovery; the
+  /// snapshot's recorded iteration must equal this value.
+  int start_iteration = 0;
+
+  /// Receive/collective deadline for runs driven by train_with_recovery
+  /// (milliseconds; 0 keeps the SCAFFE_RECV_TIMEOUT_MS / infinite default).
+  long recv_timeout_ms = 0;
+
   /// When > 0, readers shuffle sample order with a deterministic per-epoch
   /// permutation over this many samples (typically the dataset size).
   std::uint64_t shuffle_epoch_size = 0;
+};
+
+/// Fault-tolerance bookkeeping: what went wrong during a (possibly
+/// restarted) training run and how the stack absorbed it.
+struct RecoveryEvents {
+  int restarts = 0;                // world teardown + resume-from-checkpoint cycles
+  int timeouts = 0;                // attempts that failed with a TimeoutError
+  int snapshot_write_retries = 0;  // extra snapshot write attempts (I/O faults absorbed)
+  std::uint64_t faults_fired = 0;  // injected faults that actually triggered
+  long resumed_iteration = -1;     // last resume point; -1 if never restarted
 };
 
 struct TrainerReport {
@@ -36,6 +55,8 @@ struct TrainerReport {
   std::vector<float> root_losses;          // root's local loss per iteration
   std::uint64_t batches_read = 0;          // this rank's reader
   int snapshots_written = 0;
+  std::vector<float> final_params;         // root only: flattened params after the run
+  RecoveryEvents recovery;
 };
 
 /// Builds the NetSpec for a given per-rank batch size (so strong and weak
@@ -63,5 +84,19 @@ class Trainer {
   TrainerConfig config_;
   int shard_batch_;
 };
+
+/// Fault-tolerant driver around Trainer: spawns a fresh scmpi world, trains,
+/// and — when a rank fails mid-run (injected crash, timeout, abort) — tears
+/// the world down, restores every rank from the last good snapshot in
+/// `config.snapshot_path`, and resumes from its recorded iteration. Because
+/// snapshots are full solver checkpoints (params + momentum + iteration) and
+/// readers are deterministic, the recovered run's final parameters are
+/// bitwise identical to an uninterrupted run's. Throws once `max_restarts`
+/// restart attempts are exhausted (or immediately on non-restartable
+/// errors). Returns the root's report of the final (successful) segment,
+/// with `recovery` describing every absorbed failure.
+TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
+                                  std::size_t sample_floats, NetSpecFactory net_factory,
+                                  TrainerConfig config, int max_restarts = 3);
 
 }  // namespace scaffe::core

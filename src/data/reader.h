@@ -32,9 +32,13 @@ class DataReader {
   /// deterministic per-epoch pseudo-random permutation (all shards use the
   /// same permutation, so the union of shards still covers each epoch
   /// exactly once — the property distributed training needs).
+  /// `start_batch` skips the first batches of the (deterministic) stream, so
+  /// a reader resumed after a crash produces exactly the batches an
+  /// uninterrupted reader would have produced from that point.
   DataReader(ReadBackend& backend, int shard, int num_shards, int batch,
              std::size_t sample_floats, std::size_t queue_capacity = 4,
-             std::uint64_t shuffle_epoch_size = 0, std::uint64_t shuffle_seed = 2017)
+             std::uint64_t shuffle_epoch_size = 0, std::uint64_t shuffle_seed = 2017,
+             std::uint64_t start_batch = 0)
       : backend_(backend),
         shard_(shard),
         num_shards_(num_shards),
@@ -42,7 +46,8 @@ class DataReader {
         sample_floats_(sample_floats),
         queue_(queue_capacity),
         shuffle_epoch_size_(shuffle_epoch_size),
-        shuffle_seed_(shuffle_seed) {
+        shuffle_seed_(shuffle_seed),
+        start_batch_(start_batch) {
     backend_.attach_reader();  // may throw ReaderLimitError
     thread_ = std::thread([this] { run(); });
   }
@@ -70,7 +75,9 @@ class DataReader {
 
  private:
   void run() {
-    std::uint64_t cursor = static_cast<std::uint64_t>(shard_);
+    std::uint64_t cursor = static_cast<std::uint64_t>(shard_) +
+                           start_batch_ * static_cast<std::uint64_t>(batch_) *
+                               static_cast<std::uint64_t>(num_shards_);
     for (;;) {
       Batch batch;
       batch.first_index = cursor;
@@ -114,6 +121,7 @@ class DataReader {
   BoundedQueue<Batch> queue_;
   std::uint64_t shuffle_epoch_size_ = 0;
   std::uint64_t shuffle_seed_ = 2017;
+  std::uint64_t start_batch_ = 0;
   std::atomic<std::uint64_t> produced_{0};
   std::thread thread_;
 };

@@ -1,60 +1,238 @@
 #include "dl/snapshot.h"
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
+
+#include "util/bytes.h"
+#include "util/fault.h"
 
 namespace scaffe::dl {
 
 namespace {
+
 constexpr char kMagic[4] = {'S', 'C', 'A', 'F'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kV1HeaderBytes = 4 + 4 + 8;           // magic, version, count
+constexpr std::size_t kV2HeaderBytes = 4 + 4 + 8 + 8 + 8;   // + state_count, iteration
+constexpr int kMaxWriteAttempts = 3;
+constexpr std::chrono::milliseconds kRetryBackoffBase{2};
+
+void append_raw(std::vector<std::byte>& out, const void* data, std::size_t bytes) {
+  if (bytes == 0) return;
+  const auto* p = static_cast<const std::byte*>(data);
+  out.insert(out.end(), p, p + bytes);
+}
+
+template <typename T>
+T read_raw(const std::vector<std::byte>& buffer, std::size_t offset) {
+  T value{};
+  std::memcpy(&value, buffer.data() + offset, sizeof(T));
+  return value;
+}
+
+struct Parsed {
+  SnapshotInfo info;
+  std::vector<float> params;
+  std::vector<float> state;
+};
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("load_params: " + what + " in " + path);
+}
+
+/// Reads the whole file and validates structure end-to-end: magic, version,
+/// exact size (no truncation, no trailing bytes), and — for v2 — the CRC.
+Parsed parse_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("load_params: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> buffer(static_cast<std::size_t>(size));
+  if (!buffer.empty()) {
+    in.read(reinterpret_cast<char*>(buffer.data()), size);
+    if (!in) throw std::runtime_error("load_params: read failed for " + path);
+  }
+
+  if (buffer.size() < 8) fail(path, "truncated file (no header)");
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) fail(path, "bad magic");
+  const auto version = read_raw<std::uint32_t>(buffer, 4);
+
+  Parsed parsed;
+  parsed.info.version = version;
+  std::size_t payload_offset = 0;
+  std::size_t expected_size = 0;
+  if (version == 1) {
+    if (buffer.size() < kV1HeaderBytes) fail(path, "truncated v1 header");
+    parsed.info.param_count = read_raw<std::uint64_t>(buffer, 8);
+    payload_offset = kV1HeaderBytes;
+    expected_size = kV1HeaderBytes +
+                    static_cast<std::size_t>(parsed.info.param_count) * sizeof(float);
+  } else if (version == 2) {
+    if (buffer.size() < kV2HeaderBytes) fail(path, "truncated v2 header");
+    parsed.info.param_count = read_raw<std::uint64_t>(buffer, 8);
+    parsed.info.state_count = read_raw<std::uint64_t>(buffer, 16);
+    parsed.info.iteration = static_cast<long>(read_raw<std::int64_t>(buffer, 24));
+    payload_offset = kV2HeaderBytes;
+    expected_size =
+        kV2HeaderBytes +
+        static_cast<std::size_t>(parsed.info.param_count + parsed.info.state_count) *
+            sizeof(float) +
+        sizeof(std::uint32_t);
+  } else {
+    fail(path, "unsupported version " + std::to_string(version));
+  }
+
+  if (buffer.size() < expected_size) fail(path, "truncated file");
+  if (buffer.size() > expected_size) fail(path, "trailing bytes");
+
+  if (version == 2) {
+    const std::size_t crc_offset = expected_size - sizeof(std::uint32_t);
+    const std::uint32_t stored = read_raw<std::uint32_t>(buffer, crc_offset);
+    const std::uint32_t computed = util::crc32(
+        std::span<const std::byte>(buffer.data() + 4, crc_offset - 4));
+    if (stored != computed) fail(path, "CRC mismatch (corrupted snapshot)");
+  }
+
+  parsed.params.resize(static_cast<std::size_t>(parsed.info.param_count));
+  if (!parsed.params.empty()) {
+    std::memcpy(parsed.params.data(), buffer.data() + payload_offset,
+                parsed.params.size() * sizeof(float));
+  }
+  parsed.state.resize(static_cast<std::size_t>(parsed.info.state_count));
+  if (!parsed.state.empty()) {
+    std::memcpy(parsed.state.data(),
+                buffer.data() + payload_offset + parsed.params.size() * sizeof(float),
+                parsed.state.size() * sizeof(float));
+  }
+  return parsed;
+}
+
+/// Serializes a v2 snapshot (header | params | state | crc).
+std::vector<std::byte> serialize_snapshot(std::span<const float> params,
+                                          std::span<const float> state, long iteration) {
+  std::vector<std::byte> buffer;
+  buffer.reserve(kV2HeaderBytes + (params.size() + state.size()) * sizeof(float) +
+                 sizeof(std::uint32_t));
+  append_raw(buffer, kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  append_raw(buffer, &version, sizeof(version));
+  const std::uint64_t param_count = params.size();
+  append_raw(buffer, &param_count, sizeof(param_count));
+  const std::uint64_t state_count = state.size();
+  append_raw(buffer, &state_count, sizeof(state_count));
+  const std::int64_t iter = iteration;
+  append_raw(buffer, &iter, sizeof(iter));
+  append_raw(buffer, params.data(), params.size_bytes());
+  append_raw(buffer, state.data(), state.size_bytes());
+  const std::uint32_t crc =
+      util::crc32(std::span<const std::byte>(buffer.data() + 4, buffer.size() - 4));
+  append_raw(buffer, &crc, sizeof(crc));
+  return buffer;
+}
+
+/// Crash-safe write: temp file + atomic rename, so `path` always holds a
+/// complete snapshot even if the writer dies mid-write; bounded
+/// retry-with-backoff absorbs transient (and injected) I/O failures.
+int write_snapshot(const std::vector<std::byte>& buffer, const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  std::string last_error;
+  for (int attempt = 1; attempt <= kMaxWriteAttempts; ++attempt) {
+    if (attempt > 1) std::this_thread::sleep_for(kRetryBackoffBase * (attempt - 1));
+    if (util::FaultInjector::instance().next_snapshot_write_fails()) {
+      last_error = "injected I/O failure";
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      continue;
+    }
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        last_error = "cannot open " + tmp_path;
+        continue;
+      }
+      out.write(reinterpret_cast<const char*>(buffer.data()),
+                static_cast<std::streamsize>(buffer.size()));
+      out.flush();
+      if (!out) {
+        last_error = "write failed for " + tmp_path;
+        continue;
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, path, ec);
+    if (ec) {
+      last_error = "rename to " + path + " failed: " + ec.message();
+      continue;
+    }
+    return attempt;
+  }
+  throw std::runtime_error("save_params: giving up on " + path + " after " +
+                           std::to_string(kMaxWriteAttempts) + " attempts (" + last_error +
+                           ")");
+}
+
 }  // namespace
 
-void save_params(const Net& net, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_params: cannot open " + path);
-
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const std::uint64_t count = net.param_count();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-
+int save_params(const Net& net, const std::string& path) {
   std::vector<float> params(net.param_count());
   net.flatten_params(params);
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(params.size() * sizeof(float)));
-  if (!out) throw std::runtime_error("save_params: write failed for " + path);
+  return write_snapshot(serialize_snapshot(params, {}, 0), path);
 }
 
 void load_params(Net& net, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_params: cannot open " + path);
-
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("load_params: bad magic in " + path);
-  }
-  std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    throw std::runtime_error("load_params: unsupported version in " + path);
-  }
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count != net.param_count()) {
+  const Parsed parsed = parse_snapshot(path);
+  if (parsed.info.param_count != net.param_count()) {
     throw std::runtime_error("load_params: parameter count mismatch (" + path + " has " +
-                             std::to_string(count) + ", net needs " +
+                             std::to_string(parsed.info.param_count) + ", net needs " +
                              std::to_string(net.param_count()) + ")");
   }
-  std::vector<float> params(static_cast<std::size_t>(count));
-  in.read(reinterpret_cast<char*>(params.data()),
-          static_cast<std::streamsize>(params.size() * sizeof(float)));
-  if (!in) throw std::runtime_error("load_params: truncated file " + path);
-  net.unflatten_params(params);
+  net.unflatten_params(parsed.params);
+}
+
+int save_solver(const SgdSolver& solver, const std::string& path) {
+  const Net& net = solver.net();
+  std::vector<float> params(net.param_count());
+  net.flatten_params(params);
+  std::vector<float> state(solver.state_count());
+  solver.flatten_state(state);
+  return write_snapshot(serialize_snapshot(params, state, solver.iteration()), path);
+}
+
+void load_solver(SgdSolver& solver, const std::string& path) {
+  const Parsed parsed = parse_snapshot(path);
+  if (parsed.info.param_count != solver.net().param_count()) {
+    throw std::runtime_error("load_solver: parameter count mismatch (" + path + " has " +
+                             std::to_string(parsed.info.param_count) + ", net needs " +
+                             std::to_string(solver.net().param_count()) + ")");
+  }
+  solver.net().unflatten_params(parsed.params);
+  if (parsed.info.state_count == 0) {
+    // Parameter-only (or v1) snapshot: fresh optimizer state.
+    std::vector<float> zeros(solver.state_count(), 0.0f);
+    solver.unflatten_state(zeros);
+    solver.set_iteration(parsed.info.iteration);
+    return;
+  }
+  if (parsed.info.state_count != solver.state_count()) {
+    throw std::runtime_error("load_solver: solver state count mismatch in " + path);
+  }
+  solver.unflatten_state(parsed.state);
+  solver.set_iteration(parsed.info.iteration);
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) { return parse_snapshot(path).info; }
+
+std::optional<SnapshotInfo> probe_snapshot(const std::string& path) noexcept {
+  try {
+    return read_snapshot_info(path);
+  } catch (...) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace scaffe::dl

@@ -1,20 +1,62 @@
 // Parameter snapshots: save/restore a Net's learnable state to a file
-// (Caffe's .caffemodel moral equivalent). Binary format:
-//   magic "SCAF" | u32 version | u64 param_count | float data...
+// (Caffe's .caffemodel moral equivalent).
+//
+// Format v2 (crash-safe checkpoints):
+//   magic "SCAF" | u32 version=2 | u64 param_count | u64 state_count
+//   | i64 iteration | float params[param_count] | float state[state_count]
+//   | u32 crc32
+// where `state` is the solver's flattened momentum (state_count == 0 for
+// parameter-only snapshots) and the CRC-32 covers every byte after the magic
+// up to the checksum itself. Writers go through a temp file + atomic rename,
+// so a reader never observes a half-written snapshot, and retry with backoff
+// on (injected or real) I/O failure.
+//
+// Format v1 (legacy, still loadable):
+//   magic "SCAF" | u32 version=1 | u64 param_count | float params[...]
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "dl/net.h"
+#include "dl/solver.h"
 
 namespace scaffe::dl {
 
-/// Writes the net's flattened parameters; throws std::runtime_error on I/O
-/// failure.
-void save_params(const Net& net, const std::string& path);
+/// Header of a validated snapshot file.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint64_t param_count = 0;
+  std::uint64_t state_count = 0;  // momentum floats; 0 when absent (or v1)
+  long iteration = 0;             // 0 for v1 / parameter-only snapshots
+};
 
-/// Restores parameters saved by save_params; throws on I/O failure, bad
-/// magic/version, or parameter-count mismatch with `net`.
+/// Writes the net's flattened parameters (v2, no solver state). Returns the
+/// number of write attempts used (1 = no retry); throws std::runtime_error
+/// once the bounded retry budget is exhausted.
+int save_params(const Net& net, const std::string& path);
+
+/// Restores parameters saved by save_params or save_solver (v1 or v2);
+/// throws on I/O failure, bad magic/version, CRC mismatch, truncation,
+/// trailing bytes, or parameter-count mismatch with `net`.
 void load_params(Net& net, const std::string& path);
+
+/// Full training checkpoint: parameters + momentum + iteration counter.
+/// Restoring it makes a resumed run bitwise identical to an uninterrupted
+/// one. Returns the number of write attempts used.
+int save_solver(const SgdSolver& solver, const std::string& path);
+
+/// Restores a checkpoint written by save_solver. A v1 or parameter-only v2
+/// file also loads: momentum is zeroed and the iteration left at 0.
+void load_solver(SgdSolver& solver, const std::string& path);
+
+/// Validates `path` and returns its header, or nullopt if the file is
+/// missing or fails any integrity check — the "last good checkpoint" probe
+/// recovery uses to pick a resume point without risking a throw.
+std::optional<SnapshotInfo> probe_snapshot(const std::string& path) noexcept;
+
+/// Validating header read; throws where probe_snapshot returns nullopt.
+SnapshotInfo read_snapshot_info(const std::string& path);
 
 }  // namespace scaffe::dl

@@ -1,5 +1,6 @@
 #include "dl/solver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -51,6 +52,35 @@ double SgdSolver::diff_l2_norm() const {
     for (float v : param->diff()) sum_sq += static_cast<double>(v) * v;
   }
   return std::sqrt(sum_sq);
+}
+
+std::size_t SgdSolver::state_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& buffer : momentum_) total += buffer.size();
+  return total;
+}
+
+void SgdSolver::flatten_state(std::span<float> out) const {
+  if (out.size() != state_count()) {
+    throw std::runtime_error("SgdSolver::flatten_state: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (const auto& buffer : momentum_) {
+    std::copy(buffer.begin(), buffer.end(), out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += buffer.size();
+  }
+}
+
+void SgdSolver::unflatten_state(std::span<const float> in) {
+  if (in.size() != state_count()) {
+    throw std::runtime_error("SgdSolver::unflatten_state: size mismatch");
+  }
+  std::size_t offset = 0;
+  for (auto& buffer : momentum_) {
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+              in.begin() + static_cast<std::ptrdiff_t>(offset + buffer.size()), buffer.begin());
+    offset += buffer.size();
+  }
 }
 
 void SgdSolver::apply_update() {

@@ -37,6 +37,7 @@ class SgdSolver {
   SgdSolver(NetSpec net_spec, SolverConfig config, gpu::Device* device = nullptr);
 
   Net& net() noexcept { return net_; }
+  const Net& net() const noexcept { return net_; }
   const SolverConfig& config() const noexcept { return config_; }
   long iteration() const noexcept { return iteration_; }
 
@@ -61,6 +62,23 @@ class SgdSolver {
   /// non-root solvers do in S-Caffe's root-update scheme (the root's update
   /// reaches them through the next data-propagation broadcast).
   void advance_iteration() noexcept { ++iteration_; }
+
+  // --- checkpoint state (snapshot v2 / fault recovery) ----------------------
+  // Momentum buffers and the iteration counter are the solver state beyond
+  // the net's parameters; restoring all three makes a resumed run bitwise
+  // identical to an uninterrupted one.
+
+  /// Total momentum floats (equals the net's param_count).
+  std::size_t state_count() const noexcept;
+
+  /// Concatenates the per-blob momentum buffers into `out` (param order).
+  void flatten_state(std::span<float> out) const;
+
+  /// Inverse of flatten_state.
+  void unflatten_state(std::span<const float> in);
+
+  /// Restores the iteration counter from a checkpoint.
+  void set_iteration(long iteration) noexcept { iteration_ = iteration; }
 
  private:
   SolverConfig config_;

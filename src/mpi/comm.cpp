@@ -343,7 +343,7 @@ Runtime::Runtime(int nranks) : nranks_(nranks) {
 
 void Runtime::run(const std::function<void(Comm&)>& body) {
   // Fresh world per run: no stale messages can leak between runs.
-  world_ = std::make_shared<World>(nranks_);
+  world_ = std::make_shared<World>(nranks_, recv_timeout_);
   std::vector<int> identity(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) identity[static_cast<std::size_t>(r)] = r;
 

@@ -248,10 +248,17 @@ class Runtime {
 
   int nranks() const noexcept { return nranks_; }
 
+  /// Receive/collective deadline applied to every blocked receive of the
+  /// next run(): a hang becomes a TimeoutError instead of blocking forever.
+  /// Zero disables. Defaults to SCAFFE_RECV_TIMEOUT_MS (see World).
+  void set_recv_timeout(std::chrono::milliseconds timeout) { recv_timeout_ = timeout; }
+  std::chrono::milliseconds recv_timeout() const noexcept { return recv_timeout_; }
+
   void run(const std::function<void(Comm&)>& body);
 
  private:
   int nranks_;
+  std::chrono::milliseconds recv_timeout_ = World::default_recv_timeout();
   std::shared_ptr<World> world_;
 };
 

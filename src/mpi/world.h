@@ -2,17 +2,42 @@
 //
 // Every rank is a std::thread; a Mailbox per destination rank holds tagged
 // messages with MPI-style (source, tag, context) matching in arrival order.
+//
+// Matching/wakeup invariants (Mailbox):
+//  - Messages match on exact (context, src, tag) — or kAnySource for src —
+//    in arrival order; arrival order per (src, context) pair is the sender's
+//    program order (MPI non-overtaking), because push() appends under the
+//    mailbox mutex and each sender pushes from one thread at a time per
+//    ordered stream.
+//  - A rank may have SEVERAL threads blocked in recv() on the same mailbox
+//    at once (the main thread plus NBC progression threads), each filtering
+//    on a different (context, src, tag) predicate. A newly pushed message
+//    can satisfy at most ONE receiver (the first matcher consumes it), but
+//    push() cannot tell WHICH waiter matches: with more than one waiter it
+//    must notify_all, else the one matching waiter might stay asleep while a
+//    non-matching waiter absorbs the single notify and goes back to waiting.
+//    With at most one waiter, notify_one is equivalent and cheaper — that is
+//    the only condition under which push() may use it, and it is detected
+//    via the exact waiter count maintained under the mailbox mutex.
+//  - interrupt() is a control-path wakeup (abort, shutdown): it always
+//    notifies all waiters so every blocked thread re-checks the abort flag.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include "util/fault.h"
 
 namespace scaffe::mpi {
 
@@ -30,6 +55,35 @@ class AbortError : public std::runtime_error {
   AbortError() : std::runtime_error("scmpi: world aborted by a failing rank") {}
 };
 
+/// Thrown when a matched receive exceeds the world's receive deadline: a
+/// silent hang (dead peer, dropped message, deadlocked exchange) becomes a
+/// typed error naming exactly what the receiver was blocked on. Collectives
+/// inherit the deadline because they are built from matched receives.
+class TimeoutError : public std::runtime_error {
+ public:
+  TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline)
+      : std::runtime_error("scmpi: receive timed out after " +
+                           std::to_string(deadline.count()) + "ms (src=" +
+                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
+                           ", tag=" + std::to_string(tag) +
+                           ", context=" + std::to_string(context) + ")"),
+        context_(context),
+        src_(src),
+        tag_(tag),
+        deadline_(deadline) {}
+
+  ContextId context() const noexcept { return context_; }
+  int src() const noexcept { return src_; }
+  int tag() const noexcept { return tag_; }
+  std::chrono::milliseconds deadline() const noexcept { return deadline_; }
+
+ private:
+  ContextId context_;
+  int src_;
+  int tag_;
+  std::chrono::milliseconds deadline_;
+};
+
 struct Envelope {
   ContextId context;
   int src;
@@ -41,18 +95,43 @@ struct Envelope {
 /// arrival order (MPI non-overtaking within a (src, context) pair).
 class Mailbox {
  public:
+  explicit Mailbox(int owner_rank = 0) : owner_rank_(owner_rank) {}
+
+  /// Delivers one envelope. Consults the process-wide FaultInjector first:
+  /// an injected delay sleeps the sender (modelling a slow link / straggler
+  /// sender), an injected drop discards the envelope without delivery.
   void push(Envelope envelope) {
+    auto& injector = util::FaultInjector::instance();
+    if (injector.active()) {
+      const util::MessageFault fault =
+          injector.on_message(envelope.src, owner_rank_, envelope.tag);
+      if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+      if (fault.drop) return;
+    }
+    int waiters = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       messages_.push_back(std::move(envelope));
+      waiters = waiters_;
     }
-    cv_.notify_all();
+    // See the wakeup invariant in the header comment: one waiter is the only
+    // case where a single notify provably reaches the matching receiver.
+    if (waiters <= 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
   }
 
   /// Blocking matched receive. `src` may be kAnySource; the actual sender
   /// is written to *out_src when non-null (arrival order wins ties).
-  /// Throws AbortError if the world aborts while waiting.
+  /// Throws AbortError if the world aborts while waiting, and TimeoutError
+  /// if a configured receive deadline expires first.
   std::vector<std::byte> recv(ContextId context, int src, int tag, int* out_src = nullptr) {
+    const std::chrono::milliseconds timeout = timeout_ms_ == nullptr
+                                                  ? std::chrono::milliseconds(0)
+                                                  : std::chrono::milliseconds(timeout_ms_->load());
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       if (aborted_ != nullptr && aborted_->load()) throw AbortError();
@@ -65,7 +144,28 @@ class Mailbox {
           return payload;
         }
       }
-      cv_.wait(lock);
+      ++waiters_;
+      if (timeout.count() > 0) {
+        const auto status = cv_.wait_until(lock, deadline);
+        --waiters_;
+        if (status == std::cv_status::timeout &&
+            !(aborted_ != nullptr && aborted_->load())) {
+          // Re-scan once: the message may have arrived in the wakeup race.
+          for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+            if (it->context == context && (src == kAnySource || it->src == src) &&
+                it->tag == tag) {
+              std::vector<std::byte> payload = std::move(it->payload);
+              if (out_src != nullptr) *out_src = it->src;
+              messages_.erase(it);
+              return payload;
+            }
+          }
+          throw TimeoutError(context, src, tag, timeout);
+        }
+      } else {
+        cv_.wait(lock);
+        --waiters_;
+      }
     }
   }
 
@@ -73,10 +173,16 @@ class Mailbox {
   void interrupt() { cv_.notify_all(); }
 
   void bind_abort_flag(const std::atomic<bool>* flag) noexcept { aborted_ = flag; }
+  void bind_recv_timeout(const std::atomic<std::int64_t>* timeout_ms) noexcept {
+    timeout_ms_ = timeout_ms;
+  }
 
   /// Non-blocking probe-and-receive; false if no matching message yet.
+  /// Throws AbortError once the world has aborted, so request polling loops
+  /// (Request::test) raise instead of spinning forever.
   bool try_recv(ContextId context, int src, int tag, std::vector<std::byte>& payload) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_ != nullptr && aborted_->load()) throw AbortError();
     for (auto it = messages_.begin(); it != messages_.end(); ++it) {
       if (it->context == context && it->src == src && it->tag == tag) {
         payload = std::move(it->payload);
@@ -88,19 +194,25 @@ class Mailbox {
   }
 
  private:
+  int owner_rank_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::list<Envelope> messages_;
+  int waiters_ = 0;  // threads blocked in recv(); guarded by mutex_
   const std::atomic<bool>* aborted_ = nullptr;
+  const std::atomic<std::int64_t>* timeout_ms_ = nullptr;
 };
 
-/// Shared state for one Runtime: the mailboxes of all world ranks.
+/// Shared state for one Runtime: the mailboxes of all world ranks plus the
+/// fault-tolerance configuration every mailbox observes.
 struct World {
-  explicit World(int nranks) : size(nranks) {
+  explicit World(int nranks, std::chrono::milliseconds recv_timeout = default_recv_timeout())
+      : size(nranks), recv_timeout_ms(recv_timeout.count()) {
     mailboxes.reserve(static_cast<std::size_t>(nranks));
     for (int i = 0; i < nranks; ++i) {
-      mailboxes.push_back(std::make_unique<Mailbox>());
+      mailboxes.push_back(std::make_unique<Mailbox>(i));
       mailboxes.back()->bind_abort_flag(&aborted);
+      mailboxes.back()->bind_recv_timeout(&recv_timeout_ms);
     }
   }
 
@@ -110,9 +222,18 @@ struct World {
     for (auto& mailbox : mailboxes) mailbox->interrupt();
   }
 
+  /// Default receive deadline: SCAFFE_RECV_TIMEOUT_MS, or 0 (wait forever).
+  static std::chrono::milliseconds default_recv_timeout() {
+    const char* env = std::getenv("SCAFFE_RECV_TIMEOUT_MS");
+    if (env == nullptr) return std::chrono::milliseconds(0);
+    const long ms = std::strtol(env, nullptr, 10);
+    return std::chrono::milliseconds(ms > 0 ? ms : 0);
+  }
+
   int size;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::atomic<bool> aborted{false};
+  std::atomic<std::int64_t> recv_timeout_ms{0};  // 0 = no deadline
 };
 
 }  // namespace scaffe::mpi

@@ -52,4 +52,28 @@ std::size_t parse_bytes(const std::string& text) {
   return value * mul;
 }
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[n] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t crc) {
+  static const Crc32Table table;
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table.entries[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 }  // namespace scaffe::util

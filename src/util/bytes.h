@@ -1,8 +1,9 @@
-// Byte-size helpers: literals, formatting ("256 MB"), parsing.
+// Byte-size helpers: literals, formatting ("256 MB"), parsing; CRC32.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 
 namespace scaffe::util {
@@ -17,6 +18,11 @@ std::string fmt_bytes(std::size_t bytes);
 /// Parses "4", "4K", "16M", "2G" (case-insensitive, optional trailing 'B').
 /// Returns 0 on malformed input.
 std::size_t parse_bytes(const std::string& text);
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, continuing from
+/// `crc` so large payloads can be checksummed incrementally. Used by the
+/// snapshot v2 format to detect torn or corrupted checkpoint files.
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t crc = 0);
 
 namespace literals {
 constexpr std::size_t operator""_KiB(unsigned long long v) { return v * kKiB; }

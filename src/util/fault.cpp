@@ -1,0 +1,104 @@
+#include "util/fault.h"
+
+namespace scaffe::util {
+
+namespace {
+
+// splitmix64-style avalanche over the decision inputs; the result is the
+// only entropy source, so decisions are a pure function of
+// (seed, src, dst, ordinal) and survive any thread interleaving.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t decision_hash(std::uint64_t seed, int src, int dst, std::uint64_t ordinal) {
+  std::uint64_t h = mix(seed);
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 32));
+  return mix(h ^ ordinal);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::install(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  crash_fired_.assign(plan_.crashes_.size(), false);
+  sent_.clear();
+  stats_ = FaultStats{};
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  plan_ = FaultPlan{0};
+  crash_fired_.clear();
+  sent_.clear();
+}
+
+MessageFault FaultInjector::on_message(int src, int dst, int /*tag*/) {
+  MessageFault fault;
+  if (!active()) return fault;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.delay_probability_ <= 0.0 && plan_.drop_probability_ <= 0.0) return fault;
+  const std::uint64_t ordinal = sent_[{src, dst}]++;
+  const std::uint64_t h = decision_hash(plan_.seed_, src, dst, ordinal);
+  // Independent sub-draws from one hash: low half decides drop, high half
+  // decides delay, a re-mix sizes the delay.
+  if (to_unit(mix(h)) < plan_.drop_probability_) {
+    fault.drop = true;
+    ++stats_.drops;
+    return fault;
+  }
+  if (to_unit(mix(h ^ 0xd1b54a32d192ed03ULL)) < plan_.delay_probability_) {
+    const auto max_us = static_cast<std::uint64_t>(plan_.max_delay_.count());
+    if (max_us > 0) {
+      fault.delay = std::chrono::microseconds(
+          1 + static_cast<std::int64_t>(mix(h ^ 0x8cb92ba72f3d8dd7ULL) % max_us));
+      ++stats_.delays;
+    }
+  }
+  return fault;
+}
+
+void FaultInjector::check_crash(int rank, long iteration) {
+  if (!active()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < plan_.crashes_.size(); ++i) {
+    const auto [crash_rank, crash_iteration] = plan_.crashes_[i];
+    if (crash_fired_[i] || crash_rank != rank || crash_iteration != iteration) continue;
+    crash_fired_[i] = true;
+    ++stats_.crashes;
+    lock.unlock();
+    throw InjectedCrash(rank, iteration);
+  }
+}
+
+bool FaultInjector::next_snapshot_write_fails() {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.snapshot_failures_ <= 0) return false;
+  --plan_.snapshot_failures_;
+  ++stats_.io_failures;
+  return true;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace scaffe::util

@@ -1,0 +1,160 @@
+// Seeded, deterministic fault injection.
+//
+// One process-wide FaultInjector is consulted from the layers that can fail
+// in a real cluster: the scmpi Mailbox delivery path (message delay/drop),
+// the Trainer's per-iteration crash hook (rank-crash-at-iteration), and the
+// snapshot writer (I/O failure). A FaultPlan describes *which* faults fire;
+// the injector decides each message fault from a hash of
+// (seed, src, dst, per-(src,dst) message ordinal), so decisions depend only
+// on the deterministic per-sender message order — never on thread timing.
+//
+// Determinism guarantee: injected delays and drops cannot change computed
+// training values. Message matching is by (context, src, tag), not arrival
+// time, so a delayed message is matched identically; a dropped message turns
+// into a hang that the receive deadline converts into a TimeoutError. Only
+// kAnySource receives (used by the parameter-server baseline, not by the
+// S-Caffe training path) observe arrival order and may see delays reorder
+// their matches.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scaffe::util {
+
+/// Thrown by FaultInjector::check_crash when a scheduled rank crash fires —
+/// the in-process stand-in for a rank process dying mid-run. Propagates out
+/// of Runtime::run like any rank failure (peers unwind with AbortError).
+class InjectedCrash : public std::runtime_error {
+ public:
+  InjectedCrash(int rank, long iteration)
+      : std::runtime_error("fault: injected crash of rank " + std::to_string(rank) +
+                           " at iteration " + std::to_string(iteration)),
+        rank_(rank),
+        iteration_(iteration) {}
+
+  int rank() const noexcept { return rank_; }
+  long iteration() const noexcept { return iteration_; }
+
+ private:
+  int rank_;
+  long iteration_;
+};
+
+/// Outcome of the message-fault query for one envelope.
+struct MessageFault {
+  bool drop = false;
+  std::chrono::microseconds delay{0};
+};
+
+/// Counts of faults that actually fired (not merely scheduled).
+struct FaultStats {
+  std::uint64_t delays = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t io_failures = 0;
+
+  std::uint64_t total() const noexcept { return delays + drops + crashes + io_failures; }
+};
+
+/// A declarative fault schedule. Build one fluently and install it with
+/// ScopedFaultPlan (tests) or FaultInjector::install.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 2017) : seed_(seed) {}
+
+  /// Each delivered message is delayed with `probability`, for a
+  /// deterministic duration in (0, max_delay] drawn from the same hash.
+  FaultPlan& delay_messages(double probability, std::chrono::microseconds max_delay) {
+    delay_probability_ = probability;
+    max_delay_ = max_delay;
+    return *this;
+  }
+
+  /// Each message is silently dropped with `probability` (models a lossy or
+  /// partitioned network; receivers rely on deadlines to notice).
+  FaultPlan& drop_messages(double probability) {
+    drop_probability_ = probability;
+    return *this;
+  }
+
+  /// Rank `rank` throws InjectedCrash when its per-iteration hook reaches
+  /// `iteration`. One-shot: the crash does not re-fire after recovery.
+  FaultPlan& crash_rank(int rank, long iteration) {
+    crashes_.emplace_back(rank, iteration);
+    return *this;
+  }
+
+  /// The next `count` snapshot write attempts fail (the writer retries with
+  /// backoff, so a bounded budget exercises the retry path).
+  FaultPlan& fail_snapshot_writes(int count) {
+    snapshot_failures_ = count;
+    return *this;
+  }
+
+ private:
+  friend class FaultInjector;
+  std::uint64_t seed_;
+  double delay_probability_ = 0.0;
+  std::chrono::microseconds max_delay_{0};
+  double drop_probability_ = 0.0;
+  std::vector<std::pair<int, long>> crashes_;  // (rank, iteration), one-shot
+  int snapshot_failures_ = 0;
+};
+
+/// Process-wide fault oracle. Thread-safe; inactive (all queries benign)
+/// until a plan is installed. Ranks are threads of one process, so a single
+/// shared injector models the whole "cluster's" fault schedule.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void install(FaultPlan plan);
+  void clear();
+
+  /// Cheap pre-check so fault-free runs pay one relaxed atomic load.
+  bool active() const noexcept { return active_.load(std::memory_order_relaxed); }
+
+  /// Decides the fate of one message about to be delivered to `dst`'s
+  /// mailbox. Deterministic in the sender's per-destination message order.
+  MessageFault on_message(int src, int dst, int tag);
+
+  /// Per-iteration crash hook; throws InjectedCrash if this (rank,
+  /// iteration) is scheduled and has not fired yet.
+  void check_crash(int rank, long iteration);
+
+  /// True if this snapshot write attempt should fail (consumes one unit of
+  /// the failure budget).
+  bool next_snapshot_write_fails();
+
+  FaultStats stats() const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> active_{false};
+  FaultPlan plan_{0};
+  std::vector<bool> crash_fired_;                      // parallel to plan_.crashes_
+  std::map<std::pair<int, int>, std::uint64_t> sent_;  // (src, dst) -> ordinal
+  FaultStats stats_;
+};
+
+/// RAII plan installation for tests: installs on construction, clears on
+/// destruction so no fault schedule leaks into later tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) { FaultInjector::instance().install(std::move(plan)); }
+  ~ScopedFaultPlan() { FaultInjector::instance().clear(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace scaffe::util

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "dl/netspec_text.h"
 #include "dl/solver.h"
@@ -143,6 +147,172 @@ TEST_F(SnapshotTest, RejectsGarbageFile) {
 TEST_F(SnapshotTest, MissingFileThrows) {
   Net net(models::mlp_netspec(2, 8, 16, 4));
   EXPECT_THROW(load_params(net, "/nonexistent/dir/snapshot.bin"), std::runtime_error);
+}
+
+// --- v2 robustness: corruption, truncation, trailing bytes, legacy v1 ---------
+
+namespace {
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in);
+  std::vector<char> bytes(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void write_file_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST_F(SnapshotTest, DetectsSingleFlippedByteViaCrc) {
+  Net net(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(net, path_);
+  std::vector<char> bytes = read_file_bytes(path_);
+  bytes[bytes.size() / 2] ^= 0x01;  // one bit in the payload
+  write_file_bytes(path_, bytes);
+  try {
+    load_params(net, path_);
+    FAIL() << "corrupted snapshot loaded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotTest, RejectsTruncatedFile) {
+  Net net(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(net, path_);
+  std::vector<char> bytes = read_file_bytes(path_);
+  // Every possible truncation point must be rejected, not silently loaded.
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{20}, std::size_t{6}}) {
+    std::vector<char> cut(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+    write_file_bytes(path_, cut);
+    EXPECT_THROW(load_params(net, path_), std::runtime_error) << "kept " << keep;
+  }
+}
+
+TEST_F(SnapshotTest, RejectsTrailingBytes) {
+  Net net(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(net, path_);
+  std::vector<char> bytes = read_file_bytes(path_);
+  bytes.push_back(0x00);
+  write_file_bytes(path_, bytes);
+  try {
+    load_params(net, path_);
+    FAIL() << "snapshot with trailing bytes loaded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("trailing"), std::string::npos);
+  }
+}
+
+TEST_F(SnapshotTest, RejectsEmptyFile) {
+  write_file_bytes(path_, {});
+  Net net(models::mlp_netspec(2, 8, 16, 4));
+  EXPECT_THROW(load_params(net, path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, LoadsLegacyV1Files) {
+  Net source(models::mlp_netspec(2, 8, 16, 4), 3);
+  std::vector<float> params(source.param_count());
+  source.flatten_params(params);
+
+  // Hand-roll the v1 layout: magic | u32 version=1 | u64 count | floats.
+  std::vector<char> bytes;
+  const char magic[4] = {'S', 'C', 'A', 'F'};
+  bytes.insert(bytes.end(), magic, magic + 4);
+  const std::uint32_t version = 1;
+  bytes.insert(bytes.end(), reinterpret_cast<const char*>(&version),
+               reinterpret_cast<const char*>(&version) + sizeof(version));
+  const std::uint64_t count = params.size();
+  bytes.insert(bytes.end(), reinterpret_cast<const char*>(&count),
+               reinterpret_cast<const char*>(&count) + sizeof(count));
+  bytes.insert(bytes.end(), reinterpret_cast<const char*>(params.data()),
+               reinterpret_cast<const char*>(params.data()) + params.size() * sizeof(float));
+  write_file_bytes(path_, bytes);
+
+  const auto info = probe_snapshot(path_);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->version, 1u);
+  EXPECT_EQ(info->state_count, 0u);
+
+  Net target(models::mlp_netspec(2, 8, 16, 4), 999);
+  load_params(target, path_);
+  std::vector<float> loaded(target.param_count());
+  target.flatten_params(loaded);
+  EXPECT_EQ(loaded, params);
+}
+
+TEST_F(SnapshotTest, RejectsUnknownVersion) {
+  Net net(models::mlp_netspec(2, 8, 16, 4), 3);
+  save_params(net, path_);
+  std::vector<char> bytes = read_file_bytes(path_);
+  bytes[4] = 9;  // version field
+  write_file_bytes(path_, bytes);
+  EXPECT_THROW(load_params(net, path_), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, SolverCheckpointRoundTripsMomentumAndIteration) {
+  SolverConfig config;
+  config.base_lr = 0.05f;
+  config.momentum = 0.9f;
+  SgdSolver solver(models::mlp_netspec(4, 6, 8, 3), config);
+  std::vector<float> data(24, 0.5f);
+  std::vector<float> labels(4, 1.0f);
+  for (int i = 0; i < 5; ++i) {
+    solver.step(data, labels);
+    solver.apply_update();
+  }
+  save_solver(solver, path_);
+
+  const auto info = probe_snapshot(path_);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->version, 2u);
+  EXPECT_EQ(info->iteration, 5);
+  EXPECT_EQ(info->state_count, solver.state_count());
+
+  SgdSolver resumed(models::mlp_netspec(4, 6, 8, 3), config);  // fresh state
+  load_solver(resumed, path_);
+  EXPECT_EQ(resumed.iteration(), 5);
+
+  // With momentum restored, the next update is bitwise the original's.
+  const float loss_a = solver.step(data, labels);
+  solver.apply_update();
+  const float loss_b = resumed.step(data, labels);
+  resumed.apply_update();
+  EXPECT_EQ(loss_a, loss_b);
+  std::vector<float> a(solver.net().param_count());
+  std::vector<float> b(resumed.net().param_count());
+  solver.net().flatten_params(a);
+  resumed.net().flatten_params(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SnapshotTest, ParamOnlySnapshotLoadsIntoSolverWithFreshState) {
+  SolverConfig config;
+  SgdSolver solver(models::mlp_netspec(4, 6, 8, 3), config);
+  std::vector<float> data(24, 0.5f);
+  std::vector<float> labels(4, 1.0f);
+  solver.step(data, labels);
+  solver.apply_update();
+  save_params(solver.net(), path_);  // no solver state in the file
+
+  SgdSolver resumed(models::mlp_netspec(4, 6, 8, 3), config);
+  load_solver(resumed, path_);
+  EXPECT_EQ(resumed.iteration(), 0);
+  std::vector<float> state(resumed.state_count());
+  resumed.flatten_state(state);
+  for (float v : state) ASSERT_EQ(v, 0.0f);
+}
+
+TEST_F(SnapshotTest, ProbeReturnsNulloptForMissingOrCorruptFiles) {
+  EXPECT_FALSE(probe_snapshot("/nonexistent/dir/snapshot.bin").has_value());
+  write_file_bytes(path_, {'j', 'u', 'n', 'k'});
+  EXPECT_FALSE(probe_snapshot(path_).has_value());
 }
 
 TEST_F(SnapshotTest, ResumedTrainingContinuesFromSavedPoint) {

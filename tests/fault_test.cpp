@@ -1,0 +1,327 @@
+// Fault-tolerance tests: deterministic fault injection, scmpi receive
+// deadlines, crash-safe snapshots, and checkpoint-based recovery — capped by
+// the chaos test, which trains under a seeded fault schedule and must land
+// on parameters bitwise identical to the fault-free run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "dl/snapshot.h"
+#include "models/zoo.h"
+#include "mpi/comm.h"
+#include "util/fault.h"
+
+namespace scaffe {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- FaultInjector unit behaviour -------------------------------------------
+
+TEST(FaultInjector, InactiveByDefault) {
+  auto& injector = util::FaultInjector::instance();
+  injector.clear();
+  EXPECT_FALSE(injector.active());
+  const util::MessageFault fault = injector.on_message(0, 1, 7);
+  EXPECT_FALSE(fault.drop);
+  EXPECT_EQ(fault.delay.count(), 0);
+  EXPECT_NO_THROW(injector.check_crash(0, 0));
+  EXPECT_FALSE(injector.next_snapshot_write_fails());
+}
+
+TEST(FaultInjector, MessageDecisionsAreDeterministicInSendOrder) {
+  auto& injector = util::FaultInjector::instance();
+
+  auto collect = [&] {
+    std::vector<bool> drops;
+    util::ScopedFaultPlan scope(util::FaultPlan(42).drop_messages(0.5));
+    for (int i = 0; i < 64; ++i) drops.push_back(injector.on_message(0, 1, i).drop);
+    return drops;
+  };
+  const std::vector<bool> first = collect();
+  const std::vector<bool> second = collect();
+  EXPECT_EQ(first, second);
+  // A 0.5 drop rate over 64 messages fires at least once each way.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+  // Stats survive clear() (post-run inspection) and reset on install().
+  EXPECT_GT(injector.stats().drops, 0u);
+  util::ScopedFaultPlan fresh(util::FaultPlan(42));
+  EXPECT_EQ(injector.stats().drops, 0u);
+}
+
+TEST(FaultInjector, CrashIsOneShot) {
+  auto& injector = util::FaultInjector::instance();
+  util::ScopedFaultPlan scope(util::FaultPlan(1).crash_rank(2, 5));
+  EXPECT_NO_THROW(injector.check_crash(2, 4));
+  EXPECT_NO_THROW(injector.check_crash(1, 5));
+  EXPECT_THROW(injector.check_crash(2, 5), util::InjectedCrash);
+  // Recovery re-executes iteration 5; the crash must not re-fire.
+  EXPECT_NO_THROW(injector.check_crash(2, 5));
+  EXPECT_EQ(injector.stats().crashes, 1u);
+}
+
+TEST(FaultInjector, SnapshotFailureBudgetIsConsumed) {
+  auto& injector = util::FaultInjector::instance();
+  util::ScopedFaultPlan scope(util::FaultPlan(1).fail_snapshot_writes(2));
+  EXPECT_TRUE(injector.next_snapshot_write_fails());
+  EXPECT_TRUE(injector.next_snapshot_write_fails());
+  EXPECT_FALSE(injector.next_snapshot_write_fails());
+  EXPECT_EQ(injector.stats().io_failures, 2u);
+}
+
+// --- scmpi receive deadlines --------------------------------------------------
+
+TEST(Timeout, DeadlockedRecvFailsWithTimeoutError) {
+  // Acceptance: a deliberately deadlocked p2p exchange must fail with a
+  // typed TimeoutError within the configured deadline instead of hanging.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(200ms);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    runtime.run([](mpi::Comm& comm) {
+      std::vector<float> buffer(4);
+      // Both ranks receive, nobody sends: a classic deadlock.
+      comm.recv<float>(buffer, 1 - comm.rank(), 99);
+    });
+    FAIL() << "deadlocked recv returned";
+  } catch (const mpi::TimeoutError& error) {
+    EXPECT_EQ(error.tag(), 99);
+    EXPECT_GE(error.src(), 0);
+    EXPECT_EQ(error.deadline(), 200ms);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 5s);  // well within ctest patience
+}
+
+TEST(Timeout, DroppedMessageTurnsIntoTimeout) {
+  // Drop every message: the receive deadline converts the silent hang into
+  // a TimeoutError naming the blocked (src, tag).
+  util::ScopedFaultPlan scope(util::FaultPlan(7).drop_messages(1.0));
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(200ms);
+  try {
+    runtime.run([](mpi::Comm& comm) {
+      std::vector<float> buffer{1.0f};
+      if (comm.rank() == 0) {
+        comm.send<float>(buffer, 1, 5);  // dropped by the plan
+      } else {
+        comm.recv<float>(buffer, 0, 5);  // never arrives
+      }
+    });
+    FAIL() << "dropped message did not time out";
+  } catch (const mpi::TimeoutError& error) {
+    EXPECT_EQ(error.src(), 0);
+    EXPECT_EQ(error.tag(), 5);
+  }
+}
+
+TEST(Timeout, SatisfiedRecvIgnoresDeadline) {
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(5000ms);
+  runtime.run([](mpi::Comm& comm) {
+    std::vector<float> buffer{static_cast<float>(comm.rank())};
+    if (comm.rank() == 0) {
+      comm.send<float>(buffer, 1, 3);
+    } else {
+      comm.recv<float>(buffer, 0, 3);
+      EXPECT_EQ(buffer[0], 0.0f);
+    }
+  });
+}
+
+TEST(Timeout, CollectivesInheritTheDeadline) {
+  // One rank skips the collective: the others' reduce must time out rather
+  // than hang the whole job.
+  mpi::Runtime runtime(3);
+  runtime.set_recv_timeout(200ms);
+  EXPECT_THROW(runtime.run([](mpi::Comm& comm) {
+                 if (comm.rank() == 2) return;  // deserter
+                 std::vector<float> data(16, 1.0f);
+                 comm.reduce(data, 0);
+               }),
+               mpi::TimeoutError);
+}
+
+// --- injected message faults under real training -----------------------------
+
+TEST(MessageFaults, DelaysDoNotChangeTrainingResults) {
+  // Delays reorder nothing the matcher can see: training values must be
+  // bitwise identical with and without them.
+  auto run_once = [] {
+    data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+    data::ImageDataBackend backend(dataset);
+    core::TrainerConfig config;
+    config.iterations = 4;
+    config.global_batch = 8;
+    config.scaffe.variant = core::Variant::SCOB;
+    return core::train_with_recovery(
+        2, backend, dataset.sample_floats(),
+        [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); }, config);
+  };
+
+  const core::TrainerReport clean = run_once();
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(11).delay_messages(0.2, std::chrono::microseconds(500)));
+  const core::TrainerReport delayed = run_once();
+
+  ASSERT_FALSE(clean.final_params.empty());
+  EXPECT_EQ(clean.final_params, delayed.final_params);
+  EXPECT_EQ(clean.root_losses, delayed.root_losses);
+  EXPECT_GT(util::FaultInjector::instance().stats().delays, 0u);
+}
+
+// --- checkpoint-based recovery ------------------------------------------------
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("scaffe_fault_ckpt_" +
+              std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+              ".bin"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+  }
+
+  core::TrainerConfig base_config() const {
+    core::TrainerConfig config;
+    config.iterations = 10;
+    config.global_batch = 16;
+    config.snapshot_every = 2;
+    config.snapshot_path = path_;
+    config.solver.base_lr = 0.05f;
+    config.solver.momentum = 0.9f;
+    return config;
+  }
+
+  core::NetSpecFactory factory() const {
+    return [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); };
+  }
+
+  std::string path_;
+};
+
+TEST_F(RecoveryTest, ChaosScheduleMatchesFaultFreeRunBitwise) {
+  // The capstone: message delays + one rank crash + one snapshot I/O
+  // failure, all seeded — training completes and the final parameters are
+  // bitwise identical to the fault-free run.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.scaffe.variant = core::Variant::SCOBR;  // exercise the helper-thread path
+  config.recv_timeout_ms = 30000;                // backstop: fail typed, never hang
+
+  const core::TrainerReport clean =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+  ASSERT_FALSE(clean.final_params.empty());
+  EXPECT_EQ(clean.recovery.restarts, 0);
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(2017)
+          .delay_messages(0.05, std::chrono::microseconds(300))
+          .crash_rank(1, 5)
+          .fail_snapshot_writes(1));
+  const core::TrainerReport chaotic =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(chaotic.recovery.restarts, 1);
+  EXPECT_EQ(chaotic.recovery.resumed_iteration, 4);  // last snapshot before the crash
+  EXPECT_GE(chaotic.recovery.faults_fired, 2u);      // >= the crash + the I/O failure
+  const util::FaultStats stats = util::FaultInjector::instance().stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.io_failures, 1u);
+
+  ASSERT_EQ(chaotic.final_params.size(), clean.final_params.size());
+  EXPECT_EQ(chaotic.final_params, clean.final_params);  // bitwise identity
+  // The recovered segment's losses equal the fault-free run's tail.
+  ASSERT_EQ(chaotic.iterations, clean.iterations);
+  const std::size_t resumed = static_cast<std::size_t>(chaotic.recovery.resumed_iteration);
+  ASSERT_EQ(chaotic.root_losses.size() + resumed, clean.root_losses.size());
+  for (std::size_t i = 0; i < chaotic.root_losses.size(); ++i) {
+    EXPECT_EQ(chaotic.root_losses[i], clean.root_losses[resumed + i]) << i;
+  }
+}
+
+TEST_F(RecoveryTest, CrashBeforeFirstSnapshotRestartsFromScratch) {
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 6;
+
+  const core::TrainerReport clean =
+      core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), config);
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(util::FaultPlan(3).crash_rank(1, 1));
+  const core::TrainerReport recovered =
+      core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), config);
+  EXPECT_EQ(recovered.recovery.restarts, 1);
+  EXPECT_EQ(recovered.recovery.resumed_iteration, 0);
+  EXPECT_EQ(recovered.final_params, clean.final_params);
+}
+
+TEST_F(RecoveryTest, RestartBudgetExhaustionThrows) {
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 4;
+  config.snapshot_every = 0;  // no checkpoints: every restart begins at 0
+
+  // The same rank crashes at iteration 1 of every attempt.
+  util::ScopedFaultPlan scope(util::FaultPlan(5)
+                                  .crash_rank(0, 1)
+                                  .crash_rank(0, 1)
+                                  .crash_rank(0, 1)
+                                  .crash_rank(0, 1));
+  EXPECT_THROW(core::train_with_recovery(2, backend, dataset.sample_floats(), factory(),
+                                         config, /*max_restarts=*/2),
+               std::runtime_error);
+}
+
+TEST_F(RecoveryTest, SnapshotWriteFailuresAreRetriedAndCounted) {
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 4;
+
+  util::ScopedFaultPlan scope(util::FaultPlan(9).fail_snapshot_writes(1));
+  const core::TrainerReport report =
+      core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), config);
+  EXPECT_EQ(report.recovery.restarts, 0);
+  EXPECT_EQ(report.recovery.snapshot_write_retries, 1);
+  EXPECT_EQ(report.snapshots_written, 2);
+  // The finished file is a valid full checkpoint despite the turbulence.
+  const auto info = dl::probe_snapshot(path_);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->iteration, 4);
+  EXPECT_GT(info->state_count, 0u);
+}
+
+TEST_F(RecoveryTest, ExhaustedSnapshotRetriesSurfaceAsError) {
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 2;
+
+  // More failures than the writer's retry budget: the save throws, which is
+  // a non-restartable error (the job can't checkpoint at all).
+  util::ScopedFaultPlan scope(util::FaultPlan(9).fail_snapshot_writes(100));
+  EXPECT_THROW(
+      core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), config),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scaffe

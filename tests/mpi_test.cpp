@@ -3,6 +3,7 @@
 #include <atomic>
 #include <deque>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "coll/algorithms.h"
@@ -376,6 +377,96 @@ TEST(ScheduleFactories, ChainBcastInstallable) {
     comm.bcast(data, 0);
     EXPECT_EQ(data[63], 7.0f);
   });
+}
+
+// --- abort propagation through non-blocking operations ------------------------
+//
+// MPI_Abort semantics must reach requests, not just blocked receives: after
+// one rank fails, a peer's Request::wait() must raise AbortError, a
+// Request::test() polling loop must raise instead of spinning forever, and
+// the failing rank's original exception must win over the secondary
+// AbortErrors it caused.
+
+struct OriginalFailure : std::runtime_error {
+  OriginalFailure() : std::runtime_error("original failure") {}
+};
+
+TEST(AbortPropagation, WaitAfterAbortRaisesAndOriginalErrorWins) {
+  Runtime runtime(3);
+  try {
+    runtime.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.barrier();
+        throw OriginalFailure();
+      }
+      comm.barrier();
+      // Never satisfied: rank 0 fails instead of sending.
+      std::vector<float> data(1);
+      Request request = comm.irecv<float>(data, 0, 77);
+      request.wait();  // must raise AbortError, not hang
+      FAIL() << "wait() returned after abort";
+    });
+    FAIL() << "run() returned despite a failing rank";
+  } catch (const OriginalFailure&) {
+    // rank 0's exception, not the secondary AbortError, surfaces.
+  }
+}
+
+TEST(AbortPropagation, TestPollingLoopRaisesInsteadOfSpinning) {
+  Runtime runtime(2);
+  try {
+    runtime.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.barrier();
+        throw OriginalFailure();
+      }
+      std::vector<float> data(1);
+      Request request = comm.irecv<float>(data, 0, 12);
+      comm.barrier();
+      // Poll until completion: once the world aborts, test() must throw
+      // AbortError — completing false forever would hang this loop.
+      EXPECT_THROW(
+          while (!request.test()) { std::this_thread::yield(); },
+          AbortError);
+      throw std::runtime_error("secondary observer failure");
+    });
+    FAIL() << "run() returned despite failing ranks";
+  } catch (const OriginalFailure&) {
+  } catch (const std::runtime_error& error) {
+    // Either rank's *non-abort* exception may surface first (both are
+    // original failures); a bare AbortError must not.
+    EXPECT_STREQ(error.what(), "secondary observer failure");
+  }
+}
+
+TEST(AbortPropagation, NonBlockingCollectiveWaitUnblocksOnAbort) {
+  Runtime runtime(3);
+  try {
+    runtime.run([](Comm& comm) {
+      if (comm.rank() == 2) {
+        comm.barrier();
+        throw OriginalFailure();
+      }
+      comm.barrier();
+      std::vector<float> data(64, 1.0f);
+      Request request = comm.ireduce(data, 0);  // rank 2 never participates
+      request.wait();
+    });
+    FAIL() << "run() returned despite a failing rank";
+  } catch (const OriginalFailure&) {
+  }
+}
+
+TEST(AbortPropagation, BlockedCollectivePeersUnwindWithOriginalError) {
+  // The original failing rank dies *inside* a collective window while peers
+  // are blocked deep in schedule execution.
+  Runtime runtime(4);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+                 if (comm.rank() == 3) throw OriginalFailure();
+                 std::vector<float> data(256, 1.0f);
+                 comm.allreduce(data);
+               }),
+               OriginalFailure);
 }
 
 TEST(CudaAware, DeviceBufferCollectives) {
