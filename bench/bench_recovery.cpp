@@ -1,0 +1,132 @@
+// Time-to-resume after a rank failure: RecoveryPolicy::Restart (same-size
+// relaunch) vs RecoveryPolicy::Shrink (survivor-world continue) at 4/8/16
+// ranks, against the fault-free baseline. Real wall clock on this machine's
+// in-process scmpi world; writes machine-readable BENCH_recovery.json so the
+// recovery-latency trajectory is tracked PR over PR.
+//
+// Weak scaling keeps every world size (and every shrunk survivor count)
+// viable without batch-divisibility concerns.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "models/zoo.h"
+#include "util/fault.h"
+#include "util/thread_pool.h"
+
+using namespace scaffe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  int ranks = 0;
+  double clean_ms = 0;    // fault-free run
+  double restart_ms = 0;  // crash at mid-run, same-size restart
+  double shrink_ms = 0;   // crash at mid-run, survivors continue
+  int shrink_final_world = 0;
+};
+
+core::TrainerConfig make_config(const std::string& snapshot_path) {
+  core::TrainerConfig config;
+  config.iterations = 8;
+  config.global_batch = 8;  // per rank: weak scaling
+  config.scaling = core::Scaling::Weak;
+  config.snapshot_every = 2;
+  config.snapshot_path = snapshot_path;
+  config.recv_timeout_ms = 30000;
+  config.solver.base_lr = 0.05f;
+  config.solver.momentum = 0.9f;
+  return config;
+}
+
+double timed_run(int ranks, data::ImageDataBackend& backend,
+                 const data::SyntheticImageDataset& dataset,
+                 const core::TrainerConfig& config, core::TrainerReport* report) {
+  const auto start = Clock::now();
+  core::TrainerReport result = core::train_with_recovery(
+      ranks, backend, dataset.sample_floats(),
+      [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); }, config);
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  if (report != nullptr) *report = std::move(result);
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  // Rank threads already provide the parallelism here; keep the math pool
+  // serial so 16-rank worlds don't oversubscribe the machine.
+  util::ThreadPool::set_global_threads(1);
+
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "scaffe_bench_recovery.bin").string();
+
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  std::vector<Row> rows;
+  for (const int ranks : {4, 8, 16}) {
+    Row row;
+    row.ranks = ranks;
+    core::TrainerConfig config = make_config(snapshot_path);
+
+    std::filesystem::remove(snapshot_path);
+    row.clean_ms = timed_run(ranks, backend, dataset, config, nullptr);
+
+    // Rank 1 dies at iteration 5; the last good checkpoint records 4, so
+    // both policies replay iterations 4..7 on top of the recovery cost.
+    {
+      std::filesystem::remove(snapshot_path);
+      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, 5));
+      config.recovery = core::RecoveryPolicy::Restart;
+      row.restart_ms = timed_run(ranks, backend, dataset, config, nullptr);
+    }
+    {
+      std::filesystem::remove(snapshot_path);
+      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, 5));
+      config.recovery = core::RecoveryPolicy::Shrink;
+      core::TrainerReport report;
+      row.shrink_ms = timed_run(ranks, backend, dataset, config, &report);
+      row.shrink_final_world = report.recovery.final_world_size;
+    }
+
+    std::printf("ranks=%2d  clean %7.1f ms  restart %7.1f ms (+%5.1f)  "
+                "shrink %7.1f ms (+%5.1f, finishes on %d)\n",
+                ranks, row.clean_ms, row.restart_ms, row.restart_ms - row.clean_ms,
+                row.shrink_ms, row.shrink_ms - row.clean_ms, row.shrink_final_world);
+    rows.push_back(row);
+  }
+  std::filesystem::remove(snapshot_path);
+
+  const char* json_path = "BENCH_recovery.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"workload\": \"mlp 6-8-3, weak scaling, batch 8/rank, "
+                    "8 iterations, crash at 5, checkpoint at 4\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"clean_ms\": %.3f, \"restart_ms\": %.3f, "
+                 "\"shrink_ms\": %.3f, \"restart_overhead_ms\": %.3f, "
+                 "\"shrink_overhead_ms\": %.3f, \"shrink_final_world\": %d}%s\n",
+                 row.ranks, row.clean_ms, row.restart_ms, row.shrink_ms,
+                 row.restart_ms - row.clean_ms, row.shrink_ms - row.clean_ms,
+                 row.shrink_final_world, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Full verification: build + test twice — once plain, once under TSan.
+# Full verification: build + test three times — plain, under TSan, and under
+# ASan+UBSan.
 #
-#   scripts/check.sh            # both passes
+#   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # plain pass only
 #
 # The TSan pass exists because the interesting subsystems here are threaded
 # (scmpi rank threads, the SC-OBR helper thread, the math pool, fault-injected
-# delays); a green plain run is not evidence of race-freedom.
+# delays); a green plain run is not evidence of race-freedom. The ASan+UBSan
+# pass covers the memory/UB side: buffer math in the kernels and the
+# generation/context/tag arithmetic of the elastic runtime.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,8 +32,10 @@ run_pass build
 
 if [[ "${fast}" -eq 0 ]]; then
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
-  # pool serial under TSan so runtimes stay sane. Determinism is unaffected.
+  # pool serial under the sanitizers so runtimes stay sane. Determinism is
+  # unaffected.
   SCAFFE_THREADS=1 run_pass build-tsan -DSCAFFE_SANITIZE=thread
+  SCAFFE_THREADS=1 run_pass build-asan -DSCAFFE_SANITIZE=address
 fi
 
 echo "==> all checks passed"

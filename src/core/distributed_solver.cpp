@@ -7,8 +7,6 @@
 #include "core/hr_factory.h"
 #include "gpu/kernels.h"
 
-#include "coll/algorithms.h"
-
 namespace scaffe::core {
 
 const char* variant_name(Variant variant) noexcept {
@@ -25,15 +23,10 @@ DistributedSolver::DistributedSolver(mpi::Comm& comm, dl::NetSpec net_spec,
                                      gpu::Device* device)
     : comm_(comm), config_(config), solver_(std::move(net_spec), solver_config, device) {
   packed_.resize(solver_.net().param_count());
-  comm_.set_reduce_factory(make_reduce_factory(config_.reduce));
-  comm_.set_bcast_factory(make_bcast_factory());
-  if (config_.aggregation == Aggregation::AllreduceSgd && config_.ring_allreduce) {
-    comm_.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
-      // Tiny buffers fall back to reduce+bcast inside coll; the ring needs
-      // at least one element per rank.
-      return coll::ring_allreduce(nranks, count);
-    });
-  }
+  // Elastic contract: schedules are re-derived from comm.size() on every
+  // construction, so a solver built over a shrunk survivor comm gets the
+  // right hierarchical/ring schedules for n_new automatically.
+  install_collectives(comm_, config_);
 }
 
 void DistributedSolver::load_batch(std::span<const float> data, std::span<const float> labels) {
@@ -138,7 +131,9 @@ void DistributedSolver::aggregate_overlapped() {
 void DistributedSolver::root_update() {
   if (is_root()) {
     // Gradients were summed across P shards of the global batch; averaging
-    // restores exactly the full-batch gradient.
+    // restores exactly the full-batch gradient. comm_.size() is the CURRENT
+    // world size, so after an elastic shrink the averaging rescales to
+    // 1/n_new without any extra bookkeeping.
     solver_.net().scale_diffs(1.0f / static_cast<float>(comm_.size()));
     solver_.apply_update();
   } else {

@@ -32,4 +32,22 @@ inline mpi::ScheduleFactory make_bcast_factory() {
   };
 }
 
+/// Installs every collective schedule factory `config` asks for into `comm`.
+/// This is the single (re)derivation point for elastic recovery: factories
+/// are pure functions of (nranks, root, count), so installing them on a
+/// communicator rebuilt over the survivor world re-derives the hierarchical
+/// reduction tree, chain pipelining, and ring partitioning for the new size
+/// with no stale per-size state left behind.
+inline void install_collectives(mpi::Comm& comm, const ScaffeConfig& config) {
+  comm.set_reduce_factory(make_reduce_factory(config.reduce));
+  comm.set_bcast_factory(make_bcast_factory());
+  if (config.aggregation == Aggregation::AllreduceSgd && config.ring_allreduce) {
+    comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+      // Tiny buffers fall back to reduce+bcast inside coll; the ring needs
+      // at least one element per rank.
+      return coll::ring_allreduce(nranks, count);
+    });
+  }
+}
+
 }  // namespace scaffe::core

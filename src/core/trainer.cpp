@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 
 #include "data/reader.h"
@@ -8,6 +10,14 @@
 #include "util/fault.h"
 
 namespace scaffe::core {
+
+const char* recovery_policy_name(RecoveryPolicy policy) noexcept {
+  switch (policy) {
+    case RecoveryPolicy::Restart: return "Restart";
+    case RecoveryPolicy::Shrink: return "Shrink";
+  }
+  return "?";
+}
 
 Trainer::Trainer(mpi::Comm& comm, data::ReadBackend& backend, std::size_t sample_floats,
                  NetSpecFactory net_factory, TrainerConfig config)
@@ -64,7 +74,9 @@ TrainerReport Trainer::run() {
        ++iteration) {
     // Rank-crash-at-iteration hook: in a real cluster this is the process
     // dying; here it throws, the world aborts, and recovery takes over.
-    faults.check_crash(comm_.rank(), iteration);
+    // Keyed by WORLD rank so crash schedules stay stable after a shrink
+    // re-densifies comm ranks (world rank == comm rank in a full world).
+    faults.check_crash(comm_.world_rank(), iteration);
 
     const data::Batch batch = reader.next();
     const IterationResult result = solver.train_iteration(batch.data, batch.labels);
@@ -98,11 +110,20 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
                                   TrainerConfig config, int max_restarts) {
   RecoveryEvents recovery;
   int start_iteration = config.start_iteration;
+  auto& faults = util::FaultInjector::instance();
 
+  // One persistent world for the whole job: every attempt is a membership
+  // generation over it, so messages of a crashed epoch are fenced out of the
+  // rebuilt world (see mpi::World) instead of relying on teardown timing.
   mpi::Runtime runtime(nranks);
   if (config.recv_timeout_ms > 0) {
     runtime.set_recv_timeout(std::chrono::milliseconds(config.recv_timeout_ms));
   }
+
+  // The survivor set, as world ranks. Shrink removes the dead; comm ranks
+  // inside each attempt are the dense 0..live.size()-1 renumbering.
+  std::vector<int> live(static_cast<std::size_t>(nranks));
+  std::iota(live.begin(), live.end(), 0);
 
   for (;;) {
     std::mutex mutex;
@@ -110,8 +131,9 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
     bool have_root_report = false;
 
     bool restartable_failure = false;
+    int dead_world_rank = -1;  // identified victim of this attempt, or -1
     try {
-      runtime.run([&](mpi::Comm& comm) {
+      runtime.run_members(live, [&](mpi::Comm& comm) {
         TrainerConfig attempt_config = config;
         attempt_config.start_iteration = start_iteration;
         Trainer trainer(comm, backend, sample_floats, net_factory, attempt_config);
@@ -122,13 +144,21 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
           have_root_report = true;
         }
       });
-    } catch (const mpi::TimeoutError&) {
+    } catch (const mpi::TimeoutError& error) {
       ++recovery.timeouts;
       restartable_failure = true;
-    } catch (const util::InjectedCrash&) {
+      // The peer the receiver was blocked on is the prime suspect. The
+      // training path runs its collectives on the attempt's top-level
+      // communicator, whose comm ranks index `live`.
+      if (error.src() != mpi::kAnySource && error.src() >= 0 &&
+          error.src() < static_cast<int>(live.size())) {
+        dead_world_rank = live[static_cast<std::size_t>(error.src())];
+      }
+    } catch (const util::InjectedCrash& crash) {
       restartable_failure = true;
+      dead_world_rank = crash.rank();  // a world rank (see Trainer::run)
     } catch (const mpi::AbortError&) {
-      restartable_failure = true;
+      restartable_failure = true;  // secondary unwind; victim unknown
     }
     // Anything else (config errors, corrupt-beyond-recovery checkpoints,
     // logic bugs) propagates: restarting would not help.
@@ -138,12 +168,16 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
         throw std::runtime_error("train_with_recovery: no report from rank 0");
       }
       root_report.recovery.restarts = recovery.restarts;
+      root_report.recovery.shrinks = recovery.shrinks;
       root_report.recovery.timeouts = recovery.timeouts;
       root_report.recovery.snapshot_write_retries += recovery.snapshot_write_retries;
+      root_report.recovery.dead_world_ranks = recovery.dead_world_ranks;
+      root_report.recovery.final_world_size = static_cast<int>(live.size());
+      root_report.recovery.final_generation = runtime.generation();
       if (recovery.restarts > 0) {
         root_report.recovery.resumed_iteration = recovery.resumed_iteration;
       }
-      root_report.recovery.faults_fired = util::FaultInjector::instance().stats().total();
+      root_report.recovery.faults_fired = faults.stats().total();
       return root_report;
     }
 
@@ -151,6 +185,45 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
     if (recovery.restarts > max_restarts) {
       throw std::runtime_error("train_with_recovery: restart budget (" +
                                std::to_string(max_restarts) + ") exhausted");
+    }
+
+    // This recovery window's deaths: the victim that ended the generation
+    // plus any rank that dies while we are rebuilding (a second failure
+    // hitting mid-recovery must be absorbed, not fatal).
+    std::vector<int> dead;
+    if (dead_world_rank >= 0) dead.push_back(dead_world_rank);
+    for (;;) {
+      try {
+        faults.check_recovery_crash(recovery.restarts);
+        break;
+      } catch (const util::InjectedCrash& crash) {
+        dead.push_back(crash.rank());
+      }
+    }
+
+    if (config.recovery == RecoveryPolicy::Shrink) {
+      std::vector<int> survivors = live;
+      for (int rank : dead) {
+        survivors.erase(std::remove(survivors.begin(), survivors.end(), rank),
+                        survivors.end());
+      }
+      // A shrunk world must still be able to run: at least one survivor and,
+      // under strong scaling, a global batch the survivors divide evenly.
+      // Otherwise fall back to a same-size restart for this cycle (modelling
+      // a node replacement), recorded as a plain restart.
+      const bool viable =
+          !survivors.empty() &&
+          (config.scaling != Scaling::Strong ||
+           config.global_batch % static_cast<int>(survivors.size()) == 0);
+      if (viable && survivors.size() < live.size()) {
+        for (int rank : live) {
+          if (std::find(survivors.begin(), survivors.end(), rank) == survivors.end()) {
+            recovery.dead_world_ranks.push_back(rank);
+          }
+        }
+        live = std::move(survivors);
+        ++recovery.shrinks;
+      }
     }
 
     // Resume from the last good checkpoint, or from scratch when none (or a

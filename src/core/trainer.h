@@ -15,12 +15,27 @@
 
 namespace scaffe::core {
 
+/// What the fault-tolerant supervisor does after a rank failure.
+enum class RecoveryPolicy {
+  Restart,  // relaunch the SAME-size world from the last good checkpoint
+            // (models replacing the dead node before resuming)
+  Shrink,   // drop the dead rank, rebuild an (n-1)-rank survivor world under
+            // a new membership generation, reshard, rescale, and continue
+};
+
+const char* recovery_policy_name(RecoveryPolicy policy) noexcept;
+
 struct TrainerConfig {
   int iterations = 100;
   int global_batch = 32;
   Scaling scaling = Scaling::Strong;  // the paper's -scal option
   ScaffeConfig scaffe;
   dl::SolverConfig solver;
+
+  /// How train_with_recovery reacts to a rank failure. Shrink falls back to
+  /// a same-size restart for one attempt when the survivor count cannot
+  /// divide the strong-scaling global batch or the victim is unidentifiable.
+  RecoveryPolicy recovery = RecoveryPolicy::Restart;
 
   int snapshot_every = 0;      // iterations between snapshots; 0 disables
   std::string snapshot_path;   // written by the root solver
@@ -42,11 +57,15 @@ struct TrainerConfig {
 /// Fault-tolerance bookkeeping: what went wrong during a (possibly
 /// restarted) training run and how the stack absorbed it.
 struct RecoveryEvents {
-  int restarts = 0;                // world teardown + resume-from-checkpoint cycles
+  int restarts = 0;                // recovery cycles (same-size restarts AND shrinks)
+  int shrinks = 0;                 // cycles that removed at least one dead rank
   int timeouts = 0;                // attempts that failed with a TimeoutError
   int snapshot_write_retries = 0;  // extra snapshot write attempts (I/O faults absorbed)
   std::uint64_t faults_fired = 0;  // injected faults that actually triggered
   long resumed_iteration = -1;     // last resume point; -1 if never restarted
+  std::vector<int> dead_world_ranks;   // world ranks removed by Shrink, in death order
+  int final_world_size = 0;            // ranks in the segment that finished the run
+  std::uint64_t final_generation = 0;  // membership epoch of that segment
 };
 
 struct TrainerReport {
@@ -85,14 +104,29 @@ class Trainer {
   int shard_batch_;
 };
 
-/// Fault-tolerant driver around Trainer: spawns a fresh scmpi world, trains,
-/// and — when a rank fails mid-run (injected crash, timeout, abort) — tears
-/// the world down, restores every rank from the last good snapshot in
-/// `config.snapshot_path`, and resumes from its recorded iteration. Because
-/// snapshots are full solver checkpoints (params + momentum + iteration) and
-/// readers are deterministic, the recovered run's final parameters are
-/// bitwise identical to an uninterrupted run's. Throws once `max_restarts`
-/// restart attempts are exhausted (or immediately on non-restartable
+/// Fault-tolerant driver around Trainer: spawns an scmpi world, trains, and
+/// — when a rank fails mid-run (injected crash, timeout, abort) — ends the
+/// membership generation, restores every rank from the last good snapshot in
+/// `config.snapshot_path`, and resumes from its recorded iteration.
+///
+/// Under RecoveryPolicy::Restart the relaunch uses the same world size.
+/// Under RecoveryPolicy::Shrink the dead rank (named by the InjectedCrash,
+/// or the timed-out peer of a TimeoutError) is dropped and the survivors
+/// continue as an (n-1)-rank world in a new membership generation: comm
+/// ranks re-densify, DataReader shards re-stride over n-1 readers (each
+/// remaining sample still read exactly once per epoch), gradient averaging
+/// rescales to 1/(n-1), and the hierarchical-reduce/tuner schedules are
+/// re-derived for the new size. Crashes injected *inside* the recovery
+/// window (FaultPlan::crash_in_recovery) shrink the survivor set further
+/// before the relaunch.
+///
+/// Determinism contract: snapshots are full solver checkpoints (params +
+/// momentum + iteration) and readers are deterministic functions of
+/// (shard, num_shards, start_batch), so a run that shrinks n -> k at some
+/// checkpoint is bitwise identical, from that checkpoint on, to a fresh
+/// k-rank run resumed from the same checkpoint; a pure Restart run is
+/// bitwise identical to an uninterrupted one. Throws once `max_restarts`
+/// recovery cycles are exhausted (or immediately on non-restartable
 /// errors). Returns the root's report of the final (successful) segment,
 /// with `recovery` describing every absorbed failure.
 TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,

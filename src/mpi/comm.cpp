@@ -51,6 +51,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   if (dst < 0 || dst >= size()) throw std::runtime_error("scmpi send: bad rank");
   Envelope envelope;
   envelope.context = context_;
+  envelope.generation = generation_;
   envelope.src = rank_;
   envelope.tag = tag;
   envelope.payload.assign(data.begin(), data.end());
@@ -60,7 +61,7 @@ void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
-  return mailbox().recv(context_, src, tag);
+  return mailbox().recv(context_, generation_, src, tag);
 }
 
 // --- schedule execution ---------------------------------------------------------
@@ -179,7 +180,8 @@ std::vector<float> Comm::scatter(std::span<const float> data, int root) {
                 static_cast<std::ptrdiff_t>((static_cast<std::size_t>(rank_) + 1) * block)};
   }
   // Non-roots learn the block size from the payload itself.
-  const std::vector<std::byte> payload = mailbox().recv(context_, root, tag_base);
+  const std::vector<std::byte> payload =
+      mailbox().recv(context_, generation_, root, tag_base);
   std::vector<float> result(payload.size() / sizeof(float));
   if (!payload.empty()) std::memcpy(result.data(), payload.data(), payload.size());
   return result;
@@ -321,7 +323,8 @@ Comm Comm::split(int color, int key) {
       }
     }
   } else {
-    const std::vector<std::byte> payload = mailbox().recv(context_, 0, tag_base + 1);
+    const std::vector<std::byte> payload =
+        mailbox().recv(context_, generation_, 0, tag_base + 1);
     std::vector<int> message(payload.size() / sizeof(int));
     std::memcpy(message.data(), payload.data(), payload.size());
     my_new_rank = message[0];
@@ -329,8 +332,13 @@ Comm Comm::split(int color, int key) {
     my_group.assign(message.begin() + 2, message.end());
   }
 
+  // Child context: parent context (already woven with the membership
+  // generation at the epoch's base) mixed with the split ordinal and color.
+  // Identical split sequences in different generations therefore land in
+  // disjoint context space; the envelope generation stamp is the hard fence
+  // behind that (see world.h).
   const ContextId child_context = mix_context(context_, seq_used, my_color_index);
-  return Comm(world_, my_new_rank, std::move(my_group), child_context);
+  return Comm(world_, my_new_rank, std::move(my_group), child_context, generation_);
 }
 
 Comm Comm::dup() { return split(0, rank_); }
@@ -339,20 +347,46 @@ Comm Comm::dup() { return split(0, rank_); }
 
 Runtime::Runtime(int nranks) : nranks_(nranks) {
   if (nranks < 1) throw std::runtime_error("Runtime: nranks must be >= 1");
+  // The world persists across runs and failures: each run only opens a new
+  // membership generation over the same mailboxes (elastic worlds).
+  world_ = std::make_shared<World>(nranks_, recv_timeout_);
 }
 
 void Runtime::run(const std::function<void(Comm&)>& body) {
-  // Fresh world per run: no stale messages can leak between runs.
-  world_ = std::make_shared<World>(nranks_, recv_timeout_);
   std::vector<int> identity(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) identity[static_cast<std::size_t>(r)] = r;
+  run_members(identity, body);
+}
 
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+void Runtime::run_members(const std::vector<int>& members,
+                          const std::function<void(Comm&)>& body) {
+  if (members.empty()) throw std::runtime_error("Runtime: empty member set");
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] < 0 || members[i] >= nranks_) {
+      throw std::runtime_error("Runtime: member " + std::to_string(members[i]) +
+                               " outside world [0, " + std::to_string(nranks_) + ")");
+    }
+    if (i > 0 && members[i] <= members[i - 1]) {
+      throw std::runtime_error("Runtime: members must be strictly ascending");
+    }
+  }
+
+  // Open the next membership epoch: clears the abort flag, purges dead-epoch
+  // mail, and yields the generation every envelope of this run is stamped
+  // with. The base context is woven from the generation so sub-communicator
+  // context chains of different epochs never collide either.
+  world_->recv_timeout_ms.store(recv_timeout_.count());
+  const Generation generation = world_->begin_generation();
+  const ContextId base_context =
+      mix_context(0x5caffe, static_cast<std::int64_t>(generation), 0);
+
+  const int nmembers = static_cast<int>(members.size());
+  std::vector<std::exception_ptr> errors(members.size());
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks_));
-  for (int r = 0; r < nranks_; ++r) {
+  threads.reserve(members.size());
+  for (int r = 0; r < nmembers; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm(world_, r, identity, /*context=*/1);
+      Comm comm(world_, r, members, base_context, generation);
       try {
         body(comm);
       } catch (...) {

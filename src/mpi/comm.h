@@ -54,6 +54,18 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return static_cast<int>(group_.size()); }
 
+  /// This rank's identity in the maximal world (stable across shrinks; comm
+  /// ranks are re-densified every membership generation, world ranks never).
+  int world_rank() const noexcept { return group_[static_cast<std::size_t>(rank_)]; }
+
+  /// Membership epoch this communicator belongs to. Messages cannot cross
+  /// generations (see World); useful for diagnostics and fencing tests.
+  Generation generation() const noexcept { return generation_; }
+
+  /// The communicator's context id (isolated tag space). Exposed so tests
+  /// can audit the allocation for collisions across splits and rebuilds.
+  ContextId context() const noexcept { return context_; }
+
   // --- point-to-point -----------------------------------------------------
 
   void send_bytes(std::span<const std::byte> data, int dst, int tag);
@@ -65,7 +77,8 @@ class Comm {
   int recv_any(std::span<T> data, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     int src = -1;
-    const std::vector<std::byte> payload = mailbox().recv(context_, kAnySource, tag, &src);
+    const std::vector<std::byte> payload =
+        mailbox().recv(context_, generation_, kAnySource, tag, &src);
     if (payload.size() != data.size_bytes()) {
       throw std::runtime_error("scmpi recv_any: size mismatch");
     }
@@ -106,7 +119,7 @@ class Comm {
         return true;
       }
       std::vector<std::byte> payload;
-      if (!mailbox().try_recv(context_, src, tag, payload)) return false;
+      if (!mailbox().try_recv(context_, generation_, src, tag, payload)) return false;
       if (payload.size() != data.size_bytes()) {
         throw std::runtime_error("scmpi irecv: size mismatch");
       }
@@ -212,11 +225,15 @@ class Comm {
  private:
   friend class Runtime;
 
-  Comm(std::shared_ptr<World> world, int rank, std::vector<int> group, ContextId context)
-      : world_(std::move(world)), rank_(rank), group_(std::move(group)), context_(context) {}
+  Comm(std::shared_ptr<World> world, int rank, std::vector<int> group, ContextId context,
+       Generation generation)
+      : world_(std::move(world)),
+        rank_(rank),
+        group_(std::move(group)),
+        context_(context),
+        generation_(generation) {}
 
   Mailbox& mailbox() { return *world_->mailboxes[static_cast<std::size_t>(world_rank())]; }
-  int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
 
   /// Executes this rank's program of a schedule against `data`.
   void execute_schedule(const coll::Schedule& schedule, std::span<float> data, int tag_base);
@@ -234,14 +251,22 @@ class Comm {
   int rank_;
   std::vector<int> group_;  // comm rank -> world rank
   ContextId context_;
+  Generation generation_ = 0;  // membership epoch, stamped on every envelope
   std::int64_t coll_seq_ = 0;
   ScheduleFactory reduce_factory_;
   ScheduleFactory bcast_factory_;
   ScheduleFactory allreduce_factory_;
 };
 
-/// Spawns `nranks` rank threads running `body(comm)` over a shared world.
+/// Spawns rank threads running `body(comm)` over a persistent world.
 /// run() blocks until every rank returns and rethrows the first exception.
+///
+/// Elastic worlds: the World (mailboxes, fault config) outlives failures.
+/// Every run()/run_members() call opens a fresh membership generation, so a
+/// crashed epoch's leftover mail is fenced out of the next one (see World).
+/// run_members() launches only a survivor subset — the shrink path of
+/// elastic recovery: comm ranks are re-densified to 0..k-1 while
+/// Comm::world_rank() keeps each survivor's stable identity.
 class Runtime {
  public:
   explicit Runtime(int nranks);
@@ -254,7 +279,20 @@ class Runtime {
   void set_recv_timeout(std::chrono::milliseconds timeout) { recv_timeout_ = timeout; }
   std::chrono::milliseconds recv_timeout() const noexcept { return recv_timeout_; }
 
+  /// Launches every world rank (a full-membership generation).
   void run(const std::function<void(Comm&)>& body);
+
+  /// Launches only `members` (strictly ascending world ranks, non-empty
+  /// subset of [0, nranks)): the survivor world after a shrink. Member i of
+  /// k gets comm rank i; world_rank() maps back. A fresh generation fences
+  /// out every message of earlier epochs.
+  void run_members(const std::vector<int>& members, const std::function<void(Comm&)>& body);
+
+  /// Current membership epoch (0 until the first run).
+  Generation generation() const noexcept { return world_->generation.load(); }
+
+  /// Diagnostic/test access to the shared world (mailboxes, abort flag).
+  World& world() noexcept { return *world_; }
 
  private:
   int nranks_;

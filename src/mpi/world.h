@@ -21,6 +21,18 @@
 //    via the exact waiter count maintained under the mailbox mutex.
 //  - interrupt() is a control-path wakeup (abort, shutdown): it always
 //    notifies all waiters so every blocked thread re-checks the abort flag.
+//
+// Membership generations (elastic worlds):
+//  - A World persists across failures. Each (re)launch of rank bodies is a
+//    new membership generation: World::begin_generation() bumps the epoch,
+//    clears the abort flag, and purges stale mail. Every Envelope is stamped
+//    with the sender's generation and a receive only matches envelopes of
+//    its own generation, so a message sent in a dead epoch can NEVER be
+//    delivered into a rebuilt world — even if it raced past the purge or a
+//    context id collided. The generation is additionally woven into the base
+//    ContextId of each epoch (see Runtime), so the context space of two
+//    epochs is disjoint as well; the explicit generation match is the hard
+//    fence, the context weave keeps tag-space bookkeeping collision-free.
 #pragma once
 
 #include <atomic>
@@ -43,6 +55,11 @@ namespace scaffe::mpi {
 
 /// Context ids isolate communicators; tags isolate operations inside one.
 using ContextId = std::int64_t;
+
+/// Membership epoch of an elastic world. Bumped on every (re)launch of rank
+/// bodies; messages from generation g are invisible to receives of any other
+/// generation (the stale-epoch fence).
+using Generation = std::uint64_t;
 
 /// MPI_ANY_SOURCE analogue for matched receives.
 inline constexpr int kAnySource = -1;
@@ -86,6 +103,7 @@ class TimeoutError : public std::runtime_error {
 
 struct Envelope {
   ContextId context;
+  Generation generation = 0;  // sender's membership epoch
   int src;
   int tag;
   std::vector<std::byte> payload;
@@ -124,20 +142,26 @@ class Mailbox {
   }
 
   /// Blocking matched receive. `src` may be kAnySource; the actual sender
-  /// is written to *out_src when non-null (arrival order wins ties).
+  /// is written to *out_src when non-null (arrival order wins ties). Only
+  /// envelopes of the receiver's `generation` are eligible — stale-epoch
+  /// mail is invisible, never consumed.
   /// Throws AbortError if the world aborts while waiting, and TimeoutError
   /// if a configured receive deadline expires first.
-  std::vector<std::byte> recv(ContextId context, int src, int tag, int* out_src = nullptr) {
+  std::vector<std::byte> recv(ContextId context, Generation generation, int src, int tag,
+                              int* out_src = nullptr) {
     const std::chrono::milliseconds timeout = timeout_ms_ == nullptr
                                                   ? std::chrono::milliseconds(0)
                                                   : std::chrono::milliseconds(timeout_ms_->load());
     const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto matches = [&](const Envelope& envelope) {
+      return envelope.context == context && envelope.generation == generation &&
+             (src == kAnySource || envelope.src == src) && envelope.tag == tag;
+    };
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
       if (aborted_ != nullptr && aborted_->load()) throw AbortError();
       for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-        if (it->context == context && (src == kAnySource || it->src == src) &&
-            it->tag == tag) {
+        if (matches(*it)) {
           std::vector<std::byte> payload = std::move(it->payload);
           if (out_src != nullptr) *out_src = it->src;
           messages_.erase(it);
@@ -152,8 +176,7 @@ class Mailbox {
             !(aborted_ != nullptr && aborted_->load())) {
           // Re-scan once: the message may have arrived in the wakeup race.
           for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-            if (it->context == context && (src == kAnySource || it->src == src) &&
-                it->tag == tag) {
+            if (matches(*it)) {
               std::vector<std::byte> payload = std::move(it->payload);
               if (out_src != nullptr) *out_src = it->src;
               messages_.erase(it);
@@ -180,17 +203,36 @@ class Mailbox {
   /// Non-blocking probe-and-receive; false if no matching message yet.
   /// Throws AbortError once the world has aborted, so request polling loops
   /// (Request::test) raise instead of spinning forever.
-  bool try_recv(ContextId context, int src, int tag, std::vector<std::byte>& payload) {
+  bool try_recv(ContextId context, Generation generation, int src, int tag,
+                std::vector<std::byte>& payload) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (aborted_ != nullptr && aborted_->load()) throw AbortError();
     for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-      if (it->context == context && it->src == src && it->tag == tag) {
+      if (it->context == context && it->generation == generation && it->src == src &&
+          it->tag == tag) {
         payload = std::move(it->payload);
         messages_.erase(it);
         return true;
       }
     }
     return false;
+  }
+
+  /// Discards every message not belonging to `current` — dead-epoch mail is
+  /// unmatchable anyway (the generation fence), this just reclaims it.
+  /// Returns the number of stale envelopes dropped.
+  std::size_t purge_stale(Generation current) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t dropped = 0;
+    for (auto it = messages_.begin(); it != messages_.end();) {
+      if (it->generation != current) {
+        it = messages_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
   }
 
  private:
@@ -204,7 +246,9 @@ class Mailbox {
 };
 
 /// Shared state for one Runtime: the mailboxes of all world ranks plus the
-/// fault-tolerance configuration every mailbox observes.
+/// fault-tolerance configuration every mailbox observes. Persistent across
+/// membership generations: a failure does not destroy the world, it ends the
+/// current generation; survivors relaunch under the next one.
 struct World {
   explicit World(int nranks, std::chrono::milliseconds recv_timeout = default_recv_timeout())
       : size(nranks), recv_timeout_ms(recv_timeout.count()) {
@@ -222,6 +266,17 @@ struct World {
     for (auto& mailbox : mailboxes) mailbox->interrupt();
   }
 
+  /// Opens the next membership epoch: bumps the generation, clears the abort
+  /// flag, and purges mail left over from dead epochs. Must only be called
+  /// while no rank threads of the previous generation are alive (the Runtime
+  /// joins them first).
+  Generation begin_generation() {
+    const Generation next = generation.fetch_add(1) + 1;
+    aborted.store(false);
+    for (auto& mailbox : mailboxes) mailbox->purge_stale(next);
+    return next;
+  }
+
   /// Default receive deadline: SCAFFE_RECV_TIMEOUT_MS, or 0 (wait forever).
   static std::chrono::milliseconds default_recv_timeout() {
     const char* env = std::getenv("SCAFFE_RECV_TIMEOUT_MS");
@@ -230,10 +285,11 @@ struct World {
     return std::chrono::milliseconds(ms > 0 ? ms : 0);
   }
 
-  int size;
+  int size;  // maximal world size (mailbox count); generations may use fewer
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::atomic<bool> aborted{false};
   std::atomic<std::int64_t> recv_timeout_ms{0};  // 0 = no deadline
+  std::atomic<Generation> generation{0};         // current membership epoch
 };
 
 }  // namespace scaffe::mpi

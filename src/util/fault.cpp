@@ -36,6 +36,7 @@ void FaultInjector::install(FaultPlan plan) {
   std::lock_guard<std::mutex> lock(mutex_);
   plan_ = std::move(plan);
   crash_fired_.assign(plan_.crashes_.size(), false);
+  recovery_crash_fired_.assign(plan_.recovery_crashes_.size(), false);
   sent_.clear();
   stats_ = FaultStats{};
   active_.store(true, std::memory_order_relaxed);
@@ -46,6 +47,7 @@ void FaultInjector::clear() {
   active_.store(false, std::memory_order_relaxed);
   plan_ = FaultPlan{0};
   crash_fired_.clear();
+  recovery_crash_fired_.clear();
   sent_.clear();
 }
 
@@ -84,6 +86,19 @@ void FaultInjector::check_crash(int rank, long iteration) {
     ++stats_.crashes;
     lock.unlock();
     throw InjectedCrash(rank, iteration);
+  }
+}
+
+void FaultInjector::check_recovery_crash(int recovery_ordinal) {
+  if (!active()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < plan_.recovery_crashes_.size(); ++i) {
+    const auto [crash_rank, crash_ordinal] = plan_.recovery_crashes_[i];
+    if (recovery_crash_fired_[i] || crash_ordinal != recovery_ordinal) continue;
+    recovery_crash_fired_[i] = true;
+    ++stats_.crashes;
+    lock.unlock();
+    throw InjectedCrash(crash_rank, crash_ordinal, /*during_recovery=*/true);
   }
 }
 

@@ -34,18 +34,27 @@ namespace scaffe::util {
 /// of Runtime::run like any rank failure (peers unwind with AbortError).
 class InjectedCrash : public std::runtime_error {
  public:
-  InjectedCrash(int rank, long iteration)
+  InjectedCrash(int rank, long iteration, bool during_recovery = false)
       : std::runtime_error("fault: injected crash of rank " + std::to_string(rank) +
-                           " at iteration " + std::to_string(iteration)),
+                           (during_recovery
+                                ? " during recovery #" + std::to_string(iteration)
+                                : " at iteration " + std::to_string(iteration))),
         rank_(rank),
-        iteration_(iteration) {}
+        iteration_(iteration),
+        during_recovery_(during_recovery) {}
 
   int rank() const noexcept { return rank_; }
   long iteration() const noexcept { return iteration_; }
 
+  /// True when the crash fired inside a recovery window (the rank died while
+  /// the survivors were rebuilding), not during a training iteration; then
+  /// iteration() is the 1-based recovery ordinal.
+  bool during_recovery() const noexcept { return during_recovery_; }
+
  private:
   int rank_;
   long iteration_;
+  bool during_recovery_;
 };
 
 /// Outcome of the message-fault query for one envelope.
@@ -87,8 +96,19 @@ class FaultPlan {
 
   /// Rank `rank` throws InjectedCrash when its per-iteration hook reaches
   /// `iteration`. One-shot: the crash does not re-fire after recovery.
+  /// Ranks are WORLD ranks, so multi-crash schedules stay well-defined even
+  /// after an elastic shrink re-densifies comm ranks. Call repeatedly for
+  /// multi-crash schedules (distinct ranks, distinct iterations).
   FaultPlan& crash_rank(int rank, long iteration) {
     crashes_.emplace_back(rank, iteration);
+    return *this;
+  }
+
+  /// World rank `rank` also dies while the supervisor is inside recovery
+  /// window number `recovery_ordinal` (1-based: the first teardown+rebuild
+  /// is window 1). Models a second failure hitting mid-recovery; one-shot.
+  FaultPlan& crash_in_recovery(int rank, int recovery_ordinal) {
+    recovery_crashes_.emplace_back(rank, recovery_ordinal);
     return *this;
   }
 
@@ -105,7 +125,8 @@ class FaultPlan {
   double delay_probability_ = 0.0;
   std::chrono::microseconds max_delay_{0};
   double drop_probability_ = 0.0;
-  std::vector<std::pair<int, long>> crashes_;  // (rank, iteration), one-shot
+  std::vector<std::pair<int, long>> crashes_;          // (rank, iteration), one-shot
+  std::vector<std::pair<int, int>> recovery_crashes_;  // (rank, recovery ordinal)
   int snapshot_failures_ = 0;
 };
 
@@ -130,6 +151,13 @@ class FaultInjector {
   /// iteration) is scheduled and has not fired yet.
   void check_crash(int rank, long iteration);
 
+  /// Recovery-window crash hook, called by the elastic supervisor while it
+  /// rebuilds the world. Throws InjectedCrash(rank, ordinal,
+  /// during_recovery=true) for one unfired schedule entry matching
+  /// `recovery_ordinal`; call in a loop to drain multiple deaths in the same
+  /// window (each entry is one-shot).
+  void check_recovery_crash(int recovery_ordinal);
+
   /// True if this snapshot write attempt should fail (consumes one unit of
   /// the failure budget).
   bool next_snapshot_write_fails();
@@ -143,6 +171,7 @@ class FaultInjector {
   std::atomic<bool> active_{false};
   FaultPlan plan_{0};
   std::vector<bool> crash_fired_;                      // parallel to plan_.crashes_
+  std::vector<bool> recovery_crash_fired_;             // parallel to plan_.recovery_crashes_
   std::map<std::pair<int, int>, std::uint64_t> sent_;  // (src, dst) -> ordinal
   FaultStats stats_;
 };

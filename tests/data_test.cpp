@@ -176,6 +176,42 @@ TEST(DataReader, PrefetchesInBackground) {
   EXPECT_GE(reader.batches_produced(), 4u);
 }
 
+TEST(DataReader, ReshardAfterShrinkCoversRemainingStreamExactlyOnce) {
+  // Elastic-shrink contract: when a 4-rank world shrinks to 3 at batch 2,
+  // the survivors' readers are rebuilt with num_shards=3 and start_batch=2,
+  // and together their next batches cover the remaining sample stream
+  // (indices 24..35 for batch=4) exactly once — no gap, no double-read.
+  SyntheticImageDataset dataset(1000, 1, 2, 2, 5);
+  ImageDataBackend backend(dataset);
+  const int shards = 3;
+  const int batch_size = 4;
+  const std::uint64_t start_batch = 2;
+  std::set<std::uint64_t> seen;
+  for (int shard = 0; shard < shards; ++shard) {
+    DataReader reader(backend, shard, shards, batch_size, dataset.sample_floats(),
+                      /*queue_capacity=*/4, /*shuffle_epoch_size=*/0,
+                      /*shuffle_seed=*/2017, start_batch);
+    const Batch batch = reader.next();
+    // Shard r resumes at index r + start_batch * batch * num_shards.
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(shard) + start_batch * batch_size * shards;
+    EXPECT_EQ(batch.first_index, first);
+    for (int i = 0; i < batch_size; ++i) {
+      const std::uint64_t index = first + static_cast<std::uint64_t>(i) * shards;
+      EXPECT_TRUE(seen.insert(index).second) << "index " << index << " read twice";
+      // Content check: the strided sample really is dataset sample `index`.
+      const Sample sample = dataset.make_sample(index);
+      EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)],
+                static_cast<float>(sample.label));
+    }
+    reader.stop();
+  }
+  // 3 shards x 4 samples = the 12 consecutive indices 24..35.
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(*seen.begin(), 24u);
+  EXPECT_EQ(*seen.rbegin(), 35u);
+}
+
 TEST(DataReader, TooManyLmdbReadersThrowOnConstruction) {
   SyntheticImageDataset dataset(1000, 1, 2, 2, 5);
   LmdbBackend backend(dataset);

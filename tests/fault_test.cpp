@@ -67,6 +67,31 @@ TEST(FaultInjector, CrashIsOneShot) {
   EXPECT_EQ(injector.stats().crashes, 1u);
 }
 
+TEST(FaultInjector, RecoveryCrashEntriesAreOneShotPerWindow) {
+  auto& injector = util::FaultInjector::instance();
+  util::ScopedFaultPlan scope(util::FaultPlan(1)
+                                  .crash_in_recovery(3, 1)
+                                  .crash_in_recovery(2, 1)
+                                  .crash_in_recovery(1, 2));
+  // Window 1 drains its two one-shot entries, then goes quiet.
+  std::vector<int> died;
+  for (;;) {
+    try {
+      injector.check_recovery_crash(1);
+      break;
+    } catch (const util::InjectedCrash& crash) {
+      EXPECT_TRUE(crash.during_recovery());
+      EXPECT_EQ(crash.iteration(), 1);
+      died.push_back(crash.rank());
+    }
+  }
+  EXPECT_EQ(died, (std::vector<int>{3, 2}));
+  EXPECT_NO_THROW(injector.check_recovery_crash(1));
+  EXPECT_THROW(injector.check_recovery_crash(2), util::InjectedCrash);
+  EXPECT_NO_THROW(injector.check_recovery_crash(2));
+  EXPECT_EQ(injector.stats().crashes, 3u);
+}
+
 TEST(FaultInjector, SnapshotFailureBudgetIsConsumed) {
   auto& injector = util::FaultInjector::instance();
   util::ScopedFaultPlan scope(util::FaultPlan(1).fail_snapshot_writes(2));
@@ -321,6 +346,140 @@ TEST_F(RecoveryTest, ExhaustedSnapshotRetriesSurfaceAsError) {
   EXPECT_THROW(
       core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), config),
       std::runtime_error);
+}
+
+TEST_F(RecoveryTest, MultiCrashScheduleSurvivesUnderRestart) {
+  // Two distinct ranks die in two separate training attempts; each failure
+  // costs one same-size restart and the trajectory still lands bitwise on
+  // the fault-free parameters.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.recv_timeout_ms = 30000;
+
+  const core::TrainerReport clean =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+  ASSERT_FALSE(clean.final_params.empty());
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(util::FaultPlan(23).crash_rank(1, 3).crash_rank(3, 7));
+  const core::TrainerReport recovered =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+  EXPECT_EQ(recovered.recovery.restarts, 2);
+  EXPECT_EQ(recovered.recovery.shrinks, 0);  // Restart policy: world size is kept
+  EXPECT_EQ(recovered.recovery.final_world_size, 4);
+  EXPECT_TRUE(recovered.recovery.dead_world_ranks.empty());
+  EXPECT_EQ(recovered.recovery.resumed_iteration, 6);  // snapshot before crash at 7
+  EXPECT_EQ(recovered.final_params, clean.final_params);
+}
+
+// --- elastic shrink (RecoveryPolicy::Shrink) ---------------------------------
+
+TEST_F(RecoveryTest, ShrinkContinuesOnSurvivorsBitwiseEqualToFreshResumedRun) {
+  // The elastic capstone: rank 1 of 4 dies at iteration 5 under Shrink. The
+  // survivors {0,2,3} rebuild a 3-rank world in a new membership generation,
+  // reshard, rescale gradient averaging to 1/3, and resume from the
+  // iteration-4 checkpoint. The determinism contract says the result must be
+  // bitwise identical to a FRESH 3-rank run resumed from that checkpoint.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  // Reference prefix: a clean 4-rank run up to the checkpoint at iteration 4.
+  core::TrainerConfig prefix = base_config();
+  prefix.global_batch = 12;  // divisible by 4 and by the 3 survivors
+  prefix.iterations = 4;
+  core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+  // Reference suffix: a fresh 3-rank world resumed from that checkpoint.
+  core::TrainerConfig suffix = base_config();
+  suffix.global_batch = 12;
+  suffix.start_iteration = 4;
+  const core::TrainerReport reference =
+      core::train_with_recovery(3, backend, dataset.sample_floats(), factory(), suffix);
+  ASSERT_FALSE(reference.final_params.empty());
+  std::filesystem::remove(path_);
+
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  util::ScopedFaultPlan scope(util::FaultPlan(31).crash_rank(1, 5));
+  const core::TrainerReport shrunk =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(shrunk.recovery.restarts, 1);
+  EXPECT_EQ(shrunk.recovery.shrinks, 1);
+  EXPECT_EQ(shrunk.recovery.final_world_size, 3);
+  EXPECT_EQ(shrunk.recovery.dead_world_ranks, (std::vector<int>{1}));
+  EXPECT_EQ(shrunk.recovery.resumed_iteration, 4);
+  EXPECT_GE(shrunk.recovery.final_generation, 2u);  // at least epoch 1 + rebuild
+
+  ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
+  EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
+  EXPECT_EQ(shrunk.root_losses, reference.root_losses);    // iterations 4..9
+}
+
+TEST_F(RecoveryTest, SecondCrashDuringRecoveryShrinksTheSurvivorSetFurther) {
+  // Rank 1 dies at iteration 5; while the supervisor is rebuilding, rank 2
+  // dies too (FaultPlan::crash_in_recovery). Both deaths land in the same
+  // recovery window, so the job continues on {0,3} — and must still match a
+  // fresh 2-rank run resumed from the same checkpoint, bitwise.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  core::TrainerConfig prefix = base_config();
+  prefix.global_batch = 12;
+  prefix.iterations = 4;
+  core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+  core::TrainerConfig suffix = base_config();
+  suffix.global_batch = 12;
+  suffix.start_iteration = 4;
+  const core::TrainerReport reference =
+      core::train_with_recovery(2, backend, dataset.sample_floats(), factory(), suffix);
+  ASSERT_FALSE(reference.final_params.empty());
+  std::filesystem::remove(path_);
+
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(37).crash_rank(1, 5).crash_in_recovery(2, 1));
+  const core::TrainerReport shrunk =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(shrunk.recovery.restarts, 1);  // one recovery window absorbed both deaths
+  EXPECT_EQ(shrunk.recovery.shrinks, 1);
+  EXPECT_EQ(shrunk.recovery.final_world_size, 2);
+  EXPECT_EQ(shrunk.recovery.dead_world_ranks, (std::vector<int>{1, 2}));
+  EXPECT_EQ(shrunk.recovery.resumed_iteration, 4);
+  EXPECT_EQ(shrunk.final_params, reference.final_params);
+  EXPECT_EQ(shrunk.root_losses, reference.root_losses);
+}
+
+TEST_F(RecoveryTest, ShrinkFallsBackToSameSizeRestartWhenBatchIndivisible) {
+  // global_batch 16 cannot be divided across 3 survivors under strong
+  // scaling, so Shrink falls back to a same-size restart (modelling a node
+  // replacement) and the run finishes on all 4 ranks, bitwise clean.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();  // global_batch = 16: 16 % 3 != 0
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+
+  const core::TrainerReport clean =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(util::FaultPlan(41).crash_rank(1, 5));
+  const core::TrainerReport recovered =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+  EXPECT_EQ(recovered.recovery.restarts, 1);
+  EXPECT_EQ(recovered.recovery.shrinks, 0);
+  EXPECT_EQ(recovered.recovery.final_world_size, 4);
+  EXPECT_TRUE(recovered.recovery.dead_world_ranks.empty());
+  EXPECT_EQ(recovered.final_params, clean.final_params);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "coll/algorithms.h"
@@ -7,6 +11,8 @@
 
 namespace scaffe::mpi {
 namespace {
+
+using namespace std::chrono_literals;
 
 TEST(Sendrecv, SymmetricExchange) {
   Runtime runtime(2);
@@ -198,6 +204,145 @@ TEST(Abort, OomDuringDistributedSetupDoesNotHang) {
     comm.bcast(v, 0);
   }),
                gpu::OutOfMemoryError);
+}
+
+// --- membership generations / elastic worlds ---------------------------------
+
+// Forges the mail a dead epoch could leave behind: correct (context, src,
+// tag) for the receiver, but stamped with a previous generation.
+Envelope stale_envelope(const Comm& comm, int tag, float value) {
+  Envelope stale;
+  stale.context = comm.context();
+  stale.generation = comm.generation() - 1;
+  stale.src = 0;
+  stale.tag = tag;
+  stale.payload.resize(sizeof(float));
+  std::memcpy(stale.payload.data(), &value, sizeof(float));
+  return stale;
+}
+
+TEST(Generations, StaleEpochMessageIsNeverDelivered) {
+  // A stale-generation envelope with an otherwise perfect match arrives
+  // FIRST; the receive must skip it and deliver the current-epoch message.
+  Runtime runtime(2);
+  runtime.set_recv_timeout(2000ms);
+  runtime.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      runtime.world().mailboxes[1]->push(stale_envelope(comm, 7, -1.0f));
+      std::vector<float> v{42.0f};
+      comm.send<float>(v, 1, 7);
+    } else {
+      std::vector<float> v(1, 0.0f);
+      comm.recv<float>(v, 0, 7);
+      EXPECT_EQ(v[0], 42.0f);  // the poison value never surfaces
+    }
+  });
+}
+
+TEST(Generations, StaleOnlyMessageTimesOutInsteadOfMatching) {
+  // Acceptance: no stale-epoch message can be delivered into a rebuilt
+  // world. With ONLY dead-epoch mail pending, the receive must hit its
+  // deadline rather than consume the stale envelope.
+  Runtime runtime(2);
+  runtime.set_recv_timeout(200ms);
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   runtime.world().mailboxes[1]->push(stale_envelope(comm, 9, -1.0f));
+                 } else {
+                   std::vector<float> v(1);
+                   comm.recv<float>(v, 0, 9);
+                 }
+               }),
+               TimeoutError);
+}
+
+TEST(Generations, BeginGenerationPurgesDeadEpochMail) {
+  Runtime runtime(2);
+  // Rank 0 sends mail rank 1 never receives: the epoch dies with it queued.
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> v{1.0f};
+      comm.send<float>(v, 1, 3);
+    }
+  });
+  EXPECT_EQ(runtime.generation(), 1u);
+  // Opening the next epoch reclaims it (the fence already made it
+  // unmatchable; the purge keeps mailboxes from accumulating dead mail).
+  EXPECT_EQ(runtime.world().mailboxes[1]->purge_stale(runtime.generation() + 1), 1u);
+  EXPECT_EQ(runtime.world().mailboxes[0]->purge_stale(runtime.generation() + 1), 0u);
+}
+
+TEST(Generations, EachRunIsANewEpochWithFreshContextSpace) {
+  Runtime runtime(2);
+  std::mutex mutex;
+  std::vector<Generation> generations;
+  std::vector<ContextId> contexts;
+  for (int round = 0; round < 3; ++round) {
+    runtime.run([&](Comm& comm) {
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lock(mutex);
+        generations.push_back(comm.generation());
+        contexts.push_back(comm.context());
+      }
+    });
+  }
+  EXPECT_EQ(generations, (std::vector<Generation>{1, 2, 3}));
+  EXPECT_EQ(std::set<ContextId>(contexts.begin(), contexts.end()).size(), 3u);
+}
+
+TEST(RunMembers, SurvivorSubsetRenumbersRanksAndComputes) {
+  // The shrink path: world {0,1,2,3} loses rank 1; survivors {0,2,3} run as
+  // a dense 3-rank communicator whose world_rank() keeps stable identities.
+  Runtime runtime(4);
+  runtime.run_members({0, 2, 3}, [](Comm& comm) {
+    EXPECT_EQ(comm.size(), 3);
+    const std::vector<int> expected_world{0, 2, 3};
+    EXPECT_EQ(comm.world_rank(), expected_world[static_cast<std::size_t>(comm.rank())]);
+    std::vector<float> data(32, 1.0f);
+    comm.allreduce(data);
+    EXPECT_EQ(data[0], 3.0f);
+  });
+}
+
+TEST(RunMembers, ValidatesMemberSets) {
+  Runtime runtime(4);
+  const auto body = [](Comm&) {};
+  EXPECT_THROW(runtime.run_members({}, body), std::runtime_error);
+  EXPECT_THROW(runtime.run_members({2, 1}, body), std::runtime_error);       // not ascending
+  EXPECT_THROW(runtime.run_members({0, 0, 1}, body), std::runtime_error);    // duplicate
+  EXPECT_THROW(runtime.run_members({0, 4}, body), std::runtime_error);       // out of range
+  EXPECT_THROW(runtime.run_members({-1, 0}, body), std::runtime_error);      // negative
+  EXPECT_NO_THROW(runtime.run_members({1, 3}, body));
+}
+
+TEST(ContextAudit, NoCollisionsAcrossSplitsDupsAndRebuilds) {
+  // Regression for ContextId allocation after teardown+rebuild: identical
+  // split/dup sequences in successive membership generations must land in
+  // disjoint context space (the generation is woven into the base context,
+  // and children derive from it). One representative per communicator —
+  // members of the same group share a context BY DESIGN.
+  Runtime runtime(4);
+  std::mutex mutex;
+  std::vector<ContextId> contexts;
+  const auto record = [&](const Comm& comm) {
+    std::lock_guard<std::mutex> lock(mutex);
+    contexts.push_back(comm.context());
+  };
+  for (int generation = 0; generation < 2; ++generation) {
+    runtime.run([&](Comm& comm) {
+      if (comm.rank() == 0) record(comm);  // base communicator
+      Comm half = comm.split(comm.rank() % 2, comm.rank());
+      if (half.rank() == 0) record(half);  // 2 groups per generation
+      Comm copy = half.dup();
+      if (copy.rank() == 0) record(copy);  // 2 dups per generation
+      // The split comm must actually work in isolation from its parent.
+      std::vector<float> data(8, 1.0f);
+      half.allreduce(data);
+      EXPECT_EQ(data[0], 2.0f);
+    });
+  }
+  ASSERT_EQ(contexts.size(), 10u);  // (1 base + 2 splits + 2 dups) x 2 generations
+  EXPECT_EQ(std::set<ContextId>(contexts.begin(), contexts.end()).size(), contexts.size());
 }
 
 TEST(Abort, RuntimeIsReusableAfterAbort) {
