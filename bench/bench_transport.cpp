@@ -1,0 +1,209 @@
+// Transport protocol benchmark: the co-designed zero-copy/pooled transport
+// (Tuned) against the pre-pool transport (Legacy: fresh heap allocation plus
+// full staging copy per message, no posted-receive claims).
+//
+//  1. Ping-pong sweep (2 ranks, 256 B .. 16 MiB): per-size effective one-way
+//     bandwidth with the protocol pinned all-eager vs all-rendezvous — the
+//     crossover between the two paths is visible in the output, motivating
+//     the SCAFFE_EAGER_LIMIT default.
+//  2. AlexNet-scale packed collectives (~229 MB of gradients, 4 ranks):
+//     reduce / bcast / allreduce wall time and effective bandwidth, Tuned vs
+//     Legacy. The acceptance bar is >= 2x effective bandwidth for Tuned.
+//
+// Writes machine-readable BENCH_transport.json so the transport trajectory is
+// tracked PR over PR. SCAFFE_BENCH_SMOKE=1 shrinks sizes/iterations to a
+// CI-smoke footprint (used by scripts/check.sh).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "util/thread_pool.h"
+
+using namespace scaffe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool smoke_mode() {
+  const char* env = std::getenv("SCAFFE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- 1. ping-pong sweep ------------------------------------------------------
+
+struct PingPongRow {
+  std::size_t bytes = 0;
+  double eager_gbps = 0;       // protocol pinned all-eager
+  double rendezvous_gbps = 0;  // protocol pinned all-rendezvous
+};
+
+// One-way effective bandwidth of a 2-rank ping-pong at `bytes` per message.
+double pingpong_gbps(mpi::Runtime& runtime, std::size_t bytes, int iters) {
+  const std::size_t count = bytes / sizeof(float);
+  double elapsed = 0;
+  runtime.run([&](mpi::Comm& comm) {
+    std::vector<float> ping(count, 1.0f);
+    std::vector<float> pong(count);
+    // Iteration -1 is warmup: primes the buffer pool and page tables.
+    for (int i = -1; i < iters; ++i) {
+      const auto start = Clock::now();
+      if (comm.rank() == 0) {
+        comm.send<float>(ping, 1, 1);
+        comm.recv<float>(std::span<float>(pong), 1, 2);
+      } else {
+        comm.recv<float>(std::span<float>(pong), 0, 1);
+        comm.send<float>(ping, 0, 2);
+      }
+      if (i >= 0 && comm.rank() == 0) elapsed += seconds_since(start);
+    }
+  });
+  const double one_way = elapsed / (2.0 * iters);
+  return one_way > 0 ? static_cast<double>(bytes) / one_way / 1e9 : 0;
+}
+
+std::vector<PingPongRow> run_pingpong_sweep(bool smoke) {
+  const std::size_t max_bytes = smoke ? (std::size_t{256} << 10) : (std::size_t{16} << 20);
+  std::vector<PingPongRow> rows;
+  mpi::Runtime runtime(2);
+  runtime.set_transport_mode(mpi::TransportMode::Tuned);
+  for (std::size_t bytes = 256; bytes <= max_bytes; bytes <<= 2) {
+    const int iters = smoke ? 4 : static_cast<int>(std::min<std::size_t>(
+                                      64, std::max<std::size_t>(4, (8 << 20) / bytes)));
+    PingPongRow row;
+    row.bytes = bytes;
+    runtime.set_eager_limit(max_bytes * 2);  // every message eager
+    row.eager_gbps = pingpong_gbps(runtime, bytes, iters);
+    runtime.set_eager_limit(0);  // every message rendezvous
+    row.rendezvous_gbps = pingpong_gbps(runtime, bytes, iters);
+    std::printf("pingpong %9zu B  eager %7.3f GB/s  rendezvous %7.3f GB/s\n",
+                row.bytes, row.eager_gbps, row.rendezvous_gbps);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// --- 2. AlexNet-scale packed collectives -------------------------------------
+
+struct PackedRow {
+  std::string op;
+  double legacy_ms = 0;
+  double tuned_ms = 0;
+  double legacy_gbps = 0;
+  double tuned_gbps = 0;
+  double speedup = 0;
+};
+
+// Wall time of one collective over `count` floats, median-free average of
+// `iters` timed runs after one warmup. Rank 0's clock; a barrier brackets
+// each run so the slowest rank is what's measured.
+double timed_collective(mpi::Runtime& runtime, std::size_t count, int iters,
+                        const std::string& op) {
+  double elapsed = 0;
+  runtime.run([&](mpi::Comm& comm) {
+    std::vector<float> data(count);
+    for (int i = -1; i < iters; ++i) {
+      for (std::size_t j = 0; j < count; ++j) {
+        data[j] = static_cast<float>(comm.rank() + 1) + 0.25f * static_cast<float>(j % 5);
+      }
+      comm.barrier();
+      const auto start = Clock::now();
+      if (op == "reduce") {
+        comm.reduce(data, 0);
+      } else if (op == "bcast") {
+        comm.bcast(data, 0);
+      } else {
+        comm.allreduce(data);
+      }
+      comm.barrier();
+      if (i >= 0 && comm.rank() == 0) elapsed += seconds_since(start);
+    }
+  });
+  return elapsed * 1000.0 / iters;
+}
+
+std::vector<PackedRow> run_packed(int ranks, std::size_t count, int iters) {
+  std::vector<PackedRow> rows;
+  mpi::Runtime runtime(ranks);
+  runtime.set_recv_timeout(std::chrono::milliseconds(120000));
+  const double gbytes = static_cast<double>(count) * sizeof(float) / 1e9;
+  for (const std::string op : {"reduce", "bcast", "allreduce"}) {
+    PackedRow row;
+    row.op = op;
+    runtime.set_transport_mode(mpi::TransportMode::Legacy);
+    row.legacy_ms = timed_collective(runtime, count, iters, op);
+    runtime.set_transport_mode(mpi::TransportMode::Tuned);
+    row.tuned_ms = timed_collective(runtime, count, iters, op);
+    row.legacy_gbps = gbytes / (row.legacy_ms / 1000.0);
+    row.tuned_gbps = gbytes / (row.tuned_ms / 1000.0);
+    row.speedup = row.legacy_ms / row.tuned_ms;
+    std::printf("packed %-9s %7.1f MB  legacy %8.1f ms (%6.2f GB/s)  "
+                "tuned %8.1f ms (%6.2f GB/s)  speedup %.2fx\n",
+                row.op.c_str(), gbytes * 1000.0, row.legacy_ms, row.legacy_gbps,
+                row.tuned_ms, row.tuned_gbps, row.speedup);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  // Rank threads are the parallelism; keep the math pool serial so the
+  // accumulate inside reduce doesn't oversubscribe the benchmark machine.
+  util::ThreadPool::set_global_threads(1);
+
+  const bool smoke = smoke_mode();
+  // AlexNet's parameter set is ~61M floats (~244 MB); 60M keeps the figure
+  // round while staying AlexNet-scale. Smoke mode shrinks to CI footprint.
+  const int ranks = 4;
+  const std::size_t count = smoke ? (std::size_t{1} << 16) : std::size_t{60} * 1000 * 1000;
+  const int iters = smoke ? 2 : 3;
+
+  std::printf("transport bench (%s): %d ranks, %.1f MB packed buffer\n",
+              smoke ? "smoke" : "full", ranks,
+              static_cast<double>(count) * sizeof(float) / 1e6);
+
+  const std::vector<PingPongRow> pingpong = run_pingpong_sweep(smoke);
+  const std::vector<PackedRow> packed = run_packed(ranks, count, iters);
+
+  const char* json_path = "BENCH_transport.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"ranks\": %d,\n", ranks);
+  std::fprintf(out, "  \"packed_bytes\": %zu,\n", count * sizeof(float));
+  std::fprintf(out, "  \"pingpong\": [\n");
+  for (std::size_t i = 0; i < pingpong.size(); ++i) {
+    const PingPongRow& row = pingpong[i];
+    std::fprintf(out,
+                 "    {\"bytes\": %zu, \"eager_gbps\": %.4f, \"rendezvous_gbps\": %.4f}%s\n",
+                 row.bytes, row.eager_gbps, row.rendezvous_gbps,
+                 i + 1 < pingpong.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"packed\": [\n");
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    const PackedRow& row = packed[i];
+    std::fprintf(out,
+                 "    {\"op\": \"%s\", \"legacy_ms\": %.3f, \"tuned_ms\": %.3f, "
+                 "\"legacy_gbps\": %.4f, \"tuned_gbps\": %.4f, \"speedup\": %.3f}%s\n",
+                 row.op.c_str(), row.legacy_ms, row.tuned_ms, row.legacy_gbps,
+                 row.tuned_gbps, row.speedup, i + 1 < packed.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Full verification: build + test three times — plain, under TSan, and under
-# ASan+UBSan.
+# Full verification: build + test four times — plain, Release (-O2), under
+# TSan, and under ASan+UBSan — plus a smoke run of the transport benchmark.
 #
 #   scripts/check.sh            # all passes
 #   scripts/check.sh --fast     # plain pass only
 #
 # The TSan pass exists because the interesting subsystems here are threaded
 # (scmpi rank threads, the SC-OBR helper thread, the math pool, fault-injected
-# delays); a green plain run is not evidence of race-freedom. The ASan+UBSan
-# pass covers the memory/UB side: buffer math in the kernels and the
-# generation/context/tag arithmetic of the elastic runtime.
+# delays, the posted-receive claim protocol); a green plain run is not
+# evidence of race-freedom. The ASan+UBSan pass covers the memory/UB side:
+# buffer math in the kernels and the generation/context/tag arithmetic of the
+# elastic runtime. The Release pass catches optimizer-dependent bugs the -O0
+# legs hide, and the bench smoke proves bench_transport stays runnable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +33,11 @@ run_pass() {
 run_pass build
 
 if [[ "${fast}" -eq 0 ]]; then
+  run_pass build-release -DCMAKE_BUILD_TYPE=Release
+
+  echo "==> bench_transport smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 ./bench/bench_transport)
+
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
   # pool serial under the sanitizers so runtimes stay sane. Determinism is
   # unaffected.

@@ -62,4 +62,18 @@ std::string validate_structure(const Schedule& schedule) {
   return {};
 }
 
+std::size_t send_run_length(const std::vector<Op>& ops, std::size_t start) {
+  if (start >= ops.size() || ops[start].kind != OpKind::Send) return 0;
+  const Op& head = ops[start];
+  std::size_t n = 1;
+  while (start + n < ops.size()) {
+    const Op& op = ops[start + n];
+    if (op.kind != OpKind::Send || op.offset != head.offset || op.count != head.count) {
+      break;
+    }
+    ++n;
+  }
+  return n;
+}
+
 }  // namespace scaffe::coll

@@ -80,4 +80,10 @@ struct Schedule {
 /// self-sends. Returns an empty string when valid, else a diagnostic.
 std::string validate_structure(const Schedule& schedule);
 
+/// Length of the run of consecutive Send ops starting at `start` that all
+/// ship the same (offset, count) region to distinct peers — a broadcast-style
+/// fan-out the transport can serve from one shared immutable buffer. Returns
+/// 0 if ops[start] is not a Send, else >= 1.
+std::size_t send_run_length(const std::vector<Op>& ops, std::size_t start);
+
 }  // namespace scaffe::coll

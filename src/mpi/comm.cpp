@@ -49,19 +49,14 @@ bool Request::test() {
 
 void Comm::send_bytes(std::span<const std::byte> data, int dst, int tag) {
   if (dst < 0 || dst >= size()) throw std::runtime_error("scmpi send: bad rank");
-  Envelope envelope;
-  envelope.context = context_;
-  envelope.generation = generation_;
-  envelope.src = rank_;
-  envelope.tag = tag;
-  envelope.payload.assign(data.begin(), data.end());
-  world_->mailboxes[static_cast<std::size_t>(group_[static_cast<std::size_t>(dst)])]->push(
-      std::move(envelope));
+  peer_mailbox(dst).deliver(context_, generation_, rank_, tag, data);
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
   if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
-  return mailbox().recv(context_, generation_, src, tag);
+  const Payload payload = mailbox().recv(context_, generation_, src, tag);
+  const std::span<const std::byte> bytes = payload.bytes();
+  return std::vector<std::byte>(bytes.begin(), bytes.end());
 }
 
 // --- schedule execution ---------------------------------------------------------
@@ -72,25 +67,49 @@ int Comm::next_coll_tag_base() {
   return kCollTagBase + slot * kCollTagStride;
 }
 
+void Comm::send_region_run(std::span<const float> region, std::span<const coll::Op> run,
+                           int tag_base) {
+  const std::span<const std::byte> data = std::as_bytes(region);
+  // One immutable buffer shared by every destination that is not already
+  // posted (broadcast fan-out: 1 materialization instead of run.size()).
+  std::shared_ptr<const std::byte[]> shared;
+  for (const coll::Op& op : run) {
+    Mailbox& box = peer_mailbox(op.peer);
+    const int tag = tag_base + op.tag;
+    if (box.deliver_direct(context_, generation_, rank_, tag, data)) continue;
+    if (!shared) shared = Payload::make_shared_copy(data);
+    box.enqueue_shared(context_, generation_, rank_, tag, shared, data.size());
+  }
+}
+
 void Comm::execute_schedule(const coll::Schedule& schedule, std::span<float> data,
                             int tag_base) {
   if (schedule.count != data.size()) {
     throw std::runtime_error("scmpi collective: buffer size != schedule count");
   }
-  std::vector<float> scratch;
-  for (const coll::Op& op : schedule.programs[static_cast<std::size_t>(rank_)].ops) {
+  const std::vector<coll::Op>& ops = schedule.programs[static_cast<std::size_t>(rank_)].ops;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const coll::Op& op = ops[i];
     std::span<float> region = data.subspan(op.offset, op.count);
     switch (op.kind) {
-      case coll::OpKind::Send:
-        send<float>(region, op.peer, tag_base + op.tag);
+      case coll::OpKind::Send: {
+        const std::size_t run = coll::send_run_length(ops, i);
+        if (run > 1) {
+          send_region_run(region, std::span<const coll::Op>(&ops[i], run), tag_base);
+          i += run - 1;
+        } else {
+          send<float>(region, op.peer, tag_base + op.tag);
+        }
         break;
+      }
       case coll::OpKind::Recv:
         recv<float>(region, op.peer, tag_base + op.tag);
         break;
       case coll::OpKind::RecvReduce:
-        scratch.resize(op.count);
-        recv<float>(std::span<float>(scratch), op.peer, tag_base + op.tag);
-        gpu::accumulate(scratch, region);
+        // Fused: accumulate straight out of the matched payload (or, when
+        // this receive was posted first, straight out of the sender's
+        // buffer) — intermediate ranks never materialize a staging buffer.
+        recv_reduce(region, op.peer, tag_base + op.tag);
         break;
     }
   }
@@ -180,8 +199,7 @@ std::vector<float> Comm::scatter(std::span<const float> data, int root) {
                 static_cast<std::ptrdiff_t>((static_cast<std::size_t>(rank_) + 1) * block)};
   }
   // Non-roots learn the block size from the payload itself.
-  const std::vector<std::byte> payload =
-      mailbox().recv(context_, generation_, root, tag_base);
+  const Payload payload = mailbox().recv(context_, generation_, root, tag_base);
   std::vector<float> result(payload.size() / sizeof(float));
   if (!payload.empty()) std::memcpy(result.data(), payload.data(), payload.size());
   return result;
@@ -323,8 +341,7 @@ Comm Comm::split(int color, int key) {
       }
     }
   } else {
-    const std::vector<std::byte> payload =
-        mailbox().recv(context_, generation_, 0, tag_base + 1);
+    const Payload payload = mailbox().recv(context_, generation_, 0, tag_base + 1);
     std::vector<int> message(payload.size() / sizeof(int));
     std::memcpy(message.data(), payload.data(), payload.size());
     my_new_rank = message[0];

@@ -68,6 +68,10 @@ class Comm {
 
   // --- point-to-point -----------------------------------------------------
 
+  /// Blocking send. Never blocks on the receiver: below the eager limit the
+  /// payload stages in a pooled buffer, above it the rendezvous path either
+  /// fills an already-posted receive with a single copy or publishes a
+  /// shared immutable view (see DESIGN.md "Transport protocol").
   void send_bytes(std::span<const std::byte> data, int dst, int tag);
   std::vector<std::byte> recv_bytes(int src, int tag);
 
@@ -77,12 +81,11 @@ class Comm {
   int recv_any(std::span<T> data, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     int src = -1;
-    const std::vector<std::byte> payload =
-        mailbox().recv(context_, generation_, kAnySource, tag, &src);
+    const Payload payload = mailbox().recv(context_, generation_, kAnySource, tag, &src);
     if (payload.size() != data.size_bytes()) {
-      throw std::runtime_error("scmpi recv_any: size mismatch");
+      throw TransportError(context_, kAnySource, tag, data.size_bytes(), payload.size());
     }
-    if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+    payload.copy_to(std::as_writable_bytes(data));
     return src;
   }
 
@@ -92,14 +95,22 @@ class Comm {
     send_bytes(std::as_bytes(data), dst, tag);
   }
 
+  /// Blocking receive into `data`. Posts the destination so a matching
+  /// rendezvous sender copies once, sender buffer → `data`, with no
+  /// intermediate payload. Throws TransportError on size mismatch.
   template <typename T>
   void recv(std::span<T> data, int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const std::vector<std::byte> payload = recv_bytes(src, tag);
-    if (payload.size() != data.size_bytes()) {
-      throw std::runtime_error("scmpi recv: size mismatch");
-    }
-    if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+    if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
+    mailbox().recv_into(context_, generation_, src, tag, std::as_writable_bytes(data));
+  }
+
+  /// Fused receive-reduce: element-wise adds the matched message into `acc`
+  /// without materializing a staging buffer. With a rendezvous sender the
+  /// accumulation runs straight out of the sender's buffer (zero-copy).
+  void recv_reduce(std::span<float> acc, int src, int tag) {
+    if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
+    mailbox().recv_reduce(context_, generation_, src, tag, acc);
   }
 
   /// Eager non-blocking send (payload copied out immediately).
@@ -118,12 +129,12 @@ class Comm {
         recv(data, src, tag);
         return true;
       }
-      std::vector<std::byte> payload;
+      Payload payload;
       if (!mailbox().try_recv(context_, generation_, src, tag, payload)) return false;
       if (payload.size() != data.size_bytes()) {
-        throw std::runtime_error("scmpi irecv: size mismatch");
+        throw TransportError(context_, src, tag, data.size_bytes(), payload.size());
       }
-      if (!payload.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+      payload.copy_to(std::as_writable_bytes(data));
       return true;
     };
     return Request(std::move(state));
@@ -144,7 +155,10 @@ class Comm {
   /// one is installed (e.g. a ring schedule); otherwise reduce + bcast.
   void allreduce(std::span<float> data);
 
-  /// Combined send+receive (eager send, so safe for symmetric exchanges).
+  /// Combined send+receive. Safe for symmetric exchanges at any message
+  /// size: sends never block on the receiver (the rendezvous path publishes
+  /// a shared payload view instead of waiting for a matching receive), so
+  /// two ranks sendrecv'ing each other cannot deadlock.
   template <typename T>
   void sendrecv(std::span<const T> send_data, int dst, std::span<T> recv_data, int src,
                 int tag) {
@@ -234,9 +248,20 @@ class Comm {
         generation_(generation) {}
 
   Mailbox& mailbox() { return *world_->mailboxes[static_cast<std::size_t>(world_rank())]; }
+  Mailbox& peer_mailbox(int dst) {
+    return *world_->mailboxes[static_cast<std::size_t>(
+        group_[static_cast<std::size_t>(dst)])];
+  }
 
-  /// Executes this rank's program of a schedule against `data`.
+  /// Executes this rank's program of a schedule against `data`. RecvReduce
+  /// ops use the fused recv_reduce path; runs of consecutive Sends of one
+  /// region (broadcast fan-out) share a single materialized payload.
   void execute_schedule(const coll::Schedule& schedule, std::span<float> data, int tag_base);
+
+  /// Sends one region to every destination of a send run, materializing at
+  /// most one shared payload for all receivers that are not already posted.
+  void send_region_run(std::span<const float> region, std::span<const coll::Op> run,
+                       int tag_base);
 
   /// Runs `body` on an asynchronous progression thread; the returned Request
   /// completes when the body does.
@@ -267,6 +292,11 @@ class Comm {
 /// run_members() launches only a survivor subset — the shrink path of
 /// elastic recovery: comm ranks are re-densified to 0..k-1 while
 /// Comm::world_rank() keeps each survivor's stable identity.
+/// Transport tuning presets: Tuned is the co-designed zero-copy/pooled
+/// protocol, Legacy reproduces the pre-pool transport (fresh allocation and
+/// full staging copy per message) for A/B benchmarking.
+enum class TransportMode { Tuned, Legacy };
+
 class Runtime {
  public:
   explicit Runtime(int nranks);
@@ -278,6 +308,18 @@ class Runtime {
   /// Zero disables. Defaults to SCAFFE_RECV_TIMEOUT_MS (see World).
   void set_recv_timeout(std::chrono::milliseconds timeout) { recv_timeout_ = timeout; }
   std::chrono::milliseconds recv_timeout() const noexcept { return recv_timeout_; }
+
+  /// Eager/rendezvous crossover in bytes (messages <= limit take the pooled
+  /// eager path). Defaults to SCAFFE_EAGER_LIMIT (see TransportConfig).
+  void set_eager_limit(std::size_t bytes) { world_->transport.eager_limit.store(bytes); }
+  std::size_t eager_limit() const noexcept { return world_->transport.eager_limit.load(); }
+
+  /// Selects the transport protocol preset; default from SCAFFE_TRANSPORT.
+  void set_transport_mode(TransportMode mode) {
+    const bool tuned = mode == TransportMode::Tuned;
+    world_->transport.zero_copy.store(tuned);
+    world_->transport.pooled_eager.store(tuned);
+  }
 
   /// Launches every world rank (a full-membership generation).
   void run(const std::function<void(Comm&)>& body);

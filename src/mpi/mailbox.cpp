@@ -1,0 +1,449 @@
+// Mailbox: indexed matching, posted-receive rendezvous, pooled eager path.
+// See the invariants in world.h and DESIGN.md "Transport protocol".
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "gpu/kernels.h"
+#include "mpi/world.h"
+#include "util/bytes.h"
+
+namespace scaffe::mpi {
+
+namespace {
+
+// Fallback tuning for a Mailbox constructed outside a World (unit tests).
+const TransportConfig& default_transport() {
+  static TransportConfig config;
+  return config;
+}
+
+std::span<const float> float_view(std::span<const std::byte> data) {
+  return {reinterpret_cast<const float*>(data.data()), data.size() / sizeof(float)};
+}
+
+bool float_aligned(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % alignof(float) == 0;
+}
+
+}  // namespace
+
+std::size_t TransportConfig::default_eager_limit() {
+  const char* env = std::getenv("SCAFFE_EAGER_LIMIT");
+  if (env != nullptr) {
+    const std::size_t parsed = util::parse_bytes(env);
+    if (parsed > 0 || (env[0] == '0' && env[1] == '\0')) return parsed;
+  }
+  return 64 * util::kKiB;
+}
+
+bool TransportConfig::default_zero_copy() {
+  const char* env = std::getenv("SCAFFE_TRANSPORT");
+  return env == nullptr || std::string(env) != "legacy";
+}
+
+const TransportConfig& Mailbox::transport() const noexcept {
+  return transport_ != nullptr ? *transport_ : default_transport();
+}
+
+// --- send side ---------------------------------------------------------------
+
+bool Mailbox::apply_fault(int src, int tag) {
+  auto& injector = util::FaultInjector::instance();
+  if (!injector.active()) return false;
+  const util::MessageFault fault = injector.on_message(src, owner_rank_, tag);
+  if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+  return fault.drop;
+}
+
+bool Mailbox::claim_posted(const ExactKey& key, std::span<const std::byte> data,
+                           std::chrono::microseconds max_wait) {
+  Waiter* target = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    for (;;) {
+      if (aborted_now()) return false;
+      // Non-overtaking: never claim past queued mail of the same key (e.g. a
+      // size-mismatched envelope still waiting to be diagnosed). Queued mail
+      // for this key can only have come from this sender, so it cannot
+      // appear while we linger below.
+      auto qit = queues_.find(key);
+      if (qit != queues_.end() && !qit->second.empty()) return false;
+      auto wit = waiters_.find(key);
+      if (wit != waiters_.end() && !wit->second.empty()) {
+        for (Waiter* waiter : wit->second) {
+          if (waiter->taken || waiter->kind == Waiter::Kind::Probe) continue;
+          if (waiter->bytes != data.size()) continue;
+          if (waiter->kind == Waiter::Kind::Reduce &&
+              (data.size() % sizeof(float) != 0 || !float_aligned(data.data()))) {
+            continue;  // fall back to the materialized path
+          }
+          target = waiter;
+          break;
+        }
+        // A receiver is already here but not claimable (Probe wanting a
+        // payload, or a size mismatch to diagnose): enqueue for it now.
+        if (target == nullptr) return false;
+        break;
+      }
+      // Any-source receivers consume from the queue, never from claims.
+      auto awit = any_waiters_.find(AnyKey{key.context, key.generation, key.tag});
+      if (awit != any_waiters_.end() && !awit->second.empty()) return false;
+      // Rendezvous linger: block (bounded) until a matching receive is
+      // posted. Blocking here also yields the core to the receiver on
+      // oversubscribed machines, which is what converts a near-miss into a
+      // single-copy claim.
+      if (max_wait.count() == 0 || std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      posted_cv_.wait_until(lock, deadline);
+    }
+    target->taken = true;
+  }
+  // Fill outside the mailbox lock: this is the single sender→destination
+  // copy (or fused reduce) of the rendezvous path, potentially hundreds of
+  // megabytes. The receiver cannot abandon a taken waiter, so the
+  // destination stays valid until `done` is published below.
+  if (target->kind == Waiter::Kind::Copy) {
+    if (!data.empty()) std::memcpy(target->dst, data.data(), data.size());
+  } else {
+    gpu::accumulate(float_view(data), {target->acc, data.size() / sizeof(float)});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target->done = true;
+    target->cv.notify_one();
+  }
+  return true;
+}
+
+Payload Mailbox::materialize(std::span<const std::byte> data) const {
+  const TransportConfig& config = transport();
+  if (!config.pooled_eager.load(std::memory_order_relaxed)) {
+    return Payload::copy_heap(data);  // legacy: fresh allocation per message
+  }
+  if (data.size() <= config.eager_limit.load(std::memory_order_relaxed)) {
+    return Payload::copy_pooled(util::BufferPool::instance(), data);
+  }
+  return Payload::view(Payload::make_shared_copy(data), data.size());
+}
+
+void Mailbox::enqueue_payload(const ExactKey& key, Payload payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Envelope envelope;
+  envelope.context = key.context;
+  envelope.generation = key.generation;
+  envelope.src = key.src;
+  envelope.tag = key.tag;
+  envelope.payload = std::move(payload);
+  envelope.seq = next_seq_++;
+  const AnyKey akey{key.context, key.generation, key.tag};
+  if (any_interest_.contains(akey)) any_order_[akey].emplace_back(envelope.seq, key.src);
+  queues_[key].push_back(std::move(envelope));
+  // Targeted wakeups: only receivers whose predicate matches this message.
+  auto wit = waiters_.find(key);
+  if (wit != waiters_.end()) {
+    for (Waiter* waiter : wit->second) waiter->cv.notify_one();
+  }
+  auto awit = any_waiters_.find(akey);
+  if (awit != any_waiters_.end()) {
+    for (Waiter* waiter : awit->second) waiter->cv.notify_one();
+  }
+}
+
+bool Mailbox::deliver_direct(ContextId context, Generation generation, int src, int tag,
+                             std::span<const std::byte> data) {
+  if (apply_fault(src, tag)) return true;
+  const TransportConfig& config = transport();
+  if (!config.zero_copy.load(std::memory_order_relaxed)) return false;
+  const ExactKey key{context, generation, src, tag};
+  // Above the eager limit, linger for the receiver to post — bounded by a
+  // few times what the fallback staging copy itself would cost (~2.5 GB/s
+  // pessimistic), so a miss never doubles the message's wall time and a
+  // symmetric exchange (both sides sending) cannot deadlock.
+  std::chrono::microseconds wait{0};
+  if (data.size() > config.eager_limit.load(std::memory_order_relaxed)) {
+    wait = std::chrono::microseconds(data.size() / 2500);
+  }
+  return claim_posted(key, data, wait);
+}
+
+void Mailbox::deliver(ContextId context, Generation generation, int src, int tag,
+                      std::span<const std::byte> data) {
+  if (deliver_direct(context, generation, src, tag, data)) return;
+  enqueue_payload(ExactKey{context, generation, src, tag}, materialize(data));
+}
+
+void Mailbox::enqueue_shared(ContextId context, Generation generation, int src, int tag,
+                             std::shared_ptr<const std::byte[]> data, std::size_t size) {
+  enqueue_payload(ExactKey{context, generation, src, tag},
+                  Payload::view(std::move(data), size));
+}
+
+void Mailbox::push(Envelope envelope) {
+  if (apply_fault(envelope.src, envelope.tag)) return;
+  const ExactKey key{envelope.context, envelope.generation, envelope.src, envelope.tag};
+  if (transport().zero_copy.load(std::memory_order_relaxed) &&
+      claim_posted(key, envelope.payload.bytes(), std::chrono::microseconds{0})) {
+    return;  // payload dies here; pooled storage recycles
+  }
+  enqueue_payload(key, std::move(envelope.payload));
+}
+
+// --- queue bookkeeping -------------------------------------------------------
+
+bool Mailbox::pop_exact_locked(const ExactKey& key, Envelope& out) {
+  auto it = queues_.find(key);
+  if (it == queues_.end() || it->second.empty()) return false;
+  out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return true;
+}
+
+void Mailbox::ensure_any_index_locked(const AnyKey& key) {
+  if (!any_interest_.insert(key).second) return;
+  // First any-source interest in this key: rebuild arrival order from the
+  // envelopes already queued (seq stamps give the global arrival order).
+  std::vector<std::pair<std::uint64_t, int>> entries;
+  for (const auto& [qkey, queue] : queues_) {
+    if (qkey.context != key.context || qkey.generation != key.generation ||
+        qkey.tag != key.tag) {
+      continue;
+    }
+    for (const Envelope& envelope : queue) entries.emplace_back(envelope.seq, qkey.src);
+  }
+  std::sort(entries.begin(), entries.end());
+  auto& order = any_order_[key];
+  order.assign(entries.begin(), entries.end());
+}
+
+bool Mailbox::pop_any_locked(const AnyKey& key, Envelope& out) {
+  auto oit = any_order_.find(key);
+  if (oit == any_order_.end()) return false;
+  auto& order = oit->second;
+  while (!order.empty()) {
+    const auto [seq, src] = order.front();
+    order.pop_front();
+    auto qit = queues_.find(ExactKey{key.context, key.generation, src, key.tag});
+    if (qit == queues_.end() || qit->second.empty() ||
+        qit->second.front().seq != seq) {
+      continue;  // consumed by an exact receive: stale index entry
+    }
+    out = std::move(qit->second.front());
+    qit->second.pop_front();
+    if (qit->second.empty()) queues_.erase(qit);
+    return true;
+  }
+  return false;
+}
+
+void Mailbox::unregister_waiter(std::vector<Waiter*>& list, Waiter* waiter) {
+  list.erase(std::remove(list.begin(), list.end(), waiter), list.end());
+}
+
+// --- receive side ------------------------------------------------------------
+
+Payload Mailbox::recv(ContextId context, Generation generation, int src, int tag,
+                      int* out_src) {
+  const std::chrono::milliseconds timeout = current_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const bool any = src == kAnySource;
+  const ExactKey key{context, generation, src, tag};
+  const AnyKey akey{context, generation, tag};
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_now()) throw AbortError();
+  if (any) ensure_any_index_locked(akey);
+  Envelope envelope;
+  auto try_pop = [&] {
+    return any ? pop_any_locked(akey, envelope) : pop_exact_locked(key, envelope);
+  };
+  if (try_pop()) {
+    if (out_src != nullptr) *out_src = envelope.src;
+    return std::move(envelope.payload);
+  }
+  Waiter waiter(Waiter::Kind::Probe);
+  std::vector<Waiter*>& list = any ? any_waiters_[akey] : waiters_[key];
+  register_waiter_locked(list, &waiter);
+  for (;;) {
+    bool timed_out = false;
+    if (timeout.count() > 0) {
+      timed_out = waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    } else {
+      waiter.cv.wait(lock);
+    }
+    if (aborted_now()) {
+      unregister_waiter(list, &waiter);
+      throw AbortError();
+    }
+    if (try_pop()) {
+      unregister_waiter(list, &waiter);
+      if (out_src != nullptr) *out_src = envelope.src;
+      return std::move(envelope.payload);
+    }
+    if (timed_out) {
+      unregister_waiter(list, &waiter);
+      throw TimeoutError(context, src, tag, timeout);
+    }
+  }
+}
+
+void Mailbox::recv_into(ContextId context, Generation generation, int src, int tag,
+                        std::span<std::byte> dst) {
+  const std::chrono::milliseconds timeout = current_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const ExactKey key{context, generation, src, tag};
+
+  const auto finish_from_queue = [&](Envelope&& envelope) {
+    // Copy-out happens outside the mailbox lock; the envelope owns its
+    // payload exclusively (or shares immutable storage).
+    if (envelope.payload.size() != dst.size()) {
+      throw TransportError(context, src, tag, dst.size(), envelope.payload.size());
+    }
+    envelope.payload.copy_to(dst);
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_now()) throw AbortError();
+  Envelope envelope;
+  if (pop_exact_locked(key, envelope)) {
+    lock.unlock();
+    finish_from_queue(std::move(envelope));
+    return;
+  }
+  Waiter waiter(Waiter::Kind::Copy);
+  waiter.dst = dst.data();
+  waiter.bytes = dst.size();
+  std::vector<Waiter*>& list = waiters_[key];
+  register_waiter_locked(list, &waiter);
+  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  for (;;) {
+    bool timed_out = false;
+    if (timeout.count() > 0) {
+      timed_out = waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    } else {
+      waiter.cv.wait(lock);
+    }
+    if (waiter.done) {
+      unregister_waiter(list, &waiter);
+      return;
+    }
+    if (waiter.taken) continue;  // fill in flight; completion is imminent
+    if (aborted_now()) {
+      unregister_waiter(list, &waiter);
+      throw AbortError();
+    }
+    if (pop_exact_locked(key, envelope)) {
+      unregister_waiter(list, &waiter);
+      lock.unlock();
+      finish_from_queue(std::move(envelope));
+      return;
+    }
+    if (timed_out) {
+      unregister_waiter(list, &waiter);
+      throw TimeoutError(context, src, tag, timeout);
+    }
+  }
+}
+
+void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int tag,
+                          std::span<float> acc) {
+  const std::chrono::milliseconds timeout = current_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const ExactKey key{context, generation, src, tag};
+
+  const auto reduce_from_queue = [&](Envelope&& envelope) {
+    if (envelope.payload.size() != acc.size_bytes()) {
+      throw TransportError(context, src, tag, acc.size_bytes(), envelope.payload.size());
+    }
+    // Fused reduce straight out of the matched payload — no staging buffer.
+    gpu::accumulate(float_view(envelope.payload.bytes()), acc);
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_now()) throw AbortError();
+  Envelope envelope;
+  if (pop_exact_locked(key, envelope)) {
+    lock.unlock();
+    reduce_from_queue(std::move(envelope));
+    return;
+  }
+  Waiter waiter(Waiter::Kind::Reduce);
+  waiter.acc = acc.data();
+  waiter.bytes = acc.size_bytes();
+  std::vector<Waiter*>& list = waiters_[key];
+  register_waiter_locked(list, &waiter);
+  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  for (;;) {
+    bool timed_out = false;
+    if (timeout.count() > 0) {
+      timed_out = waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+    } else {
+      waiter.cv.wait(lock);
+    }
+    if (waiter.done) {
+      unregister_waiter(list, &waiter);
+      return;
+    }
+    if (waiter.taken) continue;
+    if (aborted_now()) {
+      unregister_waiter(list, &waiter);
+      throw AbortError();
+    }
+    if (pop_exact_locked(key, envelope)) {
+      unregister_waiter(list, &waiter);
+      lock.unlock();
+      reduce_from_queue(std::move(envelope));
+      return;
+    }
+    if (timed_out) {
+      unregister_waiter(list, &waiter);
+      throw TimeoutError(context, src, tag, timeout);
+    }
+  }
+}
+
+bool Mailbox::try_recv(ContextId context, Generation generation, int src, int tag,
+                       Payload& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (aborted_now()) throw AbortError();
+  Envelope envelope;
+  if (!pop_exact_locked(ExactKey{context, generation, src, tag}, envelope)) return false;
+  payload = std::move(envelope.payload);
+  return true;
+}
+
+void Mailbox::interrupt() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, list] : waiters_) {
+    for (Waiter* waiter : list) waiter->cv.notify_all();
+  }
+  for (auto& [key, list] : any_waiters_) {
+    for (Waiter* waiter : list) waiter->cv.notify_all();
+  }
+  posted_cv_.notify_all();  // lingering senders re-check the abort flag
+}
+
+std::size_t Mailbox::purge_stale(Generation current) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t dropped = 0;
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    if (it->first.generation != current) {
+      dropped += it->second.size();
+      it = queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = any_order_.begin(); it != any_order_.end();) {
+    it = it->first.generation != current ? any_order_.erase(it) : std::next(it);
+  }
+  for (auto it = any_interest_.begin(); it != any_interest_.end();) {
+    it = it->generation != current ? any_interest_.erase(it) : std::next(it);
+  }
+  return dropped;
+}
+
+}  // namespace scaffe::mpi

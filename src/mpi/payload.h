@@ -1,0 +1,100 @@
+// Message payload storage for the scmpi transport.
+//
+// A Payload owns message bytes in one of two forms, matching the transport's
+// two protocol paths (see DESIGN.md "Transport protocol"):
+//
+//  - *pooled* (eager path): an exclusively-owned util::PooledBytes block that
+//    recycles into the process-wide BufferPool when the payload dies — no
+//    allocation per message once the pool is warm;
+//  - *shared* (rendezvous path): an immutable, reference-counted byte view.
+//    Broadcast-style multi-destination sends stamp the SAME view into every
+//    envelope, so N receivers share one materialized buffer instead of N
+//    sender-side copies.
+//
+// Either way the receive side reads straight out of the payload (copy-out or
+// fused reduce); there is never a second staging hop.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "util/buffer_pool.h"
+
+namespace scaffe::mpi {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Eager path: copy `data` into a block checked out of `pool`.
+  static Payload copy_pooled(util::BufferPool& pool, std::span<const std::byte> data) {
+    Payload payload;
+    payload.size_ = data.size();
+    if (!data.empty()) {
+      payload.pooled_ = pool.acquire(data.size());
+      std::memcpy(payload.pooled_.data(), data.data(), data.size());
+    }
+    return payload;
+  }
+
+  /// Legacy path: copy `data` into a fresh heap block (never pooled).
+  static Payload copy_heap(std::span<const std::byte> data) {
+    Payload payload;
+    payload.size_ = data.size();
+    if (!data.empty()) {
+      payload.pooled_ = util::PooledBytes::heap(data.size());
+      std::memcpy(payload.pooled_.data(), data.data(), data.size());
+    }
+    return payload;
+  }
+
+  /// Rendezvous path: adopt an immutable shared buffer (no copy).
+  static Payload view(std::shared_ptr<const std::byte[]> data, std::size_t size) {
+    Payload payload;
+    payload.shared_ = std::move(data);
+    payload.size_ = size;
+    return payload;
+  }
+
+  /// Materializes `data` into a new shared buffer usable by view().
+  static std::shared_ptr<const std::byte[]> make_shared_copy(
+      std::span<const std::byte> data) {
+    std::shared_ptr<std::byte[]> block(new std::byte[data.size()]);
+    if (!data.empty()) std::memcpy(block.get(), data.data(), data.size());
+    return block;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const std::byte* data() const noexcept {
+    return shared_ ? shared_.get() : pooled_.data();
+  }
+
+  /// Mutable access — exclusively-owned (pooled/heap/resized) payloads only.
+  std::byte* data() noexcept { return pooled_.data(); }
+
+  std::span<const std::byte> bytes() const noexcept { return {data(), size_}; }
+
+  /// (Re)allocates an exclusive heap block of `n` bytes (test/forgery helper
+  /// keeping the old std::vector payload ergonomics: resize + data + memcpy).
+  void resize(std::size_t n) {
+    shared_.reset();
+    pooled_ = util::PooledBytes::heap(n);
+    size_ = n;
+  }
+
+  void copy_to(std::span<std::byte> dst) const {
+    if (size_ != 0) std::memcpy(dst.data(), data(), size_);
+  }
+
+ private:
+  util::PooledBytes pooled_;                  // exclusive storage (eager/legacy)
+  std::shared_ptr<const std::byte[]> shared_;  // shared storage (rendezvous)
+  std::size_t size_ = 0;
+};
+
+}  // namespace scaffe::mpi

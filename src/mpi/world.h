@@ -6,21 +6,31 @@
 // Matching/wakeup invariants (Mailbox):
 //  - Messages match on exact (context, src, tag) — or kAnySource for src —
 //    in arrival order; arrival order per (src, context) pair is the sender's
-//    program order (MPI non-overtaking), because push() appends under the
-//    mailbox mutex and each sender pushes from one thread at a time per
+//    program order (MPI non-overtaking), because delivery appends under the
+//    mailbox mutex and each sender delivers from one thread at a time per
 //    ordered stream.
-//  - A rank may have SEVERAL threads blocked in recv() on the same mailbox
-//    at once (the main thread plus NBC progression threads), each filtering
-//    on a different (context, src, tag) predicate. A newly pushed message
-//    can satisfy at most ONE receiver (the first matcher consumes it), but
-//    push() cannot tell WHICH waiter matches: with more than one waiter it
-//    must notify_all, else the one matching waiter might stay asleep while a
-//    non-matching waiter absorbs the single notify and goes back to waiting.
-//    With at most one waiter, notify_one is equivalent and cheaper — that is
-//    the only condition under which push() may use it, and it is detected
-//    via the exact waiter count maintained under the mailbox mutex.
-//  - interrupt() is a control-path wakeup (abort, shutdown): it always
-//    notifies all waiters so every blocked thread re-checks the abort flag.
+//  - Matching is INDEXED: envelopes live in per-(context, generation, src,
+//    tag) FIFO queues in a hash map, so an exact-match receive is O(1)
+//    regardless of how much unrelated mail is pending (the old single-list
+//    scan was O(n) under one mutex). kAnySource receives consult a lazily
+//    built per-(context, generation, tag) arrival-order index; stale entries
+//    (consumed by exact receives) are skipped lazily via the per-envelope
+//    arrival stamp.
+//  - Wakeups are TARGETED: every blocked receiver registers a Waiter keyed by
+//    its match predicate and sleeps on the waiter's own condition variable.
+//    Delivery notifies exactly the waiters whose predicate the new message
+//    matches — no broadcast wakeups, no lost-wakeup races between receivers
+//    filtering on different predicates. interrupt() (abort, shutdown) is the
+//    control-path exception: it wakes every registered waiter so each
+//    blocked thread re-checks the abort flag.
+//  - Zero-copy rendezvous: a receiver that blocks first POSTS its
+//    destination (recv_into) or accumulator (recv_reduce) in the waiter.
+//    A matching sender claims the posted waiter and copies (or
+//    reduce-accumulates) ONCE, straight from its source buffer into the
+//    receiver's memory — no intermediate payload is ever materialized. The
+//    claim is forbidden while queued mail for the same key exists
+//    (non-overtaking), and a claimed waiter cannot be abandoned: on timeout
+//    or abort the receiver waits for the in-flight fill to finish first.
 //
 // Membership generations (elastic worlds):
 //  - A World persists across failures. Each (re)launch of rank bodies is a
@@ -41,14 +51,18 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
-#include <list>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "mpi/payload.h"
 #include "util/fault.h"
 
 namespace scaffe::mpi {
@@ -101,154 +115,254 @@ class TimeoutError : public std::runtime_error {
   std::chrono::milliseconds deadline_;
 };
 
+/// Thrown when a matched message's payload size disagrees with the
+/// receiver's buffer: a protocol error naming exactly which exchange broke
+/// and by how much (the TimeoutError of size mismatches).
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(ContextId context, int src, int tag, std::size_t expected_bytes,
+                 std::size_t actual_bytes)
+      : std::runtime_error("scmpi recv: size mismatch (expected " +
+                           std::to_string(expected_bytes) + " bytes, got " +
+                           std::to_string(actual_bytes) + "; src=" +
+                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
+                           ", tag=" + std::to_string(tag) +
+                           ", context=" + std::to_string(context) + ")"),
+        context_(context),
+        src_(src),
+        tag_(tag),
+        expected_bytes_(expected_bytes),
+        actual_bytes_(actual_bytes) {}
+
+  ContextId context() const noexcept { return context_; }
+  int src() const noexcept { return src_; }
+  int tag() const noexcept { return tag_; }
+  std::size_t expected_bytes() const noexcept { return expected_bytes_; }
+  std::size_t actual_bytes() const noexcept { return actual_bytes_; }
+
+ private:
+  ContextId context_;
+  int src_;
+  int tag_;
+  std::size_t expected_bytes_;
+  std::size_t actual_bytes_;
+};
+
 struct Envelope {
   ContextId context;
   Generation generation = 0;  // sender's membership epoch
   int src;
   int tag;
-  std::vector<std::byte> payload;
+  Payload payload;
+  std::uint64_t seq = 0;  // mailbox arrival stamp (assigned by the mailbox)
 };
 
-/// One per destination rank. Messages match on (context, src, tag) in
-/// arrival order (MPI non-overtaking within a (src, context) pair).
+/// Transport tuning shared by every mailbox of a World. Atomics so tests and
+/// benches can flip paths between runs of a persistent world.
+struct TransportConfig {
+  /// Messages of at most this many bytes take the eager path (pooled staging
+  /// copy); larger ones take the rendezvous path (shared view / posted
+  /// single copy). SCAFFE_EAGER_LIMIT, default 64 KiB.
+  std::atomic<std::size_t> eager_limit{default_eager_limit()};
+
+  /// Posted-receive claims (single sender→destination copy / fused reduce).
+  std::atomic<bool> zero_copy{default_zero_copy()};
+
+  /// Recycle eager payload buffers through util::BufferPool. When false
+  /// every message allocates fresh (the pre-pool "legacy" transport).
+  std::atomic<bool> pooled_eager{default_zero_copy()};
+
+  static std::size_t default_eager_limit();
+  static bool default_zero_copy();  // false when SCAFFE_TRANSPORT=legacy
+};
+
+/// One per destination rank. Messages match on (context, generation, src,
+/// tag) in arrival order (MPI non-overtaking within a (src, context) pair).
+/// See the matching/wakeup invariants in the header comment.
 class Mailbox {
  public:
   explicit Mailbox(int owner_rank = 0) : owner_rank_(owner_rank) {}
 
-  /// Delivers one envelope. Consults the process-wide FaultInjector first:
-  /// an injected delay sleeps the sender (modelling a slow link / straggler
-  /// sender), an injected drop discards the envelope without delivery.
-  void push(Envelope envelope) {
-    auto& injector = util::FaultInjector::instance();
-    if (injector.active()) {
-      const util::MessageFault fault =
-          injector.on_message(envelope.src, owner_rank_, envelope.tag);
-      if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
-      if (fault.drop) return;
-    }
-    int waiters = 0;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      messages_.push_back(std::move(envelope));
-      waiters = waiters_;
-    }
-    // See the wakeup invariant in the header comment: one waiter is the only
-    // case where a single notify provably reaches the matching receiver.
-    if (waiters <= 1) {
-      cv_.notify_one();
-    } else {
-      cv_.notify_all();
-    }
-  }
+  /// Delivers one pre-materialized envelope. Consults the process-wide
+  /// FaultInjector first: an injected delay sleeps the sender (modelling a
+  /// slow link / straggler sender), an injected drop discards the envelope
+  /// without delivery. A matching posted receive is filled directly;
+  /// otherwise the envelope is queued.
+  void push(Envelope envelope);
 
-  /// Blocking matched receive. `src` may be kAnySource; the actual sender
-  /// is written to *out_src when non-null (arrival order wins ties). Only
-  /// envelopes of the receiver's `generation` are eligible — stale-epoch
-  /// mail is invisible, never consumed.
-  /// Throws AbortError if the world aborts while waiting, and TimeoutError
-  /// if a configured receive deadline expires first.
-  std::vector<std::byte> recv(ContextId context, Generation generation, int src, int tag,
-                              int* out_src = nullptr) {
-    const std::chrono::milliseconds timeout = timeout_ms_ == nullptr
-                                                  ? std::chrono::milliseconds(0)
-                                                  : std::chrono::milliseconds(timeout_ms_->load());
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
-    const auto matches = [&](const Envelope& envelope) {
-      return envelope.context == context && envelope.generation == generation &&
-             (src == kAnySource || envelope.src == src) && envelope.tag == tag;
-    };
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      if (aborted_ != nullptr && aborted_->load()) throw AbortError();
-      for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-        if (matches(*it)) {
-          std::vector<std::byte> payload = std::move(it->payload);
-          if (out_src != nullptr) *out_src = it->src;
-          messages_.erase(it);
-          return payload;
-        }
-      }
-      ++waiters_;
-      if (timeout.count() > 0) {
-        const auto status = cv_.wait_until(lock, deadline);
-        --waiters_;
-        if (status == std::cv_status::timeout &&
-            !(aborted_ != nullptr && aborted_->load())) {
-          // Re-scan once: the message may have arrived in the wakeup race.
-          for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-            if (matches(*it)) {
-              std::vector<std::byte> payload = std::move(it->payload);
-              if (out_src != nullptr) *out_src = it->src;
-              messages_.erase(it);
-              return payload;
-            }
-          }
-          throw TimeoutError(context, src, tag, timeout);
-        }
-      } else {
-        cv_.wait(lock);
-        --waiters_;
-      }
-    }
-  }
+  /// Delivers `data` from the sender's buffer: fault injection, then the
+  /// posted-receive single-copy path, else materializes a payload (pooled
+  /// below the eager limit, shared view above) and queues it. This is the
+  /// Comm::send_bytes entry point.
+  void deliver(ContextId context, Generation generation, int src, int tag,
+               std::span<const std::byte> data);
 
-  /// Wakes any blocked receiver so it can observe the abort flag.
-  void interrupt() { cv_.notify_all(); }
+  /// First half of deliver(): fault injection plus the posted-receive claim.
+  /// Returns true when the message is fully handled (claimed or dropped);
+  /// on false the caller MUST queue a payload itself (enqueue_shared) —
+  /// the per-link fault decision has already been consumed.
+  bool deliver_direct(ContextId context, Generation generation, int src, int tag,
+                      std::span<const std::byte> data);
 
-  void bind_abort_flag(const std::atomic<bool>* flag) noexcept { aborted_ = flag; }
-  void bind_recv_timeout(const std::atomic<std::int64_t>* timeout_ms) noexcept {
-    timeout_ms_ = timeout_ms;
-  }
+  /// Queues a rendezvous payload sharing `data` (no copy, no fault check —
+  /// pair with deliver_direct). Broadcast-style fan-out stamps one shared
+  /// buffer into every destination's envelope.
+  void enqueue_shared(ContextId context, Generation generation, int src, int tag,
+                      std::shared_ptr<const std::byte[]> data, std::size_t size);
+
+  /// Blocking matched receive returning the payload. `src` may be
+  /// kAnySource; the actual sender is written to *out_src when non-null
+  /// (arrival order wins ties). Only envelopes of the receiver's
+  /// `generation` are eligible — stale-epoch mail is invisible, never
+  /// consumed. Throws AbortError if the world aborts while waiting, and
+  /// TimeoutError if a configured receive deadline expires first.
+  Payload recv(ContextId context, Generation generation, int src, int tag,
+               int* out_src = nullptr);
+
+  /// Blocking matched receive straight into `dst` (exact source only).
+  /// Posts the destination so a matching sender can fill it with a single
+  /// copy. Throws TransportError on payload size mismatch.
+  void recv_into(ContextId context, Generation generation, int src, int tag,
+                 std::span<std::byte> dst);
+
+  /// Blocking fused receive-reduce: element-wise adds the matched payload
+  /// into `acc` (exact source only) without materializing a staging buffer.
+  /// Posts the accumulator so a matching sender can reduce directly from its
+  /// source buffer. Throws TransportError on payload size mismatch.
+  void recv_reduce(ContextId context, Generation generation, int src, int tag,
+                   std::span<float> acc);
 
   /// Non-blocking probe-and-receive; false if no matching message yet.
   /// Throws AbortError once the world has aborted, so request polling loops
   /// (Request::test) raise instead of spinning forever.
   bool try_recv(ContextId context, Generation generation, int src, int tag,
-                std::vector<std::byte>& payload) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (aborted_ != nullptr && aborted_->load()) throw AbortError();
-    for (auto it = messages_.begin(); it != messages_.end(); ++it) {
-      if (it->context == context && it->generation == generation && it->src == src &&
-          it->tag == tag) {
-        payload = std::move(it->payload);
-        messages_.erase(it);
-        return true;
-      }
-    }
-    return false;
+                Payload& payload);
+
+  /// Wakes every blocked receiver so it can observe the abort flag.
+  void interrupt();
+
+  void bind_abort_flag(const std::atomic<bool>* flag) noexcept { aborted_ = flag; }
+  void bind_recv_timeout(const std::atomic<std::int64_t>* timeout_ms) noexcept {
+    timeout_ms_ = timeout_ms;
+  }
+  void bind_transport(const TransportConfig* transport) noexcept {
+    transport_ = transport;
   }
 
   /// Discards every message not belonging to `current` — dead-epoch mail is
   /// unmatchable anyway (the generation fence), this just reclaims it.
   /// Returns the number of stale envelopes dropped.
-  std::size_t purge_stale(Generation current) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::size_t dropped = 0;
-    for (auto it = messages_.begin(); it != messages_.end();) {
-      if (it->generation != current) {
-        it = messages_.erase(it);
-        ++dropped;
-      } else {
-        ++it;
-      }
-    }
-    return dropped;
-  }
+  std::size_t purge_stale(Generation current);
 
  private:
+  struct ExactKey {
+    ContextId context;
+    Generation generation;
+    int src;
+    int tag;
+    bool operator==(const ExactKey&) const = default;
+  };
+  struct AnyKey {
+    ContextId context;
+    Generation generation;
+    int tag;
+    bool operator==(const AnyKey&) const = default;
+  };
+  static std::uint64_t hash_mix(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    return x ^ (x >> 33);
+  }
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const noexcept {
+      std::uint64_t h = hash_mix(static_cast<std::uint64_t>(k.context));
+      h = hash_mix(h ^ k.generation);
+      h = hash_mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) << 32 |
+                        static_cast<std::uint32_t>(k.tag)));
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct AnyKeyHash {
+    std::size_t operator()(const AnyKey& k) const noexcept {
+      std::uint64_t h = hash_mix(static_cast<std::uint64_t>(k.context));
+      h = hash_mix(h ^ k.generation);
+      h = hash_mix(h ^ static_cast<std::uint32_t>(k.tag));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// One blocked receiver. Probe waiters pull from the queue themselves;
+  /// Copy/Reduce waiters additionally post a destination that a matching
+  /// sender may claim and fill directly (the zero-copy rendezvous path).
+  struct Waiter {
+    enum class Kind { Probe, Copy, Reduce };
+    explicit Waiter(Kind k) : kind(k) {}
+    Kind kind;
+    std::byte* dst = nullptr;     // Copy: destination bytes
+    float* acc = nullptr;         // Reduce: accumulator floats
+    std::size_t bytes = 0;        // expected payload size (Copy/Reduce)
+    bool taken = false;           // a sender claimed this waiter, fill in flight
+    bool done = false;            // fill complete; receiver may return
+    std::condition_variable cv;   // targeted wakeup: only the owner sleeps here
+  };
+
+  bool aborted_now() const noexcept { return aborted_ != nullptr && aborted_->load(); }
+  std::chrono::milliseconds current_timeout() const noexcept {
+    return timeout_ms_ == nullptr ? std::chrono::milliseconds(0)
+                                  : std::chrono::milliseconds(timeout_ms_->load());
+  }
+  const TransportConfig& transport() const noexcept;
+
+  /// Fault injection for one message. Returns true when the message is
+  /// dropped (delay sleeps inline first).
+  bool apply_fault(int src, int tag);
+
+  /// Claims a matching posted (Copy/Reduce) waiter and fills it directly
+  /// from `data` (copy or accumulate happens outside the mailbox lock).
+  /// Lingers up to `max_wait` for a receive to be posted (the rendezvous
+  /// handshake). Refuses while queued mail for `key` exists (non-overtaking)
+  /// and when sizes disagree (the mismatch is diagnosed on the receive
+  /// side).
+  bool claim_posted(const ExactKey& key, std::span<const std::byte> data,
+                    std::chrono::microseconds max_wait);
+
+  Payload materialize(std::span<const std::byte> data) const;
+  void enqueue_payload(const ExactKey& key, Payload payload);
+
+  // The _locked helpers require mutex_ to be held.
+  bool pop_exact_locked(const ExactKey& key, Envelope& out);
+  bool pop_any_locked(const AnyKey& key, Envelope& out);
+  void ensure_any_index_locked(const AnyKey& key);
+  void register_waiter_locked(std::vector<Waiter*>& list, Waiter* waiter) {
+    list.push_back(waiter);
+  }
+  static void unregister_waiter(std::vector<Waiter*>& list, Waiter* waiter);
+
   int owner_rank_;
   std::mutex mutex_;
-  std::condition_variable cv_;
-  std::list<Envelope> messages_;
-  int waiters_ = 0;  // threads blocked in recv(); guarded by mutex_
+  std::condition_variable posted_cv_;  // signalled when a Copy/Reduce waiter posts
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<ExactKey, std::deque<Envelope>, ExactKeyHash> queues_;
+  std::unordered_map<ExactKey, std::vector<Waiter*>, ExactKeyHash> waiters_;
+  std::unordered_map<AnyKey, std::vector<Waiter*>, AnyKeyHash> any_waiters_;
+  // Arrival-order index for kAnySource matching, built lazily per key the
+  // first time an any-source receive shows interest; entries consumed by
+  // exact receives are skipped lazily via the seq stamp.
+  std::unordered_set<AnyKey, AnyKeyHash> any_interest_;
+  std::unordered_map<AnyKey, std::deque<std::pair<std::uint64_t, int>>, AnyKeyHash>
+      any_order_;
   const std::atomic<bool>* aborted_ = nullptr;
   const std::atomic<std::int64_t>* timeout_ms_ = nullptr;
+  const TransportConfig* transport_ = nullptr;
 };
 
 /// Shared state for one Runtime: the mailboxes of all world ranks plus the
-/// fault-tolerance configuration every mailbox observes. Persistent across
-/// membership generations: a failure does not destroy the world, it ends the
-/// current generation; survivors relaunch under the next one.
+/// fault-tolerance and transport configuration every mailbox observes.
+/// Persistent across membership generations: a failure does not destroy the
+/// world, it ends the current generation; survivors relaunch under the next
+/// one.
 struct World {
   explicit World(int nranks, std::chrono::milliseconds recv_timeout = default_recv_timeout())
       : size(nranks), recv_timeout_ms(recv_timeout.count()) {
@@ -257,6 +371,7 @@ struct World {
       mailboxes.push_back(std::make_unique<Mailbox>(i));
       mailboxes.back()->bind_abort_flag(&aborted);
       mailboxes.back()->bind_recv_timeout(&recv_timeout_ms);
+      mailboxes.back()->bind_transport(&transport);
     }
   }
 
@@ -290,6 +405,7 @@ struct World {
   std::atomic<bool> aborted{false};
   std::atomic<std::int64_t> recv_timeout_ms{0};  // 0 = no deadline
   std::atomic<Generation> generation{0};         // current membership epoch
+  TransportConfig transport;                     // eager/rendezvous tuning
 };
 
 }  // namespace scaffe::mpi

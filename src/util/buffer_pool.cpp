@@ -1,0 +1,76 @@
+#include "util/buffer_pool.h"
+
+namespace scaffe::util {
+
+PooledBytes& PooledBytes::operator=(PooledBytes&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+    pool_ = std::exchange(other.pool_, nullptr);
+    data_ = std::move(other.data_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+PooledBytes::~PooledBytes() {
+  if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+}
+
+PooledBytes PooledBytes::heap(std::size_t size) {
+  const std::size_t capacity = BufferPool::size_class(size);
+  return PooledBytes(nullptr, std::make_unique<std::byte[]>(capacity), capacity, size);
+}
+
+PooledBytes BufferPool::acquire(std::size_t size) {
+  const std::size_t capacity = size_class(size);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_lists_.find(capacity);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      std::unique_ptr<std::byte[]> block = std::move(it->second.back());
+      it->second.pop_back();
+      cached_bytes_ -= capacity;
+      ++hits_;
+      return PooledBytes(this, std::move(block), capacity, size);
+    }
+    ++misses_;
+  }
+  // Fresh block, allocated outside the pool lock.
+  return PooledBytes(this, std::make_unique<std::byte[]>(capacity), capacity, size);
+}
+
+void BufferPool::give_back(std::unique_ptr<std::byte[]> data, std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cached_bytes_ + capacity > max_cached_bytes_) return;  // free to the heap
+  free_lists_[capacity].push_back(std::move(data));
+  cached_bytes_ += capacity;
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_lists_.clear();
+  cached_bytes_ = 0;
+}
+
+std::uint64_t BufferPool::hits() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t BufferPool::misses() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t BufferPool::cached_bytes() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cached_bytes_;
+}
+
+BufferPool& BufferPool::instance() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace scaffe::util

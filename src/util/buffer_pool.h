@@ -1,0 +1,111 @@
+// Recycling byte-buffer pool for the scmpi eager transport path.
+//
+// Generalizes gpu::PoolAllocator's size-class design (power-of-two classes,
+// per-class free lists, hit/miss counters, trim) from device float blocks to
+// raw host byte buffers: every eager message below SCAFFE_EAGER_LIMIT stages
+// its payload in a pooled buffer instead of allocating a fresh vector, so a
+// steady-state training loop performs zero transport allocations once the
+// pool is warm.
+//
+// Unlike the device pool there is no backing Device to charge; instead the
+// pool bounds its *cache* (free bytes held for reuse) by `max_cached_bytes`:
+// releases beyond the cap free the block to the heap rather than growing the
+// cache without limit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace scaffe::util {
+
+class BufferPool;
+
+/// RAII handle to a pooled byte block; returns to its pool on destruction.
+/// A handle created by PooledBytes::heap() owns a plain heap block instead
+/// (freed, not recycled) — the pool-disabled "legacy" transport path.
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+  PooledBytes(PooledBytes&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        data_(std::move(other.data_)),
+        capacity_(std::exchange(other.capacity_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+  PooledBytes& operator=(PooledBytes&& other) noexcept;
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+  ~PooledBytes();
+
+  /// Fresh non-pooled block (freed on destruction, never cached).
+  static PooledBytes heap(std::size_t size);
+
+  bool valid() const noexcept { return data_ != nullptr; }
+  std::size_t size() const noexcept { return size_; }          // requested
+  std::size_t capacity() const noexcept { return capacity_; }  // size class
+  std::byte* data() noexcept { return data_.get(); }
+  const std::byte* data() const noexcept { return data_.get(); }
+  std::span<std::byte> span() noexcept { return {data_.get(), size_}; }
+  std::span<const std::byte> span() const noexcept { return {data_.get(), size_}; }
+
+ private:
+  friend class BufferPool;
+  PooledBytes(BufferPool* pool, std::unique_ptr<std::byte[]> data, std::size_t capacity,
+              std::size_t size)
+      : pool_(pool), data_(std::move(data)), capacity_(capacity), size_(size) {}
+
+  BufferPool* pool_ = nullptr;  // nullptr: heap block, freed not recycled
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_cached_bytes = kDefaultCacheCap)
+      : max_cached_bytes_(max_cached_bytes) {}
+  ~BufferPool() { trim(); }
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a block of at least `size` bytes (size == 0 yields the minimum
+  /// class). Sizes round up to the next power of two, 64-byte minimum.
+  PooledBytes acquire(std::size_t size);
+
+  /// Releases every cached block to the heap.
+  void trim();
+
+  std::uint64_t hits() const noexcept;
+  std::uint64_t misses() const noexcept;
+  std::size_t cached_bytes() const noexcept;
+
+  /// Process-wide pool shared by all scmpi mailboxes.
+  static BufferPool& instance();
+
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kDefaultCacheCap = std::size_t{256} << 20;  // 256 MiB
+
+  static std::size_t size_class(std::size_t size) noexcept {
+    std::size_t capacity = kMinClass;
+    while (capacity < size) capacity <<= 1;
+    return capacity;
+  }
+
+ private:
+  friend class PooledBytes;
+  void give_back(std::unique_ptr<std::byte[]> data, std::size_t capacity);
+
+  std::size_t max_cached_bytes_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::vector<std::unique_ptr<std::byte[]>>> free_lists_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::size_t cached_bytes_ = 0;
+};
+
+}  // namespace scaffe::util
