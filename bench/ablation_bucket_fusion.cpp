@@ -1,0 +1,218 @@
+// Gradient bucket fusion ablation: per-layer SC-OBR overlap (the paper's
+// design) against bucket-fused SC-OBR at several bucket targets, on a deep
+// narrow MLP with a GoogLeNet-like gradient profile — many tens of layers of
+// a few tens of KiB each, where per-collective setup dominates the wire time
+// of each message.
+//
+// Modes: unfused, fused at {256 KiB, 1 MiB, 4 MiB}, and fused "auto" (bucket
+// target derived from the measured eager/rendezvous crossover, which the
+// bench measures first and applies to every run for fairness).
+//
+// Writes machine-readable BENCH_fusion.json. SCAFFE_BENCH_SMOKE=1 shrinks to
+// a CI-smoke footprint; SCAFFE_FUSION_ASSERT=1 exits nonzero when fused-auto
+// is slower than unfused beyond tolerance (used by scripts/check.sh).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bucket_planner.h"
+#include "core/distributed_solver.h"
+#include "models/zoo.h"
+#include "mpi/comm.h"
+#include "mpi/transport_tuner.h"
+#include "util/thread_pool.h"
+
+using namespace scaffe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+/// Deep narrow MLP: `depth` hidden InnerProduct+ReLU stages of width
+/// `hidden` (each ~hidden^2 gradient floats) plus a classifier.
+dl::NetSpec deep_mlp(int batch, int in_dim, int hidden, int depth, int classes) {
+  dl::NetSpec spec;
+  spec.name = "deep_mlp";
+  spec.inputs = {{"data", {batch, in_dim}}, {"label", {batch}}};
+  std::string bottom = "data";
+  for (int d = 0; d < depth; ++d) {
+    const std::string fc = "fc" + std::to_string(d);
+    const std::string act = "act" + std::to_string(d);
+    spec.layers.push_back(dl::LayerSpec::inner_product(fc, bottom, fc, hidden));
+    spec.layers.push_back(dl::LayerSpec::relu(act, fc, act));
+    bottom = act;
+  }
+  spec.layers.push_back(dl::LayerSpec::inner_product("cls", bottom, "cls", classes));
+  spec.layers.push_back(dl::LayerSpec::softmax_loss("loss", "cls", "label", "loss"));
+  return spec;
+}
+
+struct BenchShape {
+  int in_dim = 0;
+  int hidden = 0;
+  int depth = 0;
+  int classes = 10;
+  int shard = 0;  // per-rank batch
+  int iters = 0;
+};
+
+/// Mean wall time of one training iteration (rank 0's clock, barriers
+/// bracketing so the slowest rank is measured), one warmup iteration.
+double timed_training_ms(int ranks, std::size_t eager_limit, const core::ScaffeConfig& config,
+                         const BenchShape& shape) {
+  mpi::Runtime runtime(ranks);
+  runtime.set_transport_mode(mpi::TransportMode::Tuned);
+  runtime.set_recv_timeout(std::chrono::milliseconds(120000));
+  runtime.set_eager_limit(eager_limit);
+
+  double elapsed = 0;  // only rank 0 writes
+  runtime.run([&](mpi::Comm& comm) {
+    dl::SolverConfig solver_config;
+    solver_config.base_lr = 0.01f;
+    solver_config.seed = 7;
+    core::DistributedSolver solver(
+        comm,
+        deep_mlp(shape.shard, shape.in_dim, shape.hidden, shape.depth, shape.classes),
+        solver_config, config);
+
+    std::vector<float> data(static_cast<std::size_t>(shape.shard * shape.in_dim));
+    std::vector<float> labels(static_cast<std::size_t>(shape.shard));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = 0.01f * static_cast<float>((i * 7 + static_cast<std::size_t>(comm.rank())) % 100);
+    }
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = static_cast<float>(i % static_cast<std::size_t>(shape.classes));
+    }
+
+    for (int i = -1; i < shape.iters; ++i) {
+      comm.barrier();
+      const auto start = Clock::now();
+      solver.train_iteration(data, labels);
+      comm.barrier();
+      if (i >= 0 && comm.rank() == 0) {
+        elapsed += std::chrono::duration<double>(Clock::now() - start).count();
+      }
+    }
+  });
+  return elapsed * 1000.0 / shape.iters;
+}
+
+struct ResultRow {
+  int ranks = 0;
+  std::string mode;
+  std::size_t bucket_bytes = 0;  // 0 for unfused
+  double iter_ms = 0;
+  double speedup = 1.0;  // vs unfused at the same rank count
+};
+
+}  // namespace
+
+int main() {
+  // Rank threads are the parallelism; keep the math pool serial so layer
+  // compute doesn't oversubscribe the benchmark machine.
+  util::ThreadPool::set_global_threads(1);
+
+  const bool smoke = env_flag("SCAFFE_BENCH_SMOKE");
+  const bool assert_mode = env_flag("SCAFFE_FUSION_ASSERT");
+
+  // Measure the eager/rendezvous crossover once and pin every run to it, so
+  // "auto" reflects a genuinely measured protocol switch and all modes see
+  // the same transport.
+  const mpi::TransportCalibration calibration =
+      mpi::measure_transport_calibration(smoke ? 6 : 24);
+  const std::size_t crossover = calibration.pick_crossover();
+  std::printf("measured eager/rendezvous crossover: %zu bytes\n", crossover);
+
+  // Full shape targets ~6 MB of total gradients: several auto-sized buckets
+  // (auto lands at 8x the crossover, up to 2 MiB), so the priority pipeline
+  // keeps overlapping instead of degenerating into one blocking bucket.
+  BenchShape shape;
+  shape.in_dim = smoke ? 32 : 128;
+  shape.hidden = smoke ? 32 : 128;  // ~64 KiB of gradients per fc layer (full)
+  shape.depth = smoke ? 12 : 96;    // GoogLeNet-like many-small-layer profile
+  shape.shard = smoke ? 4 : 8;
+  shape.iters = smoke ? 3 : 6;
+
+  const std::vector<int> rank_counts = smoke ? std::vector<int>{4} : std::vector<int>{4, 8, 16};
+  const std::size_t auto_bucket = core::resolve_bucket_bytes(0, crossover);
+
+  struct Mode {
+    std::string name;
+    bool fused = false;
+    std::size_t bucket_bytes = 0;
+  };
+  const std::vector<Mode> modes = {
+      {"unfused", false, 0},
+      {"fused-256K", true, std::size_t{256} << 10},
+      {"fused-1M", true, std::size_t{1} << 20},
+      {"fused-4M", true, std::size_t{4} << 20},
+      {"fused-auto", true, 0},  // resolves from the eager limit (= crossover)
+  };
+
+  std::vector<ResultRow> rows;
+  bool assert_failed = false;
+  for (int ranks : rank_counts) {
+    double unfused_ms = 0;
+    double auto_ms = 0;
+    for (const Mode& mode : modes) {
+      core::ScaffeConfig config;
+      config.variant = core::Variant::SCOBR;
+      config.reduce = core::ReduceAlgo::binomial();
+      config.fusion.enabled = mode.fused;
+      config.fusion.bucket_bytes = mode.bucket_bytes;
+
+      ResultRow row;
+      row.ranks = ranks;
+      row.mode = mode.name;
+      row.bucket_bytes =
+          mode.fused ? (mode.bucket_bytes > 0 ? mode.bucket_bytes : auto_bucket) : 0;
+      row.iter_ms = timed_training_ms(ranks, crossover, config, shape);
+      if (mode.name == "unfused") unfused_ms = row.iter_ms;
+      if (mode.name == "fused-auto") auto_ms = row.iter_ms;
+      row.speedup = unfused_ms > 0 ? unfused_ms / row.iter_ms : 1.0;
+      std::printf("%2d ranks  %-11s bucket %8zu B  %8.2f ms/iter  speedup %.2fx\n",
+                  row.ranks, row.mode.c_str(), row.bucket_bytes, row.iter_ms, row.speedup);
+      rows.push_back(row);
+    }
+    if (assert_mode && auto_ms > unfused_ms * 1.25) {
+      std::fprintf(stderr,
+                   "FUSION ASSERT FAILED at %d ranks: fused-auto %.2f ms > "
+                   "unfused %.2f ms x 1.25\n",
+                   ranks, auto_ms, unfused_ms);
+      assert_failed = true;
+    }
+  }
+
+  const char* json_path = "BENCH_fusion.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"eager_crossover_bytes\": %zu,\n", crossover);
+  std::fprintf(out, "  \"auto_bucket_bytes\": %zu,\n", auto_bucket);
+  std::fprintf(out, "  \"net\": {\"depth\": %d, \"hidden\": %d, \"shard\": %d},\n",
+               shape.depth, shape.hidden, shape.shard);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"mode\": \"%s\", \"bucket_bytes\": %zu, "
+                 "\"iter_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 row.ranks, row.mode.c_str(), row.bucket_bytes, row.iter_ms, row.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return assert_failed ? 1 : 0;
+}

@@ -38,6 +38,12 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "==> bench_transport smoke (build-release)"
   (cd build-release && SCAFFE_BENCH_SMOKE=1 ./bench/bench_transport)
 
+  # Fusion ablation smoke: proves the bench stays runnable, writes
+  # BENCH_fusion.json, and (via SCAFFE_FUSION_ASSERT) fails the check if
+  # bucket-fused SC-OBR regresses past the unfused baseline by >25%.
+  echo "==> ablation_bucket_fusion smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_FUSION_ASSERT=1 ./bench/ablation_bucket_fusion)
+
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
   # pool serial under the sanitizers so runtimes stay sane. Determinism is
   # unaffected.

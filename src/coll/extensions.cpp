@@ -19,6 +19,63 @@ std::pair<int, int> lowest_digit(int value, int radix) {
 
 }  // namespace
 
+FusedLayout FusedLayout::pack(const std::vector<std::size_t>& counts) {
+  FusedLayout layout;
+  layout.offsets.reserve(counts.size());
+  layout.counts = counts;
+  for (std::size_t count : counts) {
+    layout.offsets.push_back(layout.total);
+    layout.total += count;
+  }
+  return layout;
+}
+
+Schedule fused_chain_reduce(int nranks, int root, const FusedLayout& layout,
+                            int max_chunks) {
+  assert(max_chunks >= 1);
+  Schedule schedule;
+  schedule.name = "fused_chain_reduce";
+  schedule.kind = CollectiveKind::Reduce;
+  schedule.nranks = nranks;
+  schedule.root = root;
+  schedule.count = layout.total;
+  schedule.programs.resize(static_cast<std::size_t>(nranks));
+  if (nranks == 1 || layout.total == 0) return schedule;
+
+  // Tensor-aligned chunking: tensor i goes to the pipeline chunk its start
+  // offset falls in when the element span is cut into max_chunks even
+  // slices. Assignments are nondecreasing in i, so each chunk is a
+  // contiguous run of whole tensors; empty slices simply vanish.
+  const std::size_t n = static_cast<std::size_t>(max_chunks);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;  // (offset, size)
+  for (std::size_t i = 0; i < layout.counts.size(); ++i) {
+    if (layout.counts[i] == 0) continue;
+    const std::size_t slice = layout.offsets[i] * n / layout.total;
+    const std::size_t prev_slice =
+        chunks.empty() ? n : (chunks.back().first * n / layout.total);
+    if (!chunks.empty() && slice == prev_slice) {
+      chunks.back().second += layout.counts[i];
+    } else {
+      chunks.emplace_back(layout.offsets[i], layout.counts[i]);
+    }
+  }
+
+  auto actual = [&](int position) { return (position + root) % nranks; };
+  // Same hop structure and tag scheme as chain_reduce: chunk c flows from
+  // the tail (position P-1) to the root at position 0.
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const auto [offset, size] = chunks[c];
+    for (int position = nranks - 1; position >= 1; --position) {
+      const int src = actual(position);
+      const int dst = actual(position - 1);
+      const int tag = static_cast<int>(c) * nranks + position;
+      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, offset, size);
+      schedule.programs[static_cast<std::size_t>(dst)].recv_reduce(src, tag, offset, size);
+    }
+  }
+  return schedule;
+}
+
 Schedule knomial_reduce(int nranks, int root, std::size_t count, int radix) {
   assert(radix >= 2);
   Schedule schedule;

@@ -10,10 +10,33 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "coll/program.h"
 
 namespace scaffe::coll {
+
+/// Element layout of a gradient fusion bucket: member tensors flattened back
+/// to back into one contiguous reduction buffer.
+struct FusedLayout {
+  std::vector<std::size_t> offsets;  // element offset of each member tensor
+  std::vector<std::size_t> counts;   // element count of each member tensor
+  std::size_t total = 0;             // sum of counts
+
+  /// Packs tensors of the given element counts contiguously in order.
+  static FusedLayout pack(const std::vector<std::size_t>& counts);
+};
+
+/// Chain reduce over a fused bucket with chunk boundaries aligned to the
+/// packed tensor boundaries: the bucket's tensors are grouped into at most
+/// `max_chunks` contiguous pipeline chunks, and no chunk ever splits a
+/// tensor. Chunk completion therefore always covers whole tensors, so a
+/// copy-out stage can unflatten members as chunks land instead of waiting
+/// for the full bucket. Element-wise accumulation order matches
+/// chain_reduce over the same span regardless of the grouping, so the fused
+/// result is bitwise identical to per-tensor chain reduces.
+Schedule fused_chain_reduce(int nranks, int root, const FusedLayout& layout,
+                            int max_chunks);
 
 /// Radix-k tree reduce to `root`. radix=2 is the binomial tree; larger
 /// radices trade more parallel receives per round for fewer rounds.

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "gpu/kernels.h"
 
@@ -15,35 +16,123 @@ namespace scaffe::coll {
 
 namespace {
 
+// Receiver-first transfer protocol (mirrors the scmpi rendezvous single-claim
+// path): each rank pre-posts the destination regions of the receives it is
+// about to execute, and a sender that finds a posted slot copies (or
+// accumulates) straight from its own buffer into the receiver's region — no
+// intermediate payload allocation. Only when the sender arrives first does the
+// message fall back to a staged copy in the edge queue.
+//
+// Pre-posting is restricted to a *window*: a maximal run of consecutive
+// receive ops whose destination regions are pairwise disjoint and whose peers
+// are distinct. Disjoint regions make the fills commute (each element is
+// written exactly once per window, so sender-side accumulation preserves the
+// program-order arithmetic bitwise); distinct peers keep at most one posted
+// slot per (src, dst) edge, which together with per-edge FIFO staging
+// preserves the non-overtaking guarantee.
+
 struct Message {
-  int tag;
+  int tag = 0;
   std::vector<float> payload;
 };
 
-/// FIFO mailbox for one (src, dst) pair.
-class Mailbox {
+/// A receive the receiver has posted on an edge. Lives on the receiver's
+/// stack; the owning edge's mutex guards every field after posting.
+struct PostedSlot {
+  int tag = 0;
+  std::size_t count = 0;
+  std::span<float> region;
+  bool reduce = false;  // RecvReduce vs Recv
+  bool filled = false;
+  std::string error;  // sender-detected tag/size mismatch
+};
+
+/// State for one directed (src, dst) pair: one posted slot at a time plus a
+/// FIFO staging queue for messages that arrive before their receive is posted.
+class Edge {
  public:
-  void push(Message message) {
+  /// Sender side. Fills the posted slot directly from `payload` when one is
+  /// up, otherwise stages a copy.
+  void send(int tag, std::span<const float> payload) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(message));
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (slot_ != nullptr) {
+        PostedSlot* slot = slot_;
+        slot_ = nullptr;
+        if (tag != slot->tag || payload.size() != slot->count) {
+          std::ostringstream err;
+          err << "expected tag " << slot->tag << "/" << slot->count << ", got tag "
+              << tag << "/" << payload.size();
+          slot->error = err.str();
+        } else if (slot->reduce) {
+          gpu::accumulate(payload, slot->region);
+        } else {
+          gpu::copy(payload, slot->region);
+        }
+        slot->filled = true;
+      } else {
+        Message message;
+        message.tag = tag;
+        message.payload.assign(payload.begin(), payload.end());
+        staged_.push_back(std::move(message));
+      }
     }
-    cv_.notify_one();
+    cv_.notify_all();
   }
 
-  Message pop() {
+  /// Receiver side. Consumes an already-staged message immediately (returning
+  /// true) or posts `slot` for the next sender (returning false).
+  bool post_or_consume(PostedSlot& slot) {
+    Message message;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (staged_.empty()) {
+        slot_ = &slot;
+        return false;
+      }
+      message = std::move(staged_.front());
+      staged_.pop_front();
+    }
+    // The staged copy is exclusively ours and the region belongs to the
+    // receiver: apply outside the lock.
+    if (message.tag != slot.tag || message.payload.size() != slot.count) {
+      std::ostringstream err;
+      err << "expected tag " << slot.tag << "/" << slot.count << ", got tag "
+          << message.tag << "/" << message.payload.size();
+      slot.error = err.str();
+    } else if (slot.reduce) {
+      gpu::accumulate(message.payload, slot.region);
+    } else {
+      gpu::copy(message.payload, slot.region);
+    }
+    slot.filled = true;
+    return true;
+  }
+
+  /// Receiver side: block until a sender fills `slot`.
+  void wait(PostedSlot& slot) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
-    Message message = std::move(queue_.front());
-    queue_.pop_front();
-    return message;
+    cv_.wait(lock, [&] { return slot.filled; });
+  }
+
+  /// Receiver side: withdraw `slot` before it goes out of scope on an error
+  /// path. The sender fill happens entirely under the edge mutex, so after
+  /// this returns no sender can still hold a pointer to the slot.
+  void unpost(PostedSlot& slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slot_ == &slot) slot_ = nullptr;
   }
 
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  PostedSlot* slot_ = nullptr;
+  std::deque<Message> staged_;
 };
+
+bool regions_overlap(const Op& a, const Op& b) {
+  return a.offset < b.offset + b.count && b.offset < a.offset + a.count;
+}
 
 }  // namespace
 
@@ -58,13 +147,13 @@ void run_threaded(const Schedule& schedule, std::vector<std::span<float>> buffer
     }
   }
 
-  // Dense (src, dst) mailbox matrix. P is small in functional runs.
-  std::vector<std::unique_ptr<Mailbox>> mailboxes(
-      static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
-  for (auto& box : mailboxes) box = std::make_unique<Mailbox>();
-  auto box = [&](int src, int dst) -> Mailbox& {
-    return *mailboxes[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks) +
-                      static_cast<std::size_t>(dst)];
+  // Dense (src, dst) edge matrix. P is small in functional runs.
+  std::vector<std::unique_ptr<Edge>> edges(static_cast<std::size_t>(nranks) *
+                                           static_cast<std::size_t>(nranks));
+  for (auto& edge : edges) edge = std::make_unique<Edge>();
+  auto edge = [&](int src, int dst) -> Edge& {
+    return *edges[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks) +
+                  static_cast<std::size_t>(dst)];
   };
 
   std::mutex error_mutex;
@@ -76,37 +165,66 @@ void run_threaded(const Schedule& schedule, std::vector<std::span<float>> buffer
 
   auto rank_body = [&](int rank) {
     std::span<float> buffer = buffers[static_cast<std::size_t>(rank)];
-    for (const Op& op : schedule.programs[static_cast<std::size_t>(rank)].ops) {
-      switch (op.kind) {
-        case OpKind::Send: {
-          Message message;
-          message.tag = op.tag;
-          message.payload.assign(buffer.begin() + static_cast<std::ptrdiff_t>(op.offset),
-                                 buffer.begin() +
-                                     static_cast<std::ptrdiff_t>(op.offset + op.count));
-          box(rank, op.peer).push(std::move(message));
-          break;
+    const auto& ops = schedule.programs[static_cast<std::size_t>(rank)].ops;
+    std::size_t i = 0;
+    while (i < ops.size()) {
+      if (ops[i].kind == OpKind::Send) {
+        const Op& op = ops[i];
+        edge(rank, op.peer).send(op.tag, buffer.subspan(op.offset, op.count));
+        ++i;
+        continue;
+      }
+
+      // Receive window: extend while the next op is a receive from a peer not
+      // yet in the window whose region is disjoint from every window member.
+      std::size_t window_end = i + 1;
+      while (window_end < ops.size() && ops[window_end].kind != OpKind::Send) {
+        bool eligible = true;
+        for (std::size_t k = i; k < window_end; ++k) {
+          if (ops[k].peer == ops[window_end].peer ||
+              regions_overlap(ops[k], ops[window_end])) {
+            eligible = false;
+            break;
+          }
         }
-        case OpKind::Recv:
-        case OpKind::RecvReduce: {
-          Message message = box(op.peer, rank).pop();
-          if (message.tag != op.tag || message.payload.size() != op.count) {
-            std::ostringstream err;
-            err << "rank " << rank << ": expected tag " << op.tag << "/" << op.count
-                << " from " << op.peer << ", got tag " << message.tag << "/"
-                << message.payload.size();
-            record_error(err.str());
-            return;
-          }
-          std::span<float> region = buffer.subspan(op.offset, op.count);
-          if (op.kind == OpKind::Recv) {
-            gpu::copy(message.payload, region);
-          } else {
-            gpu::accumulate(message.payload, region);
-          }
-          break;
+        if (!eligible) break;
+        ++window_end;
+      }
+
+      // Post every receive in the window up-front, then drain in program
+      // order. `pending[k]` is set when slot k is posted and a sender may
+      // still fill it.
+      std::vector<PostedSlot> slots(window_end - i);
+      std::vector<bool> pending(window_end - i, false);
+      auto unpost_window = [&] {
+        for (std::size_t k = 0; k < slots.size(); ++k) {
+          if (pending[k]) edge(ops[i + k].peer, rank).unpost(slots[k]);
+        }
+      };
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        const Op& op = ops[i + k];
+        PostedSlot& slot = slots[k];
+        slot.tag = op.tag;
+        slot.count = op.count;
+        slot.region = buffer.subspan(op.offset, op.count);
+        slot.reduce = op.kind == OpKind::RecvReduce;
+        pending[k] = !edge(op.peer, rank).post_or_consume(slot);
+      }
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        if (pending[k]) {
+          edge(ops[i + k].peer, rank).wait(slots[k]);
+          pending[k] = false;
+        }
+        if (!slots[k].error.empty()) {
+          unpost_window();
+          std::ostringstream err;
+          err << "rank " << rank << ": " << slots[k].error << " from "
+              << ops[i + k].peer;
+          record_error(err.str());
+          return;
         }
       }
+      i = window_end;
     }
   };
 

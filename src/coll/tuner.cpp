@@ -66,6 +66,14 @@ std::vector<std::size_t> default_size_grid() {
   return grid;
 }
 
+std::size_t TuningTable::recommended_bucket_bytes() const {
+  constexpr std::size_t kLo = 256 * util::kKiB;
+  constexpr std::size_t kHi = 4 * util::kMiB;
+  if (bucket_bytes_override_ > 0) return bucket_bytes_override_;
+  if (entries_.size() < 2) return util::kMiB;
+  return std::clamp(entries_[entries_.size() - 2].max_bytes, kLo, kHi);
+}
+
 const Candidate& TuningTable::choose(std::size_t bytes) const {
   assert(!entries_.empty());
   for (const auto& entry : entries_) {

@@ -54,8 +54,18 @@ class TuningTable {
   const std::vector<TuningEntry>& entries() const noexcept { return entries_; }
   bool empty() const noexcept { return entries_.empty(); }
 
+  /// Gradient fusion bucket target derived from this table: the boundary
+  /// where the table switches into its open-ended large-message regime (the
+  /// second-to-last entry's max_bytes) — buckets any larger stop changing
+  /// which algorithm wins, buckets smaller pay per-collective setup more
+  /// often. Clamped to [256 KiB, 4 MiB]; 1 MiB when the table is too small
+  /// to expose a boundary. An explicit set_bucket_bytes() override wins.
+  std::size_t recommended_bucket_bytes() const;
+  void set_bucket_bytes(std::size_t bytes) { bucket_bytes_override_ = bytes; }
+
  private:
   std::vector<TuningEntry> entries_;
+  std::size_t bucket_bytes_override_ = 0;  // 0 = derive from entries
 };
 
 /// Default geometric message-size grid, 4 B .. 256 MiB.

@@ -1,0 +1,83 @@
+#include "core/bucket_planner.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "mpi/world.h"
+#include "util/bytes.h"
+
+namespace scaffe::core {
+
+BucketPlanner::BucketPlanner(
+    const std::vector<std::pair<std::size_t, std::size_t>>& layer_ranges,
+    std::size_t target_bytes)
+    : target_bytes_(std::max<std::size_t>(target_bytes, 1)) {
+  const std::size_t num_layers = layer_ranges.size();
+  layer_to_bucket_.resize(num_layers);
+  if (num_layers == 0) return;
+
+  // Reverse walk: close a bucket when it reaches the target, so the deepest
+  // layers — the first gradients backward produces — pack to full size and
+  // the partial leftover is the front (highest-priority) bucket.
+  std::vector<FusionBucket> reversed;
+  FusionBucket current;
+  current.last_layer = num_layers - 1;
+  std::size_t current_bytes = 0;
+  for (std::size_t li = num_layers; li-- > 0;) {
+    current.first_layer = li;
+    current.elems += layer_ranges[li].second;
+    current_bytes += layer_ranges[li].second * sizeof(float);
+    if (current_bytes >= target_bytes_ && li > 0) {
+      reversed.push_back(current);
+      current = FusionBucket{};
+      current.last_layer = li - 1;
+      current_bytes = 0;
+    }
+  }
+  reversed.push_back(current);
+
+  buckets_.assign(reversed.rbegin(), reversed.rend());
+
+  // A front bucket made entirely of zero-parameter layers would issue a
+  // no-op collective and cost a tag block; fold it into its neighbour.
+  if (buckets_.size() > 1 && buckets_.front().elems == 0) {
+    buckets_[1].first_layer = buckets_.front().first_layer;
+    buckets_.erase(buckets_.begin());
+  }
+
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    for (std::size_t li = buckets_[b].first_layer; li <= buckets_[b].last_layer; ++li) {
+      layer_to_bucket_[li] = b;
+    }
+  }
+}
+
+std::size_t resolve_bucket_bytes(std::size_t configured_bytes, std::size_t eager_limit) {
+  if (configured_bytes > 0) return configured_bytes;
+  constexpr std::size_t kLo = 256 * util::kKiB;
+  constexpr std::size_t kHi = 4 * util::kMiB;
+  return std::clamp(8 * std::max<std::size_t>(eager_limit, 1), kLo, kHi);
+}
+
+FusionConfig fusion_config_from_env() {
+  FusionConfig config;
+  const char* env = std::getenv("SCAFFE_BUCKET_BYTES");
+  if (env == nullptr) return config;
+  const std::string text(env);
+  if (text == "off" || text == "0") return config;
+  if (text == "auto") {
+    config.enabled = true;
+    return config;
+  }
+  const std::size_t parsed = util::parse_bytes(text);
+  if (parsed == 0) {
+    throw mpi::ConfigError("SCAFFE_BUCKET_BYTES", text,
+                           "is not a byte size (expected e.g. 1M, 256K, 0, off, or auto)");
+  }
+  config.enabled = true;
+  config.bucket_bytes = parsed;
+  return config;
+}
+
+}  // namespace scaffe::core

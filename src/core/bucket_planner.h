@@ -1,0 +1,76 @@
+// Gradient bucket fusion planning.
+//
+// S-Caffe's per-layer overlapped reduction (Section 4.3) issues one
+// collective per layer. For nets in the GoogLeNet mould — many tens of
+// layers, most holding a few tens of KiB of gradients — per-collective setup
+// (tag agreement, schedule instantiation, thread wakeups) dominates the wire
+// time of each small message. The BucketPlanner packs the per-layer gradient
+// tensors into size-targeted *fusion buckets*, each reduced as a single
+// collective over a pooled staging buffer.
+//
+// Buckets are built in reverse-layer order — the order backward produces
+// gradients — so each bucket is a contiguous layer range that becomes ready
+// the moment backward finishes its lowest member layer. Buckets are indexed
+// ascending by first layer, and the index doubles as the scheduler priority:
+// bucket 0 covers layers 0..k, which the NEXT iteration's forward pass needs
+// first, so the fused SC-OBR scheduler issues the lowest-index ready bucket
+// and drains completions in ascending order.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+
+namespace scaffe::core {
+
+/// One fusion bucket: a contiguous range of layers whose gradients are
+/// reduced together. In SC-OBR the bucket is ready as soon as backward has
+/// finished `first_layer` (backward is strictly descending, so every member
+/// is done by then).
+struct FusionBucket {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;  // inclusive
+  std::size_t elems = 0;       // total gradient elements across members
+};
+
+class BucketPlanner {
+ public:
+  /// Partitions `layer_ranges` (per-layer (offset, count) element ranges, as
+  /// returned by dl::Net::layer_param_ranges) into buckets of roughly
+  /// `target_bytes` each. Walks layers from last to first so the reverse
+  /// (backward) order fills buckets to target; the leftover partial bucket
+  /// lands at the front, covering layers 0..k.
+  BucketPlanner(const std::vector<std::pair<std::size_t, std::size_t>>& layer_ranges,
+                std::size_t target_bytes);
+
+  /// Buckets ascending by first_layer; index == scheduler priority. They
+  /// partition [0, num_layers) exactly: bucket[i].last_layer + 1 ==
+  /// bucket[i+1].first_layer.
+  const std::vector<FusionBucket>& buckets() const noexcept { return buckets_; }
+
+  std::size_t target_bytes() const noexcept { return target_bytes_; }
+
+  /// Index of the bucket containing `layer`.
+  std::size_t bucket_of_layer(std::size_t layer) const { return layer_to_bucket_.at(layer); }
+
+ private:
+  std::vector<FusionBucket> buckets_;
+  std::vector<std::size_t> layer_to_bucket_;
+  std::size_t target_bytes_ = 0;
+};
+
+/// Effective bucket target: `configured_bytes` when set, otherwise derived
+/// from the transport eager limit — 8x the limit (big enough that the fused
+/// message rides the rendezvous zero-copy path rather than eager staging,
+/// small enough to keep several buckets in flight), clamped to
+/// [256 KiB, 4 MiB].
+std::size_t resolve_bucket_bytes(std::size_t configured_bytes, std::size_t eager_limit);
+
+/// Reads SCAFFE_BUCKET_BYTES: unset/"off"/"0" leave fusion disabled, "auto"
+/// enables it with the derived target, a byte size (e.g. "1M") enables it
+/// with that target. Anything else throws mpi::ConfigError.
+FusionConfig fusion_config_from_env();
+
+}  // namespace scaffe::core

@@ -2,6 +2,7 @@
 // DL-aware reduction is configured (Sections 4 and 5).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "coll/algorithms.h"
@@ -59,12 +60,25 @@ enum class Aggregation {
 
 enum class Scaling { Strong, Weak };  // the -scal command line option
 
+/// Gradient bucket fusion: pack per-layer gradient tensors into
+/// size-targeted buckets and reduce each bucket as one collective instead of
+/// one collective per layer (amortizes per-collective setup for the many
+/// small layers of GoogLeNet-profile nets). Off by default; fused training
+/// is bitwise identical to unfused at equal thread counts, so enabling it is
+/// purely a performance decision. See BucketPlanner.
+struct FusionConfig {
+  bool enabled = false;
+  std::size_t bucket_bytes = 0;  // target bucket size; 0 = derive from the
+                                 // transport eager limit (resolve_bucket_bytes)
+};
+
 struct ScaffeConfig {
   Variant variant = Variant::SCOBR;
   ReduceAlgo reduce = ReduceAlgo::cb(8);
   Aggregation aggregation = Aggregation::RootUpdate;
   bool ring_allreduce = false;  // AllreduceSgd: use the ring schedule
   Scaling scaling = Scaling::Strong;
+  FusionConfig fusion;  // SC-OB / SC-OBR RootUpdate paths only
 };
 
 }  // namespace scaffe::core

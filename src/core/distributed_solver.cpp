@@ -6,8 +6,58 @@
 
 #include "core/hr_factory.h"
 #include "gpu/kernels.h"
+#include "util/buffer_pool.h"
 
 namespace scaffe::core {
+
+namespace {
+
+/// Joining guard: if a reduce unwinds (world abort, timeout), the backward
+/// helper — which only computes, so it always finishes — must still be
+/// joined before destruction or the whole process would std::terminate.
+struct JoiningThread {
+  std::thread thread;
+  ~JoiningThread() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// Pool-backed staging buffer holding one fusion bucket's gradients,
+/// flattened member by member.
+struct FusedStage {
+  util::PooledBytes storage;
+  std::span<float> data;
+};
+
+FusedStage stage_bucket(dl::Net& net,
+                        const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                        const FusionBucket& bucket) {
+  FusedStage stage;
+  stage.storage = util::BufferPool::instance().acquire(bucket.elems * sizeof(float));
+  stage.data = {reinterpret_cast<float*>(stage.storage.data()), bucket.elems};
+  std::size_t at = 0;
+  for (std::size_t li = bucket.first_layer; li <= bucket.last_layer; ++li) {
+    const auto [offset, count] = ranges[li];
+    if (count == 0) continue;
+    net.flatten_layer_diffs(li, stage.data.subspan(at, count));
+    at += count;
+  }
+  return stage;
+}
+
+void unstage_bucket(dl::Net& net,
+                    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                    const FusionBucket& bucket, std::span<const float> data) {
+  std::size_t at = 0;
+  for (std::size_t li = bucket.first_layer; li <= bucket.last_layer; ++li) {
+    const auto [offset, count] = ranges[li];
+    if (count == 0) continue;
+    net.unflatten_layer_diffs(li, data.subspan(at, count));
+    at += count;
+  }
+}
+
+}  // namespace
 
 const char* variant_name(Variant variant) noexcept {
   switch (variant) {
@@ -27,6 +77,18 @@ DistributedSolver::DistributedSolver(mpi::Comm& comm, dl::NetSpec net_spec,
   // construction, so a solver built over a shrunk survivor comm gets the
   // right hierarchical/ring schedules for n_new automatically.
   install_collectives(comm_, config_);
+  if (!config_.fusion.enabled && config_.fusion.bucket_bytes == 0) {
+    // Code that doesn't opt in (or out) programmatically defers to the
+    // SCAFFE_BUCKET_BYTES environment knob.
+    config_.fusion = fusion_config_from_env();
+  }
+  if (config_.fusion.enabled) {
+    // The plan is a pure function of the net's layer ranges and the target
+    // bytes; the target derives from the process-wide eager limit, so every
+    // rank builds an identical plan without communicating.
+    planner_.emplace(solver_.net().layer_param_ranges(),
+                     resolve_bucket_bytes(config_.fusion.bucket_bytes, comm_.eager_limit()));
+  }
 }
 
 void DistributedSolver::load_batch(std::span<const float> data, std::span<const float> labels) {
@@ -94,15 +156,6 @@ void DistributedSolver::aggregate_overlapped() {
   std::condition_variable cv;
   std::vector<bool> done(num_layers, false);
 
-  // Joining guard: if a reduce below unwinds (world abort, timeout), the
-  // helper — which only computes, so it always finishes — must still be
-  // joined before destruction or the whole process would std::terminate.
-  struct JoiningThread {
-    std::thread thread;
-    ~JoiningThread() {
-      if (thread.joinable()) thread.join();
-    }
-  };
   JoiningThread helper{std::thread([&] {
     for (std::size_t li = num_layers; li-- > 0;) {
       net.backward_layer(li);
@@ -125,6 +178,93 @@ void DistributedSolver::aggregate_overlapped() {
     net.flatten_layer_diffs(li, segment);
     comm_.reduce(segment, 0);
     if (is_root()) net.unflatten_layer_diffs(li, segment);
+  }
+}
+
+void DistributedSolver::aggregate_fused() {
+  dl::Net& net = solver_.net();
+  const auto& ranges = net.layer_param_ranges();
+  const auto& buckets = planner_->buckets();
+  // Tag agreement is positional: every rank reserves one tag block per
+  // bucket in ascending order before issuing anything, so issue order can
+  // differ per rank without the collectives mismatching.
+  std::vector<int> tags(buckets.size());
+  for (int& tag : tags) tag = comm_.reserve_coll_tags();
+
+  std::vector<FusedStage> stages(buckets.size());
+  std::vector<mpi::Request> requests(buckets.size());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b].elems == 0) continue;
+    stages[b] = stage_bucket(net, ranges, buckets[b]);
+    requests[b] = comm_.ireduce_at(stages[b].data, 0, tags[b]);
+  }
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (!requests[b].valid()) continue;
+    requests[b].wait();
+    if (is_root()) unstage_bucket(net, ranges, buckets[b], stages[b].data);
+  }
+}
+
+void DistributedSolver::aggregate_fused_overlapped() {
+  dl::Net& net = solver_.net();
+  const auto& ranges = net.layer_param_ranges();
+  const auto& buckets = planner_->buckets();
+  const std::size_t num_layers = net.num_layers();
+  const std::size_t nb = buckets.size();
+
+  std::vector<int> tags(nb);
+  for (int& tag : tags) tag = comm_.reserve_coll_tags();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<bool> done(num_layers, false);
+
+  JoiningThread helper{std::thread([&] {
+    for (std::size_t li = num_layers; li-- > 0;) {
+      net.backward_layer(li);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        done[li] = true;
+      }
+      cv.notify_all();
+    }
+  })};
+
+  // Ready-queue: a bucket is ready once backward finished its first (lowest)
+  // member layer — backward is strictly descending, so every member is done
+  // by then. Among ready buckets the LOWEST index issues first: bucket 0
+  // covers the layers the next iteration's forward pass touches first.
+  std::vector<FusedStage> stages(nb);
+  std::vector<mpi::Request> requests(nb);
+  std::vector<bool> issued(nb, false);
+  std::size_t remaining = nb;
+  while (remaining > 0) {
+    std::size_t pick = nb;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] {
+        for (std::size_t b = 0; b < nb; ++b) {
+          if (!issued[b] && done[buckets[b].first_layer]) {
+            pick = b;
+            return true;
+          }
+        }
+        return false;
+      });
+    }
+    issued[pick] = true;
+    --remaining;
+    if (buckets[pick].elems == 0) continue;
+    stages[pick] = stage_bucket(net, ranges, buckets[pick]);
+    requests[pick] = comm_.ireduce_at(stages[pick].data, 0, tags[pick]);
+  }
+
+  // Priority drain: complete ascending so the reduction covering layers 0..k
+  // finishes before any later bucket is finalized.
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (!requests[b].valid()) continue;
+    requests[b].wait();
+    if (is_root()) unstage_bucket(net, ranges, buckets[b], stages[b].data);
   }
 }
 
@@ -189,7 +329,13 @@ IterationResult DistributedSolver::train_iteration(std::span<const float> data,
       result.local_loss = forward_with_overlapped_propagation(requests);
       if (config_.variant == Variant::SCOB) {
         net.backward();
-        aggregate_blocking();
+        if (planner_) {
+          aggregate_fused();
+        } else {
+          aggregate_blocking();
+        }
+      } else if (planner_) {
+        aggregate_fused_overlapped();
       } else {
         aggregate_overlapped();
       }

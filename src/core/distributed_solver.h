@@ -17,9 +17,11 @@
 // parameters through the next iteration's propagation (Figure 1).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "core/bucket_planner.h"
 #include "core/config.h"
 #include "dl/solver.h"
 #include "mpi/comm.h"
@@ -43,12 +45,20 @@ class DistributedSolver {
   const ScaffeConfig& config() const noexcept { return config_; }
   bool is_root() const noexcept { return comm_.rank() == 0; }
 
+  /// The fusion bucket plan, when config().fusion.enabled (SC-OB / SC-OBR
+  /// RootUpdate paths; other paths ignore fusion).
+  const BucketPlanner* planner() const noexcept {
+    return planner_ ? &*planner_ : nullptr;
+  }
+
  private:
   void propagate_blocking();
   float forward_backward_blocking();
   float forward_with_overlapped_propagation(std::vector<mpi::Request>& requests);
   void aggregate_blocking();
   void aggregate_overlapped();
+  void aggregate_fused();
+  void aggregate_fused_overlapped();
   void root_update();
   void load_batch(std::span<const float> data, std::span<const float> labels);
 
@@ -56,6 +66,7 @@ class DistributedSolver {
   ScaffeConfig config_;
   dl::SgdSolver solver_;
   std::vector<float> packed_;  // param_count floats: comm/reduction buffer
+  std::optional<BucketPlanner> planner_;  // set when config_.fusion.enabled
 };
 
 }  // namespace scaffe::core

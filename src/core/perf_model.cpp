@@ -6,6 +6,7 @@
 
 #include "coll/algorithms.h"
 #include "coll/sim_executor.h"
+#include "core/bucket_planner.h"
 #include "data/backend.h"
 #include "net/cost_model.h"
 
@@ -199,6 +200,47 @@ IterationBreakdown simulate_training_iteration(const TrainPerfConfig& config) {
       break;
     }
     case Variant::SCOBR: {
+      if (config.fusion_bucket_bytes > 0) {
+        // Bucket fusion: one reduce per bucket instead of per layer — the
+        // same reverse-layer packing the runtime BucketPlanner performs, so
+        // fewer collective_setup charges. Bucket b becomes ready when
+        // backward finishes its first (lowest) member layer.
+        std::vector<std::pair<std::size_t, std::size_t>> ranges(num_layers);
+        std::size_t offset = 0;
+        for (std::size_t li = 0; li < num_layers; ++li) {
+          ranges[li] = {offset, model.layers[li].param_count};
+          offset += model.layers[li].param_count;
+        }
+        const BucketPlanner planner(ranges, config.fusion_bucket_bytes);
+
+        std::vector<TimeNs> bwd_done(num_layers);
+        TimeNs bwd_clock = 0;
+        for (std::size_t li = num_layers; li-- > 0;) {
+          const TimeNs bwd_start = bwd_clock;
+          bwd_clock += bwd[li];
+          bwd_done[li] = bwd_clock;
+          if (config.capture_timeline) {
+            out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Backward,
+                                                static_cast<int>(li), bwd_start, bwd_clock});
+          }
+        }
+        TimeNs reduce_clock = 0;
+        const auto& buckets = planner.buckets();
+        for (std::size_t b = buckets.size(); b-- > 0;) {
+          if (buckets[b].elems == 0) continue;
+          const TimeNs reduce_start =
+              std::max(reduce_clock, bwd_done[buckets[b].first_layer]);
+          const TimeNs this_reduce = reduce_latency(config, buckets[b].elems);
+          reduce_clock = reduce_start + this_reduce;
+          if (config.capture_timeline) {
+            out.timeline.push_back(PhaseSegment{PhaseSegment::Kind::Reduce,
+                                                static_cast<int>(buckets[b].first_layer),
+                                                reduce_start, reduce_clock});
+          }
+        }
+        out.aggregation_exposed = reduce_clock - out.backward;
+        break;
+      }
       // Helper-thread overlap: reduce of layer li starts when its backward
       // completed and the previous (later-layer) reduce finished.
       TimeNs bwd_clock = 0;

@@ -38,6 +38,8 @@ struct TrainPerfConfig {
   int readers = -1;        // parallel reader threads; -1 = one per GPU
   bool naive_nbc = false;  // Figure 4's naive design instead of Figure 5's
   int iterations = 100;    // for total-time reporting
+  std::size_t fusion_bucket_bytes = 0;  // SC-OBR gradient bucket fusion target;
+                                        // 0 = unfused (one reduce per layer)
   std::size_t sample_bytes = 0;  // stored size per training sample; 0 = ImageNet-like
   bool capture_timeline = false;  // record per-layer phase segments
 };

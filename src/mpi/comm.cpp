@@ -2,22 +2,31 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <future>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 
 #include "coll/algorithms.h"
 #include "gpu/kernels.h"
+#include "mpi/transport_tuner.h"
+#include "util/bytes.h"
+#include "util/logging.h"
 
 namespace scaffe::mpi {
 
 namespace {
 
 // User tags live below kCollTagBase; each collective occupies one stride.
+// The slot ring bounds concurrently-outstanding collectives per communicator:
+// two live collectives 256 allocations apart would alias tags. Unfused
+// SC-OBR keeps one ireduce in flight per parameter layer, so the ring must
+// exceed the deepest supported net (GoogLeNet-class profiles exceed 100).
 constexpr int kCollTagBase = 1 << 24;
 constexpr int kCollTagStride = 1 << 20;
-constexpr int kCollSlots = 64;  // max concurrently-outstanding collectives
+constexpr int kCollSlots = 256;  // max concurrently-outstanding collectives
 
 std::int64_t mix_context(std::int64_t a, std::int64_t b, std::int64_t c) {
   std::uint64_t x = static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL;
@@ -267,7 +276,18 @@ Request Comm::iallreduce(std::span<float> data) {
 }
 
 Request Comm::ireduce(std::span<float> data, int root) {
-  const int tag_base = next_coll_tag_base();
+  return ireduce_at(data, root, next_coll_tag_base());
+}
+
+void Comm::reduce_at(std::span<float> data, int root, int tag_base) {
+  if (size() == 1 || data.empty()) return;
+  const coll::Schedule schedule =
+      reduce_factory_ ? reduce_factory_(size(), root, data.size())
+                      : coll::binomial_reduce(size(), root, data.size());
+  execute_schedule(schedule, data, tag_base);
+}
+
+Request Comm::ireduce_at(std::span<float> data, int root, int tag_base) {
   if (size() == 1 || data.empty()) return make_done();
   coll::Schedule schedule = reduce_factory_
                                 ? reduce_factory_(size(), root, data.size())
@@ -367,6 +387,26 @@ Runtime::Runtime(int nranks) : nranks_(nranks) {
   // The world persists across runs and failures: each run only opens a new
   // membership generation over the same mailboxes (elastic worlds).
   world_ = std::make_shared<World>(nranks_, recv_timeout_);
+  // SCAFFE_EAGER_LIMIT=auto: replace the built-in default with the measured
+  // eager/rendezvous crossover. The guard keeps the 2-rank calibration
+  // runtime itself (and its Worlds) on the fixed default — calibrating
+  // inside the calibration would recurse forever.
+  if (TransportConfig::default_eager_auto() && !calibration_in_progress()) {
+    world_->transport.eager_limit.store(resolve_auto_eager_limit());
+  }
+  if (!calibration_in_progress()) {
+    // One line per process, not per Runtime: the effective protocol limit
+    // and where it came from, so mis-set knobs show up in any log.
+    static std::once_flag logged;
+    std::call_once(logged, [this] {
+      const char* source = TransportConfig::default_eager_auto() ? "auto-calibrated"
+                           : std::getenv("SCAFFE_EAGER_LIMIT")   ? "SCAFFE_EAGER_LIMIT"
+                                                                 : "default";
+      SCAFFE_LOG(Info) << "transport eager limit "
+                       << util::fmt_bytes(world_->transport.eager_limit.load()) << " ("
+                       << source << ")";
+    });
+  }
 }
 
 void Runtime::run(const std::function<void(Comm&)>& body) {

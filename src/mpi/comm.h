@@ -66,6 +66,12 @@ class Comm {
   /// can audit the allocation for collisions across splits and rebuilds.
   ContextId context() const noexcept { return context_; }
 
+  /// The world's eager/rendezvous crossover in bytes (fixed, env-pinned, or
+  /// auto-calibrated — see Runtime). Fusion bucket sizing derives from it.
+  std::size_t eager_limit() const noexcept {
+    return world_->transport.eager_limit.load();
+  }
+
   // --- point-to-point -----------------------------------------------------
 
   /// Blocking send. Never blocks on the receiver: below the eager limit the
@@ -120,22 +126,23 @@ class Comm {
     return make_done();
   }
 
-  /// Non-blocking receive; completes on wait()/test().
+  /// Non-blocking receive; completes on wait()/test(). The destination is
+  /// PRE-POSTED at call time: a rendezvous sender arriving before the wait
+  /// claims it and fills `data` with a single copy, instead of staging a
+  /// payload for the wait to copy out later.
   template <typename T>
   Request irecv(std::span<T> data, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (src < 0 || src >= size()) throw std::runtime_error("scmpi recv: bad rank");
+    std::shared_ptr<Mailbox::PostedRecv> posted =
+        mailbox().post_recv(context_, generation_, src, tag, std::as_writable_bytes(data));
     auto state = std::make_shared<Request::State>();
-    state->progress = [this, data, src, tag](bool blocking) {
+    state->progress = [this, posted = std::move(posted)](bool blocking) {
       if (blocking) {
-        recv(data, src, tag);
+        mailbox().posted_wait(*posted);
         return true;
       }
-      Payload payload;
-      if (!mailbox().try_recv(context_, generation_, src, tag, payload)) return false;
-      if (payload.size() != data.size_bytes()) {
-        throw TransportError(context_, src, tag, data.size_bytes(), payload.size());
-      }
-      payload.copy_to(std::as_writable_bytes(data));
-      return true;
+      return mailbox().posted_test(*posted);
     };
     return Request(std::move(state));
   }
@@ -186,6 +193,24 @@ class Comm {
 
   /// Asynchronous allreduce.
   Request iallreduce(std::span<float> data);
+
+  // --- reserved-tag collectives (priority scheduling) ------------------------
+
+  /// Reserves the tag base of the NEXT collective on this communicator
+  /// without issuing anything. Collective tag bases are allocated
+  /// sequentially, so normally every rank must ISSUE its collectives in the
+  /// same order; reserving bases up front (all ranks reserving in the same
+  /// deterministic order) decouples issue order from tag agreement — each
+  /// rank may then start the reserved collectives in any local order, e.g.
+  /// the priority order of the gradient bucket scheduler. Sends never block
+  /// on receivers, so out-of-order issue cannot deadlock.
+  int reserve_coll_tags() { return next_coll_tag_base(); }
+
+  /// Blocking reduce on a tag base from reserve_coll_tags().
+  void reduce_at(std::span<float> data, int root, int tag_base);
+
+  /// Non-blocking reduce on a tag base from reserve_coll_tags().
+  Request ireduce_at(std::span<float> data, int root, int tag_base);
 
   /// Completes every request (idempotent per request).
   static void waitall(std::span<Request> requests) {

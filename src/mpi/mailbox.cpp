@@ -30,11 +30,23 @@ bool float_aligned(const void* p) noexcept {
 
 std::size_t TransportConfig::default_eager_limit() {
   const char* env = std::getenv("SCAFFE_EAGER_LIMIT");
-  if (env != nullptr) {
-    const std::size_t parsed = util::parse_bytes(env);
-    if (parsed > 0 || (env[0] == '0' && env[1] == '\0')) return parsed;
+  if (env == nullptr) return 64 * util::kKiB;
+  const std::string text(env);
+  // "auto" resolves after calibration (see mpi::resolve_auto_eager_limit);
+  // until then the conventional default keeps early messages sane.
+  if (text == "auto") return 64 * util::kKiB;
+  if (text == "0") return 0;  // pin everything to the rendezvous path
+  const std::size_t parsed = util::parse_bytes(text);
+  if (parsed == 0) {
+    throw ConfigError("SCAFFE_EAGER_LIMIT", text,
+                      "is not a byte size (expected e.g. 64K, 1M, 0, or auto)");
   }
-  return 64 * util::kKiB;
+  return std::min(parsed, kMaxEagerLimit);
+}
+
+bool TransportConfig::default_eager_auto() {
+  const char* env = std::getenv("SCAFFE_EAGER_LIMIT");
+  return env != nullptr && std::string(env) == "auto";
 }
 
 bool TransportConfig::default_zero_copy() {
@@ -402,6 +414,121 @@ void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int
       unregister_waiter(list, &waiter);
       throw TimeoutError(context, src, tag, timeout);
     }
+  }
+}
+
+// --- pre-posted receives (Comm::irecv) ---------------------------------------
+
+std::unique_ptr<Mailbox::PostedRecv> Mailbox::post_recv(ContextId context,
+                                                        Generation generation, int src,
+                                                        int tag, std::span<std::byte> dst) {
+  std::unique_ptr<PostedRecv> posted(
+      new PostedRecv(*this, context, generation, src, tag, dst));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Registered even while queued mail exists: claim_posted refuses to claim
+  // past queued mail (non-overtaking), and posted_test/posted_wait drain the
+  // queue before relying on a claim.
+  register_waiter_locked(waiters_[posted->key_], &posted->waiter_);
+  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  return posted;
+}
+
+void Mailbox::abandon_posted(PostedRecv& posted) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!posted.registered_) return;
+  // A claimed waiter cannot be abandoned: the sender is filling dst_ right
+  // now. Wait for `done`, then deregister.
+  while (posted.waiter_.taken && !posted.waiter_.done) posted.waiter_.cv.wait(lock);
+  auto it = waiters_.find(posted.key_);
+  if (it != waiters_.end()) unregister_waiter(it->second, &posted.waiter_);
+  posted.registered_ = false;
+}
+
+bool Mailbox::posted_test(PostedRecv& posted) {
+  Envelope envelope;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (posted.finished_) return true;
+    auto deregister = [&] {
+      auto it = waiters_.find(posted.key_);
+      if (it != waiters_.end()) unregister_waiter(it->second, &posted.waiter_);
+      posted.registered_ = false;
+    };
+    if (posted.waiter_.done) {
+      deregister();
+      posted.finished_ = true;
+      return true;
+    }
+    if (posted.waiter_.taken) return false;  // fill in flight; imminent
+    if (aborted_now()) {
+      deregister();
+      posted.finished_ = true;
+      throw AbortError();
+    }
+    if (!pop_exact_locked(posted.key_, envelope)) return false;
+    deregister();
+    posted.finished_ = true;
+  }
+  // Copy-out (and the mismatch diagnosis) outside the mailbox lock.
+  if (envelope.payload.size() != posted.dst_.size()) {
+    throw TransportError(posted.key_.context, posted.key_.src, posted.key_.tag,
+                         posted.dst_.size(), envelope.payload.size());
+  }
+  envelope.payload.copy_to(posted.dst_);
+  return true;
+}
+
+void Mailbox::posted_wait(PostedRecv& posted) {
+  const std::chrono::milliseconds timeout = current_timeout();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Envelope envelope;
+  bool from_queue = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (posted.finished_) return;
+    auto deregister = [&] {
+      auto it = waiters_.find(posted.key_);
+      if (it != waiters_.end()) unregister_waiter(it->second, &posted.waiter_);
+      posted.registered_ = false;
+    };
+    for (;;) {
+      if (posted.waiter_.done) {
+        deregister();
+        posted.finished_ = true;
+        return;
+      }
+      if (!posted.waiter_.taken) {
+        if (aborted_now()) {
+          deregister();
+          posted.finished_ = true;
+          throw AbortError();
+        }
+        if (pop_exact_locked(posted.key_, envelope)) {
+          deregister();
+          posted.finished_ = true;
+          from_queue = true;
+          break;
+        }
+      }
+      bool timed_out = false;
+      if (timeout.count() > 0) {
+        timed_out = posted.waiter_.cv.wait_until(lock, deadline) == std::cv_status::timeout;
+      } else {
+        posted.waiter_.cv.wait(lock);
+      }
+      if (timed_out && !posted.waiter_.taken && !posted.waiter_.done) {
+        deregister();
+        posted.finished_ = true;
+        throw TimeoutError(posted.key_.context, posted.key_.src, posted.key_.tag, timeout);
+      }
+    }
+  }
+  if (from_queue) {
+    if (envelope.payload.size() != posted.dst_.size()) {
+      throw TransportError(posted.key_.context, posted.key_.src, posted.key_.tag,
+                           posted.dst_.size(), envelope.payload.size());
+    }
+    envelope.payload.copy_to(posted.dst_);
   }
 }
 

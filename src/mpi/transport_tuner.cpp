@@ -1,0 +1,161 @@
+#include "mpi/transport_tuner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "mpi/comm.h"
+
+namespace scaffe::mpi {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_calibrating{false};
+
+/// One-way effective bandwidth of a 2-rank ping-pong at `bytes` per message
+/// under whatever eager limit `runtime` is currently pinned to.
+double pingpong_gbps(Runtime& runtime, std::size_t bytes, int iters) {
+  const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+  double elapsed = 0;
+  runtime.run([&](Comm& comm) {
+    std::vector<float> ping(count, 1.0f);
+    std::vector<float> pong(count);
+    // Iteration -1 is warmup: primes the buffer pool and page tables.
+    for (int i = -1; i < iters; ++i) {
+      const auto start = Clock::now();
+      if (comm.rank() == 0) {
+        comm.send<float>(ping, 1, 1);
+        comm.recv<float>(std::span<float>(pong), 1, 2);
+      } else {
+        comm.recv<float>(std::span<float>(pong), 0, 1);
+        comm.send<float>(ping, 0, 2);
+      }
+      if (i >= 0 && comm.rank() == 0) {
+        elapsed += std::chrono::duration<double>(Clock::now() - start).count();
+      }
+    }
+  });
+  const double one_way = elapsed / (2.0 * iters);
+  return one_way > 0 ? static_cast<double>(count * sizeof(float)) / one_way / 1e9 : 0;
+}
+
+}  // namespace
+
+bool calibration_in_progress() noexcept { return g_calibrating.load(); }
+
+std::size_t TransportCalibration::pick_crossover(std::size_t lo, std::size_t hi) const {
+  std::size_t crossover = hi;  // rendezvous never measured ahead: stay high
+  for (const CalibrationPoint& point : points) {
+    if (point.eager_gbps > 0 && point.rendezvous_gbps > point.eager_gbps) {
+      crossover = point.bytes;
+      break;
+    }
+  }
+  return std::clamp(crossover, lo, hi);
+}
+
+TransportCalibration measure_transport_calibration(int iters) {
+  struct Guard {
+    Guard() { g_calibrating.store(true); }
+    ~Guard() { g_calibrating.store(false); }
+  } guard;
+
+  TransportCalibration calibration;
+  Runtime runtime(2);
+  runtime.set_transport_mode(TransportMode::Tuned);
+  runtime.set_recv_timeout(std::chrono::milliseconds(60000));
+  constexpr std::size_t kSweepLo = std::size_t{4} << 10;
+  constexpr std::size_t kSweepHi = std::size_t{1} << 20;
+  for (std::size_t bytes = kSweepLo; bytes <= kSweepHi; bytes <<= 1) {
+    // Fewer repetitions at larger sizes: equal total bytes per point.
+    const int reps = static_cast<int>(std::clamp<std::size_t>(
+        (static_cast<std::size_t>(iters) * kSweepLo * 4) / bytes, 2,
+        static_cast<std::size_t>(iters)));
+    CalibrationPoint point;
+    point.bytes = bytes;
+    runtime.set_eager_limit(kSweepHi * 2);  // every message eager
+    point.eager_gbps = pingpong_gbps(runtime, bytes, reps);
+    runtime.set_eager_limit(0);  // every message rendezvous
+    point.rendezvous_gbps = pingpong_gbps(runtime, bytes, reps);
+    calibration.points.push_back(point);
+  }
+  return calibration;
+}
+
+bool save_calibration(const TransportCalibration& calibration, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"calibrated\": true,\n  \"pingpong\": [\n");
+  for (std::size_t i = 0; i < calibration.points.size(); ++i) {
+    const CalibrationPoint& point = calibration.points[i];
+    std::fprintf(out,
+                 "    {\"bytes\": %zu, \"eager_gbps\": %.4f, \"rendezvous_gbps\": %.4f}%s\n",
+                 point.bytes, point.eager_gbps, point.rendezvous_gbps,
+                 i + 1 < calibration.points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+TransportCalibration load_calibration(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  TransportCalibration calibration;
+  const std::size_t array_start = text.find("\"pingpong\"");
+  if (array_start == std::string::npos) return {};
+  const std::size_t open = text.find('[', array_start);
+  const std::size_t close = text.find(']', array_start);
+  if (open == std::string::npos || close == std::string::npos || close < open) return {};
+
+  std::size_t pos = open;
+  while (true) {
+    const std::size_t row = text.find('{', pos);
+    if (row == std::string::npos || row > close) break;
+    const std::size_t row_end = text.find('}', row);
+    if (row_end == std::string::npos || row_end > close) break;
+    const std::string chunk = text.substr(row, row_end - row + 1);
+    CalibrationPoint point;
+    const auto field = [&chunk](const char* name, double& out_value) {
+      const std::size_t at = chunk.find(name);
+      if (at == std::string::npos) return false;
+      const std::size_t colon = chunk.find(':', at);
+      if (colon == std::string::npos) return false;
+      out_value = std::strtod(chunk.c_str() + colon + 1, nullptr);
+      return true;
+    };
+    double bytes = 0;
+    if (field("\"bytes\"", bytes) && field("\"eager_gbps\"", point.eager_gbps) &&
+        field("\"rendezvous_gbps\"", point.rendezvous_gbps) && bytes > 0) {
+      point.bytes = static_cast<std::size_t>(bytes);
+      calibration.points.push_back(point);
+    }
+    pos = row_end + 1;
+  }
+  std::sort(calibration.points.begin(), calibration.points.end(),
+            [](const CalibrationPoint& a, const CalibrationPoint& b) {
+              return a.bytes < b.bytes;
+            });
+  return calibration;
+}
+
+std::size_t resolve_auto_eager_limit(const std::string& path) {
+  TransportCalibration calibration = load_calibration(path);
+  if (calibration.empty()) {
+    calibration = measure_transport_calibration();
+    save_calibration(calibration, path);  // best effort; re-measure next time
+  }
+  return calibration.pick_crossover();
+}
+
+}  // namespace scaffe::mpi

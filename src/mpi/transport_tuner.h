@@ -1,0 +1,69 @@
+// Measured eager/rendezvous auto-tuning (SCAFFE_EAGER_LIMIT=auto).
+//
+// The 64 KiB crossover the transport shipped with is a guess; the right
+// value depends on the host (memcpy bandwidth vs wakeup latency, core count,
+// load). A short in-process 2-rank ping-pong sweep — the same measurement
+// bench_transport reports — pins the protocol all-eager then all-rendezvous
+// over a band of message sizes and picks the first size where the rendezvous
+// path wins. The result is persisted as JSON (the BENCH_transport.json
+// "pingpong" layout, so an existing bench run is reusable as a calibration
+// source) and reloaded on later startups instead of re-measuring.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scaffe::mpi {
+
+/// One measured point of the eager-vs-rendezvous ping-pong sweep.
+struct CalibrationPoint {
+  std::size_t bytes = 0;
+  double eager_gbps = 0.0;       // protocol pinned all-eager
+  double rendezvous_gbps = 0.0;  // protocol pinned all-rendezvous
+};
+
+/// Crossover clamp band: eager wins below 64 KiB and rendezvous wins above
+/// 256 KiB on every host this runtime targets; the clamp absorbs measurement
+/// noise on loaded CI machines without letting it flip the protocol into a
+/// regime that is never right.
+inline constexpr std::size_t kCrossoverLo = std::size_t{64} << 10;
+inline constexpr std::size_t kCrossoverHi = std::size_t{256} << 10;
+
+struct TransportCalibration {
+  std::vector<CalibrationPoint> points;  // ascending bytes
+
+  bool empty() const noexcept { return points.empty(); }
+
+  /// Smallest measured size at which the rendezvous path beats the eager
+  /// path (rendezvous never winning picks `hi`), clamped into [lo, hi].
+  std::size_t pick_crossover(std::size_t lo = kCrossoverLo,
+                             std::size_t hi = kCrossoverHi) const;
+};
+
+/// Runs the in-process 2-rank ping-pong sweep over 4 KiB .. 1 MiB (the band
+/// around any plausible crossover). `iters` bounds the per-size repetition;
+/// small values keep a cold startup under a few tens of milliseconds.
+TransportCalibration measure_transport_calibration(int iters = 24);
+
+/// True while measure_transport_calibration is running its internal Runtime:
+/// the recursion guard that keeps the calibration runtime from trying to
+/// auto-calibrate itself.
+bool calibration_in_progress() noexcept;
+
+/// Writes `calibration` to `path` as JSON with a "pingpong" array. Returns
+/// false (without throwing) when the file cannot be written.
+bool save_calibration(const TransportCalibration& calibration, const std::string& path);
+
+/// Reads calibration points from the "pingpong" array of `path` — accepts
+/// both save_calibration output and BENCH_transport.json written by
+/// bench_transport. Returns an empty calibration when the file is missing
+/// or holds no usable rows.
+TransportCalibration load_calibration(const std::string& path);
+
+/// Resolves SCAFFE_EAGER_LIMIT=auto: reuses the calibration persisted at
+/// `path` when present, otherwise measures and persists it there (best
+/// effort). Returns the picked crossover in bytes.
+std::size_t resolve_auto_eager_limit(const std::string& path = "BENCH_transport.json");
+
+}  // namespace scaffe::mpi

@@ -86,6 +86,24 @@ class AbortError : public std::runtime_error {
   AbortError() : std::runtime_error("scmpi: world aborted by a failing rank") {}
 };
 
+/// Thrown when a tuning knob (environment variable) holds a value that
+/// cannot mean anything: a typo'd SCAFFE_EAGER_LIMIT must fail loudly, not
+/// silently fall back to the default and invalidate a benchmark run.
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(const std::string& knob, const std::string& value, const std::string& why)
+      : std::runtime_error("scmpi config: " + knob + "=\"" + value + "\" " + why),
+        knob_(knob),
+        value_(value) {}
+
+  const std::string& knob() const noexcept { return knob_; }
+  const std::string& value() const noexcept { return value_; }
+
+ private:
+  std::string knob_;
+  std::string value_;
+};
+
 /// Thrown when a matched receive exceeds the world's receive deadline: a
 /// silent hang (dead peer, dropped message, deadlocked exchange) becomes a
 /// typed error naming exactly what the receiver was blocked on. Collectives
@@ -162,7 +180,8 @@ struct Envelope {
 struct TransportConfig {
   /// Messages of at most this many bytes take the eager path (pooled staging
   /// copy); larger ones take the rendezvous path (shared view / posted
-  /// single copy). SCAFFE_EAGER_LIMIT, default 64 KiB.
+  /// single copy). SCAFFE_EAGER_LIMIT: a byte size ("64K", "1M", "0"), or
+  /// "auto" to calibrate the crossover at Runtime startup. Default 64 KiB.
   std::atomic<std::size_t> eager_limit{default_eager_limit()};
 
   /// Posted-receive claims (single sender→destination copy / fused reduce).
@@ -172,7 +191,16 @@ struct TransportConfig {
   /// every message allocates fresh (the pre-pool "legacy" transport).
   std::atomic<bool> pooled_eager{default_zero_copy()};
 
+  /// Largest accepted SCAFFE_EAGER_LIMIT; bigger values are clamped (an
+  /// eager copy beyond this is certainly slower than rendezvous).
+  static constexpr std::size_t kMaxEagerLimit = std::size_t{1} << 30;
+
+  /// Parses SCAFFE_EAGER_LIMIT. Throws ConfigError on non-numeric or
+  /// negative values instead of silently falling back; "auto" and unset
+  /// yield the 64 KiB default (Runtime replaces it after calibration).
   static std::size_t default_eager_limit();
+  /// True when SCAFFE_EAGER_LIMIT=auto: Runtime calibrates the crossover.
+  static bool default_eager_auto();
   static bool default_zero_copy();  // false when SCAFFE_TRANSPORT=legacy
 };
 
@@ -231,6 +259,29 @@ class Mailbox {
   /// source buffer. Throws TransportError on payload size mismatch.
   void recv_reduce(ContextId context, Generation generation, int src, int tag,
                    std::span<float> acc);
+
+  /// Handle for an asynchronously posted receive (see post_recv). Destroying
+  /// an incomplete handle deregisters it, waiting out an in-flight fill
+  /// first; `dst` must stay valid until then.
+  class PostedRecv;
+
+  /// Registers `dst` as a receive destination NOW, without blocking: a
+  /// matching rendezvous sender claims it and fills with a single copy even
+  /// though the receiver is off computing. This is the pre-posted half of
+  /// Comm::irecv — the zero-copy claim path extended to non-blocking
+  /// receives. Complete with posted_test()/posted_wait().
+  std::unique_ptr<PostedRecv> post_recv(ContextId context, Generation generation, int src,
+                                        int tag, std::span<std::byte> dst);
+
+  /// Non-blocking completion attempt for a posted receive: true once `dst`
+  /// holds the message (filled by a sender claim, or copied from a queued
+  /// envelope here). Throws AbortError after a world abort and
+  /// TransportError on payload size mismatch.
+  bool posted_test(PostedRecv& posted);
+
+  /// Blocks until the posted receive completes. Timeout/abort semantics
+  /// match recv_into.
+  void posted_wait(PostedRecv& posted);
 
   /// Non-blocking probe-and-receive; false if no matching message yet.
   /// Throws AbortError once the world has aborted, so request polling loops
@@ -308,6 +359,11 @@ class Mailbox {
     std::condition_variable cv;   // targeted wakeup: only the owner sleeps here
   };
 
+  /// Deregisters a posted receive that was never completed (handle
+  /// destruction). A claimed waiter cannot be abandoned: waits for the
+  /// in-flight fill to publish `done` first.
+  void abandon_posted(PostedRecv& posted);
+
   bool aborted_now() const noexcept { return aborted_ != nullptr && aborted_->load(); }
   std::chrono::milliseconds current_timeout() const noexcept {
     return timeout_ms_ == nullptr ? std::chrono::milliseconds(0)
@@ -356,6 +412,33 @@ class Mailbox {
   const std::atomic<bool>* aborted_ = nullptr;
   const std::atomic<std::int64_t>* timeout_ms_ = nullptr;
   const TransportConfig* transport_ = nullptr;
+};
+
+/// The registered-but-not-yet-completed state of one pre-posted receive.
+/// Owns the Waiter senders claim; all mutable state is guarded by the
+/// mailbox mutex. Not movable: the mailbox holds a pointer to waiter_.
+class Mailbox::PostedRecv {
+ public:
+  PostedRecv(const PostedRecv&) = delete;
+  PostedRecv& operator=(const PostedRecv&) = delete;
+  ~PostedRecv() { box_.abandon_posted(*this); }
+
+ private:
+  friend class Mailbox;
+  PostedRecv(Mailbox& box, ContextId context, Generation generation, int src, int tag,
+             std::span<std::byte> dst)
+      : box_(box), key_{context, generation, src, tag}, dst_(dst),
+        waiter_(Waiter::Kind::Copy) {
+    waiter_.dst = dst.data();
+    waiter_.bytes = dst.size();
+  }
+
+  Mailbox& box_;
+  ExactKey key_;
+  std::span<std::byte> dst_;
+  Waiter waiter_;
+  bool registered_ = true;  // waiter_ is in box_.waiters_ (guarded by its mutex)
+  bool finished_ = false;   // completed (claim or queue); the handle is inert
 };
 
 /// Shared state for one Runtime: the mailboxes of all world ranks plus the

@@ -1,14 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <string>
 
 #include "coll/algorithms.h"
 #include "coll/extensions.h"
 #include "coll/logical_executor.h"
 #include "coll/sim_executor.h"
 #include "coll/thread_executor.h"
+#include "coll/tuner.h"
+#include "core/bucket_planner.h"
+#include "core/distributed_solver.h"
+#include "models/zoo.h"
 #include "net/cluster.h"
 #include "util/bytes.h"
+#include "util/thread_pool.h"
 
 namespace scaffe::coll {
 namespace {
@@ -217,6 +227,320 @@ TEST(Trace, SendBusyIntervalsOnSameNodeLinkDoNotExceedCapacity) {
   EXPECT_LE(peak, cluster.pcie_concurrency);
   EXPECT_GE(peak, 2);  // the pipeline genuinely uses concurrent links
 }
+
+// ---------------------------------------------------------------------------
+// Gradient bucket fusion
+// ---------------------------------------------------------------------------
+
+TEST(BucketPlanner, PartitionsLayersExactly) {
+  // 10 layers of 1000 floats (~4 KB each); 8 KB target => buckets of ~2.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::size_t offset = 0;
+  for (int i = 0; i < 10; ++i) {
+    ranges.emplace_back(offset, 1000);
+    offset += 1000;
+  }
+  const core::BucketPlanner planner(ranges, 8000);
+  const auto& buckets = planner.buckets();
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_EQ(buckets.front().first_layer, 0u);
+  EXPECT_EQ(buckets.back().last_layer, 9u);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    EXPECT_LE(buckets[b].first_layer, buckets[b].last_layer);
+    if (b + 1 < buckets.size()) {
+      EXPECT_EQ(buckets[b].last_layer + 1, buckets[b + 1].first_layer);
+    }
+    total += buckets[b].elems;
+    for (std::size_t li = buckets[b].first_layer; li <= buckets[b].last_layer; ++li) {
+      EXPECT_EQ(planner.bucket_of_layer(li), b);
+    }
+  }
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST(BucketPlanner, ReverseWalkPacksDeepLayersToTarget) {
+  // Reverse packing: the deepest layers (produced first by backward) fill to
+  // target; any partial leftover is the FRONT bucket.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges = {
+      {0, 100}, {100, 1000}, {1100, 1000}, {2100, 1000}};
+  const core::BucketPlanner planner(ranges, 2000 * sizeof(float));
+  const auto& buckets = planner.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].elems, 1100u);  // layers 0-1: the partial leftover
+  EXPECT_EQ(buckets[1].elems, 2000u);  // layers 2-3: packed to target
+}
+
+TEST(BucketPlanner, ZeroParamLayersMergeIntoNeighbours) {
+  // Activation layers (ReLU, pool) hold no params; they must not create
+  // empty buckets.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges = {
+      {0, 0}, {0, 0}, {0, 500}, {500, 0}, {500, 500}};
+  const core::BucketPlanner planner(ranges, 100);
+  const auto& buckets = planner.buckets();
+  EXPECT_EQ(buckets.front().first_layer, 0u);
+  EXPECT_EQ(buckets.back().last_layer, 4u);
+  for (const auto& bucket : buckets) EXPECT_GT(bucket.elems, 0u);
+}
+
+TEST(BucketPlanner, ResolveBucketBytes) {
+  EXPECT_EQ(core::resolve_bucket_bytes(12345, 64 << 10), 12345u);  // explicit wins
+  // Derived: 8x the eager limit, clamped to [256 KiB, 4 MiB].
+  EXPECT_EQ(core::resolve_bucket_bytes(0, 64 << 10), std::size_t{512} << 10);
+  EXPECT_EQ(core::resolve_bucket_bytes(0, 1 << 10), std::size_t{256} << 10);
+  EXPECT_EQ(core::resolve_bucket_bytes(0, 16 << 20), std::size_t{4} << 20);
+}
+
+TEST(BucketPlanner, FusionConfigFromEnv) {
+  const char* saved = std::getenv("SCAFFE_BUCKET_BYTES");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ::unsetenv("SCAFFE_BUCKET_BYTES");
+  EXPECT_FALSE(core::fusion_config_from_env().enabled);
+
+  ::setenv("SCAFFE_BUCKET_BYTES", "off", 1);
+  EXPECT_FALSE(core::fusion_config_from_env().enabled);
+  ::setenv("SCAFFE_BUCKET_BYTES", "0", 1);
+  EXPECT_FALSE(core::fusion_config_from_env().enabled);
+
+  ::setenv("SCAFFE_BUCKET_BYTES", "auto", 1);
+  core::FusionConfig config = core::fusion_config_from_env();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.bucket_bytes, 0u);  // resolved against the eager limit later
+
+  ::setenv("SCAFFE_BUCKET_BYTES", "2M", 1);
+  config = core::fusion_config_from_env();
+  EXPECT_TRUE(config.enabled);
+  EXPECT_EQ(config.bucket_bytes, std::size_t{2} << 20);
+
+  ::setenv("SCAFFE_BUCKET_BYTES", "nope", 1);
+  EXPECT_THROW(core::fusion_config_from_env(), mpi::ConfigError);
+
+  if (saved != nullptr) {
+    ::setenv("SCAFFE_BUCKET_BYTES", restore.c_str(), 1);
+  } else {
+    ::unsetenv("SCAFFE_BUCKET_BYTES");
+  }
+}
+
+TEST(TuningTable, RecommendedBucketBytes) {
+  TuningTable empty;
+  EXPECT_EQ(empty.recommended_bucket_bytes(), util::kMiB);  // no boundary visible
+
+  TuningTable table;
+  table.add(TuningEntry{64 * util::kKiB, Candidate::binomial(), 10});
+  table.add(TuningEntry{2 * util::kMiB, Candidate::flat_chain_cand(), 20});
+  table.add(TuningEntry{std::numeric_limits<std::size_t>::max(),
+                        Candidate::hier(LevelAlgo::Chain, LevelAlgo::Binomial, 8), 30});
+  EXPECT_EQ(table.recommended_bucket_bytes(), 2 * util::kMiB);
+
+  table.set_bucket_bytes(512 * util::kKiB);
+  EXPECT_EQ(table.recommended_bucket_bytes(), 512 * util::kKiB);
+}
+
+TEST(FusedChainReduce, SemanticsAndTensorAlignedChunks) {
+  const FusedLayout layout = FusedLayout::pack({300, 0, 200, 500, 100, 400});
+  EXPECT_EQ(layout.total, 1500u);
+  const Schedule schedule = fused_chain_reduce(6, 0, layout, 4);
+  EXPECT_EQ(check_semantics(schedule), "");
+
+  // Every op's region must start and end on a tensor boundary.
+  std::vector<std::size_t> boundaries = {0};
+  for (std::size_t i = 0; i < layout.counts.size(); ++i) {
+    boundaries.push_back(layout.offsets[i] + layout.counts[i]);
+  }
+  std::set<std::pair<std::size_t, std::size_t>> regions;
+  for (const auto& program : schedule.programs) {
+    for (const Op& op : program.ops) {
+      EXPECT_NE(std::find(boundaries.begin(), boundaries.end(), op.offset),
+                boundaries.end());
+      EXPECT_NE(std::find(boundaries.begin(), boundaries.end(), op.offset + op.count),
+                boundaries.end());
+      regions.insert({op.offset, op.count});
+    }
+  }
+  EXPECT_LE(regions.size(), 4u);  // at most max_chunks distinct pipeline chunks
+}
+
+TEST(FusedChainReduce, BitwiseMatchesPerTensorChainReduces) {
+  // The fusion determinism cornerstone: one fused chain reduce over the
+  // packed bucket is bitwise identical to separate chain reduces per tensor,
+  // because each element's accumulation order (tail towards root) does not
+  // depend on message extent or chunking.
+  const int nranks = 5;
+  const std::vector<std::size_t> counts = {257, 123, 400, 64};
+  const FusedLayout layout = FusedLayout::pack(counts);
+
+  auto fill = [&](std::vector<std::vector<float>>& data) {
+    data.assign(static_cast<std::size_t>(nranks), std::vector<float>(layout.total));
+    for (int r = 0; r < nranks; ++r) {
+      for (std::size_t i = 0; i < layout.total; ++i) {
+        data[static_cast<std::size_t>(r)][i] =
+            0.001f * static_cast<float>((i * 31 + static_cast<std::size_t>(r) * 7) % 997) -
+            0.3f;
+      }
+    }
+  };
+
+  std::vector<std::vector<float>> fused;
+  fill(fused);
+  {
+    std::vector<std::span<float>> spans;
+    for (auto& v : fused) spans.emplace_back(v);
+    run_threaded(fused_chain_reduce(nranks, 0, layout, 3), spans);
+  }
+
+  std::vector<std::vector<float>> separate;
+  fill(separate);
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    std::vector<std::vector<float>> tensor(static_cast<std::size_t>(nranks),
+                                           std::vector<float>(counts[t]));
+    for (int r = 0; r < nranks; ++r) {
+      std::copy_n(separate[static_cast<std::size_t>(r)].begin() +
+                      static_cast<std::ptrdiff_t>(layout.offsets[t]),
+                  counts[t], tensor[static_cast<std::size_t>(r)].begin());
+    }
+    std::vector<std::span<float>> spans;
+    for (auto& v : tensor) spans.emplace_back(v);
+    run_threaded(chain_reduce(nranks, 0, counts[t], 2), spans);
+    std::copy_n(tensor[0].begin(), counts[t],
+                separate[0].begin() + static_cast<std::ptrdiff_t>(layout.offsets[t]));
+  }
+
+  EXPECT_EQ(0, std::memcmp(fused[0].data(), separate[0].data(),
+                           layout.total * sizeof(float)));
+}
+
+TEST(RunThreaded, PrePostedReceivesAreBitwiseRepeatable) {
+  // The posted-slot executor must produce identical bits run over run: the
+  // receiver-first direct fill and the staged fallback are different code
+  // paths for the same message, so the accumulation ORDER must not depend on
+  // which path a message took.
+  const int nranks = 8;
+  const std::size_t count = 1024;
+  const Schedule schedule = hierarchical_reduce(nranks, count, 4, LevelAlgo::Chain,
+                                                LevelAlgo::Binomial, 8);
+  std::vector<float> reference;
+  for (int run = 0; run < 20; ++run) {
+    std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks),
+                                         std::vector<float>(count));
+    for (int r = 0; r < nranks; ++r) {
+      for (std::size_t i = 0; i < count; ++i) {
+        data[static_cast<std::size_t>(r)][i] =
+            0.01f * static_cast<float>((i * 13 + static_cast<std::size_t>(r)) % 101) - 0.5f;
+      }
+    }
+    std::vector<std::span<float>> spans;
+    for (auto& v : data) spans.emplace_back(v);
+    run_threaded(schedule, spans);
+    if (run == 0) {
+      reference = data[0];
+    } else {
+      ASSERT_EQ(0, std::memcmp(reference.data(), data[0].data(), count * sizeof(float)))
+          << "run " << run;
+    }
+  }
+}
+
+// Deep narrow MLP for fused-training parity: enough parameter layers that a
+// small bucket target produces several buckets.
+dl::NetSpec parity_net(int batch) {
+  dl::NetSpec spec;
+  spec.name = "parity_mlp";
+  spec.inputs = {{"data", {batch, 8}}, {"label", {batch}}};
+  std::string bottom = "data";
+  for (int d = 0; d < 6; ++d) {
+    const std::string fc = "fc" + std::to_string(d);
+    const std::string act = "act" + std::to_string(d);
+    spec.layers.push_back(dl::LayerSpec::inner_product(fc, bottom, fc, 16));
+    spec.layers.push_back(dl::LayerSpec::relu(act, fc, act));
+    bottom = act;
+  }
+  spec.layers.push_back(dl::LayerSpec::inner_product("cls", bottom, "cls", 3));
+  spec.layers.push_back(dl::LayerSpec::softmax_loss("loss", "cls", "label", "loss"));
+  return spec;
+}
+
+std::vector<float> train_parity_net(int nranks, core::ScaffeConfig config, int iterations) {
+  const int shard = 4;
+  std::vector<float> root_params;
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    dl::SolverConfig solver_config;
+    solver_config.base_lr = 0.05f;
+    solver_config.seed = 11;
+    core::DistributedSolver solver(comm, parity_net(shard), solver_config, config);
+
+    std::vector<float> data(static_cast<std::size_t>(shard) * 8);
+    std::vector<float> labels(static_cast<std::size_t>(shard));
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = 0.05f * static_cast<float>(
+                              (i * 17 + static_cast<std::size_t>(comm.rank()) * 3 +
+                               static_cast<std::size_t>(iteration) * 7) %
+                              59) -
+                  1.0f;
+      }
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = static_cast<float>((i + static_cast<std::size_t>(iteration)) % 3);
+      }
+      solver.train_iteration(data, labels);
+    }
+    if (comm.rank() == 0) {
+      root_params.resize(solver.solver().net().param_count());
+      solver.solver().net().flatten_params(root_params);
+    }
+  });
+  return root_params;
+}
+
+class FusedParitySweep : public ::testing::TestWithParam<core::Variant> {};
+
+TEST_P(FusedParitySweep, FusedTrainingBitwiseEqualsUnfused) {
+  // Bucket fusion changes WHERE gradients are staged and HOW MANY collectives
+  // carry them, but not any element's accumulation order — so the trained
+  // parameters must match the unfused run bit for bit.
+  core::ScaffeConfig unfused;
+  unfused.variant = GetParam();
+  unfused.reduce = core::ReduceAlgo::binomial();
+
+  core::ScaffeConfig fused = unfused;
+  fused.fusion.enabled = true;
+  fused.fusion.bucket_bytes = 2048;  // several buckets over the parity net
+
+  const std::vector<float> a = train_parity_net(4, unfused, 6);
+  const std::vector<float> b = train_parity_net(4, fused, 6);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+TEST_P(FusedParitySweep, FusedTrainingBitwiseIdenticalAcrossThreadCounts) {
+  // Determinism across math-pool widths: 1 thread vs 8 threads must produce
+  // identical bits with fusion enabled (parallel_for splits preserve
+  // per-element order; reductions are schedule-ordered).
+  core::ScaffeConfig fused;
+  fused.variant = GetParam();
+  fused.reduce = core::ReduceAlgo::binomial();
+  fused.fusion.enabled = true;
+  fused.fusion.bucket_bytes = 2048;
+
+  util::ThreadPool::set_global_threads(1);
+  const std::vector<float> one = train_parity_net(4, fused, 6);
+  util::ThreadPool::set_global_threads(8);
+  const std::vector<float> eight = train_parity_net(4, fused, 6);
+  util::ThreadPool::set_global_threads(1);  // leave the pool serial for later tests
+
+  ASSERT_EQ(one.size(), eight.size());
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(0, std::memcmp(one.data(), eight.data(), one.size() * sizeof(float)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, FusedParitySweep,
+                         ::testing::Values(core::Variant::SCOB, core::Variant::SCOBR),
+                         [](const auto& info) {
+                           return info.param == core::Variant::SCOB ? "SCOB" : "SCOBR";
+                         });
 
 }  // namespace
 }  // namespace scaffe::coll

@@ -458,6 +458,50 @@ TEST_F(RecoveryTest, SecondCrashDuringRecoveryShrinksTheSurvivorSetFurther) {
   EXPECT_EQ(shrunk.root_losses, reference.root_losses);
 }
 
+TEST_F(RecoveryTest, FusedBucketsDrainCleanlyThroughShrinkBitwise) {
+  // Chaos leg for gradient bucket fusion: rank 1 of 4 dies at iteration 5
+  // while SC-OBR is streaming fused buckets (a tiny bucket target forces
+  // several in flight). The survivors' bucket reductions must drain into
+  // typed timeouts — not hang on a half-reduced bucket — and the shrunk
+  // 3-rank continuation must stay bitwise identical to a fresh 3-rank run
+  // resumed from the same checkpoint with the same fusion config.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  core::TrainerConfig prefix = base_config();
+  prefix.global_batch = 12;
+  prefix.iterations = 4;
+  prefix.scaffe.variant = core::Variant::SCOBR;
+  prefix.scaffe.fusion.enabled = true;
+  prefix.scaffe.fusion.bucket_bytes = 128;  // ~32 floats: multiple buckets
+  core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+  core::TrainerConfig suffix = prefix;
+  suffix.iterations = 10;
+  suffix.start_iteration = 4;
+  const core::TrainerReport reference =
+      core::train_with_recovery(3, backend, dataset.sample_floats(), factory(), suffix);
+  ASSERT_FALSE(reference.final_params.empty());
+  std::filesystem::remove(path_);
+
+  core::TrainerConfig config = prefix;
+  config.iterations = 10;
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  util::ScopedFaultPlan scope(util::FaultPlan(43).crash_rank(1, 5));
+  const core::TrainerReport shrunk =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(shrunk.recovery.restarts, 1);
+  EXPECT_EQ(shrunk.recovery.shrinks, 1);
+  EXPECT_EQ(shrunk.recovery.final_world_size, 3);
+  EXPECT_EQ(shrunk.recovery.dead_world_ranks, (std::vector<int>{1}));
+  EXPECT_EQ(shrunk.recovery.resumed_iteration, 4);
+  ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
+  EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
+  EXPECT_EQ(shrunk.root_losses, reference.root_losses);
+}
+
 TEST_F(RecoveryTest, ShrinkFallsBackToSameSizeRestartWhenBatchIndivisible) {
   // global_batch 16 cannot be divided across 3 survivors under strong
   // scaling, so Shrink falls back to a same-size restart (modelling a node

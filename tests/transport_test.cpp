@@ -11,11 +11,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "mpi/comm.h"
+#include "mpi/transport_tuner.h"
 #include "util/buffer_pool.h"
 
 namespace scaffe::mpi {
@@ -363,6 +368,257 @@ TEST(Transport, ZeroLengthMessages) {
       }
     });
   }
+}
+
+// --- SCAFFE_EAGER_LIMIT parsing ----------------------------------------------
+
+/// Scoped env override (tests run serially within a binary).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EagerLimitEnv, UnsetUsesBuiltInDefault) {
+  EnvGuard guard("SCAFFE_EAGER_LIMIT", nullptr);
+  EXPECT_EQ(TransportConfig::default_eager_limit(), std::size_t{64} << 10);
+  EXPECT_FALSE(TransportConfig::default_eager_auto());
+}
+
+TEST(EagerLimitEnv, ParsesByteSizes) {
+  {
+    EnvGuard guard("SCAFFE_EAGER_LIMIT", "128K");
+    EXPECT_EQ(TransportConfig::default_eager_limit(), std::size_t{128} << 10);
+  }
+  {
+    EnvGuard guard("SCAFFE_EAGER_LIMIT", "0");  // everything rendezvous
+    EXPECT_EQ(TransportConfig::default_eager_limit(), 0u);
+  }
+}
+
+TEST(EagerLimitEnv, ClampsToMaximum) {
+  EnvGuard guard("SCAFFE_EAGER_LIMIT", "512G");
+  EXPECT_EQ(TransportConfig::default_eager_limit(), TransportConfig::kMaxEagerLimit);
+}
+
+TEST(EagerLimitEnv, MalformedValuesThrowConfigError) {
+  for (const char* bad : {"abc", "-5", "12Q", ""}) {
+    EnvGuard guard("SCAFFE_EAGER_LIMIT", bad);
+    try {
+      (void)TransportConfig::default_eager_limit();
+      FAIL() << "expected ConfigError for \"" << bad << "\"";
+    } catch (const ConfigError& error) {
+      EXPECT_EQ(error.knob(), "SCAFFE_EAGER_LIMIT");
+      EXPECT_EQ(error.value(), bad);
+      EXPECT_NE(std::string(error.what()).find("SCAFFE_EAGER_LIMIT"), std::string::npos);
+    }
+  }
+}
+
+TEST(EagerLimitEnv, AutoIsRecognizedNotParsed) {
+  EnvGuard guard("SCAFFE_EAGER_LIMIT", "auto");
+  EXPECT_TRUE(TransportConfig::default_eager_auto());
+  // The static default stays the built-in; the measured value is installed
+  // by Runtime (see resolve_auto_eager_limit).
+  EXPECT_EQ(TransportConfig::default_eager_limit(), std::size_t{64} << 10);
+}
+
+// --- transport auto-tuning ----------------------------------------------------
+
+TEST(TransportTuner, PickCrossoverFindsFirstRendezvousWin) {
+  TransportCalibration calibration;
+  calibration.points = {
+      {4 << 10, 10.0, 4.0},    // eager wins
+      {32 << 10, 8.0, 7.0},    // eager wins
+      {128 << 10, 6.0, 9.0},   // rendezvous wins first here
+      {512 << 10, 5.0, 11.0},
+  };
+  EXPECT_EQ(calibration.pick_crossover(), std::size_t{128} << 10);
+}
+
+TEST(TransportTuner, PickCrossoverClampsIntoBand) {
+  TransportCalibration low;
+  low.points = {{1 << 10, 1.0, 5.0}};  // rendezvous "wins" at 1 KiB: noise
+  EXPECT_EQ(low.pick_crossover(), kCrossoverLo);
+
+  TransportCalibration never;
+  never.points = {{4 << 10, 10.0, 4.0}, {16 << 20, 10.0, 4.0}};  // never wins
+  EXPECT_EQ(never.pick_crossover(), kCrossoverHi);
+
+  TransportCalibration empty;
+  EXPECT_EQ(empty.pick_crossover(), kCrossoverHi);
+}
+
+TEST(TransportTuner, SaveLoadRoundTrip) {
+  TransportCalibration calibration;
+  calibration.points = {{4096, 3.25, 1.5}, {65536, 2.0, 2.5}};
+  const std::string path = "test_calibration_roundtrip.json";
+  ASSERT_TRUE(save_calibration(calibration, path));
+  const TransportCalibration loaded = load_calibration(path);
+  ASSERT_EQ(loaded.points.size(), 2u);
+  EXPECT_EQ(loaded.points[0].bytes, 4096u);
+  EXPECT_NEAR(loaded.points[0].eager_gbps, 3.25, 1e-6);
+  EXPECT_NEAR(loaded.points[0].rendezvous_gbps, 1.5, 1e-6);
+  EXPECT_EQ(loaded.points[1].bytes, 65536u);
+  std::remove(path.c_str());
+}
+
+TEST(TransportTuner, LoadMissingOrBadFileYieldsEmpty) {
+  EXPECT_TRUE(load_calibration("no_such_calibration_file.json").empty());
+  const std::string path = "test_calibration_bad.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"unrelated\": true}\n", out);
+  std::fclose(out);
+  EXPECT_TRUE(load_calibration(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(TransportTuner, ResolveAutoReusesPersistedCalibration) {
+  // A persisted file short-circuits measurement entirely: resolve must
+  // return its crossover without spawning a calibration runtime.
+  TransportCalibration calibration;
+  calibration.points = {{64 << 10, 9.0, 5.0}, {128 << 10, 5.0, 9.0}};
+  const std::string path = "test_calibration_resolve.json";
+  ASSERT_TRUE(save_calibration(calibration, path));
+  EXPECT_EQ(resolve_auto_eager_limit(path), std::size_t{128} << 10);
+  std::remove(path.c_str());
+}
+
+TEST(TransportTuner, MeasureSweepsTheBandAndClearsGuard) {
+  const TransportCalibration calibration = measure_transport_calibration(/*iters=*/2);
+  ASSERT_FALSE(calibration.empty());
+  EXPECT_EQ(calibration.points.front().bytes, std::size_t{4} << 10);
+  EXPECT_EQ(calibration.points.back().bytes, std::size_t{1} << 20);
+  for (const CalibrationPoint& point : calibration.points) {
+    EXPECT_GT(point.eager_gbps, 0.0);
+    EXPECT_GT(point.rendezvous_gbps, 0.0);
+  }
+  EXPECT_FALSE(calibration_in_progress());
+  const std::size_t crossover = calibration.pick_crossover();
+  EXPECT_GE(crossover, kCrossoverLo);
+  EXPECT_LE(crossover, kCrossoverHi);
+}
+
+// --- collective tag-slot capacity ---------------------------------------------
+
+// Unfused SC-OBR keeps one ireduce outstanding per parameter layer;
+// GoogLeNet-class profiles exceed 100 layers. Two live collectives must never
+// alias a tag slot — distinct per-collective sizes make any aliasing fail
+// loudly as a TransportError size mismatch.
+TEST(CollectiveTags, ManyOutstandingCollectivesDoNotAliasSlots) {
+  constexpr int kOutstanding = 100;
+  mpi::Runtime runtime(4);
+  runtime.run([](Comm& comm) {
+    std::vector<std::vector<float>> buffers(kOutstanding);
+    std::vector<Request> requests;
+    requests.reserve(kOutstanding);
+    for (int i = 0; i < kOutstanding; ++i) {
+      buffers[i].assign(static_cast<std::size_t>(8 + i), static_cast<float>(i + 1));
+      requests.push_back(comm.ireduce(buffers[i], 0));
+    }
+    Comm::waitall(requests);
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kOutstanding; ++i) {
+        EXPECT_EQ(buffers[i].front(), 4.0f * static_cast<float>(i + 1)) << i;
+        EXPECT_EQ(buffers[i].back(), 4.0f * static_cast<float>(i + 1)) << i;
+      }
+    }
+  });
+}
+
+// --- pre-posted irecv ---------------------------------------------------------
+
+// irecv now registers the destination at CALL time: a rendezvous sender that
+// shows up before wait()/test() claims the posted buffer directly.
+TEST(PostedIrecv, LateSenderFillsPostedBuffer) {
+  Runtime runtime(2);
+  runtime.set_eager_limit(0);  // rendezvous only
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::vector<float> data(2048, 3.5f);
+      comm.send<float>(data, 1, 21);
+    } else {
+      std::vector<float> incoming(2048);
+      Request request = comm.irecv<float>(incoming, 0, 21);  // posted now
+      request.wait();
+      EXPECT_EQ(incoming.front(), 3.5f);
+      EXPECT_EQ(incoming.back(), 3.5f);
+    }
+  });
+}
+
+TEST(PostedIrecv, TestPollsWithoutBlocking) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      std::vector<float> data(16, 1.0f);
+      comm.send<float>(data, 1, 23);
+    } else {
+      std::vector<float> incoming(16);
+      Request request = comm.irecv<float>(incoming, 0, 23);
+      // Poll until complete; test() must never throw TimeoutError.
+      while (!request.test()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      EXPECT_EQ(incoming[7], 1.0f);
+    }
+  });
+}
+
+TEST(PostedIrecv, AbandonedRequestIsSafe) {
+  // Dropping an irecv without wait()/test() must deregister the posted
+  // buffer cleanly even when mail arrives afterwards (the abandoned-posted
+  // path); the next recv for the tag still sees the message.
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> data(64, 2.0f);
+      comm.send<float>(data, 1, 27);
+    } else {
+      {
+        std::vector<float> incoming(64);
+        Request request = comm.irecv<float>(incoming, 0, 27);
+        // Dropped without completion.
+      }
+      std::vector<float> incoming(64);
+      comm.recv<float>(incoming, 0, 27);
+      EXPECT_EQ(incoming.front(), 2.0f);
+    }
+  });
+}
+
+TEST(PostedIrecv, EagerSizeMismatchDiagnosedAtCompletion) {
+  Runtime runtime(2);
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> four(4, 1.0f);
+      comm.send<float>(four, 1, 29);
+    } else {
+      std::vector<float> two(2);
+      Request request = comm.irecv<float>(two, 0, 29);
+      EXPECT_THROW(request.wait(), TransportError);
+    }
+  });
 }
 
 }  // namespace
