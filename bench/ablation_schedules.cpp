@@ -1,0 +1,293 @@
+// Schedule-family crossover sweep: where do the paper's hierarchical CB-k /
+// CC-k reductions stop winning, and where do the bandwidth-optimal schedules
+// (double binary tree, topology-aware segmented ring) take over?
+//
+// Every algorithm is charged for a full allreduce-equivalent round in the
+// DES: rooted families pay reduce (root_finish) + bcast (total) + two
+// collective setups; single-schedule allreduces pay their own total + one
+// setup. Ranks sweep {64, 160, 512, 1024}, message sizes {1, 16, 64, 256}
+// MiB. Each rank count is simulated on the cluster preset the runtime's own
+// tuner would pick for that world size (core::tuning_cluster_for): the
+// paper-era Cluster-A with its Kepler GDR-read bottleneck at <= 192 ranks,
+// the dual-rail fat-tree beyond — so the crossover reflects the hardware
+// each scale actually runs on, not one preset stretched across both regimes.
+//
+// Writes machine-readable BENCH_schedules.json including a per-point
+// crossover summary with three series: best hierarchical (the paper's
+// design), best flat baseline (Bin/Chain — what the paper beat), and best
+// scale-out schedule (DBT/rings — what overtakes the paper at scale). The
+// paper's CB-k advantage over its own baselines stays intact at <= 160
+// ranks ("paper_advantage"); the fused schedules win the
+// allreduce-equivalent round because the rooted pair cannot overlap its
+// reduce with its bcast across the root update.
+// SCAFFE_BENCH_SMOKE=1 shrinks to the 64-rank point; SCAFFE_SCHED_ASSERT=1
+// exits nonzero when, at the 64-rank / 64 MiB point, DBT loses to the flat
+// binomial pair, the topology ring loses to the flat chain pair, or CC-8
+// loses its paper advantage over the binomial pair (scripts/check.sh).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "coll/algorithms.h"
+#include "coll/dbt.h"
+#include "coll/sim_executor.h"
+#include "coll/topo_ring.h"
+#include "coll/tuner.h"
+#include "core/coll_select.h"
+#include "net/cost_model.h"
+#include "net/topology.h"
+#include "util/bytes.h"
+
+using namespace scaffe;
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+struct Point {
+  int ranks = 0;
+  std::size_t bytes = 0;
+};
+
+struct Row {
+  int ranks = 0;
+  std::size_t bytes = 0;
+  std::string algo;
+  bool hierarchical = false;  // CB-k / CC-k family (the paper's design)
+  double ms = 0;
+  std::size_t events = 0;
+};
+
+struct Runner {
+  net::ClusterSpec cluster;
+  coll::ExecPolicy policy = coll::ExecPolicy::hr_gdr();
+
+  /// Rooted reduce+bcast pair: root_finish of the reduce (update happens at
+  /// the root) plus the full bcast, plus two per-collective setups.
+  Row pair(const Point& p, const std::string& name, bool hier, const coll::Schedule& reduce,
+           const coll::Schedule& bcast) const {
+    const net::CostModel cost(cluster);
+    const auto r = coll::simulate_schedule(reduce, cluster, policy);
+    const auto b = coll::simulate_schedule(bcast, cluster, policy);
+    Row row{p.ranks, p.bytes, name, hier, 0, r.events + b.events};
+    row.ms = static_cast<double>(2 * cost.collective_setup(p.ranks) + r.root_finish +
+                                 b.total) /
+             1e6;
+    return row;
+  }
+
+  /// Single-schedule allreduce: its own makespan plus one setup.
+  Row fused(const Point& p, const std::string& name, const coll::Schedule& allreduce) const {
+    const net::CostModel cost(cluster);
+    const auto result = coll::simulate_schedule(allreduce, cluster, policy);
+    Row row{p.ranks, p.bytes, name, false, 0, result.events};
+    row.ms = static_cast<double>(cost.collective_setup(p.ranks) + result.total) / 1e6;
+    return row;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const bool smoke = env_flag("SCAFFE_BENCH_SMOKE");
+  const bool assert_mode = env_flag("SCAFFE_SCHED_ASSERT");
+
+  const std::vector<int> rank_counts =
+      smoke ? std::vector<int>{64} : std::vector<int>{64, 160, 512, 1024};
+  const std::vector<std::size_t> sizes_mib =
+      smoke ? std::vector<std::size_t>{16, 64} : std::vector<std::size_t>{1, 16, 64, 256};
+  const int chunks = 16;
+  // Segment target for the segmented ring: the runtime derives this from the
+  // communicator's eager limit; the DES sweep pins the same 1 MiB the
+  // transport tuner lands on so results are machine-independent.
+  const std::size_t segment_bytes = util::kMiB;
+
+  std::vector<Row> rows;
+  std::vector<std::pair<int, std::string>> cluster_names;
+  std::printf("%-6s %-9s %-10s %12s\n", "ranks", "MiB", "algo", "ms");
+  for (int ranks : rank_counts) {
+    const Runner runner{core::tuning_cluster_for(ranks)};
+    cluster_names.emplace_back(ranks, runner.cluster.name);
+    std::printf("# %d ranks on %s\n", ranks, runner.cluster.name.c_str());
+    const net::Topology topo(runner.cluster, ranks);
+    for (std::size_t mib : sizes_mib) {
+      const Point p{ranks, mib * util::kMiB};
+      const std::size_t count = p.bytes / sizeof(float);
+
+      std::vector<Row> at_point;
+      at_point.push_back(runner.pair(p, "Bin", false,
+                                     coll::binomial_reduce(ranks, 0, count),
+                                     coll::binomial_bcast(ranks, 0, count)));
+      at_point.push_back(runner.pair(p, "Chain", false,
+                                     coll::chain_reduce(ranks, 0, count, chunks),
+                                     coll::chain_bcast(ranks, 0, count, chunks)));
+      // The hierarchical rows take the best chunk count per point, mirroring
+      // the runtime's tuner (which sweeps chunking) rather than pinning one
+      // pipeline depth across message sizes.
+      for (int k : {8, 16}) {
+        for (const char* level : {"CB", "CC"}) {
+          const coll::LevelAlgo upper =
+              level[1] == 'B' ? coll::LevelAlgo::Binomial : coll::LevelAlgo::Chain;
+          Row best;
+          for (int c : {chunks, 64}) {
+            Row row = runner.pair(
+                p, std::string(level) + "-" + std::to_string(k), true,
+                coll::hierarchical_reduce(ranks, count, k, coll::LevelAlgo::Chain, upper, c),
+                coll::binomial_bcast(ranks, 0, count));
+            if (best.algo.empty() || row.ms < best.ms) best = row;
+          }
+          at_point.push_back(best);
+        }
+      }
+      at_point.push_back(runner.pair(p, "DBT", false, coll::dbt_reduce(ranks, 0, count),
+                                     coll::dbt_bcast(ranks, 0, count)));
+      at_point.push_back(runner.fused(p, "Ring", coll::ring_allreduce(ranks, count)));
+      at_point.push_back(
+          runner.fused(p, "TopoRing", coll::topo_ring_allreduce(topo, count, segment_bytes)));
+      at_point.push_back(
+          runner.fused(p, "DBT-AR", coll::dbt_allreduce(ranks, count)));
+
+      for (const Row& row : at_point) {
+        std::printf("%-6d %-9zu %-10s %12.3f\n", row.ranks, mib, row.algo.c_str(), row.ms);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // Crossover summary: per point, the best hierarchical (paper) family vs
+  // the best scale-out schedule.
+  struct Crossover {
+    int ranks;
+    std::size_t mib;
+    std::string best_hier;
+    double hier_ms;
+    std::string best_new;
+    double new_ms;
+    std::string best_flat;  // the paper's own baselines: flat Bin / Chain pair
+    double flat_ms;
+  };
+  std::vector<Crossover> crossovers;
+  for (int ranks : rank_counts) {
+    for (std::size_t mib : sizes_mib) {
+      Crossover c{ranks, mib, "", 1e300, "", 1e300, "", 1e300};
+      for (const Row& row : rows) {
+        if (row.ranks != ranks || row.bytes != mib * util::kMiB) continue;
+        if (row.hierarchical) {
+          if (row.ms < c.hier_ms) {
+            c.hier_ms = row.ms;
+            c.best_hier = row.algo;
+          }
+        } else if (row.algo == "Bin" || row.algo == "Chain") {
+          if (row.ms < c.flat_ms) {
+            c.flat_ms = row.ms;
+            c.best_flat = row.algo;
+          }
+        } else if (row.algo == "DBT" || row.algo == "DBT-AR" || row.algo == "Ring" ||
+                   row.algo == "TopoRing") {
+          if (row.ms < c.new_ms) {
+            c.new_ms = row.ms;
+            c.best_new = row.algo;
+          }
+        }
+      }
+      std::printf(
+          "crossover %4d ranks %4zu MiB: %s %.3f ms vs %s %.3f ms -> %s "
+          "(paper baseline %s %.3f ms)\n",
+          ranks, mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(), c.new_ms,
+          c.new_ms < c.hier_ms ? "scale-out" : "hierarchical", c.best_flat.c_str(),
+          c.flat_ms);
+      crossovers.push_back(c);
+    }
+  }
+
+  bool assert_failed = false;
+  if (assert_mode) {
+    // The CI smoke gate: at 64 ranks / 64 MiB the pipelined tree must beat
+    // the unpipelined binomial pair and the topology ring must beat the flat
+    // chain pair. These are the weakest claims of the crossover figure; the
+    // full-sweep claims are recorded in the JSON for offline inspection.
+    auto find_ms = [&](const char* algo) {
+      for (const Row& row : rows) {
+        if (row.ranks == 64 && row.bytes == 64 * util::kMiB && row.algo == algo) {
+          return row.ms;
+        }
+      }
+      return -1.0;
+    };
+    const double bin = find_ms("Bin");
+    const double dbt = find_ms("DBT");
+    const double chain = find_ms("Chain");
+    const double topo_ring = find_ms("TopoRing");
+    const double cc8 = find_ms("CC-8");
+    if (bin < 0 || dbt < 0 || chain < 0 || topo_ring < 0 || cc8 < 0) {
+      std::fprintf(stderr, "SCHED ASSERT: 64-rank/64MiB rows missing\n");
+      assert_failed = true;
+    } else {
+      if (dbt > bin) {
+        std::fprintf(stderr, "SCHED ASSERT FAILED: DBT %.3f ms > Bin %.3f ms\n", dbt, bin);
+        assert_failed = true;
+      }
+      if (topo_ring > chain) {
+        std::fprintf(stderr, "SCHED ASSERT FAILED: TopoRing %.3f ms > Chain %.3f ms\n",
+                     topo_ring, chain);
+        assert_failed = true;
+      }
+      // The paper's claim, preserved: hierarchical still beats the flat
+      // baselines it was designed against at small scale.
+      if (cc8 > bin) {
+        std::fprintf(stderr, "SCHED ASSERT FAILED: CC-8 %.3f ms > Bin %.3f ms\n", cc8, bin);
+        assert_failed = true;
+      }
+    }
+  }
+
+  const char* json_path = "BENCH_schedules.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"clusters\": [\n");
+  for (std::size_t i = 0; i < cluster_names.size(); ++i) {
+    std::fprintf(out, "    {\"ranks\": %d, \"cluster\": \"%s\"}%s\n", cluster_names[i].first,
+                 cluster_names[i].second.c_str(),
+                 i + 1 < cluster_names.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"segment_bytes\": %zu,\n", segment_bytes);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"mib\": %zu, \"algo\": \"%s\", "
+                 "\"hierarchical\": %s, \"ms\": %.3f, \"events\": %zu}%s\n",
+                 row.ranks, row.bytes / util::kMiB, row.algo.c_str(),
+                 row.hierarchical ? "true" : "false", row.ms, row.events,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"crossover\": [\n");
+  for (std::size_t i = 0; i < crossovers.size(); ++i) {
+    const Crossover& c = crossovers[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"mib\": %zu, \"best_hier\": \"%s\", "
+                 "\"hier_ms\": %.3f, \"best_new\": \"%s\", \"new_ms\": %.3f, "
+                 "\"best_flat\": \"%s\", \"flat_ms\": %.3f, "
+                 "\"paper_advantage\": %s, \"winner\": \"%s\"}%s\n",
+                 c.ranks, c.mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(),
+                 c.new_ms, c.best_flat.c_str(), c.flat_ms,
+                 c.hier_ms < c.flat_ms ? "true" : "false",
+                 c.new_ms < c.hier_ms ? "scale-out" : "hierarchical",
+                 i + 1 < crossovers.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return assert_failed ? 1 : 0;
+}

@@ -44,6 +44,13 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "==> ablation_bucket_fusion smoke (build-release)"
   (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_FUSION_ASSERT=1 ./bench/ablation_bucket_fusion)
 
+  # Schedule crossover smoke: writes BENCH_schedules.json at the 64-rank DES
+  # point and (via SCAFFE_SCHED_ASSERT) fails the check if the double binary
+  # tree loses to the flat binomial pair or the topology ring loses to the
+  # flat chain pair there.
+  echo "==> ablation_schedules smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_SCHED_ASSERT=1 ./bench/ablation_schedules)
+
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
   # pool serial under the sanitizers so runtimes stay sane. Determinism is
   # unaffected.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "coll/schedule_graph.h"
+
 namespace scaffe::coll {
 
 namespace detail {
@@ -72,101 +74,77 @@ std::vector<std::pair<std::size_t, std::size_t>> partition_chunks(std::size_t co
 }
 
 Schedule binomial_reduce(int nranks, int root, std::size_t count) {
-  Schedule schedule;
-  schedule.name = "binomial_reduce";
-  schedule.kind = CollectiveKind::Reduce;
-  schedule.nranks = nranks;
-  schedule.root = root;
-  schedule.count = count;
-  schedule.programs.resize(static_cast<std::size_t>(nranks));
-
+  ScheduleGraph graph("binomial_reduce", CollectiveKind::Reduce, nranks, root, count);
   auto actual = [&](int relative) { return (relative + root) % nranks; };
 
   // Recursive-halving tree on relative ranks: at level `mask`, every active
   // rank with the `mask` bit set sends its whole working buffer to
-  // (relative - mask) and retires; the receiver folds it in.
-  for (int mask = 1; mask < nranks; mask <<= 1) {
+  // (relative - mask) and retires; the receiver folds it in. The step is the
+  // level index, so each receiver accumulates levels in ascending order.
+  int level = 0;
+  for (int mask = 1; mask < nranks; mask <<= 1, ++level) {
     for (int relative = mask; relative < nranks; relative += 2 * mask) {
       if ((relative & (mask - 1)) != 0) continue;  // retired earlier
-      const int src = actual(relative);
-      const int dst = actual(relative - mask);
-      const int tag = relative;  // each relative rank sends at most once
-      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, 0, count);
-      schedule.programs[static_cast<std::size_t>(dst)].recv_reduce(src, tag, 0, count);
+      graph.reduce(actual(relative), actual(relative - mask), level, 0, count);
     }
   }
-  return schedule;
+  return graph.compile();
 }
 
 Schedule chain_reduce(int nranks, int root, std::size_t count, int chunks) {
-  Schedule schedule;
-  schedule.name = "chain_reduce";
-  schedule.kind = CollectiveKind::Reduce;
-  schedule.nranks = nranks;
-  schedule.root = root;
-  schedule.count = count;
-  schedule.programs.resize(static_cast<std::size_t>(nranks));
-  if (nranks == 1) return schedule;
+  ScheduleGraph graph("chain_reduce", CollectiveKind::Reduce, nranks, root, count);
+  if (nranks == 1) return graph.compile();
 
   auto actual = [&](int position) { return (position + root) % nranks; };
   const auto parts = partition_chunks(count, chunks);
 
   // Chunk c flows from the chain's tail (position P-1) towards the root at
-  // position 0; each hop receives, reduces, and forwards. Emitting hops from
-  // the tail inward puts each middle rank's RecvReduce before its Send.
+  // position 0; each hop receives, reduces, and forwards. Step = chunk index
+  // + hops travelled, the software-pipeline wavefront.
   for (std::size_t c = 0; c < parts.size(); ++c) {
     const auto [offset, size] = parts[c];
     for (int position = nranks - 1; position >= 1; --position) {
-      const int src = actual(position);
-      const int dst = actual(position - 1);
-      const int tag = static_cast<int>(c) * nranks + position;
-      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, offset, size);
-      schedule.programs[static_cast<std::size_t>(dst)].recv_reduce(src, tag, offset, size);
+      const int step = static_cast<int>(c) + (nranks - 1 - position);
+      graph.reduce(actual(position), actual(position - 1), step, offset, size);
     }
   }
-  return schedule;
+  return graph.compile();
 }
 
 Schedule binomial_bcast(int nranks, int root, std::size_t count) {
-  Schedule schedule;
-  schedule.name = "binomial_bcast";
-  schedule.kind = CollectiveKind::Bcast;
-  schedule.nranks = nranks;
-  schedule.root = root;
-  schedule.count = count;
-  schedule.programs.resize(static_cast<std::size_t>(nranks));
-
+  ScheduleGraph graph("binomial_bcast", CollectiveKind::Bcast, nranks, root, count);
   auto actual = [&](int relative) { return (relative + root) % nranks; };
 
   // Mirror of the reduce tree: relative rank r receives once from
   // r - lowbit(r), then feeds children r + m for m descending below lowbit(r).
+  // Step = tree depth of the receiving child, so every rank's fan-out sends
+  // stay consecutive (the transport's shared-payload bcast optimization).
   int top = 1;
-  while (top < nranks) top <<= 1;
-
-  for (int relative = 0; relative < nranks; ++relative) {
-    Program& program = schedule.programs[static_cast<std::size_t>(actual(relative))];
-    const int lowbit = relative == 0 ? top : lowest_set_bit(relative);
-    if (relative != 0) {
-      const int parent = relative - lowbit;
-      program.recv(actual(parent), relative, 0, count);
-    }
-    for (int m = lowbit >> 1; m >= 1; m >>= 1) {
-      const int child = relative + m;
-      if (child < nranks) program.send(actual(child), child, 0, count);
-    }
+  int levels = 0;
+  while (top < nranks) {
+    top <<= 1;
+    ++levels;
   }
-  return schedule;
+  auto depth_of = [&](int m) {  // level at which the child with lowbit m hears
+    int d = levels;
+    while (m > 1) {
+      m >>= 1;
+      --d;
+    }
+    return d;
+  };
+
+  for (int relative = 1; relative < nranks; ++relative) {
+    const int lowbit = lowest_set_bit(relative);
+    const int parent = relative - lowbit;
+    graph.copy(actual(parent), actual(relative), depth_of(lowbit), 0, count);
+  }
+  return graph.compile();
 }
 
 Schedule chain_bcast(int nranks, int root, std::size_t count, int chunks) {
-  Schedule schedule;
-  schedule.name = "chain_bcast";
-  schedule.kind = CollectiveKind::Bcast;
-  schedule.nranks = nranks;
-  schedule.root = root;
-  schedule.count = count;
-  schedule.programs.resize(static_cast<std::size_t>(nranks));
-  if (nranks == 1) return schedule;
+  ScheduleGraph graph("chain_bcast", CollectiveKind::Bcast, nranks, root, count);
+  if (nranks == 1) return graph.compile();
 
   auto actual = [&](int position) { return (position + root) % nranks; };
   const auto parts = partition_chunks(count, chunks);
@@ -174,14 +152,11 @@ Schedule chain_bcast(int nranks, int root, std::size_t count, int chunks) {
   for (std::size_t c = 0; c < parts.size(); ++c) {
     const auto [offset, size] = parts[c];
     for (int position = 0; position + 1 < nranks; ++position) {
-      const int src = actual(position);
-      const int dst = actual(position + 1);
-      const int tag = static_cast<int>(c) * nranks + position;
-      schedule.programs[static_cast<std::size_t>(src)].send(dst, tag, offset, size);
-      schedule.programs[static_cast<std::size_t>(dst)].recv(src, tag, offset, size);
+      graph.copy(actual(position), actual(position + 1), static_cast<int>(c) + position, offset,
+                 size);
     }
   }
-  return schedule;
+  return graph.compile();
 }
 
 namespace {
@@ -258,58 +233,71 @@ Schedule hierarchical_bcast(int nranks, std::size_t count, int chain_size, Level
   return hierarchical(nranks, count, chain_size, lower, upper, chunks, /*is_reduce=*/false);
 }
 
-Schedule ring_allreduce(int nranks, std::size_t count) {
-  Schedule schedule;
-  schedule.name = "ring_allreduce";
-  schedule.kind = CollectiveKind::Allreduce;
-  schedule.nranks = nranks;
-  schedule.root = 0;
-  schedule.count = count;
-  schedule.programs.resize(static_cast<std::size_t>(nranks));
-  if (nranks == 1) return schedule;
-  // One chunk per rank is intrinsic to the ring; for tiny buffers callers
-  // should fall back to reduce+bcast (as real runtimes do).
-  assert(count >= static_cast<std::size_t>(nranks));
+namespace detail {
 
-  const auto parts = partition_chunks(count, nranks);
+/// The window is split into one chunk per ring position; chunk math runs on
+/// positions, not rank ids, so any ring ordering and any window size >=
+/// nranks works.
+void emit_ring_allreduce(ScheduleGraph& graph, const std::vector<int>& order, std::size_t base,
+                         std::size_t window, int step_base) {
+  const int nranks = static_cast<int>(order.size());
+  const auto parts = partition_chunks(window, nranks);
+  assert(parts.size() == static_cast<std::size_t>(nranks));
   const int steps = nranks - 1;
-  auto chunk_of = [&](int rank, int step) {
-    // Chunk index rank r works on at reduce-scatter step s.
-    int c = (rank - step) % nranks;
+  auto chunk_of = [&](int position, int step) {
+    // Chunk index ring position p works on at reduce-scatter step s.
+    int c = (position - step) % nranks;
     if (c < 0) c += nranks;
-    return static_cast<std::size_t>(c) % parts.size();
+    return static_cast<std::size_t>(c);
   };
 
-  // Phase 1: reduce-scatter. At step s, rank r sends chunk (r - s) to its
-  // right neighbour, which folds it into its copy.
-  for (int step = 0; step < steps; ++step) {
-    for (int rank = 0; rank < nranks; ++rank) {
-      const int right = (rank + 1) % nranks;
-      const auto [offset, size] = parts[chunk_of(rank, step)];
-      schedule.programs[static_cast<std::size_t>(rank)].send(right, step, offset, size);
-    }
-    for (int rank = 0; rank < nranks; ++rank) {
-      const int left = (rank - 1 + nranks) % nranks;
-      const auto [offset, size] = parts[chunk_of(left, step)];
-      schedule.programs[static_cast<std::size_t>(rank)].recv_reduce(left, step, offset, size);
+  // Phase 1: reduce-scatter. At step s, position p sends chunk (p - s) to
+  // its right neighbour, which folds it into its copy. Phase 2: allgather —
+  // fully-reduced chunk (p + 1) starts at position p and circulates;
+  // receives overwrite.
+  for (int step = 0; step < 2 * steps; ++step) {
+    const int scatter_step = step < steps ? step : step - steps - 1;
+    const bool reduce = step < steps;
+    for (int position = 0; position < nranks; ++position) {
+      const int src = order[static_cast<std::size_t>(position)];
+      const int dst = order[static_cast<std::size_t>((position + 1) % nranks)];
+      const auto [offset, size] = parts[chunk_of(position, scatter_step)];
+      if (reduce) {
+        graph.reduce(src, dst, step_base + step, base + offset, size);
+      } else {
+        graph.copy(src, dst, step_base + step, base + offset, size);
+      }
     }
   }
+}
 
-  // Phase 2: allgather. Fully-reduced chunk (r + 1) starts at rank r and
-  // circulates; receives overwrite.
-  for (int step = 0; step < steps; ++step) {
-    for (int rank = 0; rank < nranks; ++rank) {
-      const int right = (rank + 1) % nranks;
-      const auto [offset, size] = parts[chunk_of(rank, step - 1)];
-      schedule.programs[static_cast<std::size_t>(rank)].send(right, steps + step, offset, size);
-    }
-    for (int rank = 0; rank < nranks; ++rank) {
-      const int left = (rank - 1 + nranks) % nranks;
-      const auto [offset, size] = parts[chunk_of(left, step - 1)];
-      schedule.programs[static_cast<std::size_t>(rank)].recv(left, steps + step, offset, size);
-    }
-  }
+Schedule reduce_bcast_fallback(const char* name, int nranks, std::size_t count) {
+  Schedule schedule = binomial_reduce(nranks, 0, count);
+  schedule.name = name;
+  schedule.kind = CollectiveKind::Allreduce;
+  std::vector<int> identity(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) identity[static_cast<std::size_t>(r)] = r;
+  append_subschedule(schedule, binomial_bcast(nranks, 0, count), identity,
+                     max_tag(schedule) + 1);
   return schedule;
+}
+
+}  // namespace detail
+
+Schedule ring_allreduce(int nranks, std::size_t count) {
+  // One chunk per rank is intrinsic to the ring; when the buffer is too
+  // small to give every rank a chunk, fall back to reduce+bcast instead of
+  // silently aliasing chunks (as real runtimes do for tiny messages).
+  if (nranks > 1 && count < static_cast<std::size_t>(nranks)) {
+    return detail::reduce_bcast_fallback("ring_allreduce_fallback", nranks, count);
+  }
+  ScheduleGraph graph("ring_allreduce", CollectiveKind::Allreduce, nranks, 0, count);
+  if (nranks > 1) {
+    std::vector<int> order(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) order[static_cast<std::size_t>(r)] = r;
+    detail::emit_ring_allreduce(graph, order, 0, count, 0);
+  }
+  return graph.compile();
 }
 
 Schedule reduce_bcast_allreduce(int nranks, std::size_t count, int chain_size, LevelAlgo lower,

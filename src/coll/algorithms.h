@@ -66,6 +66,8 @@ Schedule reduce_bcast_allreduce(int nranks, std::size_t count, int chain_size, L
 /// Human-readable name like "CB-8" / "CC-4" used in Figure 11's legend.
 std::string combo_name(LevelAlgo lower, LevelAlgo upper, int chain_size);
 
+class ScheduleGraph;
+
 namespace detail {
 /// Largest tag used anywhere in a schedule (for tag-space composition).
 int max_tag(const Schedule& schedule);
@@ -73,6 +75,15 @@ int max_tag(const Schedule& schedule);
 /// and offsetting tags by tag_base. Returns the next free tag.
 int append_subschedule(Schedule& dst, const Schedule& sub, const std::vector<int>& rank_map,
                        int tag_base);
+/// Emits one ring allreduce (reduce-scatter + allgather) over `order` into
+/// `graph`, restricted to the buffer window [base, base+window); the window
+/// must span at least order.size() elements. `step_base` offsets the
+/// pipeline wavefront so segmented callers can overlap windows.
+void emit_ring_allreduce(ScheduleGraph& graph, const std::vector<int>& order, std::size_t base,
+                         std::size_t window, int step_base);
+/// Binomial reduce-to-0 + bcast-from-0 composed as one Allreduce schedule —
+/// the graceful fallback when a ring cannot segment the buffer.
+Schedule reduce_bcast_fallback(const char* name, int nranks, std::size_t count);
 }  // namespace detail
 
 }  // namespace scaffe::coll

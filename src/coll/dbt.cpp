@@ -1,0 +1,260 @@
+#include "coll/dbt.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coll/algorithms.h"
+#include "coll/schedule_graph.h"
+
+namespace scaffe::coll {
+
+namespace detail {
+
+namespace {
+
+/// In-order binary tree over [lo, hi]: the subtree root sits at lo + 2^k - 1
+/// for the largest 2^k <= size, giving a perfect left subtree. Interior
+/// nodes land on odd offsets, leaves on even ones.
+void build_inorder(int lo, int hi, int parent, std::vector<int>& par) {
+  if (lo > hi) return;
+  const int size = hi - lo + 1;
+  int power = 1;
+  while (power * 2 <= size) power *= 2;
+  const int root = lo + power - 1;
+  par[static_cast<std::size_t>(root)] = parent;
+  build_inorder(lo, root - 1, root, par);
+  build_inorder(root + 1, hi, root, par);
+}
+
+}  // namespace
+
+DoubleTree build_double_tree(int nranks) {
+  assert(nranks >= 1);
+  DoubleTree tree;
+  tree.parent0.assign(static_cast<std::size_t>(nranks), -1);
+  tree.parent1.assign(static_cast<std::size_t>(nranks), -1);
+  build_inorder(0, nranks - 1, -1, tree.parent0);
+
+  // Tree 1 must make tree 0's leaves (even ranks) interior. Mirroring
+  // achieves that when nranks is even (parity flips); for odd counts the
+  // mirror preserves parity, so shift the whole tree by one instead.
+  const bool mirror = nranks % 2 == 0;
+  for (int r = 0; r < nranks; ++r) {
+    const int parent = tree.parent0[static_cast<std::size_t>(r)];
+    if (mirror) {
+      tree.parent1[static_cast<std::size_t>(nranks - 1 - r)] =
+          parent < 0 ? -1 : nranks - 1 - parent;
+    } else {
+      tree.parent1[static_cast<std::size_t>((r + 1) % nranks)] =
+          parent < 0 ? -1 : (parent + 1) % nranks;
+    }
+  }
+  for (int r = 0; r < nranks; ++r) {
+    if (tree.parent0[static_cast<std::size_t>(r)] < 0) tree.root0 = r;
+    if (tree.parent1[static_cast<std::size_t>(r)] < 0) tree.root1 = r;
+  }
+  return tree;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Height above the deepest leaf: 0 for leaves, 1 + max(children) otherwise.
+std::vector<int> tree_heights(const std::vector<int>& parent) {
+  const int n = static_cast<int>(parent.size());
+  std::vector<int> height(static_cast<std::size_t>(n), 0);
+  // Repeated relaxation is fine at log-depth trees: order ranks by depth.
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < n; ++r) {
+    int d = 0;
+    for (int cur = r; parent[static_cast<std::size_t>(cur)] >= 0;
+         cur = parent[static_cast<std::size_t>(cur)])
+      ++d;
+    depth[static_cast<std::size_t>(r)] = d;
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return depth[static_cast<std::size_t>(a)] > depth[b]; });
+  for (int r : order) {
+    const int p = parent[static_cast<std::size_t>(r)];
+    if (p >= 0) {
+      height[static_cast<std::size_t>(p)] =
+          std::max(height[static_cast<std::size_t>(p)], height[static_cast<std::size_t>(r)] + 1);
+    }
+  }
+  return height;
+}
+
+std::vector<int> tree_depths(const std::vector<int>& parent) {
+  const int n = static_cast<int>(parent.size());
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < n; ++r) {
+    int d = 0;
+    for (int cur = r; parent[static_cast<std::size_t>(cur)] >= 0;
+         cur = parent[static_cast<std::size_t>(cur)])
+      ++d;
+    depth[static_cast<std::size_t>(r)] = d;
+  }
+  return depth;
+}
+
+int pick_chunks(std::size_t half_count, int chunks) {
+  if (chunks > 0) return chunks;
+  // ~1 chunk per 512 KiB of the half-buffer, clamped — the same adaptive
+  // policy the tuner applies to chain pipelining.
+  const std::size_t bytes = half_count * sizeof(float);
+  return static_cast<int>(std::clamp<std::size_t>(bytes / (512 * 1024), 8, 64));
+}
+
+struct DbtPlan {
+  detail::DoubleTree tree;
+  std::vector<std::pair<std::size_t, std::size_t>> halves;  // (offset, count) per tree
+  int max_height = 0;
+  int stride = 0;  // per-chunk step stride covering both phases' depth
+};
+
+DbtPlan make_plan(int nranks, std::size_t count) {
+  DbtPlan plan;
+  plan.tree = detail::build_double_tree(nranks);
+  const std::size_t half = count / 2;
+  plan.halves = {{0, half}, {half, count - half}};
+  const auto h0 = tree_heights(plan.tree.parent0);
+  const auto h1 = tree_heights(plan.tree.parent1);
+  plan.max_height = std::max(*std::max_element(h0.begin(), h0.end()),
+                             *std::max_element(h1.begin(), h1.end()));
+  plan.stride = plan.max_height + 3;  // heights, plus a root hop, plus slack
+  return plan;
+}
+
+/// Reduce one tree's half up to its tree root; when `to_relative0` is set,
+/// the tree root forwards each reduced chunk to relative rank 0.
+void emit_tree_reduce(ScheduleGraph& graph, const std::vector<int>& parent, int tree_root,
+                      const std::vector<int>& actual, std::size_t offset, std::size_t count,
+                      int chunks, int stride, int step_base, bool to_relative0) {
+  if (count == 0) return;
+  const int nranks = static_cast<int>(parent.size());
+  const auto heights = tree_heights(parent);
+  const auto parts = partition_chunks(count, chunks);
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    const int chunk_base = step_base + static_cast<int>(c) * stride;
+    const auto [part_offset, part_count] = parts[c];
+    for (int r = 0; r < nranks; ++r) {
+      const int p = parent[static_cast<std::size_t>(r)];
+      if (p < 0) continue;
+      // A rank folds in all children of chunk c at step h(rank), then sends
+      // the chunk upward at step h(parent) > h(rank).
+      graph.reduce(actual[static_cast<std::size_t>(r)], actual[static_cast<std::size_t>(p)],
+                   chunk_base + heights[static_cast<std::size_t>(p)], offset + part_offset,
+                   part_count);
+    }
+    if (to_relative0 && tree_root != 0) {
+      // Overwrite, not accumulate: the tree sum already contains relative
+      // rank 0's own contribution (it fed its chunk in as a tree node).
+      graph.copy(actual[static_cast<std::size_t>(tree_root)], actual[0],
+                 chunk_base + heights[static_cast<std::size_t>(tree_root)] + 1,
+                 offset + part_offset, part_count);
+    }
+  }
+}
+
+/// Broadcast one tree's half down from its tree root; when `from_relative0`
+/// is set, relative rank 0 first feeds each chunk to the tree root.
+void emit_tree_bcast(ScheduleGraph& graph, const std::vector<int>& parent, int tree_root,
+                     const std::vector<int>& actual, std::size_t offset, std::size_t count,
+                     int chunks, int stride, int step_base, bool from_relative0) {
+  if (count == 0) return;
+  const int nranks = static_cast<int>(parent.size());
+  const auto depths = tree_depths(parent);
+  const auto parts = partition_chunks(count, chunks);
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    const int chunk_base = step_base + static_cast<int>(c) * stride;
+    const auto [part_offset, part_count] = parts[c];
+    if (from_relative0 && tree_root != 0) {
+      graph.copy(actual[0], actual[static_cast<std::size_t>(tree_root)], chunk_base,
+                 offset + part_offset, part_count);
+    }
+    for (int r = 0; r < nranks; ++r) {
+      const int p = parent[static_cast<std::size_t>(r)];
+      if (p < 0) continue;
+      graph.copy(actual[static_cast<std::size_t>(p)], actual[static_cast<std::size_t>(r)],
+                 chunk_base + 1 + depths[static_cast<std::size_t>(r)], offset + part_offset,
+                 part_count);
+    }
+  }
+}
+
+std::vector<int> relative_to_actual(int nranks, int root) {
+  std::vector<int> actual(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) actual[static_cast<std::size_t>(r)] = (r + root) % nranks;
+  return actual;
+}
+
+}  // namespace
+
+Schedule dbt_reduce(int nranks, int root, std::size_t count, int chunks) {
+  if (nranks > 1 && count < 2) return binomial_reduce(nranks, root, count);
+  ScheduleGraph graph("dbt_reduce", CollectiveKind::Reduce, nranks, root, count);
+  if (nranks > 1) {
+    const DbtPlan plan = make_plan(nranks, count);
+    const auto actual = relative_to_actual(nranks, root);
+    const int n = pick_chunks(plan.halves[0].second, chunks);
+    emit_tree_reduce(graph, plan.tree.parent0, plan.tree.root0, actual, plan.halves[0].first,
+                     plan.halves[0].second, n, plan.stride, 0, /*to_relative0=*/true);
+    emit_tree_reduce(graph, plan.tree.parent1, plan.tree.root1, actual, plan.halves[1].first,
+                     plan.halves[1].second, n, plan.stride, 0, /*to_relative0=*/true);
+  }
+  return graph.compile();
+}
+
+Schedule dbt_bcast(int nranks, int root, std::size_t count, int chunks) {
+  if (nranks > 1 && count < 2) return binomial_bcast(nranks, root, count);
+  ScheduleGraph graph("dbt_bcast", CollectiveKind::Bcast, nranks, root, count);
+  if (nranks > 1) {
+    const DbtPlan plan = make_plan(nranks, count);
+    const auto actual = relative_to_actual(nranks, root);
+    const int n = pick_chunks(plan.halves[0].second, chunks);
+    emit_tree_bcast(graph, plan.tree.parent0, plan.tree.root0, actual, plan.halves[0].first,
+                    plan.halves[0].second, n, plan.stride, 0, /*from_relative0=*/true);
+    emit_tree_bcast(graph, plan.tree.parent1, plan.tree.root1, actual, plan.halves[1].first,
+                    plan.halves[1].second, n, plan.stride, 0, /*from_relative0=*/true);
+  }
+  return graph.compile();
+}
+
+Schedule dbt_allreduce(int nranks, std::size_t count, int chunks) {
+  if (nranks > 1 && count < 2) {
+    Schedule schedule = binomial_reduce(nranks, 0, count);
+    schedule.name = "dbt_allreduce_fallback";
+    schedule.kind = CollectiveKind::Allreduce;
+    std::vector<int> identity(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) identity[static_cast<std::size_t>(r)] = r;
+    detail::append_subschedule(schedule, binomial_bcast(nranks, 0, count), identity,
+                               detail::max_tag(schedule) + 1);
+    return schedule;
+  }
+  ScheduleGraph graph("dbt_allreduce", CollectiveKind::Allreduce, nranks, 0, count);
+  if (nranks > 1) {
+    const DbtPlan plan = make_plan(nranks, count);
+    const auto actual = relative_to_actual(nranks, 0);
+    const int n = pick_chunks(plan.halves[0].second, chunks);
+    // Reduce up to the tree roots (no extra hop), then broadcast each chunk
+    // back down the same trees. The bcast of chunk c starts right after its
+    // own reduce reaches the tree root (step offset max_height + 1), so the
+    // down-phase pipelines behind the up-phase instead of waiting for every
+    // chunk to finish reducing.
+    const int bcast_base = plan.max_height + 1;
+    emit_tree_reduce(graph, plan.tree.parent0, plan.tree.root0, actual, plan.halves[0].first,
+                     plan.halves[0].second, n, plan.stride, 0, /*to_relative0=*/false);
+    emit_tree_reduce(graph, plan.tree.parent1, plan.tree.root1, actual, plan.halves[1].first,
+                     plan.halves[1].second, n, plan.stride, 0, /*to_relative0=*/false);
+    emit_tree_bcast(graph, plan.tree.parent0, plan.tree.root0, actual, plan.halves[0].first,
+                    plan.halves[0].second, n, plan.stride, bcast_base, /*from_relative0=*/false);
+    emit_tree_bcast(graph, plan.tree.parent1, plan.tree.root1, actual, plan.halves[1].first,
+                    plan.halves[1].second, n, plan.stride, bcast_base, /*from_relative0=*/false);
+  }
+  return graph.compile();
+}
+
+}  // namespace scaffe::coll

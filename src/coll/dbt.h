@@ -1,0 +1,48 @@
+// Double-binary-tree collectives (the NCCL-era tree schedule).
+//
+// Two complementary in-order binary trees are built over the relative ranks;
+// each tree carries half of the payload, pipelined in chunks. Every rank is
+// interior in at most one tree (tree 1 is the mirror image of tree 0 for
+// even rank counts, its cyclic shift for odd), so at steady state each rank
+// receives one half while sending the other — full bidirectional link
+// utilization, where a single tree would leave every leaf's uplink idle.
+// Depth is log2(P) as with the binomial tree, but the chunk pipeline means
+// total time approaches bytes/bandwidth instead of log2(P) * bytes/bandwidth:
+// the schedule that overtakes CB-k/CC-k hierarchies at 512+ ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+/// Reduce to `root`, both halves pipelined in `chunks` pieces per tree
+/// (chunks <= 0 picks an adaptive count). Buffers with fewer than 2 elements
+/// fall back to a binomial tree.
+Schedule dbt_reduce(int nranks, int root, std::size_t count, int chunks = 0);
+
+/// Broadcast from `root` — the mirror of the reduce.
+Schedule dbt_bcast(int nranks, int root, std::size_t count, int chunks = 0);
+
+/// Allreduce: reduce up each tree to its tree root, then broadcast back down
+/// the same trees; no extra hop through a global root.
+Schedule dbt_allreduce(int nranks, std::size_t count, int chunks = 0);
+
+namespace detail {
+
+/// The two complementary in-order trees over ranks 0..nranks-1; parent of
+/// the tree root is -1. Rank 0 is never interior in tree 0.
+struct DoubleTree {
+  std::vector<int> parent0;
+  std::vector<int> parent1;
+  int root0 = 0;
+  int root1 = 0;
+};
+
+DoubleTree build_double_tree(int nranks);
+
+}  // namespace detail
+
+}  // namespace scaffe::coll

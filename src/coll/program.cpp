@@ -32,6 +32,11 @@ std::string validate_structure(const Schedule& schedule) {
             << ") outside buffer of " << schedule.count;
         return err.str();
       }
+      if (op.tag < 0 || op.tag >= kMaxScheduleTags) {
+        err << "rank " << rank << ": tag " << op.tag << " outside the per-collective budget [0, "
+            << kMaxScheduleTags << ")";
+        return err.str();
+      }
       if (op.kind == OpKind::Send) {
         sends[{rank, op.peer, op.tag}].push_back(op.count);
       } else {

@@ -19,6 +19,14 @@
 
 namespace scaffe::coll {
 
+/// Tag budget for one schedule. The scmpi runtime gives every collective call
+/// a private tag window of exactly this size (one stride of its 256-slot tag
+/// ring, kCollTagStride in mpi/comm.cpp), so a schedule whose tags reach this
+/// value would alias the next collective's window. The schedule compiler
+/// numbers tags per (src, dst) pair precisely to stay far below this bound
+/// even for 1024-rank rings and trees; validate_structure() enforces it.
+inline constexpr int kMaxScheduleTags = 1 << 20;
+
 enum class OpKind {
   Send,        // send my working buffer [offset, offset+count) to peer
   Recv,        // receive into [offset, offset+count), overwriting
@@ -75,9 +83,10 @@ struct Schedule {
   }
 };
 
-/// Structural checks: peers in range, offsets within buffer, every Send has
-/// exactly one matching Recv/RecvReduce with identical (tag, count), and no
-/// self-sends. Returns an empty string when valid, else a diagnostic.
+/// Structural checks: peers in range, offsets within buffer, tags inside the
+/// per-collective budget, every Send has exactly one matching
+/// Recv/RecvReduce with identical (tag, count), and no self-sends. Returns
+/// an empty string when valid, else a diagnostic.
 std::string validate_structure(const Schedule& schedule);
 
 /// Length of the run of consecutive Send ops starting at `start` that all

@@ -1,0 +1,105 @@
+#include "coll/schedule_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace scaffe::coll {
+
+ScheduleGraph::ScheduleGraph(std::string name, CollectiveKind kind, int nranks, int root,
+                             std::size_t count)
+    : name_(std::move(name)), kind_(kind), nranks_(nranks), root_(root), count_(count) {}
+
+void ScheduleGraph::copy(int src, int dst, int step, std::size_t offset, std::size_t count) {
+  edges_.push_back(GraphEdge{src, dst, /*reduce=*/false, offset, count, step});
+}
+
+void ScheduleGraph::reduce(int src, int dst, int step, std::size_t offset, std::size_t count) {
+  edges_.push_back(GraphEdge{src, dst, /*reduce=*/true, offset, count, step});
+}
+
+Schedule ScheduleGraph::compile() const {
+  Schedule schedule;
+  schedule.name = name_;
+  schedule.kind = kind_;
+  schedule.nranks = nranks_;
+  schedule.root = root_;
+  schedule.count = count_;
+  schedule.programs.resize(static_cast<std::size_t>(nranks_));
+
+  for (const GraphEdge& edge : edges_) {
+    if (edge.src < 0 || edge.src >= nranks_ || edge.dst < 0 || edge.dst >= nranks_) {
+      std::ostringstream err;
+      err << "schedule graph '" << name_ << "': edge " << edge.src << "->" << edge.dst
+          << " out of range for " << nranks_ << " ranks";
+      throw std::invalid_argument(err.str());
+    }
+    if (edge.src == edge.dst) {
+      std::ostringstream err;
+      err << "schedule graph '" << name_ << "': self-edge at rank " << edge.src;
+      throw std::invalid_argument(err.str());
+    }
+    if (edge.count == 0 || edge.offset + edge.count > count_) {
+      std::ostringstream err;
+      err << "schedule graph '" << name_ << "': edge region [" << edge.offset << ", "
+          << edge.offset + edge.count << ") outside buffer of " << count_;
+      throw std::invalid_argument(err.str());
+    }
+  }
+
+  // Canonical edge order: (step, emission). Tags and both sides' program
+  // positions derive from this one order, so for any (src, dst) pair the
+  // sender issues and the receiver consumes edges in the same sequence —
+  // per-pair tag numbering then matches the transport's per-edge FIFO.
+  std::vector<std::size_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges_[a].step < edges_[b].step;
+  });
+
+  std::map<std::pair<int, int>, int> pair_tags;
+  struct Slot {
+    int step;
+    int phase;  // 0 = send, 1 = receive: step-s sends precede step-s receives
+    std::size_t seq;
+    Op op;
+  };
+  std::vector<std::vector<Slot>> slots(static_cast<std::size_t>(nranks_));
+
+  for (std::size_t seq = 0; seq < order.size(); ++seq) {
+    const GraphEdge& edge = edges_[order[seq]];
+    int& next_tag = pair_tags[{edge.src, edge.dst}];
+    const int tag = next_tag++;
+    if (tag >= kMaxScheduleTags) {
+      std::ostringstream err;
+      err << "schedule graph '" << name_ << "': pair " << edge.src << "->" << edge.dst
+          << " needs more than " << kMaxScheduleTags
+          << " tags; one collective owns one tag stride";
+      throw std::invalid_argument(err.str());
+    }
+    slots[static_cast<std::size_t>(edge.src)].push_back(
+        Slot{edge.step, 0, seq, Op{OpKind::Send, edge.dst, tag, edge.offset, edge.count}});
+    slots[static_cast<std::size_t>(edge.dst)].push_back(
+        Slot{edge.step, 1, seq,
+             Op{edge.reduce ? OpKind::RecvReduce : OpKind::Recv, edge.src, tag, edge.offset,
+                edge.count}});
+  }
+
+  for (int rank = 0; rank < nranks_; ++rank) {
+    auto& rank_slots = slots[static_cast<std::size_t>(rank)];
+    std::sort(rank_slots.begin(), rank_slots.end(), [](const Slot& a, const Slot& b) {
+      if (a.step != b.step) return a.step < b.step;
+      if (a.phase != b.phase) return a.phase < b.phase;
+      return a.seq < b.seq;
+    });
+    Program& program = schedule.programs[static_cast<std::size_t>(rank)];
+    program.ops.reserve(rank_slots.size());
+    for (const Slot& slot : rank_slots) program.ops.push_back(slot.op);
+  }
+  return schedule;
+}
+
+}  // namespace scaffe::coll

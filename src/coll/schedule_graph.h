@@ -1,0 +1,79 @@
+// Declarative schedule compiler.
+//
+// A ScheduleGraph describes a collective as a set of *chunked edges*: "rank
+// src transfers buffer region [offset, offset+count) to rank dst at logical
+// step s, overwriting (copy) or accumulating (reduce)". Generators emit edges
+// over whatever structure they like — logical rings, k-ary / binomial /
+// in-order binary trees, pipelines — and compile() lowers the edge set to the
+// per-rank sequential `Schedule` representation that all three executors
+// (logical, threaded, DES) consume. One description, every backend.
+//
+// The compiler owns the two error-prone parts of schedule generation:
+//
+//  - Tag assignment. Each directed (src, dst) pair gets a private tag
+//    sequence 0, 1, 2, ... in step order, so tags stay dense no matter how
+//    large the schedule is. A 1024-rank segmented ring has ~2M edges but a
+//    per-pair maximum of a few thousand, comfortably inside the scmpi
+//    per-collective tag stride (kMaxScheduleTags); globally-unique tags
+//    would overflow it.
+//  - Program ordering. Each rank's ops are sorted by (step, sends before
+//    receives within a step, emission order). Sends of step s may therefore
+//    be issued before any receive of step s completes.
+//
+// Generator contract: an edge leaving `src` at step s may depend only on
+// edges *into* `src` at steps strictly less than s. Under that contract the
+// emitted programs are deadlock-free under in-order eager delivery (which
+// `run_logical` verifies by construction for every schedule in the tests),
+// and the per-rank accumulation order — hence the bitwise result — is fully
+// determined by the step numbering.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coll/program.h"
+
+namespace scaffe::coll {
+
+/// One chunked transfer. `reduce` selects RecvReduce (accumulate) over Recv
+/// (overwrite) on the destination side.
+struct GraphEdge {
+  int src = -1;
+  int dst = -1;
+  bool reduce = false;
+  std::size_t offset = 0;
+  std::size_t count = 0;
+  int step = 0;
+};
+
+class ScheduleGraph {
+ public:
+  ScheduleGraph(std::string name, CollectiveKind kind, int nranks, int root, std::size_t count);
+
+  /// Emits a copy edge: dst overwrites [offset, offset+count) with src's data.
+  void copy(int src, int dst, int step, std::size_t offset, std::size_t count);
+
+  /// Emits a reduce edge: dst accumulates src's [offset, offset+count).
+  void reduce(int src, int dst, int step, std::size_t offset, std::size_t count);
+
+  int nranks() const noexcept { return nranks_; }
+  std::size_t count() const noexcept { return count_; }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Lowers the edge set to per-rank programs: assigns per-(src, dst) tag
+  /// sequences and orders each rank's ops by (step, sends-first, emission).
+  /// Throws std::invalid_argument on malformed edges (peer out of range,
+  /// self-edge, region outside the buffer) or a tag-budget overflow.
+  Schedule compile() const;
+
+ private:
+  std::string name_;
+  CollectiveKind kind_;
+  int nranks_;
+  int root_;
+  std::size_t count_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace scaffe::coll

@@ -34,7 +34,7 @@ struct SimContext {
   net::Topology topo;
   Engine& engine;
   std::vector<std::unique_ptr<sim::Channel<Msg>>> channels;  // dense (src,dst)
-  std::vector<std::unique_ptr<sim::Resource>> node_nic;      // per node, cap 1
+  std::vector<std::unique_ptr<sim::Resource>> node_nic;      // per node, cap ib_rails
   std::vector<std::unique_ptr<sim::Resource>> node_pcie;     // per node, cap K
   std::vector<TimeNs> rank_finish;
   bool capture_trace = false;
@@ -146,7 +146,8 @@ SimResult simulate_schedule(const Schedule& schedule, const net::ClusterSpec& cl
 
   const auto nodes = static_cast<std::size_t>(ctx.topo.nodes_used());
   for (std::size_t n = 0; n < nodes; ++n) {
-    ctx.node_nic.push_back(std::make_unique<sim::Resource>(engine, 1));
+    ctx.node_nic.push_back(
+        std::make_unique<sim::Resource>(engine, std::max(cluster.ib_rails, 1)));
     ctx.node_pcie.push_back(
         std::make_unique<sim::Resource>(engine, cluster.pcie_concurrency));
   }

@@ -1,0 +1,99 @@
+#include "coll/topo_ring.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coll/algorithms.h"
+#include "coll/schedule_graph.h"
+
+namespace scaffe::coll {
+
+std::vector<int> topology_ring_order(const net::Topology& topo, int first) {
+  const int nranks = topo.nranks();
+  std::vector<int> order(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) order[static_cast<std::size_t>(r)] = r;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (topo.node_of(a) != topo.node_of(b)) return topo.node_of(a) < topo.node_of(b);
+    return topo.local_gpu_of(a) < topo.local_gpu_of(b);
+  });
+  const auto at = std::find(order.begin(), order.end(), first);
+  assert(at != order.end());
+  std::rotate(order.begin(), at, order.end());
+  return order;
+}
+
+Schedule topo_ring_reduce(const net::Topology& topo, int root, std::size_t count, int chunks) {
+  const int nranks = topo.nranks();
+  ScheduleGraph graph("topo_ring_reduce", CollectiveKind::Reduce, nranks, root, count);
+  if (nranks > 1) {
+    // The ring opened at the root is the chain: chunks stream from the ring's
+    // far end through every rank back to the root, one locality-ordered hop
+    // at a time.
+    const auto order = topology_ring_order(topo, root);
+    const auto parts = partition_chunks(count, chunks);
+    for (std::size_t c = 0; c < parts.size(); ++c) {
+      const auto [offset, size] = parts[c];
+      for (int position = nranks - 1; position >= 1; --position) {
+        const int step = static_cast<int>(c) + (nranks - 1 - position);
+        graph.reduce(order[static_cast<std::size_t>(position)],
+                     order[static_cast<std::size_t>(position - 1)], step, offset, size);
+      }
+    }
+  }
+  return graph.compile();
+}
+
+Schedule topo_ring_bcast(const net::Topology& topo, int root, std::size_t count, int chunks) {
+  const int nranks = topo.nranks();
+  ScheduleGraph graph("topo_ring_bcast", CollectiveKind::Bcast, nranks, root, count);
+  if (nranks > 1) {
+    const auto order = topology_ring_order(topo, root);
+    const auto parts = partition_chunks(count, chunks);
+    for (std::size_t c = 0; c < parts.size(); ++c) {
+      const auto [offset, size] = parts[c];
+      for (int position = 0; position + 1 < nranks; ++position) {
+        graph.copy(order[static_cast<std::size_t>(position)],
+                   order[static_cast<std::size_t>(position + 1)],
+                   static_cast<int>(c) + position, offset, size);
+      }
+    }
+  }
+  return graph.compile();
+}
+
+Schedule topo_ring_allreduce(const net::Topology& topo, std::size_t count,
+                             std::size_t segment_bytes) {
+  const int nranks = topo.nranks();
+  if (nranks > 1 && count < static_cast<std::size_t>(nranks)) {
+    return detail::reduce_bcast_fallback("topo_ring_allreduce_fallback", nranks, count);
+  }
+  ScheduleGraph graph("topo_ring_allreduce", CollectiveKind::Allreduce, nranks, 0, count);
+  if (nranks > 1) {
+    const auto order = topology_ring_order(topo, 0);
+
+    // Segment count: target `segment_bytes` per segment, capped at 8 and by
+    // an op budget (~6M edges) so 1024-rank simulated rings stay tractable,
+    // and floored so every segment still spans the whole ring.
+    std::size_t segments = 1;
+    if (segment_bytes > 0) {
+      segments = (count * sizeof(float) + segment_bytes - 1) / segment_bytes;
+    }
+    const std::size_t ring_edges =
+        2 * static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks - 1);
+    const std::size_t budget_cap = std::max<std::size_t>(6'000'000 / std::max<std::size_t>(ring_edges, 1), 1);
+    segments = std::clamp<std::size_t>(segments, 1,
+                                       std::min({std::size_t{8}, budget_cap,
+                                                 count / static_cast<std::size_t>(nranks)}));
+
+    const auto windows = partition_chunks(count, static_cast<int>(segments));
+    for (std::size_t s = 0; s < windows.size(); ++s) {
+      // step_base = s: segment s+1's reduce-scatter rides one step behind
+      // segment s, so the ring pipeline never drains between segments.
+      detail::emit_ring_allreduce(graph, order, windows[s].first, windows[s].second,
+                                  static_cast<int>(s));
+    }
+  }
+  return graph.compile();
+}
+
+}  // namespace scaffe::coll

@@ -1,0 +1,39 @@
+// Topology-aware ring collectives.
+//
+// The ring is ordered by net::Topology locality — ranks sorted by (node,
+// local GPU) — so consecutive hops stay on fast intra-node links (PCIe
+// P2P / NVLink) and each node pays exactly one inter-node uplink per
+// direction, instead of the rank-id ring's accidental node crossings. The
+// allreduce additionally splits the buffer into segments (sized from the
+// tuning table / measured eager limit) and pipelines them, so the first
+// segment's allgather overlaps the next segment's reduce-scatter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coll/program.h"
+#include "net/topology.h"
+
+namespace scaffe::coll {
+
+/// Ranks in ring order: sorted by (node, local GPU), rotated so `first`
+/// leads. Block placement makes this the identity rotation, but deriving it
+/// from the topology keeps the schedule correct under any placement.
+std::vector<int> topology_ring_order(const net::Topology& topo, int first = 0);
+
+/// Pipelined chain reduce over the topology ring, ending at `root`.
+Schedule topo_ring_reduce(const net::Topology& topo, int root, std::size_t count, int chunks);
+
+/// Pipelined chain broadcast over the topology ring, starting at `root`.
+Schedule topo_ring_bcast(const net::Topology& topo, int root, std::size_t count, int chunks);
+
+/// Segmented ring allreduce: reduce-scatter + allgather per segment over the
+/// topology ring, segments pipelined. `segment_bytes` targets the per-segment
+/// payload (0 = one segment); the segment count is additionally capped so
+/// giant simulated rings keep a bounded op count. Buffers smaller than the
+/// ring fall back to reduce+bcast.
+Schedule topo_ring_allreduce(const net::Topology& topo, std::size_t count,
+                             std::size_t segment_bytes = 0);
+
+}  // namespace scaffe::coll

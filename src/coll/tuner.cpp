@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "coll/dbt.h"
 #include "coll/sim_executor.h"
 
 namespace scaffe::coll {
@@ -23,6 +24,7 @@ Schedule Candidate::make_reduce(int nranks, std::size_t count) const {
   const int n = chunks > 0 ? chunks : adaptive_chunks(count);
   if (flat_binomial) return binomial_reduce(nranks, 0, count);
   if (flat_chain) return chain_reduce(nranks, 0, count, n);
+  if (dbt) return dbt_reduce(nranks, 0, count, chunks);
   return hierarchical_reduce(nranks, count, chain_size, lower, upper, n);
 }
 
@@ -49,6 +51,13 @@ Candidate Candidate::hier(LevelAlgo lower, LevelAlgo upper, int chain_size) {
   return c;
 }
 
+Candidate Candidate::dbt_cand() {
+  Candidate c;
+  c.name = "DBT";
+  c.dbt = true;
+  return c;
+}
+
 std::vector<Candidate> default_candidates() {
   std::vector<Candidate> candidates;
   candidates.push_back(Candidate::binomial());
@@ -57,6 +66,12 @@ std::vector<Candidate> default_candidates() {
     candidates.push_back(Candidate::hier(LevelAlgo::Chain, LevelAlgo::Binomial, k));
     candidates.push_back(Candidate::hier(LevelAlgo::Chain, LevelAlgo::Chain, k));
   }
+  return candidates;
+}
+
+std::vector<Candidate> extended_candidates() {
+  std::vector<Candidate> candidates = default_candidates();
+  candidates.push_back(Candidate::dbt_cand());
   return candidates;
 }
 
@@ -96,7 +111,7 @@ TuningTable hr_tune(const net::ClusterSpec& cluster, int nranks, const ExecPolic
     util::TimeNs best = std::numeric_limits<util::TimeNs>::max();
     const Candidate* winner = nullptr;
     for (const Candidate& candidate : candidates) {
-      if (!candidate.flat_binomial && !candidate.flat_chain &&
+      if (!candidate.flat_binomial && !candidate.flat_chain && !candidate.dbt &&
           candidate.chain_size >= nranks) {
         continue;  // degenerate hierarchy: a single group
       }

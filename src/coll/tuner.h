@@ -25,6 +25,7 @@ struct Candidate {
   std::string name;
   bool flat_binomial = false;
   bool flat_chain = false;
+  bool dbt = false;  // double binary tree (two complementary half-payload trees)
   int chain_size = 8;
   LevelAlgo lower = LevelAlgo::Chain;
   LevelAlgo upper = LevelAlgo::Binomial;
@@ -35,10 +36,15 @@ struct Candidate {
   static Candidate binomial();
   static Candidate flat_chain_cand();
   static Candidate hier(LevelAlgo lower, LevelAlgo upper, int chain_size);
+  static Candidate dbt_cand();
 };
 
 /// The default sweep set: Bin, C, CB-{4,8,16}, CC-{4,8,16}.
 std::vector<Candidate> default_candidates();
+
+/// default_candidates() plus the post-paper schedules (DBT) — the sweep set
+/// behind SCAFFE_COLL_ALGO=tuned and the scale-out crossover figures.
+std::vector<Candidate> extended_candidates();
 
 /// Size-ranged winner table (ascending max_bytes; last entry is open-ended).
 struct TuningEntry {

@@ -1,0 +1,132 @@
+#include "core/coll_select.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "mpi/world.h"
+
+namespace scaffe::core {
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return text;
+}
+
+/// "cb-16" -> (true, 16); "cb" -> (true, 8); anything else -> (false, _).
+bool parse_hier(const std::string& text, const std::string& prefix, int& chain_size) {
+  if (text == prefix) {
+    chain_size = 8;
+    return true;
+  }
+  if (text.size() > prefix.size() + 1 && text.compare(0, prefix.size(), prefix) == 0 &&
+      text[prefix.size()] == '-') {
+    const std::string digits = text.substr(prefix.size() + 1);
+    if (digits.empty() ||
+        !std::all_of(digits.begin(), digits.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      return false;
+    }
+    const long value = std::strtol(digits.c_str(), nullptr, 10);
+    if (value < 2 || value > 1024) return false;
+    chain_size = static_cast<int>(value);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* coll_algo_name(CollAlgo algo) noexcept {
+  switch (algo) {
+    case CollAlgo::Config: return "config";
+    case CollAlgo::Tuned: return "tuned";
+    case CollAlgo::Binomial: return "binomial";
+    case CollAlgo::Chain: return "chain";
+    case CollAlgo::CB: return "cb";
+    case CollAlgo::CC: return "cc";
+    case CollAlgo::Dbt: return "dbt";
+    case CollAlgo::Ring: return "ring";
+    case CollAlgo::TopoRing: return "topo-ring";
+  }
+  return "?";
+}
+
+CollAlgoChoice coll_algo_from_env() {
+  CollAlgoChoice choice;
+  const char* raw = std::getenv("SCAFFE_COLL_ALGO");
+  if (raw == nullptr || *raw == '\0') return choice;
+  const std::string text = lower(raw);
+  if (text == "config") {
+    choice.algo = CollAlgo::Config;
+  } else if (text == "tuned") {
+    choice.algo = CollAlgo::Tuned;
+  } else if (text == "binomial" || text == "bin") {
+    choice.algo = CollAlgo::Binomial;
+  } else if (text == "chain") {
+    choice.algo = CollAlgo::Chain;
+  } else if (parse_hier(text, "cb", choice.chain_size)) {
+    choice.algo = CollAlgo::CB;
+  } else if (parse_hier(text, "cc", choice.chain_size)) {
+    choice.algo = CollAlgo::CC;
+  } else if (text == "dbt") {
+    choice.algo = CollAlgo::Dbt;
+  } else if (text == "ring") {
+    choice.algo = CollAlgo::Ring;
+  } else if (text == "topo-ring" || text == "topo_ring" || text == "toporing") {
+    choice.algo = CollAlgo::TopoRing;
+  } else {
+    throw mpi::ConfigError("SCAFFE_COLL_ALGO", raw,
+                           "is not a collective algorithm (expected config, tuned, "
+                           "binomial, chain, cb[-k], cc[-k], dbt, ring, or topo-ring)");
+  }
+  return choice;
+}
+
+CollAlgoChoice resolve_coll_algo(const ScaffeConfig& config) {
+  CollAlgoChoice choice = coll_algo_from_env();
+  if (choice.algo == CollAlgo::Config) {
+    choice.algo = config.coll_algo;
+    choice.chain_size = config.reduce.chain_size;
+  }
+  return choice;
+}
+
+net::ClusterSpec tuning_cluster_for(int nranks) {
+  for (const net::ClusterSpec& spec :
+       {net::ClusterSpec::cluster_b(), net::ClusterSpec::cluster_a(),
+        net::ClusterSpec::multi_rail_fat_tree()}) {
+    if (nranks <= spec.total_gpus()) return spec;
+  }
+  throw std::runtime_error("coll_select: no built-in cluster preset fits " +
+                           std::to_string(nranks) + " ranks");
+}
+
+const coll::TuningTable& tuned_table_for(const net::ClusterSpec& cluster, int nranks) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::string, int>, coll::TuningTable> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto key = std::make_pair(cluster.name, nranks);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, coll::hr_tune(cluster, nranks, coll::ExecPolicy::hr_gdr(),
+                                         coll::extended_candidates()))
+             .first;
+  }
+  return it->second;
+}
+
+const coll::TuningTable& tuned_table_for(int nranks) {
+  return tuned_table_for(tuning_cluster_for(nranks), nranks);
+}
+
+}  // namespace scaffe::core

@@ -1,0 +1,58 @@
+// Collective schedule selection: the SCAFFE_COLL_ALGO environment knob and
+// the offline tuning-table cache behind CollAlgo::Tuned.
+//
+// The selection story has three layers, strongest first:
+//   1. SCAFFE_COLL_ALGO (this file) — a process-wide override, so a run can
+//      be switched between schedule families without recompiling.
+//   2. ScaffeConfig::coll_algo — the programmatic choice.
+//   3. ScaffeConfig::reduce / ring_allreduce — the paper's fine-grained
+//      surface, used when both of the above say Config.
+// install_collectives() (hr_factory.h) resolves the three and installs the
+// matching schedule factories into the communicator; because factories are
+// pure functions of (nranks, root, count), the choice re-derives correctly
+// after an elastic shrink.
+#pragma once
+
+#include <cstddef>
+
+#include "coll/tuner.h"
+#include "core/config.h"
+#include "net/cluster.h"
+
+namespace scaffe::core {
+
+/// The parsed SCAFFE_COLL_ALGO value. CB/CC accept an optional "-<k>" chain
+/// size suffix ("cb-16"); other algorithms take none.
+struct CollAlgoChoice {
+  CollAlgo algo = CollAlgo::Config;
+  int chain_size = 8;  // CB/CC only
+};
+
+/// Parses SCAFFE_COLL_ALGO. Accepted values (case-insensitive): "config",
+/// "tuned", "binomial"/"bin", "chain", "cb"/"cb-<k>", "cc"/"cc-<k>", "dbt",
+/// "ring", "topo-ring". Unset or empty means Config (no override). Throws
+/// mpi::ConfigError on anything else — a typo silently falling back to the
+/// default algorithm would be an invisible perf bug.
+CollAlgoChoice coll_algo_from_env();
+
+/// The effective algorithm once the environment override is applied on top
+/// of the programmatic config. The returned chain_size comes from the env
+/// suffix when the env picked CB/CC, else from `config.reduce`.
+CollAlgoChoice resolve_coll_algo(const ScaffeConfig& config);
+
+/// Modelled cluster used for offline tuning and topology-ring ordering at a
+/// given world size: the smallest built-in ClusterSpec that fits `nranks`
+/// GPUs (Cluster-B, Cluster-A, then the 1024-GPU fat-tree preset). Throws if
+/// nranks exceeds every preset.
+net::ClusterSpec tuning_cluster_for(int nranks);
+
+/// Process-wide cache of extended hr_tune() tables keyed by (cluster name,
+/// nranks). Tuning sweeps hundreds of DES runs, so solvers rebuilt over the
+/// same world size — including elastic-recovery rebuilds — must not pay it
+/// twice. Thread-safe; the returned reference lives for the process.
+const coll::TuningTable& tuned_table_for(const net::ClusterSpec& cluster, int nranks);
+
+/// Convenience: tuned table on the preset matched by `nranks`.
+const coll::TuningTable& tuned_table_for(int nranks);
+
+}  // namespace scaffe::core

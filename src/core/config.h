@@ -50,6 +50,26 @@ struct ReduceAlgo {
   }
 };
 
+/// Which collective schedule family serves gradient aggregation and
+/// propagation. `Config` defers to the finer-grained `ReduceAlgo` /
+/// `ring_allreduce` fields below (the paper's configuration surface); the
+/// other values force one family everywhere, and `Tuned` consults the
+/// offline DES tuning table per message size. The SCAFFE_COLL_ALGO
+/// environment knob (see coll_select.h) overrides whatever is set here.
+enum class CollAlgo {
+  Config,    // follow ScaffeConfig::reduce / ring_allreduce
+  Tuned,     // per-size winner from the extended hr_tune() sweep
+  Binomial,  // flat binomial tree
+  Chain,     // flat pipelined chain
+  CB,        // hierarchical chain-of-binomials (chain_size from ReduceAlgo)
+  CC,        // hierarchical chain-of-chains
+  Dbt,       // double binary tree, half payload per tree
+  Ring,      // rank-order ring allreduce (reduce/bcast stay on Config)
+  TopoRing,  // topology-ordered segmented ring + chain reduce/bcast
+};
+
+const char* coll_algo_name(CollAlgo algo) noexcept;
+
 /// How gradients reach the optimizer.
 enum class Aggregation {
   RootUpdate,    // the paper's reduction tree: root reduces, updates, and
@@ -74,6 +94,7 @@ struct FusionConfig {
 
 struct ScaffeConfig {
   Variant variant = Variant::SCOBR;
+  CollAlgo coll_algo = CollAlgo::Config;
   ReduceAlgo reduce = ReduceAlgo::cb(8);
   Aggregation aggregation = Aggregation::RootUpdate;
   bool ring_allreduce = false;  // AllreduceSgd: use the ring schedule

@@ -86,8 +86,16 @@ DistributedSolver::DistributedSolver(mpi::Comm& comm, dl::NetSpec net_spec,
     // The plan is a pure function of the net's layer ranges and the target
     // bytes; the target derives from the process-wide eager limit, so every
     // rank builds an identical plan without communicating.
+    std::size_t target = config_.fusion.bucket_bytes;
+    if (target == 0 && resolve_coll_algo(config_).algo == CollAlgo::Tuned) {
+      // Under the tuned schedule family the table already knows where the
+      // algorithm choice stops changing with message size — that boundary
+      // is a better bucket target than the transport eager heuristic, and
+      // it is the same pure function of comm size on every rank.
+      target = tuned_table_for(comm_.size()).recommended_bucket_bytes();
+    }
     planner_.emplace(solver_.net().layer_param_ranges(),
-                     resolve_bucket_bytes(config_.fusion.bucket_bytes, comm_.eager_limit()));
+                     resolve_bucket_bytes(target, comm_.eager_limit()));
   }
 }
 

@@ -1,9 +1,16 @@
 // Installs the DL-aware hierarchical reduction into an scmpi communicator.
 #pragma once
 
+#include <algorithm>
+
 #include "coll/algorithms.h"
+#include "coll/dbt.h"
+#include "coll/topo_ring.h"
+#include "coll/tuner.h"
+#include "core/coll_select.h"
 #include "core/config.h"
 #include "mpi/comm.h"
+#include "net/topology.h"
 
 namespace scaffe::core {
 
@@ -32,21 +39,107 @@ inline mpi::ScheduleFactory make_bcast_factory() {
   };
 }
 
-/// Installs every collective schedule factory `config` asks for into `comm`.
+/// Installs every collective schedule factory `config` asks for into `comm`,
+/// after resolving the SCAFFE_COLL_ALGO override (coll_select.h).
 /// This is the single (re)derivation point for elastic recovery: factories
 /// are pure functions of (nranks, root, count), so installing them on a
 /// communicator rebuilt over the survivor world re-derives the hierarchical
 /// reduction tree, chain pipelining, and ring partitioning for the new size
 /// with no stale per-size state left behind.
 inline void install_collectives(mpi::Comm& comm, const ScaffeConfig& config) {
-  comm.set_reduce_factory(make_reduce_factory(config.reduce));
-  comm.set_bcast_factory(make_bcast_factory());
-  if (config.aggregation == Aggregation::AllreduceSgd && config.ring_allreduce) {
-    comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
-      // Tiny buffers fall back to reduce+bcast inside coll; the ring needs
-      // at least one element per rank.
-      return coll::ring_allreduce(nranks, count);
-    });
+  const CollAlgoChoice choice = resolve_coll_algo(config);
+  const int chunks = config.reduce.chunks;
+  // Reinstalls must not leak a previous choice's allreduce factory: an empty
+  // factory restores the default reduce-to-0 + bcast composition.
+  comm.set_allreduce_factory({});
+  switch (choice.algo) {
+    case CollAlgo::Config: {
+      comm.set_reduce_factory(make_reduce_factory(config.reduce));
+      comm.set_bcast_factory(make_bcast_factory());
+      if (config.aggregation == Aggregation::AllreduceSgd && config.ring_allreduce) {
+        comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+          // Tiny buffers fall back to reduce+bcast inside coll; the ring
+          // needs at least one element per rank.
+          return coll::ring_allreduce(nranks, count);
+        });
+      }
+      break;
+    }
+    case CollAlgo::Tuned: {
+      // Per-size winner from the extended offline sweep; non-zero roots fall
+      // back to a binomial tree like the hierarchical factory does.
+      comm.set_reduce_factory([](int nranks, int root, std::size_t count) {
+        if (root != 0 || nranks < 2) return coll::binomial_reduce(nranks, root, count);
+        return coll::hr_tuned_reduce(tuned_table_for(nranks), nranks, count);
+      });
+      comm.set_bcast_factory(make_bcast_factory());
+      break;
+    }
+    case CollAlgo::Binomial: {
+      comm.set_reduce_factory(make_reduce_factory(ReduceAlgo::binomial()));
+      comm.set_bcast_factory(make_bcast_factory());
+      break;
+    }
+    case CollAlgo::Chain: {
+      comm.set_reduce_factory([chunks](int nranks, int root, std::size_t count) {
+        return coll::chain_reduce(nranks, root, count, chunks);
+      });
+      comm.set_bcast_factory([chunks](int nranks, int root, std::size_t count) {
+        return coll::chain_bcast(nranks, root, count, chunks);
+      });
+      break;
+    }
+    case CollAlgo::CB:
+    case CollAlgo::CC: {
+      const coll::LevelAlgo upper = choice.algo == CollAlgo::CB ? coll::LevelAlgo::Binomial
+                                                                : coll::LevelAlgo::Chain;
+      comm.set_reduce_factory(make_reduce_factory(
+          ReduceAlgo::hr(coll::LevelAlgo::Chain, upper, choice.chain_size, chunks)));
+      comm.set_bcast_factory(make_bcast_factory());
+      break;
+    }
+    case CollAlgo::Dbt: {
+      comm.set_reduce_factory([](int nranks, int root, std::size_t count) {
+        return coll::dbt_reduce(nranks, root, count);
+      });
+      comm.set_bcast_factory([](int nranks, int root, std::size_t count) {
+        return coll::dbt_bcast(nranks, root, count);
+      });
+      comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+        return coll::dbt_allreduce(nranks, count);
+      });
+      break;
+    }
+    case CollAlgo::Ring: {
+      // Ring is an allreduce shape; rooted collectives keep the configured
+      // reduce/bcast so RootUpdate training still works under the override.
+      comm.set_reduce_factory(make_reduce_factory(config.reduce));
+      comm.set_bcast_factory(make_bcast_factory());
+      comm.set_allreduce_factory([](int nranks, int /*root*/, std::size_t count) {
+        return coll::ring_allreduce(nranks, count);
+      });
+      break;
+    }
+    case CollAlgo::TopoRing: {
+      // Segment size follows the measured eager limit: segments at or below
+      // it go out without a rendezvous round-trip, which is exactly the
+      // pipelining grain the segmented ring wants.
+      const std::size_t segment_bytes = std::max<std::size_t>(comm.eager_limit(), 1);
+      comm.set_reduce_factory([chunks](int nranks, int root, std::size_t count) {
+        const net::Topology topo(tuning_cluster_for(nranks), nranks);
+        return coll::topo_ring_reduce(topo, root, count, chunks);
+      });
+      comm.set_bcast_factory([chunks](int nranks, int root, std::size_t count) {
+        const net::Topology topo(tuning_cluster_for(nranks), nranks);
+        return coll::topo_ring_bcast(topo, root, count, chunks);
+      });
+      comm.set_allreduce_factory([segment_bytes](int nranks, int /*root*/,
+                                                 std::size_t count) {
+        const net::Topology topo(tuning_cluster_for(nranks), nranks);
+        return coll::topo_ring_allreduce(topo, count, segment_bytes);
+      });
+      break;
+    }
   }
 }
 

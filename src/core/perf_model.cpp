@@ -5,36 +5,80 @@
 #include <vector>
 
 #include "coll/algorithms.h"
+#include "coll/dbt.h"
 #include "coll/sim_executor.h"
+#include "coll/topo_ring.h"
+#include "coll/tuner.h"
 #include "core/bucket_planner.h"
+#include "core/coll_select.h"
 #include "data/backend.h"
 #include "net/cost_model.h"
+#include "net/topology.h"
 
 namespace scaffe::core {
 
 namespace {
 
+/// The schedule family the model charges for collectives. CollAlgo::Ring has
+/// no rooted form, so rooted reduces/bcasts under it keep the Config path.
+coll::Schedule model_reduce_schedule(const TrainPerfConfig& config, std::size_t count) {
+  switch (config.coll_algo) {
+    case CollAlgo::Tuned:
+      return coll::hr_tuned_reduce(tuned_table_for(config.cluster, config.gpus),
+                                   config.gpus, count);
+    case CollAlgo::Binomial:
+      return coll::binomial_reduce(config.gpus, 0, count);
+    case CollAlgo::Chain:
+      return coll::chain_reduce(config.gpus, 0, count, config.reduce.chunks);
+    case CollAlgo::Dbt:
+      return coll::dbt_reduce(config.gpus, 0, count);
+    case CollAlgo::TopoRing:
+      return coll::topo_ring_reduce(net::Topology(config.cluster, config.gpus), 0, count,
+                                    config.reduce.chunks);
+    case CollAlgo::CB:
+    case CollAlgo::CC:
+    case CollAlgo::Ring:
+    case CollAlgo::Config:
+      break;
+  }
+  ReduceAlgo algo = config.reduce;
+  if (config.coll_algo == CollAlgo::CB) algo = ReduceAlgo::cb(config.reduce.chain_size);
+  if (config.coll_algo == CollAlgo::CC) algo = ReduceAlgo::cc(config.reduce.chain_size);
+  if (algo.hierarchical && config.gpus > algo.chain_size) {
+    return coll::hierarchical_reduce(config.gpus, count, algo.chain_size, algo.lower,
+                                     algo.upper, algo.chunks);
+  }
+  if (algo.hierarchical && config.gpus > 2) {
+    return coll::chain_reduce(config.gpus, 0, count, algo.chunks);
+  }
+  return coll::binomial_reduce(config.gpus, 0, count);
+}
+
 /// Reduce-to-root latency for `count` floats under the config's algorithm.
 TimeNs reduce_latency(const TrainPerfConfig& config, std::size_t count) {
   if (count == 0 || config.gpus < 2) return 0;
-  coll::Schedule schedule;
-  if (config.reduce.hierarchical && config.gpus > config.reduce.chain_size) {
-    schedule = coll::hierarchical_reduce(config.gpus, count, config.reduce.chain_size,
-                                         config.reduce.lower, config.reduce.upper,
-                                         config.reduce.chunks);
-  } else if (config.reduce.hierarchical && config.gpus > 2) {
-    schedule = coll::chain_reduce(config.gpus, 0, count, config.reduce.chunks);
-  } else {
-    schedule = coll::binomial_reduce(config.gpus, 0, count);
-  }
+  const coll::Schedule schedule = model_reduce_schedule(config, count);
   return net::CostModel(config.cluster).collective_setup(config.gpus) +
          coll::simulate_schedule(schedule, config.cluster, config.comm_policy).root_finish;
 }
 
-/// Broadcast-from-root latency for `count` floats (binomial).
+/// Broadcast-from-root latency for `count` floats (binomial by default; the
+/// DBT and topo-ring families bring their own bcast shape).
 TimeNs bcast_latency(const TrainPerfConfig& config, std::size_t count) {
   if (count == 0 || config.gpus < 2) return 0;
-  const coll::Schedule schedule = coll::binomial_bcast(config.gpus, 0, count);
+  coll::Schedule schedule;
+  switch (config.coll_algo) {
+    case CollAlgo::Dbt:
+      schedule = coll::dbt_bcast(config.gpus, 0, count);
+      break;
+    case CollAlgo::TopoRing:
+      schedule = coll::topo_ring_bcast(net::Topology(config.cluster, config.gpus), 0,
+                                       count, config.reduce.chunks);
+      break;
+    default:
+      schedule = coll::binomial_bcast(config.gpus, 0, count);
+      break;
+  }
   return net::CostModel(config.cluster).collective_setup(config.gpus) +
          coll::simulate_schedule(schedule, config.cluster, config.comm_policy).total;
 }
@@ -112,11 +156,20 @@ IterationBreakdown simulate_training_iteration(const TrainPerfConfig& config) {
     // updates locally.
     const std::size_t count = model.param_count();
     if (config.gpus >= 2) {
-      if (config.ring_allreduce && count >= static_cast<std::size_t>(config.gpus)) {
-        const coll::Schedule ring = coll::ring_allreduce(config.gpus, count);
+      coll::Schedule fused;  // single-schedule allreduce, when the family has one
+      if (config.coll_algo == CollAlgo::Dbt) {
+        fused = coll::dbt_allreduce(config.gpus, count);
+      } else if (config.coll_algo == CollAlgo::TopoRing) {
+        fused = coll::topo_ring_allreduce(net::Topology(config.cluster, config.gpus),
+                                          count);
+      } else if ((config.coll_algo == CollAlgo::Ring || config.ring_allreduce) &&
+                 count >= static_cast<std::size_t>(config.gpus)) {
+        fused = coll::ring_allreduce(config.gpus, count);
+      }
+      if (!fused.programs.empty()) {
         out.aggregation_exposed =
             cost.collective_setup(config.gpus) +
-            coll::simulate_schedule(ring, config.cluster, config.comm_policy).total;
+            coll::simulate_schedule(fused, config.cluster, config.comm_policy).total;
       } else {
         out.aggregation_exposed =
             reduce_latency(config, count) + bcast_latency(config, count);

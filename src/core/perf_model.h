@@ -30,6 +30,7 @@ struct TrainPerfConfig {
   int global_batch = 256;
   Scaling scaling = Scaling::Strong;
   Variant variant = Variant::SCOBR;
+  CollAlgo coll_algo = CollAlgo::Config;  // schedule family; Config = `reduce` below
   ReduceAlgo reduce = ReduceAlgo::cb(8);
   Aggregation aggregation = Aggregation::RootUpdate;
   bool ring_allreduce = false;  // AllreduceSgd: ring instead of reduce+bcast

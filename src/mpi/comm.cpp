@@ -28,6 +28,11 @@ constexpr int kCollTagBase = 1 << 24;
 constexpr int kCollTagStride = 1 << 20;
 constexpr int kCollSlots = 256;  // max concurrently-outstanding collectives
 
+// The schedule compiler promises every compiled schedule stays inside one
+// stride; keep the two layers' idea of the budget in lockstep.
+static_assert(kCollTagStride == coll::kMaxScheduleTags,
+              "per-collective tag stride must match the schedule tag budget");
+
 std::int64_t mix_context(std::int64_t a, std::int64_t b, std::int64_t c) {
   std::uint64_t x = static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ULL;
   x ^= static_cast<std::uint64_t>(b) + 0xbf58476d1ce4e5b9ULL + (x << 6) + (x >> 2);
@@ -99,6 +104,12 @@ void Comm::execute_schedule(const coll::Schedule& schedule, std::span<float> dat
   const std::vector<coll::Op>& ops = schedule.programs[static_cast<std::size_t>(rank_)].ops;
   for (std::size_t i = 0; i < ops.size(); ++i) {
     const coll::Op& op = ops[i];
+    if (op.tag < 0 || op.tag >= kCollTagStride) {
+      // A tag past the stride would bleed into the next collective's window
+      // of the 256-slot ring and alias a concurrent schedule's messages.
+      throw std::runtime_error("scmpi collective: schedule '" + schedule.name +
+                               "' tag overflows the per-collective stride");
+    }
     std::span<float> region = data.subspan(op.offset, op.count);
     switch (op.kind) {
       case coll::OpKind::Send: {

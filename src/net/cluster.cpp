@@ -29,4 +29,37 @@ ClusterSpec ClusterSpec::cluster_b() {
   return spec;
 }
 
+ClusterSpec ClusterSpec::multi_rail_fat_tree() {
+  ClusterSpec spec;
+  spec.name = "Fat-Tree (64 nodes x 16 GPUs, dual-rail EDR)";
+  spec.nodes = 64;
+  spec.gpus_per_node = 16;
+  spec.pcie = LinkSpec{12.0, 8 * util::kUs};
+  spec.pcie_p2p = LinkSpec{10.0, 10 * util::kUs};
+  // Two EDR rails per node, each ~12 GB/s effective; the fat-tree keeps
+  // inter-node paths non-blocking so the rails, not the fabric, are the cap.
+  spec.ib = LinkSpec{12.0, 1500};
+  spec.ib_rails = 2;
+  spec.gdr_read_gbs = 8.0;
+  spec.gdr_write_gbs = 10.0;
+  spec.pcie_concurrency = 4;
+  return spec;
+}
+
+ClusterSpec ClusterSpec::nvlink_dense_node() {
+  ClusterSpec spec;
+  spec.name = "NVLink-dense (128 nodes x 8 GPUs, NVLink + EDR)";
+  spec.nodes = 128;
+  spec.gpus_per_node = 8;
+  spec.pcie = LinkSpec{12.0, 6 * util::kUs};
+  // NVLink-class peer links: an order of magnitude over PCIe P2P, and cheap
+  // enough per message that intra-node hops are nearly free next to IB.
+  spec.pcie_p2p = LinkSpec{40.0, 3 * util::kUs};
+  spec.ib = LinkSpec{12.0, 1500};
+  spec.gdr_read_gbs = 10.0;
+  spec.gdr_write_gbs = 10.0;
+  spec.pcie_concurrency = 8;
+  return spec;
+}
+
 }  // namespace scaffe::net

@@ -92,7 +92,8 @@ struct ClusterSpec {
   // synchronization), charged as coll_setup * log2(P) per collective call.
   TimeNs coll_setup = 50 * util::kUs;
   int pcie_concurrency = 2;  // concurrent intra-node transfers at full speed
-
+  int ib_rails = 1;  // independent HCA rails per node: concurrent inter-node
+                     // sends a node sustains at full `ib` bandwidth
 
   StorageSpec storage;
 
@@ -102,6 +103,12 @@ struct ClusterSpec {
   static ClusterSpec cluster_a();
   /// 20-node conventional cluster: 2 CUDA devices/node, EDR.
   static ClusterSpec cluster_b();
+  /// 64 nodes x 16 GPUs (1024 total), dual-rail EDR fat-tree — the dense
+  /// many-GPU-per-node scale-out target for the 512-1024-rank sweeps.
+  static ClusterSpec multi_rail_fat_tree();
+  /// 128 nodes x 8 GPUs (1024 total), NVLink-class intra-node links behind a
+  /// single EDR rail — fast inside the node, lean across nodes.
+  static ClusterSpec nvlink_dense_node();
 };
 
 }  // namespace scaffe::net

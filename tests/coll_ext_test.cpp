@@ -8,15 +8,20 @@
 #include <string>
 
 #include "coll/algorithms.h"
+#include "coll/dbt.h"
 #include "coll/extensions.h"
 #include "coll/logical_executor.h"
+#include "coll/schedule_graph.h"
 #include "coll/sim_executor.h"
 #include "coll/thread_executor.h"
+#include "coll/topo_ring.h"
 #include "coll/tuner.h"
 #include "core/bucket_planner.h"
+#include "core/coll_select.h"
 #include "core/distributed_solver.h"
 #include "models/zoo.h"
 #include "net/cluster.h"
+#include "net/topology.h"
 #include "util/bytes.h"
 #include "util/thread_pool.h"
 
@@ -541,6 +546,454 @@ INSTANTIATE_TEST_SUITE_P(Variants, FusedParitySweep,
                          [](const auto& info) {
                            return info.param == core::Variant::SCOB ? "SCOB" : "SCOBR";
                          });
+
+// ---------------------------------------------------------------------------
+// Schedule compiler (ScheduleGraph)
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleGraph, CompilesTwoRankReduce) {
+  ScheduleGraph graph("unit", CollectiveKind::Reduce, 2, 0, 8);
+  graph.reduce(1, 0, 0, 0, 8);
+  const Schedule schedule = graph.compile();
+  EXPECT_EQ(validate_structure(schedule), "");
+  ASSERT_EQ(schedule.programs.size(), 2u);
+  ASSERT_EQ(schedule.programs[1].ops.size(), 1u);
+  EXPECT_EQ(schedule.programs[1].ops[0].kind, OpKind::Send);
+  ASSERT_EQ(schedule.programs[0].ops.size(), 1u);
+  EXPECT_EQ(schedule.programs[0].ops[0].kind, OpKind::RecvReduce);
+}
+
+TEST(ScheduleGraph, RejectsMalformedEdges) {
+  ScheduleGraph self("bad", CollectiveKind::Bcast, 4, 0, 8);
+  self.copy(1, 1, 0, 0, 8);
+  EXPECT_THROW(self.compile(), std::invalid_argument);
+
+  ScheduleGraph range("bad", CollectiveKind::Bcast, 4, 0, 8);
+  range.copy(0, 4, 0, 0, 8);
+  EXPECT_THROW(range.compile(), std::invalid_argument);
+
+  ScheduleGraph region("bad", CollectiveKind::Bcast, 4, 0, 8);
+  region.copy(0, 1, 0, 4, 8);  // [4, 12) spills past count 8
+  EXPECT_THROW(region.compile(), std::invalid_argument);
+}
+
+TEST(ScheduleGraph, TagsArePerPairSequenceNumbers) {
+  // Three messages 0->1 at increasing steps plus one 0->2: the 0->1 pair
+  // counts 0,1,2 while 0->2 starts over at 0. Per-pair sequencing is what
+  // keeps the max tag far below the per-collective budget at 1024 ranks.
+  ScheduleGraph graph("tags", CollectiveKind::Bcast, 3, 0, 4);
+  graph.copy(0, 1, 0, 0, 4);
+  graph.copy(0, 1, 1, 0, 4);
+  graph.copy(0, 1, 2, 0, 4);
+  graph.copy(0, 2, 3, 0, 4);
+  const Schedule schedule = graph.compile();
+  std::vector<int> pair01_tags;
+  int pair02_tag = -1;
+  for (const Op& op : schedule.programs[0].ops) {
+    if (op.peer == 1) pair01_tags.push_back(op.tag);
+    if (op.peer == 2) pair02_tag = op.tag;
+  }
+  EXPECT_EQ(pair01_tags, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(pair02_tag, 0);
+}
+
+TEST(ScheduleGraph, StepOrdersOpsWithinRank) {
+  // Rank 1 receives at step 0 and forwards at step 1: the compiled program
+  // must recv before send regardless of edge insertion order.
+  ScheduleGraph graph("order", CollectiveKind::Bcast, 3, 0, 4);
+  graph.copy(1, 2, 1, 0, 4);  // inserted first, happens second
+  graph.copy(0, 1, 0, 0, 4);
+  const Schedule schedule = graph.compile();
+  ASSERT_EQ(schedule.programs[1].ops.size(), 2u);
+  EXPECT_EQ(schedule.programs[1].ops[0].kind, OpKind::Recv);
+  EXPECT_EQ(schedule.programs[1].ops[1].kind, OpKind::Send);
+  EXPECT_EQ(check_semantics(schedule), "");
+}
+
+// ---------------------------------------------------------------------------
+// Double binary tree
+// ---------------------------------------------------------------------------
+
+class DbtSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbtSweep, ReduceCorrect) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(dbt_reduce(nranks, 0, 1000)), "");
+}
+
+TEST_P(DbtSweep, ReduceNonzeroRootCorrect) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(dbt_reduce(nranks, nranks / 2, 777)), "");
+}
+
+TEST_P(DbtSweep, BcastCorrect) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(dbt_bcast(nranks, 0, 1000)), "");
+  EXPECT_EQ(check_semantics(dbt_bcast(nranks, nranks - 1, 333)), "");
+}
+
+TEST_P(DbtSweep, AllreduceCorrect) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(dbt_allreduce(nranks, 1000)), "");
+}
+
+TEST_P(DbtSweep, TinyBuffersFallBack) {
+  const int nranks = GetParam();
+  EXPECT_EQ(check_semantics(dbt_reduce(nranks, 0, 1)), "");
+  EXPECT_EQ(check_semantics(dbt_bcast(nranks, 0, 1)), "");
+  EXPECT_EQ(check_semantics(dbt_allreduce(nranks, 1)), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DbtSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 17, 31, 32, 64, 100));
+
+TEST(Dbt, EveryRankInteriorInAtMostOneTree) {
+  // The load-balance invariant the two complementary trees exist for: a rank
+  // with children in both trees would be a send bottleneck.
+  for (int nranks : {2, 3, 4, 5, 6, 8, 12, 16, 17, 32, 33, 64, 100, 128}) {
+    const detail::DoubleTree trees = detail::build_double_tree(nranks);
+    std::vector<int> interior0(static_cast<std::size_t>(nranks), 0);
+    std::vector<int> interior1(static_cast<std::size_t>(nranks), 0);
+    for (int r = 0; r < nranks; ++r) {
+      if (trees.parent0[static_cast<std::size_t>(r)] >= 0) {
+        interior0[static_cast<std::size_t>(trees.parent0[static_cast<std::size_t>(r)])] = 1;
+      }
+      if (trees.parent1[static_cast<std::size_t>(r)] >= 0) {
+        interior1[static_cast<std::size_t>(trees.parent1[static_cast<std::size_t>(r)])] = 1;
+      }
+    }
+    for (int r = 0; r < nranks; ++r) {
+      EXPECT_LE(interior0[static_cast<std::size_t>(r)] + interior1[static_cast<std::size_t>(r)],
+                1)
+          << "nranks " << nranks << " rank " << r;
+    }
+  }
+}
+
+TEST(Dbt, HalvesTheRootBottleneck) {
+  // Each tree carries half the payload, so the root of either tree receives
+  // ~count/2 elements per child instead of the binomial root's log2(P) full
+  // buffers.
+  const std::size_t count = 1 << 16;
+  auto recv_floats = [](const Schedule& schedule, int rank) {
+    std::size_t total = 0;
+    for (const Op& op : schedule.programs[static_cast<std::size_t>(rank)].ops) {
+      if (op.kind != OpKind::Send) total += op.count;
+    }
+    return total;
+  };
+  const std::size_t dbt_root = recv_floats(dbt_reduce(64, 0, count), 0);
+  const std::size_t bin_root = recv_floats(binomial_reduce(64, 0, count), 0);
+  EXPECT_EQ(bin_root, 6 * count);      // log2(64) full buffers
+  EXPECT_LT(dbt_root, 2 * count);      // both halves + the final hop
+}
+
+// Integer-valued inputs add exactly in float regardless of association, so
+// schedules with different accumulation trees must agree bit for bit.
+std::vector<std::vector<float>> integer_inputs(int nranks, std::size_t count) {
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks),
+                                       std::vector<float>(count));
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t i = 0; i < count; ++i) {
+      data[static_cast<std::size_t>(r)][i] =
+          static_cast<float>((i * 7 + static_cast<std::size_t>(r) * 13) % 32);
+    }
+  }
+  return data;
+}
+
+void run_threaded_on(const Schedule& schedule, std::vector<std::vector<float>>& data) {
+  std::vector<std::span<float>> spans;
+  for (auto& v : data) spans.emplace_back(v);
+  run_threaded(schedule, spans);
+}
+
+class NewScheduleParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewScheduleParity, DbtReduceBitwiseMatchesBinomial) {
+  const int nranks = GetParam();
+  const std::size_t count = 800;
+  auto dbt = integer_inputs(nranks, count);
+  auto ref = dbt;
+  run_threaded_on(dbt_reduce(nranks, 0, count, 4), dbt);
+  run_threaded_on(binomial_reduce(nranks, 0, count), ref);
+  EXPECT_EQ(0, std::memcmp(dbt[0].data(), ref[0].data(), count * sizeof(float)));
+}
+
+TEST_P(NewScheduleParity, DbtAllreduceBitwiseMatchesReduceBcast) {
+  const int nranks = GetParam();
+  const std::size_t count = 800;
+  auto dbt = integer_inputs(nranks, count);
+  auto ref = dbt;
+  run_threaded_on(dbt_allreduce(nranks, count, 4), dbt);
+  run_threaded_on(binomial_reduce(nranks, 0, count), ref);
+  run_threaded_on(binomial_bcast(nranks, 0, count), ref);
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(0, std::memcmp(dbt[static_cast<std::size_t>(r)].data(),
+                             ref[static_cast<std::size_t>(r)].data(), count * sizeof(float)))
+        << "rank " << r;
+  }
+}
+
+TEST_P(NewScheduleParity, TopoRingAllreduceBitwiseMatchesChainReference) {
+  const int nranks = GetParam();
+  const std::size_t count = 800;
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const net::Topology topo(cluster, nranks);
+  auto ring = integer_inputs(nranks, count);
+  auto ref = ring;
+  run_threaded_on(topo_ring_allreduce(topo, count, 512), ring);
+  run_threaded_on(chain_reduce(nranks, 0, count, 4), ref);
+  run_threaded_on(chain_bcast(nranks, 0, count, 4), ref);
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(0, std::memcmp(ring[static_cast<std::size_t>(r)].data(),
+                             ref[static_cast<std::size_t>(r)].data(), count * sizeof(float)))
+        << "rank " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, NewScheduleParity, ::testing::Values(2, 5, 8, 16, 21));
+
+TEST(NewScheduleDeterminism, DbtBitwiseIdenticalAcrossThreadCounts) {
+  // Arbitrary (non-integer) floats: the schedule fixes the accumulation
+  // order, so the math-pool width must not change a single bit.
+  const int nranks = 12;
+  const std::size_t count = 2048;
+  auto fill = [&] {
+    std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks),
+                                         std::vector<float>(count));
+    for (int r = 0; r < nranks; ++r) {
+      for (std::size_t i = 0; i < count; ++i) {
+        data[static_cast<std::size_t>(r)][i] =
+            0.001f * static_cast<float>((i * 31 + static_cast<std::size_t>(r) * 7) % 997) -
+            0.3f;
+      }
+    }
+    return data;
+  };
+  util::ThreadPool::set_global_threads(1);
+  auto one = fill();
+  run_threaded_on(dbt_allreduce(nranks, count), one);
+  util::ThreadPool::set_global_threads(8);
+  auto eight = fill();
+  run_threaded_on(dbt_allreduce(nranks, count), eight);
+  util::ThreadPool::set_global_threads(1);
+  for (int r = 0; r < nranks; ++r) {
+    ASSERT_EQ(0, std::memcmp(one[static_cast<std::size_t>(r)].data(),
+                             eight[static_cast<std::size_t>(r)].data(),
+                             count * sizeof(float)))
+        << "rank " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology-aware segmented ring
+// ---------------------------------------------------------------------------
+
+TEST(TopoRing, OrderCrossesEachNodeBoundaryOnce) {
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  cluster.gpus_per_node = 4;
+  const int nranks = 16;  // 4 nodes x 4 GPUs
+  const net::Topology topo(cluster, nranks);
+  const std::vector<int> order = topology_ring_order(topo);
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(nranks));
+  int inter_node = 0;
+  for (int i = 0; i < nranks; ++i) {
+    const int a = order[static_cast<std::size_t>(i)];
+    const int b = order[static_cast<std::size_t>((i + 1) % nranks)];
+    if (topo.path(a, b) == net::Path::InterNode) ++inter_node;
+  }
+  EXPECT_EQ(inter_node, 4);  // one uplink per node, wraparound included
+}
+
+class TopoRingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopoRingSweep, ReduceBcastAllreduceCorrect) {
+  const int nranks = GetParam();
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const net::Topology topo(cluster, nranks);
+  EXPECT_EQ(check_semantics(topo_ring_reduce(topo, 0, 700, 4)), "");
+  EXPECT_EQ(check_semantics(topo_ring_reduce(topo, nranks / 2, 700, 4)), "");
+  EXPECT_EQ(check_semantics(topo_ring_bcast(topo, 0, 700, 4)), "");
+  EXPECT_EQ(check_semantics(topo_ring_allreduce(topo, 700)), "");
+  // Small segments force the pipelined multi-segment path.
+  EXPECT_EQ(check_semantics(topo_ring_allreduce(topo, 700, 256)), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, TopoRingSweep,
+                         ::testing::Values(2, 3, 5, 8, 16, 31, 64));
+
+// ---------------------------------------------------------------------------
+// Ring edge cases (satellite: non-power-of-two and count < nranks)
+// ---------------------------------------------------------------------------
+
+TEST(RingAllreduce, NonPowerOfTwoChunkMath) {
+  EXPECT_EQ(check_semantics(ring_allreduce(6, 1000)), "");
+  EXPECT_EQ(check_semantics(ring_allreduce(7, 13)), "");
+  EXPECT_EQ(check_semantics(ring_allreduce(9, 1001)), "");
+}
+
+TEST(RingAllreduce, CountSmallerThanRanksFallsBack) {
+  // 5 elements across 8 ranks cannot be ring-partitioned; the schedule must
+  // gracefully degrade to reduce+bcast instead of emitting empty segments.
+  const Schedule schedule = ring_allreduce(8, 5);
+  EXPECT_NE(schedule.name.find("fallback"), std::string::npos);
+  EXPECT_EQ(schedule.kind, CollectiveKind::Allreduce);
+  EXPECT_EQ(check_semantics(schedule), "");
+
+  auto data = integer_inputs(8, 5);
+  run_threaded_on(schedule, data);
+  for (int r = 0; r < 8; ++r) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      float expected = 0;
+      for (int s = 0; s < 8; ++s) expected += static_cast<float>((i * 7 + s * 13) % 32);
+      EXPECT_EQ(data[static_cast<std::size_t>(r)][i], expected);
+    }
+  }
+}
+
+TEST(TopoRing, CountSmallerThanRanksFallsBack) {
+  net::ClusterSpec cluster = net::ClusterSpec::cluster_a();
+  const net::Topology topo(cluster, 16);
+  const Schedule schedule = topo_ring_allreduce(topo, 7);
+  EXPECT_NE(schedule.name.find("fallback"), std::string::npos);
+  EXPECT_EQ(check_semantics(schedule), "");
+}
+
+// ---------------------------------------------------------------------------
+// Tag budget (satellite: the 256-slot tag ring must never alias)
+// ---------------------------------------------------------------------------
+
+int max_schedule_tag(const Schedule& schedule) {
+  int max_tag = -1;
+  for (const auto& program : schedule.programs) {
+    for (const Op& op : program.ops) max_tag = std::max(max_tag, op.tag);
+  }
+  return max_tag;
+}
+
+TEST(TagBudget, DbtAt1024RanksStaysInsidePerCollectiveStride) {
+  // 1024 ranks, 16 chunks per half: the schedule that motivated per-pair tag
+  // sequencing. validate_structure enforces the budget; the explicit max-tag
+  // check documents how much headroom remains.
+  const Schedule schedule = dbt_allreduce(1024, 1 << 20, 16);
+  EXPECT_EQ(validate_structure(schedule), "");
+  EXPECT_LT(max_schedule_tag(schedule), kMaxScheduleTags);
+  EXPECT_LT(max_schedule_tag(schedule), 256);  // per-pair tags stay tiny
+}
+
+TEST(TagBudget, SegmentedTopoRingAt512RanksStaysInsideStride) {
+  const net::ClusterSpec cluster = net::ClusterSpec::multi_rail_fat_tree();
+  const net::Topology topo(cluster, 512);
+  const Schedule schedule = topo_ring_allreduce(topo, 512 * 1024, util::kMiB);
+  EXPECT_EQ(validate_structure(schedule), "");
+  EXPECT_LT(max_schedule_tag(schedule), kMaxScheduleTags);
+}
+
+TEST(TagBudget, ValidateStructureRejectsOverflowingTag) {
+  Schedule schedule = binomial_reduce(2, 0, 4);
+  for (auto& program : schedule.programs) {
+    for (Op& op : program.ops) op.tag = kMaxScheduleTags;
+  }
+  EXPECT_NE(validate_structure(schedule).find("budget"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm selection (SCAFFE_COLL_ALGO) and the tuned table cache
+// ---------------------------------------------------------------------------
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* current = std::getenv(name);
+    if (current != nullptr) saved_ = current;
+    had_ = current != nullptr;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(CollSelect, EnvParsesEveryAlgorithm) {
+  EnvGuard guard("SCAFFE_COLL_ALGO");
+  ::unsetenv("SCAFFE_COLL_ALGO");
+  EXPECT_EQ(core::coll_algo_from_env().algo, core::CollAlgo::Config);
+
+  const std::vector<std::pair<const char*, core::CollAlgo>> cases = {
+      {"config", core::CollAlgo::Config},   {"tuned", core::CollAlgo::Tuned},
+      {"binomial", core::CollAlgo::Binomial}, {"bin", core::CollAlgo::Binomial},
+      {"chain", core::CollAlgo::Chain},     {"cb", core::CollAlgo::CB},
+      {"cc", core::CollAlgo::CC},           {"dbt", core::CollAlgo::Dbt},
+      {"DBT", core::CollAlgo::Dbt},         {"ring", core::CollAlgo::Ring},
+      {"topo-ring", core::CollAlgo::TopoRing}, {"topo_ring", core::CollAlgo::TopoRing},
+  };
+  for (const auto& [text, algo] : cases) {
+    ::setenv("SCAFFE_COLL_ALGO", text, 1);
+    EXPECT_EQ(core::coll_algo_from_env().algo, algo) << text;
+  }
+
+  ::setenv("SCAFFE_COLL_ALGO", "cb-16", 1);
+  const core::CollAlgoChoice cb16 = core::coll_algo_from_env();
+  EXPECT_EQ(cb16.algo, core::CollAlgo::CB);
+  EXPECT_EQ(cb16.chain_size, 16);
+  ::setenv("SCAFFE_COLL_ALGO", "cc-4", 1);
+  EXPECT_EQ(core::coll_algo_from_env().chain_size, 4);
+
+  for (const char* bad : {"rings", "cb-", "cb-abc", "cb-1", "dbtx", "42"}) {
+    ::setenv("SCAFFE_COLL_ALGO", bad, 1);
+    EXPECT_THROW(core::coll_algo_from_env(), mpi::ConfigError) << bad;
+  }
+}
+
+TEST(CollSelect, EnvOverridesProgrammaticConfig) {
+  EnvGuard guard("SCAFFE_COLL_ALGO");
+  core::ScaffeConfig config;
+  config.coll_algo = core::CollAlgo::Binomial;
+  ::unsetenv("SCAFFE_COLL_ALGO");
+  EXPECT_EQ(core::resolve_coll_algo(config).algo, core::CollAlgo::Binomial);
+  ::setenv("SCAFFE_COLL_ALGO", "dbt", 1);
+  EXPECT_EQ(core::resolve_coll_algo(config).algo, core::CollAlgo::Dbt);
+}
+
+TEST(CollSelect, TuningClusterGrowsWithWorldSize) {
+  EXPECT_LE(8, net::ClusterSpec::cluster_b().total_gpus());
+  EXPECT_EQ(core::tuning_cluster_for(8).name, net::ClusterSpec::cluster_b().name);
+  EXPECT_EQ(core::tuning_cluster_for(160).name, net::ClusterSpec::cluster_a().name);
+  EXPECT_EQ(core::tuning_cluster_for(1024).name,
+            net::ClusterSpec::multi_rail_fat_tree().name);
+  EXPECT_THROW(core::tuning_cluster_for(100000), std::runtime_error);
+}
+
+TEST(CollSelect, TunedTableIsCachedPerWorldSize) {
+  const coll::TuningTable& a = core::tuned_table_for(8);
+  const coll::TuningTable& b = core::tuned_table_for(8);
+  EXPECT_EQ(&a, &b);  // second lookup must not re-run the DES sweep
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(CollSelect, InstalledDbtFactoryTrainsCorrectly) {
+  // End-to-end through install_collectives: a full training run under the
+  // env override, checked against single-rank training for convergence
+  // sanity (DBT reassociates sums, so only approximate equality holds).
+  EnvGuard guard("SCAFFE_COLL_ALGO");
+  ::setenv("SCAFFE_COLL_ALGO", "dbt", 1);
+  core::ScaffeConfig config;
+  config.reduce = core::ReduceAlgo::binomial();
+  const std::vector<float> dbt = train_parity_net(5, config, 4);
+  ::setenv("SCAFFE_COLL_ALGO", "binomial", 1);
+  const std::vector<float> ref = train_parity_net(5, config, 4);
+  ASSERT_EQ(dbt.size(), ref.size());
+  ASSERT_FALSE(dbt.empty());
+  for (std::size_t i = 0; i < dbt.size(); ++i) {
+    EXPECT_NEAR(dbt[i], ref[i], 1e-4f) << "param " << i;
+  }
+}
 
 }  // namespace
 }  // namespace scaffe::coll

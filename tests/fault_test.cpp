@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <vector>
 
@@ -417,6 +418,53 @@ TEST_F(RecoveryTest, ShrinkContinuesOnSurvivorsBitwiseEqualToFreshResumedRun) {
   ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
   EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
   EXPECT_EQ(shrunk.root_losses, reference.root_losses);    // iterations 4..9
+}
+
+TEST_F(RecoveryTest, ShrinkRederivesDbtSchedulesThroughInstallCollectives) {
+  // Chaos leg for the compiled schedule families: train under
+  // SCAFFE_COLL_ALGO=dbt while rank 1 of 4 dies mid-run. The survivor world
+  // re-enters install_collectives, which must re-derive the double binary
+  // tree for 3 ranks (different tree shape, different tag sequences) — and
+  // land bitwise identical to a fresh 3-rank DBT run resumed from the same
+  // checkpoint.
+  const char* saved = std::getenv("SCAFFE_COLL_ALGO");
+  const std::string restore = saved != nullptr ? saved : "";
+  ::setenv("SCAFFE_COLL_ALGO", "dbt", 1);
+
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  core::TrainerConfig prefix = base_config();
+  prefix.global_batch = 12;
+  prefix.iterations = 4;
+  core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+  core::TrainerConfig suffix = base_config();
+  suffix.global_batch = 12;
+  suffix.start_iteration = 4;
+  const core::TrainerReport reference =
+      core::train_with_recovery(3, backend, dataset.sample_floats(), factory(), suffix);
+  ASSERT_FALSE(reference.final_params.empty());
+  std::filesystem::remove(path_);
+
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  util::ScopedFaultPlan scope(util::FaultPlan(47).crash_rank(1, 5));
+  const core::TrainerReport shrunk =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  if (saved != nullptr) {
+    ::setenv("SCAFFE_COLL_ALGO", restore.c_str(), 1);
+  } else {
+    ::unsetenv("SCAFFE_COLL_ALGO");
+  }
+
+  EXPECT_EQ(shrunk.recovery.shrinks, 1);
+  EXPECT_EQ(shrunk.recovery.final_world_size, 3);
+  ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
+  EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
 }
 
 TEST_F(RecoveryTest, SecondCrashDuringRecoveryShrinksTheSurvivorSetFurther) {

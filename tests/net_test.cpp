@@ -22,6 +22,28 @@ TEST(Cluster, PresetsMatchPaperTestbeds) {
   EXPECT_EQ(b.total_gpus(), 40);
 }
 
+TEST(Cluster, ScaleOutPresetsReachTenTwentyFourGpus) {
+  // Both DES scale-out presets must fit the full 1024-rank sweep.
+  const ClusterSpec fat = ClusterSpec::multi_rail_fat_tree();
+  EXPECT_EQ(fat.nodes, 64);
+  EXPECT_EQ(fat.gpus_per_node, 16);
+  EXPECT_EQ(fat.total_gpus(), 1024);
+  EXPECT_EQ(fat.ib_rails, 2);  // dual-rail: two concurrent inter-node sends
+
+  const ClusterSpec nv = ClusterSpec::nvlink_dense_node();
+  EXPECT_EQ(nv.nodes, 128);
+  EXPECT_EQ(nv.gpus_per_node, 8);
+  EXPECT_EQ(nv.total_gpus(), 1024);
+  EXPECT_EQ(nv.ib_rails, 1);
+  // The preset's point: NVLink-class peer links dwarf PCIe P2P.
+  EXPECT_GT(nv.pcie_p2p.bw_gbs, 3 * ClusterSpec::cluster_a().pcie_p2p.bw_gbs);
+  EXPECT_EQ(nv.pcie_concurrency, 8);
+
+  // Legacy presets default to a single rail.
+  EXPECT_EQ(ClusterSpec::cluster_a().ib_rails, 1);
+  EXPECT_EQ(ClusterSpec::cluster_b().ib_rails, 1);
+}
+
 TEST(Cluster, EdrFasterThanFdr) {
   EXPECT_GT(ClusterSpec::cluster_b().ib.bw_gbs, ClusterSpec::cluster_a().ib.bw_gbs);
 }
