@@ -12,6 +12,14 @@
 // the dual-rail fat-tree beyond — so the crossover reflects the hardware
 // each scale actually runs on, not one preset stretched across both regimes.
 //
+// A dedicated second figure pins the NVLink-dense preset (128 nodes x 8
+// GPUs: NVLink-class links inside the node, one lean EDR rail across) over
+// {64, 512, 1024} ranks, so every scale-out preset — Cluster-A, the
+// dual-rail fat-tree, and the NVLink-dense node — has its own crossover
+// series. The NVLink figure is where topology awareness matters most: the
+// intra/inter bandwidth ratio is an order of magnitude, so schedules that
+// ignore node boundaries pay for it.
+//
 // Writes machine-readable BENCH_schedules.json including a per-point
 // crossover summary with three series: best hierarchical (the paper's
 // design), best flat baseline (Bin/Chain — what the paper beat), and best
@@ -90,6 +98,128 @@ struct Runner {
   }
 };
 
+/// Every schedule family evaluated at one (ranks, bytes) point on one
+/// cluster. Shared by the default (per-scale preset) sweep and the dedicated
+/// NVLink-dense figure.
+std::vector<Row> rows_at_point(const Runner& runner, const net::Topology& topo,
+                               const Point& p, int chunks, std::size_t segment_bytes) {
+  const int ranks = p.ranks;
+  const std::size_t count = p.bytes / sizeof(float);
+
+  std::vector<Row> at_point;
+  at_point.push_back(runner.pair(p, "Bin", false, coll::binomial_reduce(ranks, 0, count),
+                                 coll::binomial_bcast(ranks, 0, count)));
+  at_point.push_back(runner.pair(p, "Chain", false,
+                                 coll::chain_reduce(ranks, 0, count, chunks),
+                                 coll::chain_bcast(ranks, 0, count, chunks)));
+  // The hierarchical rows take the best chunk count per point, mirroring
+  // the runtime's tuner (which sweeps chunking) rather than pinning one
+  // pipeline depth across message sizes.
+  for (int k : {8, 16}) {
+    for (const char* level : {"CB", "CC"}) {
+      const coll::LevelAlgo upper =
+          level[1] == 'B' ? coll::LevelAlgo::Binomial : coll::LevelAlgo::Chain;
+      Row best;
+      for (int c : {chunks, 64}) {
+        Row row = runner.pair(
+            p, std::string(level) + "-" + std::to_string(k), true,
+            coll::hierarchical_reduce(ranks, count, k, coll::LevelAlgo::Chain, upper, c),
+            coll::binomial_bcast(ranks, 0, count));
+        if (best.algo.empty() || row.ms < best.ms) best = row;
+      }
+      at_point.push_back(best);
+    }
+  }
+  at_point.push_back(runner.pair(p, "DBT", false, coll::dbt_reduce(ranks, 0, count),
+                                 coll::dbt_bcast(ranks, 0, count)));
+  at_point.push_back(runner.fused(p, "Ring", coll::ring_allreduce(ranks, count)));
+  at_point.push_back(
+      runner.fused(p, "TopoRing", coll::topo_ring_allreduce(topo, count, segment_bytes)));
+  at_point.push_back(runner.fused(p, "DBT-AR", coll::dbt_allreduce(ranks, count)));
+  return at_point;
+}
+
+/// Crossover summary: per point, the best hierarchical (paper) family vs
+/// the best scale-out schedule, with the paper's own flat baseline alongside.
+struct Crossover {
+  int ranks;
+  std::size_t mib;
+  std::string best_hier;
+  double hier_ms;
+  std::string best_new;
+  double new_ms;
+  std::string best_flat;  // the paper's own baselines: flat Bin / Chain pair
+  double flat_ms;
+};
+
+std::vector<Crossover> crossovers_for(const std::vector<Row>& rows,
+                                      const std::vector<int>& rank_counts,
+                                      const std::vector<std::size_t>& sizes_mib,
+                                      const char* label) {
+  std::vector<Crossover> crossovers;
+  for (int ranks : rank_counts) {
+    for (std::size_t mib : sizes_mib) {
+      Crossover c{ranks, mib, "", 1e300, "", 1e300, "", 1e300};
+      for (const Row& row : rows) {
+        if (row.ranks != ranks || row.bytes != mib * util::kMiB) continue;
+        if (row.hierarchical) {
+          if (row.ms < c.hier_ms) {
+            c.hier_ms = row.ms;
+            c.best_hier = row.algo;
+          }
+        } else if (row.algo == "Bin" || row.algo == "Chain") {
+          if (row.ms < c.flat_ms) {
+            c.flat_ms = row.ms;
+            c.best_flat = row.algo;
+          }
+        } else if (row.algo == "DBT" || row.algo == "DBT-AR" || row.algo == "Ring" ||
+                   row.algo == "TopoRing") {
+          if (row.ms < c.new_ms) {
+            c.new_ms = row.ms;
+            c.best_new = row.algo;
+          }
+        }
+      }
+      std::printf(
+          "%scrossover %4d ranks %4zu MiB: %s %.3f ms vs %s %.3f ms -> %s "
+          "(paper baseline %s %.3f ms)\n",
+          label, ranks, mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(), c.new_ms,
+          c.new_ms < c.hier_ms ? "scale-out" : "hierarchical", c.best_flat.c_str(),
+          c.flat_ms);
+      crossovers.push_back(c);
+    }
+  }
+  return crossovers;
+}
+
+void write_rows_json(std::FILE* out, const std::vector<Row>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"mib\": %zu, \"algo\": \"%s\", "
+                 "\"hierarchical\": %s, \"ms\": %.3f, \"events\": %zu}%s\n",
+                 row.ranks, row.bytes / util::kMiB, row.algo.c_str(),
+                 row.hierarchical ? "true" : "false", row.ms, row.events,
+                 i + 1 < rows.size() ? "," : "");
+  }
+}
+
+void write_crossovers_json(std::FILE* out, const std::vector<Crossover>& crossovers) {
+  for (std::size_t i = 0; i < crossovers.size(); ++i) {
+    const Crossover& c = crossovers[i];
+    std::fprintf(out,
+                 "    {\"ranks\": %d, \"mib\": %zu, \"best_hier\": \"%s\", "
+                 "\"hier_ms\": %.3f, \"best_new\": \"%s\", \"new_ms\": %.3f, "
+                 "\"best_flat\": \"%s\", \"flat_ms\": %.3f, "
+                 "\"paper_advantage\": %s, \"winner\": \"%s\"}%s\n",
+                 c.ranks, c.mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(),
+                 c.new_ms, c.best_flat.c_str(), c.flat_ms,
+                 c.hier_ms < c.flat_ms ? "true" : "false",
+                 c.new_ms < c.hier_ms ? "scale-out" : "hierarchical",
+                 i + 1 < crossovers.size() ? "," : "");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -116,93 +246,40 @@ int main() {
     const net::Topology topo(runner.cluster, ranks);
     for (std::size_t mib : sizes_mib) {
       const Point p{ranks, mib * util::kMiB};
-      const std::size_t count = p.bytes / sizeof(float);
-
-      std::vector<Row> at_point;
-      at_point.push_back(runner.pair(p, "Bin", false,
-                                     coll::binomial_reduce(ranks, 0, count),
-                                     coll::binomial_bcast(ranks, 0, count)));
-      at_point.push_back(runner.pair(p, "Chain", false,
-                                     coll::chain_reduce(ranks, 0, count, chunks),
-                                     coll::chain_bcast(ranks, 0, count, chunks)));
-      // The hierarchical rows take the best chunk count per point, mirroring
-      // the runtime's tuner (which sweeps chunking) rather than pinning one
-      // pipeline depth across message sizes.
-      for (int k : {8, 16}) {
-        for (const char* level : {"CB", "CC"}) {
-          const coll::LevelAlgo upper =
-              level[1] == 'B' ? coll::LevelAlgo::Binomial : coll::LevelAlgo::Chain;
-          Row best;
-          for (int c : {chunks, 64}) {
-            Row row = runner.pair(
-                p, std::string(level) + "-" + std::to_string(k), true,
-                coll::hierarchical_reduce(ranks, count, k, coll::LevelAlgo::Chain, upper, c),
-                coll::binomial_bcast(ranks, 0, count));
-            if (best.algo.empty() || row.ms < best.ms) best = row;
-          }
-          at_point.push_back(best);
-        }
-      }
-      at_point.push_back(runner.pair(p, "DBT", false, coll::dbt_reduce(ranks, 0, count),
-                                     coll::dbt_bcast(ranks, 0, count)));
-      at_point.push_back(runner.fused(p, "Ring", coll::ring_allreduce(ranks, count)));
-      at_point.push_back(
-          runner.fused(p, "TopoRing", coll::topo_ring_allreduce(topo, count, segment_bytes)));
-      at_point.push_back(
-          runner.fused(p, "DBT-AR", coll::dbt_allreduce(ranks, count)));
-
-      for (const Row& row : at_point) {
+      for (const Row& row : rows_at_point(runner, topo, p, chunks, segment_bytes)) {
         std::printf("%-6d %-9zu %-10s %12.3f\n", row.ranks, mib, row.algo.c_str(), row.ms);
         rows.push_back(row);
       }
     }
   }
 
-  // Crossover summary: per point, the best hierarchical (paper) family vs
-  // the best scale-out schedule.
-  struct Crossover {
-    int ranks;
-    std::size_t mib;
-    std::string best_hier;
-    double hier_ms;
-    std::string best_new;
-    double new_ms;
-    std::string best_flat;  // the paper's own baselines: flat Bin / Chain pair
-    double flat_ms;
-  };
-  std::vector<Crossover> crossovers;
-  for (int ranks : rank_counts) {
+  const std::vector<Crossover> crossovers =
+      crossovers_for(rows, rank_counts, sizes_mib, "");
+
+  // Dedicated NVLink-dense figure: the same families pinned to the
+  // NVLink-dense preset (absent from tuning_cluster_for's ladder) over its
+  // interesting scales, so the third scale-out preset gets a crossover
+  // series of its own. The extreme intra/inter bandwidth ratio is where the
+  // topology-aware ring earns its name.
+  const Runner nvlink_runner{net::ClusterSpec::nvlink_dense_node()};
+  const std::vector<int> nvlink_ranks =
+      smoke ? std::vector<int>{64} : std::vector<int>{64, 512, 1024};
+  std::vector<Row> nvlink_rows;
+  std::printf("# NVLink-dense figure: %s\n", nvlink_runner.cluster.name.c_str());
+  for (int ranks : nvlink_ranks) {
+    const net::Topology topo(nvlink_runner.cluster, ranks);
     for (std::size_t mib : sizes_mib) {
-      Crossover c{ranks, mib, "", 1e300, "", 1e300, "", 1e300};
-      for (const Row& row : rows) {
-        if (row.ranks != ranks || row.bytes != mib * util::kMiB) continue;
-        if (row.hierarchical) {
-          if (row.ms < c.hier_ms) {
-            c.hier_ms = row.ms;
-            c.best_hier = row.algo;
-          }
-        } else if (row.algo == "Bin" || row.algo == "Chain") {
-          if (row.ms < c.flat_ms) {
-            c.flat_ms = row.ms;
-            c.best_flat = row.algo;
-          }
-        } else if (row.algo == "DBT" || row.algo == "DBT-AR" || row.algo == "Ring" ||
-                   row.algo == "TopoRing") {
-          if (row.ms < c.new_ms) {
-            c.new_ms = row.ms;
-            c.best_new = row.algo;
-          }
-        }
+      const Point p{ranks, mib * util::kMiB};
+      for (const Row& row :
+           rows_at_point(nvlink_runner, topo, p, chunks, segment_bytes)) {
+        std::printf("nvlink %-6d %-9zu %-10s %12.3f\n", row.ranks, mib, row.algo.c_str(),
+                    row.ms);
+        nvlink_rows.push_back(row);
       }
-      std::printf(
-          "crossover %4d ranks %4zu MiB: %s %.3f ms vs %s %.3f ms -> %s "
-          "(paper baseline %s %.3f ms)\n",
-          ranks, mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(), c.new_ms,
-          c.new_ms < c.hier_ms ? "scale-out" : "hierarchical", c.best_flat.c_str(),
-          c.flat_ms);
-      crossovers.push_back(c);
     }
   }
+  const std::vector<Crossover> nvlink_crossovers =
+      crossovers_for(nvlink_rows, nvlink_ranks, sizes_mib, "nvlink ");
 
   bool assert_failed = false;
   if (assert_mode) {
@@ -210,19 +287,19 @@ int main() {
     // the unpipelined binomial pair and the topology ring must beat the flat
     // chain pair. These are the weakest claims of the crossover figure; the
     // full-sweep claims are recorded in the JSON for offline inspection.
-    auto find_ms = [&](const char* algo) {
-      for (const Row& row : rows) {
+    auto find_ms = [](const std::vector<Row>& in, const char* algo) {
+      for (const Row& row : in) {
         if (row.ranks == 64 && row.bytes == 64 * util::kMiB && row.algo == algo) {
           return row.ms;
         }
       }
       return -1.0;
     };
-    const double bin = find_ms("Bin");
-    const double dbt = find_ms("DBT");
-    const double chain = find_ms("Chain");
-    const double topo_ring = find_ms("TopoRing");
-    const double cc8 = find_ms("CC-8");
+    const double bin = find_ms(rows, "Bin");
+    const double dbt = find_ms(rows, "DBT");
+    const double chain = find_ms(rows, "Chain");
+    const double topo_ring = find_ms(rows, "TopoRing");
+    const double cc8 = find_ms(rows, "CC-8");
     if (bin < 0 || dbt < 0 || chain < 0 || topo_ring < 0 || cc8 < 0) {
       std::fprintf(stderr, "SCHED ASSERT: 64-rank/64MiB rows missing\n");
       assert_failed = true;
@@ -240,6 +317,23 @@ int main() {
       // baselines it was designed against at small scale.
       if (cc8 > bin) {
         std::fprintf(stderr, "SCHED ASSERT FAILED: CC-8 %.3f ms > Bin %.3f ms\n", cc8, bin);
+        assert_failed = true;
+      }
+      // On the NVLink-dense node the segmented rings must beat the rooted
+      // chain pair at 64 ranks / 64 MiB: with a ~10x intra/inter bandwidth
+      // gap, a schedule that saturates every link beats one that serializes
+      // through a root. (The flat ring's rank order is node-contiguous in
+      // the DES, so Ring vs TopoRing is a wash here — the claim is rings vs
+      // the paper's rooted baselines, per series.)
+      const double nv_chain = find_ms(nvlink_rows, "Chain");
+      const double nv_topo = find_ms(nvlink_rows, "TopoRing");
+      if (nv_chain < 0 || nv_topo < 0) {
+        std::fprintf(stderr, "SCHED ASSERT: NVLink 64-rank/64MiB rows missing\n");
+        assert_failed = true;
+      } else if (nv_topo > nv_chain) {
+        std::fprintf(stderr,
+                     "SCHED ASSERT FAILED: NVLink TopoRing %.3f ms > Chain %.3f ms\n",
+                     nv_topo, nv_chain);
         assert_failed = true;
       }
     }
@@ -262,31 +356,20 @@ int main() {
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"segment_bytes\": %zu,\n", segment_bytes);
   std::fprintf(out, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(out,
-                 "    {\"ranks\": %d, \"mib\": %zu, \"algo\": \"%s\", "
-                 "\"hierarchical\": %s, \"ms\": %.3f, \"events\": %zu}%s\n",
-                 row.ranks, row.bytes / util::kMiB, row.algo.c_str(),
-                 row.hierarchical ? "true" : "false", row.ms, row.events,
-                 i + 1 < rows.size() ? "," : "");
-  }
+  write_rows_json(out, rows);
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"crossover\": [\n");
-  for (std::size_t i = 0; i < crossovers.size(); ++i) {
-    const Crossover& c = crossovers[i];
-    std::fprintf(out,
-                 "    {\"ranks\": %d, \"mib\": %zu, \"best_hier\": \"%s\", "
-                 "\"hier_ms\": %.3f, \"best_new\": \"%s\", \"new_ms\": %.3f, "
-                 "\"best_flat\": \"%s\", \"flat_ms\": %.3f, "
-                 "\"paper_advantage\": %s, \"winner\": \"%s\"}%s\n",
-                 c.ranks, c.mib, c.best_hier.c_str(), c.hier_ms, c.best_new.c_str(),
-                 c.new_ms, c.best_flat.c_str(), c.flat_ms,
-                 c.hier_ms < c.flat_ms ? "true" : "false",
-                 c.new_ms < c.hier_ms ? "scale-out" : "hierarchical",
-                 i + 1 < crossovers.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
+  write_crossovers_json(out, crossovers);
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"nvlink\": {\n");
+  std::fprintf(out, "    \"cluster\": \"%s\",\n", nvlink_runner.cluster.name.c_str());
+  std::fprintf(out, "    \"results\": [\n");
+  write_rows_json(out, nvlink_rows);
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"crossover\": [\n");
+  write_crossovers_json(out, nvlink_crossovers);
+  std::fprintf(out, "    ]\n  }\n");
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
   return assert_failed ? 1 : 0;

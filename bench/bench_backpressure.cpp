@@ -1,0 +1,211 @@
+// Backpressure benchmark: fan-in incast against a deliberately slow consumer,
+// with credit-based flow control (SCAFFE_MAILBOX_BYTES budget) vs the legacy
+// unbounded mailbox (budget 0) as the A/B.
+//
+// Ranks 1..N-1 each blast K messages of M bytes at rank 0, which drains them
+// any-source with a fixed stall per message — the classic parameter-server
+// hotspot from the paper's fan-in reductions. The flow arm must keep per-link
+// queued+reserved bytes within the budget (senders pace themselves via
+// RTS/CTS credit admission); the legacy arm demonstrates why that matters by
+// queueing far past it.
+//
+// Writes machine-readable BENCH_backpressure.json. SCAFFE_BENCH_SMOKE=1
+// shrinks the footprint for CI. SCAFFE_BACKPRESSURE_ASSERT=1 exits nonzero
+// unless the flow arm's peak occupancy stays <= the budget AND the legacy
+// arm's peak exceeds it (i.e. removing flow control demonstrably breaks the
+// bound) — the hard memory gate wired into scripts/check.sh. Payload stamps
+// are always summed and checked; corruption fails the run in either mode.
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "util/thread_pool.h"
+
+using namespace scaffe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+struct ArmResult {
+  double seconds = 0;
+  bool sum_ok = false;
+  mpi::Mailbox::FlowStats stats;
+};
+
+/// One incast run: a fresh runtime per arm so FlowStats peaks are that arm's
+/// alone. `budget == 0` is the legacy unbounded arm.
+ArmResult run_incast(int ranks, std::size_t msg_bytes, int msgs_per_sender,
+                     std::size_t budget, std::chrono::microseconds stall) {
+  const int senders = ranks - 1;
+  const int total = senders * msgs_per_sender;
+  mpi::Runtime runtime(ranks);
+  runtime.set_recv_timeout(std::chrono::milliseconds(120000));
+  runtime.set_mailbox_bytes(budget);
+
+  ArmResult result;
+  std::uint64_t received_sum = 0;
+  const auto start = Clock::now();
+  runtime.run([&](mpi::Comm& comm) {
+    constexpr int kTag = 17;
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buffer(msg_bytes);
+      std::uint64_t sum = 0;
+      for (int m = 0; m < total; ++m) {
+        comm.recv_any<std::byte>(buffer, kTag);
+        sum += std::to_integer<std::uint64_t>(buffer.front()) +
+               std::to_integer<std::uint64_t>(buffer.back());
+        std::this_thread::sleep_for(stall);  // the slow consumer
+      }
+      received_sum = sum;
+    } else {
+      std::vector<std::byte> payload(msg_bytes);
+      for (int m = 0; m < msgs_per_sender; ++m) {
+        const auto stamp = static_cast<std::byte>((comm.rank() * 31 + m) & 0xff);
+        payload.front() = stamp;
+        payload.back() = stamp;
+        comm.send<std::byte>(payload, 0, kTag);
+      }
+    }
+  });
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::uint64_t expected = 0;
+  for (int r = 1; r <= senders; ++r) {
+    for (int m = 0; m < msgs_per_sender; ++m) {
+      expected += 2 * static_cast<std::uint64_t>((r * 31 + m) & 0xff);
+    }
+  }
+  result.sum_ok = received_sum == expected;
+  result.stats = runtime.flow_stats();
+  return result;
+}
+
+void print_arm(const char* name, const ArmResult& arm, std::size_t budget) {
+  std::printf(
+      "%-6s peak %10zu B (budget %zu)  %6.3f s  enqueued %llu  claimed %llu  "
+      "rts %llu  credit_waits %llu (%llu us)\n",
+      name, arm.stats.peak_occupancy_bytes, budget, arm.seconds,
+      static_cast<unsigned long long>(arm.stats.enqueued_messages),
+      static_cast<unsigned long long>(arm.stats.claimed_messages),
+      static_cast<unsigned long long>(arm.stats.rts_handshakes),
+      static_cast<unsigned long long>(arm.stats.credit_waits),
+      static_cast<unsigned long long>(arm.stats.credit_wait_us));
+}
+
+void write_arm_json(std::FILE* out, const char* name, const ArmResult& arm,
+                    bool trailing_comma) {
+  std::fprintf(out,
+               "  \"%s\": {\"seconds\": %.4f, \"peak_occupancy_bytes\": %zu, "
+               "\"queued_bytes\": %zu, \"reserved_bytes\": %zu, "
+               "\"enqueued_messages\": %llu, \"claimed_messages\": %llu, "
+               "\"rts_handshakes\": %llu, \"credit_waits\": %llu, "
+               "\"credit_wait_us\": %llu, \"backpressure_timeouts\": %llu, "
+               "\"sum_ok\": %s}%s\n",
+               name, arm.seconds, arm.stats.peak_occupancy_bytes,
+               arm.stats.queued_bytes, arm.stats.reserved_bytes,
+               static_cast<unsigned long long>(arm.stats.enqueued_messages),
+               static_cast<unsigned long long>(arm.stats.claimed_messages),
+               static_cast<unsigned long long>(arm.stats.rts_handshakes),
+               static_cast<unsigned long long>(arm.stats.credit_waits),
+               static_cast<unsigned long long>(arm.stats.credit_wait_us),
+               static_cast<unsigned long long>(arm.stats.backpressure_timeouts),
+               arm.sum_ok ? "true" : "false", trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main() {
+  // Rank threads are the parallelism; keep the math pool serial so the bench
+  // machine isn't oversubscribed.
+  util::ThreadPool::set_global_threads(1);
+
+  const bool smoke = env_flag("SCAFFE_BENCH_SMOKE");
+  const bool assert_mode = env_flag("SCAFFE_BACKPRESSURE_ASSERT");
+
+  const int ranks = smoke ? 4 : 8;
+  const std::size_t msg_bytes = smoke ? (std::size_t{256} << 10) : (std::size_t{1} << 20);
+  const int msgs_per_sender = smoke ? 8 : 32;
+  const std::size_t budget = smoke ? (std::size_t{1} << 20) : (std::size_t{4} << 20);
+  const auto stall = std::chrono::microseconds(smoke ? 100 : 200);
+  const double traffic_mb = static_cast<double>(ranks - 1) * msgs_per_sender *
+                            static_cast<double>(msg_bytes) / 1e6;
+
+  std::printf(
+      "backpressure bench (%s): %d senders -> rank 0, %zu B x %d msgs each "
+      "(%.1f MB total), budget %zu B, consumer stall %lld us\n",
+      smoke ? "smoke" : "full", ranks - 1, msg_bytes, msgs_per_sender, traffic_mb,
+      budget, static_cast<long long>(stall.count()));
+
+  const ArmResult flow = run_incast(ranks, msg_bytes, msgs_per_sender, budget, stall);
+  print_arm("flow", flow, budget);
+  const ArmResult legacy = run_incast(ranks, msg_bytes, msgs_per_sender, 0, stall);
+  print_arm("legacy", legacy, 0);
+
+  const bool flow_within_budget = flow.stats.peak_occupancy_bytes <= budget;
+  const bool legacy_exceeds_budget = legacy.stats.peak_occupancy_bytes > budget;
+  std::printf("flow within budget: %s  legacy exceeds budget: %s\n",
+              flow_within_budget ? "yes" : "NO", legacy_exceeds_budget ? "yes" : "NO");
+
+  bool failed = false;
+  if (!flow.sum_ok || !legacy.sum_ok) {
+    std::fprintf(stderr, "BACKPRESSURE: payload stamp sum mismatch (corruption)\n");
+    failed = true;
+  }
+  if (assert_mode) {
+    if (!flow_within_budget) {
+      std::fprintf(stderr,
+                   "BACKPRESSURE ASSERT FAILED: flow peak %zu B > budget %zu B\n",
+                   flow.stats.peak_occupancy_bytes, budget);
+      failed = true;
+    }
+    if (!legacy_exceeds_budget) {
+      std::fprintf(stderr,
+                   "BACKPRESSURE ASSERT FAILED: legacy peak %zu B never exceeded "
+                   "budget %zu B (A/B shows no flow-control effect)\n",
+                   legacy.stats.peak_occupancy_bytes, budget);
+      failed = true;
+    }
+    if (flow.stats.credit_waits == 0) {
+      std::fprintf(stderr,
+                   "BACKPRESSURE ASSERT FAILED: flow arm never waited for credit "
+                   "(incast did not stress the window)\n");
+      failed = true;
+    }
+  }
+
+  const char* json_path = "BENCH_backpressure.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"ranks\": %d,\n", ranks);
+  std::fprintf(out, "  \"message_bytes\": %zu,\n", msg_bytes);
+  std::fprintf(out, "  \"messages_per_sender\": %d,\n", msgs_per_sender);
+  std::fprintf(out, "  \"budget_bytes\": %zu,\n", budget);
+  std::fprintf(out, "  \"consumer_stall_us\": %lld,\n",
+               static_cast<long long>(stall.count()));
+  write_arm_json(out, "flow", flow, /*trailing_comma=*/true);
+  write_arm_json(out, "legacy", legacy, /*trailing_comma=*/true);
+  std::fprintf(out, "  \"flow_within_budget\": %s,\n", flow_within_budget ? "true" : "false");
+  std::fprintf(out, "  \"legacy_exceeds_budget\": %s\n",
+               legacy_exceeds_budget ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return failed ? 1 : 0;
+}

@@ -51,6 +51,14 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "==> ablation_schedules smoke (build-release)"
   (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_SCHED_ASSERT=1 ./bench/ablation_schedules)
 
+  # Backpressure smoke: incast against a slow consumer, flow-controlled vs
+  # legacy unbounded mailbox. Writes BENCH_backpressure.json and (via
+  # SCAFFE_BACKPRESSURE_ASSERT) fails the check unless the flow arm's peak
+  # mailbox occupancy stays within SCAFFE_MAILBOX_BYTES while the legacy arm
+  # demonstrably exceeds it.
+  echo "==> bench_backpressure smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_BACKPRESSURE_ASSERT=1 ./bench/bench_backpressure)
+
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
   # pool serial under the sanitizers so runtimes stay sane. Determinism is
   # unaffected.

@@ -4,7 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
-#include "mpi/world.h"
+#include "mpi/knobs.h"
 #include "util/bytes.h"
 
 namespace scaffe::core {
@@ -70,13 +70,9 @@ FusionConfig fusion_config_from_env() {
     config.enabled = true;
     return config;
   }
-  const std::size_t parsed = util::parse_bytes(text);
-  if (parsed == 0) {
-    throw mpi::ConfigError("SCAFFE_BUCKET_BYTES", text,
-                           "is not a byte size (expected e.g. 1M, 256K, 0, off, or auto)");
-  }
   config.enabled = true;
-  config.bucket_bytes = parsed;
+  config.bucket_bytes = mpi::parse_bytes_knob(
+      "SCAFFE_BUCKET_BYTES", text, "(expected e.g. 1M, 256K, 0, off, or auto)");
   return config;
 }
 

@@ -74,10 +74,14 @@ class Comm {
 
   // --- point-to-point -----------------------------------------------------
 
-  /// Blocking send. Never blocks on the receiver: below the eager limit the
-  /// payload stages in a pooled buffer, above it the rendezvous path either
-  /// fills an already-posted receive with a single copy or publishes a
-  /// shared immutable view (see DESIGN.md "Transport protocol").
+  /// Blocking send. Never waits for a MATCHING receive below the eager
+  /// limit: the payload stages in a pooled buffer. Above it the rendezvous
+  /// path fills an already-posted receive with a single copy, or — after a
+  /// bounded RTS linger — publishes a shared immutable view. A send does
+  /// block when the destination mailbox is over its credit budget
+  /// (SCAFFE_MAILBOX_BYTES): backpressure instead of unbounded queueing,
+  /// bounded by the receive deadline (see DESIGN.md "Transport protocol"
+  /// and "Credit flow control").
   void send_bytes(std::span<const std::byte> data, int dst, int tag);
   std::vector<std::byte> recv_bytes(int src, int tag);
 
@@ -163,9 +167,12 @@ class Comm {
   void allreduce(std::span<float> data);
 
   /// Combined send+receive. Safe for symmetric exchanges at any message
-  /// size: sends never block on the receiver (the rendezvous path publishes
-  /// a shared payload view instead of waiting for a matching receive), so
-  /// two ranks sendrecv'ing each other cannot deadlock.
+  /// size: sends never wait for a matching receive (the rendezvous path
+  /// publishes a shared payload view after a bounded linger), so two ranks
+  /// sendrecv'ing each other cannot deadlock — as long as both mailboxes
+  /// have credit. Under genuine overload (occupancy at budget on both
+  /// sides) the exchange blocks until credit returns; the receive deadline
+  /// converts a persistent cycle into a BackpressureError.
   template <typename T>
   void sendrecv(std::span<const T> send_data, int dst, std::span<T> recv_data, int src,
                 int tag) {
@@ -202,8 +209,11 @@ class Comm {
   /// same order; reserving bases up front (all ranks reserving in the same
   /// deterministic order) decouples issue order from tag agreement — each
   /// rank may then start the reserved collectives in any local order, e.g.
-  /// the priority order of the gradient bucket scheduler. Sends never block
-  /// on receivers, so out-of-order issue cannot deadlock.
+  /// the priority order of the gradient bucket scheduler. Sends never wait
+  /// for a matching receive, so out-of-order issue cannot deadlock while
+  /// mailboxes hold credit; the credit budget must cover the working set of
+  /// concurrently reordered collectives (the 1 GiB default dwarfs any
+  /// realistic bucket window).
   int reserve_coll_tags() { return next_coll_tag_base(); }
 
   /// Blocking reduce on a tag base from reserve_coll_tags().
@@ -340,11 +350,29 @@ class Runtime {
   std::size_t eager_limit() const noexcept { return world_->transport.eager_limit.load(); }
 
   /// Selects the transport protocol preset; default from SCAFFE_TRANSPORT.
+  /// Does not touch the mailbox budget: flow control is orthogonal to the
+  /// eager/rendezvous protocol choice (A/B it via set_mailbox_bytes(0)).
   void set_transport_mode(TransportMode mode) {
     const bool tuned = mode == TransportMode::Tuned;
     world_->transport.zero_copy.store(tuned);
     world_->transport.pooled_eager.store(tuned);
   }
+
+  /// Per-destination mailbox credit budget in bytes; 0 disables flow
+  /// control (unbounded queues, the legacy behavior). Defaults to
+  /// SCAFFE_MAILBOX_BYTES (see TransportConfig).
+  void set_mailbox_bytes(std::size_t bytes) {
+    world_->transport.mailbox_bytes.store(bytes);
+  }
+  std::size_t mailbox_bytes() const noexcept {
+    return world_->transport.mailbox_bytes.load();
+  }
+
+  /// Aggregated flow-control stats over every mailbox (peak is the worst
+  /// single link). reset_flow_stats() restarts counters and peak tracking —
+  /// call at bench/test phase boundaries.
+  Mailbox::FlowStats flow_stats() const { return world_->flow_stats(); }
+  void reset_flow_stats() { world_->reset_flow_stats(); }
 
   /// Launches every world rank (a full-membership generation).
   void run(const std::function<void(Comm&)>& body);

@@ -1,0 +1,30 @@
+#include "mpi/knobs.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "mpi/world.h"
+#include "util/bytes.h"
+
+namespace scaffe::mpi {
+
+std::size_t parse_bytes_knob(const std::string& knob, const std::string& text,
+                             const std::string& expected) {
+  const std::size_t parsed = util::parse_bytes(text);
+  if (parsed == 0) {
+    throw ConfigError(knob, text, "is not a byte size " + expected);
+  }
+  return parsed;
+}
+
+std::uint32_t parse_count_knob(const std::string& knob, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' ||
+      parsed > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError(knob, text, "is not a non-negative count");
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+}  // namespace scaffe::mpi

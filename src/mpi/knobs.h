@@ -1,0 +1,28 @@
+// Shared validation for environment tuning knobs.
+//
+// Every byte-valued knob (SCAFFE_EAGER_LIMIT, SCAFFE_BUCKET_BYTES,
+// SCAFFE_MAILBOX_BYTES) and count-valued knob (credit backoff slices) goes
+// through these helpers so a typo'd value raises one consistently-shaped
+// mpi::ConfigError naming the knob and the offending text — never a silent
+// fallback that would invalidate a benchmark run. Callers keep their own
+// keyword handling ("auto", "off", ...) and pass only the numeric remainder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scaffe::mpi {
+
+/// Parses `text` as a byte size via util::parse_bytes ("64K", "1M", "2G").
+/// Throws ConfigError("<knob>", text, "is not a byte size <expected>") when
+/// the text does not parse; `expected` lists the accepted spellings, e.g.
+/// "(expected e.g. 64K, 1M, 0, or auto)".
+std::size_t parse_bytes_knob(const std::string& knob, const std::string& text,
+                             const std::string& expected);
+
+/// Parses `text` as a non-negative decimal count (microsecond slices etc.).
+/// Throws ConfigError on non-numeric or trailing garbage.
+std::uint32_t parse_count_knob(const std::string& knob, const std::string& text);
+
+}  // namespace scaffe::mpi

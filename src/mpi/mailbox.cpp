@@ -1,10 +1,14 @@
-// Mailbox: indexed matching, posted-receive rendezvous, pooled eager path.
+// Mailbox: indexed matching, posted-receive rendezvous, pooled eager path,
+// and credit-based flow control (bounded queue occupancy, RTS/CTS admission).
 // See the invariants in world.h and DESIGN.md "Transport protocol".
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "gpu/kernels.h"
+#include "mpi/knobs.h"
 #include "mpi/world.h"
 #include "util/bytes.h"
 
@@ -26,6 +30,24 @@ bool float_aligned(const void* p) noexcept {
   return reinterpret_cast<std::uintptr_t>(p) % alignof(float) == 0;
 }
 
+// Slow-receiver fault: a budget-counted stall before this rank's blocking
+// receive touches the mailbox. Builds queue pressure without ever changing
+// matched values.
+void apply_recv_stall(int rank) {
+  auto& injector = util::FaultInjector::instance();
+  if (!injector.active()) return;
+  const std::chrono::microseconds stall = injector.on_recv_enter(rank);
+  if (stall.count() > 0) std::this_thread::sleep_for(stall);
+}
+
+// Delayed-CTS fault: how long this rank's posted-receive notification is
+// held back (zero when none scheduled).
+std::chrono::microseconds cts_post_delay(int rank) {
+  auto& injector = util::FaultInjector::instance();
+  if (!injector.active()) return std::chrono::microseconds{0};
+  return injector.on_cts_post(rank);
+}
+
 }  // namespace
 
 std::size_t TransportConfig::default_eager_limit() {
@@ -36,12 +58,9 @@ std::size_t TransportConfig::default_eager_limit() {
   // until then the conventional default keeps early messages sane.
   if (text == "auto") return 64 * util::kKiB;
   if (text == "0") return 0;  // pin everything to the rendezvous path
-  const std::size_t parsed = util::parse_bytes(text);
-  if (parsed == 0) {
-    throw ConfigError("SCAFFE_EAGER_LIMIT", text,
-                      "is not a byte size (expected e.g. 64K, 1M, 0, or auto)");
-  }
-  return std::min(parsed, kMaxEagerLimit);
+  return std::min(
+      parse_bytes_knob("SCAFFE_EAGER_LIMIT", text, "(expected e.g. 64K, 1M, 0, or auto)"),
+      kMaxEagerLimit);
 }
 
 bool TransportConfig::default_eager_auto() {
@@ -54,8 +73,113 @@ bool TransportConfig::default_zero_copy() {
   return env == nullptr || std::string(env) != "legacy";
 }
 
+std::size_t TransportConfig::default_mailbox_bytes() {
+  const char* env = std::getenv("SCAFFE_MAILBOX_BYTES");
+  if (env == nullptr) return kDefaultMailboxBytes;
+  const std::string text(env);
+  if (text == "0" || text == "off" || text == "unlimited") return 0;
+  return parse_bytes_knob("SCAFFE_MAILBOX_BYTES", text,
+                          "(expected e.g. 64M, 1G, 0, off, or unlimited)");
+}
+
+std::uint32_t TransportConfig::default_credit_backoff_us() {
+  const char* env = std::getenv("SCAFFE_CREDIT_BACKOFF_US");
+  if (env == nullptr) return 50;
+  return std::max<std::uint32_t>(1, parse_count_knob("SCAFFE_CREDIT_BACKOFF_US", env));
+}
+
+std::uint32_t TransportConfig::default_credit_backoff_max_us() {
+  const char* env = std::getenv("SCAFFE_CREDIT_BACKOFF_MAX_US");
+  if (env == nullptr) return 2000;
+  return std::max<std::uint32_t>(1, parse_count_knob("SCAFFE_CREDIT_BACKOFF_MAX_US", env));
+}
+
 const TransportConfig& Mailbox::transport() const noexcept {
   return transport_ != nullptr ? *transport_ : default_transport();
+}
+
+// --- credit accounting -------------------------------------------------------
+
+std::size_t Mailbox::budget_bytes() const noexcept {
+  return transport().mailbox_bytes.load(std::memory_order_relaxed);
+}
+
+bool Mailbox::credit_available_locked(std::size_t size) const noexcept {
+  const std::size_t budget = budget_bytes();
+  if (budget == 0) return true;  // flow control off
+  const std::size_t occupancy = occupancy_.current();
+  // Progress overdraft: an empty mailbox admits one message of any size, so
+  // a message larger than the budget can never wedge the link. The hard
+  // occupancy bound is therefore max(budget, largest single message).
+  if (occupancy == 0) return true;
+  return occupancy + size <= budget;
+}
+
+void Mailbox::release_queued_locked(std::size_t size) {
+  if (size == 0) return;
+  queued_bytes_ -= std::min(size, queued_bytes_);
+  const std::size_t prev = occupancy_.current();
+  occupancy_.sub(size);
+  if (credit_waiters_ == 0) return;
+  const std::size_t budget = budget_bytes();
+  // Watermark-batched credit return: waking blocked senders on every pop
+  // would chatter (notify, admit one message, block again). Instead credit
+  // returns in batches — when the mailbox drains empty or occupancy crosses
+  // the low watermark (budget/2). The senders' timed backoff re-checks are
+  // the lost-wakeup backstop, bounding the extra latency by one backoff
+  // slice.
+  const std::size_t low = budget / 2;
+  if (budget == 0 || occupancy_.current() == 0 ||
+      (prev > low && occupancy_.current() <= low)) {
+    sender_cv_.notify_all();
+  }
+}
+
+FlowDiagnostics Mailbox::flow_snapshot_locked(ContextId context, Generation generation,
+                                              int src, int tag) const {
+  FlowDiagnostics diag;
+  diag.queued_bytes = occupancy_.current();
+  diag.budget_bytes = budget_bytes();
+  diag.credit_bytes =
+      diag.budget_bytes > diag.queued_bytes ? diag.budget_bytes - diag.queued_bytes : 0;
+  diag.credit_waiters = credit_waiters_;
+  for (const auto& [key, queue] : queues_) {
+    if (key.context != context || key.generation != generation || key.tag != tag) continue;
+    if (src != kAnySource && key.src != src) continue;
+    for (const Envelope& envelope : queue) diag.key_queued_bytes += envelope.payload.size();
+  }
+  return diag;
+}
+
+std::chrono::microseconds Mailbox::backoff_slice(int src, unsigned attempt) const {
+  const TransportConfig& config = transport();
+  const std::uint64_t base =
+      std::max<std::uint64_t>(1, config.credit_backoff_us.load(std::memory_order_relaxed));
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      base, config.credit_backoff_max_us.load(std::memory_order_relaxed));
+  std::uint64_t slice = std::min(base << std::min(attempt, 10u), cap);
+  // Deterministic ±25% jitter per (link, attempt): decorrelates the retry
+  // storm when many senders block on one hot mailbox at once.
+  const std::uint64_t h = hash_mix(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner_rank_)) << 40) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 8) ^ attempt);
+  slice = slice - slice / 4 + h % (slice / 2 + 1);
+  return std::chrono::microseconds(static_cast<std::int64_t>(slice));
+}
+
+Mailbox::FlowStats Mailbox::flow_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FlowStats out = counters_;
+  out.queued_bytes = queued_bytes_;
+  out.reserved_bytes = reserved_bytes_;
+  out.peak_occupancy_bytes = occupancy_.peak();
+  return out;
+}
+
+void Mailbox::reset_flow_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = FlowStats{};
+  occupancy_.reset_peak();
 }
 
 // --- send side ---------------------------------------------------------------
@@ -68,51 +192,117 @@ bool Mailbox::apply_fault(int src, int tag) {
   return fault.drop;
 }
 
-bool Mailbox::claim_posted(const ExactKey& key, std::span<const std::byte> data,
-                           std::chrono::microseconds max_wait) {
-  Waiter* target = nullptr;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    const auto deadline = std::chrono::steady_clock::now() + max_wait;
-    for (;;) {
-      if (aborted_now()) return false;
+Mailbox::Waiter* Mailbox::admit_send(const ExactKey& key, std::span<const std::byte> data,
+                                     bool allow_claim,
+                                     std::chrono::microseconds cts_linger) {
+  using clock = std::chrono::steady_clock;
+  const std::chrono::milliseconds timeout = current_timeout();
+  const clock::time_point start = clock::now();
+  const clock::time_point deadline = start + timeout;  // meaningful when timeout > 0
+  const clock::time_point linger_deadline = start + cts_linger;
+  auto& injector = util::FaultInjector::instance();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // A nonzero linger means this is a rendezvous send: entering the admission
+  // loop is the RTS — the descriptor (key + size) is this blocked frame.
+  if (cts_linger.count() > 0) ++counters_.rts_handshakes;
+  bool counted_wait = false;
+  clock::time_point wait_start{};
+  unsigned attempt = 0;
+  const auto finish_wait = [&] {
+    if (!counted_wait) return;
+    --credit_waiters_;
+    counters_.credit_wait_us += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() - wait_start)
+            .count());
+  };
+  for (;;) {
+    const bool aborted = aborted_now();
+    bool cts_possible = false;
+    if (allow_claim && !aborted) {
       // Non-overtaking: never claim past queued mail of the same key (e.g. a
       // size-mismatched envelope still waiting to be diagnosed). Queued mail
       // for this key can only have come from this sender, so it cannot
-      // appear while we linger below.
+      // appear while we wait below. Any-source receivers consume from the
+      // queue, never from claims.
       auto qit = queues_.find(key);
-      if (qit != queues_.end() && !qit->second.empty()) return false;
-      auto wit = waiters_.find(key);
-      if (wit != waiters_.end() && !wit->second.empty()) {
-        for (Waiter* waiter : wit->second) {
-          if (waiter->taken || waiter->kind == Waiter::Kind::Probe) continue;
-          if (waiter->bytes != data.size()) continue;
-          if (waiter->kind == Waiter::Kind::Reduce &&
-              (data.size() % sizeof(float) != 0 || !float_aligned(data.data()))) {
-            continue;  // fall back to the materialized path
+      const bool queued_same_key = qit != queues_.end() && !qit->second.empty();
+      const auto awit = any_waiters_.find(AnyKey{key.context, key.generation, key.tag});
+      const bool any_source_interest = awit != any_waiters_.end() && !awit->second.empty();
+      if (!queued_same_key && !any_source_interest) {
+        auto wit = waiters_.find(key);
+        if (wit == waiters_.end() || wit->second.empty()) {
+          cts_possible = true;  // no receiver here yet: a CTS may still arrive
+        } else {
+          for (Waiter* waiter : wit->second) {
+            if (waiter->taken || waiter->kind == Waiter::Kind::Probe) continue;
+            if (waiter->bytes != data.size()) continue;
+            if (waiter->kind == Waiter::Kind::Reduce &&
+                (data.size() % sizeof(float) != 0 || !float_aligned(data.data()))) {
+              continue;  // fall back to the materialized path
+            }
+            waiter->taken = true;
+            ++counters_.claimed_messages;
+            finish_wait();
+            return waiter;  // CTS satisfied: caller fills zero-copy
           }
-          target = waiter;
-          break;
+          // Receivers are here but none claimable (a Probe wanting a
+          // payload, or a size mismatch to diagnose): the queue is the only
+          // path for this message.
         }
-        // A receiver is already here but not claimable (Probe wanting a
-        // payload, or a size mismatch to diagnose): enqueue for it now.
-        if (target == nullptr) return false;
-        break;
       }
-      // Any-source receivers consume from the queue, never from claims.
-      auto awit = any_waiters_.find(AnyKey{key.context, key.generation, key.tag});
-      if (awit != any_waiters_.end() && !awit->second.empty()) return false;
-      // Rendezvous linger: block (bounded) until a matching receive is
-      // posted. Blocking here also yields the core to the receiver on
-      // oversubscribed machines, which is what converts a near-miss into a
-      // single-copy claim.
-      if (max_wait.count() == 0 || std::chrono::steady_clock::now() >= deadline) {
-        return false;
-      }
-      posted_cv_.wait_until(lock, deadline);
     }
-    target->taken = true;
+    // Credit check. Aborted worlds admit unconditionally: the mail is dead
+    // anyway (purged at the next generation) and blocking would hang the
+    // sender's unwind.
+    bool have_credit = aborted || credit_available_locked(data.size());
+    if (have_credit && !aborted && budget_bytes() > 0 && injector.active() &&
+        injector.on_credit_check(owner_rank_)) {
+      have_credit = false;  // injected credit starvation: one forced backoff round
+    }
+    if (have_credit) {
+      const bool linger_more =
+          cts_possible && cts_linger.count() > 0 && clock::now() < linger_deadline;
+      if (!linger_more) {
+        reserved_bytes_ += data.size();
+        occupancy_.add(data.size());
+        finish_wait();
+        return nullptr;  // credit reserved: the caller must enqueue
+      }
+      // RTS linger: credit is free, but a receive may still be posted inside
+      // the linger window — a zero-copy claim beats enqueue + copy-out.
+      // Blocking here also yields the core to the receiver on oversubscribed
+      // machines, which is what converts a near-miss into a claim.
+      clock::time_point until = linger_deadline;
+      if (timeout.count() > 0 && deadline < until) until = deadline;
+      sender_cv_.wait_until(lock, until);
+      continue;
+    }
+    // Credit exhausted: jittered exponential backoff bounded by the receive
+    // deadline. The timed waits double as the lost-wakeup backstop for the
+    // watermark-batched credit return.
+    if (!counted_wait) {
+      counted_wait = true;
+      wait_start = clock::now();
+      ++credit_waiters_;
+      ++counters_.credit_waits;
+    }
+    if (timeout.count() > 0 && clock::now() >= deadline) {
+      ++counters_.backpressure_timeouts;
+      const FlowDiagnostics flow =
+          flow_snapshot_locked(key.context, key.generation, key.src, key.tag);
+      finish_wait();
+      throw BackpressureError(key.context, key.src, owner_rank_, key.tag, data.size(),
+                              timeout, flow);
+    }
+    clock::time_point until = clock::now() + backoff_slice(key.src, attempt);
+    if (timeout.count() > 0 && deadline < until) until = deadline;
+    attempt = std::min(attempt + 1, 16u);
+    sender_cv_.wait_until(lock, until);
   }
+}
+
+void Mailbox::fill_claimed(Waiter* target, std::span<const std::byte> data) {
   // Fill outside the mailbox lock: this is the single sender→destination
   // copy (or fused reduce) of the rendezvous path, potentially hundreds of
   // megabytes. The receiver cannot abandon a taken waiter, so the
@@ -127,7 +317,6 @@ bool Mailbox::claim_posted(const ExactKey& key, std::span<const std::byte> data,
     target->done = true;
     target->cv.notify_one();
   }
-  return true;
 }
 
 Payload Mailbox::materialize(std::span<const std::byte> data) const {
@@ -143,6 +332,12 @@ Payload Mailbox::materialize(std::span<const std::byte> data) const {
 
 void Mailbox::enqueue_payload(const ExactKey& key, Payload payload) {
   std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t size = payload.size();
+  // Every enqueue arrives with `size` bytes reserved by admit_send; convert
+  // the reservation into queued occupancy (the gauge total is unchanged).
+  reserved_bytes_ -= std::min(size, reserved_bytes_);
+  queued_bytes_ += size;
+  ++counters_.enqueued_messages;
   Envelope envelope;
   envelope.context = key.context;
   envelope.generation = key.generation;
@@ -168,17 +363,20 @@ bool Mailbox::deliver_direct(ContextId context, Generation generation, int src, 
                              std::span<const std::byte> data) {
   if (apply_fault(src, tag)) return true;
   const TransportConfig& config = transport();
-  if (!config.zero_copy.load(std::memory_order_relaxed)) return false;
+  const bool zero_copy = config.zero_copy.load(std::memory_order_relaxed);
   const ExactKey key{context, generation, src, tag};
-  // Above the eager limit, linger for the receiver to post — bounded by a
-  // few times what the fallback staging copy itself would cost (~2.5 GB/s
+  // RTS linger: above the eager limit, prefer the zero-copy CTS — bounded by
+  // a few times what the fallback staging copy itself would cost (~2.5 GB/s
   // pessimistic), so a miss never doubles the message's wall time and a
-  // symmetric exchange (both sides sending) cannot deadlock.
-  std::chrono::microseconds wait{0};
-  if (data.size() > config.eager_limit.load(std::memory_order_relaxed)) {
-    wait = std::chrono::microseconds(data.size() / 2500);
+  // symmetric exchange (both sides sending) cannot deadlock on the linger.
+  std::chrono::microseconds linger{0};
+  if (zero_copy && data.size() > config.eager_limit.load(std::memory_order_relaxed)) {
+    linger = std::chrono::microseconds(data.size() / 2500);
   }
-  return claim_posted(key, data, wait);
+  Waiter* claimed = admit_send(key, data, zero_copy, linger);
+  if (claimed == nullptr) return false;  // credit reserved: the caller must enqueue
+  fill_claimed(claimed, data);
+  return true;
 }
 
 void Mailbox::deliver(ContextId context, Generation generation, int src, int tag,
@@ -196,8 +394,11 @@ void Mailbox::enqueue_shared(ContextId context, Generation generation, int src, 
 void Mailbox::push(Envelope envelope) {
   if (apply_fault(envelope.src, envelope.tag)) return;
   const ExactKey key{envelope.context, envelope.generation, envelope.src, envelope.tag};
-  if (transport().zero_copy.load(std::memory_order_relaxed) &&
-      claim_posted(key, envelope.payload.bytes(), std::chrono::microseconds{0})) {
+  const bool zero_copy = transport().zero_copy.load(std::memory_order_relaxed);
+  Waiter* claimed =
+      admit_send(key, envelope.payload.bytes(), zero_copy, std::chrono::microseconds{0});
+  if (claimed != nullptr) {
+    fill_claimed(claimed, envelope.payload.bytes());
     return;  // payload dies here; pooled storage recycles
   }
   enqueue_payload(key, std::move(envelope.payload));
@@ -211,6 +412,7 @@ bool Mailbox::pop_exact_locked(const ExactKey& key, Envelope& out) {
   out = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) queues_.erase(it);
+  release_queued_locked(out.payload.size());
   return true;
 }
 
@@ -246,6 +448,7 @@ bool Mailbox::pop_any_locked(const AnyKey& key, Envelope& out) {
     out = std::move(qit->second.front());
     qit->second.pop_front();
     if (qit->second.empty()) queues_.erase(qit);
+    release_queued_locked(out.payload.size());
     return true;
   }
   return false;
@@ -259,6 +462,7 @@ void Mailbox::unregister_waiter(std::vector<Waiter*>& list, Waiter* waiter) {
 
 Payload Mailbox::recv(ContextId context, Generation generation, int src, int tag,
                       int* out_src) {
+  apply_recv_stall(owner_rank_);
   const std::chrono::milliseconds timeout = current_timeout();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   const bool any = src == kAnySource;
@@ -297,13 +501,15 @@ Payload Mailbox::recv(ContextId context, Generation generation, int src, int tag
     }
     if (timed_out) {
       unregister_waiter(list, &waiter);
-      throw TimeoutError(context, src, tag, timeout);
+      throw TimeoutError(context, src, tag, timeout,
+                         flow_snapshot_locked(context, generation, src, tag));
     }
   }
 }
 
 void Mailbox::recv_into(ContextId context, Generation generation, int src, int tag,
                         std::span<std::byte> dst) {
+  apply_recv_stall(owner_rank_);
   const std::chrono::milliseconds timeout = current_timeout();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   const ExactKey key{context, generation, src, tag};
@@ -330,38 +536,53 @@ void Mailbox::recv_into(ContextId context, Generation generation, int src, int t
   waiter.bytes = dst.size();
   std::vector<Waiter*>& list = waiters_[key];
   register_waiter_locked(list, &waiter);
-  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  // Posting the destination is the CTS: wake senders blocked in admit_send.
+  // An injected CTS delay releases the lock first, so the notification (and
+  // only the notification) arrives late; backoff re-checks may still find
+  // the waiter meanwhile, which is exactly a reordered CTS.
+  const std::chrono::microseconds cts_delay = cts_post_delay(owner_rank_);
+  if (cts_delay.count() > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(cts_delay);
+    lock.lock();
+  }
+  sender_cv_.notify_all();
   for (;;) {
+    // Check-then-wait: the CTS delay above may have let a sender complete
+    // the fill before we ever sleep.
+    if (waiter.done) {
+      unregister_waiter(list, &waiter);
+      return;
+    }
+    if (!waiter.taken) {
+      if (aborted_now()) {
+        unregister_waiter(list, &waiter);
+        throw AbortError();
+      }
+      if (pop_exact_locked(key, envelope)) {
+        unregister_waiter(list, &waiter);
+        lock.unlock();
+        finish_from_queue(std::move(envelope));
+        return;
+      }
+    }
     bool timed_out = false;
     if (timeout.count() > 0) {
       timed_out = waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout;
     } else {
       waiter.cv.wait(lock);
     }
-    if (waiter.done) {
+    if (timed_out && !waiter.taken && !waiter.done) {
       unregister_waiter(list, &waiter);
-      return;
-    }
-    if (waiter.taken) continue;  // fill in flight; completion is imminent
-    if (aborted_now()) {
-      unregister_waiter(list, &waiter);
-      throw AbortError();
-    }
-    if (pop_exact_locked(key, envelope)) {
-      unregister_waiter(list, &waiter);
-      lock.unlock();
-      finish_from_queue(std::move(envelope));
-      return;
-    }
-    if (timed_out) {
-      unregister_waiter(list, &waiter);
-      throw TimeoutError(context, src, tag, timeout);
+      throw TimeoutError(context, src, tag, timeout,
+                         flow_snapshot_locked(context, generation, src, tag));
     }
   }
 }
 
 void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int tag,
                           std::span<float> acc) {
+  apply_recv_stall(owner_rank_);
   const std::chrono::milliseconds timeout = current_timeout();
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   const ExactKey key{context, generation, src, tag};
@@ -387,32 +608,41 @@ void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int
   waiter.bytes = acc.size_bytes();
   std::vector<Waiter*>& list = waiters_[key];
   register_waiter_locked(list, &waiter);
-  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  // CTS (with optional injected delay) — see recv_into.
+  const std::chrono::microseconds cts_delay = cts_post_delay(owner_rank_);
+  if (cts_delay.count() > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(cts_delay);
+    lock.lock();
+  }
+  sender_cv_.notify_all();
   for (;;) {
+    if (waiter.done) {
+      unregister_waiter(list, &waiter);
+      return;
+    }
+    if (!waiter.taken) {
+      if (aborted_now()) {
+        unregister_waiter(list, &waiter);
+        throw AbortError();
+      }
+      if (pop_exact_locked(key, envelope)) {
+        unregister_waiter(list, &waiter);
+        lock.unlock();
+        reduce_from_queue(std::move(envelope));
+        return;
+      }
+    }
     bool timed_out = false;
     if (timeout.count() > 0) {
       timed_out = waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout;
     } else {
       waiter.cv.wait(lock);
     }
-    if (waiter.done) {
+    if (timed_out && !waiter.taken && !waiter.done) {
       unregister_waiter(list, &waiter);
-      return;
-    }
-    if (waiter.taken) continue;
-    if (aborted_now()) {
-      unregister_waiter(list, &waiter);
-      throw AbortError();
-    }
-    if (pop_exact_locked(key, envelope)) {
-      unregister_waiter(list, &waiter);
-      lock.unlock();
-      reduce_from_queue(std::move(envelope));
-      return;
-    }
-    if (timed_out) {
-      unregister_waiter(list, &waiter);
-      throw TimeoutError(context, src, tag, timeout);
+      throw TimeoutError(context, src, tag, timeout,
+                         flow_snapshot_locked(context, generation, src, tag));
     }
   }
 }
@@ -424,12 +654,21 @@ std::unique_ptr<Mailbox::PostedRecv> Mailbox::post_recv(ContextId context,
                                                         int tag, std::span<std::byte> dst) {
   std::unique_ptr<PostedRecv> posted(
       new PostedRecv(*this, context, generation, src, tag, dst));
-  std::lock_guard<std::mutex> lock(mutex_);
-  // Registered even while queued mail exists: claim_posted refuses to claim
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Registered even while queued mail exists: admit_send refuses to claim
   // past queued mail (non-overtaking), and posted_test/posted_wait drain the
   // queue before relying on a claim.
   register_waiter_locked(waiters_[posted->key_], &posted->waiter_);
-  posted_cv_.notify_all();  // wake senders lingering for a posted receive
+  // CTS (with optional injected delay) — see recv_into. posted_test/
+  // posted_wait use check-then-wait, so a fill completing during the delay
+  // is observed, never missed.
+  const std::chrono::microseconds cts_delay = cts_post_delay(owner_rank_);
+  if (cts_delay.count() > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(cts_delay);
+    lock.lock();
+  }
+  sender_cv_.notify_all();
   return posted;
 }
 
@@ -519,7 +758,9 @@ void Mailbox::posted_wait(PostedRecv& posted) {
       if (timed_out && !posted.waiter_.taken && !posted.waiter_.done) {
         deregister();
         posted.finished_ = true;
-        throw TimeoutError(posted.key_.context, posted.key_.src, posted.key_.tag, timeout);
+        throw TimeoutError(posted.key_.context, posted.key_.src, posted.key_.tag, timeout,
+                           flow_snapshot_locked(posted.key_.context, posted.key_.generation,
+                                                posted.key_.src, posted.key_.tag));
       }
     }
   }
@@ -550,15 +791,19 @@ void Mailbox::interrupt() {
   for (auto& [key, list] : any_waiters_) {
     for (Waiter* waiter : list) waiter->cv.notify_all();
   }
-  posted_cv_.notify_all();  // lingering senders re-check the abort flag
+  // Senders blocked in admit_send (RTS linger or credit wait) re-check the
+  // abort flag and drain without credit.
+  sender_cv_.notify_all();
 }
 
 std::size_t Mailbox::purge_stale(Generation current) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t dropped = 0;
+  std::size_t stale_bytes = 0;
   for (auto it = queues_.begin(); it != queues_.end();) {
     if (it->first.generation != current) {
       dropped += it->second.size();
+      for (const Envelope& envelope : it->second) stale_bytes += envelope.payload.size();
       it = queues_.erase(it);
     } else {
       ++it;
@@ -569,6 +814,13 @@ std::size_t Mailbox::purge_stale(Generation current) {
   }
   for (auto it = any_interest_.begin(); it != any_interest_.end();) {
     it = it->generation != current ? any_interest_.erase(it) : std::next(it);
+  }
+  if (stale_bytes > 0) {
+    // Dead-epoch mail returns its credit: the next generation starts with a
+    // full window, and any sender still blocked on stale occupancy wakes.
+    queued_bytes_ -= std::min(stale_bytes, queued_bytes_);
+    occupancy_.sub(stale_bytes);
+    sender_cv_.notify_all();
   }
   return dropped;
 }

@@ -31,6 +31,19 @@
 //    claim is forbidden while queued mail for the same key exists
 //    (non-overtaking), and a claimed waiter cannot be abandoned: on timeout
 //    or abort the receiver waits for the in-flight fill to finish first.
+//  - Credit-based flow control: every mailbox carries a byte budget
+//    (SCAFFE_MAILBOX_BYTES) covering queued payload bytes plus credit
+//    reserved by senders that are about to enqueue. A sender without credit
+//    blocks with jittered exponential backoff — bounded by the receive
+//    deadline, raising BackpressureError at expiry — until receivers drain
+//    the queue past the low watermark (credit returns in batches, not per
+//    pop) or a posted receive lets it complete zero-copy instead. Above the
+//    eager limit this is a true RTS/CTS rendezvous: the sender's admission
+//    loop is the RTS, a posted receive (recv_into / recv_reduce /
+//    post_recv) is the CTS, and the transfer is the single claim copy. An
+//    empty mailbox always admits one message regardless of size (the
+//    progress overdraft), so the hard occupancy bound is
+//    max(budget, largest single message). Budget 0 = flow control off.
 //
 // Membership generations (elastic worlds):
 //  - A World persists across failures. Each (re)launch of rank bodies is a
@@ -63,7 +76,9 @@
 #include <vector>
 
 #include "mpi/payload.h"
+#include "util/bytes.h"
 #include "util/fault.h"
+#include "util/stats.h"
 
 namespace scaffe::mpi {
 
@@ -104,33 +119,109 @@ class ConfigError : public std::runtime_error {
   std::string value_;
 };
 
+/// Snapshot of a mailbox's flow-control state at the moment a receive or a
+/// credit wait failed, attached to TimeoutError and BackpressureError so a
+/// chaos-run failure explains itself: was the link idle (dead peer) or
+/// backed up (overload)?
+struct FlowDiagnostics {
+  std::size_t queued_bytes = 0;      ///< queued + reserved payload bytes in the mailbox
+  std::size_t key_queued_bytes = 0;  ///< bytes queued for the failing (context,src,tag)
+  std::size_t budget_bytes = 0;      ///< configured mailbox budget (0 = unbounded)
+  std::size_t credit_bytes = 0;      ///< remaining credit (budget - occupancy)
+  int credit_waiters = 0;            ///< senders blocked waiting for credit
+
+  std::string describe() const {
+    return " [mailbox: " + util::fmt_bytes(queued_bytes) + " queued (" +
+           util::fmt_bytes(key_queued_bytes) + " for this key), budget " +
+           (budget_bytes == 0 ? std::string("unbounded") : util::fmt_bytes(budget_bytes)) +
+           ", credit " + util::fmt_bytes(credit_bytes) + ", " +
+           std::to_string(credit_waiters) + " sender(s) credit-blocked]";
+  }
+};
+
 /// Thrown when a matched receive exceeds the world's receive deadline: a
 /// silent hang (dead peer, dropped message, deadlocked exchange) becomes a
-/// typed error naming exactly what the receiver was blocked on. Collectives
-/// inherit the deadline because they are built from matched receives.
+/// typed error naming exactly what the receiver was blocked on — including
+/// the mailbox's queued-bytes/credit state, so an overload-induced timeout
+/// is distinguishable from a dead peer. Collectives inherit the deadline
+/// because they are built from matched receives.
 class TimeoutError : public std::runtime_error {
  public:
   TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline)
-      : std::runtime_error("scmpi: receive timed out after " +
-                           std::to_string(deadline.count()) + "ms (src=" +
-                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
-                           ", tag=" + std::to_string(tag) +
-                           ", context=" + std::to_string(context) + ")"),
-        context_(context),
-        src_(src),
-        tag_(tag),
-        deadline_(deadline) {}
+      : TimeoutError(context, src, tag, deadline, FlowDiagnostics{}, /*with_flow=*/false) {}
+
+  TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline,
+               const FlowDiagnostics& flow)
+      : TimeoutError(context, src, tag, deadline, flow, /*with_flow=*/true) {}
 
   ContextId context() const noexcept { return context_; }
   int src() const noexcept { return src_; }
   int tag() const noexcept { return tag_; }
   std::chrono::milliseconds deadline() const noexcept { return deadline_; }
+  const FlowDiagnostics& flow() const noexcept { return flow_; }
 
  private:
+  TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline,
+               const FlowDiagnostics& flow, bool with_flow)
+      : std::runtime_error("scmpi: receive timed out after " +
+                           std::to_string(deadline.count()) + "ms (src=" +
+                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
+                           ", tag=" + std::to_string(tag) +
+                           ", context=" + std::to_string(context) + ")" +
+                           (with_flow ? flow.describe() : std::string())),
+        context_(context),
+        src_(src),
+        tag_(tag),
+        deadline_(deadline),
+        flow_(flow) {}
+
   ContextId context_;
   int src_;
   int tag_;
   std::chrono::milliseconds deadline_;
+  FlowDiagnostics flow_;
+};
+
+/// Thrown when a sender exhausts the receive deadline while blocked for
+/// mailbox credit: the destination stayed over budget for the whole wait (a
+/// receiver too slow — or dead — under incast overload). Carries the same
+/// flow snapshot as TimeoutError plus the message that could not be
+/// admitted. With no deadline configured the sender waits forever, exactly
+/// like a blocked receive.
+class BackpressureError : public std::runtime_error {
+ public:
+  BackpressureError(ContextId context, int src, int dst, int tag,
+                    std::size_t message_bytes, std::chrono::milliseconds deadline,
+                    const FlowDiagnostics& flow)
+      : std::runtime_error("scmpi: send blocked on exhausted mailbox credit for " +
+                           std::to_string(deadline.count()) + "ms (" +
+                           util::fmt_bytes(message_bytes) + " " + std::to_string(src) +
+                           "->" + std::to_string(dst) + ", tag=" + std::to_string(tag) +
+                           ", context=" + std::to_string(context) + ")" + flow.describe()),
+        context_(context),
+        src_(src),
+        dst_(dst),
+        tag_(tag),
+        message_bytes_(message_bytes),
+        deadline_(deadline),
+        flow_(flow) {}
+
+  ContextId context() const noexcept { return context_; }
+  int src() const noexcept { return src_; }
+  int dst() const noexcept { return dst_; }
+  int tag() const noexcept { return tag_; }
+  std::size_t message_bytes() const noexcept { return message_bytes_; }
+  std::chrono::milliseconds deadline() const noexcept { return deadline_; }
+  const FlowDiagnostics& flow() const noexcept { return flow_; }
+
+ private:
+  ContextId context_;
+  int src_;
+  int dst_;
+  int tag_;
+  std::size_t message_bytes_;
+  std::chrono::milliseconds deadline_;
+  FlowDiagnostics flow_;
 };
 
 /// Thrown when a matched message's payload size disagrees with the
@@ -191,9 +282,31 @@ struct TransportConfig {
   /// every message allocates fresh (the pre-pool "legacy" transport).
   std::atomic<bool> pooled_eager{default_zero_copy()};
 
+  /// Per-destination mailbox byte budget (queued + reserved payload bytes):
+  /// the credit window receivers grant senders. Senders without credit block
+  /// with jittered exponential backoff until the queue drains (bounded by
+  /// the receive deadline → BackpressureError). SCAFFE_MAILBOX_BYTES: a byte
+  /// size, or "0"/"off"/"unlimited" to disable flow control (the unbounded
+  /// legacy behavior). Default 1 GiB — far above any healthy working set,
+  /// so only genuine overload ever blocks a sender.
+  std::atomic<std::size_t> mailbox_bytes{default_mailbox_bytes()};
+
+  /// Initial credit-backoff slice in µs (SCAFFE_CREDIT_BACKOFF_US, default
+  /// 50). Doubles per denied round up to credit_backoff_max_us, with ±25%
+  /// deterministic per-link jitter so retry storms decorrelate.
+  std::atomic<std::uint32_t> credit_backoff_us{default_credit_backoff_us()};
+
+  /// Backoff slice ceiling in µs (SCAFFE_CREDIT_BACKOFF_MAX_US, default
+  /// 2000). Also the worst-case extra latency of watermark-batched credit
+  /// returns: a blocked sender re-checks at least this often.
+  std::atomic<std::uint32_t> credit_backoff_max_us{default_credit_backoff_max_us()};
+
   /// Largest accepted SCAFFE_EAGER_LIMIT; bigger values are clamped (an
   /// eager copy beyond this is certainly slower than rendezvous).
   static constexpr std::size_t kMaxEagerLimit = std::size_t{1} << 30;
+
+  /// Default mailbox budget when SCAFFE_MAILBOX_BYTES is unset.
+  static constexpr std::size_t kDefaultMailboxBytes = std::size_t{1} << 30;
 
   /// Parses SCAFFE_EAGER_LIMIT. Throws ConfigError on non-numeric or
   /// negative values instead of silently falling back; "auto" and unset
@@ -202,6 +315,10 @@ struct TransportConfig {
   /// True when SCAFFE_EAGER_LIMIT=auto: Runtime calibrates the crossover.
   static bool default_eager_auto();
   static bool default_zero_copy();  // false when SCAFFE_TRANSPORT=legacy
+  /// Parses SCAFFE_MAILBOX_BYTES (ConfigError on malformed text).
+  static std::size_t default_mailbox_bytes();
+  static std::uint32_t default_credit_backoff_us();
+  static std::uint32_t default_credit_backoff_max_us();
 };
 
 /// One per destination rank. Messages match on (context, generation, src,
@@ -301,9 +418,42 @@ class Mailbox {
   }
 
   /// Discards every message not belonging to `current` — dead-epoch mail is
-  /// unmatchable anyway (the generation fence), this just reclaims it.
+  /// unmatchable anyway (the generation fence), this just reclaims it — and
+  /// RETURNS the purged bytes as credit: senders blocked on a dead epoch's
+  /// occupancy are woken so the next generation starts with a full window.
   /// Returns the number of stale envelopes dropped.
   std::size_t purge_stale(Generation current);
+
+  /// Per-link flow-control occupancy and counters (see DESIGN.md "Credit
+  /// flow control"). Gauges are instantaneous; counters are cumulative since
+  /// the last reset_flow_stats().
+  struct FlowStats {
+    std::size_t queued_bytes = 0;          ///< payload bytes sitting in queues
+    std::size_t reserved_bytes = 0;        ///< credit reserved, enqueue in flight
+    std::size_t peak_occupancy_bytes = 0;  ///< high-water mark of queued+reserved
+    std::uint64_t enqueued_messages = 0;   ///< envelopes that went through the queue
+    std::uint64_t claimed_messages = 0;    ///< zero-copy CTS fills (no queue memory)
+    std::uint64_t rts_handshakes = 0;      ///< rendezvous sends that posted an RTS
+    std::uint64_t credit_waits = 0;        ///< sends that blocked on exhausted credit
+    std::uint64_t credit_wait_us = 0;      ///< total µs senders spent credit-blocked
+    std::uint64_t backpressure_timeouts = 0;  ///< BackpressureErrors raised
+
+    void merge(const FlowStats& other) noexcept {
+      queued_bytes += other.queued_bytes;
+      reserved_bytes += other.reserved_bytes;
+      peak_occupancy_bytes = std::max(peak_occupancy_bytes, other.peak_occupancy_bytes);
+      enqueued_messages += other.enqueued_messages;
+      claimed_messages += other.claimed_messages;
+      rts_handshakes += other.rts_handshakes;
+      credit_waits += other.credit_waits;
+      credit_wait_us += other.credit_wait_us;
+      backpressure_timeouts += other.backpressure_timeouts;
+    }
+  };
+  FlowStats flow_stats() const;
+  /// Clears the counters and restarts peak tracking from the current
+  /// occupancy (bench/test phase boundaries).
+  void reset_flow_stats();
 
  private:
   struct ExactKey {
@@ -375,14 +525,36 @@ class Mailbox {
   /// dropped (delay sleeps inline first).
   bool apply_fault(int src, int tag);
 
-  /// Claims a matching posted (Copy/Reduce) waiter and fills it directly
-  /// from `data` (copy or accumulate happens outside the mailbox lock).
-  /// Lingers up to `max_wait` for a receive to be posted (the rendezvous
-  /// handshake). Refuses while queued mail for `key` exists (non-overtaking)
-  /// and when sizes disagree (the mismatch is diagnosed on the receive
-  /// side).
-  bool claim_posted(const ExactKey& key, std::span<const std::byte> data,
-                    std::chrono::microseconds max_wait);
+  /// Sender admission — the credit/RTS gate every delivery passes through.
+  /// Either claims a matching posted (Copy/Reduce) waiter — returning it,
+  /// already marked taken, for the caller to fill via fill_claimed outside
+  /// the lock — or reserves data.size() bytes of mailbox credit and returns
+  /// nullptr, after which the caller MUST enqueue exactly one payload of
+  /// that size. While credit is exhausted the sender blocks with jittered
+  /// exponential backoff, re-checking for a posted receive each round; the
+  /// receive deadline bounds the wait (BackpressureError at expiry, wait
+  /// forever when no deadline is set). `allow_claim` enables the zero-copy
+  /// CTS path; `cts_linger` bounds how long a rendezvous sender waits for a
+  /// receive to be posted while credit is already free (the RTS linger).
+  /// Claims refuse past queued mail of the same key (non-overtaking), past
+  /// any-source interest, and on size/alignment mismatch — those messages
+  /// must go through the queue.
+  Waiter* admit_send(const ExactKey& key, std::span<const std::byte> data,
+                     bool allow_claim, std::chrono::microseconds cts_linger);
+
+  /// Fills a waiter claimed by admit_send (single copy or fused reduce,
+  /// outside the mailbox lock) and publishes `done`.
+  void fill_claimed(Waiter* target, std::span<const std::byte> data);
+
+  // Credit accounting (all require mutex_). Occupancy = queued + reserved.
+  std::size_t budget_bytes() const noexcept;
+  bool credit_available_locked(std::size_t size) const noexcept;
+  /// Removes `size` queued bytes and wakes credit waiters when occupancy
+  /// falls to zero or crosses the low watermark (batched credit return).
+  void release_queued_locked(std::size_t size);
+  FlowDiagnostics flow_snapshot_locked(ContextId context, Generation generation, int src,
+                                       int tag) const;
+  std::chrono::microseconds backoff_slice(int src, unsigned attempt) const;
 
   Payload materialize(std::span<const std::byte> data) const;
   void enqueue_payload(const ExactKey& key, Payload payload);
@@ -397,9 +569,16 @@ class Mailbox {
   static void unregister_waiter(std::vector<Waiter*>& list, Waiter* waiter);
 
   int owner_rank_;
-  std::mutex mutex_;
-  std::condition_variable posted_cv_;  // signalled when a Copy/Reduce waiter posts
+  mutable std::mutex mutex_;
+  /// Signalled when a Copy/Reduce waiter posts (the CTS) and when batched
+  /// credit returns free budget — the two events a blocked sender waits on.
+  std::condition_variable sender_cv_;
   std::uint64_t next_seq_ = 1;
+  util::PeakGauge occupancy_;      // queued + reserved bytes vs the budget
+  std::size_t queued_bytes_ = 0;   // bytes inside queues_
+  std::size_t reserved_bytes_ = 0; // credit reserved by senders not yet enqueued
+  int credit_waiters_ = 0;         // senders blocked in admit_send
+  FlowStats counters_;             // cumulative flow counters (gauges filled on read)
   std::unordered_map<ExactKey, std::deque<Envelope>, ExactKeyHash> queues_;
   std::unordered_map<ExactKey, std::vector<Waiter*>, ExactKeyHash> waiters_;
   std::unordered_map<AnyKey, std::vector<Waiter*>, AnyKeyHash> any_waiters_;
@@ -473,6 +652,20 @@ struct World {
     aborted.store(false);
     for (auto& mailbox : mailboxes) mailbox->purge_stale(next);
     return next;
+  }
+
+  /// Aggregated flow stats over all mailboxes: byte gauges and counters sum;
+  /// the peak is the worst single link (the budget is per link, so the
+  /// per-link peak is what the budget bounds).
+  Mailbox::FlowStats flow_stats() const {
+    Mailbox::FlowStats total;
+    for (const auto& mailbox : mailboxes) total.merge(mailbox->flow_stats());
+    return total;
+  }
+
+  /// Restarts flow-stat counters and peak tracking on every mailbox.
+  void reset_flow_stats() {
+    for (auto& mailbox : mailboxes) mailbox->reset_flow_stats();
   }
 
   /// Default receive deadline: SCAFFE_RECV_TIMEOUT_MS, or 0 (wait forever).

@@ -102,6 +102,42 @@ void FaultInjector::check_recovery_crash(int recovery_ordinal) {
   }
 }
 
+std::chrono::microseconds FaultInjector::on_recv_enter(int rank) {
+  if (!active()) return std::chrono::microseconds{0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& stall : plan_.recv_stalls_) {
+    if (stall.rank != rank || stall.remaining <= 0) continue;
+    --stall.remaining;
+    ++stats_.recv_stalls;
+    return stall.duration;
+  }
+  return std::chrono::microseconds{0};
+}
+
+bool FaultInjector::on_credit_check(int dst) {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [rank, remaining] : plan_.credit_starvation_) {
+    if (rank != dst || remaining <= 0) continue;
+    --remaining;
+    ++stats_.credit_denials;
+    return true;
+  }
+  return false;
+}
+
+std::chrono::microseconds FaultInjector::on_cts_post(int rank) {
+  if (!active()) return std::chrono::microseconds{0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& delay : plan_.cts_delays_) {
+    if (delay.rank != rank || delay.remaining <= 0) continue;
+    --delay.remaining;
+    ++stats_.cts_delays;
+    return delay.duration;
+  }
+  return std::chrono::microseconds{0};
+}
+
 bool FaultInjector::next_snapshot_write_fails() {
   if (!active()) return false;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -69,8 +69,14 @@ struct FaultStats {
   std::uint64_t drops = 0;
   std::uint64_t crashes = 0;
   std::uint64_t io_failures = 0;
+  std::uint64_t recv_stalls = 0;     // slow-receiver stalls served
+  std::uint64_t credit_denials = 0;  // injected credit-starvation denials
+  std::uint64_t cts_delays = 0;      // delayed clear-to-send notifications
 
-  std::uint64_t total() const noexcept { return delays + drops + crashes + io_failures; }
+  std::uint64_t total() const noexcept {
+    return delays + drops + crashes + io_failures + recv_stalls + credit_denials +
+           cts_delays;
+  }
 };
 
 /// A declarative fault schedule. Build one fluently and install it with
@@ -119,8 +125,46 @@ class FaultPlan {
     return *this;
   }
 
+  /// The first `count` blocking receives executed by world rank `rank` stall
+  /// for `stall` before touching the mailbox: a slow receiver, the overload
+  /// half of the backpressure chaos tests. Deterministic: a fixed budget of
+  /// stalls, not a probability. A stall can never change matched values
+  /// (matching is by key, not arrival time) — it only builds queue pressure.
+  FaultPlan& stall_receiver(int rank, std::chrono::microseconds stall, int count) {
+    recv_stalls_.emplace_back(rank, stall, count);
+    return *this;
+  }
+
+  /// The next `count` credit-availability checks against world rank `rank`'s
+  /// mailbox report exhaustion even when credit is free, forcing senders
+  /// through the backoff path (credit starvation). Each denial consumes one
+  /// budget unit, so the number of forced backoff rounds is exact.
+  FaultPlan& starve_credits(int rank, int count) {
+    credit_starvation_.emplace_back(rank, count);
+    return *this;
+  }
+
+  /// The first `count` receives posted by world rank `rank` delay their
+  /// clear-to-send notification by `delay`: rendezvous senders observe the
+  /// posted receive late — and out of order relative to other links — which
+  /// models a delayed/reordered CTS packet. The receive itself still matches
+  /// identically, so values are unchanged.
+  FaultPlan& delay_cts(int rank, std::chrono::microseconds delay, int count) {
+    cts_delays_.emplace_back(rank, delay, count);
+    return *this;
+  }
+
  private:
   friend class FaultInjector;
+
+  /// One budget-counted per-rank stall/delay schedule entry.
+  struct TimedBudget {
+    TimedBudget(int r, std::chrono::microseconds d, int c)
+        : rank(r), duration(d), remaining(c) {}
+    int rank;
+    std::chrono::microseconds duration;
+    int remaining;
+  };
   std::uint64_t seed_;
   double delay_probability_ = 0.0;
   std::chrono::microseconds max_delay_{0};
@@ -128,6 +172,9 @@ class FaultPlan {
   std::vector<std::pair<int, long>> crashes_;          // (rank, iteration), one-shot
   std::vector<std::pair<int, int>> recovery_crashes_;  // (rank, recovery ordinal)
   int snapshot_failures_ = 0;
+  std::vector<TimedBudget> recv_stalls_;               // slow-receiver schedules
+  std::vector<std::pair<int, int>> credit_starvation_;  // (rank, remaining denials)
+  std::vector<TimedBudget> cts_delays_;                // delayed-CTS schedules
 };
 
 /// Process-wide fault oracle. Thread-safe; inactive (all queries benign)
@@ -161,6 +208,19 @@ class FaultInjector {
   /// True if this snapshot write attempt should fail (consumes one unit of
   /// the failure budget).
   bool next_snapshot_write_fails();
+
+  /// Slow-receiver hook: stall duration for a blocking receive executed by
+  /// `rank` (zero when none scheduled). Consumes one unit of the rank's
+  /// stall budget.
+  std::chrono::microseconds on_recv_enter(int rank);
+
+  /// Credit-starvation hook: true when rank `dst`'s next credit-availability
+  /// check must report exhaustion. Consumes one denial.
+  bool on_credit_check(int dst);
+
+  /// Delayed-CTS hook: notification delay for a receive posted by `rank`
+  /// (zero when none scheduled). Consumes one unit of the delay budget.
+  std::chrono::microseconds on_cts_post(int rank);
 
   FaultStats stats() const;
 

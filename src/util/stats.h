@@ -31,6 +31,28 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
+/// Occupancy gauge: a current level plus its high-water mark. Used for the
+/// scmpi mailbox credit accounting (queued + reserved payload bytes per
+/// link). Not thread-safe on its own: guard updates with the owning
+/// structure's lock (the Mailbox updates it under its mutex).
+class PeakGauge {
+ public:
+  void add(std::size_t n) noexcept {
+    current_ += n;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void sub(std::size_t n) noexcept { current_ = n > current_ ? 0 : current_ - n; }
+  /// Restarts peak tracking from the current level (bench phase boundaries).
+  void reset_peak() noexcept { peak_ = current_; }
+
+  std::size_t current() const noexcept { return current_; }
+  std::size_t peak() const noexcept { return peak_; }
+
+ private:
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
 /// A named series of (x, y) points — one line on a paper figure.
 struct Series {
   std::string name;

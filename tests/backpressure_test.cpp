@@ -1,0 +1,437 @@
+// Credit-based flow control: bounded mailbox occupancy under incast
+// overload, RTS/CTS rendezvous admission, typed backpressure errors, and
+// the SCAFFE_MAILBOX_BYTES / backoff knob parsers. The core invariant under
+// test: however hard senders push, per-link queued+reserved bytes never
+// exceed max(budget, largest single message) — and values never change.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/knobs.h"
+#include "util/fault.h"
+
+namespace scaffe {
+namespace {
+
+using namespace std::chrono_literals;
+using mpi::TransportConfig;
+
+/// Scoped env override (tests run serially within a binary).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// --- knob parsing ------------------------------------------------------------
+
+TEST(MailboxBytesEnv, UnsetUsesOneGiBDefault) {
+  EnvGuard guard("SCAFFE_MAILBOX_BYTES", nullptr);
+  EXPECT_EQ(TransportConfig::default_mailbox_bytes(),
+            TransportConfig::kDefaultMailboxBytes);
+  EXPECT_EQ(TransportConfig::kDefaultMailboxBytes, std::size_t{1} << 30);
+}
+
+TEST(MailboxBytesEnv, OffSpellingsDisableFlowControl) {
+  for (const char* off : {"0", "off", "unlimited"}) {
+    EnvGuard guard("SCAFFE_MAILBOX_BYTES", off);
+    EXPECT_EQ(TransportConfig::default_mailbox_bytes(), 0u) << off;
+  }
+}
+
+TEST(MailboxBytesEnv, ParsesByteSizes) {
+  EnvGuard guard("SCAFFE_MAILBOX_BYTES", "64M");
+  EXPECT_EQ(TransportConfig::default_mailbox_bytes(), std::size_t{64} << 20);
+}
+
+TEST(MailboxBytesEnv, MalformedValuesThrowConfigError) {
+  for (const char* bad : {"lots", "-4M", "12Q", ""}) {
+    EnvGuard guard("SCAFFE_MAILBOX_BYTES", bad);
+    try {
+      (void)TransportConfig::default_mailbox_bytes();
+      FAIL() << "expected ConfigError for \"" << bad << "\"";
+    } catch (const mpi::ConfigError& error) {
+      EXPECT_EQ(error.knob(), "SCAFFE_MAILBOX_BYTES");
+      EXPECT_EQ(error.value(), bad);
+    }
+  }
+}
+
+TEST(BackoffKnobs, DefaultsAndParsing) {
+  {
+    EnvGuard base("SCAFFE_CREDIT_BACKOFF_US", nullptr);
+    EnvGuard cap("SCAFFE_CREDIT_BACKOFF_MAX_US", nullptr);
+    EXPECT_EQ(TransportConfig::default_credit_backoff_us(), 50u);
+    EXPECT_EQ(TransportConfig::default_credit_backoff_max_us(), 2000u);
+  }
+  {
+    EnvGuard base("SCAFFE_CREDIT_BACKOFF_US", "250");
+    EXPECT_EQ(TransportConfig::default_credit_backoff_us(), 250u);
+  }
+  {
+    EnvGuard base("SCAFFE_CREDIT_BACKOFF_US", "0");  // clamped: 0 would spin
+    EXPECT_EQ(TransportConfig::default_credit_backoff_us(), 1u);
+  }
+  {
+    EnvGuard base("SCAFFE_CREDIT_BACKOFF_US", "5ms");
+    EXPECT_THROW((void)TransportConfig::default_credit_backoff_us(), mpi::ConfigError);
+  }
+  {
+    EnvGuard cap("SCAFFE_CREDIT_BACKOFF_MAX_US", "-1");
+    EXPECT_THROW((void)TransportConfig::default_credit_backoff_max_us(),
+                 mpi::ConfigError);
+  }
+}
+
+TEST(KnobHelpers, SharedParserNamesTheKnob) {
+  EXPECT_EQ(mpi::parse_bytes_knob("SCAFFE_TEST_KNOB", "3M", "(bytes)"),
+            std::size_t{3} << 20);
+  try {
+    mpi::parse_bytes_knob("SCAFFE_TEST_KNOB", "banana", "(bytes)");
+    FAIL() << "expected ConfigError";
+  } catch (const mpi::ConfigError& error) {
+    EXPECT_EQ(error.knob(), "SCAFFE_TEST_KNOB");
+    EXPECT_NE(std::string(error.what()).find("banana"), std::string::npos);
+  }
+  EXPECT_EQ(mpi::parse_count_knob("SCAFFE_TEST_KNOB", "4096"), 4096u);
+  EXPECT_THROW(mpi::parse_count_knob("SCAFFE_TEST_KNOB", "12x"), mpi::ConfigError);
+}
+
+// --- bounded occupancy under any-source incast --------------------------------
+
+/// N senders blast messages at rank 0, which consumes them any-source with a
+/// deliberately slow cadence. Total traffic is many times the budget, so
+/// without flow control the queue would balloon; with it, per-link peak
+/// occupancy must stay within the budget and every byte must still arrive
+/// intact (stamps summed and checked).
+void run_fan_in(int senders, std::size_t msg_bytes, std::size_t budget,
+                int msgs_per_sender, bool expect_credit_waits) {
+  mpi::Runtime runtime(senders + 1);
+  runtime.set_recv_timeout(60000ms);
+  runtime.set_mailbox_bytes(budget);
+  const int total = senders * msgs_per_sender;
+  std::atomic<std::uint64_t> received_sum{0};
+  runtime.run([&](mpi::Comm& comm) {
+    constexpr int kTag = 7;
+    if (comm.rank() == 0) {
+      std::vector<std::byte> buffer(msg_bytes);
+      std::uint64_t sum = 0;
+      for (int m = 0; m < total; ++m) {
+        comm.recv_any<std::byte>(buffer, kTag);
+        sum += std::to_integer<std::uint64_t>(buffer.front()) +
+               std::to_integer<std::uint64_t>(buffer.back());
+        if (m % 8 == 0) std::this_thread::sleep_for(300us);  // slow consumer
+      }
+      received_sum.store(sum);
+    } else {
+      std::vector<std::byte> payload(msg_bytes);
+      for (int m = 0; m < msgs_per_sender; ++m) {
+        const auto stamp = static_cast<std::byte>((comm.rank() * 31 + m) & 0xff);
+        payload.front() = stamp;
+        payload.back() = stamp;
+        comm.send<std::byte>(payload, 0, kTag);
+      }
+    }
+  });
+  std::uint64_t expected = 0;
+  for (int r = 1; r <= senders; ++r) {
+    for (int m = 0; m < msgs_per_sender; ++m) {
+      expected += 2 * static_cast<std::uint64_t>((r * 31 + m) & 0xff);
+    }
+  }
+  EXPECT_EQ(received_sum.load(), expected);
+
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_LE(stats.peak_occupancy_bytes, budget);  // the bounded-memory contract
+  EXPECT_EQ(stats.queued_bytes, 0u);              // fully drained
+  EXPECT_EQ(stats.reserved_bytes, 0u);            // no leaked reservations
+  EXPECT_EQ(stats.enqueued_messages, static_cast<std::uint64_t>(total));
+  if (expect_credit_waits) EXPECT_GT(stats.credit_waits, 0u);
+}
+
+TEST(Backpressure, EagerIncastStaysUnderBudgetEightSenders) {
+  // 8 senders x 24 x 16 KiB = 3 MiB of eager traffic through a 128 KiB
+  // window: senders must block on credit, and peak occupancy stays bounded.
+  run_fan_in(/*senders=*/8, /*msg_bytes=*/16 << 10, /*budget=*/128 << 10,
+             /*msgs_per_sender=*/24, /*expect_credit_waits=*/true);
+}
+
+TEST(Backpressure, EagerSingleSenderStaysUnderBudget) {
+  run_fan_in(/*senders=*/1, /*msg_bytes=*/16 << 10, /*budget=*/128 << 10,
+             /*msgs_per_sender=*/24, /*expect_credit_waits=*/false);
+}
+
+TEST(Backpressure, RendezvousIncastStaysUnderBudgetEightSenders) {
+  // 192 KiB messages ride the rendezvous path (> 64 KiB eager limit); the
+  // any-source receiver is never claimable, so every byte flows through the
+  // bounded queue.
+  run_fan_in(/*senders=*/8, /*msg_bytes=*/192 << 10, /*budget=*/384 << 10,
+             /*msgs_per_sender=*/6, /*expect_credit_waits=*/true);
+}
+
+TEST(Backpressure, RendezvousSingleSenderStaysUnderBudget) {
+  run_fan_in(/*senders=*/1, /*msg_bytes=*/192 << 10, /*budget=*/384 << 10,
+             /*msgs_per_sender=*/6, /*expect_credit_waits=*/false);
+}
+
+TEST(Backpressure, OversizedMessageUsesTheProgressOverdraft) {
+  // A message larger than the whole budget must still land (empty-mailbox
+  // overdraft) — flow control bounds memory, it never wedges a link.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  runtime.set_mailbox_bytes(64 << 10);
+  constexpr std::size_t kBig = 256 << 10;
+  runtime.run([&](mpi::Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> payload(kBig, std::byte{0x5a});
+      comm.send<std::byte>(payload, 0, 3);
+    } else {
+      const std::vector<std::byte> got = comm.recv_bytes(1, 3);
+      ASSERT_EQ(got.size(), kBig);
+      EXPECT_EQ(got.front(), std::byte{0x5a});
+      EXPECT_EQ(got.back(), std::byte{0x5a});
+    }
+  });
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_GE(stats.peak_occupancy_bytes, kBig);  // overdraft exceeded the budget
+  EXPECT_EQ(stats.queued_bytes, 0u);
+}
+
+TEST(Backpressure, PostedReceiveClaimBypassesTheQueue) {
+  // True RTS/CTS: with the receive pre-posted, a rendezvous send claims it
+  // and fills zero-copy — no queue memory, no credit consumed.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  runtime.set_mailbox_bytes(1 << 20);
+  constexpr std::size_t kBig = 256 << 10;
+  runtime.run([&](mpi::Comm& comm) {
+    std::vector<std::byte> buffer(kBig, std::byte{0});
+    if (comm.rank() == 0) {
+      mpi::Request req = comm.irecv<std::byte>(buffer, 1, 4);  // CTS posted now
+      comm.barrier();
+      req.wait();
+      EXPECT_EQ(buffer.front(), std::byte{0x7e});
+      EXPECT_EQ(buffer.back(), std::byte{0x7e});
+    } else {
+      std::vector<std::byte> payload(kBig, std::byte{0x7e});
+      comm.barrier();  // receiver has posted before the RTS arrives
+      comm.send<std::byte>(payload, 0, 4);
+    }
+  });
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_GE(stats.claimed_messages, 1u);
+  EXPECT_GE(stats.rts_handshakes, 1u);
+  // Only the tiny barrier messages touched the queues.
+  EXPECT_LT(stats.peak_occupancy_bytes, std::size_t{16} << 10);
+}
+
+// --- typed errors with flow diagnostics ---------------------------------------
+
+TEST(Backpressure, ExhaustedCreditRaisesBackpressureError) {
+  // 32 KiB queued of a 64 KiB budget, then a 48 KiB send that can never be
+  // admitted (no receiver drains): the send must fail with a typed
+  // BackpressureError carrying the mailbox's flow snapshot.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(150ms);
+  runtime.set_mailbox_bytes(64 << 10);
+  std::atomic<bool> raised{false};
+  const auto start = std::chrono::steady_clock::now();
+  runtime.run([&](mpi::Comm& comm) {
+    if (comm.rank() != 1) return;  // rank 0 never receives: the dead consumer
+    std::vector<std::byte> first(32 << 10);
+    comm.send<std::byte>(first, 0, 9);
+    std::vector<std::byte> second(48 << 10);
+    try {
+      comm.send<std::byte>(second, 0, 9);
+      ADD_FAILURE() << "over-budget send was admitted";
+    } catch (const mpi::BackpressureError& error) {
+      raised.store(true);
+      EXPECT_EQ(error.src(), 1);
+      EXPECT_EQ(error.dst(), 0);
+      EXPECT_EQ(error.tag(), 9);
+      EXPECT_EQ(error.message_bytes(), std::size_t{48} << 10);
+      EXPECT_EQ(error.deadline(), 150ms);
+      EXPECT_EQ(error.flow().queued_bytes, std::size_t{32} << 10);
+      EXPECT_EQ(error.flow().budget_bytes, std::size_t{64} << 10);
+      EXPECT_EQ(error.flow().key_queued_bytes, std::size_t{32} << 10);
+      EXPECT_GE(error.flow().credit_waiters, 1);
+      EXPECT_NE(std::string(error.what()).find("credit"), std::string::npos);
+    }
+  });
+  EXPECT_TRUE(raised.load());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+  EXPECT_GE(runtime.flow_stats().backpressure_timeouts, 1u);
+}
+
+TEST(Backpressure, TimeoutErrorCarriesFlowDiagnostics) {
+  // A receive that times out while unrelated mail sits queued reports the
+  // mailbox state: overload-induced timeouts are distinguishable from a
+  // dead peer.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(300ms);
+  runtime.set_mailbox_bytes(64 << 10);
+  std::atomic<bool> timed_out{false};
+  runtime.run([&](mpi::Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> noise(8 << 10);
+      comm.send<std::byte>(noise, 0, 8);  // wrong tag: never matches
+      return;
+    }
+    std::vector<std::byte> buffer(16);
+    try {
+      comm.recv<std::byte>(buffer, 1, 9);
+      ADD_FAILURE() << "unmatched recv returned";
+    } catch (const mpi::TimeoutError& error) {
+      timed_out.store(true);
+      EXPECT_EQ(error.tag(), 9);
+      EXPECT_GE(error.flow().queued_bytes, std::size_t{8} << 10);
+      EXPECT_EQ(error.flow().key_queued_bytes, 0u);  // nothing for tag 9
+      EXPECT_EQ(error.flow().budget_bytes, std::size_t{64} << 10);
+      EXPECT_NE(std::string(error.what()).find("mailbox"), std::string::npos);
+    }
+  });
+  EXPECT_TRUE(timed_out.load());
+}
+
+// --- injected flow faults -----------------------------------------------------
+
+TEST(Backpressure, InjectedCreditStarvationForcesBackoffRounds) {
+  // Each starvation token denies exactly one credit check against rank 0's
+  // mailbox, forcing the sender through the backoff path with credit free.
+  util::ScopedFaultPlan scope(util::FaultPlan(5).starve_credits(0, 3));
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  std::atomic<std::uint64_t> sum{0};
+  runtime.run([&](mpi::Comm& comm) {
+    constexpr int kMsgs = 5;
+    if (comm.rank() == 1) {
+      std::vector<std::byte> payload(1 << 10);
+      for (int m = 0; m < kMsgs; ++m) {
+        payload.front() = static_cast<std::byte>(m + 1);
+        comm.send<std::byte>(payload, 0, 6);
+      }
+    } else {
+      std::uint64_t got = 0;
+      for (int m = 0; m < kMsgs; ++m) {
+        const std::vector<std::byte> msg = comm.recv_bytes(1, 6);
+        got += std::to_integer<std::uint64_t>(msg.front());
+      }
+      sum.store(got);
+    }
+  });
+  EXPECT_EQ(sum.load(), 15u);  // 1+2+3+4+5: values unchanged by starvation
+  EXPECT_EQ(util::FaultInjector::instance().stats().credit_denials, 3u);
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_GE(stats.credit_waits, 1u);
+  EXPECT_GT(stats.credit_wait_us, 0u);
+}
+
+TEST(Backpressure, DelayedCtsPreservesValues) {
+  // Rank 0 pre-posts both receives — each post consumes one delayed-CTS
+  // token, holding the sender notification back 2 ms — and the sends only
+  // start after the barrier, so both delays fire deterministically.
+  // Rendezvous senders see the CTS late (or find the posted slot on a
+  // backoff re-check, i.e. reordered) — matched values must be identical
+  // anyway.
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(6).delay_cts(0, std::chrono::microseconds(2000), 2));
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  constexpr std::size_t kBig = 128 << 10;
+  runtime.run([&](mpi::Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> a(kBig);
+      std::vector<std::byte> b(kBig);
+      mpi::Request ra = comm.irecv<std::byte>(a, 1, 11);  // CTS token 1
+      mpi::Request rb = comm.irecv<std::byte>(b, 1, 12);  // CTS token 2
+      comm.barrier();
+      ra.wait();
+      rb.wait();
+      EXPECT_EQ(a.front(), std::byte{0x21});
+      EXPECT_EQ(a.back(), std::byte{0x21});
+      EXPECT_EQ(b.front(), std::byte{0x22});
+      EXPECT_EQ(b.back(), std::byte{0x22});
+    } else {
+      comm.barrier();  // both receives are posted (and delayed) before any send
+      std::vector<std::byte> payload(kBig);
+      for (int m = 0; m < 2; ++m) {
+        payload.front() = static_cast<std::byte>(0x21 + m);
+        payload.back() = static_cast<std::byte>(0x21 + m);
+        comm.send<std::byte>(payload, 0, 11 + m);
+      }
+    }
+  });
+  EXPECT_EQ(util::FaultInjector::instance().stats().cts_delays, 2u);
+}
+
+// --- credit return through generations ----------------------------------------
+
+TEST(Backpressure, GenerationPurgeReturnsCredits) {
+  // Mail stranded by a dead epoch holds credit until begin_generation purges
+  // it; the next epoch must start with a clean window.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  runtime.run([](mpi::Comm& comm) {
+    if (comm.rank() == 1) {
+      std::vector<std::byte> payload(64 << 10);
+      comm.send<std::byte>(payload, 0, 2);  // never received
+    }
+  });
+  EXPECT_EQ(runtime.flow_stats().queued_bytes, std::size_t{64} << 10);
+
+  runtime.run([](mpi::Comm&) {});  // new generation: purge returns the credit
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_EQ(stats.queued_bytes, 0u);
+  EXPECT_EQ(stats.reserved_bytes, 0u);
+}
+
+TEST(Backpressure, DisabledBudgetRestoresLegacyUnboundedQueueing) {
+  // SCAFFE_MAILBOX_BYTES=0 (the legacy A/B arm): occupancy grows past any
+  // bound and no sender ever waits for credit.
+  mpi::Runtime runtime(2);
+  runtime.set_recv_timeout(10000ms);
+  runtime.set_mailbox_bytes(0);
+  runtime.run([](mpi::Comm& comm) {
+    constexpr int kMsgs = 24;
+    if (comm.rank() == 1) {
+      std::vector<std::byte> payload(16 << 10);
+      for (int m = 0; m < kMsgs; ++m) comm.send<std::byte>(payload, 0, 13);
+    } else {
+      std::this_thread::sleep_for(100ms);  // let the queue balloon
+      std::vector<std::byte> buffer(16 << 10);
+      for (int m = 0; m < kMsgs; ++m) comm.recv<std::byte>(buffer, 1, 13);
+    }
+  });
+  const mpi::Mailbox::FlowStats stats = runtime.flow_stats();
+  EXPECT_GT(stats.peak_occupancy_bytes, std::size_t{128} << 10);
+  EXPECT_EQ(stats.credit_waits, 0u);
+  EXPECT_EQ(stats.queued_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace scaffe

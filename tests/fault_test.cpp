@@ -574,5 +574,108 @@ TEST_F(RecoveryTest, ShrinkFallsBackToSameSizeRestartWhenBatchIndivisible) {
   EXPECT_EQ(recovered.final_params, clean.final_params);
 }
 
+// --- backpressure chaos: overload + flow faults under real training -----------
+
+/// Scoped env override for the mailbox budget (read at World construction).
+class MailboxBudgetGuard {
+ public:
+  explicit MailboxBudgetGuard(const char* value) {
+    if (const char* old = std::getenv("SCAFFE_MAILBOX_BYTES")) saved_ = old;
+    ::setenv("SCAFFE_MAILBOX_BYTES", value, 1);
+  }
+  ~MailboxBudgetGuard() {
+    if (!saved_.empty()) {
+      ::setenv("SCAFFE_MAILBOX_BYTES", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("SCAFFE_MAILBOX_BYTES");
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(MessageFaults, OverloadedMailboxesDoNotChangeTrainingResults) {
+  // The backpressure chaos leg: a starvation-tight 4 KiB mailbox budget plus
+  // slow-receiver stalls, injected credit denials, and delayed CTS
+  // notifications. Every sender repeatedly blocks for credit and every flow
+  // fault fires — yet matching is by key, so the trained parameters must be
+  // bitwise identical to the fault-free, unbounded run.
+  auto run_once = [] {
+    data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+    data::ImageDataBackend backend(dataset);
+    core::TrainerConfig config;
+    config.iterations = 4;
+    config.global_batch = 8;
+    config.scaffe.variant = core::Variant::SCOB;
+    config.recv_timeout_ms = 30000;  // backstop: fail typed, never hang
+    return core::train_with_recovery(
+        2, backend, dataset.sample_floats(),
+        [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); }, config);
+  };
+
+  const core::TrainerReport clean = run_once();
+  ASSERT_FALSE(clean.final_params.empty());
+
+  MailboxBudgetGuard budget("4K");
+  util::ScopedFaultPlan scope(util::FaultPlan(23)
+                                  .stall_receiver(0, std::chrono::microseconds(300), 40)
+                                  .stall_receiver(1, std::chrono::microseconds(300), 40)
+                                  .starve_credits(0, 12)
+                                  .starve_credits(1, 12)
+                                  .delay_cts(0, std::chrono::microseconds(200), 12)
+                                  .delay_cts(1, std::chrono::microseconds(200), 12));
+  const core::TrainerReport overloaded = run_once();
+
+  const util::FaultStats stats = util::FaultInjector::instance().stats();
+  EXPECT_GT(stats.recv_stalls, 0u);
+  EXPECT_GT(stats.credit_denials, 0u);
+
+  ASSERT_EQ(overloaded.final_params.size(), clean.final_params.size());
+  EXPECT_EQ(overloaded.final_params, clean.final_params);  // bitwise identity
+  EXPECT_EQ(overloaded.root_losses, clean.root_losses);
+}
+
+TEST_F(RecoveryTest, ShrinkUnderTightMailboxBudgetStaysBitwise) {
+  // Elastic shrink with flow control squeezed to 4 KiB per link: the crashed
+  // epoch strands queued mail that holds nearly the whole window, so the
+  // survivor generation only makes progress if begin_generation's purge
+  // returns that credit. A leak here shows up as a 30 s TimeoutError, a
+  // correctness bug as a bitwise mismatch against the fresh-resume reference.
+  MailboxBudgetGuard budget("4K");
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  core::TrainerConfig prefix = base_config();
+  prefix.global_batch = 12;
+  prefix.iterations = 4;
+  core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+  core::TrainerConfig suffix = base_config();
+  suffix.global_batch = 12;
+  suffix.start_iteration = 4;
+  const core::TrainerReport reference =
+      core::train_with_recovery(3, backend, dataset.sample_floats(), factory(), suffix);
+  ASSERT_FALSE(reference.final_params.empty());
+  std::filesystem::remove(path_);
+
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  util::ScopedFaultPlan scope(util::FaultPlan(53)
+                                  .crash_rank(1, 5)
+                                  .stall_receiver(0, std::chrono::microseconds(200), 30)
+                                  .starve_credits(0, 8));
+  const core::TrainerReport shrunk =
+      core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(shrunk.recovery.shrinks, 1);
+  EXPECT_EQ(shrunk.recovery.final_world_size, 3);
+  ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
+  EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
+  EXPECT_EQ(shrunk.root_losses, reference.root_losses);
+}
+
 }  // namespace
 }  // namespace scaffe
