@@ -1,20 +1,33 @@
 // Time-to-resume after a rank failure: RecoveryPolicy::Restart (same-size
-// relaunch) vs RecoveryPolicy::Shrink (survivor-world continue) at 4/8/16
-// ranks, against the fault-free baseline. Real wall clock on this machine's
+// relaunch) vs RecoveryPolicy::Shrink (survivor-world continue) vs
+// RecoveryPolicy::Rejoin (shrink, then heal to full size at the next
+// checkpoint boundary) at 4/8/16 ranks, against the fault-free baseline —
+// plus the health plane's detection-latency rows: time-to-suspect via
+// heartbeats (default SCAFFE_HEARTBEAT_MS knobs) vs the recv-timeout
+// deadline for the same silent death. Real wall clock on this machine's
 // in-process scmpi world; writes machine-readable BENCH_recovery.json so the
 // recovery-latency trajectory is tracked PR over PR.
 //
 // Weak scaling keeps every world size (and every shrunk survivor count)
 // viable without batch-divisibility concerns.
+//
+// SCAFFE_BENCH_SMOKE=1 runs the 4-rank row only (CI smoke).
+// SCAFFE_RECOVERY_ASSERT=1 gates the run: heartbeat detection must beat the
+// recv-timeout arm by >= 5x, and every Rejoin row must heal back to the full
+// world.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/trainer.h"
 #include "data/dataset.h"
 #include "models/zoo.h"
+#include "mpi/comm.h"
+#include "mpi/health.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
 
@@ -29,15 +42,27 @@ struct Row {
   double clean_ms = 0;    // fault-free run
   double restart_ms = 0;  // crash at mid-run, same-size restart
   double shrink_ms = 0;   // crash at mid-run, survivors continue
+  double rejoin_ms = 0;   // crash at mid-run, shrink then heal to full size
   int shrink_final_world = 0;
+  int rejoin_final_world = 0;
+  int rejoins = 0;
+  int steps_lost = 0;  // iterations replayed: crash iteration - checkpoint
+  double detect_heartbeat_ms = 0;  // time-to-suspect, default heartbeat knobs
+  double detect_timeout_ms = 0;    // time-to-TimeoutError at the recv deadline
 };
+
+constexpr int kCrashIteration = 5;
+constexpr int kSnapshotEvery = 2;
+// The recv deadline a job would run with when heartbeats are off: generous
+// enough to never false-positive on a slow collective.
+constexpr long kDetectionDeadlineMs = 2000;
 
 core::TrainerConfig make_config(const std::string& snapshot_path) {
   core::TrainerConfig config;
   config.iterations = 8;
   config.global_batch = 8;  // per rank: weak scaling
   config.scaling = core::Scaling::Weak;
-  config.snapshot_every = 2;
+  config.snapshot_every = kSnapshotEvery;
   config.snapshot_path = snapshot_path;
   config.recv_timeout_ms = 30000;
   config.solver.base_lr = 0.05f;
@@ -58,12 +83,54 @@ double timed_run(int ranks, data::ImageDataBackend& backend,
   return ms;
 }
 
+// Detection latency for the same silent death (rank 1 deserts), measured two
+// ways: heartbeat suspicion at the default knobs vs a blocked receive
+// waiting out the full deadline.
+void measure_detection(int ranks, Row& row) {
+  {
+    mpi::Runtime runtime(ranks);
+    const auto start = Clock::now();
+    try {
+      runtime.run([](mpi::Comm& comm) {
+        if (comm.rank() == 1) return;  // silent death
+        mpi::HealthMonitor monitor(comm);  // default 25ms x 4 misses
+        for (int i = 0; i < 20000; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          monitor.poll();
+        }
+      });
+    } catch (const mpi::SuspectError&) {
+    } catch (const mpi::AbortError&) {
+    }
+    row.detect_heartbeat_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  }
+  {
+    mpi::Runtime runtime(ranks);
+    runtime.set_recv_timeout(std::chrono::milliseconds(kDetectionDeadlineMs));
+    const auto start = Clock::now();
+    try {
+      runtime.run([](mpi::Comm& comm) {
+        if (comm.rank() == 1) return;  // silent death
+        std::vector<float> buffer(1);
+        comm.recv<float>(buffer, 1, 7);  // blocked on the dead rank
+      });
+    } catch (const mpi::TimeoutError&) {
+    } catch (const mpi::AbortError&) {
+    }
+    row.detect_timeout_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  }
+}
+
 }  // namespace
 
 int main() {
   // Rank threads already provide the parallelism here; keep the math pool
   // serial so 16-rank worlds don't oversubscribe the machine.
   util::ThreadPool::set_global_threads(1);
+  const bool smoke = std::getenv("SCAFFE_BENCH_SMOKE") != nullptr;
+  const bool assert_gate = std::getenv("SCAFFE_RECOVERY_ASSERT") != nullptr;
 
   const std::string snapshot_path =
       (std::filesystem::temp_directory_path() / "scaffe_bench_recovery.bin").string();
@@ -71,36 +138,58 @@ int main() {
   data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
   data::ImageDataBackend backend(dataset);
 
+  std::vector<int> rank_counts{4, 8, 16};
+  if (smoke) rank_counts = {4};
+
   std::vector<Row> rows;
-  for (const int ranks : {4, 8, 16}) {
+  for (const int ranks : rank_counts) {
     Row row;
     row.ranks = ranks;
+    // Both crash policies replay from the checkpoint before the crash.
+    row.steps_lost = kCrashIteration - (kCrashIteration / kSnapshotEvery) * kSnapshotEvery;
     core::TrainerConfig config = make_config(snapshot_path);
 
     std::filesystem::remove(snapshot_path);
     row.clean_ms = timed_run(ranks, backend, dataset, config, nullptr);
 
     // Rank 1 dies at iteration 5; the last good checkpoint records 4, so
-    // both policies replay iterations 4..7 on top of the recovery cost.
+    // every policy replays iterations 4..7 on top of the recovery cost.
     {
       std::filesystem::remove(snapshot_path);
-      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, 5));
+      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, kCrashIteration));
       config.recovery = core::RecoveryPolicy::Restart;
       row.restart_ms = timed_run(ranks, backend, dataset, config, nullptr);
     }
     {
       std::filesystem::remove(snapshot_path);
-      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, 5));
+      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, kCrashIteration));
       config.recovery = core::RecoveryPolicy::Shrink;
       core::TrainerReport report;
       row.shrink_ms = timed_run(ranks, backend, dataset, config, &report);
       row.shrink_final_world = report.recovery.final_world_size;
     }
+    {
+      std::filesystem::remove(snapshot_path);
+      util::ScopedFaultPlan scope(util::FaultPlan(13).crash_rank(1, kCrashIteration));
+      config.recovery = core::RecoveryPolicy::Rejoin;
+      core::TrainerReport report;
+      row.rejoin_ms = timed_run(ranks, backend, dataset, config, &report);
+      row.rejoin_final_world = report.recovery.final_world_size;
+      row.rejoins = report.recovery.rejoins;
+    }
+
+    measure_detection(ranks, row);
 
     std::printf("ranks=%2d  clean %7.1f ms  restart %7.1f ms (+%5.1f)  "
-                "shrink %7.1f ms (+%5.1f, finishes on %d)\n",
+                "shrink %7.1f ms (+%5.1f, finishes on %d)  "
+                "rejoin %7.1f ms (+%5.1f, heals to %d)\n",
                 ranks, row.clean_ms, row.restart_ms, row.restart_ms - row.clean_ms,
-                row.shrink_ms, row.shrink_ms - row.clean_ms, row.shrink_final_world);
+                row.shrink_ms, row.shrink_ms - row.clean_ms, row.shrink_final_world,
+                row.rejoin_ms, row.rejoin_ms - row.clean_ms, row.rejoin_final_world);
+    std::printf("          detect: heartbeat %7.1f ms vs recv-timeout %7.1f ms "
+                "(%.1fx faster, %d step(s) lost to replay)\n",
+                row.detect_heartbeat_ms, row.detect_timeout_ms,
+                row.detect_timeout_ms / row.detect_heartbeat_ms, row.steps_lost);
     rows.push_back(row);
   }
   std::filesystem::remove(snapshot_path);
@@ -114,19 +203,57 @@ int main() {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"workload\": \"mlp 6-8-3, weak scaling, batch 8/rank, "
                     "8 iterations, crash at 5, checkpoint at 4\",\n");
+  std::fprintf(out, "  \"detection\": \"rank deserts; heartbeat default knobs "
+                    "(25ms x 4 misses) vs %ldms recv deadline\",\n",
+               kDetectionDeadlineMs);
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(out,
                  "    {\"ranks\": %d, \"clean_ms\": %.3f, \"restart_ms\": %.3f, "
-                 "\"shrink_ms\": %.3f, \"restart_overhead_ms\": %.3f, "
-                 "\"shrink_overhead_ms\": %.3f, \"shrink_final_world\": %d}%s\n",
-                 row.ranks, row.clean_ms, row.restart_ms, row.shrink_ms,
+                 "\"shrink_ms\": %.3f, \"rejoin_ms\": %.3f, "
+                 "\"restart_overhead_ms\": %.3f, \"shrink_overhead_ms\": %.3f, "
+                 "\"rejoin_overhead_ms\": %.3f, \"shrink_final_world\": %d, "
+                 "\"rejoin_final_world\": %d, \"rejoins\": %d, \"steps_lost\": %d, "
+                 "\"detect_heartbeat_ms\": %.3f, \"detect_timeout_ms\": %.3f, "
+                 "\"detection_speedup\": %.2f}%s\n",
+                 row.ranks, row.clean_ms, row.restart_ms, row.shrink_ms, row.rejoin_ms,
                  row.restart_ms - row.clean_ms, row.shrink_ms - row.clean_ms,
-                 row.shrink_final_world, i + 1 < rows.size() ? "," : "");
+                 row.rejoin_ms - row.clean_ms, row.shrink_final_world,
+                 row.rejoin_final_world, row.rejoins, row.steps_lost,
+                 row.detect_heartbeat_ms, row.detect_timeout_ms,
+                 row.detect_timeout_ms / row.detect_heartbeat_ms,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
+
+  if (assert_gate) {
+    for (const Row& row : rows) {
+      if (row.rejoin_final_world != row.ranks || row.rejoins < 1) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: ranks=%d rejoin healed to %d (rejoins=%d), "
+                     "expected the full world back\n",
+                     row.ranks, row.rejoin_final_world, row.rejoins);
+        return 1;
+      }
+      if (row.shrink_final_world != row.ranks - 1) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: ranks=%d shrink finished on %d, expected %d\n",
+                     row.ranks, row.shrink_final_world, row.ranks - 1);
+        return 1;
+      }
+      if (row.detect_timeout_ms < 5.0 * row.detect_heartbeat_ms) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: ranks=%d heartbeat detection %.1fms not >= 5x "
+                     "faster than recv-timeout %.1fms\n",
+                     row.ranks, row.detect_heartbeat_ms, row.detect_timeout_ms);
+        return 1;
+      }
+    }
+    std::printf("recovery asserts passed: rejoin heals to full world, heartbeat "
+                "detection >= 5x faster than recv-timeout\n");
+  }
   return 0;
 }

@@ -59,6 +59,13 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "==> bench_backpressure smoke (build-release)"
   (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_BACKPRESSURE_ASSERT=1 ./bench/bench_backpressure)
 
+  # Recovery smoke: crash/shrink/rejoin timings plus the health plane's
+  # detection-latency rows. Writes BENCH_recovery.json and (via
+  # SCAFFE_RECOVERY_ASSERT) fails the check unless heartbeat suspicion beats
+  # the recv-timeout deadline by >=5x and Rejoin heals back to the full world.
+  echo "==> bench_recovery smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_RECOVERY_ASSERT=1 ./bench/bench_recovery)
+
   # Multi-rank tests multiply SCAFFE_THREADS by the rank count; keep the math
   # pool serial under the sanitizers so runtimes stay sane. Determinism is
   # unaffected.

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Nightly chaos soak: run the fault-injection and stress suites under TSan
+# with a randomized-but-logged seed, many times in a row.
+#
+#   scripts/soak.sh                 # random seed, 10 rounds
+#   scripts/soak.sh 1234            # fixed seed (reproduce a nightly failure)
+#   SCAFFE_SOAK_ROUNDS=3 scripts/soak.sh
+#
+# The seed feeds SCAFFE_SOAK_SEED, which the chaos tests read to derive their
+# fault schedules (victim rank, crash iteration, message-delay RNG). Each
+# round perturbs the seed so one invocation covers many schedules. The seed
+# is printed up front and by the tests themselves — paste it back as $1 to
+# replay the exact failing schedule.
+#
+# TSan is the right sanitizer for soak: the fault paths (abort broadcast,
+# heartbeat suspicion, credit starvation, mid-collective crashes) are where
+# rank threads, the monitor thread, and the SC-OBR helper interleave worst.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+rounds="${SCAFFE_SOAK_ROUNDS:-10}"
+seed="${1:-$(( (RANDOM << 15) ^ RANDOM ))}"
+
+echo "==> chaos soak: seed=${seed} rounds=${rounds} (rerun: scripts/soak.sh ${seed})"
+
+cmake -B build-tsan -S . -DSCAFFE_SANITIZE=thread
+cmake --build build-tsan -j "${jobs}" --target fault_test stress_test
+
+# Keep the math pool serial under TSan (same rationale as check.sh): rank
+# threads already multiply, and determinism is unaffected.
+for (( round = 0; round < rounds; round++ )); do
+  round_seed=$(( seed + round * 7919 ))
+  echo "==> soak round $(( round + 1 ))/${rounds}: SCAFFE_SOAK_SEED=${round_seed}"
+  SCAFFE_THREADS=1 SCAFFE_SOAK_SEED="${round_seed}" ./build-tsan/tests/fault_test
+  SCAFFE_THREADS=1 SCAFFE_SOAK_SEED="${round_seed}" ./build-tsan/tests/stress_test
+done
+
+echo "==> soak passed: seed=${seed} rounds=${rounds}"

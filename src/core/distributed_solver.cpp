@@ -1,5 +1,6 @@
 #include "core/distributed_solver.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -294,6 +295,12 @@ IterationResult DistributedSolver::train_iteration(std::span<const float> data,
   dl::Net& net = solver_.net();
   IterationResult result;
   result.iteration = solver_.iteration();
+  const auto compute_start = std::chrono::steady_clock::now();
+  const auto mark_compute_done = [&result, compute_start] {
+    result.compute_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - compute_start)
+                            .count();
+  };
 
   if (config_.aggregation == Aggregation::AllreduceSgd) {
     // No propagation phase: every replica already holds the parameters and
@@ -301,6 +308,7 @@ IterationResult DistributedSolver::train_iteration(std::span<const float> data,
     load_batch(data, labels);
     result.local_loss = solver_.step_preloaded();
     net.flatten_diffs(packed_);
+    mark_compute_done();  // aggregation below waits on peers
     if (config_.ring_allreduce &&
         packed_.size() >= static_cast<std::size_t>(comm_.size())) {
       comm_.allreduce(std::span<float>(packed_));
@@ -319,6 +327,7 @@ IterationResult DistributedSolver::train_iteration(std::span<const float> data,
       propagate_blocking();
       load_batch(data, labels);
       result.local_loss = forward_backward_blocking();
+      mark_compute_done();
       aggregate_blocking();
       break;
     }
@@ -337,14 +346,17 @@ IterationResult DistributedSolver::train_iteration(std::span<const float> data,
       result.local_loss = forward_with_overlapped_propagation(requests);
       if (config_.variant == Variant::SCOB) {
         net.backward();
+        mark_compute_done();
         if (planner_) {
           aggregate_fused();
         } else {
           aggregate_blocking();
         }
       } else if (planner_) {
+        mark_compute_done();  // SC-OBR: backward overlaps aggregation
         aggregate_fused_overlapped();
       } else {
+        mark_compute_done();
         aggregate_overlapped();
       }
       break;

@@ -31,6 +31,15 @@ namespace scaffe::core {
 struct IterationResult {
   float local_loss = 0.0f;
   long iteration = 0;  // iteration just completed
+  /// Time to produce this rank's local gradients, measured up to (not
+  /// including) the gradient aggregation. In synchronized data-parallel
+  /// training the WALL step time equalizes across ranks (everyone waits for
+  /// the slowest inside the collective), so this pre-aggregation latency is
+  /// what the health plane's straggler detection feeds on: a genuinely slow
+  /// rank shows up here while its peers stay fast. Under SC-OBR the backward
+  /// pass overlaps aggregation, so the measurement covers through the
+  /// forward pass only.
+  double compute_ms = 0.0;
 };
 
 class DistributedSolver {

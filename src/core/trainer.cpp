@@ -1,9 +1,13 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <numeric>
+#include <optional>
+#include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "data/reader.h"
 #include "dl/snapshot.h"
@@ -15,6 +19,7 @@ const char* recovery_policy_name(RecoveryPolicy policy) noexcept {
   switch (policy) {
     case RecoveryPolicy::Restart: return "Restart";
     case RecoveryPolicy::Shrink: return "Shrink";
+    case RecoveryPolicy::Rejoin: return "Rejoin";
   }
   return "?";
 }
@@ -57,10 +62,35 @@ TrainerReport Trainer::run() {
                            config_.scaffe);
 
   if (config_.start_iteration > 0) {
-    // Recovery path: every rank restores the full solver checkpoint (params
-    // + momentum + iteration), so the resumed trajectory is bitwise the one
-    // the uninterrupted run would have followed.
-    dl::load_solver(solver.solver(), config_.snapshot_path);
+    if (config_.bcast_restore) {
+      // State-transfer resume: only rank 0 touches the checkpoint file; the
+      // full solver state (iteration + params + momentum) travels to every
+      // other rank over the wire. This is how a rank that (re)joins after a
+      // Rejoin heal receives its state — it holds no local checkpoint.
+      // Floats carry the iteration exactly (checkpoint iterations are far
+      // below 2^24), so the restored state is bitwise the file's contents.
+      dl::SgdSolver& sgd = solver.solver();
+      const std::size_t params = sgd.net().param_count();
+      const std::size_t state = sgd.state_count();
+      std::vector<float> blob(1 + params + state);
+      if (comm_.rank() == 0) {
+        dl::load_solver(sgd, config_.snapshot_path);
+        blob[0] = static_cast<float>(sgd.iteration());
+        sgd.net().flatten_params(std::span<float>(blob).subspan(1, params));
+        sgd.flatten_state(std::span<float>(blob).subspan(1 + params, state));
+      }
+      comm_.bcast(std::span<float>(blob), 0);
+      if (comm_.rank() != 0) {
+        sgd.net().unflatten_params(std::span<const float>(blob).subspan(1, params));
+        sgd.unflatten_state(std::span<const float>(blob).subspan(1 + params, state));
+        sgd.set_iteration(static_cast<long>(blob[0]));
+      }
+    } else {
+      // Recovery path: every rank restores the full solver checkpoint (params
+      // + momentum + iteration), so the resumed trajectory is bitwise the one
+      // the uninterrupted run would have followed.
+      dl::load_solver(solver.solver(), config_.snapshot_path);
+    }
     if (solver.solver().iteration() != config_.start_iteration) {
       throw std::runtime_error("Trainer: snapshot iteration " +
                                std::to_string(solver.solver().iteration()) +
@@ -70,27 +100,62 @@ TrainerReport Trainer::run() {
     report.recovery.resumed_iteration = config_.start_iteration;
   }
 
-  for (int iteration = config_.start_iteration; iteration < config_.iterations;
-       ++iteration) {
-    // Rank-crash-at-iteration hook: in a real cluster this is the process
-    // dying; here it throws, the world aborts, and recovery takes over.
-    // Keyed by WORLD rank so crash schedules stay stable after a shrink
-    // re-densifies comm ranks (world rank == comm rank in a full world).
-    faults.check_crash(comm_.world_rank(), iteration);
+  std::optional<mpi::HealthMonitor> monitor;
+  if (config_.health_monitor) {
+    // Align the ranks first: solver/reader construction time must not count
+    // as heartbeat silence against a slow-starting peer.
+    comm_.barrier();
+    monitor.emplace(comm_, config_.health ? *config_.health
+                                          : mpi::HealthConfig::from_env());
+  }
 
-    const data::Batch batch = reader.next();
-    const IterationResult result = solver.train_iteration(batch.data, batch.labels);
-    if (solver.is_root()) report.root_losses.push_back(result.local_loss);
-
-    if (config_.snapshot_every > 0 && (iteration + 1) % config_.snapshot_every == 0) {
-      if (solver.is_root() && !config_.snapshot_path.empty()) {
-        const int attempts = dl::save_solver(solver.solver(), config_.snapshot_path);
-        report.recovery.snapshot_write_retries += attempts - 1;
-        ++report.snapshots_written;
+  try {
+    for (int iteration = config_.start_iteration; iteration < config_.iterations;
+         ++iteration) {
+      // Rank-crash-at-iteration hook: in a real cluster this is the process
+      // dying; here it throws, the world aborts, and recovery takes over.
+      // Keyed by WORLD rank so crash schedules stay stable after a shrink
+      // re-densifies comm ranks (world rank == comm rank in a full world).
+      faults.check_crash(comm_.world_rank(), iteration);
+      double stall_ms = 0.0;
+      if (faults.active()) {
+        // Straggler hook: a stalled step, counted into this rank's
+        // heartbeat-reported compute latency below.
+        const auto stall = faults.on_step(comm_.world_rank());
+        if (stall.count() > 0) {
+          std::this_thread::sleep_for(stall);
+          stall_ms = std::chrono::duration<double, std::milli>(stall).count();
+        }
       }
-      // Snapshots are a synchronization point in Caffe's workflow.
-      comm_.barrier();
+
+      const data::Batch batch = reader.next();
+      const IterationResult result = solver.train_iteration(batch.data, batch.labels);
+      if (solver.is_root()) report.root_losses.push_back(result.local_loss);
+
+      if (monitor) {
+        // Pre-aggregation latency only (see IterationResult::compute_ms):
+        // wall step time equalizes across a synchronized world, which would
+        // blind the straggler median.
+        monitor->record_step(stall_ms + result.compute_ms);
+        monitor->poll();  // surface a confirmed suspect as the typed error
+      }
+
+      if (config_.snapshot_every > 0 && (iteration + 1) % config_.snapshot_every == 0) {
+        if (solver.is_root() && !config_.snapshot_path.empty()) {
+          const int attempts = dl::save_solver(solver.solver(), config_.snapshot_path);
+          report.recovery.snapshot_write_retries += attempts - 1;
+          ++report.snapshots_written;
+        }
+        // Snapshots are a synchronization point in Caffe's workflow.
+        comm_.barrier();
+      }
     }
+  } catch (const mpi::AbortError&) {
+    // A rank blocked inside a collective unwinds with AbortError when the
+    // world dies — including when its OWN monitor confirmed the suspect and
+    // aborted to unblock it. Prefer the typed SuspectError in that case.
+    if (monitor && monitor->suspected()) monitor->poll();
+    throw;
   }
 
   report.iterations = solver.solver().iteration();
@@ -101,6 +166,9 @@ TrainerReport Trainer::run() {
   if (solver.is_root()) {
     report.final_params.resize(solver.solver().net().param_count());
     solver.solver().net().flatten_params(report.final_params);
+    report.final_state.resize(solver.solver().state_count());
+    solver.solver().flatten_state(report.final_state);
+    if (monitor) report.health = monitor->report();
   }
   return report;
 }
@@ -121,11 +189,28 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
   }
 
   // The survivor set, as world ranks. Shrink removes the dead; comm ranks
-  // inside each attempt are the dense 0..live.size()-1 renumbering.
-  std::vector<int> live(static_cast<std::size_t>(nranks));
-  std::iota(live.begin(), live.end(), 0);
+  // inside each attempt are the dense 0..live.size()-1 renumbering. `full`
+  // is the configured membership a Rejoin heal restores.
+  std::vector<int> full(static_cast<std::size_t>(nranks));
+  std::iota(full.begin(), full.end(), 0);
+  std::vector<int> live = full;
+  // Next attempt resumes by rank-0 bcast instead of per-rank file loads
+  // (set only for the healed attempt after a Rejoin boundary).
+  bool bcast_restore = false;
 
   for (;;) {
+    // Under Rejoin a degraded world runs only to the next checkpoint
+    // boundary: that is the generation boundary where the healed full world
+    // takes over, with a checkpoint guaranteed to exist there.
+    int segment_end = config.iterations;
+    if (config.recovery == RecoveryPolicy::Rejoin && live.size() < full.size() &&
+        config.snapshot_every > 0 && !config.snapshot_path.empty()) {
+      const int boundary =
+          (start_iteration / config.snapshot_every + 1) * config.snapshot_every;
+      segment_end = std::min(config.iterations, boundary);
+    }
+    const bool heal_after = segment_end < config.iterations;
+
     std::mutex mutex;
     TrainerReport root_report;
     bool have_root_report = false;
@@ -136,6 +221,8 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
       runtime.run_members(live, [&](mpi::Comm& comm) {
         TrainerConfig attempt_config = config;
         attempt_config.start_iteration = start_iteration;
+        attempt_config.iterations = segment_end;
+        attempt_config.bcast_restore = bcast_restore;
         Trainer trainer(comm, backend, sample_floats, net_factory, attempt_config);
         TrainerReport report = trainer.run();
         if (comm.rank() == 0) {
@@ -144,42 +231,74 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
           have_root_report = true;
         }
       });
-    } catch (const mpi::TimeoutError& error) {
-      ++recovery.timeouts;
-      restartable_failure = true;
-      // The peer the receiver was blocked on is the prime suspect. The
-      // training path runs its collectives on the attempt's top-level
-      // communicator, whose comm ranks index `live`.
-      if (error.src() != mpi::kAnySource && error.src() >= 0 &&
-          error.src() < static_cast<int>(live.size())) {
-        dead_world_rank = live[static_cast<std::size_t>(error.src())];
-      }
     } catch (const util::InjectedCrash& crash) {
       restartable_failure = true;
       dead_world_rank = crash.rank();  // a world rank (see Trainer::run)
     } catch (const mpi::AbortError&) {
       restartable_failure = true;  // secondary unwind; victim unknown
+    } catch (const mpi::Error& error) {
+      // Unified victim selection: every typed transport/health error names
+      // its suspect the same way (a comm rank indexing `live`, or -1), so
+      // the supervisor no longer special-cases error types. Timeout,
+      // backpressure, heartbeat suspicion, and eager CRC mismatch are
+      // restartable; config/transport-contract errors are not.
+      if (!error.restartable()) throw;
+      restartable_failure = true;
+      if (dynamic_cast<const mpi::SuspectError*>(&error) != nullptr) {
+        ++recovery.suspicions;
+      } else {
+        ++recovery.timeouts;
+      }
+      const int suspect = error.suspect();
+      if (suspect >= 0 && suspect < static_cast<int>(live.size())) {
+        dead_world_rank = live[static_cast<std::size_t>(suspect)];
+      }
     }
     // Anything else (config errors, corrupt-beyond-recovery checkpoints,
     // logic bugs) propagates: restarting would not help.
 
     if (!restartable_failure) {
+      if (heal_after) {
+        // Clean arrival at the Rejoin boundary: restore the configured
+        // membership. The joining ranks hold no state — the next attempt
+        // starts under a fresh generation (schedules re-derive for the
+        // healed size via install_collectives) and rank 0 bcasts the
+        // boundary checkpoint to everyone.
+        ++recovery.rejoins;
+        for (int rank : full) {
+          if (std::find(live.begin(), live.end(), rank) == live.end()) {
+            recovery.rejoined_world_ranks.push_back(rank);
+          }
+        }
+        live = full;
+        start_iteration = segment_end;
+        recovery.resumed_iteration = segment_end;
+        bcast_restore = true;
+        continue;
+      }
       if (!have_root_report) {
         throw std::runtime_error("train_with_recovery: no report from rank 0");
       }
       root_report.recovery.restarts = recovery.restarts;
       root_report.recovery.shrinks = recovery.shrinks;
       root_report.recovery.timeouts = recovery.timeouts;
+      root_report.recovery.suspicions = recovery.suspicions;
+      root_report.recovery.rejoins = recovery.rejoins;
       root_report.recovery.snapshot_write_retries += recovery.snapshot_write_retries;
       root_report.recovery.dead_world_ranks = recovery.dead_world_ranks;
+      root_report.recovery.rejoined_world_ranks = recovery.rejoined_world_ranks;
       root_report.recovery.final_world_size = static_cast<int>(live.size());
       root_report.recovery.final_generation = runtime.generation();
-      if (recovery.restarts > 0) {
+      if (recovery.restarts > 0 || recovery.rejoins > 0) {
         root_report.recovery.resumed_iteration = recovery.resumed_iteration;
       }
       root_report.recovery.faults_fired = faults.stats().total();
       return root_report;
     }
+
+    // Failed attempts resume from disk on every rank: the bcast handoff is
+    // only valid for the clean heal it was armed for.
+    bcast_restore = false;
 
     ++recovery.restarts;
     if (recovery.restarts > max_restarts) {
@@ -201,7 +320,8 @@ TrainerReport train_with_recovery(int nranks, data::ReadBackend& backend,
       }
     }
 
-    if (config.recovery == RecoveryPolicy::Shrink) {
+    if (config.recovery == RecoveryPolicy::Shrink ||
+        config.recovery == RecoveryPolicy::Rejoin) {
       std::vector<int> survivors = live;
       for (int rank : dead) {
         survivors.erase(std::remove(survivors.begin(), survivors.end(), rank),

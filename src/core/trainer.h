@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "data/backend.h"
 #include "dl/solver.h"
 #include "mpi/comm.h"
+#include "mpi/health.h"
 
 namespace scaffe::core {
 
@@ -21,6 +23,11 @@ enum class RecoveryPolicy {
             // (models replacing the dead node before resuming)
   Shrink,   // drop the dead rank, rebuild an (n-1)-rank survivor world under
             // a new membership generation, reshard, rescale, and continue
+  Rejoin,   // Shrink, then heal: the degraded world runs only to the next
+            // checkpoint boundary, where the full membership relaunches under
+            // a new generation and rank 0 bcasts the checkpoint state to the
+            // (re)joining ranks — transient node loss no longer permanently
+            // degrades the configured world size
 };
 
 const char* recovery_policy_name(RecoveryPolicy policy) noexcept;
@@ -52,6 +59,21 @@ struct TrainerConfig {
   /// When > 0, readers shuffle sample order with a deterministic per-epoch
   /// permutation over this many samples (typically the dataset size).
   std::uint64_t shuffle_epoch_size = 0;
+
+  /// Run a HealthMonitor per rank: heartbeat failure detection (typed
+  /// SuspectError long before the receive deadline) plus straggler flagging
+  /// in TrainerReport.health.
+  bool health_monitor = false;
+
+  /// Health-plane tuning; nullopt reads SCAFFE_HEARTBEAT_MS /
+  /// SCAFFE_HEARTBEAT_MISS_LIMIT / SCAFFE_STRAGGLER_FACTOR at run time.
+  std::optional<mpi::HealthConfig> health;
+
+  /// Resume by state transfer instead of per-rank file reads: rank 0 loads
+  /// `snapshot_path` and bcasts iteration + params + momentum to everyone.
+  /// Set by train_with_recovery for the healed attempt after a Rejoin —
+  /// (re)joining ranks need no local checkpoint file.
+  bool bcast_restore = false;
 };
 
 /// Fault-tolerance bookkeeping: what went wrong during a (possibly
@@ -59,11 +81,14 @@ struct TrainerConfig {
 struct RecoveryEvents {
   int restarts = 0;                // recovery cycles (same-size restarts AND shrinks)
   int shrinks = 0;                 // cycles that removed at least one dead rank
-  int timeouts = 0;                // attempts that failed with a TimeoutError
+  int timeouts = 0;                // attempts lost to a deadline-class mpi::Error
+  int suspicions = 0;              // attempts lost to a heartbeat SuspectError
+  int rejoins = 0;                 // generation boundaries where the world healed
   int snapshot_write_retries = 0;  // extra snapshot write attempts (I/O faults absorbed)
   std::uint64_t faults_fired = 0;  // injected faults that actually triggered
   long resumed_iteration = -1;     // last resume point; -1 if never restarted
-  std::vector<int> dead_world_ranks;   // world ranks removed by Shrink, in death order
+  std::vector<int> dead_world_ranks;      // world ranks removed by Shrink, in death order
+  std::vector<int> rejoined_world_ranks;  // world ranks restored by Rejoin heals
   int final_world_size = 0;            // ranks in the segment that finished the run
   std::uint64_t final_generation = 0;  // membership epoch of that segment
 };
@@ -75,6 +100,8 @@ struct TrainerReport {
   std::uint64_t batches_read = 0;          // this rank's reader
   int snapshots_written = 0;
   std::vector<float> final_params;         // root only: flattened params after the run
+  std::vector<float> final_state;          // root only: flattened momentum after the run
+  mpi::HealthReport health;                // root only, when config.health_monitor
   RecoveryEvents recovery;
 };
 
@@ -110,22 +137,29 @@ class Trainer {
 /// `config.snapshot_path`, and resumes from its recorded iteration.
 ///
 /// Under RecoveryPolicy::Restart the relaunch uses the same world size.
-/// Under RecoveryPolicy::Shrink the dead rank (named by the InjectedCrash,
-/// or the timed-out peer of a TimeoutError) is dropped and the survivors
-/// continue as an (n-1)-rank world in a new membership generation: comm
-/// ranks re-densify, DataReader shards re-stride over n-1 readers (each
-/// remaining sample still read exactly once per epoch), gradient averaging
-/// rescales to 1/(n-1), and the hierarchical-reduce/tuner schedules are
-/// re-derived for the new size. Crashes injected *inside* the recovery
-/// window (FaultPlan::crash_in_recovery) shrink the survivor set further
-/// before the relaunch.
+/// Under RecoveryPolicy::Shrink the dead rank — named by the InjectedCrash,
+/// or by mpi::Error::suspect() for any restartable typed error (timeout,
+/// backpressure, heartbeat suspicion, eager CRC mismatch) — is dropped and
+/// the survivors continue as an (n-1)-rank world in a new membership
+/// generation: comm ranks re-densify, DataReader shards re-stride over n-1
+/// readers (each remaining sample still read exactly once per epoch),
+/// gradient averaging rescales to 1/(n-1), and the hierarchical-reduce/tuner
+/// schedules are re-derived for the new size. Crashes injected *inside* the
+/// recovery window (FaultPlan::crash_in_recovery) shrink the survivor set
+/// further before the relaunch. Under RecoveryPolicy::Rejoin the degraded
+/// world additionally runs only to the next checkpoint boundary; there the
+/// full membership relaunches under a fresh generation, rank 0 bcasts the
+/// checkpoint (iteration + params + momentum) to every rank, and schedules
+/// re-derive for the healed size — see the Rejoin enum comment.
 ///
 /// Determinism contract: snapshots are full solver checkpoints (params +
 /// momentum + iteration) and readers are deterministic functions of
 /// (shard, num_shards, start_batch), so a run that shrinks n -> k at some
 /// checkpoint is bitwise identical, from that checkpoint on, to a fresh
 /// k-rank run resumed from the same checkpoint; a pure Restart run is
-/// bitwise identical to an uninterrupted one. Throws once `max_restarts`
+/// bitwise identical to an uninterrupted one; and a Rejoin heal (bcast
+/// restore) is bitwise identical, from the heal boundary on, to a fresh
+/// full-size run resumed from the boundary checkpoint. Throws once `max_restarts`
 /// recovery cycles are exhausted (or immediately on non-restartable
 /// errors). Returns the root's report of the final (successful) segment,
 /// with `recovery` describing every absorbed failure.

@@ -24,6 +24,8 @@
 
 namespace scaffe::mpi {
 
+class HealthMonitor;  // mpi/health.h
+
 /// Handle for a non-blocking operation. Copyable (shared state); wait() is
 /// idempotent and rethrows any exception raised during progression.
 class Request {
@@ -273,6 +275,7 @@ class Comm {
 
  private:
   friend class Runtime;
+  friend class HealthMonitor;  // out-of-band heartbeats on the peer mailboxes
 
   Comm(std::shared_ptr<World> world, int rank, std::vector<int> group, ContextId context,
        Generation generation)

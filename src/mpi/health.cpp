@@ -1,0 +1,244 @@
+// HealthMonitor: heartbeat sending/draining, miss-count suspicion, and
+// straggler flagging. See the protocol comment in health.h.
+#include "mpi/health.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "mpi/knobs.h"
+#include "util/fault.h"
+
+namespace scaffe::mpi {
+
+HealthConfig HealthConfig::from_env() {
+  HealthConfig config;
+  if (const char* env = std::getenv("SCAFFE_HEARTBEAT_MS")) {
+    config.interval = std::chrono::milliseconds(
+        std::max<std::size_t>(1, parse_count_knob("SCAFFE_HEARTBEAT_MS", env)));
+  }
+  if (const char* env = std::getenv("SCAFFE_HEARTBEAT_MISS_LIMIT")) {
+    config.miss_limit = static_cast<int>(
+        std::max<std::size_t>(1, parse_count_knob("SCAFFE_HEARTBEAT_MISS_LIMIT", env)));
+  }
+  if (const char* env = std::getenv("SCAFFE_STRAGGLER_FACTOR")) {
+    config.straggler_factor = static_cast<int>(
+        std::max<std::size_t>(1, parse_count_knob("SCAFFE_STRAGGLER_FACTOR", env)));
+  }
+  return config;
+}
+
+ContextId HealthMonitor::health_context_for(ContextId comm_context) {
+  // Same avalanche the mailbox uses for key hashing, salted so the health
+  // context can never equal a context produced by the split/dup/generation
+  // chain for any realistic input (63-bit collision odds, same assumption
+  // context allocation itself makes).
+  std::uint64_t x = static_cast<std::uint64_t>(comm_context) ^ 0x48454152544231ULL;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<ContextId>(x >> 1);  // keep it positive
+}
+
+HealthMonitor::HealthMonitor(Comm& comm, HealthConfig config)
+    : comm_(comm),
+      config_(config),
+      health_context_(health_context_for(comm.context())),
+      start_(std::chrono::steady_clock::now()) {
+  peers_.resize(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    peers_[static_cast<std::size_t>(r)].last_heard = start_;
+  }
+  thread_ = std::thread([this] { pump(); });
+}
+
+HealthMonitor::~HealthMonitor() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::record_step(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  own_latency_ms_ =
+      own_latency_ms_ < 0.0 ? latency_ms : 0.2 * latency_ms + 0.8 * own_latency_ms_;
+}
+
+void HealthMonitor::poll() const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (suspicion_.has_value()) throw *suspicion_;
+  }
+  // The world may have aborted for a reason another rank owns (its monitor's
+  // suspicion, a crash, ...). Raising AbortError here mirrors what any
+  // blocked receive would do, so polling loops unwind instead of spinning.
+  if (comm_.world_->aborted.load()) throw AbortError();
+}
+
+bool HealthMonitor::suspected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return suspicion_.has_value();
+}
+
+HealthReport HealthMonitor::report() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  HealthReport out;
+  out.heartbeats_sent = sent_;
+  out.heartbeats_received = received_;
+  if (suspicion_.has_value()) out.suspected_world_rank = suspicion_->world_rank();
+  std::vector<double> known;
+  for (int r = 0; r < comm_.size(); ++r) {
+    const PeerState& state = peers_[static_cast<std::size_t>(r)];
+    PeerHealth peer;
+    peer.rank = r;
+    peer.world_rank = comm_.group_[static_cast<std::size_t>(r)];
+    if (r == comm_.rank()) {
+      peer.heard = true;
+      peer.step_latency_ms = own_latency_ms_;
+    } else {
+      peer.heard = state.heard;
+      peer.last_seq = state.last_seq;
+      peer.step_latency_ms = state.step_latency_ms;
+      peer.silent_for = std::chrono::duration_cast<std::chrono::milliseconds>(
+          now - state.last_heard);
+      peer.straggler = state.straggler;
+      if (state.straggler) out.straggler_world_ranks.push_back(peer.world_rank);
+    }
+    if (peer.step_latency_ms >= 0.0) known.push_back(peer.step_latency_ms);
+    out.peers.push_back(peer);
+  }
+  if (!known.empty()) {
+    std::sort(known.begin(), known.end());
+    out.median_step_latency_ms = known[known.size() / 2];
+  }
+  return out;
+}
+
+void HealthMonitor::pump() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(lock, config_.interval, [this] { return stop_; });
+      if (stop_) return;
+    }
+    tick(std::chrono::steady_clock::now());
+  }
+}
+
+void HealthMonitor::tick(std::chrono::steady_clock::time_point now) {
+  // A dead world needs no heartbeats, and try_recv would throw AbortError
+  // anyway: keep the thread parked until destruction.
+  if (comm_.world_->aborted.load()) return;
+  try {
+    send_heartbeats();
+    drain_heartbeats();
+  } catch (const AbortError&) {
+    return;  // world died mid-tick; the rank body surfaces it via poll()
+  }
+  scan(now);
+}
+
+void HealthMonitor::send_heartbeats() {
+  auto& injector = util::FaultInjector::instance();
+  // Heartbeat faults are consulted HERE, per tick, not per peer: a censored
+  // rank goes dark to everyone at once (a wedged NIC, not a lossy link).
+  if (injector.active()) {
+    const util::MessageFault fault = injector.on_heartbeat(comm_.world_rank());
+    if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+    if (fault.drop) return;
+  }
+  Heartbeat beat;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    beat.seq = ++sent_;
+    beat.step_latency_ms = own_latency_ms_;
+  }
+  const auto bytes = std::as_bytes(std::span<const Heartbeat>(&beat, 1));
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    if (peer == comm_.rank()) continue;
+    comm_.peer_mailbox(peer).deliver_oob(health_context_, comm_.generation(),
+                                         comm_.rank(), kHeartbeatTag, bytes);
+  }
+}
+
+void HealthMonitor::drain_heartbeats() {
+  const auto now = std::chrono::steady_clock::now();
+  Payload payload;
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    if (peer == comm_.rank()) continue;
+    // Generation-matched drain: a heartbeat stamped with a dead epoch's
+    // generation can never pop here — the zombie stays silent to this world.
+    while (comm_.mailbox().try_recv(health_context_, comm_.generation(), peer,
+                                    kHeartbeatTag, payload)) {
+      if (payload.size() != sizeof(Heartbeat)) continue;  // never sent by us
+      Heartbeat beat;
+      std::memcpy(&beat, payload.bytes().data(), sizeof(Heartbeat));
+      std::lock_guard<std::mutex> lock(mutex_);
+      PeerState& state = peers_[static_cast<std::size_t>(peer)];
+      state.heard = true;
+      state.last_seq = std::max(state.last_seq, beat.seq);
+      state.step_latency_ms = beat.step_latency_ms;
+      state.last_heard = now;
+      ++received_;
+    }
+  }
+}
+
+void HealthMonitor::scan(std::chrono::steady_clock::time_point now) {
+  const std::chrono::milliseconds threshold = config_.suspicion_threshold();
+  bool confirm = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!suspicion_.has_value()) {
+      for (int peer = 0; peer < comm_.size(); ++peer) {
+        if (peer == comm_.rank()) continue;
+        const PeerState& state = peers_[static_cast<std::size_t>(peer)];
+        const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - state.last_heard);
+        if (silent <= threshold) continue;
+        suspicion_.emplace(health_context_, peer,
+                           comm_.group_[static_cast<std::size_t>(peer)],
+                           state.last_seq, silent, comm_.generation());
+        confirm = true;
+        break;
+      }
+    }
+    // Straggler flags are sticky and advisory: computed against the median
+    // of the latencies known right now (own + peer-reported EWMAs).
+    std::vector<double> known;
+    if (own_latency_ms_ >= 0.0) known.push_back(own_latency_ms_);
+    for (int peer = 0; peer < comm_.size(); ++peer) {
+      if (peer == comm_.rank()) continue;
+      const double latency = peers_[static_cast<std::size_t>(peer)].step_latency_ms;
+      if (latency >= 0.0) known.push_back(latency);
+    }
+    if (known.size() >= 2) {
+      std::sort(known.begin(), known.end());
+      const double median = known[known.size() / 2];
+      if (median > 0.0) {
+        for (int peer = 0; peer < comm_.size(); ++peer) {
+          if (peer == comm_.rank()) continue;
+          PeerState& state = peers_[static_cast<std::size_t>(peer)];
+          if (state.step_latency_ms > config_.straggler_factor * median) {
+            state.straggler = true;
+          }
+        }
+      }
+    }
+  }
+  // Confirmed suspicion tears the world down NOW: ranks blocked deep inside
+  // a collective receive unwind with AbortError in O(heartbeat interval)
+  // instead of waiting out the receive deadline; their poll() (and this
+  // rank's) converts the abort into the typed SuspectError.
+  if (confirm) comm_.world_->abort();
+}
+
+}  // namespace scaffe::mpi

@@ -1,0 +1,165 @@
+// Heartbeat health plane for scmpi: proactive failure detection on a
+// reserved out-of-band context.
+//
+// Every rank owns a HealthMonitor wrapping its Comm. A monitor thread ticks
+// every `interval`: it sends one heartbeat to every peer (sequence number +
+// this rank's step-latency EWMA) and drains the heartbeats peers sent to it.
+// Heartbeats travel through Mailbox::deliver_oob on a context derived from —
+// but disjoint from — the communicator's own context, so they can never
+// match data traffic, and they skip the fault injector's per-link message
+// ordinals, so a chaos schedule's drop/delay decisions for data traffic are
+// identical with and without the health plane.
+//
+// Suspicion: a peer silent for longer than interval × miss_limit is
+// suspected. The monitor thread records a SuspectError and aborts the world
+// — tearing down blocked collectives in O(heartbeat interval) instead of
+// waiting out the full receive deadline. Rank bodies surface the typed error
+// by calling poll() periodically (it throws the recorded SuspectError, or
+// AbortError when the world died for another rank's reason), typically via
+// the Trainer's per-iteration hook.
+//
+// Straggler flagging: each heartbeat carries the sender's recent
+// step-latency EWMA (record_step). A peer whose reported latency exceeds
+// straggler_factor × the world median is flagged in report() — an advisory
+// signal (TrainerReport.health), never an abort.
+//
+// Generation fencing: heartbeats are stamped with the communicator's
+// generation and received with generation-matched try_recv, so a heartbeat
+// from a dead epoch is invisible to a rebuilt world — a zombie rank's
+// heartbeats cannot mask its absence from the new membership.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/world.h"
+
+namespace scaffe::mpi {
+
+/// Health-plane tuning. Defaults give ~100 ms time-to-suspect — far below
+/// any sane receive deadline — at ~40 tiny messages/s/peer of overhead.
+struct HealthConfig {
+  /// Heartbeat period (SCAFFE_HEARTBEAT_MS, default 25).
+  std::chrono::milliseconds interval{25};
+  /// Consecutive missed intervals before suspicion
+  /// (SCAFFE_HEARTBEAT_MISS_LIMIT, default 4).
+  int miss_limit = 4;
+  /// A peer reporting more than this multiple of the world-median step
+  /// latency is flagged a straggler (SCAFFE_STRAGGLER_FACTOR, default 4).
+  int straggler_factor = 4;
+
+  /// Threshold of silence that confirms suspicion.
+  std::chrono::milliseconds suspicion_threshold() const {
+    return interval * std::max(1, miss_limit);
+  }
+
+  /// Reads the three knobs from the environment through the shared knob
+  /// parsers (typed ConfigError on malformed values).
+  static HealthConfig from_env();
+};
+
+/// Last-known health of one peer, as seen by one rank's monitor.
+struct PeerHealth {
+  int rank = -1;        ///< communicator rank
+  int world_rank = -1;  ///< stable world identity
+  bool heard = false;   ///< at least one heartbeat received this generation
+  std::uint64_t last_seq = 0;          ///< highest heartbeat sequence heard
+  double step_latency_ms = -1.0;       ///< peer-reported EWMA (< 0 = unknown)
+  std::chrono::milliseconds silent_for{0};  ///< silence at report time
+  bool straggler = false;  ///< flagged slow relative to the world median
+};
+
+/// Snapshot of one monitor's view of the world (report()).
+struct HealthReport {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  double median_step_latency_ms = -1.0;  ///< median over known latencies
+  std::vector<PeerHealth> peers;         ///< indexed by comm rank (incl. self)
+  std::vector<int> straggler_world_ranks;  ///< sticky: ever flagged this run
+  int suspected_world_rank = -1;           ///< first confirmed suspect, or -1
+};
+
+/// Per-rank heartbeater + failure detector. Construct after the communicator
+/// is live (all ranks roughly aligned — a barrier upstream keeps startup
+/// silence from counting against peers), destroy before the Comm.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(Comm& comm, HealthConfig config = HealthConfig{});
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Feeds this rank's latest step latency into the EWMA carried by its
+  /// outgoing heartbeats. Thread-safe.
+  void record_step(double latency_ms);
+
+  /// Surfaces failure on the calling (rank body) thread: throws the recorded
+  /// SuspectError once the monitor confirmed a silent peer, or AbortError
+  /// when the world aborted for any other reason. Returns normally while the
+  /// world is healthy. Call once per iteration / polling loop.
+  void poll() const;
+
+  /// True once this monitor confirmed a suspect (poll() would throw it).
+  bool suspected() const;
+
+  HealthReport report() const;
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+  /// The reserved out-of-band context heartbeats travel on, derived from the
+  /// communicator's context (disjoint from all data/collective traffic).
+  ContextId health_context() const noexcept { return health_context_; }
+  static ContextId health_context_for(ContextId comm_context);
+
+  /// Tag used by every heartbeat (sender identity lives in the src match).
+  static constexpr int kHeartbeatTag = 0;
+
+ private:
+  /// Wire format of one heartbeat. Trivially copyable; sent as raw bytes
+  /// between threads of one process (no endianness concern).
+  struct Heartbeat {
+    std::uint64_t seq = 0;
+    double step_latency_ms = -1.0;
+  };
+
+  /// Mutable per-peer state behind mutex_.
+  struct PeerState {
+    std::uint64_t last_seq = 0;
+    double step_latency_ms = -1.0;
+    bool heard = false;
+    std::chrono::steady_clock::time_point last_heard;
+    bool straggler = false;
+  };
+
+  void pump();  // monitor thread body
+  void tick(std::chrono::steady_clock::time_point now);
+  void send_heartbeats();
+  void drain_heartbeats();
+  void scan(std::chrono::steady_clock::time_point now);
+
+  Comm& comm_;
+  HealthConfig config_;
+  ContextId health_context_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mutex_;
+  std::vector<PeerState> peers_;  // indexed by comm rank
+  std::optional<SuspectError> suspicion_;
+  double own_latency_ms_ = -1.0;  // EWMA of record_step samples
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace scaffe::mpi

@@ -48,6 +48,20 @@ std::chrono::microseconds cts_post_delay(int rank) {
   return injector.on_cts_post(rank);
 }
 
+// Integrity check for a queued envelope (SCAFFE_MSG_CRC): every path that
+// consumes a queued payload calls this before handing bytes to the
+// application. Claims never materialize an envelope and are outside the
+// stamp's coverage (see TransportConfig::msg_crc).
+void verify_payload_crc(const Envelope& envelope) {
+  if (!envelope.has_crc) return;
+  const std::uint32_t actual = util::crc32(envelope.payload.bytes());
+  if (actual != envelope.crc) {
+    throw IntegrityError(envelope.context, envelope.src, envelope.tag,
+                         envelope.generation, envelope.crc, actual,
+                         envelope.payload.size());
+  }
+}
+
 }  // namespace
 
 std::size_t TransportConfig::default_eager_limit() {
@@ -92,6 +106,15 @@ std::uint32_t TransportConfig::default_credit_backoff_max_us() {
   const char* env = std::getenv("SCAFFE_CREDIT_BACKOFF_MAX_US");
   if (env == nullptr) return 2000;
   return std::max<std::uint32_t>(1, parse_count_knob("SCAFFE_CREDIT_BACKOFF_MAX_US", env));
+}
+
+bool TransportConfig::default_msg_crc() {
+  const char* env = std::getenv("SCAFFE_MSG_CRC");
+  if (env == nullptr) return false;
+  const std::string text(env);
+  if (text == "0" || text == "off") return false;
+  if (text == "1" || text == "on") return true;
+  throw ConfigError("SCAFFE_MSG_CRC", text, "(expected 0, 1, on, or off)");
 }
 
 const TransportConfig& Mailbox::transport() const noexcept {
@@ -293,7 +316,7 @@ Mailbox::Waiter* Mailbox::admit_send(const ExactKey& key, std::span<const std::b
           flow_snapshot_locked(key.context, key.generation, key.src, key.tag);
       finish_wait();
       throw BackpressureError(key.context, key.src, owner_rank_, key.tag, data.size(),
-                              timeout, flow);
+                              timeout, flow, key.generation);
     }
     clock::time_point until = clock::now() + backoff_slice(key.src, attempt);
     if (timeout.count() > 0 && deadline < until) until = deadline;
@@ -330,7 +353,28 @@ Payload Mailbox::materialize(std::span<const std::byte> data) const {
   return Payload::view(Payload::make_shared_copy(data), data.size());
 }
 
-void Mailbox::enqueue_payload(const ExactKey& key, Payload payload) {
+bool Mailbox::stamp_crc(std::span<const std::byte> data, std::uint32_t& crc) const {
+  const TransportConfig& config = transport();
+  if (!config.msg_crc.load(std::memory_order_relaxed)) return false;
+  if (data.size() > config.eager_limit.load(std::memory_order_relaxed)) return false;
+  crc = util::crc32(data);
+  return true;
+}
+
+void Mailbox::apply_corruption(int src, Payload& payload) const {
+  auto& injector = util::FaultInjector::instance();
+  if (!injector.active()) return;
+  // Only an exclusively owned materialized payload can be flipped in place;
+  // shared rendezvous views (and the sender's own buffer) are never touched,
+  // so a corrupted bcast cannot leak into sibling destinations.
+  std::byte* raw = payload.data();
+  if (raw == nullptr || payload.size() == 0) return;
+  if (!injector.on_payload(src, owner_rank_)) return;
+  raw[payload.size() / 2] ^= std::byte{0x5a};
+}
+
+void Mailbox::enqueue_payload(const ExactKey& key, Payload payload, std::uint32_t crc,
+                              bool has_crc) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t size = payload.size();
   // Every enqueue arrives with `size` bytes reserved by admit_send; convert
@@ -344,6 +388,8 @@ void Mailbox::enqueue_payload(const ExactKey& key, Payload payload) {
   envelope.src = key.src;
   envelope.tag = key.tag;
   envelope.payload = std::move(payload);
+  envelope.crc = crc;
+  envelope.has_crc = has_crc;
   envelope.seq = next_seq_++;
   const AnyKey akey{key.context, key.generation, key.tag};
   if (any_interest_.contains(akey)) any_order_[akey].emplace_back(envelope.seq, key.src);
@@ -382,7 +428,29 @@ bool Mailbox::deliver_direct(ContextId context, Generation generation, int src, 
 void Mailbox::deliver(ContextId context, Generation generation, int src, int tag,
                       std::span<const std::byte> data) {
   if (deliver_direct(context, generation, src, tag, data)) return;
-  enqueue_payload(ExactKey{context, generation, src, tag}, materialize(data));
+  // The CRC is computed from the sender's buffer BEFORE the corruption fault
+  // gets a chance to flip a byte of the materialized copy — so an injected
+  // corruption is exactly what the stamp detects at receive time.
+  std::uint32_t crc = 0;
+  const bool has_crc = stamp_crc(data, crc);
+  Payload payload = materialize(data);
+  apply_corruption(src, payload);
+  enqueue_payload(ExactKey{context, generation, src, tag}, std::move(payload), crc,
+                  has_crc);
+}
+
+void Mailbox::deliver_oob(ContextId context, Generation generation, int src, int tag,
+                          std::span<const std::byte> data) {
+  const ExactKey key{context, generation, src, tag};
+  // No apply_fault (heartbeats must not consume per-link fault ordinals), no
+  // claim (a posted data receive on a colliding key must not be stolen), no
+  // corruption fault (the health plane's own faults live in the monitor).
+  Waiter* claimed = admit_send(key, data, /*allow_claim=*/false,
+                               std::chrono::microseconds{0});
+  (void)claimed;  // allow_claim=false: always nullptr, credit is reserved
+  std::uint32_t crc = 0;
+  const bool has_crc = stamp_crc(data, crc);
+  enqueue_payload(key, materialize(data), crc, has_crc);
 }
 
 void Mailbox::enqueue_shared(ContextId context, Generation generation, int src, int tag,
@@ -401,7 +469,11 @@ void Mailbox::push(Envelope envelope) {
     fill_claimed(claimed, envelope.payload.bytes());
     return;  // payload dies here; pooled storage recycles
   }
-  enqueue_payload(key, std::move(envelope.payload));
+  if (!envelope.has_crc) {
+    envelope.has_crc = stamp_crc(envelope.payload.bytes(), envelope.crc);
+  }
+  apply_corruption(envelope.src, envelope.payload);
+  enqueue_payload(key, std::move(envelope.payload), envelope.crc, envelope.has_crc);
 }
 
 // --- queue bookkeeping -------------------------------------------------------
@@ -477,6 +549,8 @@ Payload Mailbox::recv(ContextId context, Generation generation, int src, int tag
     return any ? pop_any_locked(akey, envelope) : pop_exact_locked(key, envelope);
   };
   if (try_pop()) {
+    lock.unlock();
+    verify_payload_crc(envelope);
     if (out_src != nullptr) *out_src = envelope.src;
     return std::move(envelope.payload);
   }
@@ -496,13 +570,15 @@ Payload Mailbox::recv(ContextId context, Generation generation, int src, int tag
     }
     if (try_pop()) {
       unregister_waiter(list, &waiter);
+      lock.unlock();
+      verify_payload_crc(envelope);
       if (out_src != nullptr) *out_src = envelope.src;
       return std::move(envelope.payload);
     }
     if (timed_out) {
       unregister_waiter(list, &waiter);
       throw TimeoutError(context, src, tag, timeout,
-                         flow_snapshot_locked(context, generation, src, tag));
+                         flow_snapshot_locked(context, generation, src, tag), generation);
     }
   }
 }
@@ -518,8 +594,10 @@ void Mailbox::recv_into(ContextId context, Generation generation, int src, int t
     // Copy-out happens outside the mailbox lock; the envelope owns its
     // payload exclusively (or shares immutable storage).
     if (envelope.payload.size() != dst.size()) {
-      throw TransportError(context, src, tag, dst.size(), envelope.payload.size());
+      throw TransportError(context, src, tag, dst.size(), envelope.payload.size(),
+                           generation);
     }
+    verify_payload_crc(envelope);
     envelope.payload.copy_to(dst);
   };
 
@@ -575,7 +653,7 @@ void Mailbox::recv_into(ContextId context, Generation generation, int src, int t
     if (timed_out && !waiter.taken && !waiter.done) {
       unregister_waiter(list, &waiter);
       throw TimeoutError(context, src, tag, timeout,
-                         flow_snapshot_locked(context, generation, src, tag));
+                         flow_snapshot_locked(context, generation, src, tag), generation);
     }
   }
 }
@@ -589,8 +667,12 @@ void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int
 
   const auto reduce_from_queue = [&](Envelope&& envelope) {
     if (envelope.payload.size() != acc.size_bytes()) {
-      throw TransportError(context, src, tag, acc.size_bytes(), envelope.payload.size());
+      throw TransportError(context, src, tag, acc.size_bytes(), envelope.payload.size(),
+                           generation);
     }
+    // Verify BEFORE accumulating: a reduce folds the payload into live state,
+    // so a corrupt message must be rejected while the accumulator is intact.
+    verify_payload_crc(envelope);
     // Fused reduce straight out of the matched payload — no staging buffer.
     gpu::accumulate(float_view(envelope.payload.bytes()), acc);
   };
@@ -642,7 +724,7 @@ void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int
     if (timed_out && !waiter.taken && !waiter.done) {
       unregister_waiter(list, &waiter);
       throw TimeoutError(context, src, tag, timeout,
-                         flow_snapshot_locked(context, generation, src, tag));
+                         flow_snapshot_locked(context, generation, src, tag), generation);
     }
   }
 }
@@ -711,8 +793,10 @@ bool Mailbox::posted_test(PostedRecv& posted) {
   // Copy-out (and the mismatch diagnosis) outside the mailbox lock.
   if (envelope.payload.size() != posted.dst_.size()) {
     throw TransportError(posted.key_.context, posted.key_.src, posted.key_.tag,
-                         posted.dst_.size(), envelope.payload.size());
+                         posted.dst_.size(), envelope.payload.size(),
+                         posted.key_.generation);
   }
+  verify_payload_crc(envelope);
   envelope.payload.copy_to(posted.dst_);
   return true;
 }
@@ -760,25 +844,31 @@ void Mailbox::posted_wait(PostedRecv& posted) {
         posted.finished_ = true;
         throw TimeoutError(posted.key_.context, posted.key_.src, posted.key_.tag, timeout,
                            flow_snapshot_locked(posted.key_.context, posted.key_.generation,
-                                                posted.key_.src, posted.key_.tag));
+                                                posted.key_.src, posted.key_.tag),
+                           posted.key_.generation);
       }
     }
   }
   if (from_queue) {
     if (envelope.payload.size() != posted.dst_.size()) {
       throw TransportError(posted.key_.context, posted.key_.src, posted.key_.tag,
-                           posted.dst_.size(), envelope.payload.size());
+                           posted.dst_.size(), envelope.payload.size(),
+                           posted.key_.generation);
     }
+    verify_payload_crc(envelope);
     envelope.payload.copy_to(posted.dst_);
   }
 }
 
 bool Mailbox::try_recv(ContextId context, Generation generation, int src, int tag,
                        Payload& payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (aborted_now()) throw AbortError();
   Envelope envelope;
-  if (!pop_exact_locked(ExactKey{context, generation, src, tag}, envelope)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_now()) throw AbortError();
+    if (!pop_exact_locked(ExactKey{context, generation, src, tag}, envelope)) return false;
+  }
+  verify_payload_crc(envelope);
   payload = std::move(envelope.payload);
   return true;
 }

@@ -101,13 +101,55 @@ class AbortError : public std::runtime_error {
   AbortError() : std::runtime_error("scmpi: world aborted by a failing rank") {}
 };
 
+/// Common base of every typed scmpi failure. Carries the origin of the
+/// failing exchange — {context, src, tag, generation} — plus two policy
+/// hooks so supervisors (core::train_with_recovery) stop special-casing
+/// concrete error types:
+///  - restartable(): whether relaunching the surviving ranks from the last
+///    checkpoint can plausibly cure the failure (timeouts, backpressure,
+///    suspicion, payload corruption — yes; protocol bugs and malformed
+///    config — no, they would just fail again).
+///  - suspect(): the communicator rank most likely responsible (the peer a
+///    receive was blocked on, the silent rank a heartbeat monitor flagged),
+///    or -1 when no single rank can be named. Victim selection indexes the
+///    live-rank table with this.
+class Error : public std::runtime_error {
+ public:
+  ContextId context() const noexcept { return context_; }
+  int src() const noexcept { return src_; }
+  int tag() const noexcept { return tag_; }
+  Generation generation() const noexcept { return generation_; }
+
+  /// True when a restart/shrink from the last checkpoint may cure this.
+  virtual bool restartable() const noexcept { return false; }
+  /// Communicator rank of the prime suspect, or -1 when unknown.
+  virtual int suspect() const noexcept { return -1; }
+
+ protected:
+  Error(const std::string& what, ContextId context, int src, int tag,
+        Generation generation)
+      : std::runtime_error(what),
+        context_(context),
+        src_(src),
+        tag_(tag),
+        generation_(generation) {}
+
+ private:
+  ContextId context_;
+  int src_;
+  int tag_;
+  Generation generation_;
+};
+
 /// Thrown when a tuning knob (environment variable) holds a value that
 /// cannot mean anything: a typo'd SCAFFE_EAGER_LIMIT must fail loudly, not
 /// silently fall back to the default and invalidate a benchmark run.
-class ConfigError : public std::runtime_error {
+/// Never restartable: the environment would poison the relaunch too.
+class ConfigError : public Error {
  public:
   ConfigError(const std::string& knob, const std::string& value, const std::string& why)
-      : std::runtime_error("scmpi config: " + knob + "=\"" + value + "\" " + why),
+      : Error("scmpi config: " + knob + "=\"" + value + "\" " + why,
+              /*context=*/-1, /*src=*/-1, /*tag=*/-1, /*generation=*/0),
         knob_(knob),
         value_(value) {}
 
@@ -145,39 +187,37 @@ struct FlowDiagnostics {
 /// the mailbox's queued-bytes/credit state, so an overload-induced timeout
 /// is distinguishable from a dead peer. Collectives inherit the deadline
 /// because they are built from matched receives.
-class TimeoutError : public std::runtime_error {
+class TimeoutError : public Error {
  public:
-  TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline)
-      : TimeoutError(context, src, tag, deadline, FlowDiagnostics{}, /*with_flow=*/false) {}
+  TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline,
+               Generation generation = 0)
+      : TimeoutError(context, src, tag, deadline, FlowDiagnostics{}, /*with_flow=*/false,
+                     generation) {}
 
   TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline,
-               const FlowDiagnostics& flow)
-      : TimeoutError(context, src, tag, deadline, flow, /*with_flow=*/true) {}
+               const FlowDiagnostics& flow, Generation generation = 0)
+      : TimeoutError(context, src, tag, deadline, flow, /*with_flow=*/true, generation) {}
 
-  ContextId context() const noexcept { return context_; }
-  int src() const noexcept { return src_; }
-  int tag() const noexcept { return tag_; }
   std::chrono::milliseconds deadline() const noexcept { return deadline_; }
   const FlowDiagnostics& flow() const noexcept { return flow_; }
 
+  bool restartable() const noexcept override { return true; }
+  /// The peer the receive was blocked on — the likely-dead rank.
+  int suspect() const noexcept override { return src() == kAnySource ? -1 : src(); }
+
  private:
   TimeoutError(ContextId context, int src, int tag, std::chrono::milliseconds deadline,
-               const FlowDiagnostics& flow, bool with_flow)
-      : std::runtime_error("scmpi: receive timed out after " +
-                           std::to_string(deadline.count()) + "ms (src=" +
-                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
-                           ", tag=" + std::to_string(tag) +
-                           ", context=" + std::to_string(context) + ")" +
-                           (with_flow ? flow.describe() : std::string())),
-        context_(context),
-        src_(src),
-        tag_(tag),
+               const FlowDiagnostics& flow, bool with_flow, Generation generation)
+      : Error("scmpi: receive timed out after " +
+                  std::to_string(deadline.count()) + "ms (src=" +
+                  (src == kAnySource ? std::string("any") : std::to_string(src)) +
+                  ", tag=" + std::to_string(tag) +
+                  ", context=" + std::to_string(context) + ")" +
+                  (with_flow ? flow.describe() : std::string()),
+              context, src, tag, generation),
         deadline_(deadline),
         flow_(flow) {}
 
-  ContextId context_;
-  int src_;
-  int tag_;
   std::chrono::milliseconds deadline_;
   FlowDiagnostics flow_;
 };
@@ -188,37 +228,33 @@ class TimeoutError : public std::runtime_error {
 /// flow snapshot as TimeoutError plus the message that could not be
 /// admitted. With no deadline configured the sender waits forever, exactly
 /// like a blocked receive.
-class BackpressureError : public std::runtime_error {
+class BackpressureError : public Error {
  public:
   BackpressureError(ContextId context, int src, int dst, int tag,
                     std::size_t message_bytes, std::chrono::milliseconds deadline,
-                    const FlowDiagnostics& flow)
-      : std::runtime_error("scmpi: send blocked on exhausted mailbox credit for " +
-                           std::to_string(deadline.count()) + "ms (" +
-                           util::fmt_bytes(message_bytes) + " " + std::to_string(src) +
-                           "->" + std::to_string(dst) + ", tag=" + std::to_string(tag) +
-                           ", context=" + std::to_string(context) + ")" + flow.describe()),
-        context_(context),
-        src_(src),
+                    const FlowDiagnostics& flow, Generation generation = 0)
+      : Error("scmpi: send blocked on exhausted mailbox credit for " +
+                  std::to_string(deadline.count()) + "ms (" +
+                  util::fmt_bytes(message_bytes) + " " + std::to_string(src) +
+                  "->" + std::to_string(dst) + ", tag=" + std::to_string(tag) +
+                  ", context=" + std::to_string(context) + ")" + flow.describe(),
+              context, src, tag, generation),
         dst_(dst),
-        tag_(tag),
         message_bytes_(message_bytes),
         deadline_(deadline),
         flow_(flow) {}
 
-  ContextId context() const noexcept { return context_; }
-  int src() const noexcept { return src_; }
   int dst() const noexcept { return dst_; }
-  int tag() const noexcept { return tag_; }
   std::size_t message_bytes() const noexcept { return message_bytes_; }
   std::chrono::milliseconds deadline() const noexcept { return deadline_; }
   const FlowDiagnostics& flow() const noexcept { return flow_; }
 
+  bool restartable() const noexcept override { return true; }
+  // No suspect(): dst_ is a world rank (the overloaded mailbox owner), not a
+  // communicator rank, so the base's -1 ("no single nameable rank") stands.
+
  private:
-  ContextId context_;
-  int src_;
   int dst_;
-  int tag_;
   std::size_t message_bytes_;
   std::chrono::milliseconds deadline_;
   FlowDiagnostics flow_;
@@ -227,34 +263,95 @@ class BackpressureError : public std::runtime_error {
 /// Thrown when a matched message's payload size disagrees with the
 /// receiver's buffer: a protocol error naming exactly which exchange broke
 /// and by how much (the TimeoutError of size mismatches).
-class TransportError : public std::runtime_error {
+class TransportError : public Error {
  public:
   TransportError(ContextId context, int src, int tag, std::size_t expected_bytes,
-                 std::size_t actual_bytes)
-      : std::runtime_error("scmpi recv: size mismatch (expected " +
-                           std::to_string(expected_bytes) + " bytes, got " +
-                           std::to_string(actual_bytes) + "; src=" +
-                           (src == kAnySource ? std::string("any") : std::to_string(src)) +
-                           ", tag=" + std::to_string(tag) +
-                           ", context=" + std::to_string(context) + ")"),
-        context_(context),
-        src_(src),
-        tag_(tag),
+                 std::size_t actual_bytes, Generation generation = 0)
+      : Error("scmpi recv: size mismatch (expected " +
+                  std::to_string(expected_bytes) + " bytes, got " +
+                  std::to_string(actual_bytes) + "; src=" +
+                  (src == kAnySource ? std::string("any") : std::to_string(src)) +
+                  ", tag=" + std::to_string(tag) +
+                  ", context=" + std::to_string(context) + ")",
+              context, src, tag, generation),
         expected_bytes_(expected_bytes),
         actual_bytes_(actual_bytes) {}
 
-  ContextId context() const noexcept { return context_; }
-  int src() const noexcept { return src_; }
-  int tag() const noexcept { return tag_; }
   std::size_t expected_bytes() const noexcept { return expected_bytes_; }
   std::size_t actual_bytes() const noexcept { return actual_bytes_; }
 
+  // Not restartable: a size mismatch is a protocol bug in the exchange
+  // itself; relaunching the same code would hit it again.
+
  private:
-  ContextId context_;
-  int src_;
-  int tag_;
   std::size_t expected_bytes_;
   std::size_t actual_bytes_;
+};
+
+/// Raised by the HealthMonitor when a peer's heartbeats have been silent for
+/// more than miss_limit × interval: the proactive (O(heartbeat interval))
+/// form of the failure a blocked receive would only surface at the full
+/// recv deadline. `rank` is the communicator rank (indexes the supervisor's
+/// live table), `world_rank` the stable world identity, `last_seq` the
+/// highest heartbeat sequence heard (0 = never heard).
+class SuspectError : public Error {
+ public:
+  SuspectError(ContextId context, int rank, int world_rank, std::uint64_t last_seq,
+               std::chrono::milliseconds silent_for, Generation generation)
+      : Error("scmpi health: rank " + std::to_string(rank) + " (world rank " +
+                  std::to_string(world_rank) + ") silent for " +
+                  std::to_string(silent_for.count()) + "ms (last heartbeat seq " +
+                  std::to_string(last_seq) + ", generation " +
+                  std::to_string(generation) + ")",
+              context, rank, /*tag=*/0, generation),
+        world_rank_(world_rank),
+        last_seq_(last_seq),
+        silent_for_(silent_for) {}
+
+  int rank() const noexcept { return src(); }
+  int world_rank() const noexcept { return world_rank_; }
+  std::uint64_t last_seq() const noexcept { return last_seq_; }
+  std::chrono::milliseconds silent_for() const noexcept { return silent_for_; }
+
+  bool restartable() const noexcept override { return true; }
+  int suspect() const noexcept override { return rank(); }
+
+ private:
+  int world_rank_;
+  std::uint64_t last_seq_;
+  std::chrono::milliseconds silent_for_;
+};
+
+/// Raised when an eager payload's CRC-32 stamp (SCAFFE_MSG_CRC=1) does not
+/// match its bytes at receive time: the message was corrupted between
+/// materialization and delivery, and is rejected instead of handed to the
+/// application. Restartable — the checkpointed state is upstream of the
+/// corrupt exchange.
+class IntegrityError : public Error {
+ public:
+  IntegrityError(ContextId context, int src, int tag, Generation generation,
+                 std::uint32_t expected_crc, std::uint32_t actual_crc, std::size_t bytes)
+      : Error("scmpi recv: payload CRC mismatch (stamped " +
+                  std::to_string(expected_crc) + ", computed " +
+                  std::to_string(actual_crc) + " over " + std::to_string(bytes) +
+                  " bytes; src=" + std::to_string(src) + ", tag=" + std::to_string(tag) +
+                  ", context=" + std::to_string(context) + ")",
+              context, src, tag, generation),
+        expected_crc_(expected_crc),
+        actual_crc_(actual_crc),
+        bytes_(bytes) {}
+
+  std::uint32_t expected_crc() const noexcept { return expected_crc_; }
+  std::uint32_t actual_crc() const noexcept { return actual_crc_; }
+  std::size_t bytes() const noexcept { return bytes_; }
+
+  bool restartable() const noexcept override { return true; }
+  int suspect() const noexcept override { return src(); }
+
+ private:
+  std::uint32_t expected_crc_;
+  std::uint32_t actual_crc_;
+  std::size_t bytes_;
 };
 
 struct Envelope {
@@ -264,6 +361,8 @@ struct Envelope {
   int tag;
   Payload payload;
   std::uint64_t seq = 0;  // mailbox arrival stamp (assigned by the mailbox)
+  std::uint32_t crc = 0;  // CRC-32 of the payload at send time (SCAFFE_MSG_CRC)
+  bool has_crc = false;   // crc is valid; receives verify before delivering
 };
 
 /// Transport tuning shared by every mailbox of a World. Atomics so tests and
@@ -301,6 +400,13 @@ struct TransportConfig {
   /// returns: a blocked sender re-checks at least this often.
   std::atomic<std::uint32_t> credit_backoff_max_us{default_credit_backoff_max_us()};
 
+  /// End-to-end integrity stamping for queued eager payloads
+  /// (SCAFFE_MSG_CRC=1): the sender stamps a CRC-32 of the payload into the
+  /// envelope, every queue-consuming receive verifies it and raises
+  /// IntegrityError on mismatch. Zero-copy posted claims never materialize
+  /// an envelope and are outside the stamp's coverage. Default off.
+  std::atomic<bool> msg_crc{default_msg_crc()};
+
   /// Largest accepted SCAFFE_EAGER_LIMIT; bigger values are clamped (an
   /// eager copy beyond this is certainly slower than rendezvous).
   static constexpr std::size_t kMaxEagerLimit = std::size_t{1} << 30;
@@ -319,6 +425,9 @@ struct TransportConfig {
   static std::size_t default_mailbox_bytes();
   static std::uint32_t default_credit_backoff_us();
   static std::uint32_t default_credit_backoff_max_us();
+  /// Parses SCAFFE_MSG_CRC ("1"/"on" = stamp+verify, unset/"0"/"off" = off;
+  /// anything else is a ConfigError).
+  static bool default_msg_crc();
 };
 
 /// One per destination rank. Messages match on (context, generation, src,
@@ -354,6 +463,14 @@ class Mailbox {
   /// buffer into every destination's envelope.
   void enqueue_shared(ContextId context, Generation generation, int src, int tag,
                       std::shared_ptr<const std::byte[]> data, std::size_t size);
+
+  /// Out-of-band delivery for the health plane: NO fault-injection consult
+  /// and NO posted-claim attempt — the message goes through credit admission
+  /// straight into the queue. Heartbeats must not consume the per-link fault
+  /// ordinals that make chaos message schedules deterministic, and must not
+  /// steal posted receives belonging to data traffic on a colliding key.
+  void deliver_oob(ContextId context, Generation generation, int src, int tag,
+                   std::span<const std::byte> data);
 
   /// Blocking matched receive returning the payload. `src` may be
   /// kAnySource; the actual sender is written to *out_src when non-null
@@ -557,7 +674,14 @@ class Mailbox {
   std::chrono::microseconds backoff_slice(int src, unsigned attempt) const;
 
   Payload materialize(std::span<const std::byte> data) const;
-  void enqueue_payload(const ExactKey& key, Payload payload);
+  void enqueue_payload(const ExactKey& key, Payload payload, std::uint32_t crc = 0,
+                       bool has_crc = false);
+  /// CRC stamp decision for a payload about to be queued: returns true and
+  /// fills `crc` when SCAFFE_MSG_CRC is on and the message is eager-sized.
+  bool stamp_crc(std::span<const std::byte> data, std::uint32_t& crc) const;
+  /// Consults the corrupt_payload fault and, when armed for this link, flips
+  /// one byte of the (exclusively owned, eager) materialized payload.
+  void apply_corruption(int src, Payload& payload) const;
 
   // The _locked helpers require mutex_ to be held.
   bool pop_exact_locked(const ExactKey& key, Envelope& out);

@@ -138,6 +138,51 @@ std::chrono::microseconds FaultInjector::on_cts_post(int rank) {
   return std::chrono::microseconds{0};
 }
 
+MessageFault FaultInjector::on_heartbeat(int rank) {
+  MessageFault fault;
+  if (!active()) return fault;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& drop : plan_.heartbeat_drops_) {
+    if (drop.rank != rank || drop.remaining <= 0) continue;
+    --drop.remaining;
+    ++stats_.heartbeat_drops;
+    fault.drop = true;
+    return fault;
+  }
+  for (auto& delay : plan_.heartbeat_delays_) {
+    if (delay.rank != rank || delay.remaining <= 0) continue;
+    --delay.remaining;
+    ++stats_.heartbeat_delays;
+    fault.delay = delay.duration;
+    return fault;
+  }
+  return fault;
+}
+
+std::chrono::microseconds FaultInjector::on_step(int rank) {
+  if (!active()) return std::chrono::microseconds{0};
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& stall : plan_.slow_ranks_) {
+    if (stall.rank != rank || stall.remaining <= 0) continue;
+    --stall.remaining;
+    ++stats_.slow_steps;
+    return stall.duration;
+  }
+  return std::chrono::microseconds{0};
+}
+
+bool FaultInjector::on_payload(int src, int dst) {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& budget : plan_.corruptions_) {
+    if (budget.src != src || budget.dst != dst || budget.remaining <= 0) continue;
+    --budget.remaining;
+    ++stats_.corruptions;
+    return true;
+  }
+  return false;
+}
+
 bool FaultInjector::next_snapshot_write_fails() {
   if (!active()) return false;
   std::lock_guard<std::mutex> lock(mutex_);

@@ -69,13 +69,17 @@ struct FaultStats {
   std::uint64_t drops = 0;
   std::uint64_t crashes = 0;
   std::uint64_t io_failures = 0;
-  std::uint64_t recv_stalls = 0;     // slow-receiver stalls served
-  std::uint64_t credit_denials = 0;  // injected credit-starvation denials
-  std::uint64_t cts_delays = 0;      // delayed clear-to-send notifications
+  std::uint64_t recv_stalls = 0;      // slow-receiver stalls served
+  std::uint64_t credit_denials = 0;   // injected credit-starvation denials
+  std::uint64_t cts_delays = 0;       // delayed clear-to-send notifications
+  std::uint64_t heartbeat_drops = 0;  // heartbeats censored before sending
+  std::uint64_t heartbeat_delays = 0; // heartbeat sends held back
+  std::uint64_t slow_steps = 0;       // injected per-step compute stalls
+  std::uint64_t corruptions = 0;      // payload bytes flipped in flight
 
   std::uint64_t total() const noexcept {
     return delays + drops + crashes + io_failures + recv_stalls + credit_denials +
-           cts_delays;
+           cts_delays + heartbeat_drops + heartbeat_delays + slow_steps + corruptions;
   }
 };
 
@@ -154,6 +158,43 @@ class FaultPlan {
     return *this;
   }
 
+  /// World rank `rank`'s next `count` heartbeat sends are censored: the rank
+  /// stays alive and keeps training, but its health plane goes dark — peers
+  /// accumulate misses and raise SuspectError. Models a partitioned or wedged
+  /// node whose data path died while the process survives. Data traffic and
+  /// its per-link fault ordinals are untouched.
+  FaultPlan& heartbeat_drop(int rank, int count) {
+    heartbeat_drops_.emplace_back(rank, std::chrono::microseconds{0}, count);
+    return *this;
+  }
+
+  /// World rank `rank`'s next `count` heartbeat sends are held back by
+  /// `delay` before delivery (a congested health plane): late but not lost,
+  /// so a tolerant miss limit must ride through it without suspicion.
+  FaultPlan& heartbeat_delay(int rank, std::chrono::microseconds delay, int count) {
+    heartbeat_delays_.emplace_back(rank, delay, count);
+    return *this;
+  }
+
+  /// World rank `rank`'s next `count` training steps stall for `stall`: an
+  /// injected compute straggler. The stall sits inside the step-latency
+  /// measurement, so the rank's heartbeat-reported EWMA reflects it and the
+  /// monitor's median comparison flags the rank. Values are unchanged.
+  FaultPlan& slow_rank(int rank, std::chrono::microseconds stall, int count) {
+    slow_ranks_.emplace_back(rank, stall, count);
+    return *this;
+  }
+
+  /// The next `count` eager payloads materialized on the link src -> dst have
+  /// one byte flipped after the sender's CRC stamp: in-flight corruption that
+  /// SCAFFE_MSG_CRC=1 must reject (IntegrityError), never deliver. Ranks are
+  /// world ranks; only queued (materialized) payloads can be corrupted —
+  /// zero-copy claims and shared bcast views are outside the fault's reach.
+  FaultPlan& corrupt_payload(int src, int dst, int count) {
+    corruptions_.emplace_back(src, dst, count);
+    return *this;
+  }
+
  private:
   friend class FaultInjector;
 
@@ -175,6 +216,17 @@ class FaultPlan {
   std::vector<TimedBudget> recv_stalls_;               // slow-receiver schedules
   std::vector<std::pair<int, int>> credit_starvation_;  // (rank, remaining denials)
   std::vector<TimedBudget> cts_delays_;                // delayed-CTS schedules
+  std::vector<TimedBudget> heartbeat_drops_;           // censored heartbeat budgets
+  std::vector<TimedBudget> heartbeat_delays_;          // late-heartbeat budgets
+  std::vector<TimedBudget> slow_ranks_;                // per-step compute stalls
+  /// (src, dst, remaining) corruption budgets per link.
+  struct CorruptionBudget {
+    CorruptionBudget(int s, int d, int c) : src(s), dst(d), remaining(c) {}
+    int src;
+    int dst;
+    int remaining;
+  };
+  std::vector<CorruptionBudget> corruptions_;
 };
 
 /// Process-wide fault oracle. Thread-safe; inactive (all queries benign)
@@ -221,6 +273,20 @@ class FaultInjector {
   /// Delayed-CTS hook: notification delay for a receive posted by `rank`
   /// (zero when none scheduled). Consumes one unit of the delay budget.
   std::chrono::microseconds on_cts_post(int rank);
+
+  /// Heartbeat hook, consulted by the HealthMonitor (not the mailbox) for
+  /// each heartbeat world rank `rank` is about to send: drop censors it,
+  /// delay holds the send back. Never touches the data path's per-link
+  /// ordinals.
+  MessageFault on_heartbeat(int rank);
+
+  /// Straggler hook: compute stall for one training step of world rank
+  /// `rank` (zero when none scheduled). Consumes one unit of the budget.
+  std::chrono::microseconds on_step(int rank);
+
+  /// Corruption hook: true when the payload being materialized on the link
+  /// src -> dst must have a byte flipped. Consumes one unit of the budget.
+  bool on_payload(int src, int dst);
 
   FaultStats stats() const;
 

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/trainer.h"
@@ -16,7 +18,9 @@
 #include "dl/snapshot.h"
 #include "models/zoo.h"
 #include "mpi/comm.h"
+#include "mpi/health.h"
 #include "util/fault.h"
+#include "util/thread_pool.h"
 
 namespace scaffe {
 namespace {
@@ -675,6 +679,317 @@ TEST_F(RecoveryTest, ShrinkUnderTightMailboxBudgetStaysBitwise) {
   ASSERT_EQ(shrunk.final_params.size(), reference.final_params.size());
   EXPECT_EQ(shrunk.final_params, reference.final_params);  // bitwise identity
   EXPECT_EQ(shrunk.root_losses, reference.root_losses);
+}
+
+// --- heartbeat health plane under training ------------------------------------
+
+TEST(DetectionLatency, HeartbeatSuspicionBeatsRecvTimeoutDetection) {
+  // Acceptance: the health plane flags a dead rank in O(heartbeat interval)
+  // while the recv-timeout path must wait out its full deadline. Same silent
+  // death (rank 1 deserts), two detection arms, >= 5x apart.
+  mpi::Runtime runtime(4);
+
+  // Arm 1: heartbeat suspicion (10ms interval x 4 misses = 40ms threshold).
+  const auto hb_start = std::chrono::steady_clock::now();
+  try {
+    runtime.run([](mpi::Comm& comm) {
+      if (comm.rank() == 1) return;  // silent death
+      mpi::HealthConfig config;
+      config.interval = std::chrono::milliseconds(10);
+      config.miss_limit = 4;
+      mpi::HealthMonitor monitor(comm, config);
+      for (int i = 0; i < 5000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        monitor.poll();
+      }
+      FAIL() << "deserter never suspected";
+    });
+    FAIL() << "expected SuspectError";
+  } catch (const mpi::SuspectError& error) {
+    EXPECT_EQ(error.rank(), 1);
+  }
+  const double heartbeat_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - hb_start)
+                                  .count();
+
+  // Arm 2: the same desertion detected only by the receive deadline.
+  runtime.set_recv_timeout(2000ms);
+  const auto to_start = std::chrono::steady_clock::now();
+  try {
+    runtime.run([](mpi::Comm& comm) {
+      if (comm.rank() == 1) return;  // silent death
+      std::vector<float> buffer(1);
+      comm.recv<float>(buffer, 1, 7);  // blocked on the dead rank
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const mpi::TimeoutError& error) {
+    EXPECT_EQ(error.deadline(), 2000ms);
+  }
+  const double timeout_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - to_start)
+                                .count();
+
+  EXPECT_GE(timeout_ms, 5.0 * heartbeat_ms)
+      << "heartbeat detection took " << heartbeat_ms << "ms vs recv-timeout "
+      << timeout_ms << "ms";
+}
+
+TEST_F(RecoveryTest, HeartbeatCensoredRankIsSuspectedAndShrunkOut) {
+  // A rank whose heartbeats are censored (wedged NIC: compute fine, health
+  // plane dark) must be suspected, surfaced as the typed SuspectError, and
+  // removed by Shrink — then the survivor world completes with its own
+  // monitors running clean.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;  // divisible by 4 and by the 3 survivors
+  config.recovery = core::RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  config.health_monitor = true;
+  mpi::HealthConfig health;
+  health.interval = std::chrono::milliseconds(10);
+  health.miss_limit = 5;  // 50ms of silence confirms
+  health.straggler_factor = 1000;
+  config.health = health;
+
+  // Every rank's steps are slowed so the run outlives the suspicion
+  // threshold; rank 1's heartbeats are dropped outright.
+  util::ScopedFaultPlan scope(util::FaultPlan(61)
+                                  .heartbeat_drop(1, 1000000)
+                                  .slow_rank(0, std::chrono::microseconds(20000), 100)
+                                  .slow_rank(1, std::chrono::microseconds(20000), 100)
+                                  .slow_rank(2, std::chrono::microseconds(20000), 100)
+                                  .slow_rank(3, std::chrono::microseconds(20000), 100));
+  const core::TrainerReport report = core::train_with_recovery(
+      4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_GE(report.recovery.suspicions, 1);
+  EXPECT_EQ(report.recovery.shrinks, 1);
+  EXPECT_EQ(report.recovery.dead_world_ranks, (std::vector<int>{1}));
+  EXPECT_EQ(report.recovery.final_world_size, 3);
+  EXPECT_FALSE(report.final_params.empty());
+  EXPECT_GT(util::FaultInjector::instance().stats().heartbeat_drops, 0u);
+}
+
+TEST_F(RecoveryTest, StragglerIsFlaggedInReportWithoutAborting) {
+  // Acceptance: a slow-but-alive rank is reported, never evicted. Rank 1
+  // stalls 20ms per step; its heartbeat-carried compute EWMA crosses
+  // straggler_factor x the world median and the root's TrainerReport names
+  // it — with zero restarts and the full world intact.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.snapshot_every = 0;  // healthy run; no checkpoints needed
+  // Pure-local gradient timing (no propagation wait folded in): the
+  // straggler signal must separate the slow rank from its waiting peers.
+  config.scaffe.aggregation = core::Aggregation::AllreduceSgd;
+  config.health_monitor = true;
+  mpi::HealthConfig health;
+  health.interval = std::chrono::milliseconds(5);
+  health.miss_limit = 1000;  // never suspect in this healthy-but-slow run
+  health.straggler_factor = 3;
+  config.health = health;
+
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(67).slow_rank(1, std::chrono::microseconds(20000), 100));
+  const core::TrainerReport report = core::train_with_recovery(
+      4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(report.recovery.restarts, 0);
+  EXPECT_EQ(report.recovery.suspicions, 0);
+  EXPECT_EQ(report.recovery.final_world_size, 4);
+  EXPECT_EQ(report.health.suspected_world_rank, -1);
+  EXPECT_NE(std::find(report.health.straggler_world_ranks.begin(),
+                      report.health.straggler_world_ranks.end(), 1),
+            report.health.straggler_world_ranks.end())
+      << "the 20ms/step rank was not flagged";
+  EXPECT_GT(report.health.heartbeats_received, 0u);
+  EXPECT_GT(util::FaultInjector::instance().stats().slow_steps, 0u);
+}
+
+// --- elastic rejoin (RecoveryPolicy::Rejoin) ----------------------------------
+
+TEST_F(RecoveryTest, RejoinHealsToFullWorldBitwiseAtOneAndEightThreads) {
+  // The rejoin capstone: rank 1 of 4 dies at iteration 5 under Rejoin. The
+  // survivors {0,2,3} resume from the iteration-4 checkpoint but run only to
+  // the next boundary (6); there the full 4-rank world relaunches under a
+  // fresh generation, rank 0 bcasts the boundary checkpoint (iteration +
+  // params + momentum) to everyone, and the healed world finishes [6,10).
+  // The result must be bitwise identical — final params AND momentum — to
+  // an uninterrupted sequence of fresh runs resumed from the same
+  // checkpoints, and invariant to the compute-thread count.
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    util::ThreadPool::set_global_threads(threads);
+    std::filesystem::remove(path_);
+
+    // Reference prefix: a clean 4-rank run to the checkpoint at iteration 4.
+    core::TrainerConfig prefix = base_config();
+    prefix.global_batch = 12;
+    prefix.iterations = 4;
+    core::train_with_recovery(4, backend, dataset.sample_floats(), factory(), prefix);
+
+    // Reference middle: a fresh 3-rank world running exactly [4, 6).
+    core::TrainerConfig middle = base_config();
+    middle.global_batch = 12;
+    middle.iterations = 6;
+    middle.start_iteration = 4;
+    core::train_with_recovery(3, backend, dataset.sample_floats(), factory(), middle);
+
+    // Reference tail: a fresh full-size world resumed from the boundary.
+    core::TrainerConfig tail = base_config();
+    tail.global_batch = 12;
+    tail.start_iteration = 6;
+    const core::TrainerReport reference = core::train_with_recovery(
+        4, backend, dataset.sample_floats(), factory(), tail);
+    ASSERT_FALSE(reference.final_params.empty());
+    ASSERT_FALSE(reference.final_state.empty());
+    std::filesystem::remove(path_);
+
+    core::TrainerConfig config = base_config();
+    config.global_batch = 12;
+    config.recovery = core::RecoveryPolicy::Rejoin;
+    config.recv_timeout_ms = 30000;
+    util::ScopedFaultPlan scope(util::FaultPlan(31).crash_rank(1, 5));
+    const core::TrainerReport healed = core::train_with_recovery(
+        4, backend, dataset.sample_floats(), factory(), config);
+
+    EXPECT_EQ(healed.recovery.restarts, 1);
+    EXPECT_EQ(healed.recovery.shrinks, 1);
+    EXPECT_EQ(healed.recovery.rejoins, 1);
+    EXPECT_EQ(healed.recovery.dead_world_ranks, (std::vector<int>{1}));
+    EXPECT_EQ(healed.recovery.rejoined_world_ranks, (std::vector<int>{1}));
+    EXPECT_EQ(healed.recovery.final_world_size, 4);
+    EXPECT_EQ(healed.recovery.resumed_iteration, 6);
+    EXPECT_GE(healed.recovery.final_generation, 3u);  // crash + shrink + heal
+
+    // Bitwise acceptance: parameters AND momentum of the healed run equal
+    // the uninterrupted reference resumed from the same checkpoint.
+    ASSERT_EQ(healed.final_params.size(), reference.final_params.size());
+    EXPECT_EQ(healed.final_params, reference.final_params);
+    ASSERT_EQ(healed.final_state.size(), reference.final_state.size());
+    EXPECT_EQ(healed.final_state, reference.final_state);
+    EXPECT_EQ(healed.root_losses, reference.root_losses);  // iterations 6..9
+  }
+  util::ThreadPool::set_global_threads(1);  // leave the pool serial for later tests
+}
+
+TEST_F(RecoveryTest, RejoinFallsBackToShrinkSemanticsWithoutCheckpoints) {
+  // With snapshots disabled there is no boundary to heal at: Rejoin must
+  // degrade gracefully to Shrink behaviour (survivors run to completion).
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.global_batch = 12;
+  config.snapshot_every = 0;
+  config.snapshot_path.clear();
+  config.recovery = core::RecoveryPolicy::Rejoin;
+  config.recv_timeout_ms = 30000;
+
+  util::ScopedFaultPlan scope(util::FaultPlan(71).crash_rank(1, 5));
+  const core::TrainerReport report = core::train_with_recovery(
+      4, backend, dataset.sample_floats(), factory(), config);
+  EXPECT_EQ(report.recovery.shrinks, 1);
+  EXPECT_EQ(report.recovery.rejoins, 0);
+  EXPECT_EQ(report.recovery.final_world_size, 3);
+  EXPECT_EQ(report.recovery.resumed_iteration, 0);  // no checkpoint to resume
+  EXPECT_FALSE(report.final_params.empty());
+}
+
+// --- eager payload integrity under training -----------------------------------
+
+/// Scoped env override (tests run serially within a binary).
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvVarGuard() {
+    if (!saved_.empty()) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+};
+
+TEST_F(RecoveryTest, CorruptedEagerPayloadIsRejectedAndRecoveredBitwise) {
+  // Chaos pairing for SCAFFE_MSG_CRC: corrupt_payload flips one byte of the
+  // first queued 0->1 message. With the CRC plane on, the receiver rejects
+  // it with a typed IntegrityError — the poisoned gradient state is never
+  // delivered — recovery restarts, and the final parameters are bitwise the
+  // fault-free run's. Legacy transport pins every message to the queued
+  // path so the corruption (and its detection) is deterministic.
+  EnvVarGuard transport("SCAFFE_TRANSPORT", "legacy");
+  EnvVarGuard crc("SCAFFE_MSG_CRC", "1");
+
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 6;
+  config.recv_timeout_ms = 30000;
+
+  const core::TrainerReport clean = core::train_with_recovery(
+      2, backend, dataset.sample_floats(), factory(), config);
+  ASSERT_FALSE(clean.final_params.empty());
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(util::FaultPlan(73).corrupt_payload(0, 1, 1));
+  const core::TrainerReport recovered = core::train_with_recovery(
+      2, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(recovered.recovery.restarts, 1);
+  EXPECT_EQ(recovered.recovery.timeouts, 1);  // IntegrityError counts here
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+  EXPECT_EQ(recovered.final_params, clean.final_params);  // poison never landed
+  EXPECT_EQ(recovered.root_losses, clean.root_losses);
+}
+
+// --- randomized-but-logged chaos soak ------------------------------------------
+
+TEST_F(RecoveryTest, ChaosSoakSeedFromEnv) {
+  // Nightly soak entry point (scripts/soak.sh): the fault schedule derives
+  // from SCAFFE_SOAK_SEED — randomized per soak run but printed, so any
+  // failure replays exactly. For EVERY seed the chaos run must land bitwise
+  // on the fault-free parameters.
+  unsigned seed = 2017;
+  if (const char* env = std::getenv("SCAFFE_SOAK_SEED")) {
+    seed = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  std::printf("SCAFFE_SOAK_SEED=%u\n", seed);
+
+  const int victim = 1 + static_cast<int>(seed % 3u);      // rank 1..3
+  const int crash_iter = 2 + static_cast<int>(seed % 6u);  // iteration 2..7
+  std::printf("soak schedule: crash rank %d at iteration %d\n", victim, crash_iter);
+
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.recv_timeout_ms = 30000;
+
+  const core::TrainerReport clean = core::train_with_recovery(
+      4, backend, dataset.sample_floats(), factory(), config);
+  ASSERT_FALSE(clean.final_params.empty());
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(
+      util::FaultPlan(seed)
+          .delay_messages(0.05, std::chrono::microseconds(300))
+          .crash_rank(victim, crash_iter));
+  const core::TrainerReport chaotic = core::train_with_recovery(
+      4, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(chaotic.recovery.restarts, 1);
+  EXPECT_EQ(chaotic.final_params, clean.final_params);
+  EXPECT_EQ(chaotic.iterations, clean.iterations);
 }
 
 }  // namespace

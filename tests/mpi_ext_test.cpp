@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "coll/algorithms.h"
 #include "mpi/comm.h"
+#include "mpi/health.h"
 
 namespace scaffe::mpi {
 namespace {
@@ -343,6 +348,163 @@ TEST(ContextAudit, NoCollisionsAcrossSplitsDupsAndRebuilds) {
   }
   ASSERT_EQ(contexts.size(), 10u);  // (1 base + 2 splits + 2 dups) x 2 generations
   EXPECT_EQ(std::set<ContextId>(contexts.begin(), contexts.end()).size(), contexts.size());
+}
+
+// --- heartbeat health plane ---------------------------------------------------
+
+TEST(HealthPlane, HealthContextIsDisjointAndDeterministic) {
+  const ContextId base = 12345;
+  const ContextId health = HealthMonitor::health_context_for(base);
+  EXPECT_EQ(health, HealthMonitor::health_context_for(base));  // pure function
+  EXPECT_NE(health, base);
+  EXPECT_GE(health, 0);  // context space is non-negative
+  EXPECT_NE(HealthMonitor::health_context_for(base + 1), health);
+}
+
+TEST(HealthPlane, HeartbeatsFlowAndReportPopulates) {
+  Runtime runtime(3);
+  runtime.run([](Comm& comm) {
+    comm.barrier();
+    HealthConfig config;
+    config.interval = std::chrono::milliseconds(5);
+    config.miss_limit = 100;  // never suspect in this healthy run
+    HealthMonitor monitor(comm, config);
+    monitor.record_step(3.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    monitor.poll();  // healthy world: must not throw
+    const HealthReport report = monitor.report();
+    EXPECT_GT(report.heartbeats_sent, 0u);
+    EXPECT_GT(report.heartbeats_received, 0u);
+    EXPECT_EQ(report.suspected_world_rank, -1);
+    ASSERT_EQ(report.peers.size(), 3u);
+    for (const PeerHealth& peer : report.peers) {
+      EXPECT_TRUE(peer.heard) << "no heartbeat from comm rank " << peer.rank;
+      EXPECT_FALSE(peer.straggler);
+    }
+    comm.barrier();  // keep every monitor alive until all three are heard
+  });
+}
+
+TEST(HealthPlane, SilentPeerSuspectedWithTypedError) {
+  // Rank 2 deserts (returns without ever heartbeating): the survivors'
+  // monitors must confirm suspicion of exactly that rank and surface the
+  // typed SuspectError through poll(), not a bare AbortError.
+  Runtime runtime(3);
+  try {
+    runtime.run([](Comm& comm) {
+      if (comm.rank() == 2) return;  // silent death
+      HealthConfig config;
+      config.interval = std::chrono::milliseconds(10);
+      config.miss_limit = 4;
+      HealthMonitor monitor(comm, config);
+      for (int i = 0; i < 1000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        monitor.poll();
+      }
+      FAIL() << "rank " << comm.rank() << " never suspected the deserter";
+    });
+    FAIL() << "expected SuspectError";
+  } catch (const SuspectError& error) {
+    EXPECT_EQ(error.rank(), 2);
+    EXPECT_EQ(error.world_rank(), 2);
+    EXPECT_EQ(error.last_seq(), 0u);  // never heard at all
+    EXPECT_TRUE(error.restartable());
+    EXPECT_EQ(error.suspect(), 2);
+    EXPECT_GT(error.silent_for().count(), 0);
+  }
+}
+
+// Acceptance (elastic fencing): a heartbeat stamped with a dead epoch's
+// generation can never feed a rebuilt world's monitor. The forged stale beat
+// below carries seq 999; the monitor must still suspect the silent peer and
+// report last_seq 0 — the zombie's heartbeat was invisible, not counted.
+TEST(HealthPlane, StaleGenerationHeartbeatsAreInvisible) {
+  Runtime runtime(2);
+  runtime.run([](Comm&) {});  // burn generation 1 so generation-1 mail can exist
+  try {
+    runtime.run([&](Comm& comm) {
+      if (comm.rank() != 0) return;  // rank 1 is silent in this epoch
+      Envelope stale;
+      stale.context = HealthMonitor::health_context_for(comm.context());
+      stale.generation = comm.generation() - 1;
+      stale.src = 1;
+      stale.tag = HealthMonitor::kHeartbeatTag;
+      struct {
+        std::uint64_t seq;
+        double latency;
+      } beat{999, 1.0};
+      stale.payload.resize(sizeof(beat));
+      std::memcpy(stale.payload.data(), &beat, sizeof(beat));
+      runtime.world().mailboxes[0]->push(std::move(stale));
+
+      HealthConfig config;
+      config.interval = std::chrono::milliseconds(5);
+      config.miss_limit = 4;
+      HealthMonitor monitor(comm, config);
+      for (int i = 0; i < 1000; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        monitor.poll();
+      }
+      FAIL() << "stale heartbeat kept the dead peer alive";
+    });
+    FAIL() << "expected SuspectError";
+  } catch (const SuspectError& error) {
+    EXPECT_EQ(error.rank(), 1);
+    EXPECT_EQ(error.last_seq(), 0u) << "the generation-fenced heartbeat was counted";
+    EXPECT_EQ(error.generation(), 2u);
+  }
+}
+
+TEST(HealthConfigEnv, KnobsParseThroughSharedParsers) {
+  struct EnvGuard {
+    EnvGuard(const char* name, const char* value) : name_(name) {
+      if (const char* old = std::getenv(name)) saved_ = old;
+      if (value != nullptr) {
+        ::setenv(name, value, 1);
+      } else {
+        ::unsetenv(name);
+      }
+    }
+    ~EnvGuard() {
+      if (saved_.has_value()) {
+        ::setenv(name_, saved_->c_str(), 1);
+      } else {
+        ::unsetenv(name_);
+      }
+    }
+    const char* name_;
+    std::optional<std::string> saved_;
+  };
+  {
+    EnvGuard a("SCAFFE_HEARTBEAT_MS", nullptr);
+    EnvGuard b("SCAFFE_HEARTBEAT_MISS_LIMIT", nullptr);
+    EnvGuard c("SCAFFE_STRAGGLER_FACTOR", nullptr);
+    const HealthConfig config = HealthConfig::from_env();
+    EXPECT_EQ(config.interval, std::chrono::milliseconds(25));
+    EXPECT_EQ(config.miss_limit, 4);
+    EXPECT_EQ(config.straggler_factor, 4);
+    EXPECT_EQ(config.suspicion_threshold(), std::chrono::milliseconds(100));
+  }
+  {
+    EnvGuard a("SCAFFE_HEARTBEAT_MS", "10");
+    EnvGuard b("SCAFFE_HEARTBEAT_MISS_LIMIT", "8");
+    EnvGuard c("SCAFFE_STRAGGLER_FACTOR", "3");
+    const HealthConfig config = HealthConfig::from_env();
+    EXPECT_EQ(config.interval, std::chrono::milliseconds(10));
+    EXPECT_EQ(config.miss_limit, 8);
+    EXPECT_EQ(config.straggler_factor, 3);
+    EXPECT_EQ(config.suspicion_threshold(), std::chrono::milliseconds(80));
+  }
+  {
+    EnvGuard a("SCAFFE_HEARTBEAT_MS", "soon");
+    try {
+      (void)HealthConfig::from_env();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& error) {
+      EXPECT_EQ(error.knob(), "SCAFFE_HEARTBEAT_MS");
+      EXPECT_EQ(error.value(), "soon");
+    }
+  }
 }
 
 TEST(Abort, RuntimeIsReusableAfterAbort) {

@@ -22,6 +22,7 @@
 #include "mpi/comm.h"
 #include "mpi/transport_tuner.h"
 #include "util/buffer_pool.h"
+#include "util/fault.h"
 
 namespace scaffe::mpi {
 namespace {
@@ -605,6 +606,157 @@ TEST(PostedIrecv, AbandonedRequestIsSafe) {
       EXPECT_EQ(incoming.front(), 2.0f);
     }
   });
+}
+
+// --- SCAFFE_MSG_CRC eager-payload integrity ----------------------------------
+
+TEST(MsgCrcEnv, UnsetAndOffDisable) {
+  {
+    EnvGuard guard("SCAFFE_MSG_CRC", nullptr);
+    EXPECT_FALSE(TransportConfig::default_msg_crc());
+  }
+  for (const char* off : {"0", "off"}) {
+    EnvGuard guard("SCAFFE_MSG_CRC", off);
+    EXPECT_FALSE(TransportConfig::default_msg_crc());
+  }
+}
+
+TEST(MsgCrcEnv, OnEnables) {
+  for (const char* on : {"1", "on"}) {
+    EnvGuard guard("SCAFFE_MSG_CRC", on);
+    EXPECT_TRUE(TransportConfig::default_msg_crc());
+  }
+}
+
+TEST(MsgCrcEnv, MalformedValuesThrowConfigError) {
+  for (const char* bad : {"yes", "2", ""}) {
+    EnvGuard guard("SCAFFE_MSG_CRC", bad);
+    try {
+      (void)TransportConfig::default_msg_crc();
+      FAIL() << "expected ConfigError for \"" << bad << "\"";
+    } catch (const ConfigError& error) {
+      EXPECT_EQ(error.knob(), "SCAFFE_MSG_CRC");
+      EXPECT_EQ(error.value(), bad);
+    }
+  }
+}
+
+// Baseline for the integrity guarantee: with the CRC plane off, an injected
+// payload flip is silently delivered — exactly the failure SCAFFE_MSG_CRC
+// exists to catch.
+TEST(MsgCrc, CorruptionWithoutCrcIsDeliveredSilently) {
+  Runtime runtime(2);
+  util::ScopedFaultPlan scope(util::FaultPlan(7).corrupt_payload(0, 1, 1));
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> data(8, 1.0f);
+      comm.send<float>(data, 1, 3);
+    } else {
+      // Receive late so the eager message is materialized into the queue
+      // (claims never materialize and are outside corruption's reach).
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::vector<float> data(8);
+      comm.recv<float>(data, 0, 3);
+      // The flip lands at byte size/2 = 16, i.e. inside data[4].
+      EXPECT_NE(data[4], 1.0f);
+      EXPECT_EQ(data[0], 1.0f);
+    }
+  });
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+}
+
+// With SCAFFE_MSG_CRC on, the same corrupted eager message is rejected with
+// a typed IntegrityError naming the exchange — never handed to the
+// application.
+TEST(MsgCrc, CorruptedEagerMessageRejectedWithIntegrityError) {
+  Runtime runtime(2);
+  runtime.world().transport.msg_crc.store(true);
+  util::ScopedFaultPlan scope(util::FaultPlan(7).corrupt_payload(0, 1, 1));
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> data(8, 1.0f);
+      comm.send<float>(data, 1, 3);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::vector<float> data(8);
+      try {
+        comm.recv<float>(data, 0, 3);
+        FAIL() << "expected IntegrityError";
+      } catch (const IntegrityError& error) {
+        EXPECT_EQ(error.src(), 0);
+        EXPECT_EQ(error.tag(), 3);
+        EXPECT_EQ(error.context(), comm.context());
+        EXPECT_EQ(error.bytes(), 8 * sizeof(float));
+        EXPECT_NE(error.expected_crc(), error.actual_crc());
+      }
+    }
+  });
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+}
+
+// An uncorrupted stream under SCAFFE_MSG_CRC must be byte-for-byte the same
+// traffic, just verified: stamping is overhead, not a behaviour change.
+TEST(MsgCrc, CleanTrafficPassesVerification) {
+  Runtime runtime(2);
+  runtime.world().transport.msg_crc.store(true);
+  runtime.run([](Comm& comm) {
+    std::vector<float> data(64);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i);
+      comm.send<float>(data, 1, 5);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      comm.recv<float>(data, 0, 5);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(data[i], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+// --- unified mpi::Error hierarchy ---------------------------------------------
+
+// Every typed failure shares the {context, src, tag, generation} base plus
+// the restartable()/suspect() policy hooks, so supervisors can select a
+// victim without special-casing concrete types.
+TEST(ErrorHierarchy, TypedErrorsShareTheCommonBase) {
+  const TimeoutError timeout(/*context=*/7, /*src=*/2, /*tag=*/3,
+                             std::chrono::milliseconds(100), /*generation=*/4);
+  const BackpressureError backpressure(/*context=*/7, /*src=*/1, /*dst=*/0, /*tag=*/3,
+                                       /*message_bytes=*/4096,
+                                       std::chrono::milliseconds(100), FlowDiagnostics{},
+                                       /*generation=*/4);
+  const TransportError transport(/*context=*/7, /*src=*/2, /*tag=*/3,
+                                 /*expected_bytes=*/8, /*actual_bytes=*/16);
+  const ConfigError config("SCAFFE_X", "bogus", "(expected a number)");
+  const SuspectError suspect(/*context=*/7, /*rank=*/2, /*world_rank=*/5,
+                             /*last_seq=*/11, std::chrono::milliseconds(120),
+                             /*generation=*/4);
+  const IntegrityError integrity(/*context=*/7, /*src=*/2, /*tag=*/3, /*generation=*/4,
+                                 /*expected_crc=*/1, /*actual_crc=*/2, /*bytes=*/32);
+
+  const Error* errors[] = {&timeout, &backpressure, &transport, &suspect, &integrity};
+  for (const Error* error : errors) EXPECT_EQ(error->context(), 7) << error->what();
+  EXPECT_EQ(config.context(), -1);  // config failures have no exchange origin
+  // Deadline-class and integrity failures are restartable and name their
+  // suspect as a communicator rank; protocol/config failures are terminal.
+  EXPECT_TRUE(timeout.restartable());
+  EXPECT_EQ(timeout.suspect(), 2);
+  EXPECT_TRUE(backpressure.restartable());
+  EXPECT_EQ(backpressure.suspect(), -1);  // dst is a world rank, not comm rank
+  EXPECT_FALSE(transport.restartable());
+  EXPECT_EQ(transport.suspect(), -1);
+  EXPECT_FALSE(config.restartable());
+  EXPECT_TRUE(suspect.restartable());
+  EXPECT_EQ(suspect.suspect(), 2);
+  EXPECT_EQ(suspect.world_rank(), 5);
+  EXPECT_TRUE(integrity.restartable());
+  EXPECT_EQ(integrity.suspect(), 2);
+  // An any-source timeout cannot name a suspect.
+  const TimeoutError any(/*context=*/7, kAnySource, /*tag=*/3,
+                         std::chrono::milliseconds(100));
+  EXPECT_EQ(any.suspect(), -1);
+  EXPECT_EQ(suspect.generation(), 4u);
 }
 
 TEST(PostedIrecv, EagerSizeMismatchDiagnosedAtCompletion) {
