@@ -1,0 +1,392 @@
+// Distributed sample-store benchmark: LMDB-direct vs store-fed reader
+// scaling (the Figure 8 problem the store exists to solve), plus the memory
+// registry's steady-state behaviour underneath the exchange.
+//
+// Two parts:
+//
+//  1. Reader-scaling sweep at {16, 64, 160, 512} readers. The LMDB-direct
+//     arm registers every reader with the backend — registration throws past
+//     lmdb_max_readers (64) and the modelled aggregate collapses past the
+//     contention knee. The store-fed arm registers the same readers with the
+//     SampleStore, which caps backend attachments at min(ranks, max_loaders):
+//     the backend never sees more than 32 loaders no matter how many readers
+//     train, so 160- and 512-reader configurations survive.
+//
+//  2. A functional exchange (real ranks, real samples over the scmpi OOB
+//     plane) run twice: a warmup pass that populates the MemoryRegistry and
+//     a measured steady pass. At warm steady state every exchange buffer
+//     recycles — the registry miss counter must stay flat and the hit rate
+//     at/above 99% — and store-fed samples are verified bitwise against the
+//     backend.
+//
+// Writes machine-readable BENCH_datastore.json. SCAFFE_BENCH_SMOKE=1 shrinks
+// the footprint for CI. SCAFFE_DATASTORE_ASSERT=1 exits nonzero unless the
+// store-fed arm survives >= 160 readers where LMDB-direct dies at 64, the
+// steady-state miss delta is zero, and the steady hit rate is >= 99% — the
+// gate wired into scripts/check.sh.
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/backend.h"
+#include "data/dataset.h"
+#include "data/sample_store.h"
+#include "mpi/comm.h"
+#include "util/memory_registry.h"
+#include "util/thread_pool.h"
+
+using namespace scaffe;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+struct ScalingRow {
+  int readers = 0;
+  bool direct_attach_ok = false;
+  double direct_samples_per_sec = 0;
+  bool store_attach_ok = false;
+  int store_backend_readers = 0;
+  double store_samples_per_sec = 0;
+};
+
+/// Direct-arm registration: N readers attach straight to the backend.
+/// attach_reader() is the registration protocol, so the sweep exercises the
+/// real cap without spawning N threads. Must run while nothing else (e.g. a
+/// store's loaders) holds attachments.
+void sweep_direct(data::LmdbBackend& backend, ScalingRow& row, std::size_t sample_bytes) {
+  int attached = 0;
+  row.direct_attach_ok = true;
+  for (int r = 0; r < row.readers; ++r) {
+    try {
+      backend.attach_reader();
+      ++attached;
+    } catch (const data::ReaderLimitError&) {
+      row.direct_attach_ok = false;
+      break;
+    }
+  }
+  for (int r = 0; r < attached; ++r) backend.detach_reader();
+  row.direct_samples_per_sec =
+      row.direct_attach_ok ? backend.aggregate_samples_per_sec(row.readers, sample_bytes)
+                           : 0.0;
+}
+
+/// Store-arm registration: the same N readers attach to the store instead —
+/// in-memory consumers, uncapped — while the backend only ever sees the
+/// store's loaders.
+void sweep_store(data::SampleStore& store, ScalingRow& row, std::size_t sample_bytes) {
+  row.store_attach_ok = true;
+  for (int r = 0; r < row.readers; ++r) store.attach_reader();
+  row.store_backend_readers = store.loaders();
+  for (int r = 0; r < row.readers; ++r) store.detach_reader();
+  row.store_samples_per_sec = store.aggregate_samples_per_sec(row.readers, sample_bytes);
+}
+
+struct ExchangeResult {
+  double warmup_seconds = 0;
+  double steady_seconds = 0;
+  std::uint64_t samples = 0;
+  bool bitwise_ok = true;
+  std::uint64_t hits = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t windows_ready = 0;
+  util::RegistryStats after_warmup;
+  util::RegistryStats after_steady;
+};
+
+/// One store-fed exchange: every rank consumes its strided slots of
+/// `warm_windows + steady_windows` windows and verifies each sample bitwise
+/// against the backend's own answer. Registry stats snapshot at the
+/// warmup/steady boundary and at the end, inside the SAME run — steady-state
+/// means the same rank threads keeping their warm shards, exactly as a
+/// long training run would.
+ExchangeResult run_exchange(int ranks, data::ReadBackend& backend,
+                            const data::SyntheticImageDataset& dataset,
+                            std::uint64_t window, std::uint64_t warm_windows,
+                            std::uint64_t steady_windows, int max_loaders) {
+  ExchangeResult result;
+  std::atomic<std::uint64_t> samples{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fallbacks{0};
+  std::atomic<std::uint64_t> ready{0};
+  std::atomic<bool> bitwise_ok{true};
+
+  mpi::Runtime runtime(ranks);
+  const auto start = Clock::now();
+  Clock::time_point mid = start;
+  Clock::time_point finish = start;
+  runtime.run([&](mpi::Comm& comm) {
+    data::SampleStoreConfig config;
+    config.window = window;
+    config.sample_floats = dataset.sample_floats();
+    config.max_loaders = max_loaders;
+    data::SampleStore store(comm, backend, config);
+    store.attach_reader();
+
+    std::uint64_t local = 0;
+    const auto read_span = [&](std::uint64_t first_window, std::uint64_t end_window) {
+      for (std::uint64_t g = first_window * window + static_cast<std::uint64_t>(comm.rank());
+           g < end_window * window; g += static_cast<std::uint64_t>(comm.size())) {
+        const data::Sample got = store.read(g);
+        const data::Sample want = dataset.make_sample(g);
+        if (got.index != want.index || got.label != want.label || got.image != want.image) {
+          bitwise_ok.store(false);
+        }
+        ++local;
+      }
+    };
+
+    read_span(0, warm_windows);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      result.after_warmup = util::MemoryRegistry::instance().stats();
+      mid = Clock::now();
+    }
+    comm.barrier();  // nobody enters the measured phase until the snapshot lands
+    read_span(warm_windows, warm_windows + steady_windows);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      result.after_steady = util::MemoryRegistry::instance().stats();
+      finish = Clock::now();
+    }
+
+    samples.fetch_add(local);
+    const data::SampleStoreStats stats = store.stats();
+    hits.fetch_add(stats.hits);
+    fallbacks.fetch_add(stats.fallbacks);
+    ready.fetch_add(stats.windows_ready);
+    store.detach_reader();
+  });
+  result.warmup_seconds = std::chrono::duration<double>(mid - start).count();
+  result.steady_seconds = std::chrono::duration<double>(finish - mid).count();
+  result.samples = samples.load();
+  result.bitwise_ok = bitwise_ok.load();
+  result.hits = hits.load();
+  result.fallbacks = fallbacks.load();
+  result.windows_ready = ready.load();
+  return result;
+}
+
+/// The direct arm of the functional leg: the same slots read straight from
+/// the backend by every rank.
+double run_direct(int ranks, data::ReadBackend& backend, std::uint64_t window,
+                  std::uint64_t windows) {
+  mpi::Runtime runtime(ranks);
+  const auto start = Clock::now();
+  runtime.run([&](mpi::Comm& comm) {
+    backend.attach_reader();
+    for (std::uint64_t g = static_cast<std::uint64_t>(comm.rank()); g < windows * window;
+         g += static_cast<std::uint64_t>(comm.size())) {
+      (void)backend.read(g);
+    }
+    backend.detach_reader();
+  });
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  util::ThreadPool::set_global_threads(1);
+
+  const bool smoke = env_flag("SCAFFE_BENCH_SMOKE");
+  const bool assert_mode = env_flag("SCAFFE_DATASTORE_ASSERT");
+
+  const int ranks = smoke ? 8 : 16;
+  const int max_loaders = 32;
+  const std::uint64_t window = static_cast<std::uint64_t>(ranks) * 64;
+  // Warmup must outlast pool growth: steady-state recycling needs enough
+  // blocks for the instantaneous working set PLUS every thread-local shard
+  // the producer->consumer circulation parks blocks in. Each warmup miss
+  // grows the pool, so a long warmup converges to an allocation-free steady
+  // phase.
+  const std::uint64_t warm_windows = smoke ? 12 : 24;
+  const std::uint64_t steady_windows = smoke ? 4 : 8;
+  const std::uint64_t windows = warm_windows + steady_windows;
+  const std::vector<int> reader_counts = {16, 64, 160, 512};
+
+  data::SyntheticImageDataset dataset(window * windows, 3, 8, 8, 10);
+  const std::size_t sample_bytes = dataset.sample_floats() * sizeof(float);
+  data::LmdbBackend backend(dataset);  // default spec: 64-reader cap, knee at 16
+
+  std::printf("datastore bench (%s): %d ranks, window %llu x %llu windows, %zu B/sample\n",
+              smoke ? "smoke" : "full", ranks,
+              static_cast<unsigned long long>(window),
+              static_cast<unsigned long long>(windows), sample_bytes);
+
+  // --- part 1: reader-scaling sweep ----------------------------------------
+  std::vector<ScalingRow> rows;
+  for (int readers : reader_counts) {
+    ScalingRow row;
+    row.readers = readers;
+    sweep_direct(backend, row, sample_bytes);  // backend unattached here
+    rows.push_back(row);
+  }
+  {
+    mpi::Runtime runtime(ranks);
+    runtime.run([&](mpi::Comm& comm) {
+      data::SampleStoreConfig config;
+      config.window = window;
+      config.sample_floats = dataset.sample_floats();
+      config.max_loaders = max_loaders;
+      data::SampleStore store(comm, backend, config);
+      if (comm.rank() == 0) {
+        for (ScalingRow& row : rows) sweep_store(store, row, sample_bytes);
+      }
+    });
+  }
+  for (const ScalingRow& row : rows) {
+    std::printf(
+        "%4d readers  lmdb-direct %s %12.0f samples/s   store-fed ok (%2d backend "
+        "readers) %12.0f samples/s\n",
+        row.readers, row.direct_attach_ok ? "ok  " : "DEAD", row.direct_samples_per_sec,
+        row.store_backend_readers, row.store_samples_per_sec);
+  }
+
+  // --- part 2: functional exchange, warmup then measured steady phase -------
+  const double direct_seconds = run_direct(ranks, backend, window, windows);
+
+  const ExchangeResult exchange = run_exchange(ranks, backend, dataset, window,
+                                               warm_windows, steady_windows, max_loaders);
+  const util::RegistryStats& after_warmup = exchange.after_warmup;
+  const util::RegistryStats& after_steady = exchange.after_steady;
+
+  const std::uint64_t miss_delta = after_steady.misses - after_warmup.misses;
+  const std::uint64_t steady_recycled = after_steady.recycled() - after_warmup.recycled();
+  const double steady_hit_rate =
+      steady_recycled + miss_delta == 0
+          ? 0.0
+          : static_cast<double>(steady_recycled) /
+                static_cast<double>(steady_recycled + miss_delta);
+
+  std::printf("functional: direct %.3f s, store warmup %.3f s, store steady %.3f s "
+              "(%llu samples, %llu hits, %llu fallbacks, bitwise %s)\n",
+              direct_seconds, exchange.warmup_seconds, exchange.steady_seconds,
+              static_cast<unsigned long long>(exchange.samples),
+              static_cast<unsigned long long>(exchange.hits),
+              static_cast<unsigned long long>(exchange.fallbacks),
+              exchange.bitwise_ok ? "ok" : "MISMATCH");
+  std::printf("registry: steady misses +%llu (flat=%s), steady hit rate %.4f, "
+              "cached %zu B, peak live %zu B\n",
+              static_cast<unsigned long long>(miss_delta),
+              miss_delta == 0 ? "yes" : "NO", steady_hit_rate,
+              after_steady.cached_bytes, after_steady.peak_live_bytes);
+
+  // --- verdicts --------------------------------------------------------------
+  bool direct_dies_past_64 = true;
+  bool store_survives_160 = true;
+  for (const ScalingRow& row : rows) {
+    if (row.readers <= 64 &&
+        (!row.direct_attach_ok || row.direct_samples_per_sec <= 0.0)) {
+      direct_dies_past_64 = false;  // direct must WORK at/below the cap
+    }
+    if (row.readers > 64 && row.direct_attach_ok) direct_dies_past_64 = false;
+    if (row.readers >= 160 &&
+        (!row.store_attach_ok || row.store_samples_per_sec <= 0.0 ||
+         row.store_backend_readers > max_loaders)) {
+      store_survives_160 = false;
+    }
+  }
+
+  bool failed = false;
+  if (!exchange.bitwise_ok) {
+    std::fprintf(stderr, "DATASTORE: store-fed samples diverged from the backend\n");
+    failed = true;
+  }
+  if (assert_mode) {
+    if (!direct_dies_past_64) {
+      std::fprintf(stderr,
+                   "DATASTORE ASSERT FAILED: lmdb-direct arm did not die past 64 "
+                   "readers (the contention problem is gone?)\n");
+      failed = true;
+    }
+    if (!store_survives_160) {
+      std::fprintf(stderr,
+                   "DATASTORE ASSERT FAILED: store-fed arm did not survive 160 "
+                   "readers with <= %d backend readers\n", max_loaders);
+      failed = true;
+    }
+    if (miss_delta != 0) {
+      std::fprintf(stderr,
+                   "DATASTORE ASSERT FAILED: registry miss counter moved by %llu "
+                   "at steady state (hot path is allocating)\n",
+                   static_cast<unsigned long long>(miss_delta));
+      failed = true;
+    }
+    if (steady_hit_rate < 0.99) {
+      std::fprintf(stderr,
+                   "DATASTORE ASSERT FAILED: steady registry hit rate %.4f < 0.99\n",
+                   steady_hit_rate);
+      failed = true;
+    }
+    if (exchange.fallbacks != 0) {
+      std::fprintf(stderr,
+                   "DATASTORE ASSERT FAILED: %llu reads fell back to the backend\n",
+                   static_cast<unsigned long long>(exchange.fallbacks));
+      failed = true;
+    }
+  }
+
+  const char* json_path = "BENCH_datastore.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"ranks\": %d,\n", ranks);
+  std::fprintf(out, "  \"window\": %llu,\n", static_cast<unsigned long long>(window));
+  std::fprintf(out, "  \"windows\": %llu,\n", static_cast<unsigned long long>(windows));
+  std::fprintf(out, "  \"sample_bytes\": %zu,\n", sample_bytes);
+  std::fprintf(out, "  \"max_loaders\": %d,\n", max_loaders);
+  std::fprintf(out, "  \"scaling\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& row = rows[i];
+    std::fprintf(out,
+                 "    {\"readers\": %d, \"lmdb_direct_ok\": %s, "
+                 "\"lmdb_direct_samples_per_sec\": %.0f, \"store_ok\": %s, "
+                 "\"store_backend_readers\": %d, \"store_samples_per_sec\": %.0f}%s\n",
+                 row.readers, row.direct_attach_ok ? "true" : "false",
+                 row.direct_samples_per_sec, row.store_attach_ok ? "true" : "false",
+                 row.store_backend_readers, row.store_samples_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"functional\": {\"direct_seconds\": %.4f, \"warmup_seconds\": %.4f, "
+               "\"steady_seconds\": %.4f, \"samples\": %llu, \"hits\": %llu, "
+               "\"fallbacks\": %llu, \"windows_ready\": %llu, \"bitwise_ok\": %s},\n",
+               direct_seconds, exchange.warmup_seconds, exchange.steady_seconds,
+               static_cast<unsigned long long>(exchange.samples),
+               static_cast<unsigned long long>(exchange.hits),
+               static_cast<unsigned long long>(exchange.fallbacks),
+               static_cast<unsigned long long>(exchange.windows_ready),
+               exchange.bitwise_ok ? "true" : "false");
+  std::fprintf(out,
+               "  \"registry\": {\"steady_miss_delta\": %llu, \"steady_recycled\": %llu, "
+               "\"steady_hit_rate\": %.4f, \"lifetime_misses\": %llu, "
+               "\"cached_bytes\": %zu, \"peak_live_bytes\": %zu},\n",
+               static_cast<unsigned long long>(miss_delta),
+               static_cast<unsigned long long>(steady_recycled), steady_hit_rate,
+               static_cast<unsigned long long>(after_steady.misses),
+               after_steady.cached_bytes, after_steady.peak_live_bytes);
+  std::fprintf(out, "  \"direct_dies_past_64\": %s,\n",
+               direct_dies_past_64 ? "true" : "false");
+  std::fprintf(out, "  \"store_survives_160\": %s\n", store_survives_160 ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path);
+  return failed ? 1 : 0;
+}

@@ -59,6 +59,14 @@ if [[ "${fast}" -eq 0 ]]; then
   echo "==> bench_backpressure smoke (build-release)"
   (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_BACKPRESSURE_ASSERT=1 ./bench/bench_backpressure)
 
+  # Sample-store smoke: LMDB-direct vs store-fed reader scaling plus the
+  # registry's steady-state behaviour under the exchange. Writes
+  # BENCH_datastore.json and (via SCAFFE_DATASTORE_ASSERT) fails the check
+  # unless the store survives >=160 readers where direct dies at 64, the
+  # steady-state registry miss counter stays flat, and the hit rate is >=99%.
+  echo "==> bench_datastore smoke (build-release)"
+  (cd build-release && SCAFFE_BENCH_SMOKE=1 SCAFFE_DATASTORE_ASSERT=1 ./bench/bench_datastore)
+
   # Recovery smoke: crash/shrink/rejoin timings plus the health plane's
   # detection-latency rows. Writes BENCH_recovery.json and (via
   # SCAFFE_RECOVERY_ASSERT) fails the check unless heartbeat suspicion beats

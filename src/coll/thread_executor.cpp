@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gpu/kernels.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::coll {
 
@@ -31,9 +32,14 @@ namespace {
 // slot per (src, dst) edge, which together with per-edge FIFO staging
 // preserves the non-overtaking guarantee.
 
+// Staged copies recycle through the shared MemoryRegistry so sender-first
+// fallbacks don't heap-allocate in steady state.
 struct Message {
   int tag = 0;
-  std::vector<float> payload;
+  util::MemBlock storage;
+  std::size_t count = 0;
+
+  std::span<const float> payload() noexcept { return {storage.floats(), count}; }
 };
 
 /// A receive the receiver has posted on an edge. Lives on the receiver's
@@ -73,7 +79,12 @@ class Edge {
       } else {
         Message message;
         message.tag = tag;
-        message.payload.assign(payload.begin(), payload.end());
+        // Transfer-routed: staged by the sending thread, released by the
+        // receiver that consumes the message.
+        message.storage = util::MemoryRegistry::instance().acquire(
+            payload.size_bytes(), util::BlockRoute::kTransfer);
+        message.count = payload.size();
+        gpu::copy(payload, {message.storage.floats(), message.count});
         staged_.push_back(std::move(message));
       }
     }
@@ -95,15 +106,15 @@ class Edge {
     }
     // The staged copy is exclusively ours and the region belongs to the
     // receiver: apply outside the lock.
-    if (message.tag != slot.tag || message.payload.size() != slot.count) {
+    if (message.tag != slot.tag || message.count != slot.count) {
       std::ostringstream err;
       err << "expected tag " << slot.tag << "/" << slot.count << ", got tag "
-          << message.tag << "/" << message.payload.size();
+          << message.tag << "/" << message.count;
       slot.error = err.str();
     } else if (slot.reduce) {
-      gpu::accumulate(message.payload, slot.region);
+      gpu::accumulate(message.payload(), slot.region);
     } else {
-      gpu::copy(message.payload, slot.region);
+      gpu::copy(message.payload(), slot.region);
     }
     slot.filled = true;
     return true;

@@ -89,6 +89,13 @@ std::size_t TuningTable::recommended_bucket_bytes() const {
   return std::clamp(entries_[entries_.size() - 2].max_bytes, kLo, kHi);
 }
 
+std::size_t TuningTable::recommended_segment_bytes(std::size_t fallback) const {
+  constexpr std::size_t kLo = 4 * util::kKiB;
+  constexpr std::size_t kHi = 256 * util::kKiB;
+  if (entries_.size() < 2) return fallback;
+  return std::clamp(entries_.front().max_bytes, kLo, kHi);
+}
+
 const Candidate& TuningTable::choose(std::size_t bytes) const {
   assert(!entries_.empty());
   for (const auto& entry : entries_) {

@@ -69,6 +69,14 @@ class TuningTable {
   std::size_t recommended_bucket_bytes() const;
   void set_bucket_bytes(std::size_t bytes) { bucket_bytes_override_ = bytes; }
 
+  /// Ring pipelining grain derived from this table: the FIRST crossover
+  /// boundary (where the small-message winner stops winning) marks where
+  /// per-message overhead stops dominating — the smallest segment worth
+  /// sending on its own, which is exactly the grain a segmented ring wants.
+  /// Clamped to [4 KiB, 256 KiB]; returns `fallback` when the table exposes
+  /// no boundary (fewer than two entries, e.g. no calibration ran).
+  std::size_t recommended_segment_bytes(std::size_t fallback) const;
+
  private:
   std::vector<TuningEntry> entries_;
   std::size_t bucket_bytes_override_ = 0;  // 0 = derive from entries

@@ -7,7 +7,7 @@
 
 #include "core/hr_factory.h"
 #include "gpu/kernels.h"
-#include "util/buffer_pool.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::core {
 
@@ -23,10 +23,10 @@ struct JoiningThread {
   }
 };
 
-/// Pool-backed staging buffer holding one fusion bucket's gradients,
+/// Registry-backed staging buffer holding one fusion bucket's gradients,
 /// flattened member by member.
 struct FusedStage {
-  util::PooledBytes storage;
+  util::MemBlock storage;
   std::span<float> data;
 };
 
@@ -34,8 +34,8 @@ FusedStage stage_bucket(dl::Net& net,
                         const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
                         const FusionBucket& bucket) {
   FusedStage stage;
-  stage.storage = util::BufferPool::instance().acquire(bucket.elems * sizeof(float));
-  stage.data = {reinterpret_cast<float*>(stage.storage.data()), bucket.elems};
+  stage.storage = util::MemoryRegistry::instance().acquire(bucket.elems * sizeof(float));
+  stage.data = {stage.storage.floats(), bucket.elems};
   std::size_t at = 0;
   for (std::size_t li = bucket.first_layer; li <= bucket.last_layer; ++li) {
     const auto [offset, count] = ranges[li];

@@ -121,10 +121,12 @@ inline void install_collectives(mpi::Comm& comm, const ScaffeConfig& config) {
       break;
     }
     case CollAlgo::TopoRing: {
-      // Segment size follows the measured eager limit: segments at or below
-      // it go out without a rendezvous round-trip, which is exactly the
-      // pipelining grain the segmented ring wants.
-      const std::size_t segment_bytes = std::max<std::size_t>(comm.eager_limit(), 1);
+      // Segment size follows the tuner's measured crossover for this world
+      // size (the boundary where per-message overhead stops dominating).
+      // Without a usable table the measured eager limit stands in: segments
+      // at or below it skip the rendezvous round-trip, a sane default grain.
+      const std::size_t segment_bytes = tuned_table_for(comm.size()).recommended_segment_bytes(
+          std::max<std::size_t>(comm.eager_limit(), 1));
       comm.set_reduce_factory([chunks](int nranks, int root, std::size_t count) {
         const net::Topology topo(tuning_cluster_for(nranks), nranks);
         return coll::topo_ring_reduce(topo, root, count, chunks);

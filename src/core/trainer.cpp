@@ -11,9 +11,38 @@
 
 #include "data/reader.h"
 #include "dl/snapshot.h"
+#include "mpi/knobs.h"
 #include "util/fault.h"
 
 namespace scaffe::core {
+
+namespace {
+
+// Reader prefetch queue depth (batches buffered ahead of the solver).
+// SCAFFE_PREFETCH_DEPTH, default 4; typed ConfigError on malformed or zero.
+std::size_t prefetch_depth() {
+  const char* env = std::getenv("SCAFFE_PREFETCH_DEPTH");
+  if (env == nullptr) return 4;
+  const std::uint32_t depth = mpi::parse_count_knob("SCAFFE_PREFETCH_DEPTH", env);
+  if (depth == 0) {
+    throw mpi::ConfigError("SCAFFE_PREFETCH_DEPTH", env,
+                           "is not a prefetch depth (expected a count >= 1)");
+  }
+  return depth;
+}
+
+// SCAFFE_SAMPLE_STORE=on/1/off/0 overrides TrainerConfig::sample_store.
+bool sample_store_enabled(bool config_default) {
+  const char* env = std::getenv("SCAFFE_SAMPLE_STORE");
+  if (env == nullptr) return config_default;
+  const std::string text(env);
+  if (text == "on" || text == "1") return true;
+  if (text == "off" || text == "0") return false;
+  throw mpi::ConfigError("SCAFFE_SAMPLE_STORE", text,
+                         "is not a sample-store mode (expected on, 1, off, or 0)");
+}
+
+}  // namespace
 
 const char* recovery_policy_name(RecoveryPolicy policy) noexcept {
   switch (policy) {
@@ -54,8 +83,31 @@ TrainerReport Trainer::run() {
   TrainerReport report;
   auto& faults = util::FaultInjector::instance();
 
-  data::DataReader reader(backend_, comm_.rank(), comm_.size(), shard_batch_,
-                          sample_floats_, /*queue_capacity=*/4, config_.shuffle_epoch_size,
+  // Sample source: the raw backend, or — when the store is on — a
+  // distributed in-memory cache over it, constructed per attempt so its
+  // exchange plan follows the current membership through Shrink/Rejoin. The
+  // store implements ReadBackend, so the reader is oblivious to the switch,
+  // and samples are deterministic functions of their index, so the batch
+  // stream is bitwise identical either way.
+  const std::uint64_t start_slot = static_cast<std::uint64_t>(config_.start_iteration) *
+                                   static_cast<std::uint64_t>(shard_batch_) *
+                                   static_cast<std::uint64_t>(comm_.size());
+  std::optional<data::SampleStore> store;
+  data::ReadBackend* source = &backend_;
+  if (sample_store_enabled(config_.sample_store)) {
+    data::SampleStoreConfig store_config;
+    store_config.window = config_.shuffle_epoch_size > 0
+                              ? config_.shuffle_epoch_size
+                              : static_cast<std::uint64_t>(shard_batch_) *
+                                    static_cast<std::uint64_t>(comm_.size()) * 4;
+    store_config.sample_floats = sample_floats_;
+    store_config.shuffle = config_.shuffle_epoch_size > 0;
+    store_config.start_index = start_slot;
+    store.emplace(comm_, backend_, store_config);
+    source = &*store;
+  }
+  data::DataReader reader(*source, comm_.rank(), comm_.size(), shard_batch_,
+                          sample_floats_, prefetch_depth(), config_.shuffle_epoch_size,
                           /*shuffle_seed=*/2017,
                           static_cast<std::uint64_t>(config_.start_iteration));
   DistributedSolver solver(comm_, net_factory_(shard_batch_), config_.solver,
@@ -163,6 +215,11 @@ TrainerReport Trainer::run() {
       static_cast<std::uint64_t>(config_.iterations - config_.start_iteration) *
       static_cast<std::uint64_t>(shard_batch_) * static_cast<std::uint64_t>(comm_.size());
   report.batches_read = reader.batches_produced();
+  // Stop the reader BEFORE sampling the store/registry counters: its thread
+  // may otherwise still be pulling the next prefetched batch.
+  reader.stop();
+  if (store) report.store = store->stats();
+  report.memory = util::MemoryRegistry::instance().stats();
   if (solver.is_root()) {
     report.final_params.resize(solver.solver().net().param_count());
     solver.solver().net().flatten_params(report.final_params);

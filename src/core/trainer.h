@@ -11,9 +11,11 @@
 
 #include "core/distributed_solver.h"
 #include "data/backend.h"
+#include "data/sample_store.h"
 #include "dl/solver.h"
 #include "mpi/comm.h"
 #include "mpi/health.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::core {
 
@@ -74,6 +76,13 @@ struct TrainerConfig {
   /// Set by train_with_recovery for the healed attempt after a Rejoin —
   /// (re)joining ranks need no local checkpoint file.
   bool bcast_restore = false;
+
+  /// Feed readers from the distributed in-memory SampleStore (peers exchange
+  /// next-window shards over scmpi; at most 32 ranks touch the backend)
+  /// instead of every rank's reader hitting the backend directly.
+  /// SCAFFE_SAMPLE_STORE=on/1/off/0 overrides this; the sample stream is
+  /// bitwise identical either way. See data/sample_store.h.
+  bool sample_store = false;
 };
 
 /// Fault-tolerance bookkeeping: what went wrong during a (possibly
@@ -103,6 +112,8 @@ struct TrainerReport {
   std::vector<float> final_state;          // root only: flattened momentum after the run
   mpi::HealthReport health;                // root only, when config.health_monitor
   RecoveryEvents recovery;
+  util::RegistryStats memory;              // process-wide MemoryRegistry snapshot at run end
+  data::SampleStoreStats store;            // this rank's sample-store counters (zeros when off)
 };
 
 /// Builds the NetSpec for a given per-rank batch size (so strong and weak

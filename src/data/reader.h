@@ -15,6 +15,7 @@
 
 #include "data/backend.h"
 #include "data/queue.h"
+#include "data/shuffle.h"
 
 namespace scaffe::data {
 
@@ -94,23 +95,11 @@ class DataReader {
     }
   }
 
-  /// Bijective permutation of [0, epoch_size) keyed by (seed, epoch index);
-  /// identity when shuffling is off. Assumes epoch_size < 2^32 (no overflow
-  /// in the modular multiply).
+  /// Shared per-epoch permutation (see data/shuffle.h); identity when
+  /// shuffling is off. SampleStore applies the same function, so a store-fed
+  /// reader requests exactly the indices its peers preloaded.
   std::uint64_t permute(std::uint64_t index) const {
-    if (shuffle_epoch_size_ == 0) return index;
-    const std::uint64_t epoch = index / shuffle_epoch_size_;
-    std::uint64_t x = index % shuffle_epoch_size_;
-    const std::uint64_t n = shuffle_epoch_size_;
-    const std::uint64_t key = shuffle_seed_ ^ (epoch * 0x9e3779b97f4a7c15ULL);
-    // Affine bijection x -> m*x + b (mod n): bijective iff gcd(m, n) == 1,
-    // so the multiplier is nudged until coprime with the epoch size.
-    std::uint64_t m = (key | 1) % n;
-    if (m == 0) m = 1;
-    while (std::gcd(m, n) != 1) m = (m + 2) % n == 0 ? 1 : (m + 2) % n;
-    x = (x % n) * m % n;
-    x = (x + key) % n;
-    return epoch * n + x;
+    return epoch_permute(index, shuffle_epoch_size_, shuffle_seed_);
   }
 
   ReadBackend& backend_;

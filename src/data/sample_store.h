@@ -1,0 +1,397 @@
+// Distributed epoch-ahead sample store over scmpi (the LBANN data_store
+// idea): each rank preloads a strided shard of the NEXT windows' samples
+// from the backend and exchanges them with the ranks that will consume them,
+// so steady-state training reads batches from peer memory instead of
+// hammering the reader backend from every rank.
+//
+// Why: the paper's Figure 8 problem — LMDB-style single-file backends
+// degrade (and eventually refuse readers) past a contention knee, long
+// before the 160-GPU scale S-Caffe targets. The store caps backend pressure
+// at `min(nranks, max_loaders)` attached loaders no matter how many ranks
+// train.
+//
+// Protocol. Global sample slots g are the reader's strided cursor (consumer
+// of slot g is rank g % P). Slots are grouped into windows of `window`
+// consecutive slots — aligned with the per-epoch shuffle window, so the
+// shared epoch_permute (data/shuffle.h) maps a slot to its dataset index
+// without leaving the window. For window w:
+//
+//   loader of slot g    = (g / P) % L,  L = min(P, max_loaders)
+//   loader l packs, per consumer c, every sample it owns for c into ONE
+//   message (records of [raw_index, label, image]) read from the backend via
+//   backing.read(epoch_permute(g)) — loaders ≥ L never touch the backend
+//   the alltoallv-shaped exchange: L × P messages per window, delivered on a
+//   reserved out-of-band context (Comm::oob_send) so the exchange bypasses
+//   the fault injector's per-link ordinals and the credit budget
+//   a consumer marks w ready once all L loader messages arrived (empty
+//   messages are still sent, so the count is exact)
+//
+// Each rank's pump thread loads/receives `prefetch_windows` ahead of the
+// window its reader is consuming (epoch-ahead: window w+1 is exchanged while
+// w trains). Window payloads live in util::MemoryRegistry blocks, so the
+// steady-state exchange recycles the same buffers instead of allocating.
+//
+// Fallback: if the world aborts, a peer store disappears, or a window stalls
+// past `ready_timeout`, read() falls through to the backend. Samples are
+// deterministic functions of their index, so fallback (and the store itself)
+// is bitwise identical to backend-fed reading — the store changes where
+// bytes come from, never what they are.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/backend.h"
+#include "data/shuffle.h"
+#include "mpi/comm.h"
+#include "util/memory_registry.h"
+
+namespace scaffe::data {
+
+struct SampleStoreConfig {
+  /// Samples per exchange window; align with the shuffle epoch size when
+  /// shuffling so permuted indices stay within their window.
+  std::uint64_t window = 0;
+  std::size_t sample_floats = 0;
+  bool shuffle = false;
+  std::uint64_t shuffle_seed = 2017;
+  /// First global slot the readers will consume (start_batch * batch * P for
+  /// a resumed run) — the store begins exchanging at this slot's window.
+  std::uint64_t start_index = 0;
+  /// Windows exchanged ahead of consumption (>= 1).
+  int prefetch_windows = 2;
+  /// Backend-attachment cap: at most this many ranks load from the backend.
+  int max_loaders = 32;
+  /// How long read() waits for a window before falling back to the backend.
+  std::chrono::milliseconds ready_timeout{5000};
+};
+
+/// Per-store serve counters (one rank's view).
+struct SampleStoreStats {
+  std::uint64_t hits = 0;        ///< samples served from peer-exchanged memory
+  std::uint64_t fallbacks = 0;   ///< samples that fell through to the backend
+  std::uint64_t windows_ready = 0;  ///< windows fully received this run
+};
+
+class SampleStore final : public ReadBackend {
+ public:
+  /// Collective: every rank of `comm` constructs the store together (loaders
+  /// attach to `backing` here; ReaderLimitError propagates like a reader's).
+  SampleStore(mpi::Comm& comm, ReadBackend& backing, SampleStoreConfig config)
+      : comm_(comm),
+        backing_(backing),
+        config_(config),
+        context_(store_context_for(comm.context())),
+        loaders_(std::min(comm.size(), std::max(1, config.max_loaders))),
+        is_loader_(comm.rank() < loaders_) {
+    if (config_.window == 0) throw std::runtime_error("SampleStore: window must be > 0");
+    if (config_.sample_floats == 0) {
+      throw std::runtime_error("SampleStore: sample_floats must be > 0");
+    }
+    if (config_.prefetch_windows < 1) config_.prefetch_windows = 1;
+    consumed_window_ = config_.start_index / config_.window;
+    next_load_ = consumed_window_;
+    next_recv_ = consumed_window_;
+    // Pre-stock the registry with this rank's worst-case in-flight exchange
+    // blocks so the hot path never allocates, regardless of warmup: at most
+    // prefetch+2 windows of loader messages can sit undrained in the mailbox
+    // (reader spread between ranks is bounded by the prefetch horizon) plus
+    // prefetch+2 windows of absorbed copies in the cache, L messages each.
+    const std::uint64_t slots_per_message =
+        (config_.window + static_cast<std::uint64_t>(comm.size()) *
+                              static_cast<std::uint64_t>(loaders_) -
+         1) /
+        (static_cast<std::uint64_t>(comm.size()) * static_cast<std::uint64_t>(loaders_));
+    const std::size_t message_bytes = static_cast<std::size_t>(slots_per_message + 1) *
+                                      record_bytes();
+    const std::size_t inflight_messages =
+        static_cast<std::size_t>(loaders_) *
+        (2 * static_cast<std::size_t>(config_.prefetch_windows) + 5);
+    util::MemoryRegistry::instance().reserve(message_bytes, inflight_messages);
+    if (is_loader_) backing_.attach_reader();
+    pump_ = std::thread([this] { pump(); });
+  }
+
+  ~SampleStore() override {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (pump_.joinable()) pump_.join();
+    if (is_loader_) backing_.detach_reader();
+  }
+  SampleStore(const SampleStore&) = delete;
+  SampleStore& operator=(const SampleStore&) = delete;
+
+  // --- ReadBackend ----------------------------------------------------------
+
+  /// Store consumers are in-memory readers: no cap, no backend attachment.
+  void attach_reader() override { ++attached_; }
+  void detach_reader() noexcept override { --attached_; }
+
+  /// Serves the (already permuted) dataset index the reader asked for from
+  /// the window cache, falling back to the backend when the store cannot
+  /// (world dead, window stalled, or an index outside the exchange).
+  Sample read(std::uint64_t index) override {
+    const std::uint64_t w = index / config_.window;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (w > consumed_window_) {
+      // The reader moved on: retire every older window (its blocks recycle
+      // into the registry) and let the pump extend the load horizon.
+      consumed_window_ = w;
+      windows_.erase(windows_.begin(), windows_.lower_bound(w));
+      cv_.notify_all();
+    }
+    cv_.wait_for(lock, config_.ready_timeout, [&] {
+      return dead_ || stop_ || is_ready_locked(w);
+    });
+    auto it = windows_.find(w);
+    if (it != windows_.end() && it->second.ready) {
+      auto slot = it->second.index.find(index);
+      if (slot != it->second.index.end()) {
+        Sample sample = unpack(it->second.blocks[slot->second.first], slot->second.second);
+        ++stats_.hits;
+        return sample;
+      }
+    }
+    ++stats_.fallbacks;
+    lock.unlock();
+    return backing_.read(index);
+  }
+
+  const char* name() const noexcept override { return "SampleStore"; }
+
+  /// Sustained throughput is bounded by what the L attached loaders pull
+  /// from the backend — additional consumers read peer memory, so the
+  /// backend never sees more than `loaders` readers.
+  double aggregate_samples_per_sec(int readers, std::size_t sample_bytes) const override {
+    return backing_.aggregate_samples_per_sec(std::min(readers, loaders_), sample_bytes);
+  }
+
+  // --- introspection --------------------------------------------------------
+
+  int loaders() const noexcept { return loaders_; }
+
+  SampleStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  /// Reserved exchange context, derived from (and disjoint from) the
+  /// communicator's context. Same avalanche the health plane uses, with a
+  /// different salt.
+  static mpi::ContextId store_context_for(mpi::ContextId comm_context) {
+    std::uint64_t x = static_cast<std::uint64_t>(comm_context) ^ 0x5354524d53ULL;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<mpi::ContextId>(x >> 1);
+  }
+
+ private:
+  // Wire record: [u64 raw dataset index][i32 label][f32 x sample_floats],
+  // memcpy-packed (threads of one process: no endianness concern).
+  std::size_t record_bytes() const noexcept {
+    return sizeof(std::uint64_t) + sizeof(std::int32_t) +
+           config_.sample_floats * sizeof(float);
+  }
+
+  struct CachedWindow {
+    std::vector<util::MemBlock> blocks;  // one packed loader message each
+    // raw index -> (block ordinal, byte offset of its record)
+    std::unordered_map<std::uint64_t, std::pair<std::size_t, std::size_t>> index;
+    int messages = 0;
+    bool ready = false;
+  };
+
+  bool is_ready_locked(std::uint64_t w) const {
+    auto it = windows_.find(w);
+    return it != windows_.end() && it->second.ready;
+  }
+
+  Sample unpack(const util::MemBlock& block, std::size_t offset) const {
+    const std::byte* p = block.data() + offset;
+    Sample sample;
+    std::memcpy(&sample.index, p, sizeof(std::uint64_t));
+    std::int32_t label = 0;
+    std::memcpy(&label, p + sizeof(std::uint64_t), sizeof(std::int32_t));
+    sample.label = label;
+    sample.image.resize(config_.sample_floats);
+    std::memcpy(sample.image.data(), p + sizeof(std::uint64_t) + sizeof(std::int32_t),
+                config_.sample_floats * sizeof(float));
+    return sample;
+  }
+
+  static int window_tag(std::uint64_t w) noexcept {
+    return static_cast<int>(w & 0x3fffffff);
+  }
+
+  /// Pump thread: load-and-send this rank's loader shard of each window
+  /// inside the horizon, then drain loader messages into the cache. Exits on
+  /// stop; a dead world flips `dead_` so read() falls back.
+  void pump() {
+    try {
+      for (;;) {
+        std::uint64_t load_w = 0;
+        bool claimed = false;
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (stop_) return;
+          const std::uint64_t horizon =
+              consumed_window_ + static_cast<std::uint64_t>(config_.prefetch_windows);
+          if (next_load_ <= horizon) {
+            // Claim the next window of the horizon. Non-loader ranks advance
+            // the cursor too — they receive the window without loading it.
+            load_w = next_load_++;
+            claimed = true;
+          }
+          if (!claimed && next_recv_ >= next_load_) {
+            // Horizon exhausted and every claimed window fully received:
+            // park until the reader advances or we are stopped.
+            cv_.wait_for(lock, std::chrono::microseconds(200));
+            continue;
+          }
+        }
+        if (claimed && is_loader_) load_and_send(load_w);
+        const bool progressed = drain();
+        if (!claimed && !progressed) {
+          // Waiting on slow peers: poll gently instead of spinning.
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (stop_) return;
+          cv_.wait_for(lock, std::chrono::microseconds(200));
+        }
+      }
+    } catch (const mpi::AbortError&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dead_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  /// Reads this rank's loader shard of window `w` from the backend and sends
+  /// one packed message per consumer (always, even when empty — consumers
+  /// count messages to detect completion).
+  void load_and_send(std::uint64_t w) {
+    const int P = comm_.size();
+    const int me = comm_.rank();
+    const std::uint64_t base = w * config_.window;
+    const std::size_t record = record_bytes();
+    std::vector<std::vector<std::byte>> outgoing(static_cast<std::size_t>(P));
+    for (std::uint64_t g = base; g < base + config_.window; ++g) {
+      const int consumer = static_cast<int>(g % static_cast<std::uint64_t>(P));
+      const int loader = static_cast<int>((g / static_cast<std::uint64_t>(P)) %
+                                          static_cast<std::uint64_t>(loaders_));
+      if (loader != me) continue;
+      const std::uint64_t raw =
+          config_.shuffle ? epoch_permute(g, config_.window, config_.shuffle_seed) : g;
+      const Sample sample = backing_.read(raw);
+      auto& buffer = outgoing[static_cast<std::size_t>(consumer)];
+      const std::size_t at = buffer.size();
+      buffer.resize(at + record);
+      std::byte* p = buffer.data() + at;
+      std::memcpy(p, &raw, sizeof(std::uint64_t));
+      const std::int32_t label = sample.label;
+      std::memcpy(p + sizeof(std::uint64_t), &label, sizeof(std::int32_t));
+      std::memcpy(p + sizeof(std::uint64_t) + sizeof(std::int32_t), sample.image.data(),
+                  config_.sample_floats * sizeof(float));
+    }
+    for (int consumer = 0; consumer < P; ++consumer) {
+      comm_.oob_send(context_, consumer, window_tag(w),
+                     outgoing[static_cast<std::size_t>(consumer)]);
+    }
+  }
+
+  /// Polls for loader messages of every window in [next_recv_, next_load_),
+  /// advancing next_recv_ past windows that are complete. Returns whether
+  /// any message arrived.
+  bool drain() {
+    std::uint64_t first, last;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      first = next_recv_;
+      last = next_load_;
+    }
+    bool progressed = false;
+    for (std::uint64_t w = first; w < last; ++w) {
+      for (int loader = 0; loader < loaders_; ++loader) {
+        mpi::Payload payload;
+        while (comm_.oob_try_recv(context_, loader, window_tag(w), payload)) {
+          absorb(w, payload.bytes());
+          progressed = true;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Complete windows retire; so do windows the reader already moved past
+    // (their remaining messages are fenced out at the next generation).
+    while (next_recv_ < last &&
+           (next_recv_ < consumed_window_ || is_ready_locked(next_recv_))) {
+      ++next_recv_;
+    }
+    return progressed;
+  }
+
+  /// Copies one loader message into the window cache (registry-backed) and
+  /// indexes its records.
+  void absorb(std::uint64_t w, std::span<const std::byte> data) {
+    const std::size_t record = record_bytes();
+    util::MemBlock block;
+    if (!data.empty()) {
+      // Transfer-routed: absorbed on the pump thread, released by the reader
+      // thread when the window retires.
+      block = util::MemoryRegistry::instance().acquire(data.size(),
+                                                       util::BlockRoute::kTransfer);
+      std::memcpy(block.data(), data.data(), data.size());
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (w < consumed_window_) return;  // reader already moved past: drop
+    CachedWindow& window = windows_[w];
+    if (!data.empty()) {
+      const std::size_t ordinal = window.blocks.size();
+      for (std::size_t offset = 0; offset + record <= data.size(); offset += record) {
+        std::uint64_t raw = 0;
+        std::memcpy(&raw, data.data() + offset, sizeof(std::uint64_t));
+        window.index.emplace(raw, std::make_pair(ordinal, offset));
+      }
+      window.blocks.push_back(std::move(block));
+    }
+    if (++window.messages == loaders_) {
+      window.ready = true;
+      ++stats_.windows_ready;
+      cv_.notify_all();
+    }
+  }
+
+  mpi::Comm& comm_;
+  ReadBackend& backing_;
+  SampleStoreConfig config_;
+  mpi::ContextId context_;
+  int loaders_;
+  bool is_loader_;
+  std::atomic<int> attached_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, CachedWindow> windows_;  // ordered: eviction by bound
+  std::uint64_t consumed_window_ = 0;  // highest window the reader touched
+  std::uint64_t next_load_ = 0;        // next window this rank loads/sends
+  std::uint64_t next_recv_ = 0;        // lowest window not yet fully received
+  SampleStoreStats stats_;
+  bool stop_ = false;
+  bool dead_ = false;
+
+  std::thread pump_;
+};
+
+}  // namespace scaffe::data

@@ -1,0 +1,32 @@
+// Deterministic per-epoch sample permutation, shared by DataReader and
+// SampleStore: both sides of the epoch-ahead exchange must agree on exactly
+// which dataset index a global slot maps to.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+namespace scaffe::data {
+
+/// Bijective permutation of [0, epoch_size) keyed by (seed, epoch index);
+/// identity when epoch_size == 0. The permuted index stays inside the same
+/// epoch window [e*n, (e+1)*n). Assumes epoch_size < 2^32 (no overflow in
+/// the modular multiply).
+inline std::uint64_t epoch_permute(std::uint64_t index, std::uint64_t epoch_size,
+                                   std::uint64_t seed) {
+  if (epoch_size == 0) return index;
+  const std::uint64_t n = epoch_size;
+  const std::uint64_t epoch = index / n;
+  std::uint64_t x = index % n;
+  const std::uint64_t key = seed ^ (epoch * 0x9e3779b97f4a7c15ULL);
+  // Affine bijection x -> m*x + b (mod n): bijective iff gcd(m, n) == 1,
+  // so the multiplier is nudged until coprime with the epoch size.
+  std::uint64_t m = (key | 1) % n;
+  if (m == 0) m = 1;
+  while (std::gcd(m, n) != 1) m = (m + 2) % n == 0 ? 1 : (m + 2) % n;
+  x = (x % n) * m % n;
+  x = (x + key) % n;
+  return epoch * n + x;
+}
+
+}  // namespace scaffe::data

@@ -1,57 +1,42 @@
 #include "gpu/pool_allocator.h"
 
+#include <algorithm>
+
 namespace scaffe::gpu {
 
 PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
   if (this != &other) {
-    if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+    if (pool_ && block_.valid()) pool_->device_.refund(block_.capacity());
     pool_ = std::exchange(other.pool_, nullptr);
-    data_ = std::move(other.data_);
-    capacity_ = other.capacity_;
-    count_ = other.count_;
+    block_ = std::move(other.block_);
+    count_ = std::exchange(other.count_, 0);
   }
   return *this;
 }
 
 PooledBuffer::~PooledBuffer() {
-  if (pool_ && data_) pool_->give_back(std::move(data_), capacity_);
+  // Refund the device here; the MemBlock member recycles into the registry.
+  if (pool_ && block_.valid()) pool_->device_.refund(block_.capacity());
 }
 
 PooledBuffer PoolAllocator::acquire(std::size_t count) {
-  const std::size_t capacity = size_class(count);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = free_lists_.find(capacity);
-    if (it != free_lists_.end() && !it->second.empty()) {
-      std::unique_ptr<float[]> block = std::move(it->second.back());
-      it->second.pop_back();
-      cached_bytes_ -= capacity * sizeof(float);
-      ++hits_;
-      return PooledBuffer(this, std::move(block), capacity, count);
-    }
-    ++misses_;
+  const std::size_t bytes =
+      util::MemoryRegistry::size_class(std::max<std::size_t>(count, 16) * sizeof(float));
+  // Charge first: OutOfMemoryError propagates before any block changes hands.
+  device_.charge(bytes);
+  util::MemBlock block;
+  try {
+    block = registry_.acquire(bytes);
+  } catch (...) {
+    device_.refund(bytes);
+    throw;
   }
-  // Fresh block: charge the device (may throw OutOfMemoryError) outside the
-  // pool lock.
-  device_.charge(capacity * sizeof(float));
-  return PooledBuffer(this, std::make_unique<float[]>(capacity), capacity, count);
-}
-
-void PoolAllocator::give_back(std::unique_ptr<float[]> data, std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  free_lists_[capacity].push_back(std::move(data));
-  cached_bytes_ += capacity * sizeof(float);
-  // Still charged against the device: the pool owns the memory (CNMeM-style).
-}
-
-void PoolAllocator::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [capacity, blocks] : free_lists_) {
-    device_.refund(capacity * sizeof(float) * blocks.size());
-    blocks.clear();
+  if (block.recycled()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  free_lists_.clear();
-  cached_bytes_ = 0;
+  return PooledBuffer(this, std::move(block), count);
 }
 
 }  // namespace scaffe::gpu

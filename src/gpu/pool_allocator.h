@@ -1,92 +1,89 @@
-// Caching device allocator, CNMeM-style (the memory manager Caffe-era
-// frameworks used to avoid cudaMalloc/cudaFree in the training loop).
+// Caching device allocator in the CNMeM lineage (the memory manager
+// Caffe-era frameworks used to avoid cudaMalloc/cudaFree in the training
+// loop), now a thin device-accounting veneer over util::MemoryRegistry.
 //
-// Freed blocks return to per-size-class free lists and stay charged against
-// the device (exactly CNMeM's behaviour — the pool owns the memory);
-// trim() releases the cache back to the device.
+// The registry owns the recycling: freed blocks land in its per-thread
+// shards and are reusable by ANY client (transport staging, solver scratch,
+// sample-store windows), not just this allocator. What remains here is the
+// device budget: every acquire charges the device for the block's size class
+// (throwing OutOfMemoryError before any memory is taken) and every release
+// refunds it, so Device::allocated() tracks blocks handed out rather than
+// blocks hoarded by a private cache.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <map>
-#include <memory>
-#include <mutex>
+#include <cstdint>
 #include <span>
 #include <utility>
-#include <vector>
 
 #include "gpu/device.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::gpu {
 
 class PoolAllocator;
 
-/// RAII handle to a pooled float block; returns to the pool on destruction.
+/// RAII handle to a pooled float block; refunds the device and returns the
+/// block to the registry on destruction.
 class PooledBuffer {
  public:
   PooledBuffer() = default;
   PooledBuffer(PooledBuffer&& other) noexcept
       : pool_(std::exchange(other.pool_, nullptr)),
-        data_(std::move(other.data_)),
-        capacity_(other.capacity_),
-        count_(other.count_) {}
+        block_(std::move(other.block_)),
+        count_(std::exchange(other.count_, 0)) {}
   PooledBuffer& operator=(PooledBuffer&& other) noexcept;
   PooledBuffer(const PooledBuffer&) = delete;
   PooledBuffer& operator=(const PooledBuffer&) = delete;
   ~PooledBuffer();
 
-  bool valid() const noexcept { return data_ != nullptr; }
-  std::size_t size() const noexcept { return count_; }          // requested
-  std::size_t capacity() const noexcept { return capacity_; }   // size class
-  std::span<float> span() noexcept { return {data_.get(), count_}; }
-  float* data() noexcept { return data_.get(); }
+  bool valid() const noexcept { return block_.valid(); }
+  std::size_t size() const noexcept { return count_; }  // requested
+  std::size_t capacity() const noexcept { return block_.capacity() / sizeof(float); }
+  std::span<float> span() noexcept { return {block_.floats(), count_}; }
+  float* data() noexcept { return block_.floats(); }
 
  private:
   friend class PoolAllocator;
-  PooledBuffer(PoolAllocator* pool, std::unique_ptr<float[]> data, std::size_t capacity,
-               std::size_t count)
-      : pool_(pool), data_(std::move(data)), capacity_(capacity), count_(count) {}
+  PooledBuffer(PoolAllocator* pool, util::MemBlock block, std::size_t count)
+      : pool_(pool), block_(std::move(block)), count_(count) {}
 
   PoolAllocator* pool_ = nullptr;
-  std::unique_ptr<float[]> data_;
-  std::size_t capacity_ = 0;
+  util::MemBlock block_;
   std::size_t count_ = 0;
 };
 
 class PoolAllocator {
  public:
-  explicit PoolAllocator(Device& device) : device_(device) {}
-  ~PoolAllocator() { trim(); }
+  explicit PoolAllocator(Device& device,
+                         util::MemoryRegistry& registry = util::MemoryRegistry::instance())
+      : device_(device), registry_(registry) {}
   PoolAllocator(const PoolAllocator&) = delete;
   PoolAllocator& operator=(const PoolAllocator&) = delete;
 
   /// Returns a block of at least `count` floats. Sizes round up to the next
-  /// power of two (size classes). Throws OutOfMemoryError when the device
-  /// cannot back a fresh block.
+  /// power-of-two byte class (16-float minimum). Throws OutOfMemoryError
+  /// when the device cannot back the block — charged before the registry is
+  /// touched, so a failed acquire leaves no state behind.
   PooledBuffer acquire(std::size_t count);
 
-  /// Releases every cached block back to the device.
-  void trim();
+  /// Releases the backing registry's cached blocks (shared with every other
+  /// registry client; the device holds no charge for cached blocks).
+  void trim() { registry_.trim(); }
 
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-  std::size_t cached_bytes() const noexcept { return cached_bytes_; }
+  /// Blocks served from the registry cache / fresh heap allocations, for
+  /// this allocator's acquires only.
+  std::uint64_t hits() const noexcept { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const noexcept { return misses_.load(std::memory_order_relaxed); }
 
  private:
   friend class PooledBuffer;
-  void give_back(std::unique_ptr<float[]> data, std::size_t capacity);
-
-  static std::size_t size_class(std::size_t count) noexcept {
-    std::size_t capacity = 16;
-    while (capacity < count) capacity <<= 1;
-    return capacity;
-  }
 
   Device& device_;
-  std::mutex mutex_;
-  std::map<std::size_t, std::vector<std::unique_ptr<float[]>>> free_lists_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::size_t cached_bytes_ = 0;
+  util::MemoryRegistry& registry_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace scaffe::gpu

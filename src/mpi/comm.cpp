@@ -11,6 +11,7 @@
 
 #include "coll/algorithms.h"
 #include "gpu/kernels.h"
+#include "mpi/knobs.h"
 #include "mpi/transport_tuner.h"
 #include "util/bytes.h"
 #include "util/logging.h"
@@ -404,6 +405,13 @@ Runtime::Runtime(int nranks) : nranks_(nranks) {
   // inside the calibration would recurse forever.
   if (TransportConfig::default_eager_auto() && !calibration_in_progress()) {
     world_->transport.eager_limit.store(resolve_auto_eager_limit());
+  }
+  // Registry cache budget. util cannot depend on mpi, so the env knob is
+  // parsed here (typed ConfigError on malformed input) and applied to the
+  // process-wide registry; every Runtime re-applies it, which is idempotent.
+  if (const char* env = std::getenv("SCAFFE_MEM_BUDGET")) {
+    util::MemoryRegistry::instance().set_budget_bytes(
+        parse_bytes_knob("SCAFFE_MEM_BUDGET", env, "(expected e.g. 64M, 1G)"));
   }
   if (!calibration_in_progress()) {
     // One line per process, not per Runtime: the effective protocol limit

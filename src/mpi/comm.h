@@ -21,6 +21,7 @@
 #include "coll/program.h"
 #include "gpu/buffer.h"
 #include "mpi/world.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::mpi {
 
@@ -151,6 +152,27 @@ class Comm {
       return mailbox().posted_test(*posted);
     };
     return Request(std::move(state));
+  }
+
+  // --- out-of-band delivery -------------------------------------------------
+
+  /// Delivers `data` to `dst` on a reserved out-of-band context (one derived
+  /// from — but disjoint from — this communicator's context). OOB messages
+  /// bypass the fault injector's per-link ordinals and the credit budget, so
+  /// side planes (heartbeats, the sample store's epoch exchange) leave the
+  /// data traffic's chaos schedule and flow control untouched. Sending to
+  /// self is allowed (the message lands in this rank's own mailbox).
+  void oob_send(ContextId context, int dst, int tag, std::span<const std::byte> data) {
+    if (dst < 0 || dst >= size()) throw std::runtime_error("scmpi oob_send: bad rank");
+    peer_mailbox(dst).deliver_oob(context, generation_, rank_, tag, data);
+  }
+
+  /// Non-blocking generation-matched receive on an out-of-band context.
+  /// Returns false when no matching message is queued. Throws AbortError
+  /// once the world is dead.
+  bool oob_try_recv(ContextId context, int src, int tag, Payload& payload) {
+    if (src < 0 || src >= size()) throw std::runtime_error("scmpi oob_try_recv: bad rank");
+    return mailbox().try_recv(context, generation_, src, tag, payload);
   }
 
   // --- collectives (blocking) ----------------------------------------------
@@ -376,6 +398,15 @@ class Runtime {
   /// call at bench/test phase boundaries.
   Mailbox::FlowStats flow_stats() const { return world_->flow_stats(); }
   void reset_flow_stats() { world_->reset_flow_stats(); }
+
+  /// Snapshot of the process-wide MemoryRegistry (transport staging, solver
+  /// scratch, sample-store windows all share it). The first Runtime in the
+  /// process applies SCAFFE_MEM_BUDGET to its cache budget.
+  /// reset_memory_stats() restarts counters and folds peak to live — call at
+  /// bench/test phase boundaries (e.g. after warmup, to assert the hot path
+  /// allocates nothing).
+  util::RegistryStats memory_stats() const { return util::MemoryRegistry::instance().stats(); }
+  void reset_memory_stats() { util::MemoryRegistry::instance().reset_stats(); }
 
   /// Launches every world rank (a full-membership generation).
   void run(const std::function<void(Comm&)>& body);

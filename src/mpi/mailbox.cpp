@@ -11,6 +11,7 @@
 #include "mpi/knobs.h"
 #include "mpi/world.h"
 #include "util/bytes.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::mpi {
 
@@ -50,8 +51,8 @@ std::chrono::microseconds cts_post_delay(int rank) {
 
 // Integrity check for a queued envelope (SCAFFE_MSG_CRC): every path that
 // consumes a queued payload calls this before handing bytes to the
-// application. Claims never materialize an envelope and are outside the
-// stamp's coverage (see TransportConfig::msg_crc).
+// application. Claims never materialize an envelope; their verification
+// happens inside fill_claimed instead (the Waiter carries the verdict).
 void verify_payload_crc(const Envelope& envelope) {
   if (!envelope.has_crc) return;
   const std::uint32_t actual = util::crc32(envelope.payload.bytes());
@@ -325,18 +326,57 @@ Mailbox::Waiter* Mailbox::admit_send(const ExactKey& key, std::span<const std::b
   }
 }
 
-void Mailbox::fill_claimed(Waiter* target, std::span<const std::byte> data) {
+void Mailbox::fill_claimed(Waiter* target, int src, std::span<const std::byte> data) {
   // Fill outside the mailbox lock: this is the single sender→destination
   // copy (or fused reduce) of the rendezvous path, potentially hundreds of
   // megabytes. The receiver cannot abandon a taken waiter, so the
   // destination stays valid until `done` is published below.
+  //
+  // SCAFFE_MSG_CRC covers this path end to end: the stamp is taken from the
+  // sender's buffer, and for a Copy the destination bytes are re-checksummed
+  // after the fill, so a bit flipped during the transfer (modelled by the
+  // corrupt_payload fault) is detected on the receiver side. The verdict
+  // rides on the Waiter — the receiver's wait loop raises IntegrityError,
+  // keeping the throw on the rank that owns the damaged destination.
+  const bool check = transport().msg_crc.load(std::memory_order_relaxed);
+  const std::uint32_t expected = check ? util::crc32(data) : 0;
+  auto& injector = util::FaultInjector::instance();
+  const bool corrupt =
+      injector.active() && !data.empty() && injector.on_payload(src, owner_rank_);
+  bool failed = false;
+  std::uint32_t actual = expected;
   if (target->kind == Waiter::Kind::Copy) {
     if (!data.empty()) std::memcpy(target->dst, data.data(), data.size());
+    if (corrupt) target->dst[data.size() / 2] ^= std::byte{0x5a};
+    if (check && !data.empty()) {
+      actual = util::crc32({target->dst, data.size()});
+      failed = actual != expected;
+    }
+  } else if (corrupt) {
+    // A reduce folds the payload into live state, so the (injected) bit flip
+    // lands on a staged copy that is verified BEFORE accumulating — the
+    // accumulator survives a rejected payload, exactly like the queue path.
+    util::MemBlock staged = util::MemoryRegistry::instance().acquire(data.size());
+    std::memcpy(staged.data(), data.data(), data.size());
+    staged.data()[data.size() / 2] ^= std::byte{0x5a};
+    if (check) {
+      actual = util::crc32(staged.span());
+      failed = actual != expected;
+    }
+    if (!failed) {
+      gpu::accumulate(float_view(staged.span()), {target->acc, data.size() / sizeof(float)});
+    }
   } else {
+    // Fault-free reduce: the fused accumulate reads the sender's own buffer —
+    // the very bytes the stamp was computed from, with no intermediate hop to
+    // corrupt — so there is nothing further to verify.
     gpu::accumulate(float_view(data), {target->acc, data.size() / sizeof(float)});
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    target->integrity_failed = failed;
+    target->expected_crc = expected;
+    target->actual_crc = actual;
     target->done = true;
     target->cv.notify_one();
   }
@@ -348,15 +388,16 @@ Payload Mailbox::materialize(std::span<const std::byte> data) const {
     return Payload::copy_heap(data);  // legacy: fresh allocation per message
   }
   if (data.size() <= config.eager_limit.load(std::memory_order_relaxed)) {
-    return Payload::copy_pooled(util::BufferPool::instance(), data);
+    return Payload::copy_pooled(util::MemoryRegistry::instance(), data);
   }
   return Payload::view(Payload::make_shared_copy(data), data.size());
 }
 
 bool Mailbox::stamp_crc(std::span<const std::byte> data, std::uint32_t& crc) const {
+  // Every queued payload gets a stamp, eager and rendezvous alike; the
+  // receive side verifies at each consumption point.
   const TransportConfig& config = transport();
   if (!config.msg_crc.load(std::memory_order_relaxed)) return false;
-  if (data.size() > config.eager_limit.load(std::memory_order_relaxed)) return false;
   crc = util::crc32(data);
   return true;
 }
@@ -421,7 +462,7 @@ bool Mailbox::deliver_direct(ContextId context, Generation generation, int src, 
   }
   Waiter* claimed = admit_send(key, data, zero_copy, linger);
   if (claimed == nullptr) return false;  // credit reserved: the caller must enqueue
-  fill_claimed(claimed, data);
+  fill_claimed(claimed, src, data);
   return true;
 }
 
@@ -455,8 +496,12 @@ void Mailbox::deliver_oob(ContextId context, Generation generation, int src, int
 
 void Mailbox::enqueue_shared(ContextId context, Generation generation, int src, int tag,
                              std::shared_ptr<const std::byte[]> data, std::size_t size) {
+  // Rendezvous broadcast fan-out: the shared buffer is immutable from here
+  // on, so one stamp covers every destination it is enqueued to.
+  std::uint32_t crc = 0;
+  const bool has_crc = stamp_crc({data.get(), size}, crc);
   enqueue_payload(ExactKey{context, generation, src, tag},
-                  Payload::view(std::move(data), size));
+                  Payload::view(std::move(data), size), crc, has_crc);
 }
 
 void Mailbox::push(Envelope envelope) {
@@ -466,7 +511,7 @@ void Mailbox::push(Envelope envelope) {
   Waiter* claimed =
       admit_send(key, envelope.payload.bytes(), zero_copy, std::chrono::microseconds{0});
   if (claimed != nullptr) {
-    fill_claimed(claimed, envelope.payload.bytes());
+    fill_claimed(claimed, envelope.src, envelope.payload.bytes());
     return;  // payload dies here; pooled storage recycles
   }
   if (!envelope.has_crc) {
@@ -528,6 +573,15 @@ bool Mailbox::pop_any_locked(const AnyKey& key, Envelope& out) {
 
 void Mailbox::unregister_waiter(std::vector<Waiter*>& list, Waiter* waiter) {
   list.erase(std::remove(list.begin(), list.end(), waiter), list.end());
+}
+
+void Mailbox::raise_claim_integrity(const Waiter& waiter, const ExactKey& key) const {
+  // A claim completed but fill_claimed's post-fill checksum disagreed with
+  // the sender-side stamp: surface it on the receiving rank, same error type
+  // as a corrupt queued envelope.
+  if (!waiter.integrity_failed) return;
+  throw IntegrityError(key.context, key.src, key.tag, key.generation, waiter.expected_crc,
+                       waiter.actual_crc, waiter.bytes);
 }
 
 // --- receive side ------------------------------------------------------------
@@ -630,6 +684,7 @@ void Mailbox::recv_into(ContextId context, Generation generation, int src, int t
     // the fill before we ever sleep.
     if (waiter.done) {
       unregister_waiter(list, &waiter);
+      raise_claim_integrity(waiter, key);
       return;
     }
     if (!waiter.taken) {
@@ -701,6 +756,7 @@ void Mailbox::recv_reduce(ContextId context, Generation generation, int src, int
   for (;;) {
     if (waiter.done) {
       unregister_waiter(list, &waiter);
+      raise_claim_integrity(waiter, key);
       return;
     }
     if (!waiter.taken) {
@@ -778,6 +834,7 @@ bool Mailbox::posted_test(PostedRecv& posted) {
     if (posted.waiter_.done) {
       deregister();
       posted.finished_ = true;
+      raise_claim_integrity(posted.waiter_, posted.key_);
       return true;
     }
     if (posted.waiter_.taken) return false;  // fill in flight; imminent
@@ -818,6 +875,7 @@ void Mailbox::posted_wait(PostedRecv& posted) {
       if (posted.waiter_.done) {
         deregister();
         posted.finished_ = true;
+        raise_claim_integrity(posted.waiter_, posted.key_);
         return;
       }
       if (!posted.waiter_.taken) {

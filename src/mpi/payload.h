@@ -3,9 +3,9 @@
 // A Payload owns message bytes in one of two forms, matching the transport's
 // two protocol paths (see DESIGN.md "Transport protocol"):
 //
-//  - *pooled* (eager path): an exclusively-owned util::PooledBytes block that
-//    recycles into the process-wide BufferPool when the payload dies — no
-//    allocation per message once the pool is warm;
+//  - *pooled* (eager path): an exclusively-owned util::MemBlock that recycles
+//    into the process-wide MemoryRegistry when the payload dies — no
+//    allocation per message once the registry shards are warm;
 //  - *shared* (rendezvous path): an immutable, reference-counted byte view.
 //    Broadcast-style multi-destination sends stamp the SAME view into every
 //    envelope, so N receivers share one materialized buffer instead of N
@@ -21,7 +21,7 @@
 #include <span>
 #include <utility>
 
-#include "util/buffer_pool.h"
+#include "util/memory_registry.h"
 
 namespace scaffe::mpi {
 
@@ -29,12 +29,14 @@ class Payload {
  public:
   Payload() = default;
 
-  /// Eager path: copy `data` into a block checked out of `pool`.
-  static Payload copy_pooled(util::BufferPool& pool, std::span<const std::byte> data) {
+  /// Eager path: copy `data` into a block checked out of `registry`.
+  /// Transfer-routed: the block is filled on the sending thread and released
+  /// on the receiving one, so it must recycle through the global shard.
+  static Payload copy_pooled(util::MemoryRegistry& registry, std::span<const std::byte> data) {
     Payload payload;
     payload.size_ = data.size();
     if (!data.empty()) {
-      payload.pooled_ = pool.acquire(data.size());
+      payload.pooled_ = registry.acquire(data.size(), util::BlockRoute::kTransfer);
       std::memcpy(payload.pooled_.data(), data.data(), data.size());
     }
     return payload;
@@ -45,7 +47,7 @@ class Payload {
     Payload payload;
     payload.size_ = data.size();
     if (!data.empty()) {
-      payload.pooled_ = util::PooledBytes::heap(data.size());
+      payload.pooled_ = util::MemBlock::heap(data.size());
       std::memcpy(payload.pooled_.data(), data.data(), data.size());
     }
     return payload;
@@ -83,7 +85,7 @@ class Payload {
   /// keeping the old std::vector payload ergonomics: resize + data + memcpy).
   void resize(std::size_t n) {
     shared_.reset();
-    pooled_ = util::PooledBytes::heap(n);
+    pooled_ = util::MemBlock::heap(n);
     size_ = n;
   }
 
@@ -92,7 +94,7 @@ class Payload {
   }
 
  private:
-  util::PooledBytes pooled_;                  // exclusive storage (eager/legacy)
+  util::MemBlock pooled_;                      // exclusive storage (eager/legacy)
   std::shared_ptr<const std::byte[]> shared_;  // shared storage (rendezvous)
   std::size_t size_ = 0;
 };

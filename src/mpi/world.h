@@ -322,11 +322,12 @@ class SuspectError : public Error {
   std::chrono::milliseconds silent_for_;
 };
 
-/// Raised when an eager payload's CRC-32 stamp (SCAFFE_MSG_CRC=1) does not
-/// match its bytes at receive time: the message was corrupted between
-/// materialization and delivery, and is rejected instead of handed to the
-/// application. Restartable — the checkpointed state is upstream of the
-/// corrupt exchange.
+/// Raised when a payload's CRC-32 stamp (SCAFFE_MSG_CRC=1) does not match
+/// its bytes at receive time — a queued envelope whose stamp disagrees, or a
+/// zero-copy claim whose destination re-checksum disagrees after the fill.
+/// The message was corrupted between materialization (or the claim copy) and
+/// delivery, and is rejected instead of handed to the application.
+/// Restartable — the checkpointed state is upstream of the corrupt exchange.
 class IntegrityError : public Error {
  public:
   IntegrityError(ContextId context, int src, int tag, Generation generation,
@@ -377,7 +378,7 @@ struct TransportConfig {
   /// Posted-receive claims (single sender→destination copy / fused reduce).
   std::atomic<bool> zero_copy{default_zero_copy()};
 
-  /// Recycle eager payload buffers through util::BufferPool. When false
+  /// Recycle eager payload buffers through util::MemoryRegistry. When false
   /// every message allocates fresh (the pre-pool "legacy" transport).
   std::atomic<bool> pooled_eager{default_zero_copy()};
 
@@ -400,11 +401,12 @@ struct TransportConfig {
   /// returns: a blocked sender re-checks at least this often.
   std::atomic<std::uint32_t> credit_backoff_max_us{default_credit_backoff_max_us()};
 
-  /// End-to-end integrity stamping for queued eager payloads
-  /// (SCAFFE_MSG_CRC=1): the sender stamps a CRC-32 of the payload into the
-  /// envelope, every queue-consuming receive verifies it and raises
-  /// IntegrityError on mismatch. Zero-copy posted claims never materialize
-  /// an envelope and are outside the stamp's coverage. Default off.
+  /// End-to-end integrity stamping (SCAFFE_MSG_CRC=1), covering every
+  /// delivery path: queued payloads — eager and rendezvous alike — carry a
+  /// sender-side CRC-32 stamp that each queue-consuming receive verifies,
+  /// and zero-copy posted claims re-checksum the receiver's destination
+  /// after the fill against a stamp of the sender's buffer. Mismatch raises
+  /// IntegrityError on the receiving rank. Default off.
   std::atomic<bool> msg_crc{default_msg_crc()};
 
   /// Largest accepted SCAFFE_EAGER_LIMIT; bigger values are clamped (an
@@ -623,6 +625,9 @@ class Mailbox {
     std::size_t bytes = 0;        // expected payload size (Copy/Reduce)
     bool taken = false;           // a sender claimed this waiter, fill in flight
     bool done = false;            // fill complete; receiver may return
+    bool integrity_failed = false;   // claim CRC mismatch; receiver raises
+    std::uint32_t expected_crc = 0;  // stamp of the sender's buffer
+    std::uint32_t actual_crc = 0;    // re-checksum after the fill
     std::condition_variable cv;   // targeted wakeup: only the owner sleeps here
   };
 
@@ -660,8 +665,14 @@ class Mailbox {
                      bool allow_claim, std::chrono::microseconds cts_linger);
 
   /// Fills a waiter claimed by admit_send (single copy or fused reduce,
-  /// outside the mailbox lock) and publishes `done`.
-  void fill_claimed(Waiter* target, std::span<const std::byte> data);
+  /// outside the mailbox lock) and publishes `done`. With SCAFFE_MSG_CRC on,
+  /// stamps the sender's buffer and re-checksums the destination after the
+  /// fill (Copy), or verifies a corruption-faulted staging copy before
+  /// accumulating (Reduce); a mismatch sets the waiter's integrity fields
+  /// for the receiver to raise.
+  void fill_claimed(Waiter* target, int src, std::span<const std::byte> data);
+  /// Raises IntegrityError when a completed claim recorded a CRC mismatch.
+  void raise_claim_integrity(const Waiter& waiter, const ExactKey& key) const;
 
   // Credit accounting (all require mutex_). Occupancy = queued + reserved.
   std::size_t budget_bytes() const noexcept;
@@ -677,7 +688,7 @@ class Mailbox {
   void enqueue_payload(const ExactKey& key, Payload payload, std::uint32_t crc = 0,
                        bool has_crc = false);
   /// CRC stamp decision for a payload about to be queued: returns true and
-  /// fills `crc` when SCAFFE_MSG_CRC is on and the message is eager-sized.
+  /// fills `crc` when SCAFFE_MSG_CRC is on (eager and rendezvous alike).
   bool stamp_crc(std::span<const std::byte> data, std::uint32_t& crc) const;
   /// Consults the corrupt_payload fault and, when armed for this link, flips
   /// one byte of the (exclusively owned, eager) materialized payload.

@@ -185,11 +185,14 @@ class FaultPlan {
     return *this;
   }
 
-  /// The next `count` eager payloads materialized on the link src -> dst have
-  /// one byte flipped after the sender's CRC stamp: in-flight corruption that
-  /// SCAFFE_MSG_CRC=1 must reject (IntegrityError), never deliver. Ranks are
-  /// world ranks; only queued (materialized) payloads can be corrupted —
-  /// zero-copy claims and shared bcast views are outside the fault's reach.
+  /// The next `count` payloads delivered on the link src -> dst have one
+  /// byte flipped after the sender's CRC stamp: in-flight corruption that
+  /// SCAFFE_MSG_CRC=1 must reject (IntegrityError), never deliver. Ranks
+  /// are world ranks. Covers queued (materialized) eager payloads and
+  /// posted-receive claim fills — copy claims flip a byte of the filled
+  /// span, reduce claims flip a verified staging copy so the accumulator
+  /// survives a rejected payload; immutable shared bcast views are the one
+  /// path outside the fault's reach.
   FaultPlan& corrupt_payload(int src, int dst, int count) {
     corruptions_.emplace_back(src, dst, count);
     return *this;

@@ -1,0 +1,296 @@
+#include "util/memory_registry.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace scaffe::util {
+
+namespace {
+
+// Live-registry table: maps registry id -> registry for exiting threads that
+// need to drain their shards back. Leaked on purpose so thread_local
+// destructors running during process teardown can still consult it.
+struct RegistryTable {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, MemoryRegistry*> live;
+  std::uint64_t next_id = 1;
+};
+
+RegistryTable& registry_table() {
+  static RegistryTable* table = new RegistryTable;
+  return *table;
+}
+
+std::uint64_t register_registry(MemoryRegistry* registry) {
+  RegistryTable& table = registry_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const std::uint64_t id = table.next_id++;
+  table.live.emplace(id, registry);
+  return id;
+}
+
+// Trivially-destructible flag readable even after the ThreadShards object
+// below is destroyed (late give_backs during thread teardown fall back to
+// the registry's global shard).
+thread_local bool g_tls_alive = false;
+
+}  // namespace
+
+// One thread's private shards, one entry per registry it has touched
+// (normally just the process-wide instance; tests add short-lived ones).
+// Entries are keyed by registry id — ids are never reused, so a shard for a
+// dead registry is inert until the thread exits.
+struct ThreadShards {
+  struct Shard {
+    std::uint64_t registry_id = 0;
+    MemoryRegistry::FreeLists lists;
+  };
+
+  ThreadShards() { g_tls_alive = true; }
+
+  // Drain every shard back into its registry's global shard so rank threads
+  // recycled across elastic runs return their cache instead of leaking it
+  // (the blocks stay counted in cached_bytes either way). Shards of dead
+  // registries just free; their accounting died with them.
+  ~ThreadShards() {
+    g_tls_alive = false;
+    RegistryTable& table = registry_table();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    for (Shard& shard : shards) {
+      auto it = table.live.find(shard.registry_id);
+      if (it == table.live.end()) continue;
+      MemoryRegistry* registry = it->second;
+      std::lock_guard<std::mutex> global(registry->global_mutex_);
+      for (std::size_t ci = 0; ci < MemoryRegistry::kNumClasses; ++ci) {
+        auto& list = shard.lists[ci];
+        for (auto& block : list) {
+          registry->global_lists_[ci].push_back(std::move(block));
+        }
+        list.clear();
+      }
+    }
+  }
+
+  Shard& shard_for(std::uint64_t registry_id) {
+    for (Shard& shard : shards) {
+      if (shard.registry_id == registry_id) return shard;
+    }
+    shards.emplace_back();
+    shards.back().registry_id = registry_id;
+    return shards.back();
+  }
+
+  std::vector<Shard> shards;
+};
+
+namespace {
+
+ThreadShards* thread_shards() {
+  thread_local ThreadShards shards;
+  return g_tls_alive ? &shards : nullptr;
+}
+
+}  // namespace
+
+// --- MemBlock ---------------------------------------------------------------
+
+MemBlock& MemBlock::operator=(MemBlock&& other) noexcept {
+  if (this != &other) {
+    if (registry_ && data_) registry_->give_back(std::move(data_), capacity_, route_);
+    registry_ = std::exchange(other.registry_, nullptr);
+    data_ = std::move(other.data_);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    recycled_ = std::exchange(other.recycled_, false);
+    route_ = other.route_;
+  }
+  return *this;
+}
+
+MemBlock::~MemBlock() {
+  if (registry_ && data_) registry_->give_back(std::move(data_), capacity_, route_);
+}
+
+MemBlock MemBlock::heap(std::size_t size) {
+  const std::size_t capacity = MemoryRegistry::size_class(size);
+  return MemBlock(nullptr, std::make_unique<std::byte[]>(capacity), capacity, size,
+                  /*recycled=*/false, BlockRoute::kScratch);
+}
+
+// --- MemoryRegistry ---------------------------------------------------------
+
+MemoryRegistry::MemoryRegistry(std::size_t budget_bytes)
+    : id_(register_registry(this)), budget_bytes_(budget_bytes) {}
+
+MemoryRegistry::~MemoryRegistry() {
+  {
+    // Deregister first: an exiting thread holding the table lock cannot be
+    // mid-drain into this registry once the id is gone.
+    RegistryTable& table = registry_table();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    table.live.erase(id_);
+  }
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  for (auto& list : global_lists_) list.clear();
+}
+
+void MemoryRegistry::note_live(std::size_t capacity) noexcept {
+  const std::size_t live =
+      live_bytes_.fetch_add(capacity, std::memory_order_relaxed) + capacity;
+  std::size_t peak = peak_live_bytes_.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !peak_live_bytes_.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+MemBlock MemoryRegistry::acquire(std::size_t size, BlockRoute route) {
+  const std::size_t capacity = size_class(size);
+  const std::size_t ci = class_index(capacity);
+  const bool local_class = route == BlockRoute::kScratch && capacity <= kLocalClassMax;
+  // Fast path: this thread's shard, no locks. Transfer blocks and large
+  // classes never land in a local shard (give_back routes them global), so
+  // skip the lookup for them.
+  if (ThreadShards* tls = local_class ? thread_shards() : nullptr) {
+    auto& list = tls->shard_for(id_).lists[ci];
+    if (!list.empty()) {
+      std::unique_ptr<std::byte[]> block = std::move(list.back());
+      list.pop_back();
+      cached_bytes_.fetch_sub(capacity, std::memory_order_relaxed);
+      local_hits_.fetch_add(1, std::memory_order_relaxed);
+      note_live(capacity);
+      return MemBlock(this, std::move(block), capacity, size, /*recycled=*/true, route);
+    }
+  }
+  // Local miss: the global shard, one mutex.
+  {
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    auto& list = global_lists_[ci];
+    if (!list.empty()) {
+      std::unique_ptr<std::byte[]> block = std::move(list.back());
+      list.pop_back();
+      cached_bytes_.fetch_sub(capacity, std::memory_order_relaxed);
+      global_hits_.fetch_add(1, std::memory_order_relaxed);
+      note_live(capacity);
+      return MemBlock(this, std::move(block), capacity, size, /*recycled=*/true, route);
+    }
+  }
+  // Fresh block, allocated outside any lock. Transfer misses over-allocate
+  // spares into the global shard: transfer demand is set by message timing,
+  // so each miss marks a new in-flight high-water mark that jitter will
+  // reach again — the spares give the pool headroom past it, and the miss
+  // counter goes flat once the pool has outgrown the steady-state peak.
+  // Scratch misses stay 1:1 (device blocks and solver buckets are too big
+  // to double).
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (route == BlockRoute::kTransfer) {
+    const int spares = std::max<int>(
+        kTransferSpares, static_cast<int>(kTransferSpareBytes / capacity));
+    for (int spare = 0; spare < spares; ++spare) {
+      if (cached_bytes_.load(std::memory_order_relaxed) + capacity >=
+          budget_bytes_.load(std::memory_order_relaxed)) {
+        break;
+      }
+      std::unique_ptr<std::byte[]> block = std::make_unique<std::byte[]>(capacity);
+      std::lock_guard<std::mutex> lock(global_mutex_);
+      global_lists_[ci].push_back(std::move(block));
+      cached_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+    }
+  }
+  note_live(capacity);
+  return MemBlock(this, std::make_unique<std::byte[]>(capacity), capacity, size,
+                  /*recycled=*/false, route);
+}
+
+void MemoryRegistry::give_back(std::unique_ptr<std::byte[]> data, std::size_t capacity,
+                               BlockRoute route) noexcept {
+  live_bytes_.fetch_sub(capacity, std::memory_order_relaxed);
+  // Budget check is relaxed/approximate: racing releases can each overshoot
+  // by at most their own block before the counter settles.
+  if (cached_bytes_.load(std::memory_order_relaxed) + capacity >
+      budget_bytes_.load(std::memory_order_relaxed)) {
+    return;  // free to the heap
+  }
+  const std::size_t ci = class_index(capacity);
+  // Transfer blocks were acquired on a different thread than this one and
+  // will be next acquired there again; large classes would strand too much
+  // of the budget per thread. Both recycle global-only (header invariants).
+  const bool local_class = route == BlockRoute::kScratch && capacity <= kLocalClassMax;
+  if (ThreadShards* tls = local_class ? thread_shards() : nullptr) {
+    auto& list = tls->shard_for(id_).lists[ci];
+    if (list.size() < kLocalDepth) {
+      list.push_back(std::move(data));
+      cached_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Local shard full, transfer route, large class, or thread exiting: the
+  // global shard.
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  global_lists_[ci].push_back(std::move(data));
+  cached_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+}
+
+void MemoryRegistry::reserve(std::size_t size, std::size_t count) {
+  const std::size_t capacity = size_class(size);
+  const std::size_t ci = class_index(capacity);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (cached_bytes_.load(std::memory_order_relaxed) + capacity >=
+        budget_bytes_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::unique_ptr<std::byte[]> block = std::make_unique<std::byte[]>(capacity);
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    global_lists_[ci].push_back(std::move(block));
+    cached_bytes_.fetch_add(capacity, std::memory_order_relaxed);
+  }
+}
+
+void MemoryRegistry::flush_local_shard() {
+  ThreadShards* tls = thread_shards();
+  if (!tls) return;
+  auto& lists = tls->shard_for(id_).lists;
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    const std::size_t capacity = kMinClass << ci;
+    cached_bytes_.fetch_sub(lists[ci].size() * capacity, std::memory_order_relaxed);
+    lists[ci].clear();
+  }
+}
+
+void MemoryRegistry::trim() {
+  flush_local_shard();
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    const std::size_t capacity = kMinClass << ci;
+    cached_bytes_.fetch_sub(global_lists_[ci].size() * capacity, std::memory_order_relaxed);
+    global_lists_[ci].clear();
+  }
+}
+
+RegistryStats MemoryRegistry::stats() const noexcept {
+  RegistryStats stats;
+  stats.local_hits = local_hits_.load(std::memory_order_relaxed);
+  stats.global_hits = global_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  stats.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  stats.peak_live_bytes = peak_live_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void MemoryRegistry::reset_stats() noexcept {
+  local_hits_.store(0, std::memory_order_relaxed);
+  global_hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  peak_live_bytes_.store(live_bytes_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+MemoryRegistry& MemoryRegistry::instance() {
+  // Leaked on purpose: payloads and pools owned by static objects may give
+  // blocks back during process teardown, after a non-leaked singleton would
+  // already be gone. Still reachable, so LeakSanitizer stays quiet.
+  static MemoryRegistry* registry = new MemoryRegistry;
+  return *registry;
+}
+
+}  // namespace scaffe::util

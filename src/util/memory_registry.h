@@ -1,0 +1,228 @@
+// Unified memory registry: one recycling allocator behind every subsystem
+// pool (eager transport staging, device float blocks, executor/solver
+// scratch, sample-store windows).
+//
+// Replaces the per-subsystem pools (util::BufferPool, the private side of
+// gpu::PoolAllocator, ad-hoc executor vectors) with a single size-class
+// allocator whose fast path is lock-free: each thread keeps a private shard
+// of per-class free lists, so a warm steady-state training step recycles
+// blocks without touching a mutex or the heap. A local miss falls back to a
+// global shard (one mutex) before allocating fresh; blocks released by a
+// thread land in that thread's shard first, so producer/consumer pairs
+// converge on their own working sets.
+//
+// Invariants:
+//  - Size classes are powers of two with a 64-byte floor, shared by every
+//    client — a block released by the transport is reusable by the solver.
+//  - `budget_bytes` bounds the total *cached* (free, retained) bytes across
+//    all shards; releases past the budget free to the heap instead. The
+//    check uses relaxed counters, so the bound is approximate under races —
+//    never off by more than one block per racing thread. SCAFFE_MEM_BUDGET
+//    (parsed by the mpi layer via parse_bytes_knob) overrides the default.
+//  - Local shards cap their per-class depth; overflow spills to the global
+//    shard so one thread cannot strand the whole budget.
+//  - Blocks acquired with Route::kTransfer (message payloads, store
+//    windows — anything produced on one thread and consumed on another)
+//    always recycle through the global shard. Caching a transfer block in
+//    the *releasing* thread's shard parks it where the producing thread can
+//    never see it, starving the global shard and turning a warm steady
+//    state back into heap allocations. Route::kScratch (the default) keeps
+//    the lock-free thread-local path for same-thread reuse.
+//  - Independently of the route, classes above kLocalClassMax never cache
+//    thread-locally — the same split as tcmalloc/jemalloc thread caches,
+//    which cap what a thread cache may hold so big buffers cannot strand
+//    the pool.
+//  - At thread exit a thread's shards drain back into the owning registries'
+//    global shards (or the heap when the registry died first), so rank
+//    threads recycled across elastic runs do not leak the cache.
+//  - Handles (MemBlock) must not outlive their registry — same convention
+//    as the pools this replaces. MemBlock::heap() blocks have no registry
+//    and are freed, not recycled.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace scaffe::util {
+
+class MemoryRegistry;
+
+/// How a block recycles when released (see the transfer-buffer invariant in
+/// the header comment).
+enum class BlockRoute : std::uint8_t {
+  kScratch,   ///< same-thread reuse: thread-local shard first (lock-free)
+  kTransfer,  ///< produced on one thread, consumed on another: global shard
+};
+
+/// Aggregate registry counters. Hits split by which shard served them:
+/// `local_hits` never took a lock, `global_hits` took the single global
+/// mutex, `misses` allocated fresh from the heap.
+struct RegistryStats {
+  std::uint64_t local_hits = 0;
+  std::uint64_t global_hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t cached_bytes = 0;     // free bytes retained across all shards
+  std::size_t live_bytes = 0;       // bytes currently handed out
+  std::size_t peak_live_bytes = 0;  // high-water mark of live_bytes
+
+  std::uint64_t recycled() const noexcept { return local_hits + global_hits; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = recycled() + misses;
+    return total == 0 ? 0.0 : static_cast<double>(recycled()) / static_cast<double>(total);
+  }
+};
+
+/// RAII handle to a registry block; returns to the registry on destruction.
+/// A handle created by MemBlock::heap() owns a plain heap block instead
+/// (freed, not recycled) — the pool-disabled "legacy" transport path.
+class MemBlock {
+ public:
+  MemBlock() = default;
+  MemBlock(MemBlock&& other) noexcept
+      : registry_(std::exchange(other.registry_, nullptr)),
+        data_(std::move(other.data_)),
+        capacity_(std::exchange(other.capacity_, 0)),
+        size_(std::exchange(other.size_, 0)),
+        recycled_(std::exchange(other.recycled_, false)),
+        route_(other.route_) {}
+  MemBlock& operator=(MemBlock&& other) noexcept;
+  MemBlock(const MemBlock&) = delete;
+  MemBlock& operator=(const MemBlock&) = delete;
+  ~MemBlock();
+
+  /// Fresh non-registry block (freed on destruction, never cached).
+  static MemBlock heap(std::size_t size);
+
+  bool valid() const noexcept { return data_ != nullptr; }
+  std::size_t size() const noexcept { return size_; }          // requested
+  std::size_t capacity() const noexcept { return capacity_; }  // size class
+  bool recycled() const noexcept { return recycled_; }  // served from a shard
+  std::byte* data() noexcept { return data_.get(); }
+  const std::byte* data() const noexcept { return data_.get(); }
+  std::span<std::byte> span() noexcept { return {data_.get(), size_}; }
+  std::span<const std::byte> span() const noexcept { return {data_.get(), size_}; }
+
+  /// The block viewed as a float array (blocks are max_align_t-aligned).
+  float* floats() noexcept { return reinterpret_cast<float*>(data_.get()); }
+  const float* floats() const noexcept { return reinterpret_cast<const float*>(data_.get()); }
+
+ private:
+  friend class MemoryRegistry;
+  MemBlock(MemoryRegistry* registry, std::unique_ptr<std::byte[]> data, std::size_t capacity,
+           std::size_t size, bool recycled, BlockRoute route)
+      : registry_(registry),
+        data_(std::move(data)),
+        capacity_(capacity),
+        size_(size),
+        recycled_(recycled),
+        route_(route) {}
+
+  MemoryRegistry* registry_ = nullptr;  // nullptr: heap block, freed not recycled
+  std::unique_ptr<std::byte[]> data_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+  bool recycled_ = false;
+  BlockRoute route_ = BlockRoute::kScratch;
+};
+
+class MemoryRegistry {
+ public:
+  explicit MemoryRegistry(std::size_t budget_bytes = kDefaultBudget);
+  ~MemoryRegistry();
+  MemoryRegistry(const MemoryRegistry&) = delete;
+  MemoryRegistry& operator=(const MemoryRegistry&) = delete;
+
+  /// Returns a block of at least `size` bytes (size == 0 yields the minimum
+  /// class). Fast path: pop from the calling thread's shard, no locks.
+  /// Route::kTransfer blocks skip the thread-local shard on BOTH sides —
+  /// they are filled here but released by a consumer thread, so only the
+  /// global shard ever sees them again.
+  MemBlock acquire(std::size_t size, BlockRoute route = BlockRoute::kScratch);
+
+  /// Pre-stocks the global shard with `count` blocks of `size`'s class
+  /// (clamped by the budget), so a subsystem with a derivable worst-case
+  /// working set — e.g. a sample store's in-flight exchange windows — never
+  /// misses on its hot path, independent of warmup length. Counts toward
+  /// cached_bytes but not hits or misses.
+  void reserve(std::size_t size, std::size_t count);
+
+  /// Releases the global shard's and the calling thread's cached blocks to
+  /// the heap. Other threads' shards drain when those threads exit.
+  void trim();
+
+  /// Releases only the calling thread's shard (deterministic tests).
+  void flush_local_shard();
+
+  /// Bounds total cached (free) bytes; applies to future releases.
+  void set_budget_bytes(std::size_t budget) noexcept {
+    budget_bytes_.store(budget, std::memory_order_relaxed);
+  }
+  std::size_t budget_bytes() const noexcept {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  RegistryStats stats() const noexcept;
+
+  /// Zeroes hit/miss counters and folds peak back to the current live bytes
+  /// (warmup boundary for benches and the steady-state CI gate).
+  void reset_stats() noexcept;
+
+  /// Process-wide registry shared by transport, device pools, and stores.
+  static MemoryRegistry& instance();
+
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kDefaultBudget = std::size_t{256} << 20;  // 256 MiB
+  static constexpr std::size_t kNumClasses = 34;  // 64 B .. 512 GiB
+  static constexpr std::size_t kLocalDepth = 16;  // blocks per class per thread
+  /// Largest size class cached in thread-local shards; bigger classes
+  /// recycle through the global shard only (see the transfer-buffer
+  /// invariant above).
+  static constexpr std::size_t kLocalClassMax = 4096;
+  /// Headroom cached per transfer-route miss (a miss marks a new in-flight
+  /// high-water mark that timing jitter will reach again, so the pool grows
+  /// past it, not just to it). At least kTransferSpares blocks; small
+  /// classes get kTransferSpareBytes' worth, because their worst-case burst
+  /// (every in-flight message queued at once, none claim-filled) is many
+  /// blocks yet costs almost nothing to cover.
+  static constexpr int kTransferSpares = 2;
+  static constexpr std::size_t kTransferSpareBytes = 4096;
+
+  static std::size_t size_class(std::size_t size) noexcept {
+    std::size_t capacity = kMinClass;
+    while (capacity < size) capacity <<= 1;
+    return capacity;
+  }
+  static std::size_t class_index(std::size_t capacity) noexcept {
+    return static_cast<std::size_t>(std::countr_zero(capacity)) - 6;
+  }
+
+ private:
+  friend class MemBlock;
+  friend struct ThreadShards;
+  using FreeLists = std::array<std::vector<std::unique_ptr<std::byte[]>>, kNumClasses>;
+
+  void give_back(std::unique_ptr<std::byte[]> data, std::size_t capacity,
+                 BlockRoute route) noexcept;
+  void note_live(std::size_t capacity) noexcept;
+
+  const std::uint64_t id_;  // never reused; keys thread-local shards
+  std::atomic<std::size_t> budget_bytes_;
+  std::atomic<std::uint64_t> local_hits_{0};
+  std::atomic<std::uint64_t> global_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::size_t> cached_bytes_{0};
+  std::atomic<std::size_t> live_bytes_{0};
+  std::atomic<std::size_t> peak_live_bytes_{0};
+  mutable std::mutex global_mutex_;
+  FreeLists global_lists_;
+};
+
+}  // namespace scaffe::util

@@ -343,6 +343,40 @@ TEST(TuningTable, RecommendedBucketBytes) {
   EXPECT_EQ(table.recommended_bucket_bytes(), 512 * util::kKiB);
 }
 
+TEST(TuningTable, RecommendedSegmentBytes) {
+  // The topo-ring pipelining grain comes from the FIRST measured crossover
+  // (where the small-message winner stops winning), clamped to [4 KiB,
+  // 256 KiB]. Without a usable table — no calibration ran — the caller's
+  // fallback (the eager limit) stands in unchanged.
+  TuningTable empty;
+  EXPECT_EQ(empty.recommended_segment_bytes(64 * util::kKiB), 64 * util::kKiB);
+
+  TuningTable single;
+  single.add(TuningEntry{std::numeric_limits<std::size_t>::max(),
+                         Candidate::binomial(), 10});
+  EXPECT_EQ(single.recommended_segment_bytes(7 * util::kKiB), 7 * util::kKiB);
+
+  TuningTable table;
+  table.add(TuningEntry{64 * util::kKiB, Candidate::binomial(), 10});
+  table.add(TuningEntry{2 * util::kMiB, Candidate::flat_chain_cand(), 20});
+  table.add(TuningEntry{std::numeric_limits<std::size_t>::max(),
+                        Candidate::hier(LevelAlgo::Chain, LevelAlgo::Binomial, 8), 30});
+  EXPECT_EQ(table.recommended_segment_bytes(1), 64 * util::kKiB);
+
+  // Boundaries outside the band clamp instead of producing degenerate grains.
+  TuningTable tiny;
+  tiny.add(TuningEntry{512, Candidate::binomial(), 10});
+  tiny.add(TuningEntry{std::numeric_limits<std::size_t>::max(),
+                       Candidate::flat_chain_cand(), 20});
+  EXPECT_EQ(tiny.recommended_segment_bytes(1), 4 * util::kKiB);
+
+  TuningTable huge;
+  huge.add(TuningEntry{8 * util::kMiB, Candidate::binomial(), 10});
+  huge.add(TuningEntry{std::numeric_limits<std::size_t>::max(),
+                       Candidate::flat_chain_cand(), 20});
+  EXPECT_EQ(huge.recommended_segment_bytes(1), 256 * util::kKiB);
+}
+
 TEST(FusedChainReduce, SemanticsAndTensorAlignedChunks) {
   const FusedLayout layout = FusedLayout::pack({300, 0, 200, 500, 100, 400});
   EXPECT_EQ(layout.total, 1500u);

@@ -1,0 +1,329 @@
+// Distributed sample store (data/sample_store.h): the LBANN-data_store-style
+// epoch-ahead exchange that feeds readers from peer memory over scmpi.
+//
+// The contract under test is the one the trainer relies on: the store changes
+// where sample bytes come from, never what they are — store-fed training is
+// bitwise identical to backend-fed training at any world size, including
+// through a Shrink recovery, while backend pressure stays capped at the
+// loader count.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/backend.h"
+#include "data/dataset.h"
+#include "data/shuffle.h"
+#include "data/sample_store.h"
+#include "models/zoo.h"
+#include "util/fault.h"
+
+namespace scaffe::core {
+namespace {
+
+data::SyntheticImageDataset tiny_dataset() {
+  return data::SyntheticImageDataset(256, 1, 1, 6, 3);
+}
+
+NetSpecFactory mlp_factory() {
+  return [](int batch) { return models::mlp_netspec(batch, 6, 8, 3); };
+}
+
+class EnvVarGuard {
+ public:
+  EnvVarGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvVarGuard() {
+    if (!saved_.empty()) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+};
+
+/// Runs one training job and returns the root's report.
+TrainerReport train_root(int nranks, data::ReadBackend& backend, std::size_t sample_floats,
+                         TrainerConfig config) {
+  std::mutex mutex;
+  TrainerReport root_report;
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    Trainer trainer(comm, backend, sample_floats, mlp_factory(), config);
+    const TrainerReport report = trainer.run();
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(mutex);
+      root_report = report;
+    }
+  });
+  return root_report;
+}
+
+TEST(Shuffle, EpochPermuteIsWindowStableBijection) {
+  const std::uint64_t n = 96;
+  for (std::uint64_t seed : {2017ull, 7ull}) {
+    for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+      std::set<std::uint64_t> seen;
+      for (std::uint64_t i = epoch * n; i < (epoch + 1) * n; ++i) {
+        const std::uint64_t p = data::epoch_permute(i, n, seed);
+        EXPECT_GE(p, epoch * n);
+        EXPECT_LT(p, (epoch + 1) * n);
+        seen.insert(p);
+      }
+      EXPECT_EQ(seen.size(), n) << "epoch " << epoch << " seed " << seed;
+    }
+  }
+  // Disabled shuffling is the identity.
+  EXPECT_EQ(data::epoch_permute(42, 0, 2017), 42u);
+}
+
+TEST(SampleStore, ContextIsDisjointFromTrainingContext) {
+  const mpi::ContextId base = 12345;
+  EXPECT_NE(data::SampleStore::store_context_for(base), base);
+  // Deterministic (every rank derives the same exchange context)...
+  EXPECT_EQ(data::SampleStore::store_context_for(base),
+            data::SampleStore::store_context_for(base));
+  // ...and distinct per communicator context.
+  EXPECT_NE(data::SampleStore::store_context_for(base),
+            data::SampleStore::store_context_for(base + 1));
+}
+
+TEST(SampleStore, ServesBitwiseSamplesFromPeerMemory) {
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+  const int nranks = 4;
+  const std::uint64_t window = 32;
+  const std::uint64_t windows = 3;
+
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    data::SampleStoreConfig config;
+    config.window = window;
+    config.sample_floats = dataset.sample_floats();
+    data::SampleStore store(comm, backend, config);
+
+    // Consume this rank's strided slots in reader order and compare bitwise
+    // against the backend's own answer.
+    std::uint64_t served = 0;
+    for (std::uint64_t g = static_cast<std::uint64_t>(comm.rank()); g < windows * window;
+         g += nranks) {
+      const data::Sample got = store.read(g);
+      const data::Sample want = dataset.make_sample(g);
+      ASSERT_EQ(got.index, want.index);
+      ASSERT_EQ(got.label, want.label);
+      ASSERT_EQ(got.image, want.image);
+      ++served;
+    }
+
+    const data::SampleStoreStats stats = store.stats();
+    EXPECT_EQ(stats.hits, served);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    EXPECT_GE(stats.windows_ready, windows);
+  });
+}
+
+TEST(SampleStore, CapsBackendAttachmentsAtLoaderCount) {
+  // An LMDB backend that refuses a third reader: four direct readers would
+  // throw, but four store-fed ranks attach only max_loaders = 2 of them.
+  auto dataset = tiny_dataset();
+  net::StorageSpec storage;
+  storage.lmdb_max_readers = 2;
+  data::LmdbBackend backend(dataset, storage);
+
+  backend.attach_reader();
+  backend.attach_reader();
+  EXPECT_THROW(backend.attach_reader(), data::ReaderLimitError);
+  backend.detach_reader();
+  backend.detach_reader();
+
+  const int nranks = 4;
+  mpi::Runtime runtime(nranks);
+  runtime.run([&](mpi::Comm& comm) {
+    data::SampleStoreConfig config;
+    config.window = 16;
+    config.sample_floats = dataset.sample_floats();
+    config.max_loaders = 2;
+    data::SampleStore store(comm, backend, config);
+    EXPECT_EQ(store.loaders(), 2);
+    EXPECT_LE(backend.attached(), 2);
+
+    for (std::uint64_t g = static_cast<std::uint64_t>(comm.rank()); g < 32; g += nranks) {
+      const data::Sample got = store.read(g);
+      EXPECT_EQ(got.index, g);
+    }
+    EXPECT_EQ(store.stats().fallbacks, 0u);
+
+    // The modelled aggregate never sees more than the loader cap either.
+    const std::size_t bytes = dataset.sample_floats() * sizeof(float);
+    EXPECT_DOUBLE_EQ(store.aggregate_samples_per_sec(160, bytes),
+                     backend.aggregate_samples_per_sec(2, bytes));
+  });
+  EXPECT_EQ(backend.attached(), 0);
+}
+
+TEST(Trainer, StoreFedMatchesBackendFedBitwise) {
+  // The acceptance bar: identical final parameters AND momentum whether
+  // batches come from the store or straight from the backend — at one rank
+  // (self-exchange) and at eight (full alltoallv shape), shuffled.
+  for (int nranks : {1, 8}) {
+    auto dataset = tiny_dataset();
+    data::ImageDataBackend backend(dataset);
+
+    TrainerConfig config;
+    config.iterations = 8;
+    config.global_batch = 16;
+    config.shuffle_epoch_size = 64;
+    config.solver.base_lr = 0.05f;
+    config.solver.momentum = 0.9f;
+
+    config.sample_store = false;
+    const TrainerReport direct = train_root(nranks, backend, dataset.sample_floats(), config);
+    ASSERT_FALSE(direct.final_params.empty());
+    EXPECT_EQ(direct.store.hits, 0u);
+    EXPECT_EQ(direct.store.windows_ready, 0u);
+
+    config.sample_store = true;
+    const TrainerReport stored = train_root(nranks, backend, dataset.sample_floats(), config);
+
+    EXPECT_EQ(stored.final_params, direct.final_params) << nranks << " ranks";
+    EXPECT_EQ(stored.final_state, direct.final_state) << nranks << " ranks";
+    EXPECT_EQ(stored.root_losses, direct.root_losses) << nranks << " ranks";
+
+    // Steady state serves from peer memory: every root-rank sample was a hit.
+    EXPECT_GT(stored.store.hits, 0u);
+    EXPECT_EQ(stored.store.fallbacks, 0u);
+    EXPECT_GT(stored.store.windows_ready, 0u);
+    // The exchange recycles registry blocks instead of allocating fresh ones.
+    EXPECT_GT(stored.memory.local_hits + stored.memory.global_hits, 0u);
+  }
+}
+
+TEST(Trainer, SampleStoreEnvKnobOverridesConfig) {
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+
+  TrainerConfig config;
+  config.iterations = 2;
+  config.global_batch = 8;
+  config.sample_store = true;
+
+  {
+    // off beats the config default: no exchange runs at all.
+    EnvVarGuard guard("SCAFFE_SAMPLE_STORE", "off");
+    const TrainerReport report = train_root(1, backend, dataset.sample_floats(), config);
+    EXPECT_EQ(report.store.hits, 0u);
+    EXPECT_EQ(report.store.windows_ready, 0u);
+  }
+  {
+    config.sample_store = false;
+    EnvVarGuard guard("SCAFFE_SAMPLE_STORE", "1");
+    const TrainerReport report = train_root(1, backend, dataset.sample_floats(), config);
+    EXPECT_GT(report.store.hits, 0u);
+  }
+  {
+    EnvVarGuard guard("SCAFFE_SAMPLE_STORE", "maybe");
+    EXPECT_THROW(train_root(1, backend, dataset.sample_floats(), config), mpi::ConfigError);
+  }
+}
+
+TEST(Trainer, PrefetchDepthKnobParsesAndValidates) {
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+
+  TrainerConfig config;
+  config.iterations = 2;
+  config.global_batch = 8;
+
+  {
+    // A deeper queue changes pipelining, never results.
+    TrainerConfig reference = config;
+    const TrainerReport base = train_root(1, backend, dataset.sample_floats(), reference);
+    EnvVarGuard guard("SCAFFE_PREFETCH_DEPTH", "2");
+    const TrainerReport shallow = train_root(1, backend, dataset.sample_floats(), config);
+    EXPECT_EQ(shallow.final_params, base.final_params);
+  }
+  {
+    EnvVarGuard guard("SCAFFE_PREFETCH_DEPTH", "0");
+    EXPECT_THROW(train_root(1, backend, dataset.sample_floats(), config), mpi::ConfigError);
+  }
+  {
+    EnvVarGuard guard("SCAFFE_PREFETCH_DEPTH", "not-a-depth");
+    EXPECT_THROW(train_root(1, backend, dataset.sample_floats(), config), mpi::ConfigError);
+  }
+}
+
+class StoreRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("scaffe_datastore_ckpt_" +
+              std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()) +
+              ".bin"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+  }
+
+  std::string path_;
+};
+
+TEST_F(StoreRecoveryTest, StoreFedShrinkMatchesBackendFedBitwise) {
+  // A rank dies mid-run and the world shrinks 4 -> 3. The store is rebuilt
+  // per attempt, so its exchange plan follows the survivor membership — and
+  // the final parameters must still match the backend-fed run under the
+  // exact same fault schedule.
+  auto dataset = tiny_dataset();
+  data::ImageDataBackend backend(dataset);
+
+  TrainerConfig config;
+  config.iterations = 10;
+  config.global_batch = 12;
+  config.snapshot_every = 2;
+  config.snapshot_path = path_;
+  config.recovery = RecoveryPolicy::Shrink;
+  config.recv_timeout_ms = 30000;
+  config.shuffle_epoch_size = 48;
+  config.solver.base_lr = 0.05f;
+  config.solver.momentum = 0.9f;
+
+  config.sample_store = false;
+  TrainerReport direct;
+  {
+    util::ScopedFaultPlan scope(util::FaultPlan(61).crash_rank(2, 5));
+    direct = train_with_recovery(4, backend, dataset.sample_floats(), mlp_factory(), config);
+  }
+  ASSERT_FALSE(direct.final_params.empty());
+  EXPECT_EQ(direct.recovery.restarts, 1);
+  EXPECT_EQ(direct.recovery.shrinks, 1);
+  std::filesystem::remove(path_);
+
+  config.sample_store = true;
+  TrainerReport stored;
+  {
+    util::ScopedFaultPlan scope(util::FaultPlan(61).crash_rank(2, 5));
+    stored = train_with_recovery(4, backend, dataset.sample_floats(), mlp_factory(), config);
+  }
+  EXPECT_EQ(stored.recovery.restarts, 1);
+  EXPECT_EQ(stored.recovery.shrinks, 1);
+
+  EXPECT_EQ(stored.final_params, direct.final_params);
+  EXPECT_EQ(stored.final_state, direct.final_state);
+  EXPECT_GT(stored.store.hits, 0u);
+}
+
+}  // namespace
+}  // namespace scaffe::core

@@ -953,6 +953,38 @@ TEST_F(RecoveryTest, CorruptedEagerPayloadIsRejectedAndRecoveredBitwise) {
   EXPECT_EQ(recovered.root_losses, clean.root_losses);
 }
 
+TEST_F(RecoveryTest, CorruptedRendezvousClaimIsRejectedAndRecoveredBitwise) {
+  // Same chaos pairing, other delivery path: SCAFFE_EAGER_LIMIT=0 pins every
+  // message to the rendezvous/posted-claim path, where the sender fills the
+  // receiver's claimed buffer directly. The CRC plane re-checksums the filled
+  // destination, so the flip still surfaces as a typed IntegrityError, the
+  // supervisor restarts from the checkpoint, and the final parameters are
+  // bitwise the fault-free run's — claim fills are inside CRC coverage too.
+  EnvVarGuard eager("SCAFFE_EAGER_LIMIT", "0");
+  EnvVarGuard crc("SCAFFE_MSG_CRC", "1");
+
+  data::SyntheticImageDataset dataset(256, 1, 1, 6, 3);
+  data::ImageDataBackend backend(dataset);
+  core::TrainerConfig config = base_config();
+  config.iterations = 6;
+  config.recv_timeout_ms = 30000;
+
+  const core::TrainerReport clean = core::train_with_recovery(
+      2, backend, dataset.sample_floats(), factory(), config);
+  ASSERT_FALSE(clean.final_params.empty());
+  std::filesystem::remove(path_);
+
+  util::ScopedFaultPlan scope(util::FaultPlan(73).corrupt_payload(0, 1, 1));
+  const core::TrainerReport recovered = core::train_with_recovery(
+      2, backend, dataset.sample_floats(), factory(), config);
+
+  EXPECT_EQ(recovered.recovery.restarts, 1);
+  EXPECT_EQ(recovered.recovery.timeouts, 1);  // IntegrityError counts here
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+  EXPECT_EQ(recovered.final_params, clean.final_params);  // poison never landed
+  EXPECT_EQ(recovered.root_losses, clean.root_losses);
+}
+
 // --- randomized-but-logged chaos soak ------------------------------------------
 
 TEST_F(RecoveryTest, ChaosSoakSeedFromEnv) {

@@ -15,6 +15,7 @@
 #include "gpu/pool_allocator.h"
 #include "models/zoo.h"
 #include "util/bytes.h"
+#include "util/memory_registry.h"
 #include "util/rng.h"
 
 namespace scaffe {
@@ -249,7 +250,8 @@ TEST(Shuffle, ShardsStillPartitionTheEpoch) {
 
 TEST(PoolAllocator, ReusesFreedBlocks) {
   gpu::Device device(0, 10 * util::kMiB);
-  gpu::PoolAllocator pool(device);
+  util::MemoryRegistry registry;
+  gpu::PoolAllocator pool(device, registry);
   float* first_ptr = nullptr;
   {
     gpu::PooledBuffer buffer = pool.acquire(1000);
@@ -258,41 +260,54 @@ TEST(PoolAllocator, ReusesFreedBlocks) {
   }
   EXPECT_EQ(pool.hits(), 0u);
   EXPECT_EQ(pool.misses(), 1u);
-  EXPECT_GT(pool.cached_bytes(), 0u);
+  EXPECT_GT(registry.stats().cached_bytes, 0u);
   {
-    gpu::PooledBuffer buffer = pool.acquire(900);  // same 1024 size class
+    gpu::PooledBuffer buffer = pool.acquire(900);  // same 4096-byte size class
     EXPECT_EQ(buffer.data(), first_ptr);
   }
   EXPECT_EQ(pool.hits(), 1u);
 }
 
-TEST(PoolAllocator, DeviceStaysChargedWhileCached) {
+TEST(PoolAllocator, DeviceRefundedOnRelease) {
   gpu::Device device(0, 10 * util::kMiB);
-  gpu::PoolAllocator pool(device);
-  { gpu::PooledBuffer buffer = pool.acquire(1 << 16); }
-  EXPECT_GT(device.allocated(), 0u);  // pool holds the memory
-  pool.trim();
+  util::MemoryRegistry registry;
+  gpu::PoolAllocator pool(device, registry);
+  {
+    gpu::PooledBuffer buffer = pool.acquire(1 << 16);
+    EXPECT_GT(device.allocated(), 0u);
+  }
+  // The registry caches the block (no device charge for cached memory); the
+  // device sees only live, handed-out blocks.
   EXPECT_EQ(device.allocated(), 0u);
+  EXPECT_GT(registry.stats().cached_bytes, 0u);
+  pool.trim();
+  EXPECT_EQ(registry.stats().cached_bytes, 0u);
 }
 
 TEST(PoolAllocator, OomPropagatesFromDevice) {
   gpu::Device device(0, util::kMiB);
-  gpu::PoolAllocator pool(device);
+  util::MemoryRegistry registry;
+  gpu::PoolAllocator pool(device, registry);
   EXPECT_THROW(pool.acquire(1 << 20), gpu::OutOfMemoryError);  // 4 MB block
+  // A failed acquire must leave nothing charged or live.
+  EXPECT_EQ(device.allocated(), 0u);
+  EXPECT_EQ(registry.stats().live_bytes, 0u);
 }
 
 TEST(PoolAllocator, DistinctSizeClassesDontMix) {
   gpu::Device device(0, 10 * util::kMiB);
-  gpu::PoolAllocator pool(device);
+  util::MemoryRegistry registry;
+  gpu::PoolAllocator pool(device, registry);
   { gpu::PooledBuffer small = pool.acquire(100); }
   gpu::PooledBuffer big = pool.acquire(10'000);
-  EXPECT_EQ(pool.hits(), 0u);  // 128-class block cannot satisfy 16384-class
+  EXPECT_EQ(pool.hits(), 0u);  // 512-byte-class block cannot satisfy 64 KiB class
   EXPECT_EQ(pool.misses(), 2u);
 }
 
 TEST(PoolAllocator, MoveSemantics) {
   gpu::Device device(0, util::kMiB);
-  gpu::PoolAllocator pool(device);
+  util::MemoryRegistry registry;
+  gpu::PoolAllocator pool(device, registry);
   gpu::PooledBuffer a = pool.acquire(64);
   gpu::PooledBuffer b = std::move(a);
   EXPECT_FALSE(a.valid());
@@ -301,6 +316,7 @@ TEST(PoolAllocator, MoveSemantics) {
   a = std::move(b);  // move back
   EXPECT_TRUE(a.valid());
   EXPECT_EQ(a.span()[0], 1.0f);
+  EXPECT_EQ(device.allocated(), util::MemoryRegistry::size_class(64 * sizeof(float)));
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // Tests for the zero-copy rendezvous / pooled eager transport:
-//  - util::BufferPool size-class reuse, hit/miss counters, cache cap, trim,
-//    and concurrent checkout (exercised under TSan by check.sh),
+//  - util::MemoryRegistry size-class reuse, shard hit/miss counters, budget
+//    cap, trim, and concurrent checkout (exercised under TSan by check.sh),
 //  - TransportError diagnostics on size mismatches,
 //  - the symmetric-sendrecv-above-eager-limit deadlock regression,
 //  - bitwise parity of eager vs rendezvous and tuned vs legacy transports on
@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -21,91 +23,164 @@
 
 #include "mpi/comm.h"
 #include "mpi/transport_tuner.h"
-#include "util/buffer_pool.h"
+#include "util/memory_registry.h"
 #include "util/fault.h"
 
 namespace scaffe::mpi {
 namespace {
 
-// --- BufferPool -------------------------------------------------------------
+// --- MemoryRegistry ---------------------------------------------------------
 
-TEST(BufferPool, SizeClassesArePowersOfTwoWithFloor) {
-  EXPECT_EQ(util::BufferPool::size_class(0), 64u);
-  EXPECT_EQ(util::BufferPool::size_class(1), 64u);
-  EXPECT_EQ(util::BufferPool::size_class(64), 64u);
-  EXPECT_EQ(util::BufferPool::size_class(65), 128u);
-  EXPECT_EQ(util::BufferPool::size_class(4096), 4096u);
-  EXPECT_EQ(util::BufferPool::size_class(4097), 8192u);
+TEST(MemoryRegistry, SizeClassesArePowersOfTwoWithFloor) {
+  EXPECT_EQ(util::MemoryRegistry::size_class(0), 64u);
+  EXPECT_EQ(util::MemoryRegistry::size_class(1), 64u);
+  EXPECT_EQ(util::MemoryRegistry::size_class(64), 64u);
+  EXPECT_EQ(util::MemoryRegistry::size_class(65), 128u);
+  EXPECT_EQ(util::MemoryRegistry::size_class(4096), 4096u);
+  EXPECT_EQ(util::MemoryRegistry::size_class(4097), 8192u);
 }
 
-TEST(BufferPool, ReusesBlocksWithinSizeClass) {
-  util::BufferPool pool;
+TEST(MemoryRegistry, ReusesBlocksWithinSizeClassFromLocalShard) {
+  util::MemoryRegistry registry;
   std::byte* first = nullptr;
   {
-    util::PooledBytes block = pool.acquire(1000);  // class 1024
+    util::MemBlock block = registry.acquire(1000);  // class 1024
     EXPECT_EQ(block.capacity(), 1024u);
     EXPECT_EQ(block.size(), 1000u);
     first = block.data();
   }
-  EXPECT_EQ(pool.hits(), 0u);
-  EXPECT_EQ(pool.misses(), 1u);
-  EXPECT_EQ(pool.cached_bytes(), 1024u);
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.recycled(), 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.cached_bytes, 1024u);
   {
-    // Same class, different requested size: must reuse the cached block.
-    util::PooledBytes block = pool.acquire(600);
+    // Same class, different requested size: must reuse the cached block —
+    // from this thread's own shard, with no global lock taken.
+    util::MemBlock block = registry.acquire(600);
     EXPECT_EQ(block.data(), first);
     EXPECT_EQ(block.capacity(), 1024u);
   }
-  EXPECT_EQ(pool.hits(), 1u);
-  EXPECT_EQ(pool.misses(), 1u);
+  stats = registry.stats();
+  EXPECT_EQ(stats.local_hits, 1u);
+  EXPECT_EQ(stats.global_hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
 }
 
-TEST(BufferPool, DistinctClassesDoNotShareBlocks) {
-  util::BufferPool pool;
-  { util::PooledBytes a = pool.acquire(100); }  // class 128 cached
-  util::PooledBytes b = pool.acquire(4000);     // class 4096: miss
-  EXPECT_EQ(pool.misses(), 2u);
-  EXPECT_EQ(pool.hits(), 0u);
-  EXPECT_EQ(pool.cached_bytes(), 128u);
+TEST(MemoryRegistry, DistinctClassesDoNotShareBlocks) {
+  util::MemoryRegistry registry;
+  { util::MemBlock a = registry.acquire(100); }  // class 128 cached
+  util::MemBlock b = registry.acquire(4000);     // class 4096: miss
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.recycled(), 0u);
+  EXPECT_EQ(stats.cached_bytes, 128u);
 }
 
-TEST(BufferPool, TrimReleasesCache) {
-  util::BufferPool pool;
-  { util::PooledBytes a = pool.acquire(1 << 16); }
-  EXPECT_GT(pool.cached_bytes(), 0u);
-  pool.trim();
-  EXPECT_EQ(pool.cached_bytes(), 0u);
+TEST(MemoryRegistry, TrimReleasesCache) {
+  util::MemoryRegistry registry;
+  { util::MemBlock a = registry.acquire(1 << 16); }
+  EXPECT_GT(registry.stats().cached_bytes, 0u);
+  registry.trim();
+  EXPECT_EQ(registry.stats().cached_bytes, 0u);
   // Next acquire is a miss again (cache is empty, counters persist).
-  util::PooledBytes b = pool.acquire(1 << 16);
-  EXPECT_EQ(pool.misses(), 2u);
+  util::MemBlock b = registry.acquire(1 << 16);
+  EXPECT_EQ(registry.stats().misses, 2u);
 }
 
-TEST(BufferPool, CacheCapBoundsRetainedBytes) {
-  util::BufferPool pool(/*max_cached_bytes=*/1024);
-  { util::PooledBytes a = pool.acquire(1024); }
-  EXPECT_EQ(pool.cached_bytes(), 1024u);
-  { util::PooledBytes b = pool.acquire(512); }  // release would exceed the cap
-  EXPECT_EQ(pool.cached_bytes(), 1024u);        // freed to heap instead
+TEST(MemoryRegistry, BudgetBoundsRetainedBytes) {
+  util::MemoryRegistry registry(/*budget_bytes=*/1024);
+  { util::MemBlock a = registry.acquire(1024); }
+  EXPECT_EQ(registry.stats().cached_bytes, 1024u);
+  { util::MemBlock b = registry.acquire(512); }  // release would exceed budget
+  EXPECT_EQ(registry.stats().cached_bytes, 1024u);  // freed to heap instead
 }
 
-TEST(BufferPool, HeapBlocksBypassThePool) {
-  util::PooledBytes block = util::PooledBytes::heap(100);
+TEST(MemoryRegistry, TracksLiveAndPeakBytes) {
+  util::MemoryRegistry registry;
+  {
+    util::MemBlock a = registry.acquire(1024);
+    util::MemBlock b = registry.acquire(2048);
+    EXPECT_EQ(registry.stats().live_bytes, 3072u);
+  }
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.live_bytes, 0u);
+  EXPECT_EQ(stats.peak_live_bytes, 3072u);
+}
+
+TEST(MemoryRegistry, HeapBlocksBypassTheRegistry) {
+  util::MemBlock block = util::MemBlock::heap(100);
   EXPECT_TRUE(block.valid());
+  EXPECT_FALSE(block.recycled());
   EXPECT_EQ(block.size(), 100u);
-  // Destruction must not touch any pool — nothing to assert beyond no crash,
-  // which ASan/TSan legs turn into a hard failure.
+  // Destruction must not touch any registry — nothing to assert beyond no
+  // crash, which ASan/TSan legs turn into a hard failure.
 }
 
-TEST(BufferPool, ConcurrentCheckoutIsRaceFree) {
-  util::BufferPool pool;
+TEST(MemoryRegistry, ReservePreStocksGlobalShard) {
+  util::MemoryRegistry registry;
+  registry.reserve(6000, 4);  // class 8192
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.cached_bytes, 4u * 8192u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.recycled(), 0u);
+  // Reserved blocks serve transfer acquires without a miss.
+  util::MemBlock block = registry.acquire(8000, util::BlockRoute::kTransfer);
+  EXPECT_TRUE(block.recycled());
+  stats = registry.stats();
+  EXPECT_EQ(stats.global_hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(MemoryRegistry, ReserveRespectsBudget) {
+  util::MemoryRegistry registry(/*budget_bytes=*/2 * 8192);
+  registry.reserve(8192, 16);  // would be 128 KiB; budget caps it
+  EXPECT_LE(registry.stats().cached_bytes, 2u * 8192u);
+}
+
+TEST(MemoryRegistry, TransferBlocksRecycleThroughGlobalShard) {
+  util::MemoryRegistry registry;
+  // Released on this thread, but transfer-routed: must bypass the local
+  // shard so any thread (a producer) can reacquire it.
+  { util::MemBlock block = registry.acquire(1024, util::BlockRoute::kTransfer); }
+  util::MemBlock again = registry.acquire(1024, util::BlockRoute::kTransfer);
+  EXPECT_TRUE(again.recycled());
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.global_hits, 1u);
+  EXPECT_EQ(stats.local_hits, 0u);
+}
+
+TEST(MemoryRegistry, FlushLocalShardSpillsToGlobal) {
+  util::MemoryRegistry registry;
+  { util::MemBlock a = registry.acquire(1024); }  // cached in this shard
+  registry.flush_local_shard();
+  EXPECT_EQ(registry.stats().cached_bytes, 0u);
+}
+
+TEST(MemoryRegistry, CrossThreadReleaseReachesGlobalShard) {
+  util::MemoryRegistry registry;
+  util::MemBlock block = registry.acquire(1 << 12);
+  std::thread releaser([&registry, moved = std::move(block)]() mutable {
+    util::MemBlock local = std::move(moved);
+    // Released on this thread: lands in its shard, drained to the global
+    // shard when the thread exits.
+  });
+  releaser.join();
+  EXPECT_EQ(registry.stats().cached_bytes, std::size_t{1} << 12);
+  util::MemBlock again = registry.acquire(1 << 12);
+  EXPECT_TRUE(again.recycled());
+  EXPECT_EQ(registry.stats().global_hits, 1u);
+}
+
+TEST(MemoryRegistry, ConcurrentCheckoutIsRaceFree) {
+  util::MemoryRegistry registry;
   constexpr int kThreads = 4;
   constexpr int kIters = 200;
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&pool, t] {
+    threads.emplace_back([&registry, t] {
       for (int i = 0; i < kIters; ++i) {
-        util::PooledBytes block = pool.acquire(static_cast<std::size_t>(64 + 37 * t + i));
+        util::MemBlock block = registry.acquire(static_cast<std::size_t>(64 + 37 * t + i));
         // Touch the block so TSan sees the data race if recycling ever hands
         // one buffer to two threads at once.
         std::memset(block.data(), t, block.size());
@@ -113,8 +188,57 @@ TEST(BufferPool, ConcurrentCheckoutIsRaceFree) {
     });
   }
   for (auto& thread : threads) thread.join();
-  EXPECT_EQ(pool.hits() + pool.misses(),
+  util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.recycled() + stats.misses,
             static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MemoryRegistry, EightThreadMixedClassHammerKeepsAccountingExact) {
+  // The TSan workhorse: eight threads churn four size classes through their
+  // local shards while handing every fourth block to a neighbour through a
+  // shared rack (cross-thread release → global shard). Run under
+  // -fsanitize=thread this proves the lock-free fast path never hands one
+  // buffer to two threads; the accounting identities below prove no block is
+  // lost or double-counted under contention.
+  util::MemoryRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr std::size_t kClasses[] = {64, 1 << 10, 1 << 12, 1 << 16};
+
+  std::mutex rack_mutex;
+  std::vector<util::MemBlock> rack;  // blocks released by a different thread
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t bytes = kClasses[(t + i) % std::size(kClasses)];
+        util::MemBlock block = registry.acquire(bytes);
+        EXPECT_GE(block.size(), bytes);
+        std::memset(block.data(), t, block.size());
+        if ((i & 3) == 0) {
+          // Defer the release to whichever thread drains the rack.
+          std::lock_guard<std::mutex> lock(rack_mutex);
+          rack.push_back(std::move(block));
+          continue;
+        }
+        if ((i & 7) == 1) {
+          std::lock_guard<std::mutex> lock(rack_mutex);
+          rack.clear();  // release blocks acquired by other threads
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  rack.clear();
+
+  const util::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.recycled() + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(stats.live_bytes, 0u);  // everything went back
+  registry.trim();
+  EXPECT_EQ(registry.stats().cached_bytes, 0u);
 }
 
 // --- TransportError ---------------------------------------------------------
@@ -652,8 +776,9 @@ TEST(MsgCrc, CorruptionWithoutCrcIsDeliveredSilently) {
       std::vector<float> data(8, 1.0f);
       comm.send<float>(data, 1, 3);
     } else {
-      // Receive late so the eager message is materialized into the queue
-      // (claims never materialize and are outside corruption's reach).
+      // Receive late so the eager message is materialized into the queue —
+      // this test targets the queued-payload flip; the posted-claim fill has
+      // its own corruption tests below.
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
       std::vector<float> data(8);
       comm.recv<float>(data, 0, 3);
@@ -689,6 +814,70 @@ TEST(MsgCrc, CorruptedEagerMessageRejectedWithIntegrityError) {
         EXPECT_EQ(error.bytes(), 8 * sizeof(float));
         EXPECT_NE(error.expected_crc(), error.actual_crc());
       }
+    }
+  });
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+}
+
+// The other delivery path: a POSTED claim filled directly by the sender
+// (irecv first, payload second). The flip lands during the claim fill, the
+// receiver re-checksums the destination buffer, and wait() surfaces the same
+// typed IntegrityError the queued path gets — claims are no longer outside
+// the CRC plane's reach.
+TEST(MsgCrc, CorruptedClaimFillRejectedWithIntegrityError) {
+  Runtime runtime(2);
+  runtime.world().transport.msg_crc.store(true);
+  runtime.set_eager_limit(0);  // rendezvous: the sender fills the posted claim
+  util::ScopedFaultPlan scope(util::FaultPlan(7).corrupt_payload(0, 1, 1));
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Wait for the claim to exist before sending, so delivery is
+      // deterministically the claim-fill path, never the queue.
+      std::vector<float> flag(1);
+      comm.recv<float>(flag, 1, 8);
+      std::vector<float> data(8, 1.0f);
+      comm.send<float>(data, 1, 9);
+    } else {
+      std::vector<float> incoming(8);
+      Request request = comm.irecv<float>(incoming, 0, 9);
+      std::vector<float> flag(1, 1.0f);
+      comm.send<float>(flag, 0, 8);
+      try {
+        request.wait();
+        FAIL() << "expected IntegrityError from the claim fill";
+      } catch (const IntegrityError& error) {
+        EXPECT_EQ(error.src(), 0);
+        EXPECT_EQ(error.tag(), 9);
+        EXPECT_EQ(error.context(), comm.context());
+        EXPECT_EQ(error.bytes(), 8 * sizeof(float));
+        EXPECT_NE(error.expected_crc(), error.actual_crc());
+      }
+    }
+  });
+  EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
+}
+
+// Baseline for the claim path, mirroring the queued-path baseline above:
+// with the CRC plane off the claim fill delivers the flipped bytes silently.
+TEST(MsgCrc, CorruptedClaimFillWithoutCrcIsDeliveredSilently) {
+  Runtime runtime(2);
+  runtime.set_eager_limit(0);
+  util::ScopedFaultPlan scope(util::FaultPlan(7).corrupt_payload(0, 1, 1));
+  runtime.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> flag(1);
+      comm.recv<float>(flag, 1, 8);
+      std::vector<float> data(8, 1.0f);
+      comm.send<float>(data, 1, 9);
+    } else {
+      std::vector<float> incoming(8);
+      Request request = comm.irecv<float>(incoming, 0, 9);
+      std::vector<float> flag(1, 1.0f);
+      comm.send<float>(flag, 0, 8);
+      request.wait();
+      // The flip lands at byte size/2 = 16, i.e. inside incoming[4].
+      EXPECT_NE(incoming[4], 1.0f);
+      EXPECT_EQ(incoming[0], 1.0f);
     }
   });
   EXPECT_EQ(util::FaultInjector::instance().stats().corruptions, 1u);
